@@ -1,0 +1,138 @@
+//! Component micro-benchmarks: per-tick simulator cost, clustering
+//! formation/maintenance, routing updates, and closed-form evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use manet_cluster::{Clustering, LowestId};
+use manet_geom::{Metric, SpatialGrid, SquareRegion};
+use manet_model::{lid, DegreeModel, NetworkParams, OverheadModel};
+use manet_routing::intra::IntraClusterRouting;
+use manet_sim::{SimBuilder, Topology, World};
+use manet_util::Rng;
+use std::time::Duration;
+
+fn world_of(n: usize) -> World {
+    SimBuilder::new()
+        .side(1000.0)
+        .nodes(n)
+        .radius(150.0)
+        .speed(10.0)
+        .seed(1)
+        .build()
+}
+
+fn sim_tick(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_tick");
+    g.measurement_time(Duration::from_secs(5));
+    for n in [100usize, 400, 1000] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut world = world_of(n);
+            b.iter(|| std::hint::black_box(world.step()));
+        });
+    }
+    g.finish();
+}
+
+fn grid_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("grid_build");
+    let region = SquareRegion::new(1000.0);
+    let mut rng = Rng::seed_from_u64(3);
+    for n in [400usize, 2000] {
+        let positions: Vec<_> = (0..n).map(|_| region.sample_uniform(&mut rng)).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &positions, |b, pts| {
+            b.iter(|| {
+                std::hint::black_box(SpatialGrid::build(
+                    pts,
+                    region,
+                    150.0,
+                    Metric::toroidal(1000.0),
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn cluster_formation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cluster_formation");
+    for n in [100usize, 400] {
+        let world = world_of(n);
+        let topo = world.topology().clone();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &topo, |b, t| {
+            b.iter(|| std::hint::black_box(Clustering::form(LowestId, t)))
+        });
+    }
+    g.finish();
+}
+
+fn cluster_maintenance_tick(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cluster_maintenance");
+    g.measurement_time(Duration::from_secs(5));
+    g.bench_function("n400_tick", |b| {
+        let mut world = world_of(400);
+        let mut clustering = Clustering::form(LowestId, world.topology());
+        b.iter(|| {
+            world.step();
+            std::hint::black_box(clustering.maintain(world.topology()));
+        })
+    });
+    g.finish();
+}
+
+fn routing_update_tick(c: &mut Criterion) {
+    let mut g = c.benchmark_group("routing_update");
+    g.measurement_time(Duration::from_secs(5));
+    g.bench_function("n400_tick", |b| {
+        let mut world = world_of(400);
+        let mut clustering = Clustering::form(LowestId, world.topology());
+        let mut routing = IntraClusterRouting::new();
+        routing.update(world.topology(), &clustering);
+        b.iter(|| {
+            world.step();
+            clustering.maintain(world.topology());
+            std::hint::black_box(routing.update(world.topology(), &clustering));
+        })
+    });
+    g.finish();
+}
+
+fn topology_diff(c: &mut Criterion) {
+    let mut g = c.benchmark_group("topology_diff");
+    let mut world = world_of(400);
+    let before = world.topology().clone();
+    world.run_for(5.0);
+    let after = world.topology().clone();
+    g.bench_function("n400_5s_apart", |b| {
+        b.iter(|| {
+            let mut events = Vec::new();
+            before.diff_into(&after, &mut events);
+            std::hint::black_box(events.len())
+        })
+    });
+    let _ = Topology::empty(0);
+    g.finish();
+}
+
+fn model_evaluation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("model");
+    let params = NetworkParams::new(400, 1000.0, 150.0, 10.0).unwrap();
+    let model = OverheadModel::new(params, DegreeModel::BorderCorrected);
+    g.bench_function("breakdown", |b| {
+        b.iter(|| std::hint::black_box(model.breakdown(0.08)))
+    });
+    g.bench_function("lid_p_exact_bisection", |b| {
+        b.iter(|| std::hint::black_box(lid::p_exact(28.0).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    components,
+    sim_tick,
+    grid_build,
+    cluster_formation,
+    cluster_maintenance_tick,
+    routing_update_tick,
+    topology_diff,
+    model_evaluation
+);
+criterion_main!(components);

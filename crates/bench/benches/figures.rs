@@ -1,0 +1,101 @@
+//! One Criterion group per paper artifact: runs a reduced-size version of
+//! each figure's full pipeline (simulation + analysis) so `cargo bench`
+//! regenerates every figure end to end and tracks its cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use manet_bench::{bench_protocol, bench_scenario};
+use manet_experiments::harness::{analysis_at, measure_lid, Scenario};
+use manet_experiments::{claims, lid_figures, theta};
+use std::time::Duration;
+
+fn configure(c: &mut Criterion) -> &mut Criterion {
+    c
+}
+
+fn fig1_range_sweep(c: &mut Criterion) {
+    let mut g = configure(c).benchmark_group("fig1");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    let protocol = bench_protocol();
+    g.bench_function("range_point_sim_plus_analysis", |b| {
+        b.iter(|| {
+            let scenario = Scenario { radius: 120.0, ..bench_scenario() };
+            let m = measure_lid(&scenario, &protocol);
+            std::hint::black_box(analysis_at(&scenario, m.head_ratio.mean));
+        })
+    });
+    g.finish();
+}
+
+fn fig2_velocity_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    let protocol = bench_protocol();
+    g.bench_function("velocity_point_sim_plus_analysis", |b| {
+        b.iter(|| {
+            let scenario = Scenario { speed: 20.0, ..bench_scenario() };
+            let m = measure_lid(&scenario, &protocol);
+            std::hint::black_box(analysis_at(&scenario, m.head_ratio.mean));
+        })
+    });
+    g.finish();
+}
+
+fn fig3_density_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    let protocol = bench_protocol();
+    g.bench_function("density_point_sim_plus_analysis", |b| {
+        b.iter(|| {
+            let scenario = Scenario { nodes: 220, ..bench_scenario() };
+            let m = measure_lid(&scenario, &protocol);
+            std::hint::black_box(analysis_at(&scenario, m.head_ratio.mean));
+        })
+    });
+    g.finish();
+}
+
+fn fig4_lid_equation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(20);
+    g.bench_function("eqn16_residual_sweep", |b| {
+        b.iter(|| std::hint::black_box(lid_figures::fig4()))
+    });
+    g.finish();
+}
+
+fn fig5_cluster_counts(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    g.bench_function("formation_monte_carlo", |b| {
+        b.iter(|| std::hint::black_box(lid_figures::fig5b(2)))
+    });
+    g.finish();
+}
+
+fn theta_table(c: &mut Criterion) {
+    let mut g = c.benchmark_group("theta");
+    g.sample_size(20);
+    g.bench_function("nine_cell_fit", |b| b.iter(|| std::hint::black_box(theta::compute())));
+    g.finish();
+}
+
+fn claim_checks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("claims");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    g.bench_function("claim1_degree_mc", |b| {
+        b.iter(|| std::hint::black_box(claims::claim1(3)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    fig1_range_sweep,
+    fig2_velocity_sweep,
+    fig3_density_sweep,
+    fig4_lid_equation,
+    fig5_cluster_counts,
+    theta_table,
+    claim_checks
+);
+criterion_main!(figures);

@@ -1,0 +1,28 @@
+//! Benchmark support for the `clustered-manet` workspace.
+//!
+//! The benches live in `benches/`:
+//!
+//! * `figures` — one Criterion group per paper artifact (FIG1–FIG5, THETA),
+//!   running reduced-size versions of the experiment harnesses so
+//!   `cargo bench` regenerates every figure's pipeline end to end.
+//! * `components` — component micro-benchmarks: simulator tick throughput,
+//!   cluster formation and maintenance, routing updates, and the
+//!   closed-form model evaluation.
+//!
+//! This library crate only hosts shared reduced-size configurations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use manet_experiments::harness::{Protocol, Scenario};
+
+/// A reduced scenario that keeps bench iterations fast while exercising
+/// the same code paths as the full experiments.
+pub fn bench_scenario() -> Scenario {
+    Scenario { nodes: 150, side: 600.0, radius: 100.0, ..Scenario::default() }
+}
+
+/// A short measurement protocol for benches.
+pub fn bench_protocol() -> Protocol {
+    Protocol { warmup: 10.0, measure: 30.0, seeds: vec![1], dt: 0.5 }
+}

@@ -1,0 +1,89 @@
+//! The minimal interface a cluster structure exposes to routing layers.
+
+use crate::engine::Clustering;
+use crate::policy::ClusterPolicy;
+use manet_sim::NodeId;
+
+/// A node→cluster-head assignment, the view the routing layers consume.
+///
+/// Implemented by the one-hop [`Clustering`] engine and by the d-hop
+/// structures in [`crate::dhop`]; anything that can say "who is `u`'s
+/// head" can drive intra-cluster routing and inter-cluster discovery.
+pub trait ClusterAssignment {
+    /// Number of nodes covered.
+    fn node_count(&self) -> usize;
+
+    /// The head of `u`'s cluster (`u` itself when `u` is a head).
+    fn cluster_head_of(&self, u: NodeId) -> NodeId;
+
+    /// Whether `u` is a cluster-head.
+    fn is_cluster_head(&self, u: NodeId) -> bool {
+        self.cluster_head_of(u) == u
+    }
+
+    /// Number of clusters.
+    fn cluster_count(&self) -> usize {
+        (0..self.node_count() as NodeId)
+            .filter(|&u| self.is_cluster_head(u))
+            .count()
+    }
+
+    /// Size of the cluster headed by `h` (head included); 0 when `h` is
+    /// not a head.
+    fn cluster_size_of(&self, h: NodeId) -> usize {
+        if !self.is_cluster_head(h) {
+            return 0;
+        }
+        (0..self.node_count() as NodeId)
+            .filter(|&u| self.cluster_head_of(u) == h)
+            .count()
+    }
+}
+
+impl<P: ClusterPolicy> ClusterAssignment for Clustering<P> {
+    fn node_count(&self) -> usize {
+        self.roles().len()
+    }
+
+    fn cluster_head_of(&self, u: NodeId) -> NodeId {
+        self.head_of(u)
+    }
+
+    fn is_cluster_head(&self, u: NodeId) -> bool {
+        self.is_head(u)
+    }
+
+    fn cluster_count(&self) -> usize {
+        self.head_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::LowestId;
+    use manet_geom::{Metric, SquareRegion, Vec2};
+    use manet_sim::Topology;
+
+    #[test]
+    fn clustering_implements_assignment_consistently() {
+        let pts: Vec<Vec2> = (0..5).map(|i| Vec2::new(i as f64, 0.0)).collect();
+        let topo =
+            Topology::compute(&pts, SquareRegion::new(100.0), 1.1, Metric::Euclidean);
+        let c = Clustering::form(LowestId, &topo);
+        let a: &dyn ClusterAssignment = &c;
+        assert_eq!(a.node_count(), 5);
+        assert_eq!(a.cluster_count(), c.head_count());
+        for u in 0..5u32 {
+            assert_eq!(a.cluster_head_of(u), c.head_of(u));
+            assert_eq!(a.is_cluster_head(u), c.is_head(u));
+        }
+        // Cluster sizes partition the node set.
+        let total: usize = (0..5u32)
+            .filter(|&h| a.is_cluster_head(h))
+            .map(|h| a.cluster_size_of(h))
+            .sum();
+        assert_eq!(total, 5);
+        assert_eq!(a.cluster_size_of(1), 0, "non-heads have size 0");
+    }
+}

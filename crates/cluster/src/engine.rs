@@ -1,0 +1,645 @@
+//! Cluster formation and reactive LCC-style maintenance.
+
+use crate::policy::ClusterPolicy;
+use crate::Role;
+use manet_sim::{NodeId, Topology};
+use std::fmt;
+
+/// A violation of the one-hop clustering invariants P1/P2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InvariantViolation {
+    /// Two cluster-heads are directly connected (violates P1).
+    AdjacentHeads(NodeId, NodeId),
+    /// A member's head is not currently a head (violates P2).
+    HeadIsNotHead {
+        /// The misaffiliated member.
+        member: NodeId,
+        /// Its recorded (non-)head.
+        head: NodeId,
+    },
+    /// A member is not within one hop of its head (violates P2).
+    HeadOutOfRange {
+        /// The stranded member.
+        member: NodeId,
+        /// Its recorded head.
+        head: NodeId,
+    },
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            InvariantViolation::AdjacentHeads(a, b) => {
+                write!(f, "cluster-heads {a} and {b} are directly connected (P1)")
+            }
+            InvariantViolation::HeadIsNotHead { member, head } => {
+                write!(f, "member {member} is affiliated with {head}, which is not a head (P2)")
+            }
+            InvariantViolation::HeadOutOfRange { member, head } => {
+                write!(f, "member {member} is out of range of its head {head} (P2)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InvariantViolation {}
+
+/// Why a member lost its affiliation during a maintenance pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OrphanCause {
+    /// The member↔head link broke (the paper's first CLUSTER trigger).
+    LinkBroke,
+    /// The member's head resigned after a head–head contact (part of the
+    /// paper's second CLUSTER trigger).
+    HeadResigned,
+}
+
+/// CLUSTER-message accounting for one maintenance pass, decomposed by
+/// trigger so the analytical terms of Eqns 6–11 can be validated
+/// independently.
+///
+/// Every field counts messages; each re-affiliation, promotion, or
+/// resignation transmits exactly one CLUSTER message (the paper's
+/// lower-bound convention).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MaintenanceOutcome {
+    /// Members that lost the link to their head and joined another head.
+    pub break_reaffiliations: u64,
+    /// Members that lost the link to their head and promoted themselves.
+    pub break_promotions: u64,
+    /// Heads that resigned after coming into contact with a stronger head.
+    pub contact_resignations: u64,
+    /// Members re-homed because their head resigned.
+    pub contact_reaffiliations: u64,
+    /// Members promoted because their head resigned and no head was in
+    /// range.
+    pub contact_promotions: u64,
+}
+
+impl MaintenanceOutcome {
+    /// Messages attributable to member–head link breaks (paper Eqns 6–7).
+    pub fn break_triggered_messages(&self) -> u64 {
+        self.break_reaffiliations + self.break_promotions
+    }
+
+    /// Messages attributable to head–head contacts (paper Eqns 8–10).
+    pub fn contact_triggered_messages(&self) -> u64 {
+        self.contact_resignations + self.contact_reaffiliations + self.contact_promotions
+    }
+
+    /// All CLUSTER messages transmitted in this pass.
+    pub fn total_messages(&self) -> u64 {
+        self.break_triggered_messages() + self.contact_triggered_messages()
+    }
+
+    /// Accumulates another pass into this one.
+    pub fn absorb(&mut self, other: MaintenanceOutcome) {
+        self.break_reaffiliations += other.break_reaffiliations;
+        self.break_promotions += other.break_promotions;
+        self.contact_resignations += other.contact_resignations;
+        self.contact_reaffiliations += other.contact_reaffiliations;
+        self.contact_promotions += other.contact_promotions;
+    }
+}
+
+/// Convergence statistics of the formation stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FormationStats {
+    /// Synchronous local-maxima rounds until every node was decided.
+    pub rounds: usize,
+}
+
+/// A live one-hop cluster structure: per-node roles plus the policy that
+/// arbitrates headship contests.
+///
+/// Construct with [`Clustering::form`] (the initial formation stage, whose
+/// messages the paper does not count) and keep consistent with a moving
+/// topology by calling [`Clustering::maintain`] every tick.
+#[derive(Debug, Clone)]
+pub struct Clustering<P> {
+    policy: P,
+    roles: Vec<Role>,
+}
+
+impl<P: ClusterPolicy> Clustering<P> {
+    /// Runs the formation stage on a static topology.
+    ///
+    /// Iterative local-maxima rounds: an undecided node whose priority beats
+    /// every undecided neighbor becomes a head; undecided neighbors of new
+    /// heads immediately join their best neighboring head. For
+    /// [`LowestId`](crate::LowestId) this computes exactly the classic LID
+    /// outcome.
+    pub fn form(policy: P, topology: &Topology) -> Self {
+        Self::form_with_stats(policy, topology).0
+    }
+
+    /// [`form`](Self::form), also reporting how many synchronous rounds the
+    /// distributed algorithm needs to converge — the "convergence time"
+    /// metric of the authors' companion analysis (Er & Seah, PMWMNC 2005).
+    pub fn form_with_stats(policy: P, topology: &Topology) -> (Self, FormationStats) {
+        let n = topology.len();
+        let mut roles: Vec<Option<Role>> = vec![None; n];
+        let mut undecided = n;
+        let mut rounds = 0usize;
+        while undecided > 0 {
+            rounds += 1;
+            // Heads of this round: undecided local maxima among undecided
+            // closed neighborhoods. No two can be adjacent.
+            let mut round_heads = Vec::new();
+            for u in 0..n as NodeId {
+                if roles[u as usize].is_some() {
+                    continue;
+                }
+                let pu = policy.priority(u, topology);
+                let wins = topology
+                    .neighbors(u)
+                    .iter()
+                    .filter(|&&w| roles[w as usize].is_none())
+                    .all(|&w| pu > policy.priority(w, topology));
+                if wins {
+                    round_heads.push(u);
+                }
+            }
+            debug_assert!(!round_heads.is_empty(), "formation must make progress");
+            for &h in &round_heads {
+                roles[h as usize] = Some(Role::Head);
+                undecided -= 1;
+            }
+            // Undecided neighbors of the new heads join their best
+            // neighboring head.
+            for &h in &round_heads {
+                for &w in topology.neighbors(h) {
+                    if roles[w as usize].is_some() {
+                        continue;
+                    }
+                    let best = topology
+                        .neighbors(w)
+                        .iter()
+                        .filter(|&&x| matches!(roles[x as usize], Some(Role::Head)))
+                        .max_by_key(|&&x| policy.priority(x, topology))
+                        .copied()
+                        .expect("w is adjacent to at least head h");
+                    roles[w as usize] = Some(Role::Member { head: best });
+                    undecided -= 1;
+                }
+            }
+        }
+        let roles = roles.into_iter().map(|r| r.expect("all nodes decided")).collect();
+        (Clustering { policy, roles }, FormationStats { rounds })
+    }
+
+    /// Repairs the cluster structure against a new topology, returning the
+    /// CLUSTER messages this pass would transmit.
+    ///
+    /// Reactive LCC semantics — nothing changes unless P1/P2 broke:
+    ///
+    /// 1. members whose head link disappeared are orphaned;
+    /// 2. adjacent head pairs are resolved lowest-pair-first: the
+    ///    lower-priority head resigns (one message), joins the winner, and
+    ///    orphans its members;
+    /// 3. orphans re-affiliate with their best neighboring head (one message
+    ///    each) or promote themselves to head (one message) when no head is
+    ///    in range. Orphans are processed in id order, so a freshly promoted
+    ///    orphan can adopt later orphans — chain reactions are executed and
+    ///    counted, which is why measured counts can slightly exceed the
+    ///    paper's lower bound.
+    pub fn maintain(&mut self, topology: &Topology) -> MaintenanceOutcome {
+        assert_eq!(
+            topology.len(),
+            self.roles.len(),
+            "topology node count changed under a live clustering"
+        );
+        let mut outcome = MaintenanceOutcome::default();
+        let n = self.roles.len();
+        let mut orphan_cause: Vec<Option<OrphanCause>> = vec![None; n];
+
+        // Phase 1: members that lost the link to their head.
+        for u in 0..n as NodeId {
+            if let Role::Member { head } = self.roles[u as usize] {
+                if !topology.are_linked(u, head) {
+                    orphan_cause[u as usize] = Some(OrphanCause::LinkBroke);
+                }
+            }
+        }
+
+        // Phase 2: resolve head–head contacts, lowest pair first.
+        loop {
+            let mut contact: Option<(NodeId, NodeId)> = None;
+            'scan: for a in 0..n as NodeId {
+                if !self.roles[a as usize].is_head() {
+                    continue;
+                }
+                for &b in topology.neighbors(a) {
+                    if b > a && self.roles[b as usize].is_head() {
+                        contact = Some((a, b));
+                        break 'scan;
+                    }
+                }
+            }
+            let Some((a, b)) = contact else { break };
+            let (winner, loser) =
+                if self.policy.priority(a, topology) > self.policy.priority(b, topology) {
+                    (a, b)
+                } else {
+                    (b, a)
+                };
+            // The loser resigns and announces its new affiliation: 1 msg.
+            self.roles[loser as usize] = Role::Member { head: winner };
+            outcome.contact_resignations += 1;
+            orphan_cause[loser as usize] = None; // it just re-homed itself
+            // Its members are orphaned (unless already orphaned by a break).
+            for m in 0..n as NodeId {
+                if let Role::Member { head } = self.roles[m as usize] {
+                    if head == loser && orphan_cause[m as usize].is_none() {
+                        orphan_cause[m as usize] = Some(OrphanCause::HeadResigned);
+                    }
+                }
+            }
+        }
+
+        // Phase 3: orphans re-affiliate or promote, in id order.
+        for u in 0..n as NodeId {
+            let Some(cause) = orphan_cause[u as usize] else { continue };
+            let best_head = topology
+                .neighbors(u)
+                .iter()
+                .filter(|&&x| self.roles[x as usize].is_head())
+                .max_by_key(|&&x| self.policy.priority(x, topology))
+                .copied();
+            match (best_head, cause) {
+                (Some(h), OrphanCause::LinkBroke) => {
+                    self.roles[u as usize] = Role::Member { head: h };
+                    outcome.break_reaffiliations += 1;
+                }
+                (Some(h), OrphanCause::HeadResigned) => {
+                    self.roles[u as usize] = Role::Member { head: h };
+                    outcome.contact_reaffiliations += 1;
+                }
+                (None, OrphanCause::LinkBroke) => {
+                    self.roles[u as usize] = Role::Head;
+                    outcome.break_promotions += 1;
+                }
+                (None, OrphanCause::HeadResigned) => {
+                    self.roles[u as usize] = Role::Head;
+                    outcome.contact_promotions += 1;
+                }
+            }
+        }
+
+        debug_assert_eq!(self.check_invariants(topology), Ok(()));
+        outcome
+    }
+
+    /// Verifies P1 and P2 against a topology.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found, scanning nodes in id order.
+    pub fn check_invariants(&self, topology: &Topology) -> Result<(), InvariantViolation> {
+        for u in 0..self.roles.len() as NodeId {
+            match self.roles[u as usize] {
+                Role::Head => {
+                    for &w in topology.neighbors(u) {
+                        if w > u && self.roles[w as usize].is_head() {
+                            return Err(InvariantViolation::AdjacentHeads(u, w));
+                        }
+                    }
+                }
+                Role::Member { head } => {
+                    if !self.roles[head as usize].is_head() {
+                        return Err(InvariantViolation::HeadIsNotHead { member: u, head });
+                    }
+                    if !topology.are_linked(u, head) {
+                        return Err(InvariantViolation::HeadOutOfRange { member: u, head });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> &P {
+        &self.policy
+    }
+
+    /// Per-node roles, indexed by node id.
+    pub fn roles(&self) -> &[Role] {
+        &self.roles
+    }
+
+    /// Role of node `u`.
+    pub fn role(&self, u: NodeId) -> Role {
+        self.roles[u as usize]
+    }
+
+    /// Whether node `u` is a cluster-head.
+    pub fn is_head(&self, u: NodeId) -> bool {
+        self.roles[u as usize].is_head()
+    }
+
+    /// The head of node `u`'s cluster (`u` itself when `u` is a head).
+    pub fn head_of(&self, u: NodeId) -> NodeId {
+        match self.roles[u as usize] {
+            Role::Head => u,
+            Role::Member { head } => head,
+        }
+    }
+
+    /// Number of cluster-heads (= number of clusters).
+    pub fn head_count(&self) -> usize {
+        self.roles.iter().filter(|r| r.is_head()).count()
+    }
+
+    /// Fraction of nodes that are heads — the paper's `P`.
+    pub fn head_ratio(&self) -> f64 {
+        if self.roles.is_empty() {
+            0.0
+        } else {
+            self.head_count() as f64 / self.roles.len() as f64
+        }
+    }
+
+    /// Members of head `h` (excluding `h` itself); empty when `h` is not a
+    /// head.
+    pub fn members_of(&self, h: NodeId) -> Vec<NodeId> {
+        self.roles
+            .iter()
+            .enumerate()
+            .filter_map(|(u, r)| match r {
+                Role::Member { head } if *head == h => Some(u as NodeId),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// All clusters as `(head, members)` pairs, ordered by head id.
+    pub fn clusters(&self) -> Vec<(NodeId, Vec<NodeId>)> {
+        (0..self.roles.len() as NodeId)
+            .filter(|&h| self.is_head(h))
+            .map(|h| (h, self.members_of(h)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{HighestConnectivity, LowestId};
+    use manet_geom::{Metric, SquareRegion, Vec2};
+
+    /// Builds a topology from explicit positions with unit-disk radius.
+    fn topo(positions: &[(f64, f64)], radius: f64) -> Topology {
+        let pts: Vec<Vec2> = positions.iter().map(|&(x, y)| Vec2::new(x, y)).collect();
+        Topology::compute(&pts, SquareRegion::new(1000.0), radius, Metric::Euclidean)
+    }
+
+    /// A path topology 0—1—2—…—(k−1), spacing 1, radius 1.1.
+    fn path(k: usize) -> Topology {
+        let pts: Vec<(f64, f64)> = (0..k).map(|i| (i as f64, 0.0)).collect();
+        topo(&pts, 1.1)
+    }
+
+    #[test]
+    fn lid_formation_on_a_path_matches_the_spec() {
+        // Sequential LID on a 5-path: 0 heads {0,1}; 2 is the smallest
+        // undecided in {2,3}; 4 is alone. Heads = {0, 2, 4}.
+        let t = path(5);
+        let c = Clustering::form(LowestId, &t);
+        assert_eq!(
+            c.roles(),
+            &[
+                Role::Head,
+                Role::Member { head: 0 },
+                Role::Head,
+                Role::Member { head: 2 },
+                Role::Head,
+            ]
+        );
+        assert_eq!(c.head_count(), 3);
+        assert!((c.head_ratio() - 0.6).abs() < 1e-12);
+        c.check_invariants(&t).unwrap();
+    }
+
+    #[test]
+    fn formation_star_prefers_center_under_hcc_but_not_lid() {
+        // Star: center node 4 adjacent to 0..3 (which are pairwise far).
+        let pts = [(0.0, 10.0), (20.0, 10.0), (10.0, 0.0), (10.0, 20.0), (10.0, 10.0)];
+        let t = topo(&pts, 11.0);
+        let lid = Clustering::form(LowestId, &t);
+        // LID: node 0 is the global minimum → head; center 4 joins 0; the
+        // leaves 1,2,3 are then alone among undecided → heads.
+        assert!(lid.is_head(0));
+        assert_eq!(lid.role(4), Role::Member { head: 0 });
+        assert!(lid.is_head(1) && lid.is_head(2) && lid.is_head(3));
+        lid.check_invariants(&t).unwrap();
+
+        let hcc = Clustering::form(HighestConnectivity, &t);
+        // HCC: the center has degree 4, beats every leaf.
+        assert!(hcc.is_head(4));
+        for leaf in 0..4 {
+            assert_eq!(hcc.role(leaf), Role::Member { head: 4 });
+        }
+        hcc.check_invariants(&t).unwrap();
+        assert_eq!(hcc.head_count(), 1);
+    }
+
+    #[test]
+    fn isolated_nodes_become_singleton_heads() {
+        let t = topo(&[(0.0, 0.0), (100.0, 100.0)], 1.0);
+        let c = Clustering::form(LowestId, &t);
+        assert!(c.is_head(0) && c.is_head(1));
+        assert_eq!(c.clusters(), vec![(0, vec![]), (1, vec![])]);
+    }
+
+    #[test]
+    fn member_head_break_reaffiliates_to_another_head() {
+        // 0—1—2: LID heads {0, 2}? No: 0 heads {0,1}; 2 smallest undecided
+        // among {2} → head. 1 is member of 0.
+        let t0 = path(3);
+        let mut c = Clustering::form(LowestId, &t0);
+        assert_eq!(c.role(1), Role::Member { head: 0 });
+        // Node 0 moves away; 1 stays adjacent to 2 only.
+        let t1 = topo(&[(500.0, 0.0), (1.0, 0.0), (2.0, 0.0)], 1.1);
+        let o = c.maintain(&t1);
+        assert_eq!(c.role(1), Role::Member { head: 2 });
+        assert_eq!(o.break_reaffiliations, 1);
+        assert_eq!(o.total_messages(), 1);
+        c.check_invariants(&t1).unwrap();
+    }
+
+    #[test]
+    fn member_head_break_promotes_when_no_head_in_range() {
+        let t0 = path(2); // 0 head, 1 member of 0
+        let mut c = Clustering::form(LowestId, &t0);
+        let t1 = topo(&[(0.0, 0.0), (50.0, 0.0)], 1.1);
+        let o = c.maintain(&t1);
+        assert!(c.is_head(1));
+        assert_eq!(o.break_promotions, 1);
+        assert_eq!(o.total_messages(), 1);
+        c.check_invariants(&t1).unwrap();
+    }
+
+    #[test]
+    fn head_contact_resigns_the_weaker_head_and_rehomes_members() {
+        // Two 2-clusters far apart: heads 0 and 2 with members 1 and 3.
+        let t0 = topo(&[(0.0, 0.0), (1.0, 0.0), (10.0, 0.0), (11.0, 0.0)], 1.1);
+        let mut c = Clustering::form(LowestId, &t0);
+        assert!(c.is_head(0) && c.is_head(2));
+        // Heads drift into contact; everyone ends up mutually visible
+        // except nothing else changes.
+        let t1 = topo(&[(5.0, 0.0), (4.5, 0.0), (5.5, 0.0), (6.0, 0.0)], 2.0);
+        let o = c.maintain(&t1);
+        // LID: head 0 beats head 2; 2 resigns and joins 0 (1 msg); 2's
+        // member 3 re-homes (1 msg) — it is adjacent to 0 here.
+        assert!(c.is_head(0));
+        assert_eq!(c.role(2), Role::Member { head: 0 });
+        assert_eq!(c.role(3), Role::Member { head: 0 });
+        assert_eq!(o.contact_resignations, 1);
+        assert_eq!(o.contact_reaffiliations, 1);
+        assert_eq!(o.total_messages(), 2);
+        c.check_invariants(&t1).unwrap();
+    }
+
+    #[test]
+    fn head_contact_member_out_of_winner_range_promotes() {
+        // Head 0 at x=0; head 1 at x=1.4 with member 2 at x=2.8 (radius
+        // 1.5): after contact, 1 resigns to 0; 2 hears no head (0 is at
+        // distance 2.8, 1 resigned) → promotes itself.
+        let pts = [(0.0, 0.0), (1.4, 0.0), (2.8, 0.0)];
+        let t0 = topo(&[(0.0, 0.0), (20.0, 0.0), (21.4, 0.0)], 1.5);
+        let mut c = Clustering::form(LowestId, &t0);
+        assert!(c.is_head(0) && c.is_head(1));
+        assert_eq!(c.role(2), Role::Member { head: 1 });
+        let t1 = topo(&pts, 1.5);
+        let o = c.maintain(&t1);
+        assert!(c.is_head(0));
+        assert_eq!(c.role(1), Role::Member { head: 0 });
+        assert!(c.is_head(2), "stranded member promotes");
+        assert_eq!(o.contact_resignations, 1);
+        assert_eq!(o.contact_promotions, 1);
+        c.check_invariants(&t1).unwrap();
+    }
+
+    #[test]
+    fn chain_reaction_is_executed_and_counted() {
+        // Three heads in a row coming into mutual contact: 0—1—2 all heads
+        // before the tick (they were far apart).
+        let t0 = topo(&[(0.0, 0.0), (10.0, 0.0), (20.0, 0.0)], 1.1);
+        let mut c = Clustering::form(LowestId, &t0);
+        assert_eq!(c.head_count(), 3);
+        let t1 = path(3);
+        let o = c.maintain(&t1);
+        // Contacts: (0,1) → 1 resigns to 0. Then (0,2)? Not adjacent (path).
+        // 2 stays head; no member of 1 existed.
+        assert!(c.is_head(0));
+        assert_eq!(c.role(1), Role::Member { head: 0 });
+        assert!(c.is_head(2));
+        assert_eq!(o.contact_resignations, 1);
+        assert_eq!(o.total_messages(), 1);
+        c.check_invariants(&t1).unwrap();
+    }
+
+    #[test]
+    fn no_events_means_no_messages() {
+        let t = path(6);
+        let mut c = Clustering::form(LowestId, &t);
+        let o = c.maintain(&t);
+        assert_eq!(o, MaintenanceOutcome::default());
+        assert_eq!(o.total_messages(), 0);
+    }
+
+    #[test]
+    fn outcome_absorb_accumulates() {
+        let mut a = MaintenanceOutcome {
+            break_reaffiliations: 1,
+            break_promotions: 2,
+            contact_resignations: 3,
+            contact_reaffiliations: 4,
+            contact_promotions: 5,
+        };
+        a.absorb(a);
+        assert_eq!(a.total_messages(), 30);
+        assert_eq!(a.break_triggered_messages(), 6);
+        assert_eq!(a.contact_triggered_messages(), 24);
+    }
+
+    #[test]
+    fn invariant_checker_reports_violations() {
+        let t = path(2);
+        let c = Clustering { policy: LowestId, roles: vec![Role::Head, Role::Head] };
+        assert_eq!(c.check_invariants(&t), Err(InvariantViolation::AdjacentHeads(0, 1)));
+        let c = Clustering {
+            policy: LowestId,
+            roles: vec![Role::Member { head: 1 }, Role::Member { head: 0 }],
+        };
+        assert!(matches!(
+            c.check_invariants(&t),
+            Err(InvariantViolation::HeadIsNotHead { member: 0, head: 1 })
+        ));
+        let t_far = topo(&[(0.0, 0.0), (50.0, 0.0)], 1.0);
+        let c = Clustering {
+            policy: LowestId,
+            roles: vec![Role::Head, Role::Member { head: 0 }],
+        };
+        assert!(matches!(
+            c.check_invariants(&t_far),
+            Err(InvariantViolation::HeadOutOfRange { member: 1, head: 0 })
+        ));
+        // Display is informative.
+        let msg = InvariantViolation::AdjacentHeads(3, 4).to_string();
+        assert!(msg.contains("P1"));
+    }
+
+    #[test]
+    fn head_of_and_members_of() {
+        let t = path(3);
+        let c = Clustering::form(LowestId, &t);
+        assert_eq!(c.head_of(0), 0);
+        assert_eq!(c.head_of(1), 0);
+        assert_eq!(c.members_of(0), vec![1]);
+        assert!(c.members_of(1).is_empty());
+        assert_eq!(c.policy().name(), "lowest-id");
+    }
+}
+
+#[cfg(test)]
+mod formation_stats_tests {
+    use super::*;
+    use crate::policy::LowestId;
+    use manet_geom::{Metric, SquareRegion, Vec2};
+
+    #[test]
+    fn descending_id_path_needs_many_rounds() {
+        // Reversed ids along a path force sequential decisions: the global
+        // minimum sits at one end and each round only peels a few nodes.
+        let k = 12usize;
+        let pts: Vec<Vec2> = (0..k).map(|i| Vec2::new((k - 1 - i) as f64, 0.0)).collect();
+        let topo = Topology::compute(&pts, SquareRegion::new(100.0), 1.1, Metric::Euclidean);
+        let (c, stats) = Clustering::form_with_stats(LowestId, &topo);
+        c.check_invariants(&topo).unwrap();
+        assert!(stats.rounds >= 3, "rounds {}", stats.rounds);
+    }
+
+    #[test]
+    fn single_round_when_every_head_wins_immediately() {
+        // Isolated nodes: everyone is a local maximum in round 1.
+        let pts = [Vec2::new(0.0, 0.0), Vec2::new(50.0, 50.0)];
+        let topo = Topology::compute(&pts, SquareRegion::new(100.0), 1.0, Metric::Euclidean);
+        let (_, stats) = Clustering::form_with_stats(LowestId, &topo);
+        assert_eq!(stats.rounds, 1);
+    }
+
+    #[test]
+    fn rounds_grow_slowly_with_network_size() {
+        use manet_sim::SimBuilder;
+        let mut prev = 0usize;
+        for n in [100usize, 400] {
+            let world = SimBuilder::new().nodes(n).seed(3).build();
+            let (_, stats) = Clustering::form_with_stats(LowestId, world.topology());
+            assert!(stats.rounds < 30, "rounds {}", stats.rounds);
+            prev = prev.max(stats.rounds);
+        }
+        assert!(prev >= 1);
+    }
+}

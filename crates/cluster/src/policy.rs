@@ -1,0 +1,185 @@
+//! Headship policies: who wins a clustering contest.
+
+use manet_sim::{NodeId, Topology};
+use std::cmp::Ordering;
+
+/// A comparable headship priority. Higher [`Priority`] wins contests
+/// (formation local-maxima, orphan head selection, head-contact
+/// resolution).
+///
+/// Ordering: larger `weight` wins; ties go to the **lower** node id, which
+/// makes every policy total and deterministic and reduces to classic
+/// Lowest-ID when all weights are equal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Priority {
+    /// Policy-defined weight (higher wins).
+    pub weight: f64,
+    /// The node this priority belongs to (lower id breaks ties).
+    pub node: NodeId,
+}
+
+impl Eq for Priority {}
+
+impl Ord for Priority {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.weight
+            .total_cmp(&other.weight)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for Priority {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A one-hop clustering policy: assigns each node a headship priority,
+/// possibly as a function of the current topology.
+pub trait ClusterPolicy {
+    /// Priority of `node` under the current `topology`; higher wins.
+    fn priority(&self, node: NodeId, topology: &Topology) -> Priority;
+
+    /// Short human-readable policy name.
+    fn name(&self) -> &'static str;
+}
+
+/// The Lowest-ID algorithm (Gerla & Tsai; the paper's Section 5 case
+/// study): the node with the smallest identifier in its closed undecided
+/// neighborhood becomes head.
+///
+/// Implemented as a constant weight so the id tie-break decides everything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LowestId;
+
+impl ClusterPolicy for LowestId {
+    fn priority(&self, node: NodeId, _topology: &Topology) -> Priority {
+        Priority { weight: 0.0, node }
+    }
+
+    fn name(&self) -> &'static str {
+        "lowest-id"
+    }
+}
+
+/// Highest-Connectivity Clustering (HCC, Gerla & Tsai): the node with the
+/// largest degree wins, ties broken by lower id.
+///
+/// Degree is read from the live topology, so priorities shift as nodes
+/// move — exactly the instability that motivated LCC-style maintenance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HighestConnectivity;
+
+impl ClusterPolicy for HighestConnectivity {
+    fn priority(&self, node: NodeId, topology: &Topology) -> Priority {
+        Priority { weight: topology.degree(node) as f64, node }
+    }
+
+    fn name(&self) -> &'static str {
+        "highest-connectivity"
+    }
+}
+
+/// DMAC-style generic node weights (Basagni): each node carries a fixed
+/// application-defined weight (residual energy, stability score, …) and the
+/// heaviest node in a neighborhood wins.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StaticWeights {
+    weights: Vec<f64>,
+}
+
+impl StaticWeights {
+    /// Creates a policy from per-node weights (indexed by node id).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any weight is NaN.
+    pub fn new(weights: Vec<f64>) -> Self {
+        assert!(weights.iter().all(|w| !w.is_nan()), "weights must not be NaN");
+        StaticWeights { weights }
+    }
+
+    /// The weight table.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+}
+
+impl ClusterPolicy for StaticWeights {
+    /// # Panics
+    ///
+    /// Panics if `node` has no weight entry.
+    fn priority(&self, node: NodeId, _topology: &Topology) -> Priority {
+        Priority { weight: self.weights[node as usize], node }
+    }
+
+    fn name(&self) -> &'static str {
+        "static-weights"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empty_topology(n: usize) -> Topology {
+        Topology::empty(n)
+    }
+
+    #[test]
+    fn priority_orders_by_weight_then_low_id() {
+        let hi = Priority { weight: 2.0, node: 9 };
+        let lo = Priority { weight: 1.0, node: 0 };
+        assert!(hi > lo);
+        let a = Priority { weight: 1.0, node: 3 };
+        let b = Priority { weight: 1.0, node: 7 };
+        assert!(a > b, "equal weight: lower id wins");
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn lowest_id_reduces_to_id_order() {
+        let topo = empty_topology(5);
+        let p = LowestId;
+        assert!(p.priority(0, &topo) > p.priority(1, &topo));
+        assert!(p.priority(3, &topo) > p.priority(4, &topo));
+        assert_eq!(p.name(), "lowest-id");
+    }
+
+    #[test]
+    fn highest_connectivity_uses_degree() {
+        // Star around node 2: degrees [1, 1, 3, 1].
+        let positions = [
+            manet_geom::Vec2::new(0.0, 1.0),
+            manet_geom::Vec2::new(1.0, 0.0),
+            manet_geom::Vec2::new(1.0, 1.0),
+            manet_geom::Vec2::new(2.0, 1.0),
+        ];
+        let topo = Topology::compute(
+            &positions,
+            manet_geom::SquareRegion::new(10.0),
+            1.1,
+            manet_geom::Metric::Euclidean,
+        );
+        let p = HighestConnectivity;
+        assert!(p.priority(2, &topo) > p.priority(0, &topo));
+        assert!(p.priority(0, &topo) > p.priority(1, &topo), "tie → lower id");
+        assert_eq!(p.name(), "highest-connectivity");
+    }
+
+    #[test]
+    fn static_weights_orders_by_table() {
+        let topo = empty_topology(3);
+        let p = StaticWeights::new(vec![0.5, 2.0, 1.0]);
+        assert!(p.priority(1, &topo) > p.priority(2, &topo));
+        assert!(p.priority(2, &topo) > p.priority(0, &topo));
+        assert_eq!(p.weights(), &[0.5, 2.0, 1.0]);
+        assert_eq!(p.name(), "static-weights");
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_weights_panic() {
+        StaticWeights::new(vec![f64::NAN]);
+    }
+}

@@ -1,0 +1,163 @@
+//! Cluster stability metrics: head lifetimes and membership residence.
+//!
+//! LCC-style maintenance exists to maximize structural stability; these
+//! metrics quantify it. Two distributions are tracked from the role
+//! history:
+//!
+//! * **head lifetime** — how long a node keeps the head role once it
+//!   gains it (ends on resignation);
+//! * **membership residence** — how long a member stays affiliated with
+//!   one particular head (ends on any re-affiliation or promotion).
+//!
+//! These are the standard stability metrics of the clustering literature
+//! (e.g. the MobDHop evaluation the paper's authors published) and drive
+//! the `cluster_stability` experiment comparing policies.
+
+use crate::engine::Clustering;
+use crate::policy::ClusterPolicy;
+use crate::Role;
+use manet_util::stats::Summary;
+
+/// Tracks role transitions over time and accumulates stability statistics.
+#[derive(Debug, Clone)]
+pub struct StabilityTracker {
+    /// Previous role per node.
+    prev: Vec<Role>,
+    /// When the node entered its current role-association.
+    since: Vec<f64>,
+    head_lifetimes: Summary,
+    membership_residences: Summary,
+    role_changes: u64,
+}
+
+impl StabilityTracker {
+    /// Starts tracking from the current structure at time `now`.
+    pub fn new<P: ClusterPolicy>(clustering: &Clustering<P>, now: f64) -> Self {
+        let prev = clustering.roles().to_vec();
+        StabilityTracker {
+            since: vec![now; prev.len()],
+            prev,
+            head_lifetimes: Summary::new(),
+            membership_residences: Summary::new(),
+            role_changes: 0,
+        }
+    }
+
+    /// Observes the structure at time `now`, closing any ended role spells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node count changed.
+    pub fn observe<P: ClusterPolicy>(&mut self, clustering: &Clustering<P>, now: f64) {
+        let roles = clustering.roles();
+        assert_eq!(roles.len(), self.prev.len(), "node count changed");
+        for (u, &role) in roles.iter().enumerate() {
+            if role == self.prev[u] {
+                continue;
+            }
+            let held = now - self.since[u];
+            match self.prev[u] {
+                Role::Head => self.head_lifetimes.push(held),
+                Role::Member { .. } => self.membership_residences.push(held),
+            }
+            self.prev[u] = role;
+            self.since[u] = now;
+            self.role_changes += 1;
+        }
+    }
+
+    /// Completed head-lifetime statistics.
+    pub fn head_lifetimes(&self) -> Summary {
+        self.head_lifetimes
+    }
+
+    /// Completed membership-residence statistics.
+    pub fn membership_residences(&self) -> Summary {
+        self.membership_residences
+    }
+
+    /// Total role-association changes observed.
+    pub fn role_changes(&self) -> u64 {
+        self.role_changes
+    }
+
+    /// Role changes per node per second over a window of `elapsed` seconds.
+    pub fn change_rate(&self, elapsed: f64) -> f64 {
+        if elapsed <= 0.0 || self.prev.is_empty() {
+            0.0
+        } else {
+            self.role_changes as f64 / self.prev.len() as f64 / elapsed
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::LowestId;
+    use manet_geom::{Metric, SquareRegion, Vec2};
+    use manet_sim::Topology;
+
+    fn topo(positions: &[(f64, f64)], radius: f64) -> Topology {
+        let pts: Vec<Vec2> = positions.iter().map(|&(x, y)| Vec2::new(x, y)).collect();
+        Topology::compute(&pts, SquareRegion::new(1000.0), radius, Metric::Euclidean)
+    }
+
+    #[test]
+    fn closes_spells_on_role_change() {
+        // Cluster {0:head, 1:member}; node 1 walks away at t=10 and
+        // becomes a head.
+        let t0 = topo(&[(0.0, 0.0), (1.0, 0.0)], 1.1);
+        let mut c = Clustering::form(LowestId, &t0);
+        let mut tracker = StabilityTracker::new(&c, 0.0);
+        let t1 = topo(&[(0.0, 0.0), (500.0, 0.0)], 1.1);
+        c.maintain(&t1);
+        tracker.observe(&c, 10.0);
+        // Node 1's membership spell of 10 s ended; node 0 kept its role.
+        assert_eq!(tracker.role_changes(), 1);
+        assert_eq!(tracker.membership_residences().count(), 1);
+        assert_eq!(tracker.membership_residences().mean(), 10.0);
+        assert_eq!(tracker.head_lifetimes().count(), 0);
+        assert!((tracker.change_rate(10.0) - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn head_resignation_closes_a_head_spell() {
+        // Two singleton heads merge: the higher id resigns.
+        let t0 = topo(&[(0.0, 0.0), (500.0, 0.0)], 1.1);
+        let mut c = Clustering::form(LowestId, &t0);
+        let mut tracker = StabilityTracker::new(&c, 0.0);
+        let t1 = topo(&[(0.0, 0.0), (1.0, 0.0)], 1.1);
+        c.maintain(&t1);
+        tracker.observe(&c, 7.5);
+        assert_eq!(tracker.head_lifetimes().count(), 1);
+        assert_eq!(tracker.head_lifetimes().mean(), 7.5);
+    }
+
+    #[test]
+    fn unchanged_structure_records_nothing() {
+        let t0 = topo(&[(0.0, 0.0), (1.0, 0.0)], 1.1);
+        let c = Clustering::form(LowestId, &t0);
+        let mut tracker = StabilityTracker::new(&c, 0.0);
+        for k in 1..10 {
+            tracker.observe(&c, k as f64);
+        }
+        assert_eq!(tracker.role_changes(), 0);
+        assert_eq!(tracker.change_rate(9.0), 0.0);
+    }
+
+    #[test]
+    fn member_switching_heads_counts_as_a_change() {
+        // Member 1 of head 0 switches to head 2 when 0 departs.
+        let t0 = topo(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)], 1.1);
+        let mut c = Clustering::form(LowestId, &t0);
+        assert_eq!(c.role(1), Role::Member { head: 0 });
+        let mut tracker = StabilityTracker::new(&c, 0.0);
+        let t1 = topo(&[(500.0, 0.0), (1.0, 0.0), (2.0, 0.0)], 1.1);
+        c.maintain(&t1);
+        tracker.observe(&c, 3.0);
+        assert_eq!(c.role(1), Role::Member { head: 2 });
+        assert_eq!(tracker.membership_residences().count(), 1);
+        assert_eq!(tracker.membership_residences().mean(), 3.0);
+    }
+}

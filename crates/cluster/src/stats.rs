@@ -1,0 +1,99 @@
+//! Cluster-structure statistics: the paper's `P` (head ratio) and `m`
+//! (mean cluster size), plus size dispersion.
+
+use crate::engine::Clustering;
+use crate::policy::ClusterPolicy;
+use manet_util::stats::Summary;
+
+/// Snapshot statistics of a cluster structure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterStats {
+    /// Total nodes `N`.
+    pub node_count: usize,
+    /// Number of clusters `n` (= number of heads).
+    pub cluster_count: usize,
+    /// Head ratio `P = n/N`.
+    pub head_ratio: f64,
+    /// Mean cluster size `m = N/n` (head included), 0 when no clusters.
+    pub mean_cluster_size: f64,
+    /// Largest cluster size.
+    pub max_cluster_size: usize,
+    /// Sample standard deviation of cluster sizes.
+    pub cluster_size_std_dev: f64,
+}
+
+impl ClusterStats {
+    /// Computes statistics from a live clustering.
+    pub fn measure<P: ClusterPolicy>(clustering: &Clustering<P>) -> Self {
+        let node_count = clustering.roles().len();
+        let clusters = clustering.clusters();
+        let cluster_count = clusters.len();
+        let mut sizes = Summary::new();
+        let mut max_cluster_size = 0usize;
+        for (_, members) in &clusters {
+            let size = members.len() + 1;
+            sizes.push(size as f64);
+            max_cluster_size = max_cluster_size.max(size);
+        }
+        ClusterStats {
+            node_count,
+            cluster_count,
+            head_ratio: clustering.head_ratio(),
+            mean_cluster_size: if cluster_count == 0 {
+                0.0
+            } else {
+                node_count as f64 / cluster_count as f64
+            },
+            max_cluster_size,
+            cluster_size_std_dev: sizes.sample_std_dev(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::LowestId;
+    use manet_geom::{Metric, SquareRegion, Vec2};
+    use manet_sim::Topology;
+
+    #[test]
+    fn stats_on_a_path() {
+        let pts: Vec<Vec2> = (0..5).map(|i| Vec2::new(i as f64, 0.0)).collect();
+        let topo =
+            Topology::compute(&pts, SquareRegion::new(100.0), 1.1, Metric::Euclidean);
+        let c = Clustering::form(LowestId, &topo);
+        let s = ClusterStats::measure(&c);
+        // Heads {0, 2, 4}: sizes 2, 2, 1.
+        assert_eq!(s.node_count, 5);
+        assert_eq!(s.cluster_count, 3);
+        assert!((s.head_ratio - 0.6).abs() < 1e-12);
+        assert!((s.mean_cluster_size - 5.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.max_cluster_size, 2);
+        assert!(s.cluster_size_std_dev > 0.0);
+    }
+
+    #[test]
+    fn stats_on_empty_structure() {
+        let topo = Topology::empty(0);
+        let c = Clustering::form(LowestId, &topo);
+        let s = ClusterStats::measure(&c);
+        assert_eq!(s.node_count, 0);
+        assert_eq!(s.cluster_count, 0);
+        assert_eq!(s.mean_cluster_size, 0.0);
+        assert_eq!(s.max_cluster_size, 0);
+    }
+
+    #[test]
+    fn mean_size_times_ratio_is_unity() {
+        // m·P = 1 identically (m = N/n, P = n/N).
+        let pts: Vec<Vec2> = (0..30)
+            .map(|i| Vec2::new((i % 6) as f64 * 2.0, (i / 6) as f64 * 2.0))
+            .collect();
+        let topo =
+            Topology::compute(&pts, SquareRegion::new(100.0), 2.5, Metric::Euclidean);
+        let c = Clustering::form(LowestId, &topo);
+        let s = ClusterStats::measure(&c);
+        assert!((s.mean_cluster_size * s.head_ratio - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,130 @@
+//! Gupta–Kumar capacity context for the overhead bounds.
+//!
+//! The paper motivates clustering with the Gupta–Kumar result it cites in
+//! its introduction: the per-node throughput capacity of a random ad hoc
+//! network of `N` nodes is `Θ(W/√(N·log N))` — a *shrinking* budget that
+//! control traffic must fit into. This module provides that envelope and
+//! the derived "control fraction" metric used by the `overhead_planner`
+//! example: what share of a node's theoretical capacity the predicted
+//! control overhead consumes.
+
+use crate::lid;
+use crate::overhead::OverheadModel;
+
+/// Per-node throughput capacity of the Gupta–Kumar random network,
+/// `W/√(N·log N)` bits/s, for channel rate `w_bits` and `n ≥ 2` nodes.
+///
+/// The Θ-constant is taken as 1 (the paper's argument only uses the
+/// scaling).
+///
+/// # Panics
+///
+/// Panics unless `w_bits > 0` and `n ≥ 2`.
+pub fn per_node_capacity(w_bits: f64, n: usize) -> f64 {
+    assert!(w_bits > 0.0 && w_bits.is_finite(), "channel rate must be positive");
+    assert!(n >= 2, "capacity needs at least 2 nodes");
+    w_bits / ((n as f64) * (n as f64).ln()).sqrt()
+}
+
+/// Fraction of the Gupta–Kumar per-node capacity consumed by the model's
+/// predicted total control overhead at the LID head ratio (Eqn 17).
+///
+/// Values ≥ 1 mean control traffic alone exceeds the theoretical data
+/// capacity — the regime the paper's introduction warns about.
+pub fn control_fraction(model: &OverheadModel, w_bits: f64) -> f64 {
+    let p = lid::p_approx(model.expected_degree());
+    let o_total = model.breakdown(p.clamp(1e-9, 1.0)).o_total;
+    o_total / per_node_capacity(w_bits, model.params().node_count())
+}
+
+/// Largest network size (among the probed doubling sequence
+/// `n₀, 2n₀, 4n₀, …, n_max`) whose control fraction stays below `budget`,
+/// growing the region with `N` to keep density fixed.
+///
+/// Returns `None` when even `n₀` exceeds the budget.
+pub fn max_size_within_budget(
+    base: &OverheadModel,
+    w_bits: f64,
+    budget: f64,
+    n_max: usize,
+) -> Option<usize> {
+    let params0 = *base.params();
+    let density = params0.density();
+    let mut best = None;
+    let mut n = params0.node_count().max(2);
+    while n <= n_max {
+        let side = (n as f64 / density).sqrt();
+        let params = crate::params::NetworkParams::with_sizes(
+            n,
+            side,
+            params0.radius(),
+            params0.speed(),
+            params0.sizes(),
+        )
+        .ok()?;
+        let model = OverheadModel::new(params, base.degree_model());
+        if control_fraction(&model, w_bits) < budget {
+            best = Some(n);
+        } else {
+            break;
+        }
+        n *= 2;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::degree::DegreeModel;
+    use crate::params::NetworkParams;
+
+    #[test]
+    fn capacity_shrinks_with_n() {
+        let w = 1e6;
+        let c100 = per_node_capacity(w, 100);
+        let c10k = per_node_capacity(w, 10_000);
+        assert!(c10k < c100);
+        // Θ(1/√(N log N)): the ratio over 100× nodes is ≈ √(100·(ln 1e4/ln 1e2)) = √200.
+        let ratio = c100 / c10k;
+        assert!((ratio - 200f64.sqrt()).abs() / 200f64.sqrt() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn control_fraction_grows_with_speed() {
+        let w = 1e6;
+        let slow = OverheadModel::new(
+            NetworkParams::new(400, 1000.0, 150.0, 5.0).unwrap(),
+            DegreeModel::TorusExact,
+        );
+        let fast = OverheadModel::new(
+            NetworkParams::new(400, 1000.0, 150.0, 50.0).unwrap(),
+            DegreeModel::TorusExact,
+        );
+        assert!(control_fraction(&fast, w) > control_fraction(&slow, w));
+    }
+
+    #[test]
+    fn budget_search_finds_a_threshold() {
+        let w = 1e6;
+        let base = OverheadModel::new(
+            NetworkParams::new(100, 500.0, 150.0, 10.0).unwrap(),
+            DegreeModel::TorusExact,
+        );
+        // A generous budget admits the base size; a tiny budget admits none.
+        assert!(max_size_within_budget(&base, w, 0.9, 1_000_000).is_some());
+        assert_eq!(max_size_within_budget(&base, w, 1e-9, 1_000_000), None);
+        // The threshold is monotone in the budget.
+        let loose = max_size_within_budget(&base, w, 0.5, 1_000_000);
+        let tight = max_size_within_budget(&base, w, 0.05, 1_000_000);
+        if let (Some(l), Some(t)) = (loose, tight) {
+            assert!(l >= t);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn capacity_needs_two_nodes() {
+        per_node_capacity(1e6, 1);
+    }
+}

@@ -1,0 +1,85 @@
+//! Heuristic extension of the head-ratio analysis to d-hop clusters.
+//!
+//! The paper's closing section points to multi-hop clustering (MobDHop,
+//! Max-Min) as the next analysis target. The overhead bounds in
+//! [`crate::overhead`] are already parametric in the head ratio `P`; what
+//! a d-hop analysis needs is a `P` estimate. This module provides the
+//! natural first-order one: replace the one-hop neighborhood size `d+1`
+//! in Eqn 17 by the **d-hop neighborhood size**, upper-bounded on a
+//! uniform plane by the disc of radius `h·r`:
+//!
+//! ```text
+//! n_h ≤ min(N−1, π·(h·r)²·ρ)          (h = hop bound)
+//! P_h ≈ 1/√(n_h + 1)                   (Eqn 17 with the d-hop degree)
+//! ```
+//!
+//! The disc bound ignores that `h` graph hops cover less ground than `h·r`
+//! straight-line meters (hop-progress loss), so `P_h` is a *lower*
+//! estimate of the head ratio; the `dhop_extension` experiment measures
+//! the gap against the greedy d-hop engine and Max-Min.
+
+use crate::params::NetworkParams;
+use std::f64::consts::PI;
+
+/// Upper bound on the expected number of nodes within `hops` graph hops
+/// (excluding the node itself): `min(N−1, π·(hops·r)²·ρ)`.
+///
+/// # Panics
+///
+/// Panics if `hops == 0`.
+pub fn neighborhood_upper_bound(params: &NetworkParams, hops: usize) -> f64 {
+    assert!(hops >= 1, "hops must be at least 1");
+    let reach = hops as f64 * params.radius();
+    let disc = PI * reach * reach * params.density();
+    disc.min(params.node_count() as f64 - 1.0)
+}
+
+/// Eqn 17 evaluated with the d-hop neighborhood bound:
+/// `P_h ≈ 1/√(n_h + 1)`.
+pub fn p_approx(params: &NetworkParams, hops: usize) -> f64 {
+    1.0 / (neighborhood_upper_bound(params, hops) + 1.0).sqrt()
+}
+
+/// Expected number of d-hop clusters, `N·P_h`.
+pub fn expected_cluster_count(params: &NetworkParams, hops: usize) -> f64 {
+    params.node_count() as f64 * p_approx(params, hops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> NetworkParams {
+        NetworkParams::new(400, 1000.0, 150.0, 10.0).unwrap()
+    }
+
+    #[test]
+    fn one_hop_reduces_to_eqn18_torus_form() {
+        let p = params();
+        let via_dhop = p_approx(&p, 1);
+        let d = PI * 150.0 * 150.0 * p.density();
+        let direct = 1.0 / (d + 1.0).sqrt();
+        assert!((via_dhop - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_hops_fewer_heads() {
+        let p = params();
+        assert!(p_approx(&p, 2) < p_approx(&p, 1));
+        assert!(p_approx(&p, 3) < p_approx(&p, 2));
+        assert!(expected_cluster_count(&p, 3) < expected_cluster_count(&p, 1));
+    }
+
+    #[test]
+    fn neighborhood_saturates_at_network_size() {
+        let p = params();
+        // 10 hops × 150 m covers far more than the region: bound clamps.
+        assert_eq!(neighborhood_upper_bound(&p, 10), 399.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "hops")]
+    fn zero_hops_panics() {
+        neighborhood_upper_bound(&params(), 0);
+    }
+}

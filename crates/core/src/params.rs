@@ -1,0 +1,216 @@
+//! Network parameters shared by every formula in the model.
+
+use std::fmt;
+
+/// Byte sizes of the three control messages (the paper's `p_hello`,
+/// `p_cluster`, `p_route`).
+///
+/// Mirrors `manet_sim::MessageSizes` field-for-field (the model crate does
+/// not depend on the simulator); keep the defaults in sync.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelMessageSizes {
+    /// HELLO beacon size in bytes.
+    pub hello: u32,
+    /// CLUSTER message size in bytes.
+    pub cluster: u32,
+    /// One routing-table entry in bytes.
+    pub route_entry: u32,
+}
+
+impl Default for ModelMessageSizes {
+    fn default() -> Self {
+        ModelMessageSizes { hello: 16, cluster: 24, route_entry: 12 }
+    }
+}
+
+/// Error constructing [`NetworkParams`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamError {
+    /// `N` must be at least 2 for any pair statistics to exist.
+    TooFewNodes,
+    /// The region side must be strictly positive and finite.
+    BadSide,
+    /// The transmission range must satisfy `0 < r < a` (the paper's model
+    /// assumption).
+    BadRadius,
+    /// The speed must be non-negative and finite.
+    BadSpeed,
+}
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamError::TooFewNodes => write!(f, "need at least 2 nodes"),
+            ParamError::BadSide => write!(f, "region side must be positive and finite"),
+            ParamError::BadRadius => {
+                write!(f, "transmission range must satisfy 0 < r < a")
+            }
+            ParamError::BadSpeed => write!(f, "speed must be non-negative and finite"),
+        }
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// The network parameter tuple `(N, a, r, v)` plus message sizes.
+///
+/// All formulas in this crate take their inputs from here, so a single
+/// validated construction covers the whole model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkParams {
+    node_count: usize,
+    side: f64,
+    radius: f64,
+    speed: f64,
+    sizes: ModelMessageSizes,
+}
+
+impl NetworkParams {
+    /// Creates parameters with default message sizes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParamError`] when any quantity is out of range (notably
+    /// the paper's requirement `r < a`).
+    pub fn new(
+        node_count: usize,
+        side: f64,
+        radius: f64,
+        speed: f64,
+    ) -> Result<Self, ParamError> {
+        Self::with_sizes(node_count, side, radius, speed, ModelMessageSizes::default())
+    }
+
+    /// Creates parameters with explicit message sizes.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`NetworkParams::new`].
+    pub fn with_sizes(
+        node_count: usize,
+        side: f64,
+        radius: f64,
+        speed: f64,
+        sizes: ModelMessageSizes,
+    ) -> Result<Self, ParamError> {
+        if node_count < 2 {
+            return Err(ParamError::TooFewNodes);
+        }
+        if !(side > 0.0 && side.is_finite()) {
+            return Err(ParamError::BadSide);
+        }
+        if !(radius > 0.0 && radius.is_finite() && radius < side) {
+            return Err(ParamError::BadRadius);
+        }
+        if !(speed >= 0.0 && speed.is_finite()) {
+            return Err(ParamError::BadSpeed);
+        }
+        Ok(NetworkParams { node_count, side, radius, speed, sizes })
+    }
+
+    /// Network size `N`.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Region side `a`.
+    pub fn side(&self) -> f64 {
+        self.side
+    }
+
+    /// Transmission range `r`.
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// Common node speed `v`.
+    pub fn speed(&self) -> f64 {
+        self.speed
+    }
+
+    /// Message sizes for bit-overhead conversion.
+    pub fn sizes(&self) -> ModelMessageSizes {
+        self.sizes
+    }
+
+    /// Node density `ρ = N / a²`.
+    pub fn density(&self) -> f64 {
+        self.node_count as f64 / (self.side * self.side)
+    }
+
+    /// Region area `a²`.
+    pub fn area(&self) -> f64 {
+        self.side * self.side
+    }
+
+    /// Returns a copy with a different node count.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParamError`] if the new count is invalid.
+    pub fn with_node_count(&self, node_count: usize) -> Result<Self, ParamError> {
+        Self::with_sizes(node_count, self.side, self.radius, self.speed, self.sizes)
+    }
+
+    /// Returns a copy with a different transmission range.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParamError`] if the new radius is invalid.
+    pub fn with_radius(&self, radius: f64) -> Result<Self, ParamError> {
+        Self::with_sizes(self.node_count, self.side, radius, self.speed, self.sizes)
+    }
+
+    /// Returns a copy with a different speed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParamError`] if the new speed is invalid.
+    pub fn with_speed(&self, speed: f64) -> Result<Self, ParamError> {
+        Self::with_sizes(self.node_count, self.side, self.radius, speed, self.sizes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_construction_and_accessors() {
+        let p = NetworkParams::new(400, 1000.0, 150.0, 10.0).unwrap();
+        assert_eq!(p.node_count(), 400);
+        assert_eq!(p.side(), 1000.0);
+        assert_eq!(p.radius(), 150.0);
+        assert_eq!(p.speed(), 10.0);
+        assert!((p.density() - 4e-4).abs() < 1e-15);
+        assert_eq!(p.area(), 1e6);
+        assert_eq!(p.sizes().hello, 16);
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert_eq!(NetworkParams::new(1, 10.0, 1.0, 1.0), Err(ParamError::TooFewNodes));
+        assert_eq!(NetworkParams::new(2, 0.0, 1.0, 1.0), Err(ParamError::BadSide));
+        assert_eq!(NetworkParams::new(2, 10.0, 10.0, 1.0), Err(ParamError::BadRadius));
+        assert_eq!(NetworkParams::new(2, 10.0, 0.0, 1.0), Err(ParamError::BadRadius));
+        assert_eq!(NetworkParams::new(2, 10.0, 1.0, -1.0), Err(ParamError::BadSpeed));
+        assert_eq!(
+            NetworkParams::new(2, 10.0, 1.0, f64::INFINITY),
+            Err(ParamError::BadSpeed)
+        );
+    }
+
+    #[test]
+    fn with_methods_revalidate() {
+        let p = NetworkParams::new(400, 1000.0, 150.0, 10.0).unwrap();
+        assert_eq!(p.with_node_count(800).unwrap().node_count(), 800);
+        assert_eq!(p.with_radius(2000.0), Err(ParamError::BadRadius));
+        assert_eq!(p.with_speed(5.0).unwrap().speed(), 5.0);
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(ParamError::BadRadius.to_string().contains("r < a"));
+        assert!(ParamError::TooFewNodes.to_string().contains("2"));
+    }
+}

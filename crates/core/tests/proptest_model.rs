@@ -1,0 +1,127 @@
+//! Property-based tests for the analytical model.
+
+use manet_model::{
+    lid, ClusterSizeModel, DegreeModel, HeadContactConvention, NetworkParams, OverheadModel,
+    RouteLinkModel,
+};
+use proptest::prelude::*;
+
+fn params_strategy() -> impl Strategy<Value = NetworkParams> {
+    (10usize..2000, 200.0..5000.0f64, 0.02..0.45f64, 0.0..60.0f64).prop_map(
+        |(n, side, r_frac, v)| {
+            NetworkParams::new(n, side, r_frac * side, v).expect("constructed valid")
+        },
+    )
+}
+
+proptest! {
+    /// Every frequency and bit rate is finite and non-negative across the
+    /// whole parameter space, for every model-switch combination.
+    #[test]
+    fn breakdown_is_finite_and_nonnegative(params in params_strategy(),
+                                           p in 1e-6..1.0f64,
+                                           contact in any::<bool>(),
+                                           links in any::<bool>(),
+                                           sizes in any::<bool>()) {
+        for degree_model in [DegreeModel::TorusExact, DegreeModel::BorderCorrected] {
+            let mut m = OverheadModel::new(params, degree_model);
+            if contact {
+                m = m.with_contact_convention(HeadContactConvention::PerEndpoint);
+            }
+            if links {
+                m = m.with_route_links(RouteLinkModel::MemberHeadOnly);
+            }
+            if sizes {
+                m = m.with_size_model(ClusterSizeModel::Exponential);
+            }
+            let b = m.breakdown(p);
+            for x in [b.f_hello, b.f_cluster, b.f_cluster_break, b.f_cluster_contact,
+                      b.f_route, b.o_hello, b.o_cluster, b.o_route, b.o_total] {
+                prop_assert!(x.is_finite() && x >= 0.0, "{x} out of range");
+            }
+            prop_assert!((b.o_total - b.o_hello - b.o_cluster - b.o_route).abs()
+                <= 1e-9 * b.o_total.max(1.0));
+        }
+    }
+
+    /// All frequencies are exactly linear in speed.
+    #[test]
+    fn frequencies_linear_in_speed(params in params_strategy(), p in 0.01..0.9f64,
+                                   factor in 1.5..10.0f64) {
+        let m1 = OverheadModel::new(params, DegreeModel::TorusExact);
+        let faster = params.with_speed(params.speed() * factor).unwrap();
+        let m2 = OverheadModel::new(faster, DegreeModel::TorusExact);
+        for (a, b) in [
+            (m1.f_hello(), m2.f_hello()),
+            (m1.f_cluster(p), m2.f_cluster(p)),
+            (m1.f_route(p), m2.f_route(p)),
+        ] {
+            prop_assert!((b - factor * a).abs() <= 1e-9 * b.max(1.0), "{b} != {factor}×{a}");
+        }
+    }
+
+    /// The border-corrected degree never exceeds the torus degree and both
+    /// are within [0, N−1].
+    #[test]
+    fn degree_models_are_ordered(params in params_strategy()) {
+        let torus = DegreeModel::TorusExact.expected_degree(&params);
+        let window = DegreeModel::BorderCorrected.expected_degree(&params);
+        prop_assert!(window <= torus + 1e-9);
+        prop_assert!(window >= 0.0);
+        prop_assert!(torus <= params.node_count() as f64 - 1.0 + 1e-9);
+    }
+
+    /// Eqn 16's exact solution is always a fixed point, is bounded by its
+    /// approximation's neighborhood, and decreases with degree.
+    #[test]
+    fn lid_exact_p_behaves(d1 in 0.5..500.0f64, d2 in 0.5..500.0f64) {
+        let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        let p_lo = lid::p_exact(hi).unwrap();
+        let p_hi = lid::p_exact(lo).unwrap();
+        prop_assert!(p_lo <= p_hi + 1e-9, "P must decrease with degree");
+        for (d, p) in [(lo, p_hi), (hi, p_lo)] {
+            prop_assert!((lid::eqn16_rhs(p, d) - p).abs() < 1e-7);
+            prop_assert!(p > 0.0 && p <= 1.0);
+            // Approximation within 10% for d ≥ 4 (Figure 4b regime).
+            if d >= 4.0 {
+                let approx = lid::p_approx(d);
+                prop_assert!((p - approx).abs() / p < 0.10, "d={d}: {p} vs {approx}");
+            }
+        }
+    }
+
+    /// Cluster count estimates are monotone in `N` and anti-monotone in
+    /// `r`, for both the paper's estimate and Caro–Wei.
+    #[test]
+    fn cluster_count_monotonicity(n in 20usize..900, r_frac in 0.05..0.35f64) {
+        let side = 1000.0;
+        let p1 = NetworkParams::new(n, side, r_frac * side, 1.0).unwrap();
+        let p2 = NetworkParams::new(n * 2, side, r_frac * side, 1.0).unwrap();
+        let p3 = NetworkParams::new(n, side, (r_frac * 1.3) * side, 1.0).unwrap();
+        for model in [DegreeModel::TorusExact, DegreeModel::BorderCorrected] {
+            prop_assert!(
+                lid::expected_cluster_count(&p2, model)
+                    > lid::expected_cluster_count(&p1, model)
+            );
+            prop_assert!(
+                lid::expected_cluster_count(&p3, model)
+                    < lid::expected_cluster_count(&p1, model)
+            );
+            let cw = lid::p_caro_wei(&p1, model);
+            prop_assert!(cw > 0.0 && cw <= 1.0);
+            prop_assert!(cw < lid::p_approx_for(&p1, model) + 1e-9);
+        }
+    }
+
+    /// d-hop head-ratio heuristic nests: more hops, smaller P; one hop
+    /// equals the torus Eqn 18 form.
+    #[test]
+    fn dhop_heuristic_nests(n in 20usize..900, r_frac in 0.03..0.2f64) {
+        let params = NetworkParams::new(n, 1000.0, r_frac * 1000.0, 1.0).unwrap();
+        let p1 = manet_model::dhop::p_approx(&params, 1);
+        let p2 = manet_model::dhop::p_approx(&params, 2);
+        let p3 = manet_model::dhop::p_approx(&params, 3);
+        prop_assert!(p1 >= p2 && p2 >= p3);
+        prop_assert!(p3 > 0.0);
+    }
+}

@@ -1,0 +1,13 @@
+//! Reproduces Figure 2: control message frequencies vs node speed.
+
+use manet_experiments::figures::fig2;
+use manet_experiments::harness::Protocol;
+
+fn main() {
+    println!("FIG2 — control message frequencies vs v (paper Figure 2)");
+    println!("fixed: N=400, a=1000 m, r=150 m, epoch-RD mobility; P measured live\n");
+    let fig = fig2(&Protocol::default());
+    manet_experiments::emit("fig2_vs_velocity", &fig.table());
+    let (h, c, r) = fig.agreement();
+    println!("RMS relative error (sim vs analysis): hello {h:.3}  cluster {c:.3}  route {r:.3}");
+}

@@ -1,0 +1,13 @@
+//! Reproduces Figure 3: control message frequencies vs node density.
+
+use manet_experiments::figures::fig3;
+use manet_experiments::harness::Protocol;
+
+fn main() {
+    println!("FIG3 — control message frequencies vs density (paper Figure 3)");
+    println!("fixed: a=1000 m, r=150 m, v=10 m/s; N sweeps the density\n");
+    let fig = fig3(&Protocol::default());
+    manet_experiments::emit("fig3_vs_density", &fig.table());
+    let (h, c, r) = fig.agreement();
+    println!("RMS relative error (sim vs analysis): hello {h:.3}  cluster {c:.3}  route {r:.3}");
+}

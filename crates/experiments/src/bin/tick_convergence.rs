@@ -1,0 +1,10 @@
+//! Engine validation: link-event detection converges as the tick shrinks.
+
+use manet_experiments::convergence::{table, tick_convergence};
+
+fn main() {
+    println!("VALIDATION — tick-size convergence of the link-event engine\n");
+    manet_experiments::emit("tick_convergence", &table(&tick_convergence(300.0)));
+    println!("Coarse ticks miss links that form and break within one tick;");
+    println!("the default dt = 0.25 s sits in the converged regime.");
+}

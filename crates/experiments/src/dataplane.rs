@@ -1,0 +1,126 @@
+//! EXT5 — the data plane over the hybrid stack: reachability parity with
+//! flat routing, hierarchical path stretch, and discovery cost.
+//!
+//! The paper's overhead bounds buy a routing hierarchy; this experiment
+//! measures what the hierarchy costs the *data* path: packets routed via
+//! heads and gateways take longer routes than the flat shortest path
+//! (stretch ≥ 1), in exchange for the flat baseline's control traffic.
+
+use crate::harness::{build_world, Scenario};
+use manet_cluster::{Clustering, LowestId};
+use manet_routing::forwarding::HybridForwarder;
+use manet_sim::NodeId;
+use manet_util::stats::Summary;
+use manet_util::table::{fmt_sig, Table};
+use manet_util::Rng;
+
+/// One row of the stretch experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StretchRow {
+    /// Transmission range as a fraction of the side.
+    pub r_over_a: f64,
+    /// Fraction of sampled pairs delivered by the hybrid plane (equals
+    /// flat reachability — checked).
+    pub delivery: f64,
+    /// Mean hop-count stretch over delivered inter-cluster pairs.
+    pub mean_stretch: f64,
+    /// Worst observed stretch.
+    pub max_stretch: f64,
+    /// Mean RREQ messages per inter-cluster packet (discovery cost).
+    pub mean_rreq: f64,
+}
+
+/// Samples `pairs` random source/destination pairs per range point on the
+/// default scenario's steady-state snapshots.
+pub fn stretch_sweep(scenario: &Scenario, pairs: usize) -> Vec<StretchRow> {
+    [0.08, 0.12, 0.18, 0.25]
+        .into_iter()
+        .map(|frac| {
+            let scenario = Scenario { radius: frac * scenario.side, ..*scenario };
+            let mut world = build_world(&scenario, 0.5, 0xDA7A);
+            let mut clustering = Clustering::form(LowestId, world.topology());
+            // Let the structure reach steady state.
+            for _ in 0..120 {
+                world.step();
+                clustering.maintain(world.topology());
+            }
+            let topo = world.topology();
+            let forwarder = HybridForwarder::new(topo, &clustering);
+            let mut rng = Rng::seed_from_u64(0xF10C ^ (frac * 1e4) as u64);
+            let n = world.node_count() as NodeId;
+            let mut delivered = 0usize;
+            let mut attempted = 0usize;
+            let mut stretch = Summary::new();
+            let mut rreq = Summary::new();
+            while attempted < pairs {
+                let s = rng.u64_below(n as u64) as NodeId;
+                let d = rng.u64_below(n as u64) as NodeId;
+                if s == d {
+                    continue;
+                }
+                attempted += 1;
+                let flat = forwarder.shortest_hops(s, d);
+                let out = forwarder.forward(s, d);
+                assert_eq!(flat.is_some(), out.delivered(), "reachability parity {s}->{d}");
+                if let (Some(flat_hops), Some(hops)) = (flat, out.hops()) {
+                    delivered += 1;
+                    if flat_hops > 0 {
+                        stretch.push(hops as f64 / flat_hops as f64);
+                    }
+                    if out.rreq_messages > 0 {
+                        rreq.push(out.rreq_messages as f64);
+                    }
+                }
+            }
+            StretchRow {
+                r_over_a: frac,
+                delivery: delivered as f64 / attempted as f64,
+                mean_stretch: stretch.mean(),
+                max_stretch: stretch.max(),
+                mean_rreq: rreq.mean(),
+            }
+        })
+        .collect()
+}
+
+/// Renders the stretch table.
+pub fn table(rows: &[StretchRow]) -> Table {
+    let mut t = Table::new([
+        "r/a",
+        "delivery (=connectivity)",
+        "mean stretch",
+        "max stretch",
+        "mean RREQ/packet",
+    ]);
+    for r in rows {
+        t.row([
+            fmt_sig(r.r_over_a, 3),
+            fmt_sig(r.delivery, 3),
+            fmt_sig(r.mean_stretch, 3),
+            fmt_sig(r.max_stretch, 3),
+            fmt_sig(r.mean_rreq, 4),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stretch_is_bounded_and_delivery_tracks_connectivity() {
+        let scenario = Scenario { nodes: 120, side: 600.0, ..Scenario::default() };
+        let rows = stretch_sweep(&scenario, 60);
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!((0.0..=1.0).contains(&r.delivery));
+            if r.mean_stretch > 0.0 {
+                assert!(r.mean_stretch >= 1.0, "{r:?}");
+                assert!(r.mean_stretch < 3.0, "mean stretch implausible: {r:?}");
+            }
+        }
+        // Larger range → better connectivity.
+        assert!(rows.last().unwrap().delivery >= rows.first().unwrap().delivery);
+    }
+}

@@ -1,0 +1,294 @@
+//! The shared simulation harness: runs the full protocol stack (HELLO +
+//! clustering + intra-cluster routing) over a scenario and measures the
+//! paper's per-node control-message frequencies.
+
+use manet_cluster::{ClusterPolicy, Clustering, LowestId, MaintenanceOutcome};
+use manet_routing::intra::{IntraClusterRouting, RouteUpdateOutcome};
+use manet_sim::{HelloMode, MessageKind, MobilityKind, SimBuilder, World};
+use manet_util::stats::Summary;
+
+/// Scenario geometry and kinematics (DESIGN.md §5 defaults).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scenario {
+    /// Number of nodes `N`.
+    pub nodes: usize,
+    /// Region side `a`, meters.
+    pub side: f64,
+    /// Transmission range `r`, meters.
+    pub radius: f64,
+    /// Node speed `v`, m/s.
+    pub speed: f64,
+    /// Direction-redraw epoch `τ`, seconds.
+    pub epoch: f64,
+    /// Mobility model (defaults to the paper's epoch random-direction).
+    pub mobility: MobilityKind,
+}
+
+impl Default for Scenario {
+    fn default() -> Self {
+        Scenario {
+            nodes: 400,
+            side: 1000.0,
+            radius: 150.0,
+            speed: 10.0,
+            epoch: 20.0,
+            mobility: MobilityKind::EpochRandomDirection { epoch: 20.0 },
+        }
+    }
+}
+
+impl Scenario {
+    /// Node density `ρ = N/a²`.
+    pub fn density(&self) -> f64 {
+        self.nodes as f64 / (self.side * self.side)
+    }
+
+    /// Builds the analytical parameter tuple for this scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario violates the model's constraints (`r < a`…);
+    /// scenario sweeps are constructed in-code, so this indicates a bug.
+    pub fn params(&self) -> manet_model::NetworkParams {
+        manet_model::NetworkParams::new(self.nodes, self.side, self.radius, self.speed)
+            .expect("scenario violates model constraints")
+    }
+}
+
+/// Measurement protocol: warmup, window length, seeds, tick.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Protocol {
+    /// Seconds simulated before measurement starts.
+    pub warmup: f64,
+    /// Measurement window length, seconds.
+    pub measure: f64,
+    /// Independent replications.
+    pub seeds: Vec<u64>,
+    /// Tick length, seconds.
+    pub dt: f64,
+}
+
+impl Default for Protocol {
+    fn default() -> Self {
+        Protocol { warmup: 100.0, measure: 400.0, seeds: vec![11, 22, 33], dt: 0.25 }
+    }
+}
+
+impl Protocol {
+    /// A cheap protocol for unit/integration tests.
+    pub fn quick() -> Self {
+        Protocol { warmup: 40.0, measure: 120.0, seeds: vec![7], dt: 0.5 }
+    }
+}
+
+/// Cross-seed estimate (mean ± 95% CI half-width).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Estimate {
+    /// Cross-seed mean.
+    pub mean: f64,
+    /// Normal-approximation 95% confidence half-width.
+    pub ci95: f64,
+}
+
+impl From<Summary> for Estimate {
+    fn from(s: Summary) -> Self {
+        Estimate { mean: s.mean(), ci95: s.ci95_half_width() }
+    }
+}
+
+/// Measured per-node control-message frequencies and structure statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Measured {
+    /// HELLO msgs/node/s (event-driven lower bound).
+    pub f_hello: Estimate,
+    /// CLUSTER msgs/node/s, total.
+    pub f_cluster: Estimate,
+    /// CLUSTER msgs/node/s attributable to member–head breaks.
+    pub f_cluster_break: Estimate,
+    /// CLUSTER msgs/node/s attributable to head contacts.
+    pub f_cluster_contact: Estimate,
+    /// ROUTE msgs/node/s.
+    pub f_route: Estimate,
+    /// ROUTE table entries/node/s (full-table broadcasts).
+    pub f_route_entries: Estimate,
+    /// Time-averaged head ratio `P` during the window.
+    pub head_ratio: Estimate,
+    /// Time-averaged mean degree `d`.
+    pub mean_degree: Estimate,
+    /// Per-node link generation rate.
+    pub link_gen_rate: Estimate,
+    /// Per-node total link change rate.
+    pub link_change_rate: Estimate,
+}
+
+/// Runs the full stack (HELLO + clustering + intra-cluster routing) under
+/// `policy_for_seed` and measures the paper's metrics.
+///
+/// The per-seed policy constructor allows weight-based policies (DMAC) to
+/// draw per-node weights deterministically per replication.
+pub fn measure_with_policy<P, F>(
+    scenario: &Scenario,
+    protocol: &Protocol,
+    mut policy_for_seed: F,
+) -> Measured
+where
+    P: ClusterPolicy,
+    F: FnMut(u64) -> P,
+{
+    let mut f_hello = Summary::new();
+    let mut f_cluster = Summary::new();
+    let mut f_cluster_break = Summary::new();
+    let mut f_cluster_contact = Summary::new();
+    let mut f_route = Summary::new();
+    let mut f_route_entries = Summary::new();
+    let mut head_ratio = Summary::new();
+    let mut mean_degree = Summary::new();
+    let mut link_gen = Summary::new();
+    let mut link_change = Summary::new();
+
+    for &seed in &protocol.seeds {
+        let mut world = SimBuilder::new()
+            .side(scenario.side)
+            .nodes(scenario.nodes)
+            .radius(scenario.radius)
+            .speed(scenario.speed)
+            .mobility(scenario.mobility)
+            .dt(protocol.dt)
+            .seed(seed)
+            .hello_mode(HelloMode::EventDriven)
+            .build();
+        let mut clustering = Clustering::form(policy_for_seed(seed), world.topology());
+        let mut routing = IntraClusterRouting::new();
+        routing.update(world.topology(), &clustering); // baseline fill
+
+        // Warmup: run the full stack so the structure reaches steady state.
+        let warm_ticks = (protocol.warmup / protocol.dt).round() as usize;
+        for _ in 0..warm_ticks {
+            world.step();
+            clustering.maintain(world.topology());
+            routing.update(world.topology(), &clustering);
+        }
+
+        world.begin_measurement();
+        let mut maint = MaintenanceOutcome::default();
+        let mut route = RouteUpdateOutcome::default();
+        let mut p_samples = Summary::new();
+        let ticks = (protocol.measure / protocol.dt).round() as usize;
+        for _ in 0..ticks {
+            world.step();
+            maint.absorb(clustering.maintain(world.topology()));
+            route.absorb(routing.update(world.topology(), &clustering));
+            p_samples.push(clustering.head_ratio());
+        }
+        let elapsed = world.measured_time();
+        let n = world.node_count();
+        let per_node = |count: u64| count as f64 / n as f64 / elapsed;
+
+        f_hello.push(world.counters().per_node_rate(MessageKind::Hello, n, elapsed));
+        f_cluster.push(per_node(maint.total_messages()));
+        f_cluster_break.push(per_node(maint.break_triggered_messages()));
+        f_cluster_contact.push(per_node(maint.contact_triggered_messages()));
+        f_route.push(per_node(route.route_messages));
+        f_route_entries.push(per_node(route.route_entries));
+        head_ratio.push(p_samples.mean());
+        mean_degree.push(world.mean_degree());
+        link_gen.push(world.counters().per_node_link_generation_rate(n, elapsed));
+        link_change.push(
+            world.counters().per_node_link_generation_rate(n, elapsed)
+                + world.counters().per_node_link_break_rate(n, elapsed),
+        );
+    }
+
+    Measured {
+        f_hello: f_hello.into(),
+        f_cluster: f_cluster.into(),
+        f_cluster_break: f_cluster_break.into(),
+        f_cluster_contact: f_cluster_contact.into(),
+        f_route: f_route.into(),
+        f_route_entries: f_route_entries.into(),
+        head_ratio: head_ratio.into(),
+        mean_degree: mean_degree.into(),
+        link_gen_rate: link_gen.into(),
+        link_change_rate: link_change.into(),
+    }
+}
+
+/// [`measure_with_policy`] specialized to the paper's LID case study.
+pub fn measure_lid(scenario: &Scenario, protocol: &Protocol) -> Measured {
+    measure_with_policy(scenario, protocol, |_| LowestId)
+}
+
+/// The analytical counterpart at a given head ratio: frequencies from the
+/// default model (torus degree, per-pair contacts, member+member route
+/// links — the configuration matching this simulator; see DESIGN.md §4).
+pub fn analysis_at(scenario: &Scenario, p: f64) -> manet_model::OverheadBreakdown {
+    let model = manet_model::OverheadModel::new(
+        scenario.params(),
+        manet_model::DegreeModel::TorusExact,
+    );
+    model.breakdown(p.clamp(1e-6, 1.0))
+}
+
+/// Convenience: a type-erased World for ad-hoc experiment code.
+pub fn build_world(scenario: &Scenario, dt: f64, seed: u64) -> World {
+    SimBuilder::new()
+        .side(scenario.side)
+        .nodes(scenario.nodes)
+        .radius(scenario.radius)
+        .speed(scenario.speed)
+        .mobility(scenario.mobility)
+        .dt(dt)
+        .seed(seed)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_lid_produces_sane_numbers() {
+        let scenario = Scenario { nodes: 150, side: 600.0, radius: 100.0, ..Scenario::default() };
+        let m = measure_lid(&scenario, &Protocol::quick());
+        assert!(m.f_hello.mean > 0.0);
+        assert!(m.f_cluster.mean > 0.0);
+        assert!(m.f_route.mean > 0.0);
+        assert!(m.head_ratio.mean > 0.0 && m.head_ratio.mean < 1.0);
+        assert!(m.mean_degree.mean > 1.0);
+        // Entries dominate messages (full tables).
+        assert!(m.f_route_entries.mean > m.f_route.mean);
+        // Decomposition adds up.
+        assert!(
+            (m.f_cluster.mean - m.f_cluster_break.mean - m.f_cluster_contact.mean).abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn hello_rate_equals_link_generation_rate() {
+        let scenario = Scenario { nodes: 120, side: 600.0, radius: 110.0, ..Scenario::default() };
+        let m = measure_lid(&scenario, &Protocol::quick());
+        // Event-driven HELLO: one beacon per endpoint per generation.
+        assert!((m.f_hello.mean - m.link_gen_rate.mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn measured_link_rate_matches_claim2() {
+        let scenario = Scenario::default();
+        let m = measure_lid(&scenario, &Protocol::quick());
+        let model = manet_model::OverheadModel::new(
+            scenario.params(),
+            manet_model::DegreeModel::TorusExact,
+        );
+        let theory = model.link_change_rate();
+        let rel = (m.link_change_rate.mean - theory).abs() / theory;
+        assert!(rel < 0.15, "λ sim {} vs theory {theory} (rel {rel:.3})", m.link_change_rate.mean);
+    }
+
+    #[test]
+    fn analysis_at_matches_model_directly() {
+        let scenario = Scenario::default();
+        let b = analysis_at(&scenario, 0.1);
+        assert!(b.f_hello > 0.0 && b.f_route > 0.0);
+    }
+}

@@ -1,0 +1,324 @@
+//! Uniform spatial hash grid for neighbor queries.
+//!
+//! The simulator recomputes the unit-disk link set every tick; a uniform
+//! grid with cell size ≥ the query radius makes each per-node query inspect
+//! only the 3×3 surrounding cells, turning the per-tick cost from `O(N²)`
+//! into `O(N·d)`.
+
+use crate::metric::Metric;
+use crate::region::SquareRegion;
+use crate::vec2::Vec2;
+
+/// A uniform grid over a [`SquareRegion`] holding node indices, specialized
+/// for fixed-radius neighbor queries.
+///
+/// # Example
+///
+/// ```
+/// use manet_geom::{Metric, SpatialGrid, SquareRegion, Vec2};
+///
+/// let region = SquareRegion::new(100.0);
+/// let positions = vec![Vec2::new(1.0, 1.0), Vec2::new(3.0, 1.0), Vec2::new(60.0, 60.0)];
+/// let grid = SpatialGrid::build(&positions, region, 5.0, Metric::Euclidean);
+/// let mut out = Vec::new();
+/// grid.neighbors_within(0, &mut out);
+/// assert_eq!(out, vec![1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpatialGrid {
+    region: SquareRegion,
+    metric: Metric,
+    radius: f64,
+    cells_per_axis: usize,
+    inv_cell: f64,
+    bins: Vec<Vec<u32>>,
+    positions: Vec<Vec2>,
+}
+
+impl SpatialGrid {
+    /// Builds a grid for querying neighbors within `radius`.
+    ///
+    /// Positions must lie inside the region (wrap them first for a torus).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` is not strictly positive/finite, if more than
+    /// `u32::MAX` positions are given, or (debug builds) if a position lies
+    /// outside the region.
+    pub fn build(
+        positions: &[Vec2],
+        region: SquareRegion,
+        radius: f64,
+        metric: Metric,
+    ) -> Self {
+        assert!(radius > 0.0 && radius.is_finite(), "radius must be positive and finite");
+        assert!(positions.len() <= u32::MAX as usize, "too many positions");
+        let side = region.side();
+        let cells_per_axis = ((side / radius).floor() as usize).max(1);
+        let inv_cell = cells_per_axis as f64 / side;
+        let mut bins = vec![Vec::new(); cells_per_axis * cells_per_axis];
+        for (i, &p) in positions.iter().enumerate() {
+            debug_assert!(region.contains(p), "position {p} outside region");
+            let (cx, cy) = cell_of(p, inv_cell, cells_per_axis);
+            bins[cy * cells_per_axis + cx].push(i as u32);
+        }
+        SpatialGrid {
+            region,
+            metric,
+            radius,
+            cells_per_axis,
+            inv_cell,
+            bins,
+            positions: positions.to_vec(),
+        }
+    }
+
+    /// Query radius this grid was built for.
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// Region this grid was built over.
+    pub fn region(&self) -> SquareRegion {
+        self.region
+    }
+
+    /// Number of indexed positions.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether the grid indexes no positions.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Collects the indices of all nodes within `radius` of node `i`
+    /// (excluding `i` itself) into `out`, which is cleared first.
+    ///
+    /// Results are sorted ascending so that downstream set-diffing is
+    /// deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn neighbors_within(&self, i: usize, out: &mut Vec<u32>) {
+        out.clear();
+        let p = self.positions[i];
+        self.for_each_candidate_cell(p, |bin| {
+            for &j in &self.bins[bin] {
+                if j as usize != i && self.metric.within(p, self.positions[j as usize], self.radius)
+                {
+                    out.push(j);
+                }
+            }
+        });
+        out.sort_unstable();
+    }
+
+    /// Collects the indices of all nodes within `radius` of an arbitrary
+    /// point (which need not be an indexed node).
+    pub fn nodes_near(&self, p: Vec2, out: &mut Vec<u32>) {
+        out.clear();
+        self.for_each_candidate_cell(p, |bin| {
+            for &j in &self.bins[bin] {
+                if self.metric.within(p, self.positions[j as usize], self.radius) {
+                    out.push(j);
+                }
+            }
+        });
+        out.sort_unstable();
+    }
+
+    /// Calls `f(i, j)` once for every unordered pair `i < j` within `radius`.
+    pub fn for_each_pair<F: FnMut(u32, u32)>(&self, mut f: F) {
+        let mut out = Vec::new();
+        for i in 0..self.positions.len() {
+            self.neighbors_within(i, &mut out);
+            for &j in &out {
+                if (i as u32) < j {
+                    f(i as u32, j);
+                }
+            }
+        }
+    }
+
+    /// Visits each distinct candidate cell in the 3×3 neighborhood of `p`'s
+    /// cell, handling torus wrap and small grids (where wrapped neighbor
+    /// cells coincide).
+    fn for_each_candidate_cell<F: FnMut(usize)>(&self, p: Vec2, mut f: F) {
+        let n = self.cells_per_axis as isize;
+        let (cx, cy) = cell_of(p, self.inv_cell, self.cells_per_axis);
+        let wrap = matches!(self.metric, Metric::Toroidal { .. });
+        // On small grids wrapped neighbor cells coincide; dedupe through a
+        // tiny fixed buffer (at most 9 candidates).
+        let mut visited = [usize::MAX; 9];
+        let mut count = 0;
+        for dy in -1..=1isize {
+            for dx in -1..=1isize {
+                let (x, y) = (cx as isize + dx, cy as isize + dy);
+                let (x, y) = if wrap {
+                    (x.rem_euclid(n), y.rem_euclid(n))
+                } else {
+                    if !(0..n).contains(&x) || !(0..n).contains(&y) {
+                        continue;
+                    }
+                    (x, y)
+                };
+                let bin = y as usize * self.cells_per_axis + x as usize;
+                if visited[..count].contains(&bin) {
+                    continue;
+                }
+                visited[count] = bin;
+                count += 1;
+                f(bin);
+            }
+        }
+    }
+}
+
+/// Computes the cell coordinates of a point.
+#[inline]
+fn cell_of(p: Vec2, inv_cell: f64, cells_per_axis: usize) -> (usize, usize) {
+    let cx = ((p.x * inv_cell) as usize).min(cells_per_axis - 1);
+    let cy = ((p.y * inv_cell) as usize).min(cells_per_axis - 1);
+    (cx, cy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manet_util::Rng;
+
+    fn random_positions(n: usize, side: f64, seed: u64) -> Vec<Vec2> {
+        let region = SquareRegion::new(side);
+        let mut rng = Rng::seed_from_u64(seed);
+        (0..n).map(|_| region.sample_uniform(&mut rng)).collect()
+    }
+
+    fn brute_force(positions: &[Vec2], i: usize, radius: f64, metric: Metric) -> Vec<u32> {
+        let mut v: Vec<u32> = (0..positions.len() as u32)
+            .filter(|&j| {
+                j as usize != i && metric.within(positions[i], positions[j as usize], radius)
+            })
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn matches_brute_force_euclidean() {
+        let side = 100.0;
+        let positions = random_positions(200, side, 42);
+        let region = SquareRegion::new(side);
+        for radius in [3.0, 17.0, 60.0, 150.0] {
+            let grid = SpatialGrid::build(&positions, region, radius, Metric::Euclidean);
+            let mut out = Vec::new();
+            for i in 0..positions.len() {
+                grid.neighbors_within(i, &mut out);
+                assert_eq!(
+                    out,
+                    brute_force(&positions, i, radius, Metric::Euclidean),
+                    "node {i} radius {radius}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_toroidal() {
+        let side = 50.0;
+        let positions = random_positions(150, side, 7);
+        let region = SquareRegion::new(side);
+        for radius in [2.0, 9.0, 20.0, 30.0] {
+            let metric = Metric::toroidal(side);
+            let grid = SpatialGrid::build(&positions, region, radius, metric);
+            let mut out = Vec::new();
+            for i in 0..positions.len() {
+                grid.neighbors_within(i, &mut out);
+                assert_eq!(
+                    out,
+                    brute_force(&positions, i, radius, metric),
+                    "node {i} radius {radius}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nodes_near_arbitrary_point() {
+        let side = 10.0;
+        let positions = vec![Vec2::new(1.0, 1.0), Vec2::new(2.0, 1.0), Vec2::new(8.0, 8.0)];
+        let grid = SpatialGrid::build(
+            &positions,
+            SquareRegion::new(side),
+            1.5,
+            Metric::Euclidean,
+        );
+        let mut out = Vec::new();
+        grid.nodes_near(Vec2::new(1.4, 1.0), &mut out);
+        assert_eq!(out, vec![0, 1]);
+        grid.nodes_near(Vec2::new(5.0, 5.0), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn for_each_pair_unique_and_complete() {
+        let side = 30.0;
+        let positions = random_positions(80, side, 9);
+        let metric = Metric::toroidal(side);
+        let grid = SpatialGrid::build(&positions, SquareRegion::new(side), 6.0, metric);
+        let mut pairs = Vec::new();
+        grid.for_each_pair(|i, j| pairs.push((i, j)));
+        let mut expected = Vec::new();
+        for i in 0..positions.len() as u32 {
+            for j in (i + 1)..positions.len() as u32 {
+                if metric.within(positions[i as usize], positions[j as usize], 6.0) {
+                    expected.push((i, j));
+                }
+            }
+        }
+        pairs.sort_unstable();
+        expected.sort_unstable();
+        assert_eq!(pairs, expected);
+    }
+
+    #[test]
+    fn radius_larger_than_region_works() {
+        // cells_per_axis clamps to 1; all nodes share one cell.
+        let side = 5.0;
+        let positions = random_positions(20, side, 4);
+        let grid = SpatialGrid::build(
+            &positions,
+            SquareRegion::new(side),
+            50.0,
+            Metric::Euclidean,
+        );
+        let mut out = Vec::new();
+        grid.neighbors_within(0, &mut out);
+        assert_eq!(out.len(), 19);
+        assert_eq!(grid.len(), 20);
+        assert!(!grid.is_empty());
+        assert_eq!(grid.radius(), 50.0);
+    }
+
+    #[test]
+    fn empty_grid_is_fine() {
+        let grid = SpatialGrid::build(
+            &[],
+            SquareRegion::new(10.0),
+            2.0,
+            Metric::Euclidean,
+        );
+        assert!(grid.is_empty());
+        let mut out = vec![99];
+        grid.nodes_near(Vec2::new(1.0, 1.0), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "radius")]
+    fn zero_radius_panics() {
+        SpatialGrid::build(&[], SquareRegion::new(10.0), 0.0, Metric::Euclidean);
+    }
+}

@@ -1,0 +1,48 @@
+//! 2D geometry for mobile ad hoc network simulation and analysis.
+//!
+//! Provides the spatial substrate shared by the simulator
+//! (`manet-sim`) and the analytical model (`manet-model`):
+//!
+//! * [`vec2`] — a minimal 2D vector type.
+//! * [`region`] — the bounded square deployment region with boundary
+//!   policies (toroidal wrap-around, reflection).
+//! * [`metric`] — Euclidean and toroidal (minimum-image) distance metrics.
+//! * [`grid`] — a uniform spatial hash grid for `O(1)`-per-node neighbor
+//!   queries, supporting both metrics.
+//! * [`linkdist`] — link-distance distributions: Miller's CDF for uniform
+//!   points in a square (the paper's Claim 1 substrate) and the disc
+//!   line-picking CDF used by the intra-cluster ROUTE model.
+//!
+//! # Example
+//!
+//! ```
+//! use manet_geom::prelude::*;
+//! use manet_util::Rng;
+//!
+//! let region = SquareRegion::new(1000.0);
+//! let mut rng = Rng::seed_from_u64(1);
+//! let p = region.sample_uniform(&mut rng);
+//! assert!(region.contains(p));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod grid;
+pub mod linkdist;
+pub mod metric;
+pub mod region;
+pub mod vec2;
+
+/// Convenient glob-import of the most used items.
+pub mod prelude {
+    pub use crate::grid::SpatialGrid;
+    pub use crate::metric::Metric;
+    pub use crate::region::{BoundaryPolicy, SquareRegion};
+    pub use crate::vec2::Vec2;
+}
+
+pub use grid::SpatialGrid;
+pub use metric::Metric;
+pub use region::{BoundaryPolicy, SquareRegion};
+pub use vec2::Vec2;

@@ -1,0 +1,234 @@
+//! The bounded square deployment region and its boundary policies.
+//!
+//! The paper's analysis observes an infinite uniform plane through a square
+//! window `S` of side `a` (the BCV model); its simulation uses a square with
+//! wrap-around boundaries. [`SquareRegion`] models the square
+//! `[0, a) × [0, a)`, and [`BoundaryPolicy`] selects what happens when a
+//! moving node crosses an edge.
+
+use crate::vec2::Vec2;
+use manet_util::Rng;
+
+/// How a moving node interacts with the region boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BoundaryPolicy {
+    /// Wrap around to the opposite edge (the paper's simulation model:
+    /// "if a node hits the border it reappears at the same position in the
+    /// opposite border and continues moving without changing direction").
+    #[default]
+    Torus,
+    /// Specular reflection: the node bounces and the velocity component
+    /// normal to the wall flips sign.
+    Reflect,
+}
+
+/// The square region `[0, side) × [0, side)`.
+///
+/// # Example
+///
+/// ```
+/// use manet_geom::{SquareRegion, Vec2, BoundaryPolicy};
+///
+/// let region = SquareRegion::new(100.0);
+/// let (p, _v) = region.advance(
+///     Vec2::new(99.0, 50.0),
+///     Vec2::new(2.0, 0.0),
+///     1.0,
+///     BoundaryPolicy::Torus,
+/// );
+/// assert!((p.x - 1.0).abs() < 1e-12); // wrapped across the right edge
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SquareRegion {
+    side: f64,
+}
+
+impl SquareRegion {
+    /// Creates a square region of the given side length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `side` is not strictly positive and finite.
+    pub fn new(side: f64) -> Self {
+        assert!(side > 0.0 && side.is_finite(), "side must be positive and finite");
+        SquareRegion { side }
+    }
+
+    /// Side length `a`.
+    #[inline]
+    pub fn side(&self) -> f64 {
+        self.side
+    }
+
+    /// Area `a²`.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.side * self.side
+    }
+
+    /// Whether `p` lies inside `[0, side) × [0, side)`.
+    #[inline]
+    pub fn contains(&self, p: Vec2) -> bool {
+        (0.0..self.side).contains(&p.x) && (0.0..self.side).contains(&p.y)
+    }
+
+    /// Samples a uniformly distributed point.
+    pub fn sample_uniform(&self, rng: &mut Rng) -> Vec2 {
+        Vec2::new(rng.f64_range(0.0..self.side), rng.f64_range(0.0..self.side))
+    }
+
+    /// Maps a point to its torus representative in `[0, side)²`.
+    #[inline]
+    pub fn wrap(&self, p: Vec2) -> Vec2 {
+        Vec2::new(p.x.rem_euclid(self.side), p.y.rem_euclid(self.side))
+    }
+
+    /// Advances a node at `pos` with velocity `vel` for `dt` seconds under
+    /// the given boundary policy, returning the new position and (possibly
+    /// reflected) velocity. The returned position is always inside the
+    /// region.
+    pub fn advance(
+        &self,
+        pos: Vec2,
+        vel: Vec2,
+        dt: f64,
+        policy: BoundaryPolicy,
+    ) -> (Vec2, Vec2) {
+        debug_assert!(dt >= 0.0);
+        let raw = pos + vel * dt;
+        match policy {
+            BoundaryPolicy::Torus => (self.wrap(raw), vel),
+            BoundaryPolicy::Reflect => {
+                let (x, flip_x) = reflect_axis(raw.x, self.side);
+                let (y, flip_y) = reflect_axis(raw.y, self.side);
+                let mut v = vel;
+                if flip_x {
+                    v.x = -v.x;
+                }
+                if flip_y {
+                    v.y = -v.y;
+                }
+                (Vec2::new(x, y), v)
+            }
+        }
+    }
+}
+
+/// Reflects a scalar coordinate into `[0, side)`, reporting whether the
+/// velocity along this axis must flip (odd number of bounces).
+fn reflect_axis(x: f64, side: f64) -> (f64, bool) {
+    // Fold into the period-2·side sawtooth.
+    let period = 2.0 * side;
+    let m = x.rem_euclid(period);
+    if m < side {
+        (m, false)
+    } else {
+        // Mirror segment. Guard against landing exactly on `side`.
+        let r = period - m;
+        (if r >= side { side * (1.0 - f64::EPSILON) } else { r }, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_and_area() {
+        let r = SquareRegion::new(10.0);
+        assert!(r.contains(Vec2::new(0.0, 0.0)));
+        assert!(r.contains(Vec2::new(9.999, 5.0)));
+        assert!(!r.contains(Vec2::new(10.0, 5.0)));
+        assert!(!r.contains(Vec2::new(-0.1, 5.0)));
+        assert_eq!(r.area(), 100.0);
+        assert_eq!(r.side(), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_side_panics() {
+        SquareRegion::new(0.0);
+    }
+
+    #[test]
+    fn wrap_maps_into_region() {
+        let r = SquareRegion::new(10.0);
+        assert_eq!(r.wrap(Vec2::new(12.0, -3.0)), Vec2::new(2.0, 7.0));
+        assert_eq!(r.wrap(Vec2::new(-0.5, 10.5)), Vec2::new(9.5, 0.5));
+    }
+
+    #[test]
+    fn torus_advance_wraps_and_keeps_velocity() {
+        let r = SquareRegion::new(10.0);
+        let (p, v) = r.advance(
+            Vec2::new(9.5, 9.5),
+            Vec2::new(1.0, 2.0),
+            1.0,
+            BoundaryPolicy::Torus,
+        );
+        assert!((p.x - 0.5).abs() < 1e-12);
+        assert!((p.y - 1.5).abs() < 1e-12);
+        assert_eq!(v, Vec2::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn reflect_advance_bounces_and_flips_velocity() {
+        let r = SquareRegion::new(10.0);
+        let (p, v) = r.advance(
+            Vec2::new(9.0, 5.0),
+            Vec2::new(4.0, 0.0),
+            1.0,
+            BoundaryPolicy::Reflect,
+        );
+        // Travels to 13.0 raw, reflects off the wall at 10 back to 7.0.
+        assert!((p.x - 7.0).abs() < 1e-12);
+        assert_eq!(v, Vec2::new(-4.0, 0.0));
+        assert!(r.contains(p));
+    }
+
+    #[test]
+    fn reflect_multiple_bounces_stays_inside() {
+        let r = SquareRegion::new(10.0);
+        let mut pos = Vec2::new(5.0, 5.0);
+        let mut vel = Vec2::new(37.0, -23.0);
+        for _ in 0..100 {
+            let (p, v) = r.advance(pos, vel, 0.7, BoundaryPolicy::Reflect);
+            assert!(r.contains(p), "escaped at {p}");
+            // Speed is preserved by reflection.
+            assert!((v.norm() - vel.norm()).abs() < 1e-9);
+            pos = p;
+            vel = v;
+        }
+    }
+
+    #[test]
+    fn even_bounce_count_preserves_direction() {
+        let r = SquareRegion::new(10.0);
+        // Raw travel of exactly two sides along x: two reflections, net flip
+        // cancels and the coordinate returns to the start.
+        let (p, v) = r.advance(
+            Vec2::new(3.0, 5.0),
+            Vec2::new(20.0, 0.0),
+            1.0,
+            BoundaryPolicy::Reflect,
+        );
+        assert!((p.x - 3.0).abs() < 1e-9);
+        assert_eq!(v.x, 20.0);
+    }
+
+    #[test]
+    fn uniform_sampling_covers_region() {
+        let r = SquareRegion::new(4.0);
+        let mut rng = Rng::seed_from_u64(11);
+        let mut quadrants = [0usize; 4];
+        for _ in 0..4000 {
+            let p = r.sample_uniform(&mut rng);
+            assert!(r.contains(p));
+            let q = (p.x >= 2.0) as usize * 2 + (p.y >= 2.0) as usize;
+            quadrants[q] += 1;
+        }
+        for &q in &quadrants {
+            assert!((q as i64 - 1000).abs() < 150, "quadrant counts {quadrants:?}");
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests for geometry primitives.
+
+use manet_geom::linkdist::{disc_link_cdf, square_link_cdf};
+use manet_geom::{BoundaryPolicy, Metric, SpatialGrid, SquareRegion, Vec2};
+use manet_util::Rng;
+use proptest::prelude::*;
+
+fn positions_strategy(side: f64) -> impl Strategy<Value = Vec<Vec2>> {
+    proptest::collection::vec((0.0..side, 0.0..side), 0..120)
+        .prop_map(|v| v.into_iter().map(|(x, y)| Vec2::new(x, y)).collect())
+}
+
+proptest! {
+    #[test]
+    fn toroidal_distance_never_exceeds_half_diagonal(
+        ax in 0.0..100.0f64, ay in 0.0..100.0f64,
+        bx in 0.0..100.0f64, by in 0.0..100.0f64,
+    ) {
+        let m = Metric::toroidal(100.0);
+        let d = m.distance(Vec2::new(ax, ay), Vec2::new(bx, by));
+        prop_assert!(d <= (2.0f64).sqrt() * 50.0 + 1e-9);
+    }
+
+    #[test]
+    fn toroidal_translation_invariance(
+        ax in 0.0..10.0f64, ay in 0.0..10.0f64,
+        bx in 0.0..10.0f64, by in 0.0..10.0f64,
+        tx in -30.0..30.0f64, ty in -30.0..30.0f64,
+    ) {
+        let m = Metric::toroidal(10.0);
+        let region = SquareRegion::new(10.0);
+        let a = Vec2::new(ax, ay);
+        let b = Vec2::new(bx, by);
+        let t = Vec2::new(tx, ty);
+        let d1 = m.distance(a, b);
+        let d2 = m.distance(region.wrap(a + t), region.wrap(b + t));
+        prop_assert!((d1 - d2).abs() < 1e-9, "d1={d1} d2={d2}");
+    }
+
+    #[test]
+    fn advance_keeps_nodes_inside(
+        px in 0.0..50.0f64, py in 0.0..50.0f64,
+        vx in -200.0..200.0f64, vy in -200.0..200.0f64,
+        dt in 0.0..5.0f64,
+        torus in any::<bool>(),
+    ) {
+        let region = SquareRegion::new(50.0);
+        let policy = if torus { BoundaryPolicy::Torus } else { BoundaryPolicy::Reflect };
+        let (p, v) = region.advance(Vec2::new(px, py), Vec2::new(vx, vy), dt, policy);
+        prop_assert!(region.contains(p), "pos {p} escaped");
+        // Speed preserved under both policies.
+        let before = Vec2::new(vx, vy).norm();
+        prop_assert!((v.norm() - before).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grid_agrees_with_brute_force(positions in positions_strategy(40.0),
+                                    radius in 0.5..60.0f64,
+                                    torus in any::<bool>()) {
+        let region = SquareRegion::new(40.0);
+        let metric = if torus { Metric::toroidal(40.0) } else { Metric::Euclidean };
+        let grid = SpatialGrid::build(&positions, region, radius, metric);
+        let mut out = Vec::new();
+        for i in 0..positions.len() {
+            grid.neighbors_within(i, &mut out);
+            let mut expected: Vec<u32> = (0..positions.len() as u32)
+                .filter(|&j| j as usize != i
+                    && metric.within(positions[i], positions[j as usize], radius))
+                .collect();
+            expected.sort_unstable();
+            prop_assert_eq!(&out, &expected, "node {} radius {}", i, radius);
+        }
+    }
+
+    #[test]
+    fn square_cdf_is_a_cdf(x1 in 0.0..1.5f64, x2 in 0.0..1.5f64) {
+        let (lo, hi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
+        let f_lo = square_link_cdf(lo, 1.0);
+        let f_hi = square_link_cdf(hi, 1.0);
+        prop_assert!(f_lo <= f_hi + 1e-12);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&f_lo));
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&f_hi));
+    }
+
+    #[test]
+    fn disc_cdf_is_a_cdf(x1 in 0.0..2.2f64, x2 in 0.0..2.2f64) {
+        let (lo, hi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
+        let f_lo = disc_link_cdf(lo, 1.0);
+        let f_hi = disc_link_cdf(hi, 1.0);
+        prop_assert!(f_lo <= f_hi + 1e-9);
+        prop_assert!((0.0..=1.0).contains(&f_lo));
+    }
+}
+
+#[test]
+fn wrap_then_metric_equals_unbounded_euclidean_for_short_hops() {
+    // A torus locally looks Euclidean: for points whose Euclidean distance is
+    // far below side/2, both metrics agree.
+    let m = Metric::toroidal(1000.0);
+    let mut rng = Rng::seed_from_u64(9);
+    for _ in 0..1000 {
+        let a = Vec2::new(rng.f64_range(400.0..600.0), rng.f64_range(400.0..600.0));
+        let b = Vec2::new(a.x + rng.f64_range(-50.0..50.0), a.y + rng.f64_range(-50.0..50.0));
+        assert!((m.distance(a, b) - a.distance(b)).abs() < 1e-9);
+    }
+}

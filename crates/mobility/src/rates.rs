@@ -1,0 +1,110 @@
+//! Closed-form link-dynamics rates for the Constant Velocity model.
+//!
+//! These are the mobility-side inputs to the paper's Claim 2. For nodes of
+//! density `ρ` moving at common speed `v` in independent uniform directions
+//! (the CV model), with transmission range `r`:
+//!
+//! * the mean relative speed between two nodes is `4v/π`
+//!   ([`mean_relative_speed`]);
+//! * each node gains new neighbors at rate `8ρrv/π` and loses them at the
+//!   same rate ([`cv_link_generation_rate`], [`cv_link_break_rate`]);
+//! * conditioning on `d` tracked neighbors instead of the unbounded-plane
+//!   value `πr²ρ` rescales the total rate to `16·d·v/(π²·r)`
+//!   ([`link_change_rate_for_degree`], the paper's Eqn 3).
+
+use std::f64::consts::PI;
+
+/// Mean of `|v₁ − v₂|` for two speed-`v` nodes with independent uniform
+/// directions: `4v/π`.
+pub fn mean_relative_speed(v: f64) -> f64 {
+    4.0 * v / PI
+}
+
+/// CV per-node link **generation** rate on the unbounded plane: `8ρrv/π`.
+///
+/// Derivation: a disc of radius `r` presents a boundary of length `2πr` to a
+/// flux of nodes of density `ρ` with mean relative speed `4v/π`; the inbound
+/// crossing rate is `ρ·L·v̄/π = 8ρrv/π`.
+pub fn cv_link_generation_rate(density: f64, r: f64, v: f64) -> f64 {
+    8.0 * density * r * v / PI
+}
+
+/// CV per-node link **break** rate on the unbounded plane (equal to the
+/// generation rate in the stationary regime): `8ρrv/π`.
+pub fn cv_link_break_rate(density: f64, r: f64, v: f64) -> f64 {
+    cv_link_generation_rate(density, r, v)
+}
+
+/// CV per-node **total** link change rate on the unbounded plane: `16ρrv/π`.
+pub fn cv_link_change_rate(density: f64, r: f64, v: f64) -> f64 {
+    2.0 * cv_link_generation_rate(density, r, v)
+}
+
+/// The paper's Claim 2: per-node link change rate expressed through the
+/// tracked expected degree `d`, `λ = 16·d·v/(π²·r)`.
+///
+/// With `d = πr²ρ` (torus / unbounded plane) this reduces exactly to
+/// [`cv_link_change_rate`]; with the border-corrected `d` of Claim 1 it is
+/// the BCV in-window rate.
+pub fn link_change_rate_for_degree(d: f64, r: f64, v: f64) -> f64 {
+    16.0 * d * v / (PI * PI * r)
+}
+
+/// Per-link break (and steady-state replacement) rate implied by Claim 2:
+/// `μ = 8v/(π²r)`.
+///
+/// A node's break rate `8dv/(π²r)` spread uniformly over its `d` links.
+pub fn per_link_break_rate(r: f64, v: f64) -> f64 {
+    8.0 * v / (PI * PI * r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manet_util::Rng;
+
+    #[test]
+    fn mean_relative_speed_monte_carlo() {
+        let mut rng = Rng::seed_from_u64(40);
+        let v = 3.0;
+        let n = 100_000;
+        let mut acc = 0.0;
+        for _ in 0..n {
+            let a = manet_geom::Vec2::from_angle(rng.angle()) * v;
+            let b = manet_geom::Vec2::from_angle(rng.angle()) * v;
+            acc += (a - b).norm();
+        }
+        let mc = acc / n as f64;
+        assert!((mc - mean_relative_speed(v)).abs() < 0.01, "MC {mc}");
+    }
+
+    #[test]
+    fn degree_form_reduces_to_plane_form() {
+        let (density, r, v) = (0.002, 120.0, 7.0);
+        let d = PI * r * r * density;
+        let via_degree = link_change_rate_for_degree(d, r, v);
+        let direct = cv_link_change_rate(density, r, v);
+        assert!((via_degree - direct).abs() < 1e-12 * direct.max(1.0));
+    }
+
+    #[test]
+    fn rates_are_consistent() {
+        let (density, r, v) = (0.001, 100.0, 5.0);
+        assert_eq!(
+            cv_link_change_rate(density, r, v),
+            cv_link_generation_rate(density, r, v) + cv_link_break_rate(density, r, v)
+        );
+        // Per-link rate times degree equals the per-node break rate.
+        let d = PI * r * r * density;
+        let per_node_break = 8.0 * d * v / (PI * PI * r);
+        assert!((per_link_break_rate(r, v) * d - per_node_break).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rates_scale_linearly() {
+        let base = cv_link_change_rate(0.001, 100.0, 5.0);
+        assert!((cv_link_change_rate(0.002, 100.0, 5.0) - 2.0 * base).abs() < 1e-12);
+        assert!((cv_link_change_rate(0.001, 200.0, 5.0) - 2.0 * base).abs() < 1e-12);
+        assert!((cv_link_change_rate(0.001, 100.0, 10.0) - 2.0 * base).abs() < 1e-12);
+    }
+}

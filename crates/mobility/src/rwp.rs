@@ -1,0 +1,230 @@
+//! Classic Random Waypoint mobility.
+
+use crate::Mobility;
+use manet_geom::{SquareRegion, Vec2};
+use manet_util::Rng;
+
+/// Classic Random Waypoint (RWP) mobility.
+///
+/// Each node repeatedly: picks a destination uniformly in the region, a
+/// speed uniformly in `[v_min, v_max]`, travels to the destination in a
+/// straight line, pauses for `pause` seconds, and repeats.
+///
+/// Included because the paper (Section 3.2) argues RWP is unsuitable for
+/// analysis — its stationary node distribution is center-biased and its
+/// link-change rate intractable. The `mobility_sensitivity` experiment
+/// demonstrates both properties empirically against
+/// [`EpochRandomDirection`](crate::EpochRandomDirection).
+#[derive(Debug, Clone)]
+pub struct RandomWaypoint {
+    region: SquareRegion,
+    v_min: f64,
+    v_max: f64,
+    pause: f64,
+    positions: Vec<Vec2>,
+    states: Vec<NodeState>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum NodeState {
+    /// Moving toward a destination at a fixed speed.
+    Moving { dest: Vec2, speed: f64 },
+    /// Paused; seconds of pause remaining.
+    Paused { remaining: f64 },
+}
+
+impl RandomWaypoint {
+    /// Creates `n` nodes at uniform positions, each starting a fresh trip.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < v_min ≤ v_max` (finite) and `pause ≥ 0`.
+    pub fn new(
+        region: SquareRegion,
+        n: usize,
+        v_min: f64,
+        v_max: f64,
+        pause: f64,
+        rng: &mut Rng,
+    ) -> Self {
+        assert!(
+            v_min > 0.0 && v_min <= v_max && v_max.is_finite(),
+            "need 0 < v_min <= v_max (finite); RWP with v_min = 0 famously has \
+             degenerate average speed"
+        );
+        assert!(pause >= 0.0 && pause.is_finite(), "pause must be non-negative and finite");
+        let positions = crate::uniform_placement(region, n, rng);
+        let states = positions
+            .iter()
+            .map(|_| NodeState::Moving {
+                dest: region.sample_uniform(rng),
+                speed: draw_speed(v_min, v_max, rng),
+            })
+            .collect();
+        RandomWaypoint { region, v_min, v_max, pause, positions, states }
+    }
+
+    /// Lower bound of the trip-speed distribution.
+    pub fn v_min(&self) -> f64 {
+        self.v_min
+    }
+
+    /// Upper bound of the trip-speed distribution.
+    pub fn v_max(&self) -> f64 {
+        self.v_max
+    }
+
+    /// Pause time between trips.
+    pub fn pause(&self) -> f64 {
+        self.pause
+    }
+}
+
+fn draw_speed(v_min: f64, v_max: f64, rng: &mut Rng) -> f64 {
+    if v_min == v_max {
+        v_min
+    } else {
+        rng.f64_range(v_min..v_max)
+    }
+}
+
+impl Mobility for RandomWaypoint {
+    fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    fn positions(&self) -> &[Vec2] {
+        &self.positions
+    }
+
+    fn region(&self) -> SquareRegion {
+        self.region
+    }
+
+    fn step(&mut self, dt: f64, rng: &mut Rng) {
+        debug_assert!(dt >= 0.0);
+        for i in 0..self.positions.len() {
+            let mut remaining = dt;
+            while remaining > 0.0 {
+                match self.states[i] {
+                    NodeState::Moving { dest, speed } => {
+                        let to_dest = dest - self.positions[i];
+                        let dist = to_dest.norm();
+                        let travel = speed * remaining;
+                        if travel >= dist {
+                            // Arrive exactly, spend the proportional time.
+                            self.positions[i] = dest;
+                            remaining -= if speed > 0.0 { dist / speed } else { remaining };
+                            self.states[i] = if self.pause > 0.0 {
+                                NodeState::Paused { remaining: self.pause }
+                            } else {
+                                NodeState::Moving {
+                                    dest: self.region.sample_uniform(rng),
+                                    speed: draw_speed(self.v_min, self.v_max, rng),
+                                }
+                            };
+                        } else {
+                            self.positions[i] += to_dest * (travel / dist);
+                            remaining = 0.0;
+                        }
+                    }
+                    NodeState::Paused { remaining: pause_left } => {
+                        if pause_left > remaining {
+                            self.states[i] = NodeState::Paused { remaining: pause_left - remaining };
+                            remaining = 0.0;
+                        } else {
+                            remaining -= pause_left;
+                            self.states[i] = NodeState::Moving {
+                                dest: self.region.sample_uniform(rng),
+                                speed: draw_speed(self.v_min, self.v_max, rng),
+                            };
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_inside_region() {
+        let mut rng = Rng::seed_from_u64(20);
+        let region = SquareRegion::new(100.0);
+        let mut rwp = RandomWaypoint::new(region, 40, 1.0, 10.0, 2.0, &mut rng);
+        for _ in 0..500 {
+            rwp.step(0.7, &mut rng);
+            for &p in rwp.positions() {
+                assert!(region.contains(p), "escaped: {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn displacement_bounded_by_max_speed() {
+        let mut rng = Rng::seed_from_u64(21);
+        let region = SquareRegion::new(100.0);
+        let mut rwp = RandomWaypoint::new(region, 40, 2.0, 8.0, 0.0, &mut rng);
+        for _ in 0..100 {
+            let before = rwp.positions().to_vec();
+            rwp.step(0.5, &mut rng);
+            for (a, b) in before.iter().zip(rwp.positions()) {
+                assert!(a.distance(*b) <= 8.0 * 0.5 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn pause_holds_nodes_still() {
+        let mut rng = Rng::seed_from_u64(22);
+        let region = SquareRegion::new(10.0);
+        // Tiny region and slow speed: nodes arrive fast, then pause 1000 s.
+        let mut rwp = RandomWaypoint::new(region, 10, 1.0, 1.0, 1000.0, &mut rng);
+        for _ in 0..100 {
+            rwp.step(1.0, &mut rng);
+        }
+        // By now every node has finished its (≤ 14.2 s) first trip.
+        let before = rwp.positions().to_vec();
+        rwp.step(5.0, &mut rng);
+        assert_eq!(rwp.positions(), before.as_slice());
+    }
+
+    #[test]
+    fn stationary_distribution_is_center_biased() {
+        // The property the paper cites as making RWP analysis-hostile: after
+        // mixing, the center of the region is denser than the border ring.
+        let mut rng = Rng::seed_from_u64(23);
+        let region = SquareRegion::new(100.0);
+        let mut rwp = RandomWaypoint::new(region, 3000, 5.0, 5.0, 0.0, &mut rng);
+        for _ in 0..600 {
+            rwp.step(1.0, &mut rng);
+        }
+        let inner = rwp
+            .positions()
+            .iter()
+            .filter(|p| p.x > 25.0 && p.x < 75.0 && p.y > 25.0 && p.y < 75.0)
+            .count() as f64;
+        // Under a uniform law the inner quarter-area square holds 25%.
+        let frac = inner / 3000.0;
+        assert!(frac > 0.32, "inner fraction {frac} not center-biased");
+    }
+
+    #[test]
+    fn accessors() {
+        let mut rng = Rng::seed_from_u64(24);
+        let rwp = RandomWaypoint::new(SquareRegion::new(10.0), 2, 1.0, 2.0, 0.5, &mut rng);
+        assert_eq!(rwp.v_min(), 1.0);
+        assert_eq!(rwp.v_max(), 2.0);
+        assert_eq!(rwp.pause(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "v_min")]
+    fn zero_v_min_panics() {
+        let mut rng = Rng::seed_from_u64(25);
+        RandomWaypoint::new(SquareRegion::new(10.0), 2, 0.0, 2.0, 0.0, &mut rng);
+    }
+}

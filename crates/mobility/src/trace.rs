@@ -1,0 +1,361 @@
+//! Mobility trace recording, replay, and interchange.
+//!
+//! Research workflows need motion to be *reproducible across tools*: record
+//! a trace once, replay it under different protocol stacks, or export it to
+//! other simulators. This module provides:
+//!
+//! * [`TraceRecorder`] — samples any [`Mobility`] model at a fixed period
+//!   into a [`RecordedTrace`];
+//! * [`RecordedTrace`] — itself a [`Mobility`] model that replays the
+//!   samples with linear interpolation (torus-aware), so a recorded run
+//!   can be fed back into the simulator byte-for-byte;
+//! * a plain-text serialization (`to_text`/`from_text`) and an **ns-2
+//!   movement file** export (`to_ns2`), the de-facto interchange format of
+//!   the MANET simulation literature (setdest/GloMoSim era).
+
+use crate::Mobility;
+use manet_geom::{SquareRegion, Vec2};
+use manet_util::Rng;
+use std::fmt::Write as _;
+
+/// A fixed-period mobility trace: positions of every node at sample times
+/// `0, period, 2·period, …`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordedTrace {
+    side: f64,
+    period: f64,
+    /// `frames[k][u]` = position of node `u` at time `k·period`.
+    frames: Vec<Vec<Vec2>>,
+    /// Replay state.
+    cursor_time: f64,
+    current: Vec<Vec2>,
+}
+
+/// Records a live mobility model into a [`RecordedTrace`].
+#[derive(Debug)]
+pub struct TraceRecorder {
+    side: f64,
+    period: f64,
+    frames: Vec<Vec<Vec2>>,
+}
+
+impl TraceRecorder {
+    /// Starts a recorder sampling every `period` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `period` is strictly positive and finite.
+    pub fn new(region: SquareRegion, period: f64) -> Self {
+        assert!(period > 0.0 && period.is_finite(), "period must be positive and finite");
+        TraceRecorder { side: region.side(), period, frames: Vec::new() }
+    }
+
+    /// Captures the model's current positions as the next frame.
+    pub fn capture<M: Mobility + ?Sized>(&mut self, model: &M) {
+        self.frames.push(model.positions().to_vec());
+    }
+
+    /// Runs `model` forward for `frames` sample periods, capturing each
+    /// (including the initial state), and returns the trace.
+    pub fn record<M: Mobility + ?Sized>(
+        mut self,
+        model: &mut M,
+        rng: &mut Rng,
+        frames: usize,
+    ) -> RecordedTrace {
+        self.capture(model);
+        for _ in 0..frames {
+            model.step(self.period, rng);
+            self.capture(model);
+        }
+        self.finish()
+    }
+
+    /// Finalizes into a replayable trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing was captured or frames disagree on node count.
+    pub fn finish(self) -> RecordedTrace {
+        assert!(!self.frames.is_empty(), "no frames captured");
+        let n = self.frames[0].len();
+        assert!(
+            self.frames.iter().all(|f| f.len() == n),
+            "inconsistent node counts across frames"
+        );
+        let current = self.frames[0].clone();
+        RecordedTrace {
+            side: self.side,
+            period: self.period,
+            frames: self.frames,
+            cursor_time: 0.0,
+            current,
+        }
+    }
+}
+
+impl RecordedTrace {
+    /// Sample period in seconds.
+    pub fn period(&self) -> f64 {
+        self.period
+    }
+
+    /// Number of captured frames.
+    pub fn frame_count(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Total covered time span.
+    pub fn duration(&self) -> f64 {
+        (self.frames.len().saturating_sub(1)) as f64 * self.period
+    }
+
+    /// Rewinds replay to `t = 0`.
+    pub fn rewind(&mut self) {
+        self.cursor_time = 0.0;
+        self.current = self.frames[0].clone();
+    }
+
+    /// Position of node `u` at absolute time `t` (clamped to the trace
+    /// span), interpolating linearly along the shortest torus path between
+    /// surrounding frames.
+    pub fn position_at(&self, u: usize, t: f64) -> Vec2 {
+        let span = self.duration();
+        let t = t.clamp(0.0, span);
+        let k = ((t / self.period).floor() as usize).min(self.frames.len() - 1);
+        if k + 1 >= self.frames.len() {
+            return self.frames[k][u];
+        }
+        let alpha = (t - k as f64 * self.period) / self.period;
+        let a = self.frames[k][u];
+        let b = self.frames[k + 1][u];
+        // Shortest displacement on the torus.
+        let wrap = |d: f64| {
+            let m = d.rem_euclid(self.side);
+            if m > self.side * 0.5 {
+                m - self.side
+            } else {
+                m
+            }
+        };
+        let delta = Vec2::new(wrap(b.x - a.x), wrap(b.y - a.y));
+        SquareRegion::new(self.side).wrap(a + delta * alpha)
+    }
+
+    /// Serializes to the crate's plain-text format:
+    /// header `manet-trace v1 <side> <period> <frames> <nodes>` followed by
+    /// one `x y` pair per line, frame-major.
+    pub fn to_text(&self) -> String {
+        let n = self.frames[0].len();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "manet-trace v1 {} {} {} {}",
+            self.side,
+            self.period,
+            self.frames.len(),
+            n
+        );
+        for frame in &self.frames {
+            for p in frame {
+                let _ = writeln!(out, "{} {}", p.x, p.y);
+            }
+        }
+        out
+    }
+
+    /// Parses the [`to_text`](Self::to_text) format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty trace")?;
+        let parts: Vec<&str> = header.split_whitespace().collect();
+        if parts.len() != 6 || parts[0] != "manet-trace" || parts[1] != "v1" {
+            return Err(format!("bad header: {header:?}"));
+        }
+        let side: f64 = parts[2].parse().map_err(|e| format!("bad side: {e}"))?;
+        let period: f64 = parts[3].parse().map_err(|e| format!("bad period: {e}"))?;
+        let frame_count: usize = parts[4].parse().map_err(|e| format!("bad frames: {e}"))?;
+        let n: usize = parts[5].parse().map_err(|e| format!("bad nodes: {e}"))?;
+        if side <= 0.0 || period <= 0.0 || frame_count == 0 {
+            return Err("non-positive header fields".into());
+        }
+        let mut frames = Vec::with_capacity(frame_count);
+        for k in 0..frame_count {
+            let mut frame = Vec::with_capacity(n);
+            for u in 0..n {
+                let line =
+                    lines.next().ok_or_else(|| format!("truncated at frame {k} node {u}"))?;
+                let mut it = line.split_whitespace();
+                let x: f64 = it
+                    .next()
+                    .ok_or_else(|| format!("missing x at frame {k} node {u}"))?
+                    .parse()
+                    .map_err(|e| format!("bad x at frame {k} node {u}: {e}"))?;
+                let y: f64 = it
+                    .next()
+                    .ok_or_else(|| format!("missing y at frame {k} node {u}"))?
+                    .parse()
+                    .map_err(|e| format!("bad y at frame {k} node {u}: {e}"))?;
+                frame.push(Vec2::new(x, y));
+            }
+            frames.push(frame);
+        }
+        let current = frames[0].clone();
+        Ok(RecordedTrace { side, period, frames, cursor_time: 0.0, current })
+    }
+
+    /// Exports as an ns-2 movement script: initial `set X_/Y_/Z_` lines
+    /// plus one `setdest` per node per frame transition.
+    ///
+    /// Note ns-2 nodes travel straight lines (no torus); wrap transitions
+    /// appear as high-speed dashes, which is the standard artifact when
+    /// exporting torus traces to ns-2 tooling.
+    pub fn to_ns2(&self) -> String {
+        let n = self.frames[0].len();
+        let mut out = String::new();
+        for (u, p) in self.frames[0].iter().enumerate() {
+            let _ = writeln!(out, "$node_({u}) set X_ {}", p.x);
+            let _ = writeln!(out, "$node_({u}) set Y_ {}", p.y);
+            let _ = writeln!(out, "$node_({u}) set Z_ 0.0");
+        }
+        for k in 1..self.frames.len() {
+            let t = k as f64 * self.period;
+            for u in 0..n {
+                let from = self.frames[k - 1][u];
+                let to = self.frames[k][u];
+                let speed = from.distance(to) / self.period;
+                let _ = writeln!(
+                    out,
+                    "$ns_ at {:.6} \"$node_({u}) setdest {} {} {:.6}\"",
+                    t - self.period,
+                    to.x,
+                    to.y,
+                    speed
+                );
+            }
+        }
+        out
+    }
+}
+
+impl Mobility for RecordedTrace {
+    fn len(&self) -> usize {
+        self.frames[0].len()
+    }
+
+    fn positions(&self) -> &[Vec2] {
+        &self.current
+    }
+
+    fn region(&self) -> SquareRegion {
+        SquareRegion::new(self.side)
+    }
+
+    fn step(&mut self, dt: f64, _rng: &mut Rng) {
+        self.cursor_time += dt;
+        for u in 0..self.current.len() {
+            self.current[u] = self.position_at(u, self.cursor_time);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ConstantVelocity;
+    use manet_geom::Metric;
+
+    fn record_cv(frames: usize) -> RecordedTrace {
+        let region = SquareRegion::new(100.0);
+        let mut rng = Rng::seed_from_u64(77);
+        let mut cv = ConstantVelocity::new(region, 10, 4.0, &mut rng);
+        TraceRecorder::new(region, 0.5).record(&mut cv, &mut rng, frames)
+    }
+
+    #[test]
+    fn record_and_replay_match_at_sample_points() {
+        let region = SquareRegion::new(100.0);
+        let mut rng = Rng::seed_from_u64(77);
+        let mut cv = ConstantVelocity::new(region, 10, 4.0, &mut rng);
+        let initial = cv.positions().to_vec();
+        let mut trace = TraceRecorder::new(region, 0.5).record(&mut cv, &mut rng, 20);
+        assert_eq!(trace.frame_count(), 21);
+        assert!((trace.duration() - 10.0).abs() < 1e-12);
+        assert_eq!(trace.positions(), initial.as_slice());
+        // After one period of replay, positions equal frame 1 exactly.
+        let mut replay_rng = Rng::seed_from_u64(0);
+        trace.step(0.5, &mut replay_rng);
+        for u in 0..10 {
+            assert!(trace.positions()[u].distance(trace.frames[1][u]) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn interpolation_respects_constant_speed_on_torus() {
+        let trace = record_cv(10);
+        // Halfway between frames, a CV node has moved half a frame's worth
+        // along the torus shortcut.
+        let metric = Metric::toroidal(100.0);
+        for u in 0..10 {
+            let mid = trace.position_at(u, 0.25);
+            let d0 = metric.distance(trace.frames[0][u], mid);
+            let d1 = metric.distance(mid, trace.frames[1][u]);
+            assert!((d0 - d1).abs() < 1e-9, "node {u}: {d0} vs {d1}");
+            assert!((d0 + d1 - 4.0 * 0.5).abs() < 1e-9, "node {u} total");
+        }
+    }
+
+    #[test]
+    fn text_roundtrip_is_exact() {
+        let trace = record_cv(5);
+        let text = trace.to_text();
+        let parsed = RecordedTrace::from_text(&text).unwrap();
+        assert_eq!(parsed.frames, trace.frames);
+        assert_eq!(parsed.period(), trace.period());
+    }
+
+    #[test]
+    fn from_text_rejects_malformed_input() {
+        assert!(RecordedTrace::from_text("").is_err());
+        assert!(RecordedTrace::from_text("bogus header").is_err());
+        assert!(RecordedTrace::from_text("manet-trace v1 100 0.5 2 3\n1 2\n").is_err());
+        assert!(
+            RecordedTrace::from_text("manet-trace v1 100 0.5 1 1\nnot numbers\n").is_err()
+        );
+        assert!(RecordedTrace::from_text("manet-trace v1 -5 0.5 1 1\n0 0\n").is_err());
+    }
+
+    #[test]
+    fn ns2_export_mentions_every_node_and_frame() {
+        let trace = record_cv(3);
+        let ns2 = trace.to_ns2();
+        for u in 0..10 {
+            assert!(ns2.contains(&format!("$node_({u}) set X_")));
+        }
+        // 3 transitions × 10 nodes setdest lines.
+        assert_eq!(ns2.matches("setdest").count(), 30);
+    }
+
+    #[test]
+    fn replay_is_a_mobility_model_and_clamps_at_the_end() {
+        let mut trace = record_cv(4);
+        let mut rng = Rng::seed_from_u64(0);
+        trace.step(100.0, &mut rng); // far past the end
+        let last = trace.frames.last().unwrap().clone();
+        assert_eq!(trace.positions(), last.as_slice());
+        trace.rewind();
+        assert_eq!(trace.positions(), trace.frames[0].as_slice());
+        assert_eq!(trace.len(), 10);
+        assert_eq!(trace.region().side(), 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "period")]
+    fn zero_period_panics() {
+        TraceRecorder::new(SquareRegion::new(10.0), 0.0);
+    }
+}

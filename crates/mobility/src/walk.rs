@@ -1,0 +1,159 @@
+//! Classic Random Walk mobility with reflecting borders.
+
+use crate::Mobility;
+use manet_geom::{BoundaryPolicy, SquareRegion, Vec2};
+use manet_util::Rng;
+
+/// Random Walk mobility: each node repeatedly draws a direction uniformly
+/// and a leg duration, walks the leg at the common speed, and reflects off
+/// the region borders.
+///
+/// Differs from [`EpochRandomDirection`](crate::EpochRandomDirection) in two
+/// analysis-relevant ways: legs are per-node (not synchronized) with random
+/// durations, and borders reflect instead of wrapping, which perturbs the
+/// link-change rate near the boundary.
+#[derive(Debug, Clone)]
+pub struct RandomWalk {
+    region: SquareRegion,
+    speed: f64,
+    min_leg: f64,
+    max_leg: f64,
+    positions: Vec<Vec2>,
+    directions: Vec<Vec2>,
+    leg_left: Vec<f64>,
+}
+
+impl RandomWalk {
+    /// Creates `n` walkers with uniform positions and fresh legs.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `speed ≥ 0` and `0 < min_leg ≤ max_leg` (finite).
+    pub fn new(
+        region: SquareRegion,
+        n: usize,
+        speed: f64,
+        min_leg: f64,
+        max_leg: f64,
+        rng: &mut Rng,
+    ) -> Self {
+        assert!(speed >= 0.0 && speed.is_finite(), "speed must be non-negative and finite");
+        assert!(
+            min_leg > 0.0 && min_leg <= max_leg && max_leg.is_finite(),
+            "need 0 < min_leg <= max_leg (finite)"
+        );
+        let positions = crate::uniform_placement(region, n, rng);
+        let directions = (0..n).map(|_| Vec2::from_angle(rng.angle())).collect();
+        let leg_left = (0..n).map(|_| draw_leg(min_leg, max_leg, rng)).collect();
+        RandomWalk { region, speed, min_leg, max_leg, positions, directions, leg_left }
+    }
+
+    /// The common walker speed.
+    pub fn speed(&self) -> f64 {
+        self.speed
+    }
+}
+
+fn draw_leg(min_leg: f64, max_leg: f64, rng: &mut Rng) -> f64 {
+    if min_leg == max_leg {
+        min_leg
+    } else {
+        rng.f64_range(min_leg..max_leg)
+    }
+}
+
+impl Mobility for RandomWalk {
+    fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    fn positions(&self) -> &[Vec2] {
+        &self.positions
+    }
+
+    fn region(&self) -> SquareRegion {
+        self.region
+    }
+
+    fn step(&mut self, dt: f64, rng: &mut Rng) {
+        debug_assert!(dt >= 0.0);
+        for i in 0..self.positions.len() {
+            let mut remaining = dt;
+            while remaining > 0.0 {
+                let leg = remaining.min(self.leg_left[i]);
+                let vel = self.directions[i] * self.speed;
+                let (np, nv) =
+                    self.region
+                        .advance(self.positions[i], vel, leg, BoundaryPolicy::Reflect);
+                self.positions[i] = np;
+                // Reflection may have flipped the direction.
+                if self.speed > 0.0 {
+                    self.directions[i] = nv / self.speed;
+                }
+                self.leg_left[i] -= leg;
+                remaining -= leg;
+                if self.leg_left[i] <= 0.0 {
+                    self.directions[i] = Vec2::from_angle(rng.angle());
+                    self.leg_left[i] = draw_leg(self.min_leg, self.max_leg, rng);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_inside_and_moves_at_speed() {
+        let mut rng = Rng::seed_from_u64(30);
+        let region = SquareRegion::new(60.0);
+        let mut walk = RandomWalk::new(region, 30, 3.0, 1.0, 5.0, &mut rng);
+        for _ in 0..300 {
+            let before = walk.positions().to_vec();
+            walk.step(0.4, &mut rng);
+            for (a, b) in before.iter().zip(walk.positions()) {
+                assert!(region.contains(*b));
+                // Straight-line displacement can only shrink via reflection
+                // or a mid-step turn, never exceed speed·dt.
+                assert!(a.distance(*b) <= 3.0 * 0.4 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn legs_redraw_direction() {
+        let mut rng = Rng::seed_from_u64(31);
+        let mut walk = RandomWalk::new(SquareRegion::new(1000.0), 16, 1.0, 2.0, 2.0, &mut rng);
+        let d0 = walk.directions.clone();
+        walk.step(2.5, &mut rng);
+        let changed = walk.directions.iter().zip(&d0).filter(|(a, b)| a != b).count();
+        assert_eq!(changed, 16, "every walker crossed exactly one leg boundary");
+    }
+
+    #[test]
+    fn distribution_remains_roughly_uniform() {
+        let mut rng = Rng::seed_from_u64(32);
+        let mut walk = RandomWalk::new(SquareRegion::new(100.0), 4000, 5.0, 5.0, 15.0, &mut rng);
+        for _ in 0..150 {
+            walk.step(1.0, &mut rng);
+        }
+        crate::test_support::assert_near_uniform(walk.positions(), 100.0, 4, 0.25);
+    }
+
+    #[test]
+    fn accessors() {
+        let mut rng = Rng::seed_from_u64(33);
+        let walk = RandomWalk::new(SquareRegion::new(10.0), 4, 2.5, 1.0, 2.0, &mut rng);
+        assert_eq!(walk.speed(), 2.5);
+        assert_eq!(walk.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "min_leg")]
+    fn bad_leg_bounds_panic() {
+        let mut rng = Rng::seed_from_u64(34);
+        RandomWalk::new(SquareRegion::new(10.0), 1, 1.0, 0.0, 2.0, &mut rng);
+    }
+}

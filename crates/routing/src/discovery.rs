@@ -1,0 +1,371 @@
+//! Reactive inter-cluster route discovery over the cluster backbone.
+//!
+//! The hybrid protocol's reactive half: to reach a node in another cluster,
+//! the source's cluster floods a route request (RREQ) across the **cluster
+//! graph** — clusters are adjacent when any pair of their nodes share a
+//! link — and the destination cluster returns a route reply (RREP) along
+//! the discovered cluster path. Message accounting follows standard
+//! cluster-based flooding: every node of every cluster the flood visits
+//! rebroadcasts the RREQ once; the RREP travels back unicast, one message
+//! per cluster hop.
+
+use manet_cluster::ClusterAssignment;
+use manet_sim::{NodeId, Topology};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Result of one route discovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiscoveryOutcome {
+    /// Whether the destination's cluster was reached.
+    pub found: bool,
+    /// Cluster heads along the discovered path, source cluster first
+    /// (empty when not found).
+    pub cluster_path: Vec<NodeId>,
+    /// RREQ transmissions (one per node of every visited cluster).
+    pub rreq_messages: u64,
+    /// RREP transmissions (one per cluster hop on the way back).
+    pub rrep_messages: u64,
+}
+
+/// Stateless route-discovery engine over a cluster structure.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RouteDiscovery;
+
+impl RouteDiscovery {
+    /// Creates a discovery engine.
+    pub fn new() -> Self {
+        RouteDiscovery
+    }
+
+    /// Builds the cluster adjacency graph: heads as vertices, an edge when
+    /// any inter-cluster node pair is directly linked.
+    pub fn cluster_graph<C: ClusterAssignment + ?Sized>(
+        topology: &Topology,
+        clustering: &C,
+    ) -> BTreeMap<NodeId, BTreeSet<NodeId>> {
+        let mut graph: BTreeMap<NodeId, BTreeSet<NodeId>> = BTreeMap::new();
+        for u in 0..topology.len() as NodeId {
+            graph.entry(clustering.cluster_head_of(u)).or_default();
+        }
+        for (a, b) in topology.links() {
+            let (ha, hb) = (clustering.cluster_head_of(a), clustering.cluster_head_of(b));
+            if ha != hb {
+                graph.entry(ha).or_default().insert(hb);
+                graph.entry(hb).or_default().insert(ha);
+            }
+        }
+        graph
+    }
+
+    /// Floods an RREQ from `src`'s cluster toward `dst`'s cluster and
+    /// accounts the traffic.
+    ///
+    /// The flood is breadth-first over the cluster graph and stops expanding
+    /// once the destination cluster is dequeued (clusters already queued
+    /// have already rebroadcast — their cost is charged, as in a real
+    /// expanding-ring flood).
+    pub fn discover<C: ClusterAssignment + ?Sized>(
+        &self,
+        topology: &Topology,
+        clustering: &C,
+        src: NodeId,
+        dst: NodeId,
+    ) -> DiscoveryOutcome {
+        let graph = Self::cluster_graph(topology, clustering);
+        let src_cluster = clustering.cluster_head_of(src);
+        let dst_cluster = clustering.cluster_head_of(dst);
+        let cluster_size = |h: NodeId| clustering.cluster_size_of(h) as u64;
+
+        if src_cluster == dst_cluster {
+            // Intra-cluster destination: the proactive tables already know
+            // it; no discovery traffic.
+            return DiscoveryOutcome {
+                found: true,
+                cluster_path: vec![src_cluster],
+                rreq_messages: 0,
+                rrep_messages: 0,
+            };
+        }
+
+        let mut parent: BTreeMap<NodeId, NodeId> = BTreeMap::new();
+        let mut visited: BTreeSet<NodeId> = BTreeSet::from([src_cluster]);
+        let mut queue = VecDeque::from([src_cluster]);
+        let mut rreq_messages = 0u64;
+        let mut found = false;
+        while let Some(h) = queue.pop_front() {
+            // Every node of the dequeued cluster rebroadcasts the RREQ.
+            rreq_messages += cluster_size(h);
+            if h == dst_cluster {
+                found = true;
+                break;
+            }
+            if let Some(adj) = graph.get(&h) {
+                for &nh in adj {
+                    if visited.insert(nh) {
+                        parent.insert(nh, h);
+                        queue.push_back(nh);
+                    }
+                }
+            }
+        }
+
+        if !found {
+            return DiscoveryOutcome {
+                found: false,
+                cluster_path: Vec::new(),
+                rreq_messages,
+                rrep_messages: 0,
+            };
+        }
+
+        let mut cluster_path = vec![dst_cluster];
+        let mut cur = dst_cluster;
+        while let Some(&p) = parent.get(&cur) {
+            cluster_path.push(p);
+            cur = p;
+        }
+        cluster_path.reverse();
+        let rrep_messages = (cluster_path.len() - 1) as u64;
+        DiscoveryOutcome { found: true, cluster_path, rreq_messages, rrep_messages }
+    }
+}
+
+impl RouteDiscovery {
+    /// Expanding-ring discovery: retries the flood with growing cluster-hop
+    /// TTLs instead of flooding the whole network at once — the standard
+    /// AODV optimization. Each ring restarts the flood from the source
+    /// cluster (costs accumulate), but a nearby destination is found long
+    /// before the network-wide flood would have charged every cluster.
+    ///
+    /// `ttl_schedule` gives the successive ring radii in cluster hops; a
+    /// final unbounded attempt runs if every ring misses.
+    pub fn discover_expanding_ring<C: ClusterAssignment + ?Sized>(
+        &self,
+        topology: &Topology,
+        clustering: &C,
+        src: NodeId,
+        dst: NodeId,
+        ttl_schedule: &[usize],
+    ) -> DiscoveryOutcome {
+        let mut total_rreq = 0u64;
+        for &ttl in ttl_schedule {
+            let mut o = self.discover_bounded(topology, clustering, src, dst, Some(ttl));
+            if o.found {
+                o.rreq_messages += total_rreq;
+                return o;
+            }
+            total_rreq += o.rreq_messages;
+        }
+        let mut o = self.discover_bounded(topology, clustering, src, dst, None);
+        o.rreq_messages += total_rreq;
+        o
+    }
+
+    /// One flood attempt limited to `ttl` cluster hops (`None` = unbounded;
+    /// equivalent to [`discover`](Self::discover)).
+    fn discover_bounded<C: ClusterAssignment + ?Sized>(
+        &self,
+        topology: &Topology,
+        clustering: &C,
+        src: NodeId,
+        dst: NodeId,
+        ttl: Option<usize>,
+    ) -> DiscoveryOutcome {
+        let graph = Self::cluster_graph(topology, clustering);
+        let src_cluster = clustering.cluster_head_of(src);
+        let dst_cluster = clustering.cluster_head_of(dst);
+        let cluster_size = |h: NodeId| clustering.cluster_size_of(h) as u64;
+        if src_cluster == dst_cluster {
+            return DiscoveryOutcome {
+                found: true,
+                cluster_path: vec![src_cluster],
+                rreq_messages: 0,
+                rrep_messages: 0,
+            };
+        }
+        let mut parent: BTreeMap<NodeId, NodeId> = BTreeMap::new();
+        let mut depth: BTreeMap<NodeId, usize> = BTreeMap::from([(src_cluster, 0)]);
+        let mut queue = VecDeque::from([src_cluster]);
+        let mut rreq_messages = 0u64;
+        let mut found = false;
+        while let Some(h) = queue.pop_front() {
+            rreq_messages += cluster_size(h);
+            if h == dst_cluster {
+                found = true;
+                break;
+            }
+            let d = depth[&h];
+            if let Some(limit) = ttl {
+                if d >= limit {
+                    continue; // ring edge: heard, not re-propagated
+                }
+            }
+            if let Some(adj) = graph.get(&h) {
+                for &nh in adj {
+                    if let std::collections::btree_map::Entry::Vacant(e) = depth.entry(nh) {
+                        e.insert(d + 1);
+                        parent.insert(nh, h);
+                        queue.push_back(nh);
+                    }
+                }
+            }
+        }
+        if !found {
+            return DiscoveryOutcome {
+                found: false,
+                cluster_path: Vec::new(),
+                rreq_messages,
+                rrep_messages: 0,
+            };
+        }
+        let mut cluster_path = vec![dst_cluster];
+        let mut cur = dst_cluster;
+        while let Some(&p) = parent.get(&cur) {
+            cluster_path.push(p);
+            cur = p;
+        }
+        cluster_path.reverse();
+        let rrep_messages = (cluster_path.len() - 1) as u64;
+        DiscoveryOutcome { found: true, cluster_path, rreq_messages, rrep_messages }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manet_cluster::{Clustering, LowestId};
+    use manet_geom::{Metric, SquareRegion, Vec2};
+
+    fn topo(positions: &[(f64, f64)], radius: f64) -> Topology {
+        let pts: Vec<Vec2> = positions.iter().map(|&(x, y)| Vec2::new(x, y)).collect();
+        Topology::compute(&pts, SquareRegion::new(1000.0), radius, Metric::Euclidean)
+    }
+
+    #[test]
+    fn same_cluster_is_free() {
+        let t = topo(&[(0.0, 0.0), (1.0, 0.0)], 1.5);
+        let c = Clustering::form(LowestId, &t);
+        let o = RouteDiscovery::new().discover(&t, &c, 0, 1);
+        assert!(o.found);
+        assert_eq!(o.rreq_messages, 0);
+        assert_eq!(o.rrep_messages, 0);
+        assert_eq!(o.cluster_path.len(), 1);
+    }
+
+    #[test]
+    fn chain_of_clusters_discovers_shortest_cluster_path() {
+        // 6-path with radius 1.1 → LID heads {0, 2, 4}, clusters of 2.
+        let pts: Vec<(f64, f64)> = (0..6).map(|i| (i as f64, 0.0)).collect();
+        let t = topo(&pts, 1.1);
+        let c = Clustering::form(LowestId, &t);
+        assert_eq!(c.head_count(), 3);
+        let o = RouteDiscovery::new().discover(&t, &c, 1, 5);
+        assert!(o.found);
+        assert_eq!(o.cluster_path, vec![0, 2, 4]);
+        // Flood visits all three clusters (2 nodes each): 6 RREQs; RREP
+        // walks 2 cluster hops back.
+        assert_eq!(o.rreq_messages, 6);
+        assert_eq!(o.rrep_messages, 2);
+    }
+
+    #[test]
+    fn partitioned_network_reports_not_found() {
+        let t = topo(&[(0.0, 0.0), (1.0, 0.0), (500.0, 0.0), (501.0, 0.0)], 1.5);
+        let c = Clustering::form(LowestId, &t);
+        let o = RouteDiscovery::new().discover(&t, &c, 0, 3);
+        assert!(!o.found);
+        assert!(o.cluster_path.is_empty());
+        // The source cluster still flooded itself.
+        assert_eq!(o.rreq_messages, 2);
+        assert_eq!(o.rrep_messages, 0);
+    }
+
+    #[test]
+    fn cluster_graph_edges_require_inter_cluster_links() {
+        let pts: Vec<(f64, f64)> = (0..6).map(|i| (i as f64, 0.0)).collect();
+        let t = topo(&pts, 1.1);
+        let c = Clustering::form(LowestId, &t);
+        let g = RouteDiscovery::cluster_graph(&t, &c);
+        assert_eq!(g.len(), 3);
+        assert!(g[&0].contains(&2));
+        assert!(g[&2].contains(&4));
+        assert!(!g[&0].contains(&4), "clusters 0 and 4 are not adjacent");
+    }
+
+    #[test]
+    fn expanding_ring_finds_near_destinations_cheaply() {
+        // 6-path → clusters {0,1},{2,3},{4,5}. Destination one cluster
+        // away: a TTL-1 ring visits 2 clusters (4 RREQs) instead of all 3.
+        let pts: Vec<(f64, f64)> = (0..6).map(|i| (i as f64, 0.0)).collect();
+        let t = topo(&pts, 1.1);
+        let c = Clustering::form(LowestId, &t);
+        let d = RouteDiscovery::new();
+        let ring = d.discover_expanding_ring(&t, &c, 0, 3, &[1, 2]);
+        assert!(ring.found);
+        assert_eq!(ring.cluster_path, vec![0, 2]);
+        assert_eq!(ring.rreq_messages, 4, "TTL-1 ring: clusters 0 and 2 only");
+        let full = d.discover(&t, &c, 0, 3);
+        assert!(ring.rreq_messages <= full.rreq_messages);
+    }
+
+    #[test]
+    fn expanding_ring_pays_for_misses_then_succeeds() {
+        // Destination two cluster hops away; TTL-1 misses (charges its
+        // ring), TTL-2 finds it.
+        let pts: Vec<(f64, f64)> = (0..6).map(|i| (i as f64, 0.0)).collect();
+        let t = topo(&pts, 1.1);
+        let c = Clustering::form(LowestId, &t);
+        let d = RouteDiscovery::new();
+        let ring = d.discover_expanding_ring(&t, &c, 0, 5, &[1, 2]);
+        assert!(ring.found);
+        assert_eq!(ring.cluster_path, vec![0, 2, 4]);
+        // TTL-1 attempt: clusters 0,2 (4 msgs, dst not in them). TTL-2
+        // attempt: clusters 0,2,4 (6 msgs). Total 10.
+        assert_eq!(ring.rreq_messages, 10);
+    }
+
+    #[test]
+    fn expanding_ring_falls_back_to_unbounded_and_handles_partitions() {
+        let pts: Vec<(f64, f64)> = (0..6).map(|i| (i as f64, 0.0)).collect();
+        let t = topo(&pts, 1.1);
+        let c = Clustering::form(LowestId, &t);
+        let d = RouteDiscovery::new();
+        // Empty schedule = plain flood.
+        let o = d.discover_expanding_ring(&t, &c, 1, 5, &[]);
+        assert!(o.found);
+        assert_eq!(o.cluster_path, vec![0, 2, 4]);
+        // Partitioned destination: rings + fallback all miss.
+        let t2 = topo(&[(0.0, 0.0), (1.0, 0.0), (500.0, 0.0)], 1.5);
+        let c2 = Clustering::form(LowestId, &t2);
+        let o2 = d.discover_expanding_ring(&t2, &c2, 0, 2, &[1]);
+        assert!(!o2.found);
+        assert!(o2.rreq_messages >= 2, "rings still cost");
+    }
+
+    #[test]
+    fn flood_cost_grows_with_visited_clusters() {
+        // A wide network: discovery to a far cluster must charge more RREQs
+        // than discovery to a near one.
+        use manet_util::Rng;
+        let mut rng = Rng::seed_from_u64(9);
+        let region = SquareRegion::new(300.0);
+        let pts: Vec<Vec2> = (0..120).map(|_| region.sample_uniform(&mut rng)).collect();
+        let t = Topology::compute(&pts, region, 45.0, Metric::Euclidean);
+        let c = Clustering::form(LowestId, &t);
+        let d = RouteDiscovery::new();
+        // Pick a pair in the same cluster and a pair in different clusters.
+        let mut far = None;
+        for v in 0..120u32 {
+            if c.head_of(v) != c.head_of(0) {
+                far = Some(v);
+            }
+        }
+        if let Some(v) = far {
+            let o = d.discover(&t, &c, 0, v);
+            if o.found {
+                assert!(o.rreq_messages > 0);
+                assert_eq!(o.rrep_messages as usize, o.cluster_path.len() - 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! A flat DSDV-like proactive routing baseline.
+//!
+//! The paper's opening argument (and the Gupta–Kumar capacity bound it
+//! cites) is that flat proactive routing does not scale: every node
+//! maintains a route to every other node, so control traffic grows with
+//! `N` even at constant density. This module implements that baseline so
+//! the `flat_vs_clustered` experiment can reproduce the comparison:
+//!
+//! * **periodic full dumps** — every `full_dump_interval` seconds each node
+//!   broadcasts its entire table (`N` entries);
+//! * **triggered updates** — each link change prompts both endpoints to
+//!   broadcast an incremental update (one entry per route whose next hop
+//!   died; lower-bounded here as one entry per endpoint per event).
+
+use manet_sim::{LinkEvent, NodeId, Topology};
+use std::collections::VecDeque;
+
+/// Traffic produced by one DSDV accounting step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DsdvOutcome {
+    /// Full-table broadcast messages sent this step.
+    pub full_dump_messages: u64,
+    /// Table entries carried by those dumps.
+    pub full_dump_entries: u64,
+    /// Triggered incremental update messages sent this step.
+    pub triggered_messages: u64,
+}
+
+impl DsdvOutcome {
+    /// Total messages (dumps + triggered).
+    pub fn total_messages(&self) -> u64 {
+        self.full_dump_messages + self.triggered_messages
+    }
+
+    /// Accumulates another step into this one.
+    pub fn absorb(&mut self, other: DsdvOutcome) {
+        self.full_dump_messages += other.full_dump_messages;
+        self.full_dump_entries += other.full_dump_entries;
+        self.triggered_messages += other.triggered_messages;
+    }
+}
+
+/// The flat proactive baseline's accounting state.
+#[derive(Debug, Clone)]
+pub struct Dsdv {
+    full_dump_interval: f64,
+    accum: f64,
+}
+
+impl Dsdv {
+    /// Creates a baseline with the given full-dump period (seconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the interval is strictly positive and finite.
+    pub fn new(full_dump_interval: f64) -> Self {
+        assert!(
+            full_dump_interval > 0.0 && full_dump_interval.is_finite(),
+            "full_dump_interval must be positive and finite"
+        );
+        Dsdv { full_dump_interval, accum: 0.0 }
+    }
+
+    /// Accounts `dt` seconds of protocol operation given the tick's link
+    /// events.
+    pub fn step(&mut self, dt: f64, topology: &Topology, events: &[LinkEvent]) -> DsdvOutcome {
+        let n = topology.len() as u64;
+        let mut out = DsdvOutcome::default();
+        self.accum += dt;
+        while self.accum >= self.full_dump_interval {
+            self.accum -= self.full_dump_interval;
+            out.full_dump_messages += n;
+            out.full_dump_entries += n * n;
+        }
+        // Both endpoints of each change broadcast a triggered update.
+        out.triggered_messages += 2 * events.len() as u64;
+        out
+    }
+
+    /// Computes flat shortest-path next-hop tables by BFS from every node
+    /// (the table DSDV converges to on a quiescent topology).
+    pub fn converged_tables(topology: &Topology) -> Vec<Vec<Option<NodeId>>> {
+        let n = topology.len();
+        let mut tables = vec![vec![None; n]; n];
+        for src in 0..n as NodeId {
+            let mut parent: Vec<Option<NodeId>> = vec![None; n];
+            let mut visited = vec![false; n];
+            visited[src as usize] = true;
+            let mut q = VecDeque::from([src]);
+            while let Some(u) = q.pop_front() {
+                for &w in topology.neighbors(u) {
+                    if !visited[w as usize] {
+                        visited[w as usize] = true;
+                        parent[w as usize] = Some(u);
+                        q.push_back(w);
+                    }
+                }
+            }
+            for dst in 0..n as NodeId {
+                if dst == src || !visited[dst as usize] {
+                    continue;
+                }
+                let mut hop = dst;
+                while let Some(p) = parent[hop as usize] {
+                    if p == src {
+                        break;
+                    }
+                    hop = p;
+                }
+                tables[src as usize][dst as usize] = Some(hop);
+            }
+        }
+        tables
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manet_geom::{Metric, SquareRegion, Vec2};
+    use manet_sim::{LinkEventKind, Topology};
+
+    fn path_topo(k: usize) -> Topology {
+        let pts: Vec<Vec2> = (0..k).map(|i| Vec2::new(i as f64, 0.0)).collect();
+        Topology::compute(&pts, SquareRegion::new(1000.0), 1.1, Metric::Euclidean)
+    }
+
+    #[test]
+    fn periodic_dumps_fire_on_schedule() {
+        let t = path_topo(10);
+        let mut d = Dsdv::new(5.0);
+        let mut total = DsdvOutcome::default();
+        for _ in 0..50 {
+            total.absorb(d.step(1.0, &t, &[]));
+        }
+        // 50 s / 5 s = 10 dump rounds of 10 messages × 100 entries.
+        assert_eq!(total.full_dump_messages, 100);
+        assert_eq!(total.full_dump_entries, 1000);
+        assert_eq!(total.triggered_messages, 0);
+        assert_eq!(total.total_messages(), 100);
+    }
+
+    #[test]
+    fn triggered_updates_count_two_per_event() {
+        let t = path_topo(4);
+        let mut d = Dsdv::new(1e9);
+        let events = [
+            LinkEvent { kind: LinkEventKind::Broken, a: 0, b: 1 },
+            LinkEvent { kind: LinkEventKind::Generated, a: 2, b: 3 },
+        ];
+        let o = d.step(0.1, &t, &events);
+        assert_eq!(o.triggered_messages, 4);
+        assert_eq!(o.full_dump_messages, 0);
+    }
+
+    #[test]
+    fn dump_traffic_scales_quadratically_with_n_in_entries() {
+        let mut d5 = Dsdv::new(1.0);
+        let mut d10 = Dsdv::new(1.0);
+        let o5 = d5.step(1.0, &path_topo(5), &[]);
+        let o10 = d10.step(1.0, &path_topo(10), &[]);
+        assert_eq!(o5.full_dump_entries, 25);
+        assert_eq!(o10.full_dump_entries, 100);
+    }
+
+    #[test]
+    fn converged_tables_give_shortest_paths_on_a_path() {
+        let t = path_topo(5);
+        let tables = Dsdv::converged_tables(&t);
+        assert_eq!(tables[0][4], Some(1));
+        assert_eq!(tables[1][4], Some(2));
+        assert_eq!(tables[4][0], Some(3));
+        assert_eq!(tables[2][2], None);
+    }
+
+    #[test]
+    fn converged_tables_handle_partitions() {
+        let pts = [Vec2::new(0.0, 0.0), Vec2::new(1.0, 0.0), Vec2::new(100.0, 0.0)];
+        let t = Topology::compute(&pts, SquareRegion::new(1000.0), 1.5, Metric::Euclidean);
+        let tables = Dsdv::converged_tables(&t);
+        assert_eq!(tables[0][1], Some(1));
+        assert_eq!(tables[0][2], None);
+        assert_eq!(tables[2][0], None);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_interval_panics() {
+        Dsdv::new(0.0);
+    }
+}

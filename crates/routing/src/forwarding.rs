@@ -1,0 +1,277 @@
+//! Packet forwarding over the hybrid stack: the data plane.
+//!
+//! The paper counts the *control* traffic that keeps routes alive; this
+//! module closes the loop by actually forwarding packets over those
+//! routes, which is how the routing substrate is validated end to end:
+//!
+//! * **intra-cluster** — follow the proactive next-hop tables
+//!   ([`IntraTables`]);
+//! * **inter-cluster** — discover a cluster path ([`RouteDiscovery`]),
+//!   then realize it at node level: route to a gateway of the next
+//!   cluster, cross the border link, repeat.
+//!
+//! Forwarding is evaluated against a topology snapshot (packets are fast
+//! relative to node motion at MANET timescales); the interesting metrics
+//! are reachability, hop count, and **stretch** — the hybrid path length
+//! relative to the flat shortest path, the classic price of hierarchy.
+
+use crate::discovery::RouteDiscovery;
+use crate::intra::IntraTables;
+use manet_cluster::ClusterAssignment;
+use manet_sim::{NodeId, Topology};
+use std::collections::VecDeque;
+
+/// Outcome of forwarding one packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForwardOutcome {
+    /// Node-level path, source first, destination last (empty when
+    /// undeliverable).
+    pub path: Vec<NodeId>,
+    /// RREQ messages spent on discovery (0 for intra-cluster traffic).
+    pub rreq_messages: u64,
+    /// RREP messages spent on discovery.
+    pub rrep_messages: u64,
+}
+
+impl ForwardOutcome {
+    /// Whether the packet reached its destination.
+    pub fn delivered(&self) -> bool {
+        !self.path.is_empty()
+    }
+
+    /// Hop count (`None` when undeliverable).
+    pub fn hops(&self) -> Option<usize> {
+        if self.path.is_empty() {
+            None
+        } else {
+            Some(self.path.len() - 1)
+        }
+    }
+}
+
+/// The hybrid data plane bound to one topology + cluster snapshot.
+#[derive(Debug)]
+pub struct HybridForwarder<'a, C> {
+    topology: &'a Topology,
+    clustering: &'a C,
+    tables: IntraTables,
+    discovery: RouteDiscovery,
+}
+
+impl<'a, C: ClusterAssignment> HybridForwarder<'a, C> {
+    /// Builds the data plane (computes the proactive tables).
+    pub fn new(topology: &'a Topology, clustering: &'a C) -> Self {
+        HybridForwarder {
+            topology,
+            clustering,
+            tables: IntraTables::build(topology, clustering),
+            discovery: RouteDiscovery::new(),
+        }
+    }
+
+    /// Routes one packet from `src` to `dst`.
+    pub fn forward(&self, src: NodeId, dst: NodeId) -> ForwardOutcome {
+        if src == dst {
+            return ForwardOutcome { path: vec![src], rreq_messages: 0, rrep_messages: 0 };
+        }
+        if self.clustering.cluster_head_of(src) == self.clustering.cluster_head_of(dst) {
+            let path = self.tables.path(src, dst).unwrap_or_default();
+            return ForwardOutcome { path, rreq_messages: 0, rrep_messages: 0 };
+        }
+        let d = self.discovery.discover(self.topology, self.clustering, src, dst);
+        if !d.found {
+            return ForwardOutcome {
+                path: Vec::new(),
+                rreq_messages: d.rreq_messages,
+                rrep_messages: d.rrep_messages,
+            };
+        }
+        // Realize the cluster path at node level.
+        let mut path = vec![src];
+        let mut at = src;
+        for window in d.cluster_path.windows(2) {
+            let (here, next) = (window[0], window[1]);
+            // Border link: the lowest (x, y) with x in `here`, y in `next`.
+            let Some((gate_x, gate_y)) = self.border_link(here, next) else {
+                return ForwardOutcome {
+                    path: Vec::new(),
+                    rreq_messages: d.rreq_messages,
+                    rrep_messages: d.rrep_messages,
+                };
+            };
+            // Intra-route to the gateway (both in cluster `here`).
+            if at != gate_x {
+                let Some(seg) = self.tables.path(at, gate_x) else {
+                    return ForwardOutcome {
+                        path: Vec::new(),
+                        rreq_messages: d.rreq_messages,
+                        rrep_messages: d.rrep_messages,
+                    };
+                };
+                path.extend_from_slice(&seg[1..]);
+            }
+            // Cross the border.
+            path.push(gate_y);
+            at = gate_y;
+        }
+        // Final intra segment to the destination.
+        if at != dst {
+            let Some(seg) = self.tables.path(at, dst) else {
+                return ForwardOutcome {
+                    path: Vec::new(),
+                    rreq_messages: d.rreq_messages,
+                    rrep_messages: d.rrep_messages,
+                };
+            };
+            path.extend_from_slice(&seg[1..]);
+        }
+        debug_assert!(self.path_is_walkable(&path), "constructed path has a gap");
+        ForwardOutcome { path, rreq_messages: d.rreq_messages, rrep_messages: d.rrep_messages }
+    }
+
+    /// Lowest inter-cluster link `(x, y)` with `x ∈ here` and `y ∈ next`.
+    fn border_link(&self, here: NodeId, next: NodeId) -> Option<(NodeId, NodeId)> {
+        let mut best: Option<(NodeId, NodeId)> = None;
+        for (a, b) in self.topology.links() {
+            let (ha, hb) =
+                (self.clustering.cluster_head_of(a), self.clustering.cluster_head_of(b));
+            let candidate = if ha == here && hb == next {
+                Some((a, b))
+            } else if hb == here && ha == next {
+                Some((b, a))
+            } else {
+                None
+            };
+            if let Some(c) = candidate {
+                if best.is_none() || c < best.unwrap() {
+                    best = Some(c);
+                }
+            }
+        }
+        best
+    }
+
+    fn path_is_walkable(&self, path: &[NodeId]) -> bool {
+        path.windows(2).all(|w| self.topology.are_linked(w[0], w[1]))
+    }
+
+    /// Flat shortest-path hop count (BFS over the whole topology), the
+    /// stretch baseline.
+    pub fn shortest_hops(&self, src: NodeId, dst: NodeId) -> Option<usize> {
+        if src == dst {
+            return Some(0);
+        }
+        let n = self.topology.len();
+        let mut dist = vec![usize::MAX; n];
+        dist[src as usize] = 0;
+        let mut q = VecDeque::from([src]);
+        while let Some(u) = q.pop_front() {
+            for &w in self.topology.neighbors(u) {
+                if dist[w as usize] == usize::MAX {
+                    dist[w as usize] = dist[u as usize] + 1;
+                    if w == dst {
+                        return Some(dist[w as usize]);
+                    }
+                    q.push_back(w);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manet_cluster::{Clustering, LowestId};
+    use manet_geom::{Metric, SquareRegion, Vec2};
+
+    fn topo(positions: &[(f64, f64)], radius: f64) -> Topology {
+        let pts: Vec<Vec2> = positions.iter().map(|&(x, y)| Vec2::new(x, y)).collect();
+        Topology::compute(&pts, SquareRegion::new(1000.0), radius, Metric::Euclidean)
+    }
+
+    #[test]
+    fn intra_cluster_delivery_uses_tables() {
+        let t = topo(&[(0.0, 10.0), (0.6, 10.7), (0.6, 9.3)], 1.0);
+        let c = Clustering::form(LowestId, &t);
+        let f = HybridForwarder::new(&t, &c);
+        let o = f.forward(1, 2);
+        assert!(o.delivered());
+        assert_eq!(o.path, vec![1, 0, 2]);
+        assert_eq!(o.rreq_messages, 0);
+    }
+
+    #[test]
+    fn inter_cluster_delivery_crosses_borders() {
+        // 6-path: clusters {0,1}, {2,3}, {4,5}.
+        let pts: Vec<(f64, f64)> = (0..6).map(|i| (i as f64, 0.0)).collect();
+        let t = topo(&pts, 1.1);
+        let c = Clustering::form(LowestId, &t);
+        let f = HybridForwarder::new(&t, &c);
+        let o = f.forward(0, 5);
+        assert!(o.delivered());
+        // The only physical route is the path itself.
+        assert_eq!(o.path, vec![0, 1, 2, 3, 4, 5]);
+        assert!(o.rreq_messages > 0);
+        assert_eq!(o.hops(), Some(5));
+        assert_eq!(f.shortest_hops(0, 5), Some(5));
+    }
+
+    #[test]
+    fn partition_is_reported_not_panicked() {
+        let t = topo(&[(0.0, 0.0), (1.0, 0.0), (500.0, 0.0)], 1.5);
+        let c = Clustering::form(LowestId, &t);
+        let f = HybridForwarder::new(&t, &c);
+        let o = f.forward(0, 2);
+        assert!(!o.delivered());
+        assert_eq!(o.hops(), None);
+        assert_eq!(f.shortest_hops(0, 2), None);
+    }
+
+    #[test]
+    fn self_delivery_is_zero_hops() {
+        let t = topo(&[(0.0, 0.0), (1.0, 0.0)], 1.5);
+        let c = Clustering::form(LowestId, &t);
+        let f = HybridForwarder::new(&t, &c);
+        assert_eq!(f.forward(1, 1).hops(), Some(0));
+    }
+
+    #[test]
+    fn delivers_whenever_flat_routing_does_on_random_geometry() {
+        use manet_util::Rng;
+        let region = SquareRegion::new(400.0);
+        let mut rng = Rng::seed_from_u64(31);
+        let pts: Vec<Vec2> = (0..120).map(|_| region.sample_uniform(&mut rng)).collect();
+        let t = Topology::compute(&pts, region, 60.0, Metric::Euclidean);
+        let c = Clustering::form(LowestId, &t);
+        let f = HybridForwarder::new(&t, &c);
+        let mut checked = 0;
+        for s in (0..120).step_by(7) {
+            for d in (1..120).step_by(11) {
+                let (s, d) = (s as NodeId, d as NodeId);
+                let flat = f.shortest_hops(s, d);
+                let hybrid = f.forward(s, d);
+                assert_eq!(
+                    flat.is_some(),
+                    hybrid.delivered(),
+                    "reachability mismatch {s}->{d}"
+                );
+                if let (Some(flat_hops), Some(hops)) = (flat, hybrid.hops()) {
+                    assert!(hops >= flat_hops, "hybrid cannot beat shortest path");
+                    // Hierarchical stretch is real but bounded in practice.
+                    assert!(
+                        hops <= flat_hops * 4 + 4,
+                        "stretch blowup {s}->{d}: {hops} vs {flat_hops}"
+                    );
+                    // Every hop is a real link.
+                    for w in hybrid.path.windows(2) {
+                        assert!(t.are_linked(w[0], w[1]));
+                    }
+                }
+                checked += 1;
+            }
+        }
+        assert!(checked > 100);
+    }
+}

@@ -1,0 +1,222 @@
+//! The HELLO protocol proper: periodic beacons + soft-timer neighbor
+//! tables.
+//!
+//! The [`World`](crate::World) counts HELLO traffic; this module implements
+//! the *protocol state* behind it — each node's view of its neighborhood,
+//! built purely from received beacons and expired by soft timers. It exists
+//! to test the paper's Section 3.5.1 argument empirically: the HELLO rate
+//! must at least match the link generation rate, or the protocol view of
+//! the topology decays (see the `hello_accuracy` experiment).
+
+use crate::topology::Topology;
+use crate::NodeId;
+use std::collections::BTreeMap;
+
+/// Soft-state neighbor tables driven by periodic HELLO beacons.
+#[derive(Debug, Clone)]
+pub struct HelloProtocol {
+    interval: f64,
+    timeout: f64,
+    /// Next beacon time per node (staggered at start to avoid synchrony).
+    next_beacon: Vec<f64>,
+    /// `last_heard[u][w]` = when `u` last heard `w`.
+    last_heard: Vec<BTreeMap<NodeId, f64>>,
+    hellos_sent: u64,
+}
+
+/// Per-tick accuracy of the protocol's neighbor view against ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ViewAccuracy {
+    /// Directed neighbor relations in the ground truth.
+    pub true_relations: u64,
+    /// Ground-truth relations missing from the view (not yet heard).
+    pub missing: u64,
+    /// View entries that are no longer true links (stale, not yet timed
+    /// out).
+    pub stale: u64,
+}
+
+impl ViewAccuracy {
+    /// Fraction of true relations missing from the view (0 when there are
+    /// no relations).
+    pub fn missing_fraction(&self) -> f64 {
+        if self.true_relations == 0 {
+            0.0
+        } else {
+            self.missing as f64 / self.true_relations as f64
+        }
+    }
+
+    /// Stale entries per true relation.
+    pub fn stale_fraction(&self) -> f64 {
+        if self.true_relations == 0 {
+            0.0
+        } else {
+            self.stale as f64 / self.true_relations as f64
+        }
+    }
+}
+
+impl HelloProtocol {
+    /// Creates tables for `n` nodes beaconing every `interval` seconds and
+    /// expiring entries after `timeout` seconds of silence.
+    ///
+    /// Beacons are staggered deterministically (node `u` first beacons at
+    /// `u/n · interval`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < interval ≤ timeout` (finite).
+    pub fn new(n: usize, interval: f64, timeout: f64) -> Self {
+        assert!(
+            interval > 0.0 && interval.is_finite() && timeout >= interval && timeout.is_finite(),
+            "need 0 < interval <= timeout"
+        );
+        let next_beacon = (0..n)
+            .map(|u| interval * u as f64 / n.max(1) as f64)
+            .collect();
+        HelloProtocol {
+            interval,
+            timeout,
+            next_beacon,
+            last_heard: vec![BTreeMap::new(); n],
+            hellos_sent: 0,
+        }
+    }
+
+    /// Beacon interval.
+    pub fn interval(&self) -> f64 {
+        self.interval
+    }
+
+    /// Soft-timer timeout.
+    pub fn timeout(&self) -> f64 {
+        self.timeout
+    }
+
+    /// Total HELLO messages sent so far.
+    pub fn hellos_sent(&self) -> u64 {
+        self.hellos_sent
+    }
+
+    /// Advances the protocol to time `now`: every node whose beacon is due
+    /// broadcasts, and every current ground-truth neighbor hears it.
+    /// Returns the number of beacons sent this step.
+    pub fn step(&mut self, now: f64, topology: &Topology) -> u64 {
+        let mut sent = 0u64;
+        for u in 0..self.next_beacon.len() {
+            while self.next_beacon[u] <= now {
+                self.next_beacon[u] += self.interval;
+                sent += 1;
+                for &w in topology.neighbors(u as NodeId) {
+                    self.last_heard[w as usize].insert(u as NodeId, now);
+                }
+            }
+        }
+        // Expire soft state.
+        for table in &mut self.last_heard {
+            table.retain(|_, &mut t| now - t <= self.timeout);
+        }
+        self.hellos_sent += sent;
+        sent
+    }
+
+    /// Node `u`'s current view of its neighborhood.
+    pub fn view(&self, u: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.last_heard[u as usize].keys().copied()
+    }
+
+    /// Compares every node's view against the ground-truth topology.
+    pub fn accuracy(&self, topology: &Topology) -> ViewAccuracy {
+        let mut acc = ViewAccuracy::default();
+        for u in 0..self.last_heard.len() {
+            let truth = topology.neighbors(u as NodeId);
+            acc.true_relations += truth.len() as u64;
+            for &w in truth {
+                if !self.last_heard[u].contains_key(&w) {
+                    acc.missing += 1;
+                }
+            }
+            for &w in self.last_heard[u].keys() {
+                if !topology.are_linked(u as NodeId, w) {
+                    acc.stale += 1;
+                }
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manet_geom::{Metric, SquareRegion, Vec2};
+
+    fn static_topo() -> Topology {
+        let pts = [Vec2::new(0.0, 0.0), Vec2::new(1.0, 0.0), Vec2::new(2.0, 0.0)];
+        Topology::compute(&pts, SquareRegion::new(10.0), 1.1, Metric::Euclidean)
+    }
+
+    #[test]
+    fn views_fill_after_one_interval() {
+        let topo = static_topo();
+        let mut h = HelloProtocol::new(3, 1.0, 3.0);
+        h.step(1.0, &topo);
+        let acc = h.accuracy(&topo);
+        assert_eq!(acc.missing, 0, "every node beaconed at least once by t=1");
+        assert_eq!(acc.stale, 0);
+        assert_eq!(acc.true_relations, 4); // path 0-1-2: 2 links × 2 directions
+        assert!(h.hellos_sent() >= 3);
+    }
+
+    #[test]
+    fn stale_entries_persist_until_timeout() {
+        let topo = static_topo();
+        let mut h = HelloProtocol::new(3, 1.0, 2.5);
+        h.step(1.0, &topo);
+        // Node 2 moves away: links (1,2) vanish.
+        let pts = [Vec2::new(0.0, 0.0), Vec2::new(1.0, 0.0), Vec2::new(9.0, 0.0)];
+        let far = Topology::compute(
+            &pts,
+            SquareRegion::new(10.0),
+            1.1,
+            Metric::Euclidean,
+        );
+        // Shortly after, 1 still believes in 2 (soft state).
+        h.step(1.5, &far);
+        let acc = h.accuracy(&far);
+        assert!(acc.stale > 0, "view should lag ground truth");
+        // After the timeout the entry expires.
+        h.step(4.1, &far);
+        let acc = h.accuracy(&far);
+        assert_eq!(acc.stale, 0, "soft timer must clear stale entries");
+    }
+
+    #[test]
+    fn beacons_fire_once_per_interval_per_node() {
+        let topo = static_topo();
+        let mut h = HelloProtocol::new(3, 2.0, 4.0);
+        let mut total = 0;
+        for k in 1..=8 {
+            total += h.step(k as f64, &topo);
+        }
+        // 8 s / 2 s = 4 beacons per node (plus the staggered t≈0 ones).
+        assert!((12..=15).contains(&total), "total {total}");
+        assert_eq!(h.interval(), 2.0);
+        assert_eq!(h.timeout(), 4.0);
+    }
+
+    #[test]
+    fn accuracy_fractions() {
+        let a = ViewAccuracy { true_relations: 10, missing: 2, stale: 5 };
+        assert!((a.missing_fraction() - 0.2).abs() < 1e-12);
+        assert!((a.stale_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(ViewAccuracy::default().missing_fraction(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "interval")]
+    fn bad_timing_panics() {
+        HelloProtocol::new(2, 2.0, 1.0);
+    }
+}

@@ -1,0 +1,356 @@
+//! Link tracking: the unit-disk topology and its tick-to-tick diff.
+
+use crate::NodeId;
+use manet_geom::{Metric, SpatialGrid, SquareRegion, Vec2};
+
+/// Whether a link appeared or disappeared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkEventKind {
+    /// Two nodes moved into transmission range of each other.
+    Generated,
+    /// Two previously linked nodes moved out of range.
+    Broken,
+}
+
+/// A single link change between a pair of nodes, with `a < b`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LinkEvent {
+    /// What happened.
+    pub kind: LinkEventKind,
+    /// Lower-numbered endpoint.
+    pub a: NodeId,
+    /// Higher-numbered endpoint.
+    pub b: NodeId,
+}
+
+/// The current unit-disk topology: per-node sorted neighbor lists.
+///
+/// Rebuilt from node positions every tick; [`Topology::diff_into`] produces
+/// the [`LinkEvent`] stream that drives the HELLO, CLUSTER, and ROUTE
+/// protocol layers.
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    neighbors: Vec<Vec<NodeId>>,
+}
+
+impl Topology {
+    /// An empty topology over `n` nodes (no links).
+    pub fn empty(n: usize) -> Self {
+        Topology { neighbors: vec![Vec::new(); n] }
+    }
+
+    /// Computes the topology of `positions` under `metric` with unit-disk
+    /// `radius`.
+    pub fn compute(
+        positions: &[Vec2],
+        region: SquareRegion,
+        radius: f64,
+        metric: Metric,
+    ) -> Self {
+        let grid = SpatialGrid::build(positions, region, radius, metric);
+        let mut neighbors = vec![Vec::new(); positions.len()];
+        for (i, list) in neighbors.iter_mut().enumerate() {
+            grid.neighbors_within(i, list);
+        }
+        Topology { neighbors }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Whether the topology covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.neighbors.is_empty()
+    }
+
+    /// Sorted neighbor list of node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn neighbors(&self, i: NodeId) -> &[NodeId] {
+        &self.neighbors[i as usize]
+    }
+
+    /// Degree of node `i`.
+    pub fn degree(&self, i: NodeId) -> usize {
+        self.neighbors[i as usize].len()
+    }
+
+    /// Whether nodes `a` and `b` are directly linked.
+    pub fn are_linked(&self, a: NodeId, b: NodeId) -> bool {
+        self.neighbors[a as usize].binary_search(&b).is_ok()
+    }
+
+    /// Mean degree over all nodes (0 for an empty topology).
+    pub fn mean_degree(&self) -> f64 {
+        if self.neighbors.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.neighbors.iter().map(Vec::len).sum();
+        total as f64 / self.neighbors.len() as f64
+    }
+
+    /// Total number of (undirected) links.
+    pub fn link_count(&self) -> usize {
+        self.neighbors.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Iterates all links as `(a, b)` pairs with `a < b`.
+    pub fn links(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.neighbors
+            .iter()
+            .enumerate()
+            .flat_map(|(i, ns)| {
+                let i = i as NodeId;
+                ns.iter().copied().filter(move |&j| i < j).map(move |j| (i, j))
+            })
+    }
+
+    /// Appends to `out` the link events that transform `self` into `next`.
+    ///
+    /// Both topologies must cover the same node count; events are emitted
+    /// once per pair (`a < b`) in deterministic order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node counts differ.
+    pub fn diff_into(&self, next: &Topology, out: &mut Vec<LinkEvent>) {
+        assert_eq!(self.len(), next.len(), "topology size changed between ticks");
+        for i in 0..self.neighbors.len() {
+            let old = &self.neighbors[i];
+            let new = &next.neighbors[i];
+            // Merge-walk the two sorted lists.
+            let (mut oi, mut ni) = (0, 0);
+            let a = i as NodeId;
+            while oi < old.len() || ni < new.len() {
+                match (old.get(oi), new.get(ni)) {
+                    (Some(&o), Some(&n)) if o == n => {
+                        oi += 1;
+                        ni += 1;
+                    }
+                    (Some(&o), Some(&n)) if o < n => {
+                        if a < o {
+                            out.push(LinkEvent { kind: LinkEventKind::Broken, a, b: o });
+                        }
+                        oi += 1;
+                    }
+                    (Some(_), Some(&n)) => {
+                        if a < n {
+                            out.push(LinkEvent { kind: LinkEventKind::Generated, a, b: n });
+                        }
+                        ni += 1;
+                    }
+                    (Some(&o), None) => {
+                        if a < o {
+                            out.push(LinkEvent { kind: LinkEventKind::Broken, a, b: o });
+                        }
+                        oi += 1;
+                    }
+                    (None, Some(&n)) => {
+                        if a < n {
+                            out.push(LinkEvent { kind: LinkEventKind::Generated, a, b: n });
+                        }
+                        ni += 1;
+                    }
+                    (None, None) => unreachable!(),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manet_util::Rng;
+
+    fn topo_from_lists(lists: Vec<Vec<NodeId>>) -> Topology {
+        Topology { neighbors: lists }
+    }
+
+    #[test]
+    fn compute_matches_pairwise_definition() {
+        let region = SquareRegion::new(50.0);
+        let mut rng = Rng::seed_from_u64(1);
+        let positions: Vec<Vec2> = (0..60).map(|_| region.sample_uniform(&mut rng)).collect();
+        let metric = Metric::toroidal(50.0);
+        let topo = Topology::compute(&positions, region, 10.0, metric);
+        for i in 0..60u32 {
+            for j in 0..60u32 {
+                if i == j {
+                    continue;
+                }
+                let expect = metric.within(positions[i as usize], positions[j as usize], 10.0);
+                assert_eq!(topo.are_linked(i, j), expect, "pair {i},{j}");
+            }
+        }
+        // Symmetry of the neighbor lists.
+        let total: usize = (0..60u32).map(|i| topo.degree(i)).sum();
+        assert_eq!(total % 2, 0);
+        assert_eq!(topo.link_count(), total / 2);
+        assert!((topo.mean_degree() - total as f64 / 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn links_iterator_is_unique_and_ordered() {
+        let t = topo_from_lists(vec![vec![1, 2], vec![0, 2], vec![0, 1]]);
+        let links: Vec<_> = t.links().collect();
+        assert_eq!(links, vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn diff_detects_generation_and_break() {
+        let before = topo_from_lists(vec![vec![1], vec![0], vec![]]);
+        let after = topo_from_lists(vec![vec![2], vec![], vec![0]]);
+        let mut events = Vec::new();
+        before.diff_into(&after, &mut events);
+        assert_eq!(
+            events,
+            vec![
+                LinkEvent { kind: LinkEventKind::Broken, a: 0, b: 1 },
+                LinkEvent { kind: LinkEventKind::Generated, a: 0, b: 2 },
+            ]
+        );
+    }
+
+    #[test]
+    fn diff_of_identical_topologies_is_empty() {
+        let t = topo_from_lists(vec![vec![1, 2], vec![0], vec![0]]);
+        let mut events = Vec::new();
+        t.diff_into(&t.clone(), &mut events);
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn diff_interleaved_ids_all_cases() {
+        // Exercises every branch of the merge walk.
+        let before = topo_from_lists(vec![vec![1, 3, 5], vec![0], vec![], vec![0], vec![], vec![0]]);
+        let after = topo_from_lists(vec![vec![2, 3, 4], vec![], vec![0], vec![0], vec![0], vec![]]);
+        let mut events = Vec::new();
+        before.diff_into(&after, &mut events);
+        use LinkEventKind::*;
+        let mut got = events;
+        got.sort_by_key(|e| (e.a, e.b));
+        assert_eq!(
+            got,
+            vec![
+                LinkEvent { kind: Broken, a: 0, b: 1 },
+                LinkEvent { kind: Generated, a: 0, b: 2 },
+                LinkEvent { kind: Generated, a: 0, b: 4 },
+                LinkEvent { kind: Broken, a: 0, b: 5 },
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "size changed")]
+    fn diff_rejects_mismatched_sizes() {
+        let a = Topology::empty(3);
+        let b = Topology::empty(4);
+        a.diff_into(&b, &mut Vec::new());
+    }
+
+    #[test]
+    fn empty_topology() {
+        let t = Topology::empty(0);
+        assert!(t.is_empty());
+        assert_eq!(t.mean_degree(), 0.0);
+        assert_eq!(t.link_count(), 0);
+    }
+}
+
+impl Topology {
+    /// Labels connected components; returns `(labels, component_count)`
+    /// with labels in `0..count`, assigned in order of lowest contained
+    /// node id.
+    pub fn components(&self) -> (Vec<usize>, usize) {
+        let n = self.neighbors.len();
+        let mut label = vec![usize::MAX; n];
+        let mut count = 0;
+        for start in 0..n {
+            if label[start] != usize::MAX {
+                continue;
+            }
+            let mut stack = vec![start];
+            label[start] = count;
+            while let Some(u) = stack.pop() {
+                for &w in &self.neighbors[u] {
+                    if label[w as usize] == usize::MAX {
+                        label[w as usize] = count;
+                        stack.push(w as usize);
+                    }
+                }
+            }
+            count += 1;
+        }
+        (label, count)
+    }
+
+    /// Whether every node can reach every other node.
+    pub fn is_connected(&self) -> bool {
+        self.neighbors.len() <= 1 || self.components().1 == 1
+    }
+
+    /// Fraction of unordered node pairs that are mutually reachable
+    /// (1.0 for a connected topology, 0.0 for fully isolated nodes).
+    pub fn pair_connectivity(&self) -> f64 {
+        let n = self.neighbors.len();
+        if n < 2 {
+            return 1.0;
+        }
+        let (labels, count) = self.components();
+        let mut sizes = vec![0u64; count];
+        for &l in &labels {
+            sizes[l] += 1;
+        }
+        let reachable: u64 = sizes.iter().map(|&s| s * (s - 1) / 2).sum();
+        let total = (n as u64) * (n as u64 - 1) / 2;
+        reachable as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod component_tests {
+    use super::*;
+    use manet_geom::{Metric, SquareRegion, Vec2};
+
+    fn topo(positions: &[(f64, f64)], radius: f64) -> Topology {
+        let pts: Vec<Vec2> = positions.iter().map(|&(x, y)| Vec2::new(x, y)).collect();
+        Topology::compute(&pts, SquareRegion::new(1000.0), radius, Metric::Euclidean)
+    }
+
+    #[test]
+    fn components_of_two_islands() {
+        let t = topo(&[(0.0, 0.0), (1.0, 0.0), (500.0, 0.0), (501.0, 0.0)], 1.5);
+        let (labels, count) = t.components();
+        assert_eq!(count, 2);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[2], labels[3]);
+        assert_ne!(labels[0], labels[2]);
+        assert!(!t.is_connected());
+        // Reachable pairs: 1 + 1 of 6.
+        assert!((t.pair_connectivity() - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn connected_path() {
+        let pts: Vec<(f64, f64)> = (0..6).map(|i| (i as f64, 0.0)).collect();
+        let t = topo(&pts, 1.1);
+        assert!(t.is_connected());
+        assert_eq!(t.pair_connectivity(), 1.0);
+        assert_eq!(t.components().1, 1);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert!(Topology::empty(0).is_connected());
+        assert!(Topology::empty(1).is_connected());
+        assert_eq!(Topology::empty(1).pair_connectivity(), 1.0);
+        let isolated = Topology::empty(4);
+        assert_eq!(isolated.components().1, 4);
+        assert_eq!(isolated.pair_connectivity(), 0.0);
+    }
+}

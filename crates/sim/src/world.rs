@@ -1,0 +1,432 @@
+//! The simulation world: mobility + link tracking + HELLO + accounting.
+
+use crate::counters::{Counters, MessageKind, MessageSizes};
+use crate::topology::{LinkEvent, LinkEventKind, Topology};
+use manet_geom::{Metric, SquareRegion, Vec2};
+use manet_mobility::Mobility;
+use manet_util::stats::Summary;
+use manet_util::Rng;
+use std::fmt;
+
+/// How HELLO beacons are emitted.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum HelloMode {
+    /// The paper's lower bound: a node beacons exactly when it gains a new
+    /// neighbor (one HELLO per endpoint per link generation); link breaks
+    /// are detected by soft timers and cost no transmission.
+    EventDriven,
+    /// Conventional implementation: every node beacons every `interval`
+    /// seconds regardless of topology changes.
+    Periodic {
+        /// Beacon interval in seconds.
+        interval: f64,
+    },
+    /// No HELLO accounting (useful when a layer under test supplies its own
+    /// discovery mechanism).
+    Disabled,
+}
+
+/// Summary of one simulation tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepReport {
+    /// Simulation time after the tick.
+    pub time: f64,
+    /// Links generated during the tick.
+    pub generated: usize,
+    /// Links broken during the tick.
+    pub broken: usize,
+}
+
+/// A deterministic time-stepped MANET world.
+///
+/// Owns a mobility model, recomputes the unit-disk topology every tick,
+/// emits [`LinkEvent`]s, runs the HELLO layer, and accumulates
+/// control-message [`Counters`]. Higher layers (clustering, routing) are
+/// driven externally from the event stream — see the crate docs.
+pub struct World {
+    mobility: Box<dyn Mobility>,
+    region: SquareRegion,
+    metric: Metric,
+    radius: f64,
+    dt: f64,
+    time: f64,
+    measure_start: f64,
+    sizes: MessageSizes,
+    hello_mode: HelloMode,
+    hello_accum: f64,
+    topology: Topology,
+    events: Vec<LinkEvent>,
+    counters: Counters,
+    degree_samples: Summary,
+    rng: Rng,
+}
+
+impl fmt::Debug for World {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("World")
+            .field("time", &self.time)
+            .field("nodes", &self.mobility.len())
+            .field("radius", &self.radius)
+            .field("dt", &self.dt)
+            .finish_non_exhaustive()
+    }
+}
+
+impl World {
+    /// Creates a world over an existing mobility model.
+    ///
+    /// `metric` should match the mobility model's boundary behavior:
+    /// toroidal for wrap-around models, Euclidean for bounded ones. Most
+    /// callers should use [`SimBuilder`](crate::SimBuilder) instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `radius` and `dt` are strictly positive and finite.
+    pub fn new(
+        mobility: Box<dyn Mobility>,
+        radius: f64,
+        dt: f64,
+        metric: Metric,
+        hello_mode: HelloMode,
+        sizes: MessageSizes,
+        seed: u64,
+    ) -> Self {
+        assert!(radius > 0.0 && radius.is_finite(), "radius must be positive and finite");
+        assert!(dt > 0.0 && dt.is_finite(), "dt must be positive and finite");
+        let region = mobility.region();
+        let topology = Topology::compute(mobility.positions(), region, radius, metric);
+        World {
+            mobility,
+            region,
+            metric,
+            radius,
+            dt,
+            time: 0.0,
+            measure_start: 0.0,
+            sizes,
+            hello_mode,
+            hello_accum: 0.0,
+            topology,
+            events: Vec::new(),
+            counters: Counters::new(),
+            degree_samples: Summary::new(),
+            rng: Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.mobility.len()
+    }
+
+    /// Current simulation time in seconds.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Tick length in seconds.
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// Unit-disk transmission range.
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// Deployment region.
+    pub fn region(&self) -> SquareRegion {
+        self.region
+    }
+
+    /// Distance metric in force.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// Message size table used for byte accounting.
+    pub fn sizes(&self) -> MessageSizes {
+        self.sizes
+    }
+
+    /// Current node positions.
+    pub fn positions(&self) -> &[Vec2] {
+        self.mobility.positions()
+    }
+
+    /// Current unit-disk topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Link events produced by the most recent [`World::step`].
+    pub fn last_events(&self) -> &[LinkEvent] {
+        &self.events
+    }
+
+    /// Control-message counters for the current measurement window.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Mutable access to the counters, for protocol layers driven on top of
+    /// the world to record their own traffic.
+    pub fn counters_mut(&mut self) -> &mut Counters {
+        &mut self.counters
+    }
+
+    /// Mean of the per-tick mean degree over the measurement window.
+    pub fn mean_degree(&self) -> f64 {
+        self.degree_samples.mean()
+    }
+
+    /// Marks the start of the measurement window: zeroes all counters and
+    /// degree samples. Call once the warmup has mixed the system into steady
+    /// state.
+    pub fn begin_measurement(&mut self) {
+        self.counters.reset();
+        self.degree_samples = Summary::new();
+        self.measure_start = self.time;
+    }
+
+    /// Seconds elapsed since [`World::begin_measurement`].
+    pub fn measured_time(&self) -> f64 {
+        self.time - self.measure_start
+    }
+
+    /// Advances the world by one tick of `dt` seconds and returns a summary.
+    ///
+    /// Order of operations: move nodes → recompute topology → diff into link
+    /// events → account link events and HELLO traffic.
+    pub fn step(&mut self) -> StepReport {
+        self.mobility.step(self.dt, &mut self.rng);
+        self.time += self.dt;
+        let next = Topology::compute(
+            self.mobility.positions(),
+            self.region,
+            self.radius,
+            self.metric,
+        );
+        self.events.clear();
+        self.topology.diff_into(&next, &mut self.events);
+        self.topology = next;
+
+        let mut generated = 0usize;
+        let mut broken = 0usize;
+        for e in &self.events {
+            match e.kind {
+                LinkEventKind::Generated => {
+                    generated += 1;
+                    self.counters.record_link_generated();
+                }
+                LinkEventKind::Broken => {
+                    broken += 1;
+                    self.counters.record_link_broken();
+                }
+            }
+        }
+
+        match self.hello_mode {
+            HelloMode::EventDriven => {
+                // Each new link prompts one beacon from each endpoint.
+                let msgs = 2 * generated as u64;
+                if msgs > 0 {
+                    self.counters.record_sized(MessageKind::Hello, msgs, &self.sizes);
+                }
+            }
+            HelloMode::Periodic { interval } => {
+                self.hello_accum += self.dt;
+                while self.hello_accum >= interval {
+                    self.hello_accum -= interval;
+                    self.counters.record_sized(
+                        MessageKind::Hello,
+                        self.node_count() as u64,
+                        &self.sizes,
+                    );
+                }
+            }
+            HelloMode::Disabled => {}
+        }
+
+        self.degree_samples.push(self.topology.mean_degree());
+        StepReport { time: self.time, generated, broken }
+    }
+
+    /// Runs whole ticks until at least `seconds` more simulated time has
+    /// elapsed.
+    pub fn run_for(&mut self, seconds: f64) {
+        let target = self.time + seconds;
+        // Tolerate float drift: never run an extra tick for rounding noise.
+        while self.time + self.dt * 0.5 < target {
+            self.step();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manet_mobility::{ConstantVelocity, EpochRandomDirection};
+
+    fn small_world(seed: u64) -> World {
+        let region = SquareRegion::new(200.0);
+        let mut rng = Rng::seed_from_u64(seed);
+        let mobility = EpochRandomDirection::new(region, 60, 8.0, 15.0, &mut rng);
+        World::new(
+            Box::new(mobility),
+            40.0,
+            0.25,
+            Metric::toroidal(200.0),
+            HelloMode::EventDriven,
+            MessageSizes::default(),
+            seed ^ 0xABCD,
+        )
+    }
+
+    #[test]
+    fn time_advances_and_events_flow() {
+        let mut w = small_world(1);
+        let r = w.step();
+        assert!((r.time - 0.25).abs() < 1e-12);
+        w.run_for(10.0);
+        assert!((w.time() - 10.25).abs() < 1e-9);
+        // In a mobile world links must have churned.
+        assert!(w.counters().links_generated() + w.counters().links_broken() > 0);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let run = |seed| {
+            let mut w = small_world(seed);
+            w.run_for(20.0);
+            (
+                w.counters().links_generated(),
+                w.counters().links_broken(),
+                w.counters().messages(MessageKind::Hello),
+                w.positions().to_vec(),
+            )
+        };
+        let a = run(42);
+        let b = run(42);
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+        assert_eq!(a.2, b.2);
+        assert_eq!(a.3, b.3);
+        let c = run(43);
+        assert_ne!(a.3, c.3);
+    }
+
+    #[test]
+    fn event_driven_hello_counts_two_per_generation() {
+        let mut w = small_world(2);
+        w.run_for(30.0);
+        assert_eq!(
+            w.counters().messages(MessageKind::Hello),
+            2 * w.counters().links_generated()
+        );
+    }
+
+    #[test]
+    fn periodic_hello_counts_n_per_interval() {
+        let region = SquareRegion::new(200.0);
+        let mut rng = Rng::seed_from_u64(3);
+        let mobility = EpochRandomDirection::new(region, 50, 5.0, 15.0, &mut rng);
+        let mut w = World::new(
+            Box::new(mobility),
+            40.0,
+            0.5,
+            Metric::toroidal(200.0),
+            HelloMode::Periodic { interval: 2.0 },
+            MessageSizes::default(),
+            9,
+        );
+        w.run_for(20.0);
+        // 10 intervals × 50 nodes.
+        assert_eq!(w.counters().messages(MessageKind::Hello), 500);
+    }
+
+    #[test]
+    fn measurement_window_excludes_warmup() {
+        let mut w = small_world(4);
+        w.run_for(10.0);
+        let warm = w.counters().links_generated();
+        assert!(warm > 0);
+        w.begin_measurement();
+        assert_eq!(w.counters().links_generated(), 0);
+        assert_eq!(w.measured_time(), 0.0);
+        w.run_for(5.0);
+        assert!((w.measured_time() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn link_events_are_symmetric_in_steady_state() {
+        // Over a long window on a torus, generation and break counts agree
+        // within statistical noise.
+        let mut w = small_world(5);
+        w.run_for(30.0);
+        w.begin_measurement();
+        w.run_for(400.0);
+        let gen = w.counters().links_generated() as f64;
+        let brk = w.counters().links_broken() as f64;
+        assert!(gen > 100.0);
+        assert!((gen - brk).abs() / gen < 0.1, "gen {gen} vs brk {brk}");
+    }
+
+    #[test]
+    fn measured_link_rate_matches_cv_theory() {
+        // Claim 2 calibration: CV on a torus with toroidal metric should
+        // produce per-node total link change rate ≈ 16·d·v/(π²·r) with
+        // d = (N−1)·πr²/a².
+        let side = 1000.0;
+        let (n, r, v) = (300usize, 120.0, 10.0);
+        let region = SquareRegion::new(side);
+        let mut rng = Rng::seed_from_u64(6);
+        let mobility = ConstantVelocity::new(region, n, v, &mut rng);
+        let mut w = World::new(
+            Box::new(mobility),
+            r,
+            0.2,
+            Metric::toroidal(side),
+            HelloMode::EventDriven,
+            MessageSizes::default(),
+            7,
+        );
+        w.run_for(50.0);
+        w.begin_measurement();
+        w.run_for(600.0);
+        let elapsed = w.measured_time();
+        let rate = w.counters().per_node_link_generation_rate(n, elapsed)
+            + w.counters().per_node_link_break_rate(n, elapsed);
+        let d = (n as f64 - 1.0) * std::f64::consts::PI * r * r / (side * side);
+        let theory = 16.0 * d * v / (std::f64::consts::PI.powi(2) * r);
+        let rel = (rate - theory).abs() / theory;
+        assert!(
+            rel < 0.1,
+            "measured {rate:.4} vs theory {theory:.4} (rel err {rel:.3})"
+        );
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let w = small_world(8);
+        let s = format!("{w:?}");
+        assert!(s.contains("World"));
+    }
+
+    #[test]
+    #[should_panic(expected = "dt")]
+    fn zero_dt_panics() {
+        let region = SquareRegion::new(10.0);
+        let mut rng = Rng::seed_from_u64(1);
+        let mobility = ConstantVelocity::new(region, 2, 1.0, &mut rng);
+        World::new(
+            Box::new(mobility),
+            5.0,
+            0.0,
+            Metric::toroidal(10.0),
+            HelloMode::Disabled,
+            MessageSizes::default(),
+            1,
+        );
+    }
+}

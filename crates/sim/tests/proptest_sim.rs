@@ -1,0 +1,99 @@
+//! Property-based tests for the simulator's link tracking and accounting.
+
+use manet_sim::{HelloMode, LinkEventKind, MessageKind, MobilityKind, SimBuilder};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Replaying the event stream from the initial topology reconstructs
+    /// the final topology (events are a complete, consistent diff).
+    #[test]
+    fn event_stream_reconstructs_topology(seed in any::<u64>(),
+                                          n in 5usize..80,
+                                          speed in 0.0..40.0f64) {
+        let mut world = SimBuilder::new()
+            .side(500.0)
+            .nodes(n)
+            .radius(90.0)
+            .speed(speed)
+            .dt(1.0)
+            .seed(seed)
+            .build();
+        let mut links: std::collections::BTreeSet<(u32, u32)> =
+            world.topology().links().collect();
+        for _ in 0..30 {
+            world.step();
+            for e in world.last_events() {
+                let key = (e.a, e.b);
+                match e.kind {
+                    LinkEventKind::Generated => {
+                        prop_assert!(links.insert(key), "duplicate generation {key:?}");
+                    }
+                    LinkEventKind::Broken => {
+                        prop_assert!(links.remove(&key), "break of unknown link {key:?}");
+                    }
+                }
+            }
+            let now: std::collections::BTreeSet<(u32, u32)> =
+                world.topology().links().collect();
+            prop_assert_eq!(&links, &now);
+        }
+    }
+
+    /// HELLO accounting identity: event-driven beacons are exactly two per
+    /// link generation, and byte counts follow the size table.
+    #[test]
+    fn hello_accounting_identity(seed in any::<u64>(), n in 5usize..60) {
+        let mut world = SimBuilder::new()
+            .side(400.0)
+            .nodes(n)
+            .radius(80.0)
+            .speed(15.0)
+            .dt(0.5)
+            .seed(seed)
+            .hello_mode(HelloMode::EventDriven)
+            .build();
+        for _ in 0..40 {
+            world.step();
+        }
+        let gens = world.counters().links_generated();
+        prop_assert_eq!(world.counters().messages(MessageKind::Hello), 2 * gens);
+        prop_assert_eq!(
+            world.counters().bytes(MessageKind::Hello),
+            2 * gens * world.sizes().hello as u64
+        );
+    }
+
+    /// Degrees are symmetric and bounded by N−1 under any mobility model.
+    #[test]
+    fn topology_stays_consistent(seed in any::<u64>(), model_idx in 0usize..4) {
+        let mobility = match model_idx {
+            0 => MobilityKind::EpochRandomDirection { epoch: 10.0 },
+            1 => MobilityKind::ConstantVelocity,
+            2 => MobilityKind::RandomWaypoint { pause: 0.5 },
+            _ => MobilityKind::RandomWalk { min_leg: 2.0, max_leg: 8.0 },
+        };
+        let n = 40usize;
+        let mut world = SimBuilder::new()
+            .side(300.0)
+            .nodes(n)
+            .radius(70.0)
+            .speed(12.0)
+            .dt(0.5)
+            .seed(seed)
+            .mobility(mobility)
+            .build();
+        for _ in 0..20 {
+            world.step();
+            let topo = world.topology();
+            for u in 0..n as u32 {
+                prop_assert!(topo.degree(u) < n);
+                for &w in topo.neighbors(u) {
+                    prop_assert!(topo.are_linked(w, u), "asymmetric link {u}-{w}");
+                    prop_assert_ne!(w, u, "self link");
+                }
+            }
+        }
+    }
+}

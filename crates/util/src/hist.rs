@@ -1,0 +1,186 @@
+//! Sample collections with quantiles and simple distribution diagnostics.
+//!
+//! [`Samples`] keeps raw observations (unlike the streaming
+//! [`crate::stats::Summary`]) so experiments can report
+//! quantiles, render ASCII histograms, and test distributional
+//! hypotheses — e.g. whether LID cluster sizes are exponential-tailed,
+//! which drives the ROUTE dispersion correction.
+
+use crate::stats::Summary;
+
+/// An owned collection of `f64` samples.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Samples {
+    values: Vec<f64>,
+}
+
+impl Samples {
+    /// Creates an empty collection.
+    pub fn new() -> Self {
+        Samples::default()
+    }
+
+    /// Adds one observation (NaN is rejected).
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN input.
+    pub fn push(&mut self, x: f64) {
+        assert!(!x.is_nan(), "NaN sample");
+        self.values.push(x);
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no observations were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The raw values, in insertion order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Streaming summary of the samples.
+    pub fn summary(&self) -> Summary {
+        self.values.iter().copied().collect()
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) by linear interpolation between order
+    /// statistics; `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.values.is_empty() {
+            return None;
+        }
+        let mut sorted = self.values.clone();
+        sorted.sort_by(f64::total_cmp);
+        let pos = q * (sorted.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    }
+
+    /// Raw moment `E[xᵏ]` (0 when empty).
+    pub fn raw_moment(&self, k: u32) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().map(|x| x.powi(k as i32)).sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Coefficient of variation `σ/μ` (0 when empty or zero-mean). An
+    /// exponential distribution has CV = 1; CV > 0.5 signals dispersion a
+    /// mean-value model will underestimate under convex weighting.
+    pub fn coefficient_of_variation(&self) -> f64 {
+        let s = self.summary();
+        if s.mean() == 0.0 {
+            0.0
+        } else {
+            s.sample_std_dev() / s.mean()
+        }
+    }
+
+    /// Renders a fixed-width ASCII histogram with `bins` equal-width bins
+    /// over the sample range.
+    pub fn ascii_histogram(&self, bins: usize, width: usize) -> String {
+        if self.values.is_empty() || bins == 0 {
+            return String::from("(no samples)\n");
+        }
+        let min = self.values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let span = (max - min).max(f64::MIN_POSITIVE);
+        let mut counts = vec![0usize; bins];
+        for &x in &self.values {
+            let b = (((x - min) / span) * bins as f64) as usize;
+            counts[b.min(bins - 1)] += 1;
+        }
+        let peak = counts.iter().copied().max().unwrap_or(1).max(1);
+        let mut out = String::new();
+        for (i, &c) in counts.iter().enumerate() {
+            let lo = min + span * i as f64 / bins as f64;
+            let hi = min + span * (i + 1) as f64 / bins as f64;
+            let bar = "#".repeat(c * width / peak);
+            out.push_str(&format!("[{lo:9.3}, {hi:9.3}) {c:6} {bar}\n"));
+        }
+        out
+    }
+}
+
+impl FromIterator<f64> for Samples {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Samples::new();
+        for x in iter {
+            s.push(x);
+        }
+        s
+    }
+}
+
+impl Extend<f64> for Samples {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_interpolate() {
+        let s: Samples = [1.0, 2.0, 3.0, 4.0, 5.0].into_iter().collect();
+        assert_eq!(s.quantile(0.0), Some(1.0));
+        assert_eq!(s.quantile(1.0), Some(5.0));
+        assert_eq!(s.quantile(0.5), Some(3.0));
+        assert_eq!(s.quantile(0.25), Some(2.0));
+        assert_eq!(s.quantile(0.125), Some(1.5));
+        assert_eq!(Samples::new().quantile(0.5), None);
+    }
+
+    #[test]
+    fn moments_and_cv() {
+        let s: Samples = [2.0, 2.0, 2.0].into_iter().collect();
+        assert_eq!(s.raw_moment(1), 2.0);
+        assert_eq!(s.raw_moment(3), 8.0);
+        assert_eq!(s.coefficient_of_variation(), 0.0);
+        // Exponential samples have CV ≈ 1.
+        let mut rng = crate::Rng::seed_from_u64(9);
+        let exp: Samples = (0..40_000).map(|_| rng.exponential(0.5)).collect();
+        assert!((exp.coefficient_of_variation() - 1.0).abs() < 0.03);
+        assert!((exp.raw_moment(2) / exp.raw_moment(1).powi(2) - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn histogram_renders_all_bins() {
+        let s: Samples = (0..100).map(|i| i as f64).collect();
+        let h = s.ascii_histogram(4, 20);
+        assert_eq!(h.lines().count(), 4);
+        assert!(h.contains('#'));
+        assert_eq!(Samples::new().ascii_histogram(4, 20), "(no samples)\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        Samples::new().push(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn bad_quantile_rejected() {
+        let s: Samples = [1.0].into_iter().collect();
+        s.quantile(1.5);
+    }
+}

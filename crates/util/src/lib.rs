@@ -1,0 +1,44 @@
+//! Foundational utilities for the `clustered-manet` workspace.
+//!
+//! This crate deliberately has **no external dependencies** so that every
+//! simulation result in the workspace is bit-for-bit reproducible across
+//! platforms and toolchain versions:
+//!
+//! * [`rng`] — a deterministic, seedable random number generator
+//!   (SplitMix64 for seeding, Xoshiro256++ for the stream), with the sampling
+//!   helpers a network simulator needs (uniform ranges, directions,
+//!   exponential variates, shuffles).
+//! * [`stats`] — streaming summary statistics with confidence intervals,
+//!   ordinary least squares, and log–log growth-exponent fits used by the
+//!   asymptotic (Θ-notation) experiments.
+//! * [`solve`] — robust scalar root finding and damped fixed-point iteration
+//!   used to solve the Lowest-ID head-ratio equation.
+//! * [`table`] — aligned ASCII table and CSV emission used by the experiment
+//!   harnesses to print paper-style rows.
+//!
+//! # Example
+//!
+//! ```
+//! use manet_util::rng::Rng;
+//! use manet_util::stats::Summary;
+//!
+//! let mut rng = Rng::seed_from_u64(42);
+//! let mut s = Summary::new();
+//! for _ in 0..1000 {
+//!     s.push(rng.f64());
+//! }
+//! assert!((s.mean() - 0.5).abs() < 0.05);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod rng;
+pub mod solve;
+pub mod stats;
+pub mod table;
+
+pub use hist::Samples;
+pub use rng::Rng;
+pub use stats::Summary;

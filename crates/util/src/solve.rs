@@ -1,0 +1,184 @@
+//! Scalar root finding and fixed-point iteration.
+//!
+//! The Lowest-ID head-ratio equation (paper Eqn 16) is solved as a root of
+//! `g(P) = rhs(P) − P` on `(0, 1]` with [`bisect`]; [`fixed_point`] offers a
+//! damped alternative used in tests to cross-validate the bisection result.
+
+use std::fmt;
+
+/// Error returned when a solver cannot produce a root.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveError {
+    /// The supplied bracket does not satisfy `f(lo)·f(hi) ≤ 0`.
+    NotBracketed,
+    /// The iteration budget was exhausted before reaching the tolerance.
+    MaxIterations,
+    /// The function returned a non-finite value.
+    NonFinite,
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::NotBracketed => write!(f, "root is not bracketed by the interval"),
+            SolveError::MaxIterations => write!(f, "iteration budget exhausted"),
+            SolveError::NonFinite => write!(f, "function returned a non-finite value"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// Finds a root of `f` on `[lo, hi]` by bisection.
+///
+/// Requires `f(lo)` and `f(hi)` to have opposite signs (or one of them to be
+/// zero). Converges unconditionally for continuous `f`.
+///
+/// # Errors
+///
+/// * [`SolveError::NotBracketed`] if the signs of `f(lo)` and `f(hi)` match.
+/// * [`SolveError::NonFinite`] if `f` produces NaN/∞.
+///
+/// # Example
+///
+/// ```
+/// use manet_util::solve::bisect;
+///
+/// let root = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12, 200)?;
+/// assert!((root - 2f64.sqrt()).abs() < 1e-10);
+/// # Ok::<(), manet_util::solve::SolveError>(())
+/// ```
+pub fn bisect<F: FnMut(f64) -> f64>(
+    mut f: F,
+    mut lo: f64,
+    mut hi: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<f64, SolveError> {
+    let mut flo = f(lo);
+    let fhi = f(hi);
+    if !flo.is_finite() || !fhi.is_finite() {
+        return Err(SolveError::NonFinite);
+    }
+    if flo == 0.0 {
+        return Ok(lo);
+    }
+    if fhi == 0.0 {
+        return Ok(hi);
+    }
+    if flo.signum() == fhi.signum() {
+        return Err(SolveError::NotBracketed);
+    }
+    for _ in 0..max_iter {
+        let mid = 0.5 * (lo + hi);
+        let fmid = f(mid);
+        if !fmid.is_finite() {
+            return Err(SolveError::NonFinite);
+        }
+        if fmid == 0.0 || (hi - lo) * 0.5 < tol {
+            return Ok(mid);
+        }
+        if fmid.signum() == flo.signum() {
+            lo = mid;
+            flo = fmid;
+        } else {
+            hi = mid;
+        }
+    }
+    Err(SolveError::MaxIterations)
+}
+
+/// Iterates `x ← (1−damping)·x + damping·f(x)` until successive iterates are
+/// within `tol`.
+///
+/// `damping = 1` is plain fixed-point iteration; values in `(0, 1)` stabilize
+/// oscillating maps.
+///
+/// # Errors
+///
+/// * [`SolveError::MaxIterations`] if convergence is not reached.
+/// * [`SolveError::NonFinite`] if the map produces NaN/∞.
+pub fn fixed_point<F: FnMut(f64) -> f64>(
+    mut f: F,
+    mut x: f64,
+    damping: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<f64, SolveError> {
+    assert!(damping > 0.0 && damping <= 1.0, "damping must be in (0, 1]");
+    for _ in 0..max_iter {
+        let fx = f(x);
+        if !fx.is_finite() {
+            return Err(SolveError::NonFinite);
+        }
+        let next = (1.0 - damping) * x + damping * fx;
+        if (next - x).abs() < tol {
+            return Ok(next);
+        }
+        x = next;
+    }
+    Err(SolveError::MaxIterations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_finds_sqrt2() {
+        let r = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-13, 200).unwrap();
+        assert!((r - std::f64::consts::SQRT_2).abs() < 1e-11);
+    }
+
+    #[test]
+    fn bisect_accepts_exact_endpoint_roots() {
+        assert_eq!(bisect(|x| x, 0.0, 1.0, 1e-12, 100).unwrap(), 0.0);
+        assert_eq!(bisect(|x| x - 1.0, 0.0, 1.0, 1e-12, 100).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn bisect_rejects_unbracketed() {
+        assert_eq!(
+            bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-12, 100),
+            Err(SolveError::NotBracketed)
+        );
+    }
+
+    #[test]
+    fn bisect_rejects_non_finite() {
+        assert_eq!(
+            bisect(|_| f64::NAN, 0.0, 1.0, 1e-12, 100),
+            Err(SolveError::NonFinite)
+        );
+    }
+
+    #[test]
+    fn fixed_point_converges_on_cosine() {
+        // The Dottie number: x = cos x ≈ 0.739085.
+        let r = fixed_point(|x| x.cos(), 1.0, 1.0, 1e-12, 1000).unwrap();
+        assert!((r - 0.739_085_133_215_160_6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fixed_point_damping_stabilizes_oscillation() {
+        // x = 3.2·x·(1−x) oscillates undamped near the logistic 2-cycle, but
+        // heavy damping converges to the unstable fixed point 1 − 1/3.2.
+        let r = fixed_point(|x| 3.2 * x * (1.0 - x), 0.3, 0.2, 1e-10, 20_000).unwrap();
+        assert!((r - (1.0 - 1.0 / 3.2)).abs() < 1e-6, "got {r}");
+    }
+
+    #[test]
+    fn fixed_point_reports_budget_exhaustion() {
+        assert_eq!(
+            fixed_point(|x| x + 1.0, 0.0, 1.0, 1e-12, 10),
+            Err(SolveError::MaxIterations)
+        );
+    }
+
+    #[test]
+    fn solve_error_display() {
+        assert!(SolveError::NotBracketed.to_string().contains("bracket"));
+        assert!(SolveError::MaxIterations.to_string().contains("budget"));
+        assert!(SolveError::NonFinite.to_string().contains("finite"));
+    }
+}

@@ -1,0 +1,224 @@
+//! Aligned ASCII tables and CSV emission for experiment output.
+//!
+//! Every figure-regeneration binary prints a [`Table`] to stdout (the
+//! paper-style rows) and optionally writes the same data as CSV under
+//! `target/figures/`.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// A simple column-aligned table.
+///
+/// # Example
+///
+/// ```
+/// use manet_util::table::Table;
+///
+/// let mut t = Table::new(["r/a", "f_hello (analysis)", "f_hello (sim)"]);
+/// t.row(["0.10", "1.23", "1.31"]);
+/// let text = t.to_ascii();
+/// assert!(text.contains("f_hello"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<I, S>(headers: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of cells differs from the number of headers.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} does not match header width {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn to_ascii(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |cells: &[String], out: &mut String| {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:>w$}", w = w);
+            }
+            out.push('\n');
+        };
+        write_row(&self.headers, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            write_row(row, &mut out);
+        }
+        out
+    }
+
+    /// Renders the table as RFC-4180-ish CSV (quotes cells containing
+    /// commas, quotes, or newlines).
+    pub fn to_csv(&self) -> String {
+        fn esc(cell: &str) -> String {
+            if cell.contains([',', '"', '\n']) {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String]| {
+            cells.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+        };
+        out.push_str(&line(&self.headers));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the CSV rendering to `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error from directory creation or the write.
+    pub fn write_csv<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        if let Some(parent) = path.as_ref().parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_csv())
+    }
+}
+
+/// Formats a float with a sensible number of significant digits for tables.
+///
+/// Uses fixed notation for magnitudes in `[1e-3, 1e6)`, scientific otherwise.
+pub fn fmt_sig(x: f64, digits: usize) -> String {
+    if x == 0.0 {
+        return "0".to_string();
+    }
+    if !x.is_finite() {
+        return format!("{x}");
+    }
+    let mag = x.abs();
+    if (1e-3..1e6).contains(&mag) {
+        let decimals = (digits as i32 - 1 - mag.log10().floor() as i32).max(0) as usize;
+        format!("{x:.decimals$}")
+    } else {
+        format!("{x:.prec$e}", prec = digits.saturating_sub(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut t = Table::new(["a", "long_header"]);
+        t.row(["1", "2"]).row(["333", "4"]);
+        let s = t.to_ascii();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines are equally wide.
+        assert!(lines[0].len() == lines[2].len() && lines[2].len() == lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn table_rejects_ragged_rows() {
+        Table::new(["a", "b"]).row(["only one"]);
+    }
+
+    #[test]
+    fn csv_escapes_special_cells() {
+        let mut t = Table::new(["x", "y"]);
+        t.row(["a,b", "he said \"hi\""]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"he said \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn csv_roundtrip_plain() {
+        let mut t = Table::new(["x"]);
+        t.row(["1.5"]);
+        assert_eq!(t.to_csv(), "x\n1.5\n");
+    }
+
+    #[test]
+    fn write_csv_creates_directories() {
+        let dir = std::env::temp_dir().join("manet_util_table_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested/out.csv");
+        let mut t = Table::new(["v"]);
+        t.row(["9"]);
+        t.write_csv(&path).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "v\n9\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fmt_sig_modes() {
+        assert_eq!(fmt_sig(0.0, 3), "0");
+        assert_eq!(fmt_sig(1234.5, 3), "1234"); // 4 integer digits, 0 decimals
+        assert_eq!(fmt_sig(0.01234, 3), "0.0123");
+        assert!(fmt_sig(1e9, 3).contains('e'));
+        assert!(fmt_sig(1e-9, 3).contains('e'));
+        assert_eq!(fmt_sig(f64::INFINITY, 3), "inf");
+    }
+
+    #[test]
+    fn table_len_and_empty() {
+        let mut t = Table::new(["a"]);
+        assert!(t.is_empty());
+        t.row(["1"]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+}

@@ -1,0 +1,67 @@
+//! Property-based tests for the utility crate.
+
+use manet_util::rng::Rng;
+use manet_util::solve::bisect;
+use manet_util::stats::{linear_fit, Summary};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn f64_range_stays_in_range(seed in any::<u64>(), lo in -1e6f64..1e6, span in 1e-6f64..1e6) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let hi = lo + span;
+        for _ in 0..32 {
+            let x = rng.f64_range(lo..hi);
+            prop_assert!(x >= lo && x < hi, "x={x} not in [{lo}, {hi})");
+        }
+    }
+
+    #[test]
+    fn u64_below_stays_below(seed in any::<u64>(), bound in 1u64..u64::MAX) {
+        let mut rng = Rng::seed_from_u64(seed);
+        for _ in 0..32 {
+            prop_assert!(rng.u64_below(bound) < bound);
+        }
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset(seed in any::<u64>(), mut v in proptest::collection::vec(0u32..1000, 0..64)) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut expected = v.clone();
+        rng.shuffle(&mut v);
+        expected.sort_unstable();
+        v.sort_unstable();
+        prop_assert_eq!(v, expected);
+    }
+
+    #[test]
+    fn summary_merge_matches_sequential(a in proptest::collection::vec(-1e3f64..1e3, 0..50),
+                                        b in proptest::collection::vec(-1e3f64..1e3, 0..50)) {
+        let mut merged: Summary = a.iter().copied().collect();
+        let right: Summary = b.iter().copied().collect();
+        merged.merge(&right);
+        let whole: Summary = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(merged.count(), whole.count());
+        prop_assert!((merged.mean() - whole.mean()).abs() <= 1e-6 * (1.0 + whole.mean().abs()));
+        prop_assert!((merged.sample_variance() - whole.sample_variance()).abs()
+            <= 1e-5 * (1.0 + whole.sample_variance().abs()));
+    }
+
+    #[test]
+    fn linear_fit_exact_on_lines(slope in -100f64..100.0, intercept in -100f64..100.0,
+                                 n in 2usize..30) {
+        let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| slope * x + intercept).collect();
+        let fit = linear_fit(&xs, &ys).unwrap();
+        prop_assert!((fit.slope - slope).abs() < 1e-6 * (1.0 + slope.abs()));
+        prop_assert!((fit.intercept - intercept).abs() < 1e-5 * (1.0 + intercept.abs()));
+    }
+
+    #[test]
+    fn bisect_finds_roots_of_shifted_cubic(root in -10f64..10.0) {
+        // f(x) = (x - root)^3 is monotone, so any bracket around root works.
+        let f = |x: f64| (x - root).powi(3);
+        let r = bisect(f, -11.0, 11.0, 1e-12, 500).unwrap();
+        prop_assert!((r - root).abs() < 1e-6);
+    }
+}

