@@ -68,8 +68,7 @@ mod tests {
     #[test]
     fn clustering_implements_assignment_consistently() {
         let pts: Vec<Vec2> = (0..5).map(|i| Vec2::new(i as f64, 0.0)).collect();
-        let topo =
-            Topology::compute(&pts, SquareRegion::new(100.0), 1.1, Metric::Euclidean);
+        let topo = Topology::compute(&pts, SquareRegion::new(100.0), 1.1, Metric::Euclidean);
         let c = Clustering::form(LowestId, &topo);
         let a: &dyn ClusterAssignment = &c;
         assert_eq!(a.node_count(), 5);

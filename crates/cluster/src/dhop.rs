@@ -118,7 +118,10 @@ impl DHopClustering {
         }
         DHopClustering {
             hops,
-            head_of: head_of.into_iter().map(|h| h.expect("all decided")).collect(),
+            head_of: head_of
+                .into_iter()
+                .map(|h| h.expect("all decided"))
+                .collect(),
             enforce_separation: true,
         }
     }
@@ -133,7 +136,11 @@ impl DHopClustering {
         assert!(hops >= 1, "hops must be at least 1");
         let n = topology.len();
         if n == 0 {
-            return DHopClustering { hops, head_of: Vec::new(), enforce_separation: false };
+            return DHopClustering {
+                hops,
+                head_of: Vec::new(),
+                enforce_separation: false,
+            };
         }
         // Max phase: d rounds of neighborhood-max over node ids.
         let mut w: Vec<NodeId> = (0..n as NodeId).collect();
@@ -217,7 +224,11 @@ impl DHopClustering {
                 }
             }
         }
-        DHopClustering { hops, head_of, enforce_separation: false }
+        DHopClustering {
+            hops,
+            head_of,
+            enforce_separation: false,
+        }
     }
 
     /// Hop bound `d`.
@@ -237,7 +248,9 @@ impl DHopClustering {
 
     /// Number of clusters.
     pub fn head_count(&self) -> usize {
-        (0..self.head_of.len() as NodeId).filter(|&u| self.is_head(u)).count()
+        (0..self.head_of.len() as NodeId)
+            .filter(|&u| self.is_head(u))
+            .count()
     }
 
     /// Head ratio `P`.
@@ -268,8 +281,7 @@ impl DHopClustering {
         let mut contact_orphan = vec![false; n];
         if self.enforce_separation {
             loop {
-                let heads: Vec<NodeId> =
-                    (0..n as NodeId).filter(|&u| self.is_head(u)).collect();
+                let heads: Vec<NodeId> = (0..n as NodeId).filter(|&u| self.is_head(u)).collect();
                 let mut contact = None;
                 'outer: for &a in &heads {
                     let dist = bfs_distances(topology, a, self.hops);
@@ -281,12 +293,12 @@ impl DHopClustering {
                     }
                 }
                 let Some((a, b)) = contact else { break };
-                let (winner, loser) =
-                    if policy.priority(a, topology) > policy.priority(b, topology) {
-                        (a, b)
-                    } else {
-                        (b, a)
-                    };
+                let (winner, loser) = if policy.priority(a, topology) > policy.priority(b, topology)
+                {
+                    (a, b)
+                } else {
+                    (b, a)
+                };
                 for (u, orphan) in contact_orphan.iter_mut().enumerate() {
                     if u as NodeId != loser && self.head_of[u] == loser {
                         *orphan = true;
@@ -305,8 +317,7 @@ impl DHopClustering {
                 continue; // a head
             }
             let dist = bfs_distances(topology, u, self.hops);
-            let valid =
-                self.head_of[head as usize] == head && dist[head as usize] <= self.hops;
+            let valid = self.head_of[head as usize] == head && dist[head as usize] <= self.hops;
             if valid {
                 continue;
             }
@@ -445,13 +456,12 @@ mod tests {
         // Single cluster headed by 0.
         assert_eq!(c.head_count(), 1);
         // Node 2 drifts beyond 2 hops (disconnects entirely).
-        let pts = [Vec2::new(0.0, 0.0), Vec2::new(1.0, 0.0), Vec2::new(500.0, 0.0)];
-        let t1 = Topology::compute(
-            &pts,
-            SquareRegion::new(1000.0),
-            1.1,
-            Metric::Euclidean,
-        );
+        let pts = [
+            Vec2::new(0.0, 0.0),
+            Vec2::new(1.0, 0.0),
+            Vec2::new(500.0, 0.0),
+        ];
+        let t1 = Topology::compute(&pts, SquareRegion::new(1000.0), 1.1, Metric::Euclidean);
         let o = c.maintain(&LowestId, &t1);
         assert!(c.is_head(2), "stranded node promotes");
         assert_eq!(o.break_promotions, 1);
@@ -490,7 +500,8 @@ mod tests {
             let pts: Vec<Vec2> = (0..120).map(|_| region.sample_uniform(&mut rng)).collect();
             let t = Topology::compute(&pts, region, 60.0, Metric::Euclidean);
             let c = DHopClustering::form_max_min(&t, hops);
-            c.check_invariants(&t).unwrap_or_else(|e| panic!("hops={hops}: {e}"));
+            c.check_invariants(&t)
+                .unwrap_or_else(|e| panic!("hops={hops}: {e}"));
             assert!(c.head_count() >= 1);
         }
     }

@@ -33,7 +33,10 @@ impl fmt::Display for InvariantViolation {
                 write!(f, "cluster-heads {a} and {b} are directly connected (P1)")
             }
             InvariantViolation::HeadIsNotHead { member, head } => {
-                write!(f, "member {member} is affiliated with {head}, which is not a head (P2)")
+                write!(
+                    f,
+                    "member {member} is affiliated with {head}, which is not a head (P2)"
+                )
             }
             InvariantViolation::HeadOutOfRange { member, head } => {
                 write!(f, "member {member} is out of range of its head {head} (P2)")
@@ -53,6 +56,46 @@ enum OrphanCause {
     /// paper's second CLUSTER trigger).
     HeadResigned,
 }
+
+/// The fate of one attempted CLUSTER send under a fault plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Attempt {
+    /// The message went through; the role change commits.
+    Delivered,
+    /// The message was lost; the role change does not commit and the
+    /// underlying invariant violation persists for a later retry.
+    Lost,
+    /// The sender is backing off; no transmission this pass.
+    Deferred,
+}
+
+/// Fault plane seen by the maintenance engine.
+///
+/// The engine calls [`FaultHooks::is_alive`] to skip crashed nodes and
+/// [`FaultHooks::attempt`] before committing each role change (one CLUSTER
+/// message each). The default implementations — everything alive,
+/// everything delivered — make [`NoFaults`] a zero-cost ideal plane:
+/// `maintain` monomorphizes to exactly the pre-fault behavior.
+pub trait FaultHooks {
+    /// Whether node `u` is up. Crashed nodes neither detect breaks nor
+    /// transmit; their links should already be absent from the topology.
+    fn is_alive(&self, u: NodeId) -> bool {
+        let _ = u;
+        true
+    }
+
+    /// Gates and draws one CLUSTER send by node `u`.
+    fn attempt(&mut self, u: NodeId) -> Attempt {
+        let _ = u;
+        Attempt::Delivered
+    }
+}
+
+/// The ideal fault plane: every node up, every message delivered.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoFaults;
+
+impl FaultHooks for NoFaults {}
 
 /// CLUSTER-message accounting for one maintenance pass, decomposed by
 /// trigger so the analytical terms of Eqns 6–11 can be validated
@@ -74,6 +117,13 @@ pub struct MaintenanceOutcome {
     /// Members promoted because their head resigned and no head was in
     /// range.
     pub contact_promotions: u64,
+    /// Sends attempted but lost on a faulty channel (the role change did
+    /// not commit; the overhead was still paid). Always 0 under
+    /// [`NoFaults`].
+    pub lost_sends: u64,
+    /// Repair attempts suppressed by backoff this pass (no transmission,
+    /// no overhead). Always 0 under [`NoFaults`].
+    pub deferred_sends: u64,
 }
 
 impl MaintenanceOutcome {
@@ -87,9 +137,16 @@ impl MaintenanceOutcome {
         self.contact_resignations + self.contact_reaffiliations + self.contact_promotions
     }
 
-    /// All CLUSTER messages transmitted in this pass.
+    /// All CLUSTER messages whose role change committed in this pass.
     pub fn total_messages(&self) -> u64 {
         self.break_triggered_messages() + self.contact_triggered_messages()
+    }
+
+    /// All CLUSTER transmissions attempted in this pass — committed plus
+    /// lost. This is the overhead a real radio pays; it equals
+    /// [`total_messages`](Self::total_messages) on an ideal channel.
+    pub fn attempted_messages(&self) -> u64 {
+        self.total_messages() + self.lost_sends
     }
 
     /// Accumulates another pass into this one.
@@ -99,6 +156,8 @@ impl MaintenanceOutcome {
         self.contact_resignations += other.contact_resignations;
         self.contact_reaffiliations += other.contact_reaffiliations;
         self.contact_promotions += other.contact_promotions;
+        self.lost_sends += other.lost_sends;
+        self.deferred_sends += other.deferred_sends;
     }
 }
 
@@ -184,7 +243,10 @@ impl<P: ClusterPolicy> Clustering<P> {
                 }
             }
         }
-        let roles = roles.into_iter().map(|r| r.expect("all nodes decided")).collect();
+        let roles = roles
+            .into_iter()
+            .map(|r| r.expect("all nodes decided"))
+            .collect();
         (Clustering { policy, roles }, FormationStats { rounds })
     }
 
@@ -204,6 +266,26 @@ impl<P: ClusterPolicy> Clustering<P> {
     ///    counted, which is why measured counts can slightly exceed the
     ///    paper's lower bound.
     pub fn maintain(&mut self, topology: &Topology) -> MaintenanceOutcome {
+        self.maintain_faulty(topology, &mut NoFaults)
+    }
+
+    /// [`maintain`](Self::maintain) under a fault plane.
+    ///
+    /// `hooks` decides which nodes are up and whether each CLUSTER send
+    /// goes through. A [`Attempt::Lost`] send pays its overhead
+    /// (`lost_sends`) but does *not* commit the role change, so the
+    /// invariant violation persists into later passes until a retry
+    /// succeeds; [`Attempt::Deferred`] (backoff) pays nothing. Crashed
+    /// nodes are skipped entirely — they neither orphan themselves nor
+    /// transmit.
+    ///
+    /// With [`NoFaults`] this is exactly the ideal [`maintain`]: identical
+    /// role changes, identical counts.
+    pub fn maintain_faulty<H: FaultHooks>(
+        &mut self,
+        topology: &Topology,
+        hooks: &mut H,
+    ) -> MaintenanceOutcome {
         assert_eq!(
             topology.len(),
             self.roles.len(),
@@ -213,16 +295,26 @@ impl<P: ClusterPolicy> Clustering<P> {
         let n = self.roles.len();
         let mut orphan_cause: Vec<Option<OrphanCause>> = vec![None; n];
 
-        // Phase 1: members that lost the link to their head.
+        // Phase 1: members whose affiliation is broken — the head link is
+        // gone, or (only possible after a lost repair or a recovery from a
+        // crash) the recorded head is no longer a head.
         for u in 0..n as NodeId {
+            if !hooks.is_alive(u) {
+                continue;
+            }
             if let Role::Member { head } = self.roles[u as usize] {
                 if !topology.are_linked(u, head) {
                     orphan_cause[u as usize] = Some(OrphanCause::LinkBroke);
+                } else if !self.roles[head as usize].is_head() {
+                    orphan_cause[u as usize] = Some(OrphanCause::HeadResigned);
                 }
             }
         }
 
-        // Phase 2: resolve head–head contacts, lowest pair first.
+        // Phase 2: resolve head–head contacts, lowest pair first. Pairs
+        // whose resignation was lost or deferred stay adjacent heads; they
+        // are skipped for the rest of the pass (and retried next pass).
+        let mut unresolved: Vec<(NodeId, NodeId)> = Vec::new();
         loop {
             let mut contact: Option<(NodeId, NodeId)> = None;
             'scan: for a in 0..n as NodeId {
@@ -230,7 +322,7 @@ impl<P: ClusterPolicy> Clustering<P> {
                     continue;
                 }
                 for &b in topology.neighbors(a) {
-                    if b > a && self.roles[b as usize].is_head() {
+                    if b > a && self.roles[b as usize].is_head() && !unresolved.contains(&(a, b)) {
                         contact = Some((a, b));
                         break 'scan;
                     }
@@ -244,22 +336,49 @@ impl<P: ClusterPolicy> Clustering<P> {
                     (b, a)
                 };
             // The loser resigns and announces its new affiliation: 1 msg.
-            self.roles[loser as usize] = Role::Member { head: winner };
-            outcome.contact_resignations += 1;
-            orphan_cause[loser as usize] = None; // it just re-homed itself
-            // Its members are orphaned (unless already orphaned by a break).
-            for m in 0..n as NodeId {
-                if let Role::Member { head } = self.roles[m as usize] {
-                    if head == loser && orphan_cause[m as usize].is_none() {
-                        orphan_cause[m as usize] = Some(OrphanCause::HeadResigned);
+            match hooks.attempt(loser) {
+                Attempt::Delivered => {
+                    self.roles[loser as usize] = Role::Member { head: winner };
+                    outcome.contact_resignations += 1;
+                    orphan_cause[loser as usize] = None; // it just re-homed itself
+                                                         // Its members are orphaned (unless already orphaned by a
+                                                         // break).
+                    for m in 0..n as NodeId {
+                        if let Role::Member { head } = self.roles[m as usize] {
+                            if head == loser && orphan_cause[m as usize].is_none() {
+                                orphan_cause[m as usize] = Some(OrphanCause::HeadResigned);
+                            }
+                        }
                     }
+                }
+                Attempt::Lost => {
+                    outcome.lost_sends += 1;
+                    unresolved.push((a, b));
+                }
+                Attempt::Deferred => {
+                    outcome.deferred_sends += 1;
+                    unresolved.push((a, b));
                 }
             }
         }
 
-        // Phase 3: orphans re-affiliate or promote, in id order.
+        // Phase 3: orphans re-affiliate or promote, in id order. A lost
+        // announcement leaves the stale role in place for a later retry.
         for u in 0..n as NodeId {
-            let Some(cause) = orphan_cause[u as usize] else { continue };
+            let Some(cause) = orphan_cause[u as usize] else {
+                continue;
+            };
+            match hooks.attempt(u) {
+                Attempt::Delivered => {}
+                Attempt::Lost => {
+                    outcome.lost_sends += 1;
+                    continue;
+                }
+                Attempt::Deferred => {
+                    outcome.deferred_sends += 1;
+                    continue;
+                }
+            }
             let best_head = topology
                 .neighbors(u)
                 .iter()
@@ -286,7 +405,15 @@ impl<P: ClusterPolicy> Clustering<P> {
             }
         }
 
-        debug_assert_eq!(self.check_invariants(topology), Ok(()));
+        // The engine only guarantees clean invariants when nothing was
+        // lost, deferred, or down this pass.
+        #[cfg(debug_assertions)]
+        if outcome.lost_sends == 0
+            && outcome.deferred_sends == 0
+            && (0..n as NodeId).all(|u| hooks.is_alive(u))
+        {
+            debug_assert_eq!(self.check_invariants(topology), Ok(()));
+        }
         outcome
     }
 
@@ -316,6 +443,57 @@ impl<P: ClusterPolicy> Clustering<P> {
             }
         }
         Ok(())
+    }
+
+    /// Collects *every* P1/P2 violation against a topology, in node-id
+    /// order (where [`check_invariants`](Self::check_invariants) stops at
+    /// the first).
+    pub fn violations(&self, topology: &Topology) -> Vec<InvariantViolation> {
+        self.violations_where(topology, |_| true)
+    }
+
+    /// [`violations`](Self::violations) restricted to live nodes: crashed
+    /// nodes are exempt as subjects (a dead radio has no role to violate),
+    /// but a live member affiliated with a dead head still shows up as
+    /// [`InvariantViolation::HeadOutOfRange`] because the dead head's links
+    /// are gone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alive.len()` differs from the node count.
+    pub fn violations_among(&self, topology: &Topology, alive: &[bool]) -> Vec<InvariantViolation> {
+        assert_eq!(alive.len(), self.roles.len(), "alive mask size mismatch");
+        self.violations_where(topology, |u| alive[u as usize])
+    }
+
+    fn violations_where(
+        &self,
+        topology: &Topology,
+        subject: impl Fn(NodeId) -> bool,
+    ) -> Vec<InvariantViolation> {
+        let mut out = Vec::new();
+        for u in 0..self.roles.len() as NodeId {
+            if !subject(u) {
+                continue;
+            }
+            match self.roles[u as usize] {
+                Role::Head => {
+                    for &w in topology.neighbors(u) {
+                        if w > u && self.roles[w as usize].is_head() && subject(w) {
+                            out.push(InvariantViolation::AdjacentHeads(u, w));
+                        }
+                    }
+                }
+                Role::Member { head } => {
+                    if !self.roles[head as usize].is_head() {
+                        out.push(InvariantViolation::HeadIsNotHead { member: u, head });
+                    } else if !topology.are_linked(u, head) {
+                        out.push(InvariantViolation::HeadOutOfRange { member: u, head });
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// The policy in force.
@@ -424,7 +602,13 @@ mod tests {
     #[test]
     fn formation_star_prefers_center_under_hcc_but_not_lid() {
         // Star: center node 4 adjacent to 0..3 (which are pairwise far).
-        let pts = [(0.0, 10.0), (20.0, 10.0), (10.0, 0.0), (10.0, 20.0), (10.0, 10.0)];
+        let pts = [
+            (0.0, 10.0),
+            (20.0, 10.0),
+            (10.0, 0.0),
+            (10.0, 20.0),
+            (10.0, 10.0),
+        ];
         let t = topo(&pts, 11.0);
         let lid = Clustering::form(LowestId, &t);
         // LID: node 0 is the global minimum → head; center 4 joins 0; the
@@ -557,18 +741,29 @@ mod tests {
             contact_resignations: 3,
             contact_reaffiliations: 4,
             contact_promotions: 5,
+            lost_sends: 6,
+            deferred_sends: 7,
         };
         a.absorb(a);
         assert_eq!(a.total_messages(), 30);
         assert_eq!(a.break_triggered_messages(), 6);
         assert_eq!(a.contact_triggered_messages(), 24);
+        assert_eq!(a.attempted_messages(), 42);
+        assert_eq!(a.lost_sends, 12);
+        assert_eq!(a.deferred_sends, 14);
     }
 
     #[test]
     fn invariant_checker_reports_violations() {
         let t = path(2);
-        let c = Clustering { policy: LowestId, roles: vec![Role::Head, Role::Head] };
-        assert_eq!(c.check_invariants(&t), Err(InvariantViolation::AdjacentHeads(0, 1)));
+        let c = Clustering {
+            policy: LowestId,
+            roles: vec![Role::Head, Role::Head],
+        };
+        assert_eq!(
+            c.check_invariants(&t),
+            Err(InvariantViolation::AdjacentHeads(0, 1))
+        );
         let c = Clustering {
             policy: LowestId,
             roles: vec![Role::Member { head: 1 }, Role::Member { head: 0 }],
@@ -589,6 +784,167 @@ mod tests {
         // Display is informative.
         let msg = InvariantViolation::AdjacentHeads(3, 4).to_string();
         assert!(msg.contains("P1"));
+    }
+
+    #[test]
+    fn violations_reports_every_breakage() {
+        let t = path(4);
+        let c = Clustering {
+            policy: LowestId,
+            roles: vec![
+                Role::Head,
+                Role::Head,
+                Role::Member { head: 3 },
+                Role::Member { head: 0 },
+            ],
+        };
+        let v = c.violations(&t);
+        // (0,1) adjacent heads; 2's head 3 is not a head; 3's head 0 is out
+        // of range on a 4-path.
+        assert_eq!(v.len(), 3);
+        assert_eq!(v[0], InvariantViolation::AdjacentHeads(0, 1));
+        assert!(matches!(
+            v[1],
+            InvariantViolation::HeadIsNotHead { member: 2, .. }
+        ));
+        assert!(matches!(
+            v[2],
+            InvariantViolation::HeadOutOfRange { member: 3, .. }
+        ));
+        // Dead subjects are exempt; their heads' links are judged as-is.
+        let v = c.violations_among(&t, &[true, false, false, true]);
+        assert_eq!(v.len(), 1);
+        assert!(matches!(
+            v[0],
+            InvariantViolation::HeadOutOfRange { member: 3, .. }
+        ));
+        // A consistent clustering reports nothing.
+        let ok = Clustering::form(LowestId, &t);
+        assert!(ok.violations(&t).is_empty());
+    }
+
+    /// Forces a deterministic loss pattern: the k-th attempt succeeds iff
+    /// `pattern[k % len]`.
+    struct ScriptedLoss {
+        pattern: Vec<bool>,
+        k: usize,
+    }
+
+    impl FaultHooks for ScriptedLoss {
+        fn attempt(&mut self, _u: NodeId) -> Attempt {
+            let ok = self.pattern[self.k % self.pattern.len()];
+            self.k += 1;
+            if ok {
+                Attempt::Delivered
+            } else {
+                Attempt::Lost
+            }
+        }
+    }
+
+    #[test]
+    fn lost_resignation_keeps_adjacent_heads_until_retry() {
+        // Two singleton heads drift into contact.
+        let t0 = topo(&[(0.0, 0.0), (10.0, 0.0)], 1.1);
+        let mut c = Clustering::form(LowestId, &t0);
+        assert!(c.is_head(0) && c.is_head(1));
+        let t1 = path(2);
+        let mut lossy = ScriptedLoss {
+            pattern: vec![false],
+            k: 0,
+        };
+        let o = c.maintain_faulty(&t1, &mut lossy);
+        // The resignation was attempted (overhead paid) but did not commit.
+        assert_eq!(o.lost_sends, 1);
+        assert_eq!(o.total_messages(), 0);
+        assert_eq!(o.attempted_messages(), 1);
+        assert!(
+            c.is_head(0) && c.is_head(1),
+            "lost resignation must not commit"
+        );
+        assert_eq!(c.violations(&t1).len(), 1);
+        // Retry succeeds and heals the structure.
+        let mut fine = ScriptedLoss {
+            pattern: vec![true],
+            k: 0,
+        };
+        let o = c.maintain_faulty(&t1, &mut fine);
+        assert_eq!(o.contact_resignations, 1);
+        assert!(c.violations(&t1).is_empty());
+        c.check_invariants(&t1).unwrap();
+    }
+
+    #[test]
+    fn lost_reaffiliation_retries_until_it_commits() {
+        // 0—1—2 with 1 member of 0; 0 walks away.
+        let t0 = path(3);
+        let mut c = Clustering::form(LowestId, &t0);
+        let t1 = topo(&[(500.0, 0.0), (1.0, 0.0), (2.0, 0.0)], 1.1);
+        let mut lossy = ScriptedLoss {
+            pattern: vec![false, false, true],
+            k: 0,
+        };
+        let mut lost = 0;
+        let mut passes = 0;
+        while !c.violations(&t1).is_empty() {
+            let o = c.maintain_faulty(&t1, &mut lossy);
+            lost += o.lost_sends;
+            passes += 1;
+            assert!(passes <= 5, "must converge quickly");
+        }
+        assert_eq!(lost, 2, "two losses before the scripted success");
+        assert_eq!(c.role(1), Role::Member { head: 2 });
+        c.check_invariants(&t1).unwrap();
+    }
+
+    #[test]
+    fn crashed_nodes_neither_act_nor_transmit() {
+        // 0—1—2, node 0 (the head) crashes: only node 1 must react.
+        let t0 = path(3);
+        let mut c = Clustering::form(LowestId, &t0);
+        let mut masked = t0.clone();
+        let alive = [false, true, true];
+        masked.retain_alive(&alive);
+
+        struct CrashOnly {
+            alive: [bool; 3],
+            senders: Vec<NodeId>,
+        }
+        impl FaultHooks for CrashOnly {
+            fn is_alive(&self, u: NodeId) -> bool {
+                self.alive[u as usize]
+            }
+            fn attempt(&mut self, u: NodeId) -> Attempt {
+                self.senders.push(u);
+                Attempt::Delivered
+            }
+        }
+        let mut hooks = CrashOnly {
+            alive,
+            senders: Vec::new(),
+        };
+        let o = c.maintain_faulty(&masked, &mut hooks);
+        // 1 lost its head → re-homes to head 2 (which stayed a head).
+        assert_eq!(hooks.senders, vec![1]);
+        assert_eq!(o.break_reaffiliations, 1);
+        assert_eq!(c.role(1), Role::Member { head: 2 });
+        // The dead node's stale role is exempt while down.
+        assert!(c.violations_among(&masked, &alive).is_empty());
+    }
+
+    #[test]
+    fn maintain_faulty_with_nofaults_is_maintain() {
+        use manet_sim::SimBuilder;
+        let mut world = SimBuilder::new().nodes(80).seed(13).build();
+        let mut a = Clustering::form(LowestId, world.topology());
+        let mut b = a.clone();
+        for _ in 0..50 {
+            world.step();
+            let oa = a.maintain(world.topology());
+            let ob = b.maintain_faulty(world.topology(), &mut NoFaults);
+            assert_eq!(oa, ob);
+            assert_eq!(a.roles(), b.roles());
+        }
     }
 
     #[test]

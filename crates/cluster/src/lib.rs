@@ -47,13 +47,18 @@ pub mod assignment;
 pub mod dhop;
 pub mod engine;
 pub mod policy;
+pub mod repair;
 pub mod stability;
 pub mod stats;
 
 pub use assignment::ClusterAssignment;
 pub use dhop::DHopClustering;
-pub use engine::{Clustering, FormationStats, InvariantViolation, MaintenanceOutcome};
+pub use engine::{
+    Attempt, Clustering, FaultHooks, FormationStats, InvariantViolation, MaintenanceOutcome,
+    NoFaults,
+};
 pub use policy::{ClusterPolicy, HighestConnectivity, LowestId, Priority, StaticWeights};
+pub use repair::{Backoff, RepairOutcome, SelfHealing};
 pub use stability::StabilityTracker;
 pub use stats::ClusterStats;
 

@@ -72,7 +72,10 @@ pub struct HighestConnectivity;
 
 impl ClusterPolicy for HighestConnectivity {
     fn priority(&self, node: NodeId, topology: &Topology) -> Priority {
-        Priority { weight: topology.degree(node) as f64, node }
+        Priority {
+            weight: topology.degree(node) as f64,
+            node,
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -95,7 +98,10 @@ impl StaticWeights {
     ///
     /// Panics if any weight is NaN.
     pub fn new(weights: Vec<f64>) -> Self {
-        assert!(weights.iter().all(|w| !w.is_nan()), "weights must not be NaN");
+        assert!(
+            weights.iter().all(|w| !w.is_nan()),
+            "weights must not be NaN"
+        );
         StaticWeights { weights }
     }
 
@@ -110,7 +116,10 @@ impl ClusterPolicy for StaticWeights {
     ///
     /// Panics if `node` has no weight entry.
     fn priority(&self, node: NodeId, _topology: &Topology) -> Priority {
-        Priority { weight: self.weights[node as usize], node }
+        Priority {
+            weight: self.weights[node as usize],
+            node,
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -128,11 +137,23 @@ mod tests {
 
     #[test]
     fn priority_orders_by_weight_then_low_id() {
-        let hi = Priority { weight: 2.0, node: 9 };
-        let lo = Priority { weight: 1.0, node: 0 };
+        let hi = Priority {
+            weight: 2.0,
+            node: 9,
+        };
+        let lo = Priority {
+            weight: 1.0,
+            node: 0,
+        };
         assert!(hi > lo);
-        let a = Priority { weight: 1.0, node: 3 };
-        let b = Priority { weight: 1.0, node: 7 };
+        let a = Priority {
+            weight: 1.0,
+            node: 3,
+        };
+        let b = Priority {
+            weight: 1.0,
+            node: 7,
+        };
         assert!(a > b, "equal weight: lower id wins");
         assert_eq!(a.cmp(&a), Ordering::Equal);
     }
@@ -163,7 +184,10 @@ mod tests {
         );
         let p = HighestConnectivity;
         assert!(p.priority(2, &topo) > p.priority(0, &topo));
-        assert!(p.priority(0, &topo) > p.priority(1, &topo), "tie → lower id");
+        assert!(
+            p.priority(0, &topo) > p.priority(1, &topo),
+            "tie → lower id"
+        );
         assert_eq!(p.name(), "highest-connectivity");
     }
 

@@ -60,8 +60,7 @@ mod tests {
     #[test]
     fn stats_on_a_path() {
         let pts: Vec<Vec2> = (0..5).map(|i| Vec2::new(i as f64, 0.0)).collect();
-        let topo =
-            Topology::compute(&pts, SquareRegion::new(100.0), 1.1, Metric::Euclidean);
+        let topo = Topology::compute(&pts, SquareRegion::new(100.0), 1.1, Metric::Euclidean);
         let c = Clustering::form(LowestId, &topo);
         let s = ClusterStats::measure(&c);
         // Heads {0, 2, 4}: sizes 2, 2, 1.
@@ -90,8 +89,7 @@ mod tests {
         let pts: Vec<Vec2> = (0..30)
             .map(|i| Vec2::new((i % 6) as f64 * 2.0, (i / 6) as f64 * 2.0))
             .collect();
-        let topo =
-            Topology::compute(&pts, SquareRegion::new(100.0), 2.5, Metric::Euclidean);
+        let topo = Topology::compute(&pts, SquareRegion::new(100.0), 2.5, Metric::Euclidean);
         let c = Clustering::form(LowestId, &topo);
         let s = ClusterStats::measure(&c);
         assert!((s.mean_cluster_size * s.head_ratio - 1.0).abs() < 1e-12);

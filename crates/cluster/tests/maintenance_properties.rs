@@ -1,11 +1,9 @@
 //! Property and long-run integration tests for the maintenance engine.
 
 use manet_cluster::{
-    ClusterStats, Clustering, HighestConnectivity, LowestId, MaintenanceOutcome, Role,
-    StaticWeights,
+    ClusterStats, Clustering, HighestConnectivity, LowestId, MaintenanceOutcome, StaticWeights,
 };
 use manet_sim::{MobilityKind, SimBuilder};
-use proptest::prelude::*;
 
 /// Invariants hold at every tick of a mobile world, for every policy.
 #[test]
@@ -77,8 +75,7 @@ fn cluster_messages_are_sparser_than_link_events() {
         world.step();
         msgs += c.maintain(world.topology()).total_messages();
     }
-    let events =
-        world.counters().links_generated() + world.counters().links_broken();
+    let events = world.counters().links_generated() + world.counters().links_broken();
     assert!(events > 0);
     assert!(
         (msgs as f64) < 0.8 * events as f64,
@@ -100,7 +97,11 @@ fn lid_formation_head_ratio_is_bracketed_by_caro_wei_and_eqn17() {
     let mut ratios = Vec::new();
     let mut degrees = Vec::new();
     for seed in 0..12u64 {
-        let world = SimBuilder::new().nodes(400).radius(150.0).seed(seed).build();
+        let world = SimBuilder::new()
+            .nodes(400)
+            .radius(150.0)
+            .seed(seed)
+            .build();
         let c = Clustering::form(LowestId, world.topology());
         c.check_invariants(world.topology()).unwrap();
         ratios.push(c.head_ratio());
@@ -164,7 +165,16 @@ fn invariants_hold_under_random_waypoint() {
     assert!(stats.cluster_count >= 1);
 }
 
-proptest! {
+// Compiled only with `--features slow-proptests`, which additionally
+// requires re-adding the `proptest` dev-dependency (network access);
+// the hermetic default build resolves zero external crates.
+#[cfg(feature = "slow-proptests")]
+mod slow_proptests {
+    use super::*;
+    use manet_cluster::Role;
+    use proptest::prelude::*;
+
+    proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     /// Invariants + message accounting for arbitrary small geometries.
@@ -204,8 +214,10 @@ proptest! {
             prop_assert_eq!(total.total_messages(), 0);
         }
     }
+    }
 }
 
+#[cfg(feature = "slow-proptests")]
 mod dhop_properties {
     use manet_cluster::{DHopClustering, LowestId};
     use manet_sim::SimBuilder;

@@ -33,8 +33,11 @@ pub enum SweepVariable {
 
 impl SweepVariable {
     /// All sweep variables in display order.
-    pub const ALL: [SweepVariable; 3] =
-        [SweepVariable::Range, SweepVariable::Density, SweepVariable::Speed];
+    pub const ALL: [SweepVariable; 3] = [
+        SweepVariable::Range,
+        SweepVariable::Density,
+        SweepVariable::Speed,
+    ];
 }
 
 /// The three message families of the Θ table.
@@ -50,8 +53,11 @@ pub enum MessageFamily {
 
 impl MessageFamily {
     /// All families in display order.
-    pub const ALL: [MessageFamily; 3] =
-        [MessageFamily::Hello, MessageFamily::Cluster, MessageFamily::Route];
+    pub const ALL: [MessageFamily; 3] = [
+        MessageFamily::Hello,
+        MessageFamily::Cluster,
+        MessageFamily::Route,
+    ];
 }
 
 /// One verified cell of the Θ table.
@@ -80,7 +86,10 @@ impl ThetaCell {
 ///
 /// Returns `(f_hello, f_cluster, f_route)`.
 pub fn plane_frequencies(r: f64, density: f64, v: f64) -> (f64, f64, f64) {
-    assert!(r > 0.0 && density > 0.0 && v >= 0.0, "invalid plane parameters");
+    assert!(
+        r > 0.0 && density > 0.0 && v >= 0.0,
+        "invalid plane parameters"
+    );
     let d = PI * r * r * density;
     let p = lid::p_approx(d);
     let mu = 8.0 * v / (PI * PI * r);
@@ -88,8 +97,8 @@ pub fn plane_frequencies(r: f64, density: f64, v: f64) -> (f64, f64, f64) {
     let d_head = d * p;
     let f_cluster = (1.0 - p) * mu + 8.0 * d_head * v / (PI * PI * r) / 2.0;
     let m = 1.0 / p;
-    let links = (m - 1.0).max(0.0)
-        + DISC_SAME_RADIUS_LINK_PROB * ((m - 1.0) * (m - 2.0) / 2.0).max(0.0);
+    let links =
+        (m - 1.0).max(0.0) + DISC_SAME_RADIUS_LINK_PROB * ((m - 1.0) * (m - 2.0) / 2.0).max(0.0);
     let f_route = 2.0 * mu * links;
     (f_hello, f_cluster, f_route)
 }
@@ -186,7 +195,9 @@ mod tests {
         for f in MessageFamily::ALL {
             for v in SweepVariable::ALL {
                 assert_eq!(
-                    t.iter().filter(|c| c.family == f && c.variable == v).count(),
+                    t.iter()
+                        .filter(|c| c.family == f && c.variable == v)
+                        .count(),
                     1
                 );
             }

@@ -21,7 +21,10 @@ use crate::overhead::OverheadModel;
 ///
 /// Panics unless `w_bits > 0` and `n ≥ 2`.
 pub fn per_node_capacity(w_bits: f64, n: usize) -> f64 {
-    assert!(w_bits > 0.0 && w_bits.is_finite(), "channel rate must be positive");
+    assert!(
+        w_bits > 0.0 && w_bits.is_finite(),
+        "channel rate must be positive"
+    );
     assert!(n >= 2, "capacity needs at least 2 nodes");
     w_bits / ((n as f64) * (n as f64).ln()).sqrt()
 }
@@ -87,7 +90,10 @@ mod tests {
         assert!(c10k < c100);
         // Θ(1/√(N log N)): the ratio over 100× nodes is ≈ √(100·(ln 1e4/ln 1e2)) = √200.
         let ratio = c100 / c10k;
-        assert!((ratio - 200f64.sqrt()).abs() / 200f64.sqrt() < 0.01, "ratio {ratio}");
+        assert!(
+            (ratio - 200f64.sqrt()).abs() / 200f64.sqrt() < 0.01,
+            "ratio {ratio}"
+        );
     }
 
     #[test]

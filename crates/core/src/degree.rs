@@ -42,7 +42,10 @@ impl DegreeModel {
     ///
     /// Panics unless `p` is within `[0, 1]`.
     pub fn expected_head_degree(self, params: &NetworkParams, p: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&p), "head ratio must be in [0, 1], got {p}");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "head ratio must be in [0, 1], got {p}"
+        );
         ((params.node_count() as f64 * p) - 1.0).max(0.0) * self.connection_probability(params)
     }
 }
@@ -86,8 +89,9 @@ mod tests {
         let mut acc = 0.0;
         let trials = 60;
         for _ in 0..trials {
-            let pts: Vec<manet_geom::Vec2> =
-                (0..p.node_count()).map(|_| region.sample_uniform(&mut rng)).collect();
+            let pts: Vec<manet_geom::Vec2> = (0..p.node_count())
+                .map(|_| region.sample_uniform(&mut rng))
+                .collect();
             let grid = manet_geom::SpatialGrid::build(
                 &pts,
                 region,
@@ -105,7 +109,10 @@ mod tests {
         let mc = acc / trials as f64;
         let theory = DegreeModel::BorderCorrected.expected_degree(&p);
         let rel = (mc - theory).abs() / theory;
-        assert!(rel < 0.02, "MC {mc:.3} vs Claim 1 {theory:.3} (rel {rel:.4})");
+        assert!(
+            rel < 0.02,
+            "MC {mc:.3} vs Claim 1 {theory:.3} (rel {rel:.4})"
+        );
     }
 
     #[test]

@@ -50,7 +50,10 @@ pub fn eqn16_residual(p: f64, d: f64) -> f64 {
 /// Propagates solver failures (which do not occur for finite `d ≥ 0`; the
 /// equation brackets a unique root).
 pub fn p_exact(d: f64) -> Result<f64, SolveError> {
-    assert!(d >= 0.0 && d.is_finite(), "degree must be non-negative and finite");
+    assert!(
+        d >= 0.0 && d.is_finite(),
+        "degree must be non-negative and finite"
+    );
     if d == 0.0 {
         // Isolated nodes: every node heads its own cluster.
         return Ok(1.0);
@@ -118,7 +121,10 @@ mod tests {
     fn p_exact_solves_the_equation() {
         for d in [1.0, 5.0, 20.0, 100.0, 500.0] {
             let p = p_exact(d).unwrap();
-            assert!((eqn16_rhs(p, d) - p).abs() < 1e-9, "d={d}: residual too big");
+            assert!(
+                (eqn16_rhs(p, d) - p).abs() < 1e-9,
+                "d={d}: residual too big"
+            );
             assert!(p > 0.0 && p < 1.0);
         }
     }
@@ -127,8 +133,14 @@ mod tests {
     fn p_exact_matches_damped_fixed_point() {
         for d in [3.0, 30.0, 300.0] {
             let bis = p_exact(d).unwrap();
-            let fp = fixed_point(|p| eqn16_rhs(p.clamp(1e-9, 1.0), d), 0.5, 0.5, 1e-12, 10_000)
-                .unwrap();
+            let fp = fixed_point(
+                |p| eqn16_rhs(p.clamp(1e-9, 1.0), d),
+                0.5,
+                0.5,
+                1e-12,
+                10_000,
+            )
+            .unwrap();
             assert!((bis - fp).abs() < 1e-8, "d={d}: {bis} vs {fp}");
         }
     }
@@ -140,7 +152,10 @@ mod tests {
             let exact = p_exact(d).unwrap();
             let approx = p_approx(d);
             let rel = (exact - approx).abs() / exact;
-            assert!(rel < 0.05, "d={d}: exact {exact} vs approx {approx} (rel {rel})");
+            assert!(
+                rel < 0.05,
+                "d={d}: exact {exact} vs approx {approx} (rel {rel})"
+            );
         }
     }
 

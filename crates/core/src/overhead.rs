@@ -213,7 +213,10 @@ impl OverheadModel {
     ///
     /// Panics unless `p ∈ [0, 1]`.
     pub fn f_cluster_break(&self, p: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&p), "head ratio must be in [0, 1], got {p}");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "head ratio must be in [0, 1], got {p}"
+        );
         (1.0 - p) * self.per_link_break_rate()
     }
 
@@ -230,10 +233,12 @@ impl OverheadModel {
     ///
     /// Panics unless `p ∈ [0, 1]`.
     pub fn f_cluster_contact(&self, p: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&p), "head ratio must be in [0, 1], got {p}");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "head ratio must be in [0, 1], got {p}"
+        );
         let d_head = self.degree_model.expected_head_degree(&self.params, p);
-        let lambda_gen_head = 8.0 * d_head * self.params.speed()
-            / (PI * PI * self.params.radius());
+        let lambda_gen_head = 8.0 * d_head * self.params.speed() / (PI * PI * self.params.radius());
         match self.contact_convention {
             HeadContactConvention::PerPair => lambda_gen_head / 2.0,
             HeadContactConvention::PerEndpoint => lambda_gen_head,
@@ -358,9 +363,7 @@ mod tests {
         assert_eq!(m.f_cluster_contact(0.0), 0.0);
         // Total is the sum.
         let p = 0.2;
-        assert!(
-            (m.f_cluster(p) - m.f_cluster_break(p) - m.f_cluster_contact(p)).abs() < 1e-15
-        );
+        assert!((m.f_cluster(p) - m.f_cluster_break(p) - m.f_cluster_contact(p)).abs() < 1e-15);
     }
 
     #[test]
@@ -393,7 +396,7 @@ mod tests {
         assert!((b.f_cluster - b.f_cluster_break - b.f_cluster_contact).abs() < 1e-15);
         assert!((b.o_total - b.o_hello - b.o_cluster - b.o_route).abs() < 1e-9);
         assert!((b.o_hello - b.f_hello * 128.0).abs() < 1e-9); // 16 B = 128 bits
-        // The paper's headline: ROUTE dominates.
+                                                               // The paper's headline: ROUTE dominates.
         assert!(b.o_route > b.o_cluster && b.o_route > b.o_hello);
     }
 

@@ -19,7 +19,11 @@ pub struct ModelMessageSizes {
 
 impl Default for ModelMessageSizes {
     fn default() -> Self {
-        ModelMessageSizes { hello: 16, cluster: 24, route_entry: 12 }
+        ModelMessageSizes {
+            hello: 16,
+            cluster: 24,
+            route_entry: 12,
+        }
     }
 }
 
@@ -72,13 +76,14 @@ impl NetworkParams {
     ///
     /// Returns a [`ParamError`] when any quantity is out of range (notably
     /// the paper's requirement `r < a`).
-    pub fn new(
-        node_count: usize,
-        side: f64,
-        radius: f64,
-        speed: f64,
-    ) -> Result<Self, ParamError> {
-        Self::with_sizes(node_count, side, radius, speed, ModelMessageSizes::default())
+    pub fn new(node_count: usize, side: f64, radius: f64, speed: f64) -> Result<Self, ParamError> {
+        Self::with_sizes(
+            node_count,
+            side,
+            radius,
+            speed,
+            ModelMessageSizes::default(),
+        )
     }
 
     /// Creates parameters with explicit message sizes.
@@ -105,7 +110,13 @@ impl NetworkParams {
         if !(speed >= 0.0 && speed.is_finite()) {
             return Err(ParamError::BadSpeed);
         }
-        Ok(NetworkParams { node_count, side, radius, speed, sizes })
+        Ok(NetworkParams {
+            node_count,
+            side,
+            radius,
+            speed,
+            sizes,
+        })
     }
 
     /// Network size `N`.
@@ -189,11 +200,26 @@ mod tests {
 
     #[test]
     fn validation_errors() {
-        assert_eq!(NetworkParams::new(1, 10.0, 1.0, 1.0), Err(ParamError::TooFewNodes));
-        assert_eq!(NetworkParams::new(2, 0.0, 1.0, 1.0), Err(ParamError::BadSide));
-        assert_eq!(NetworkParams::new(2, 10.0, 10.0, 1.0), Err(ParamError::BadRadius));
-        assert_eq!(NetworkParams::new(2, 10.0, 0.0, 1.0), Err(ParamError::BadRadius));
-        assert_eq!(NetworkParams::new(2, 10.0, 1.0, -1.0), Err(ParamError::BadSpeed));
+        assert_eq!(
+            NetworkParams::new(1, 10.0, 1.0, 1.0),
+            Err(ParamError::TooFewNodes)
+        );
+        assert_eq!(
+            NetworkParams::new(2, 0.0, 1.0, 1.0),
+            Err(ParamError::BadSide)
+        );
+        assert_eq!(
+            NetworkParams::new(2, 10.0, 10.0, 1.0),
+            Err(ParamError::BadRadius)
+        );
+        assert_eq!(
+            NetworkParams::new(2, 10.0, 0.0, 1.0),
+            Err(ParamError::BadRadius)
+        );
+        assert_eq!(
+            NetworkParams::new(2, 10.0, 1.0, -1.0),
+            Err(ParamError::BadSpeed)
+        );
         assert_eq!(
             NetworkParams::new(2, 10.0, 1.0, f64::INFINITY),
             Err(ParamError::BadSpeed)

@@ -1,5 +1,9 @@
 //! Property-based tests for the analytical model.
 
+// Compiled only with `--features slow-proptests`, which additionally
+// requires re-adding the `proptest` dev-dependency (network access);
+// the hermetic default build resolves zero external crates.
+#![cfg(feature = "slow-proptests")]
 use manet_model::{
     lid, ClusterSizeModel, DegreeModel, HeadContactConvention, NetworkParams, OverheadModel,
     RouteLinkModel,

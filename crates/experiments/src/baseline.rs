@@ -82,10 +82,8 @@ pub fn flat_vs_clustered(
             let elapsed = world.measured_time();
             let sizes_tbl = world.sizes();
             let per_node_bits = |bytes: f64| bytes * 8.0 / n as f64 / elapsed;
-            let hello_bits =
-                world.counters().bytes(MessageKind::Hello) as f64;
-            let cluster_bits =
-                maint.total_messages() as f64 * sizes_tbl.cluster as f64;
+            let hello_bits = world.counters().bytes(MessageKind::Hello) as f64;
+            let cluster_bits = maint.total_messages() as f64 * sizes_tbl.cluster as f64;
             let route_bits = route.route_entries as f64 * sizes_tbl.route_entry as f64;
             let clustered_bits = per_node_bits(hello_bits + cluster_bits + route_bits);
 
@@ -96,7 +94,11 @@ pub fn flat_vs_clustered(
                 + flat.triggered_messages as f64 * sizes_tbl.route_entry as f64;
             let flat_bits = per_node_bits(flat_bytes);
 
-            BaselineRow { nodes: n, clustered_bits, flat_bits }
+            BaselineRow {
+                nodes: n,
+                clustered_bits,
+                flat_bits,
+            }
         })
         .collect()
 }
@@ -126,7 +128,12 @@ mod tests {
 
     #[test]
     fn flat_overhead_grows_with_n_clustered_stays_flat() {
-        let protocol = Protocol { warmup: 20.0, measure: 60.0, seeds: vec![9], dt: 0.5 };
+        let protocol = Protocol {
+            warmup: 20.0,
+            measure: 60.0,
+            seeds: vec![9],
+            dt: 0.5,
+        };
         let rows = flat_vs_clustered(&protocol, &[100, 400], 10.0);
         assert_eq!(rows.len(), 2);
         // Flat per-node overhead grows with N (dump entries scale with N).

@@ -9,5 +9,8 @@ fn main() {
     manet_experiments::emit("claim2_rate", &claims::claim2_table(&claims::claim2(300.0)));
     println!("\nBCV — the paper's analysis model, literally: CV on a 3 km torus");
     println!("observed through a central 1 km window (border effects live)\n");
-    manet_experiments::emit("claim_bcv_window", &claims::bcv_table(&claims::bcv_window(3000.0, 300.0)));
+    manet_experiments::emit(
+        "claim_bcv_window",
+        &claims::bcv_table(&claims::bcv_window(3000.0, 300.0)),
+    );
 }

@@ -6,7 +6,10 @@ use manet_experiments::harness::Protocol;
 
 fn main() {
     println!("ABL1 — CLUSTER decomposition: break vs contact, PerPair vs PerEndpoint\n");
-    manet_experiments::emit("abl1_cluster_decomposition", &cluster_decomposition(&Protocol::default()));
+    manet_experiments::emit(
+        "abl1_cluster_decomposition",
+        &cluster_decomposition(&Protocol::default()),
+    );
     println!("The simulation's contact column should track the PerPair convention");
     println!("(the paper's literal Eqn 10 reading, PerEndpoint, is 2x).");
 }

@@ -7,9 +7,15 @@ use manet_experiments::stability::{lid_speed_sweep, policy_comparison, policy_ta
 fn main() {
     let scenario = Scenario::default();
     println!("EXT6 — stability vs speed (LID, N=400, r=150 m)\n");
-    manet_experiments::emit("ext6_stability_speed", &speed_table(&lid_speed_sweep(&scenario, 300.0)));
+    manet_experiments::emit(
+        "ext6_stability_speed",
+        &speed_table(&lid_speed_sweep(&scenario, 300.0)),
+    );
     println!("\nEXT6 — stability by policy at v=10 m/s\n");
-    manet_experiments::emit("ext6_stability_policy", &policy_table(&policy_comparison(&scenario, 300.0)));
+    manet_experiments::emit(
+        "ext6_stability_policy",
+        &policy_table(&policy_comparison(&scenario, 300.0)),
+    );
     println!("\nEXT7 — mobility-aware election on a heterogeneous fleet (v in [1,19] m/s)\n");
     manet_experiments::emit(
         "ext7_mobility_aware",

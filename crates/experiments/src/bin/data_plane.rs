@@ -6,7 +6,10 @@ use manet_experiments::harness::Scenario;
 
 fn main() {
     println!("EXT5 — packet forwarding over the hybrid stack (300 pairs/point)\n");
-    manet_experiments::emit("ext5_data_plane", &table(&stretch_sweep(&Scenario::default(), 300)));
+    manet_experiments::emit(
+        "ext5_data_plane",
+        &table(&stretch_sweep(&Scenario::default(), 300)),
+    );
     println!("\nDelivery equals flat reachability by construction (asserted in-code);");
     println!("the hierarchy's price is the stretch column, its benefit the control");
     println!("overhead comparison of EXT2.");

@@ -1,0 +1,31 @@
+//! ROB1 — measured overhead under loss and churn vs the paper's ideal
+//! lower bounds.
+
+use manet_experiments::harness::{Protocol, Scenario};
+use manet_experiments::robustness::{burst_row, sweep_loss, table};
+
+fn main() {
+    let scenario = Scenario::default();
+    let protocol = Protocol::default();
+
+    println!("ROB1 — fault plane: Bernoulli loss sweep, no churn (N=400)\n");
+    let mut rows = sweep_loss(&scenario, &protocol, &[0.0, 0.05, 0.1, 0.2], 0.0);
+    manet_experiments::emit("rob1_loss_sweep", &table(&rows));
+
+    println!("\nROB1b — same loss sweep with churn (crash rate 0.002/s, 20 s downtime)\n");
+    let churned = sweep_loss(&scenario, &protocol, &[0.0, 0.05, 0.1, 0.2], 0.002);
+    manet_experiments::emit("rob1_loss_churn_sweep", &table(&churned));
+
+    println!("\nROB1c — burst loss (Gilbert–Elliott) at matched stationary loss\n");
+    rows.truncate(0);
+    for p in [0.05, 0.1, 0.2] {
+        rows.push(burst_row(&scenario, &protocol, p, 0.0));
+    }
+    manet_experiments::emit("rob1_burst_loss", &table(&rows));
+
+    println!("\nThe paper's Eqns 4–13 are delivery-assuming lower bounds; the");
+    println!("measured total tracks them at p = 0 and rises with loss and churn");
+    println!("as retransmissions, repair traffic, and route re-syncs are paid.");
+    println!("'viol end' is the P1/P2 violation count after a quiescence window —");
+    println!("zero means the self-healing maintenance fully restored the clusters.");
+}

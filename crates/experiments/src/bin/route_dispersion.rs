@@ -5,7 +5,10 @@ use manet_experiments::harness::Protocol;
 
 fn main() {
     println!("ABL4 — dispersion-weighted ROUTE bound with empirical cluster sizes\n");
-    manet_experiments::emit("abl4_route_dispersion", &route_dispersion_closure(&Protocol::default(), &[0.10, 0.15, 0.25]));
+    manet_experiments::emit(
+        "abl4_route_dispersion",
+        &route_dispersion_closure(&Protocol::default(), &[0.10, 0.15, 0.25]),
+    );
     println!("\nDecomposition of the FIG1 ROUTE gap (sim / mean-size bound ≈ 4.7):");
     println!("  x2.2  cluster-size dispersion (convex L(m), m-weighted traffic)");
     println!("  x0.55 intra-cluster links are shorter than average, so they break");

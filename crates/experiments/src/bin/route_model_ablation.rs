@@ -5,7 +5,10 @@ use manet_experiments::harness::Protocol;
 
 fn main() {
     println!("ABL2 — ROUTE frequency: member+member (κ) vs member-head-only models\n");
-    manet_experiments::emit("abl2_route_model", &route_model_ablation(&Protocol::default()));
+    manet_experiments::emit(
+        "abl2_route_model",
+        &route_model_ablation(&Protocol::default()),
+    );
     println!("The κ model should track simulation; the star-only model misses the");
     println!("member-member churn and undershoots at large ranges.");
 }

@@ -117,11 +117,12 @@ pub fn claim2(measure_seconds: f64) -> Vec<Claim2Row> {
             let elapsed = world.measured_time();
             let sim_rate = world.counters().per_node_link_generation_rate(n, elapsed)
                 + world.counters().per_node_link_break_rate(n, elapsed);
-            let model = manet_model::OverheadModel::new(
-                scenario.params(),
-                DegreeModel::TorusExact,
-            );
-            Claim2Row { speed, sim_rate, theory_rate: model.link_change_rate() }
+            let model = manet_model::OverheadModel::new(scenario.params(), DegreeModel::TorusExact);
+            Claim2Row {
+                speed,
+                sim_rate,
+                theory_rate: model.link_change_rate(),
+            }
         })
         .collect()
 }
@@ -130,7 +131,11 @@ pub fn claim2(measure_seconds: f64) -> Vec<Claim2Row> {
 pub fn claim2_table(rows: &[Claim2Row]) -> Table {
     let mut t = Table::new(["v [m/s]", "λ sim", "λ = 16dv/(π²r)"]);
     for r in rows {
-        t.row([fmt_sig(r.speed, 3), fmt_sig(r.sim_rate, 4), fmt_sig(r.theory_rate, 4)]);
+        t.row([
+            fmt_sig(r.speed, 3),
+            fmt_sig(r.sim_rate, 4),
+            fmt_sig(r.theory_rate, 4),
+        ]);
     }
     t
 }
@@ -155,7 +160,13 @@ mod tests {
     fn claim2_rate_tracks_theory() {
         for r in claim2(120.0) {
             let rel = (r.sim_rate - r.theory_rate).abs() / r.theory_rate;
-            assert!(rel < 0.15, "v={}: sim {} vs theory {} (rel {rel:.3})", r.speed, r.sim_rate, r.theory_rate);
+            assert!(
+                rel < 0.15,
+                "v={}: sim {} vs theory {} (rel {rel:.3})",
+                r.speed,
+                r.sim_rate,
+                r.theory_rate
+            );
         }
     }
 }
@@ -189,7 +200,10 @@ pub fn bcv_window(outer: f64, measure_seconds: f64) -> Vec<BcvRow> {
     use manet_mobility::{ConstantVelocity, Mobility};
     use manet_sim::Topology;
 
-    assert!(outer >= 1200.0, "outer torus must dwarf the transmission range");
+    assert!(
+        outer >= 1200.0,
+        "outer torus must dwarf the transmission range"
+    );
     let density = 400.0 / 1e6; // the default scenario's density
     let n_total = (density * outer * outer).round() as usize;
     let radius = 150.0;
@@ -228,12 +242,8 @@ pub fn bcv_window(outer: f64, measure_seconds: f64) -> Vec<BcvRow> {
                         Vec2::new(p.x - lo, p.y - lo)
                     })
                     .collect();
-                let topo = Topology::compute(
-                    &pts,
-                    SquareRegion::new(win_side),
-                    radius,
-                    Metric::Euclidean,
-                );
+                let topo =
+                    Topology::compute(&pts, SquareRegion::new(win_side), radius, Metric::Euclidean);
                 (ids, topo)
             };
 
@@ -281,9 +291,8 @@ pub fn bcv_window(outer: f64, measure_seconds: f64) -> Vec<BcvRow> {
                 prev_topo = topo;
             }
             let d_theory = DegreeModel::BorderCorrected.expected_degree(&window_params);
-            let lambda_theory = manet_mobility::rates::link_change_rate_for_degree(
-                d_theory, radius, speed,
-            );
+            let lambda_theory =
+                manet_mobility::rates::link_change_rate_for_degree(d_theory, radius, speed);
             BcvRow {
                 window_fraction,
                 mean_in_window: in_window.mean(),
@@ -332,7 +341,10 @@ mod bcv_tests {
         let r = rows[0];
         // Uniformity: the window holds its share of nodes.
         let expect_n = 400.0 / 1e6 * 600.0 * 600.0;
-        assert!((r.mean_in_window - expect_n).abs() / expect_n < 0.08, "{r:?}");
+        assert!(
+            (r.mean_in_window - expect_n).abs() / expect_n < 0.08,
+            "{r:?}"
+        );
         // Claim 1 with border effect.
         let rel_d = (r.degree_sim - r.degree_theory).abs() / r.degree_theory;
         assert!(rel_d < 0.05, "degree: {r:?}");

@@ -30,10 +30,8 @@ pub fn tick_convergence(measure: f64) -> Vec<TickRow> {
         mobility: MobilityKind::ConstantVelocity,
         ..Scenario::default()
     };
-    let model = manet_model::OverheadModel::new(
-        scenario.params(),
-        manet_model::DegreeModel::TorusExact,
-    );
+    let model =
+        manet_model::OverheadModel::new(scenario.params(), manet_model::DegreeModel::TorusExact);
     let theory = model.link_change_rate();
     [2.0, 1.0, 0.5, 0.25, 0.125]
         .into_iter()
@@ -46,7 +44,11 @@ pub fn tick_convergence(measure: f64) -> Vec<TickRow> {
             let t = world.measured_time();
             let lambda = world.counters().per_node_link_generation_rate(n, t)
                 + world.counters().per_node_link_break_rate(n, t);
-            TickRow { dt, lambda_sim: lambda, lambda_theory: theory }
+            TickRow {
+                dt,
+                lambda_sim: lambda,
+                lambda_theory: theory,
+            }
         })
         .collect()
 }
@@ -78,7 +80,10 @@ mod tests {
         let last = rows.last().unwrap();
         let err_coarse = (first.lambda_sim / first.lambda_theory - 1.0).abs();
         let err_fine = (last.lambda_sim / last.lambda_theory - 1.0).abs();
-        assert!(err_fine < err_coarse + 0.01, "coarse {err_coarse}, fine {err_fine}");
+        assert!(
+            err_fine < err_coarse + 0.01,
+            "coarse {err_coarse}, fine {err_fine}"
+        );
         assert!(err_fine < 0.08, "fine-tick error {err_fine}");
     }
 }

@@ -36,7 +36,10 @@ pub fn stretch_sweep(scenario: &Scenario, pairs: usize) -> Vec<StretchRow> {
     [0.08, 0.12, 0.18, 0.25]
         .into_iter()
         .map(|frac| {
-            let scenario = Scenario { radius: frac * scenario.side, ..*scenario };
+            let scenario = Scenario {
+                radius: frac * scenario.side,
+                ..*scenario
+            };
             let mut world = build_world(&scenario, 0.5, 0xDA7A);
             let mut clustering = Clustering::form(LowestId, world.topology());
             // Let the structure reach steady state.
@@ -61,7 +64,11 @@ pub fn stretch_sweep(scenario: &Scenario, pairs: usize) -> Vec<StretchRow> {
                 attempted += 1;
                 let flat = forwarder.shortest_hops(s, d);
                 let out = forwarder.forward(s, d);
-                assert_eq!(flat.is_some(), out.delivered(), "reachability parity {s}->{d}");
+                assert_eq!(
+                    flat.is_some(),
+                    out.delivered(),
+                    "reachability parity {s}->{d}"
+                );
                 if let (Some(flat_hops), Some(hops)) = (flat, out.hops()) {
                     delivered += 1;
                     if flat_hops > 0 {
@@ -110,7 +117,11 @@ mod tests {
 
     #[test]
     fn stretch_is_bounded_and_delivery_tracks_connectivity() {
-        let scenario = Scenario { nodes: 120, side: 600.0, ..Scenario::default() };
+        let scenario = Scenario {
+            nodes: 120,
+            side: 600.0,
+            ..Scenario::default()
+        };
         let rows = stretch_sweep(&scenario, 60);
         assert_eq!(rows.len(), 4);
         for r in &rows {

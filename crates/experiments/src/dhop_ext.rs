@@ -78,9 +78,8 @@ pub fn maintenance_rates(scenario: &Scenario, measure: f64) -> Vec<DhopRates> {
             // Rate-limited updates: raw per-change flooding at d ≥ 2 is
             // dominated by membership-churn multiplicities (see ABL4);
             // the deployable comparison is the coalesced one.
-            let mut routing = IntraClusterRouting::with_policy(UpdatePolicy::Coalesced {
-                interval: 10.0,
-            });
+            let mut routing =
+                IntraClusterRouting::with_policy(UpdatePolicy::Coalesced { interval: 10.0 });
             routing.update_timed(0.0, world.topology(), &c);
             world.run_for(30.0);
             c.maintain(&LowestId, world.topology());
@@ -95,8 +94,7 @@ pub fn maintenance_rates(scenario: &Scenario, measure: f64) -> Vec<DhopRates> {
                 route.absorb(routing.update_timed(world.dt(), world.topology(), &c));
                 p_acc += c.head_ratio();
             }
-            let per_node =
-                |x: u64| x as f64 / world.node_count() as f64 / world.measured_time();
+            let per_node = |x: u64| x as f64 / world.node_count() as f64 / world.measured_time();
             DhopRates {
                 hops,
                 f_cluster: per_node(total.total_messages()),
@@ -149,7 +147,12 @@ mod tests {
     use super::*;
 
     fn small() -> Scenario {
-        Scenario { nodes: 100, side: 500.0, radius: 90.0, ..Scenario::default() }
+        Scenario {
+            nodes: 100,
+            side: 500.0,
+            radius: 90.0,
+            ..Scenario::default()
+        }
     }
 
     #[test]

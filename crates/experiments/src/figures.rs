@@ -82,11 +82,7 @@ impl Figure {
     }
 }
 
-fn sweep(
-    x_label: &'static str,
-    scenarios: Vec<(f64, Scenario)>,
-    protocol: &Protocol,
-) -> Figure {
+fn sweep(x_label: &'static str, scenarios: Vec<(f64, Scenario)>, protocol: &Protocol) -> Figure {
     let mut points = Vec::new();
     for (x, scenario) in scenarios {
         let sim = measure_lid(&scenario, protocol);
@@ -107,7 +103,15 @@ pub fn fig1(protocol: &Protocol) -> Figure {
     let base = Scenario::default();
     let scenarios = [0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35]
         .into_iter()
-        .map(|frac| (frac, Scenario { radius: frac * base.side, ..base }))
+        .map(|frac| {
+            (
+                frac,
+                Scenario {
+                    radius: frac * base.side,
+                    ..base
+                },
+            )
+        })
         .collect();
     sweep("r/a", scenarios, protocol)
 }
@@ -138,14 +142,31 @@ mod tests {
     use super::*;
 
     fn tiny_protocol() -> Protocol {
-        Protocol { warmup: 30.0, measure: 90.0, seeds: vec![3], dt: 0.5 }
+        Protocol {
+            warmup: 30.0,
+            measure: 90.0,
+            seeds: vec![3],
+            dt: 0.5,
+        }
     }
 
     fn tiny_fig(radii: &[f64]) -> Figure {
-        let base = Scenario { nodes: 150, side: 600.0, ..Scenario::default() };
+        let base = Scenario {
+            nodes: 150,
+            side: 600.0,
+            ..Scenario::default()
+        };
         let scenarios = radii
             .iter()
-            .map(|&frac| (frac, Scenario { radius: frac * base.side, ..base }))
+            .map(|&frac| {
+                (
+                    frac,
+                    Scenario {
+                        radius: frac * base.side,
+                        ..base
+                    },
+                )
+            })
             .collect();
         sweep("r/a", scenarios, &tiny_protocol())
     }
@@ -156,7 +177,13 @@ mod tests {
         assert!(fig.points[1].sim.f_hello.mean > fig.points[0].sim.f_hello.mean);
         for p in &fig.points {
             let rel = (p.sim.f_hello.mean - p.ana_f_hello).abs() / p.ana_f_hello;
-            assert!(rel < 0.25, "x={}: sim {} vs ana {}", p.x, p.sim.f_hello.mean, p.ana_f_hello);
+            assert!(
+                rel < 0.25,
+                "x={}: sim {} vs ana {}",
+                p.x,
+                p.sim.f_hello.mean,
+                p.ana_f_hello
+            );
         }
     }
 

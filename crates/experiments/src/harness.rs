@@ -70,14 +70,24 @@ pub struct Protocol {
 
 impl Default for Protocol {
     fn default() -> Self {
-        Protocol { warmup: 100.0, measure: 400.0, seeds: vec![11, 22, 33], dt: 0.25 }
+        Protocol {
+            warmup: 100.0,
+            measure: 400.0,
+            seeds: vec![11, 22, 33],
+            dt: 0.25,
+        }
     }
 }
 
 impl Protocol {
     /// A cheap protocol for unit/integration tests.
     pub fn quick() -> Self {
-        Protocol { warmup: 40.0, measure: 120.0, seeds: vec![7], dt: 0.5 }
+        Protocol {
+            warmup: 40.0,
+            measure: 120.0,
+            seeds: vec![7],
+            dt: 0.5,
+        }
     }
 }
 
@@ -92,7 +102,10 @@ pub struct Estimate {
 
 impl From<Summary> for Estimate {
     fn from(s: Summary) -> Self {
-        Estimate { mean: s.mean(), ci95: s.ci95_half_width() }
+        Estimate {
+            mean: s.mean(),
+            ci95: s.ci95_half_width(),
+        }
     }
 }
 
@@ -184,7 +197,11 @@ where
         let n = world.node_count();
         let per_node = |count: u64| count as f64 / n as f64 / elapsed;
 
-        f_hello.push(world.counters().per_node_rate(MessageKind::Hello, n, elapsed));
+        f_hello.push(
+            world
+                .counters()
+                .per_node_rate(MessageKind::Hello, n, elapsed),
+        );
         f_cluster.push(per_node(maint.total_messages()));
         f_cluster_break.push(per_node(maint.break_triggered_messages()));
         f_cluster_contact.push(per_node(maint.contact_triggered_messages()));
@@ -222,10 +239,8 @@ pub fn measure_lid(scenario: &Scenario, protocol: &Protocol) -> Measured {
 /// default model (torus degree, per-pair contacts, member+member route
 /// links — the configuration matching this simulator; see DESIGN.md §4).
 pub fn analysis_at(scenario: &Scenario, p: f64) -> manet_model::OverheadBreakdown {
-    let model = manet_model::OverheadModel::new(
-        scenario.params(),
-        manet_model::DegreeModel::TorusExact,
-    );
+    let model =
+        manet_model::OverheadModel::new(scenario.params(), manet_model::DegreeModel::TorusExact);
     model.breakdown(p.clamp(1e-6, 1.0))
 }
 
@@ -248,7 +263,12 @@ mod tests {
 
     #[test]
     fn measure_lid_produces_sane_numbers() {
-        let scenario = Scenario { nodes: 150, side: 600.0, radius: 100.0, ..Scenario::default() };
+        let scenario = Scenario {
+            nodes: 150,
+            side: 600.0,
+            radius: 100.0,
+            ..Scenario::default()
+        };
         let m = measure_lid(&scenario, &Protocol::quick());
         assert!(m.f_hello.mean > 0.0);
         assert!(m.f_cluster.mean > 0.0);
@@ -259,14 +279,18 @@ mod tests {
         assert!(m.f_route_entries.mean > m.f_route.mean);
         // Decomposition adds up.
         assert!(
-            (m.f_cluster.mean - m.f_cluster_break.mean - m.f_cluster_contact.mean).abs()
-                < 1e-9
+            (m.f_cluster.mean - m.f_cluster_break.mean - m.f_cluster_contact.mean).abs() < 1e-9
         );
     }
 
     #[test]
     fn hello_rate_equals_link_generation_rate() {
-        let scenario = Scenario { nodes: 120, side: 600.0, radius: 110.0, ..Scenario::default() };
+        let scenario = Scenario {
+            nodes: 120,
+            side: 600.0,
+            radius: 110.0,
+            ..Scenario::default()
+        };
         let m = measure_lid(&scenario, &Protocol::quick());
         // Event-driven HELLO: one beacon per endpoint per generation.
         assert!((m.f_hello.mean - m.link_gen_rate.mean).abs() < 1e-9);
@@ -282,7 +306,11 @@ mod tests {
         );
         let theory = model.link_change_rate();
         let rel = (m.link_change_rate.mean - theory).abs() / theory;
-        assert!(rel < 0.15, "λ sim {} vs theory {theory} (rel {rel:.3})", m.link_change_rate.mean);
+        assert!(
+            rel < 0.15,
+            "λ sim {} vs theory {theory} (rel {rel:.3})",
+            m.link_change_rate.mean
+        );
     }
 
     #[test]

@@ -86,15 +86,22 @@ mod tests {
 
     #[test]
     fn accuracy_degrades_as_beacons_slow() {
-        let scenario = Scenario { nodes: 120, side: 600.0, radius: 100.0, ..Scenario::default() };
+        let scenario = Scenario {
+            nodes: 120,
+            side: 600.0,
+            radius: 100.0,
+            ..Scenario::default()
+        };
         let rows = sweep(&scenario, 60.0);
         assert_eq!(rows.len(), 6);
         // Monotone-ish degradation: the slowest beacon misses far more
         // than the fastest.
         let fast = rows.first().unwrap();
         let slow = rows.last().unwrap();
-        assert!(slow.missing_fraction > 2.0 * fast.missing_fraction + 0.001,
-            "fast {fast:?} vs slow {slow:?}");
+        assert!(
+            slow.missing_fraction > 2.0 * fast.missing_fraction + 0.001,
+            "fast {fast:?} vs slow {slow:?}"
+        );
         assert!(slow.stale_fraction > fast.stale_fraction);
         // Fast beaconing keeps views nearly perfect.
         assert!(fast.missing_fraction < 0.05, "{fast:?}");

@@ -23,6 +23,7 @@
 //! | `generic_p_extension` | EXT1 — model parametric in `P` (HCC/DMAC) |
 //! | `flat_vs_clustered` | EXT2 — DSDV baseline vs clustered hybrid |
 //! | `dhop_extension` | EXT3 — d-hop clustering (Section 7 future work) |
+//! | `robustness` | ROB1 — overhead under loss + churn vs the ideal bounds |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,9 +35,10 @@ pub mod convergence;
 pub mod dataplane;
 pub mod dhop_ext;
 pub mod figures;
-pub mod hello_accuracy;
 pub mod harness;
+pub mod hello_accuracy;
 pub mod lid_figures;
+pub mod robustness;
 pub mod stability;
 pub mod theta;
 

@@ -176,7 +176,11 @@ mod tests {
         for r in &rows {
             assert!(r.paper_analysis > r.sim_clusters, "row {:?}", r);
             // …and Caro–Wei undercuts simulation.
-            assert!(r.caro_wei < r.sim_clusters + r.sim_ci95 + 1.0, "row {:?}", r);
+            assert!(
+                r.caro_wei < r.sim_clusters + r.sim_ci95 + 1.0,
+                "row {:?}",
+                r
+            );
         }
     }
 

@@ -3,9 +3,7 @@
 //! companion.
 
 use crate::harness::{build_world, Scenario};
-use manet_cluster::{
-    ClusterPolicy, Clustering, HighestConnectivity, LowestId, StabilityTracker,
-};
+use manet_cluster::{ClusterPolicy, Clustering, HighestConnectivity, LowestId, StabilityTracker};
 use manet_sim::LinkLifetimes;
 use manet_util::table::{fmt_sig, Table};
 
@@ -68,7 +66,10 @@ pub fn lid_speed_sweep(scenario: &Scenario, measure: f64) -> Vec<StabilityRow> {
 /// Stability at the default speed for LID vs HCC.
 pub fn policy_comparison(scenario: &Scenario, measure: f64) -> Vec<(&'static str, StabilityRow)> {
     vec![
-        ("lowest-id", run_policy(scenario, LowestId, scenario.speed, measure)),
+        (
+            "lowest-id",
+            run_policy(scenario, LowestId, scenario.speed, measure),
+        ),
         (
             "highest-connectivity",
             run_policy(scenario, HighestConnectivity, scenario.speed, measure),
@@ -124,7 +125,12 @@ mod tests {
 
     #[test]
     fn faster_nodes_shorten_every_lifetime() {
-        let scenario = Scenario { nodes: 120, side: 600.0, radius: 100.0, ..Scenario::default() };
+        let scenario = Scenario {
+            nodes: 120,
+            side: 600.0,
+            radius: 100.0,
+            ..Scenario::default()
+        };
         let rows = lid_speed_sweep(&scenario, 120.0);
         assert_eq!(rows.len(), 4);
         let (slow, fast) = (rows.first().unwrap(), rows.last().unwrap());
@@ -204,8 +210,10 @@ pub fn mobility_aware_comparison(measure: f64) -> manet_util::table::Table {
         Lid,
         Churn,
     }
-    for (name, which) in [("lowest-id", Which::Lid), ("churn-weighted (MOBIC-style)", Which::Churn)]
-    {
+    for (name, which) in [
+        ("lowest-id", Which::Lid),
+        ("churn-weighted (MOBIC-style)", Which::Churn),
+    ] {
         let (mut world, speeds) = build();
         // Re-run the probe period so both policies cluster the same
         // steady-state geometry the weights were measured on.

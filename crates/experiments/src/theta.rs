@@ -10,14 +10,24 @@ pub fn compute() -> Vec<ThetaCell> {
 
 /// Renders the Θ table with claimed vs fitted exponents.
 pub fn table(cells: &[ThetaCell]) -> Table {
-    let mut t = Table::new(["message", "variable", "paper Θ exponent", "fitted", "confirmed"]);
+    let mut t = Table::new([
+        "message",
+        "variable",
+        "paper Θ exponent",
+        "fitted",
+        "confirmed",
+    ]);
     for c in cells {
         t.row([
             format!("{:?}", c.family),
             format!("{:?}", c.variable),
             fmt_sig(c.claimed_exponent, 2),
             fmt_sig(c.fitted_exponent, 3),
-            if c.confirms(0.12) { "yes".to_string() } else { "NO".to_string() },
+            if c.confirms(0.12) {
+                "yes".to_string()
+            } else {
+                "NO".to_string()
+            },
         ]);
     }
     t

@@ -45,13 +45,11 @@ impl SpatialGrid {
     /// Panics if `radius` is not strictly positive/finite, if more than
     /// `u32::MAX` positions are given, or (debug builds) if a position lies
     /// outside the region.
-    pub fn build(
-        positions: &[Vec2],
-        region: SquareRegion,
-        radius: f64,
-        metric: Metric,
-    ) -> Self {
-        assert!(radius > 0.0 && radius.is_finite(), "radius must be positive and finite");
+    pub fn build(positions: &[Vec2], region: SquareRegion, radius: f64, metric: Metric) -> Self {
+        assert!(
+            radius > 0.0 && radius.is_finite(),
+            "radius must be positive and finite"
+        );
         assert!(positions.len() <= u32::MAX as usize, "too many positions");
         let side = region.side();
         let cells_per_axis = ((side / radius).floor() as usize).max(1);
@@ -107,7 +105,10 @@ impl SpatialGrid {
         let p = self.positions[i];
         self.for_each_candidate_cell(p, |bin| {
             for &j in &self.bins[bin] {
-                if j as usize != i && self.metric.within(p, self.positions[j as usize], self.radius)
+                if j as usize != i
+                    && self
+                        .metric
+                        .within(p, self.positions[j as usize], self.radius)
                 {
                     out.push(j);
                 }
@@ -122,7 +123,10 @@ impl SpatialGrid {
         out.clear();
         self.for_each_candidate_cell(p, |bin| {
             for &j in &self.bins[bin] {
-                if self.metric.within(p, self.positions[j as usize], self.radius) {
+                if self
+                    .metric
+                    .within(p, self.positions[j as usize], self.radius)
+                {
                     out.push(j);
                 }
             }
@@ -248,13 +252,12 @@ mod tests {
     #[test]
     fn nodes_near_arbitrary_point() {
         let side = 10.0;
-        let positions = vec![Vec2::new(1.0, 1.0), Vec2::new(2.0, 1.0), Vec2::new(8.0, 8.0)];
-        let grid = SpatialGrid::build(
-            &positions,
-            SquareRegion::new(side),
-            1.5,
-            Metric::Euclidean,
-        );
+        let positions = vec![
+            Vec2::new(1.0, 1.0),
+            Vec2::new(2.0, 1.0),
+            Vec2::new(8.0, 8.0),
+        ];
+        let grid = SpatialGrid::build(&positions, SquareRegion::new(side), 1.5, Metric::Euclidean);
         let mut out = Vec::new();
         grid.nodes_near(Vec2::new(1.4, 1.0), &mut out);
         assert_eq!(out, vec![0, 1]);
@@ -288,12 +291,7 @@ mod tests {
         // cells_per_axis clamps to 1; all nodes share one cell.
         let side = 5.0;
         let positions = random_positions(20, side, 4);
-        let grid = SpatialGrid::build(
-            &positions,
-            SquareRegion::new(side),
-            50.0,
-            Metric::Euclidean,
-        );
+        let grid = SpatialGrid::build(&positions, SquareRegion::new(side), 50.0, Metric::Euclidean);
         let mut out = Vec::new();
         grid.neighbors_within(0, &mut out);
         assert_eq!(out.len(), 19);
@@ -304,12 +302,7 @@ mod tests {
 
     #[test]
     fn empty_grid_is_fine() {
-        let grid = SpatialGrid::build(
-            &[],
-            SquareRegion::new(10.0),
-            2.0,
-            Metric::Euclidean,
-        );
+        let grid = SpatialGrid::build(&[], SquareRegion::new(10.0), 2.0, Metric::Euclidean);
         assert!(grid.is_empty());
         let mut out = vec![99];
         grid.nodes_near(Vec2::new(1.0, 1.0), &mut out);

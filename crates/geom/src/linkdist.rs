@@ -38,7 +38,10 @@ use std::f64::consts::PI;
 /// assert!((square_link_cdf(10.0 * 2f64.sqrt(), 10.0) - 1.0).abs() < 1e-12);
 /// ```
 pub fn square_link_cdf(x: f64, a: f64) -> f64 {
-    assert!(a > 0.0 && a.is_finite(), "square side must be positive and finite");
+    assert!(
+        a > 0.0 && a.is_finite(),
+        "square side must be positive and finite"
+    );
     assert!(x >= 0.0 && !x.is_nan(), "distance must be non-negative");
     let t = x / a;
     if t >= std::f64::consts::SQRT_2 {
@@ -50,10 +53,7 @@ pub fn square_link_cdf(x: f64, a: f64) -> f64 {
         // Second branch (1 < t < √2), standard square line-picking result.
         let t2 = t * t;
         let s = (t2 - 1.0).sqrt();
-        1.0 / 3.0
-            + (PI - 2.0) * t2
-            - 0.5 * t2 * t2
-            + (4.0 / 3.0) * s * (2.0 * t2 + 1.0)
+        1.0 / 3.0 + (PI - 2.0) * t2 - 0.5 * t2 * t2 + (4.0 / 3.0) * s * (2.0 * t2 + 1.0)
             - 2.0 * t2 * (2.0 * (1.0 / t).acos())
     }
 }
@@ -64,7 +64,10 @@ pub fn square_link_cdf(x: f64, a: f64) -> f64 {
 ///
 /// Accuracy is ~1e-10 with the default 4096 panels.
 pub fn square_link_cdf_numeric(x: f64, a: f64) -> f64 {
-    assert!(a > 0.0 && a.is_finite(), "square side must be positive and finite");
+    assert!(
+        a > 0.0 && a.is_finite(),
+        "square side must be positive and finite"
+    );
     assert!(x >= 0.0 && !x.is_nan(), "distance must be non-negative");
     let t = (x / a).min(std::f64::consts::SQRT_2);
     if t == 0.0 {
@@ -126,7 +129,10 @@ pub const DISC_SAME_RADIUS_LINK_PROB: f64 = 1.0 - 3.0 * 1.732_050_807_568_877_2 
 ///
 /// Panics if `radius` is not strictly positive/finite or `x` is negative/NaN.
 pub fn disc_link_cdf(x: f64, radius: f64) -> f64 {
-    assert!(radius > 0.0 && radius.is_finite(), "radius must be positive and finite");
+    assert!(
+        radius > 0.0 && radius.is_finite(),
+        "radius must be positive and finite"
+    );
     assert!(x >= 0.0 && !x.is_nan(), "distance must be non-negative");
     let s = (x / radius).min(2.0);
     if s == 0.0 {

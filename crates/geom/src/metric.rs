@@ -28,7 +28,10 @@ impl Metric {
     ///
     /// Panics if `side` is not strictly positive and finite.
     pub fn toroidal(side: f64) -> Self {
-        assert!(side > 0.0 && side.is_finite(), "side must be positive and finite");
+        assert!(
+            side > 0.0 && side.is_finite(),
+            "side must be positive and finite"
+        );
         Metric::Toroidal { side }
     }
 

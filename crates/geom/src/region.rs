@@ -50,7 +50,10 @@ impl SquareRegion {
     ///
     /// Panics if `side` is not strictly positive and finite.
     pub fn new(side: f64) -> Self {
-        assert!(side > 0.0 && side.is_finite(), "side must be positive and finite");
+        assert!(
+            side > 0.0 && side.is_finite(),
+            "side must be positive and finite"
+        );
         SquareRegion { side }
     }
 
@@ -87,13 +90,7 @@ impl SquareRegion {
     /// the given boundary policy, returning the new position and (possibly
     /// reflected) velocity. The returned position is always inside the
     /// region.
-    pub fn advance(
-        &self,
-        pos: Vec2,
-        vel: Vec2,
-        dt: f64,
-        policy: BoundaryPolicy,
-    ) -> (Vec2, Vec2) {
+    pub fn advance(&self, pos: Vec2, vel: Vec2, dt: f64, policy: BoundaryPolicy) -> (Vec2, Vec2) {
         debug_assert!(dt >= 0.0);
         let raw = pos + vel * dt;
         match policy {
@@ -125,7 +122,14 @@ fn reflect_axis(x: f64, side: f64) -> (f64, bool) {
     } else {
         // Mirror segment. Guard against landing exactly on `side`.
         let r = period - m;
-        (if r >= side { side * (1.0 - f64::EPSILON) } else { r }, true)
+        (
+            if r >= side {
+                side * (1.0 - f64::EPSILON)
+            } else {
+                r
+            },
+            true,
+        )
     }
 }
 
@@ -228,7 +232,10 @@ mod tests {
             quadrants[q] += 1;
         }
         for &q in &quadrants {
-            assert!((q as i64 - 1000).abs() < 150, "quadrant counts {quadrants:?}");
+            assert!(
+                (q as i64 - 1000).abs() < 150,
+                "quadrant counts {quadrants:?}"
+            );
         }
     }
 }

@@ -1,5 +1,9 @@
 //! Property-based tests for geometry primitives.
 
+// Compiled only with `--features slow-proptests`, which additionally
+// requires re-adding the `proptest` dev-dependency (network access);
+// the hermetic default build resolves zero external crates.
+#![cfg(feature = "slow-proptests")]
 use manet_geom::linkdist::{disc_link_cdf, square_link_cdf};
 use manet_geom::{BoundaryPolicy, Metric, SpatialGrid, SquareRegion, Vec2};
 use manet_util::Rng;
@@ -100,7 +104,10 @@ fn wrap_then_metric_equals_unbounded_euclidean_for_short_hops() {
     let mut rng = Rng::seed_from_u64(9);
     for _ in 0..1000 {
         let a = Vec2::new(rng.f64_range(400.0..600.0), rng.f64_range(400.0..600.0));
-        let b = Vec2::new(a.x + rng.f64_range(-50.0..50.0), a.y + rng.f64_range(-50.0..50.0));
+        let b = Vec2::new(
+            a.x + rng.f64_range(-50.0..50.0),
+            a.y + rng.f64_range(-50.0..50.0),
+        );
         assert!((m.distance(a, b) - a.distance(b)).abs() < 1e-9);
     }
 }

@@ -39,12 +39,20 @@ impl ConstantVelocity {
     ///
     /// Panics if `speed` is negative or not finite.
     pub fn new(region: SquareRegion, n: usize, speed: f64, rng: &mut Rng) -> Self {
-        assert!(speed >= 0.0 && speed.is_finite(), "speed must be non-negative and finite");
+        assert!(
+            speed >= 0.0 && speed.is_finite(),
+            "speed must be non-negative and finite"
+        );
         let positions = crate::uniform_placement(region, n, rng);
         let velocities = (0..n)
             .map(|_| Vec2::from_angle(rng.angle()) * speed)
             .collect();
-        ConstantVelocity { region, speed, positions, velocities }
+        ConstantVelocity {
+            region,
+            speed,
+            positions,
+            velocities,
+        }
     }
 
     /// The common node speed `v`.

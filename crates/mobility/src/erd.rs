@@ -90,7 +90,13 @@ impl EpochRandomDirection {
         );
         let mut model = Self::build(region, n, (v_min + v_max) / 2.0, epoch, rng, false);
         model.speeds = (0..n)
-            .map(|_| if v_min == v_max { v_min } else { rng.f64_range(v_min..v_max) })
+            .map(|_| {
+                if v_min == v_max {
+                    v_min
+                } else {
+                    rng.f64_range(v_min..v_max)
+                }
+            })
             .collect();
         model
     }
@@ -103,12 +109,24 @@ impl EpochRandomDirection {
         rng: &mut Rng,
         jitter: bool,
     ) -> Self {
-        assert!(speed >= 0.0 && speed.is_finite(), "speed must be non-negative and finite");
-        assert!(epoch > 0.0 && epoch.is_finite(), "epoch must be positive and finite");
+        assert!(
+            speed >= 0.0 && speed.is_finite(),
+            "speed must be non-negative and finite"
+        );
+        assert!(
+            epoch > 0.0 && epoch.is_finite(),
+            "epoch must be positive and finite"
+        );
         let positions = crate::uniform_placement(region, n, rng);
         let directions = (0..n).map(|_| Vec2::from_angle(rng.angle())).collect();
         let time_left = (0..n)
-            .map(|_| if jitter { rng.f64_range(0.0..epoch) } else { epoch })
+            .map(|_| {
+                if jitter {
+                    rng.f64_range(0.0..epoch)
+                } else {
+                    epoch
+                }
+            })
             .collect();
         EpochRandomDirection {
             region,
@@ -165,7 +183,8 @@ impl Mobility for EpochRandomDirection {
                 let leg = remaining.min(self.time_left[i]);
                 let vel = self.directions[i] * self.speeds[i];
                 let (np, _) =
-                    self.region.advance(self.positions[i], vel, leg, BoundaryPolicy::Torus);
+                    self.region
+                        .advance(self.positions[i], vel, leg, BoundaryPolicy::Torus);
                 self.positions[i] = np;
                 self.time_left[i] -= leg;
                 remaining -= leg;
@@ -199,7 +218,11 @@ mod tests {
         let mut erd = EpochRandomDirection::new(SquareRegion::new(200.0), 8, 1.0, 5.0, &mut rng);
         let d0 = erd.directions().to_vec();
         erd.step(4.9, &mut rng);
-        assert_eq!(erd.directions(), d0.as_slice(), "no redraw before the epoch");
+        assert_eq!(
+            erd.directions(),
+            d0.as_slice(),
+            "no redraw before the epoch"
+        );
         erd.step(0.2, &mut rng);
         // All nodes redraw at the synchronized boundary; a uniform redraw
         // matching the old direction has probability ~0.
@@ -281,8 +304,7 @@ mod hetero_tests {
     fn heterogeneous_speeds_are_respected_per_node() {
         let mut rng = Rng::seed_from_u64(70);
         let region = SquareRegion::new(500.0);
-        let mut erd =
-            EpochRandomDirection::with_speed_range(region, 40, 1.0, 20.0, 50.0, &mut rng);
+        let mut erd = EpochRandomDirection::with_speed_range(region, 40, 1.0, 20.0, 50.0, &mut rng);
         let speeds = erd.speeds().to_vec();
         assert!(speeds.iter().all(|&v| (1.0..20.0).contains(&v)));
         assert!(speeds.iter().any(|&v| v < 5.0) && speeds.iter().any(|&v| v > 15.0));

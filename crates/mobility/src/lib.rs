@@ -81,12 +81,7 @@ pub(crate) mod test_support {
 
     /// Asserts that one `step(dt)` displaces every node by exactly
     /// `speed·dt` in torus distance (for constant-speed models on a torus).
-    pub fn assert_constant_speed<M: Mobility>(
-        model: &mut M,
-        rng: &mut Rng,
-        speed: f64,
-        dt: f64,
-    ) {
+    pub fn assert_constant_speed<M: Mobility>(model: &mut M, rng: &mut Rng, speed: f64, dt: f64) {
         let metric = Metric::toroidal(model.region().side());
         let before = model.positions().to_vec();
         model.step(dt, rng);

@@ -52,7 +52,10 @@ impl RandomWaypoint {
             "need 0 < v_min <= v_max (finite); RWP with v_min = 0 famously has \
              degenerate average speed"
         );
-        assert!(pause >= 0.0 && pause.is_finite(), "pause must be non-negative and finite");
+        assert!(
+            pause >= 0.0 && pause.is_finite(),
+            "pause must be non-negative and finite"
+        );
         let positions = crate::uniform_placement(region, n, rng);
         let states = positions
             .iter()
@@ -61,7 +64,14 @@ impl RandomWaypoint {
                 speed: draw_speed(v_min, v_max, rng),
             })
             .collect();
-        RandomWaypoint { region, v_min, v_max, pause, positions, states }
+        RandomWaypoint {
+            region,
+            v_min,
+            v_max,
+            pause,
+            positions,
+            states,
+        }
     }
 
     /// Lower bound of the trip-speed distribution.
@@ -116,7 +126,9 @@ impl Mobility for RandomWaypoint {
                             self.positions[i] = dest;
                             remaining -= if speed > 0.0 { dist / speed } else { remaining };
                             self.states[i] = if self.pause > 0.0 {
-                                NodeState::Paused { remaining: self.pause }
+                                NodeState::Paused {
+                                    remaining: self.pause,
+                                }
                             } else {
                                 NodeState::Moving {
                                     dest: self.region.sample_uniform(rng),
@@ -128,9 +140,13 @@ impl Mobility for RandomWaypoint {
                             remaining = 0.0;
                         }
                     }
-                    NodeState::Paused { remaining: pause_left } => {
+                    NodeState::Paused {
+                        remaining: pause_left,
+                    } => {
                         if pause_left > remaining {
-                            self.states[i] = NodeState::Paused { remaining: pause_left - remaining };
+                            self.states[i] = NodeState::Paused {
+                                remaining: pause_left - remaining,
+                            };
                             remaining = 0.0;
                         } else {
                             remaining -= pause_left;

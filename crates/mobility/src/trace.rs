@@ -46,8 +46,15 @@ impl TraceRecorder {
     ///
     /// Panics unless `period` is strictly positive and finite.
     pub fn new(region: SquareRegion, period: f64) -> Self {
-        assert!(period > 0.0 && period.is_finite(), "period must be positive and finite");
-        TraceRecorder { side: region.side(), period, frames: Vec::new() }
+        assert!(
+            period > 0.0 && period.is_finite(),
+            "period must be positive and finite"
+        );
+        TraceRecorder {
+            side: region.side(),
+            period,
+            frames: Vec::new(),
+        }
     }
 
     /// Captures the model's current positions as the next frame.
@@ -187,8 +194,9 @@ impl RecordedTrace {
         for k in 0..frame_count {
             let mut frame = Vec::with_capacity(n);
             for u in 0..n {
-                let line =
-                    lines.next().ok_or_else(|| format!("truncated at frame {k} node {u}"))?;
+                let line = lines
+                    .next()
+                    .ok_or_else(|| format!("truncated at frame {k} node {u}"))?;
                 let mut it = line.split_whitespace();
                 let x: f64 = it
                     .next()
@@ -205,7 +213,13 @@ impl RecordedTrace {
             frames.push(frame);
         }
         let current = frames[0].clone();
-        Ok(RecordedTrace { side, period, frames, cursor_time: 0.0, current })
+        Ok(RecordedTrace {
+            side,
+            period,
+            frames,
+            cursor_time: 0.0,
+            current,
+        })
     }
 
     /// Exports as an ns-2 movement script: initial `set X_/Y_/Z_` lines
@@ -323,9 +337,7 @@ mod tests {
         assert!(RecordedTrace::from_text("").is_err());
         assert!(RecordedTrace::from_text("bogus header").is_err());
         assert!(RecordedTrace::from_text("manet-trace v1 100 0.5 2 3\n1 2\n").is_err());
-        assert!(
-            RecordedTrace::from_text("manet-trace v1 100 0.5 1 1\nnot numbers\n").is_err()
-        );
+        assert!(RecordedTrace::from_text("manet-trace v1 100 0.5 1 1\nnot numbers\n").is_err());
         assert!(RecordedTrace::from_text("manet-trace v1 -5 0.5 1 1\n0 0\n").is_err());
     }
 

@@ -37,7 +37,10 @@ impl RandomWalk {
         max_leg: f64,
         rng: &mut Rng,
     ) -> Self {
-        assert!(speed >= 0.0 && speed.is_finite(), "speed must be non-negative and finite");
+        assert!(
+            speed >= 0.0 && speed.is_finite(),
+            "speed must be non-negative and finite"
+        );
         assert!(
             min_leg > 0.0 && min_leg <= max_leg && max_leg.is_finite(),
             "need 0 < min_leg <= max_leg (finite)"
@@ -45,7 +48,15 @@ impl RandomWalk {
         let positions = crate::uniform_placement(region, n, rng);
         let directions = (0..n).map(|_| Vec2::from_angle(rng.angle())).collect();
         let leg_left = (0..n).map(|_| draw_leg(min_leg, max_leg, rng)).collect();
-        RandomWalk { region, speed, min_leg, max_leg, positions, directions, leg_left }
+        RandomWalk {
+            region,
+            speed,
+            min_leg,
+            max_leg,
+            positions,
+            directions,
+            leg_left,
+        }
     }
 
     /// The common walker speed.
@@ -128,7 +139,12 @@ mod tests {
         let mut walk = RandomWalk::new(SquareRegion::new(1000.0), 16, 1.0, 2.0, 2.0, &mut rng);
         let d0 = walk.directions.clone();
         walk.step(2.5, &mut rng);
-        let changed = walk.directions.iter().zip(&d0).filter(|(a, b)| a != b).count();
+        let changed = walk
+            .directions
+            .iter()
+            .zip(&d0)
+            .filter(|(a, b)| a != b)
+            .count();
         assert_eq!(changed, 16, "every walker crossed exactly one leg boundary");
     }
 

@@ -126,7 +126,12 @@ impl RouteDiscovery {
         }
         cluster_path.reverse();
         let rrep_messages = (cluster_path.len() - 1) as u64;
-        DiscoveryOutcome { found: true, cluster_path, rreq_messages, rrep_messages }
+        DiscoveryOutcome {
+            found: true,
+            cluster_path,
+            rreq_messages,
+            rrep_messages,
+        }
     }
 }
 
@@ -226,7 +231,12 @@ impl RouteDiscovery {
         }
         cluster_path.reverse();
         let rrep_messages = (cluster_path.len() - 1) as u64;
-        DiscoveryOutcome { found: true, cluster_path, rreq_messages, rrep_messages }
+        DiscoveryOutcome {
+            found: true,
+            cluster_path,
+            rreq_messages,
+            rrep_messages,
+        }
     }
 }
 

@@ -58,7 +58,10 @@ impl Dsdv {
             full_dump_interval > 0.0 && full_dump_interval.is_finite(),
             "full_dump_interval must be positive and finite"
         );
-        Dsdv { full_dump_interval, accum: 0.0 }
+        Dsdv {
+            full_dump_interval,
+            accum: 0.0,
+        }
     }
 
     /// Accounts `dt` seconds of protocol operation given the tick's link
@@ -145,8 +148,16 @@ mod tests {
         let t = path_topo(4);
         let mut d = Dsdv::new(1e9);
         let events = [
-            LinkEvent { kind: LinkEventKind::Broken, a: 0, b: 1 },
-            LinkEvent { kind: LinkEventKind::Generated, a: 2, b: 3 },
+            LinkEvent {
+                kind: LinkEventKind::Broken,
+                a: 0,
+                b: 1,
+            },
+            LinkEvent {
+                kind: LinkEventKind::Generated,
+                a: 2,
+                b: 3,
+            },
         ];
         let o = d.step(0.1, &t, &events);
         assert_eq!(o.triggered_messages, 4);
@@ -175,7 +186,11 @@ mod tests {
 
     #[test]
     fn converged_tables_handle_partitions() {
-        let pts = [Vec2::new(0.0, 0.0), Vec2::new(1.0, 0.0), Vec2::new(100.0, 0.0)];
+        let pts = [
+            Vec2::new(0.0, 0.0),
+            Vec2::new(1.0, 0.0),
+            Vec2::new(100.0, 0.0),
+        ];
         let t = Topology::compute(&pts, SquareRegion::new(1000.0), 1.5, Metric::Euclidean);
         let tables = Dsdv::converged_tables(&t);
         assert_eq!(tables[0][1], Some(1));

@@ -72,13 +72,23 @@ impl<'a, C: ClusterAssignment> HybridForwarder<'a, C> {
     /// Routes one packet from `src` to `dst`.
     pub fn forward(&self, src: NodeId, dst: NodeId) -> ForwardOutcome {
         if src == dst {
-            return ForwardOutcome { path: vec![src], rreq_messages: 0, rrep_messages: 0 };
+            return ForwardOutcome {
+                path: vec![src],
+                rreq_messages: 0,
+                rrep_messages: 0,
+            };
         }
         if self.clustering.cluster_head_of(src) == self.clustering.cluster_head_of(dst) {
             let path = self.tables.path(src, dst).unwrap_or_default();
-            return ForwardOutcome { path, rreq_messages: 0, rrep_messages: 0 };
+            return ForwardOutcome {
+                path,
+                rreq_messages: 0,
+                rrep_messages: 0,
+            };
         }
-        let d = self.discovery.discover(self.topology, self.clustering, src, dst);
+        let d = self
+            .discovery
+            .discover(self.topology, self.clustering, src, dst);
         if !d.found {
             return ForwardOutcome {
                 path: Vec::new(),
@@ -126,15 +136,21 @@ impl<'a, C: ClusterAssignment> HybridForwarder<'a, C> {
             path.extend_from_slice(&seg[1..]);
         }
         debug_assert!(self.path_is_walkable(&path), "constructed path has a gap");
-        ForwardOutcome { path, rreq_messages: d.rreq_messages, rrep_messages: d.rrep_messages }
+        ForwardOutcome {
+            path,
+            rreq_messages: d.rreq_messages,
+            rrep_messages: d.rrep_messages,
+        }
     }
 
     /// Lowest inter-cluster link `(x, y)` with `x ∈ here` and `y ∈ next`.
     fn border_link(&self, here: NodeId, next: NodeId) -> Option<(NodeId, NodeId)> {
         let mut best: Option<(NodeId, NodeId)> = None;
         for (a, b) in self.topology.links() {
-            let (ha, hb) =
-                (self.clustering.cluster_head_of(a), self.clustering.cluster_head_of(b));
+            let (ha, hb) = (
+                self.clustering.cluster_head_of(a),
+                self.clustering.cluster_head_of(b),
+            );
             let candidate = if ha == here && hb == next {
                 Some((a, b))
             } else if hb == here && ha == next {
@@ -152,7 +168,8 @@ impl<'a, C: ClusterAssignment> HybridForwarder<'a, C> {
     }
 
     fn path_is_walkable(&self, path: &[NodeId]) -> bool {
-        path.windows(2).all(|w| self.topology.are_linked(w[0], w[1]))
+        path.windows(2)
+            .all(|w| self.topology.are_linked(w[0], w[1]))
     }
 
     /// Flat shortest-path hop count (BFS over the whole topology), the

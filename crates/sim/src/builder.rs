@@ -1,6 +1,8 @@
 //! Fluent construction of simulation worlds.
 
 use crate::counters::MessageSizes;
+use crate::error::{positive, SimError};
+use crate::fault::FaultPlan;
 use crate::world::{HelloMode, World};
 use manet_geom::{Metric, SquareRegion};
 use manet_mobility::{
@@ -58,6 +60,7 @@ pub struct SimBuilder {
     mobility: MobilityKind,
     hello: HelloMode,
     sizes: MessageSizes,
+    fault: FaultPlan,
 }
 
 impl Default for SimBuilder {
@@ -72,6 +75,7 @@ impl Default for SimBuilder {
             mobility: MobilityKind::EpochRandomDirection { epoch: 20.0 },
             hello: HelloMode::EventDriven,
             sizes: MessageSizes::default(),
+            fault: FaultPlan::ideal(),
         }
     }
 }
@@ -136,6 +140,14 @@ impl SimBuilder {
         self
     }
 
+    /// Fault plan: channel loss model plus node churn schedule. The default
+    /// [`FaultPlan::ideal`] reproduces the paper's lossless, immortal-node
+    /// setting exactly.
+    pub fn fault(mut self, fault: FaultPlan) -> Self {
+        self.fault = fault;
+        self
+    }
+
     /// Node density `N/a²` implied by the current configuration.
     pub fn density(&self) -> f64 {
         self.nodes as f64 / (self.side * self.side)
@@ -151,14 +163,30 @@ impl SimBuilder {
     ///
     /// Panics on invalid geometry (non-positive side/radius/dt, or a
     /// transmission range that is not below the region side, which the
-    /// paper's model requires: `r < a`).
+    /// paper's model requires: `r < a`). Use [`SimBuilder::try_build`] for
+    /// a typed error instead.
     pub fn build(self) -> World {
-        assert!(
-            self.radius < self.side,
-            "the model requires r < a (got r = {}, a = {})",
-            self.radius,
-            self.side
-        );
+        self.try_build().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds the world, returning a typed [`SimError`] on invalid
+    /// geometry, timing, or fault-plan parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NonPositive`] for non-positive side/radius/dt,
+    /// [`SimError::RadiusExceedsSide`] unless `r < a`, and
+    /// [`SimError::Fault`] for an invalid fault plan.
+    pub fn try_build(self) -> Result<World, SimError> {
+        positive("side", self.side)?;
+        positive("radius", self.radius)?;
+        positive("dt", self.dt)?;
+        if self.radius >= self.side {
+            return Err(SimError::RadiusExceedsSide {
+                radius: self.radius,
+                side: self.side,
+            });
+        }
         let region = SquareRegion::new(self.side);
         // Distinct, deterministic streams for placement/motion vs the world.
         let mut placement_rng = Rng::seed_from_u64(self.seed.wrapping_mul(0x9E37_79B9));
@@ -205,7 +233,7 @@ impl SimBuilder {
                 Metric::Euclidean,
             ),
         };
-        World::new(
+        World::try_new(
             mobility,
             self.radius,
             self.dt,
@@ -213,6 +241,7 @@ impl SimBuilder {
             self.hello,
             self.sizes,
             self.seed,
+            self.fault,
         )
     }
 }
@@ -246,7 +275,10 @@ mod tests {
         assert_eq!(w.metric(), Metric::Euclidean);
         let w = SimBuilder::new()
             .nodes(10)
-            .mobility(MobilityKind::RandomWalk { min_leg: 1.0, max_leg: 2.0 })
+            .mobility(MobilityKind::RandomWalk {
+                min_leg: 1.0,
+                max_leg: 2.0,
+            })
             .build();
         assert_eq!(w.metric(), Metric::Euclidean);
     }
@@ -265,5 +297,54 @@ mod tests {
     #[should_panic(expected = "r < a")]
     fn radius_at_least_side_panics() {
         SimBuilder::new().side(100.0).radius(100.0).build();
+    }
+
+    #[test]
+    fn try_build_returns_typed_errors() {
+        use crate::SimError;
+        let err = SimBuilder::new()
+            .side(100.0)
+            .radius(100.0)
+            .try_build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::RadiusExceedsSide {
+                radius: 100.0,
+                side: 100.0
+            }
+        );
+        assert!(SimBuilder::new().side(0.0).try_build().is_err());
+        assert!(SimBuilder::new().dt(-1.0).try_build().is_err());
+        let err = SimBuilder::new()
+            .fault(crate::FaultPlan {
+                loss: crate::LossModel::Bernoulli { p: 2.0 },
+                churn: Default::default(),
+                seed: 0,
+            })
+            .try_build()
+            .unwrap_err();
+        assert!(matches!(err, SimError::Fault(_)));
+    }
+
+    #[test]
+    fn ideal_fault_plan_is_counter_identical_to_baseline() {
+        use crate::{FaultPlan, MessageKind};
+        let trace = |with_plan: bool| {
+            let mut b = SimBuilder::new().nodes(80).seed(21);
+            if with_plan {
+                b = b.fault(FaultPlan::ideal());
+            }
+            let mut w = b.build();
+            w.run_for(20.0);
+            let c = w.counters().clone();
+            (
+                c.messages(MessageKind::Hello),
+                c.links_generated(),
+                c.links_broken(),
+                w.positions().to_vec(),
+            )
+        };
+        assert_eq!(trace(false), trace(true));
     }
 }

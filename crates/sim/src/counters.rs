@@ -27,17 +27,25 @@ pub enum MessageKind {
     RouteReply,
     /// Full-table dump of the flat proactive baseline (DSDV-like).
     TableDump,
+    /// Retransmission of a lost CLUSTER message under the fault plane
+    /// (backoff-scheduled resend; zero on an ideal channel).
+    Retransmit,
+    /// Repair traffic: messages spent re-establishing cluster structure
+    /// after a detected fault (crashed head, decayed neighbor view).
+    Repair,
 }
 
 impl MessageKind {
     /// All kinds, in display order.
-    pub const ALL: [MessageKind; 6] = [
+    pub const ALL: [MessageKind; 8] = [
         MessageKind::Hello,
         MessageKind::Cluster,
         MessageKind::Route,
         MessageKind::RouteRequest,
         MessageKind::RouteReply,
         MessageKind::TableDump,
+        MessageKind::Retransmit,
+        MessageKind::Repair,
     ];
 
     fn index(self) -> usize {
@@ -48,6 +56,8 @@ impl MessageKind {
             MessageKind::RouteRequest => 3,
             MessageKind::RouteReply => 4,
             MessageKind::TableDump => 5,
+            MessageKind::Retransmit => 6,
+            MessageKind::Repair => 7,
         }
     }
 }
@@ -61,6 +71,8 @@ impl fmt::Display for MessageKind {
             MessageKind::RouteRequest => "RREQ",
             MessageKind::RouteReply => "RREP",
             MessageKind::TableDump => "TABLE",
+            MessageKind::Retransmit => "RETX",
+            MessageKind::Repair => "REPAIR",
         };
         f.write_str(s)
     }
@@ -83,7 +95,11 @@ impl Default for MessageSizes {
     /// `p_hello = 16 B`, `p_cluster = 24 B`, `p_route = 12 B` — compact
     /// packet layouts typical of MANET control traffic (see DESIGN.md §5).
     fn default() -> Self {
-        MessageSizes { hello: 16, cluster: 24, route_entry: 12 }
+        MessageSizes {
+            hello: 16,
+            cluster: 24,
+            route_entry: 12,
+        }
     }
 }
 
@@ -98,6 +114,8 @@ impl MessageSizes {
             | MessageKind::RouteRequest
             | MessageKind::RouteReply
             | MessageKind::TableDump => self.route_entry,
+            // A retransmission or repair carries a CLUSTER-format payload.
+            MessageKind::Retransmit | MessageKind::Repair => self.cluster,
         }
     }
 }
@@ -105,8 +123,8 @@ impl MessageSizes {
 /// Accumulates message and byte counts per [`MessageKind`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Counters {
-    messages: [u64; 6],
-    bytes: [u64; 6],
+    messages: [u64; 8],
+    bytes: [u64; 8],
     /// Link events observed in the current window.
     links_generated: u64,
     /// Link breaks observed in the current window.
@@ -270,7 +288,10 @@ mod tests {
     #[test]
     fn kind_display_and_all() {
         let names: Vec<String> = MessageKind::ALL.iter().map(|k| k.to_string()).collect();
-        assert_eq!(names, ["HELLO", "CLUSTER", "ROUTE", "RREQ", "RREP", "TABLE"]);
+        assert_eq!(
+            names,
+            ["HELLO", "CLUSTER", "ROUTE", "RREQ", "RREP", "TABLE", "RETX", "REPAIR"]
+        );
     }
 
     #[test]
@@ -280,5 +301,7 @@ mod tests {
         assert_eq!(s.size_of(MessageKind::Cluster), 24);
         assert_eq!(s.size_of(MessageKind::Route), 12);
         assert_eq!(s.size_of(MessageKind::TableDump), 12);
+        assert_eq!(s.size_of(MessageKind::Retransmit), 24);
+        assert_eq!(s.size_of(MessageKind::Repair), 24);
     }
 }

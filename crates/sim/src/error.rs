@@ -1,0 +1,118 @@
+//! Typed errors for user-supplied simulation parameters.
+//!
+//! The original seed API asserted on bad geometry/timing; those panics are
+//! still available through the infallible constructors, but every
+//! parameter reachable from user input now also has a `try_*` variant
+//! returning [`SimError`] so embedding applications can surface
+//! configuration mistakes without unwinding.
+
+use crate::fault::FaultError;
+use std::fmt;
+
+/// An invalid user-supplied simulation parameter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SimError {
+    /// A scalar parameter that must be strictly positive and finite.
+    NonPositive {
+        /// Parameter name (e.g. `"dt"`, `"radius"`).
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// The transmission range must stay below the region side (the paper's
+    /// `r < a` requirement).
+    RadiusExceedsSide {
+        /// Transmission range `r`.
+        radius: f64,
+        /// Region side `a`.
+        side: f64,
+    },
+    /// HELLO timing must satisfy `0 < interval ≤ timeout` (finite).
+    HelloTiming {
+        /// Beacon interval.
+        interval: f64,
+        /// Soft-timer timeout.
+        timeout: f64,
+    },
+    /// An invalid fault-plane parameter.
+    Fault(FaultError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            SimError::NonPositive { name, value } => {
+                write!(f, "{name} must be positive and finite, got {value}")
+            }
+            SimError::RadiusExceedsSide { radius, side } => {
+                write!(f, "the model requires r < a (got r = {radius}, a = {side})")
+            }
+            SimError::HelloTiming { interval, timeout } => {
+                write!(
+                    f,
+                    "HELLO timing requires 0 < interval <= timeout, \
+                     got interval = {interval}, timeout = {timeout}"
+                )
+            }
+            SimError::Fault(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Fault(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FaultError> for SimError {
+    fn from(e: FaultError) -> Self {
+        SimError::Fault(e)
+    }
+}
+
+/// Checks that `value` is strictly positive and finite.
+pub(crate) fn positive(name: &'static str, value: f64) -> Result<f64, SimError> {
+    if value > 0.0 && value.is_finite() {
+        Ok(value)
+    } else {
+        Err(SimError::NonPositive { name, value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_parameter() {
+        let e = positive("dt", 0.0).unwrap_err();
+        assert!(e.to_string().contains("dt"));
+        assert!(positive("radius", f64::NAN).is_err());
+        assert_eq!(positive("radius", 2.0), Ok(2.0));
+        let e = SimError::RadiusExceedsSide {
+            radius: 5.0,
+            side: 5.0,
+        };
+        assert!(e.to_string().contains("r < a"));
+        let e = SimError::HelloTiming {
+            interval: 2.0,
+            timeout: 1.0,
+        };
+        assert!(e.to_string().contains("interval"));
+    }
+
+    #[test]
+    fn fault_errors_convert_and_chain() {
+        let fe = FaultError::InvalidProbability {
+            name: "p",
+            value: 2.0,
+        };
+        let se: SimError = fe.into();
+        assert!(se.to_string().contains("[0, 1]"));
+        assert!(std::error::Error::source(&se).is_some());
+    }
+}

@@ -8,6 +8,8 @@
 //! must at least match the link generation rate, or the protocol view of
 //! the topology decays (see the `hello_accuracy` experiment).
 
+use crate::error::SimError;
+use crate::fault::Channel;
 use crate::topology::Topology;
 use crate::NodeId;
 use std::collections::BTreeMap;
@@ -68,20 +70,29 @@ impl HelloProtocol {
     ///
     /// Panics unless `0 < interval ≤ timeout` (finite).
     pub fn new(n: usize, interval: f64, timeout: f64) -> Self {
-        assert!(
-            interval > 0.0 && interval.is_finite() && timeout >= interval && timeout.is_finite(),
-            "need 0 < interval <= timeout"
-        );
+        HelloProtocol::try_new(n, interval, timeout).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`HelloProtocol::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::HelloTiming`] unless `0 < interval ≤ timeout`
+    /// (finite).
+    pub fn try_new(n: usize, interval: f64, timeout: f64) -> Result<Self, SimError> {
+        if !(interval > 0.0 && interval.is_finite() && timeout >= interval && timeout.is_finite()) {
+            return Err(SimError::HelloTiming { interval, timeout });
+        }
         let next_beacon = (0..n)
             .map(|u| interval * u as f64 / n.max(1) as f64)
             .collect();
-        HelloProtocol {
+        Ok(HelloProtocol {
             interval,
             timeout,
             next_beacon,
             last_heard: vec![BTreeMap::new(); n],
             hellos_sent: 0,
-        }
+        })
     }
 
     /// Beacon interval.
@@ -121,6 +132,60 @@ impl HelloProtocol {
         sent
     }
 
+    /// Advances the protocol under a fault plane: crashed nodes neither
+    /// beacon nor keep soft state, and each (beacon, receiver) delivery is
+    /// drawn from `channel`, so lost beacons make neighbor views decay.
+    /// Returns the number of beacons *attempted* this step (overhead is
+    /// paid at the sender whether or not the channel delivers).
+    ///
+    /// With an ideal channel and an all-alive mask this is exactly
+    /// [`HelloProtocol::step`]. `topology` should already exclude crashed
+    /// nodes' links (see `Topology::retain_alive`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alive.len()` differs from the node count.
+    pub fn step_lossy(
+        &mut self,
+        now: f64,
+        topology: &Topology,
+        channel: &mut Channel,
+        alive: &[bool],
+    ) -> u64 {
+        assert_eq!(
+            self.next_beacon.len(),
+            alive.len(),
+            "alive mask size mismatch"
+        );
+        let mut sent = 0u64;
+        for (u, &up) in alive.iter().enumerate() {
+            if !up {
+                // Advance the timer silently so recovery does not replay the
+                // beacons missed while down, and drop the dead node's soft
+                // state (it recovers with empty tables).
+                while self.next_beacon[u] <= now {
+                    self.next_beacon[u] += self.interval;
+                }
+                self.last_heard[u].clear();
+                continue;
+            }
+            while self.next_beacon[u] <= now {
+                self.next_beacon[u] += self.interval;
+                sent += 1;
+                for &w in topology.neighbors(u as NodeId) {
+                    if channel.deliver() {
+                        self.last_heard[w as usize].insert(u as NodeId, now);
+                    }
+                }
+            }
+        }
+        for table in &mut self.last_heard {
+            table.retain(|_, &mut t| now - t <= self.timeout);
+        }
+        self.hellos_sent += sent;
+        sent
+    }
+
     /// Node `u`'s current view of its neighborhood.
     pub fn view(&self, u: NodeId) -> impl Iterator<Item = NodeId> + '_ {
         self.last_heard[u as usize].keys().copied()
@@ -153,7 +218,11 @@ mod tests {
     use manet_geom::{Metric, SquareRegion, Vec2};
 
     fn static_topo() -> Topology {
-        let pts = [Vec2::new(0.0, 0.0), Vec2::new(1.0, 0.0), Vec2::new(2.0, 0.0)];
+        let pts = [
+            Vec2::new(0.0, 0.0),
+            Vec2::new(1.0, 0.0),
+            Vec2::new(2.0, 0.0),
+        ];
         Topology::compute(&pts, SquareRegion::new(10.0), 1.1, Metric::Euclidean)
     }
 
@@ -175,13 +244,12 @@ mod tests {
         let mut h = HelloProtocol::new(3, 1.0, 2.5);
         h.step(1.0, &topo);
         // Node 2 moves away: links (1,2) vanish.
-        let pts = [Vec2::new(0.0, 0.0), Vec2::new(1.0, 0.0), Vec2::new(9.0, 0.0)];
-        let far = Topology::compute(
-            &pts,
-            SquareRegion::new(10.0),
-            1.1,
-            Metric::Euclidean,
-        );
+        let pts = [
+            Vec2::new(0.0, 0.0),
+            Vec2::new(1.0, 0.0),
+            Vec2::new(9.0, 0.0),
+        ];
+        let far = Topology::compute(&pts, SquareRegion::new(10.0), 1.1, Metric::Euclidean);
         // Shortly after, 1 still believes in 2 (soft state).
         h.step(1.5, &far);
         let acc = h.accuracy(&far);
@@ -208,7 +276,11 @@ mod tests {
 
     #[test]
     fn accuracy_fractions() {
-        let a = ViewAccuracy { true_relations: 10, missing: 2, stale: 5 };
+        let a = ViewAccuracy {
+            true_relations: 10,
+            missing: 2,
+            stale: 5,
+        };
         assert!((a.missing_fraction() - 0.2).abs() < 1e-12);
         assert!((a.stale_fraction() - 0.5).abs() < 1e-12);
         assert_eq!(ViewAccuracy::default().missing_fraction(), 0.0);
@@ -218,5 +290,74 @@ mod tests {
     #[should_panic(expected = "interval")]
     fn bad_timing_panics() {
         HelloProtocol::new(2, 2.0, 1.0);
+    }
+
+    #[test]
+    fn try_new_returns_typed_timing_error() {
+        let err = HelloProtocol::try_new(2, 2.0, 1.0).unwrap_err();
+        assert!(err.to_string().contains("interval"));
+        assert!(HelloProtocol::try_new(2, 0.0, 1.0).is_err());
+        assert!(HelloProtocol::try_new(2, 1.0, 2.0).is_ok());
+    }
+
+    #[test]
+    fn lossy_step_with_ideal_channel_matches_step() {
+        use crate::fault::{Channel, LossModel};
+        let topo = static_topo();
+        let mut a = HelloProtocol::new(3, 1.0, 3.0);
+        let mut b = a.clone();
+        let mut ideal = Channel::new(LossModel::Ideal, 0);
+        let alive = [true; 3];
+        for k in 1..=6 {
+            let now = k as f64 * 0.5;
+            assert_eq!(
+                a.step(now, &topo),
+                b.step_lossy(now, &topo, &mut ideal, &alive)
+            );
+        }
+        assert_eq!(a.accuracy(&topo), b.accuracy(&topo));
+        assert_eq!(a.hellos_sent(), b.hellos_sent());
+    }
+
+    #[test]
+    fn lost_beacons_decay_the_view() {
+        use crate::fault::{Channel, LossModel};
+        let topo = static_topo();
+        let mut h = HelloProtocol::new(3, 1.0, 1.5);
+        // Everything is lost: views never fill, yet beacons are still
+        // counted as attempted sends.
+        let mut dead_air = Channel::new(LossModel::Bernoulli { p: 1.0 }, 4);
+        let alive = [true; 3];
+        let sent = h.step_lossy(1.0, &topo, &mut dead_air, &alive);
+        assert!(sent >= 3);
+        assert_eq!(h.hellos_sent(), sent);
+        let acc = h.accuracy(&topo);
+        assert_eq!(acc.missing, acc.true_relations, "no beacon got through");
+    }
+
+    #[test]
+    fn crashed_nodes_lose_state_and_stay_silent() {
+        use crate::fault::{Channel, LossModel};
+        let full = static_topo();
+        let mut h = HelloProtocol::new(3, 1.0, 10.0);
+        let mut ideal = Channel::new(LossModel::Ideal, 0);
+        h.step_lossy(1.0, &full, &mut ideal, &[true; 3]);
+        assert!(h.view(1).count() > 0);
+        // Node 1 crashes: its links vanish from the masked ground truth.
+        let mut masked = full.clone();
+        masked.retain_alive(&[true, false, true]);
+        let before = h.hellos_sent();
+        let sent = h.step_lossy(2.0, &masked, &mut ideal, &[true, false, true]);
+        // Two survivors beaconed; the crashed node did not.
+        assert_eq!(sent, 2);
+        assert_eq!(h.hellos_sent(), before + 2);
+        assert_eq!(h.view(1).count(), 0, "crashed node drops its tables");
+        // Long outage: timers advance silently, no replay burst on recovery.
+        h.step_lossy(9.0, &masked, &mut ideal, &[true, false, true]);
+        let recovered_sent = h.step_lossy(10.0, &full, &mut ideal, &[true; 3]);
+        assert_eq!(
+            recovered_sent, 3,
+            "exactly one beacon per node after recovery"
+        );
     }
 }

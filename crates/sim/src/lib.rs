@@ -42,6 +42,8 @@
 
 pub mod builder;
 pub mod counters;
+pub mod error;
+pub mod fault;
 pub mod hello;
 pub mod lifetime;
 pub mod topology;
@@ -49,6 +51,11 @@ pub mod world;
 
 pub use builder::{MobilityKind, SimBuilder};
 pub use counters::{Counters, MessageKind, MessageSizes};
+pub use error::SimError;
+pub use fault::{
+    Channel, ChurnEvent, ChurnKind, ChurnSchedule, FaultError, FaultPlan, LossModel,
+    STREAM_CLUSTER, STREAM_HELLO, STREAM_ROUTE,
+};
 pub use hello::{HelloProtocol, ViewAccuracy};
 pub use lifetime::LinkLifetimes;
 pub use topology::{LinkEvent, LinkEventKind, Topology};

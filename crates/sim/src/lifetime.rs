@@ -60,7 +60,10 @@ impl LinkLifetimes {
 
     /// The analytic mean lifetime implied by Claim 2: `π²·r/(8·v)`.
     pub fn claim2_mean_lifetime(radius: f64, speed: f64) -> f64 {
-        assert!(radius > 0.0 && speed > 0.0, "radius and speed must be positive");
+        assert!(
+            radius > 0.0 && speed > 0.0,
+            "radius and speed must be positive"
+        );
         std::f64::consts::PI.powi(2) * radius / (8.0 * speed)
     }
 }
@@ -73,8 +76,16 @@ mod tests {
     #[test]
     fn tracks_birth_to_death() {
         let mut t = LinkLifetimes::new();
-        let gen = |a, b| LinkEvent { kind: LinkEventKind::Generated, a, b };
-        let brk = |a, b| LinkEvent { kind: LinkEventKind::Broken, a, b };
+        let gen = |a, b| LinkEvent {
+            kind: LinkEventKind::Generated,
+            a,
+            b,
+        };
+        let brk = |a, b| LinkEvent {
+            kind: LinkEventKind::Broken,
+            a,
+            b,
+        };
         t.observe(1.0, &[gen(0, 1), gen(0, 2)]);
         t.observe(4.0, &[brk(0, 1)]);
         t.observe(11.0, &[brk(0, 2)]);
@@ -86,7 +97,14 @@ mod tests {
     fn ignores_links_alive_before_tracking() {
         let mut t = LinkLifetimes::new();
         // A break with no recorded birth is discarded.
-        t.observe(5.0, &[LinkEvent { kind: LinkEventKind::Broken, a: 3, b: 4 }]);
+        t.observe(
+            5.0,
+            &[LinkEvent {
+                kind: LinkEventKind::Broken,
+                a: 3,
+                b: 4,
+            }],
+        );
         assert_eq!(t.completed_count(), 0);
     }
 

@@ -36,17 +36,14 @@ pub struct Topology {
 impl Topology {
     /// An empty topology over `n` nodes (no links).
     pub fn empty(n: usize) -> Self {
-        Topology { neighbors: vec![Vec::new(); n] }
+        Topology {
+            neighbors: vec![Vec::new(); n],
+        }
     }
 
     /// Computes the topology of `positions` under `metric` with unit-disk
     /// `radius`.
-    pub fn compute(
-        positions: &[Vec2],
-        region: SquareRegion,
-        radius: f64,
-        metric: Metric,
-    ) -> Self {
+    pub fn compute(positions: &[Vec2], region: SquareRegion, radius: f64, metric: Metric) -> Self {
         let grid = SpatialGrid::build(positions, region, radius, metric);
         let mut neighbors = vec![Vec::new(); positions.len()];
         for (i, list) in neighbors.iter_mut().enumerate() {
@@ -100,13 +97,35 @@ impl Topology {
 
     /// Iterates all links as `(a, b)` pairs with `a < b`.
     pub fn links(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        self.neighbors
-            .iter()
-            .enumerate()
-            .flat_map(|(i, ns)| {
-                let i = i as NodeId;
-                ns.iter().copied().filter(move |&j| i < j).map(move |j| (i, j))
-            })
+        self.neighbors.iter().enumerate().flat_map(|(i, ns)| {
+            let i = i as NodeId;
+            ns.iter()
+                .copied()
+                .filter(move |&j| i < j)
+                .map(move |j| (i, j))
+        })
+    }
+
+    /// Removes every link incident to a node marked dead in `alive` (a
+    /// crashed radio neither sends nor receives, so all its links vanish
+    /// from the ground truth). Neighbor lists stay sorted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alive.len()` differs from the node count.
+    pub fn retain_alive(&mut self, alive: &[bool]) {
+        assert_eq!(
+            self.neighbors.len(),
+            alive.len(),
+            "alive mask size mismatch"
+        );
+        for (i, list) in self.neighbors.iter_mut().enumerate() {
+            if !alive[i] {
+                list.clear();
+            } else {
+                list.retain(|&w| alive[w as usize]);
+            }
+        }
     }
 
     /// Appends to `out` the link events that transform `self` into `next`.
@@ -118,7 +137,11 @@ impl Topology {
     ///
     /// Panics if the node counts differ.
     pub fn diff_into(&self, next: &Topology, out: &mut Vec<LinkEvent>) {
-        assert_eq!(self.len(), next.len(), "topology size changed between ticks");
+        assert_eq!(
+            self.len(),
+            next.len(),
+            "topology size changed between ticks"
+        );
         for i in 0..self.neighbors.len() {
             let old = &self.neighbors[i];
             let new = &next.neighbors[i];
@@ -133,25 +156,41 @@ impl Topology {
                     }
                     (Some(&o), Some(&n)) if o < n => {
                         if a < o {
-                            out.push(LinkEvent { kind: LinkEventKind::Broken, a, b: o });
+                            out.push(LinkEvent {
+                                kind: LinkEventKind::Broken,
+                                a,
+                                b: o,
+                            });
                         }
                         oi += 1;
                     }
                     (Some(_), Some(&n)) => {
                         if a < n {
-                            out.push(LinkEvent { kind: LinkEventKind::Generated, a, b: n });
+                            out.push(LinkEvent {
+                                kind: LinkEventKind::Generated,
+                                a,
+                                b: n,
+                            });
                         }
                         ni += 1;
                     }
                     (Some(&o), None) => {
                         if a < o {
-                            out.push(LinkEvent { kind: LinkEventKind::Broken, a, b: o });
+                            out.push(LinkEvent {
+                                kind: LinkEventKind::Broken,
+                                a,
+                                b: o,
+                            });
                         }
                         oi += 1;
                     }
                     (None, Some(&n)) => {
                         if a < n {
-                            out.push(LinkEvent { kind: LinkEventKind::Generated, a, b: n });
+                            out.push(LinkEvent {
+                                kind: LinkEventKind::Generated,
+                                a,
+                                b: n,
+                            });
                         }
                         ni += 1;
                     }
@@ -210,8 +249,16 @@ mod tests {
         assert_eq!(
             events,
             vec![
-                LinkEvent { kind: LinkEventKind::Broken, a: 0, b: 1 },
-                LinkEvent { kind: LinkEventKind::Generated, a: 0, b: 2 },
+                LinkEvent {
+                    kind: LinkEventKind::Broken,
+                    a: 0,
+                    b: 1
+                },
+                LinkEvent {
+                    kind: LinkEventKind::Generated,
+                    a: 0,
+                    b: 2
+                },
             ]
         );
     }
@@ -227,8 +274,22 @@ mod tests {
     #[test]
     fn diff_interleaved_ids_all_cases() {
         // Exercises every branch of the merge walk.
-        let before = topo_from_lists(vec![vec![1, 3, 5], vec![0], vec![], vec![0], vec![], vec![0]]);
-        let after = topo_from_lists(vec![vec![2, 3, 4], vec![], vec![0], vec![0], vec![0], vec![]]);
+        let before = topo_from_lists(vec![
+            vec![1, 3, 5],
+            vec![0],
+            vec![],
+            vec![0],
+            vec![],
+            vec![0],
+        ]);
+        let after = topo_from_lists(vec![
+            vec![2, 3, 4],
+            vec![],
+            vec![0],
+            vec![0],
+            vec![0],
+            vec![],
+        ]);
         let mut events = Vec::new();
         before.diff_into(&after, &mut events);
         use LinkEventKind::*;
@@ -237,10 +298,26 @@ mod tests {
         assert_eq!(
             got,
             vec![
-                LinkEvent { kind: Broken, a: 0, b: 1 },
-                LinkEvent { kind: Generated, a: 0, b: 2 },
-                LinkEvent { kind: Generated, a: 0, b: 4 },
-                LinkEvent { kind: Broken, a: 0, b: 5 },
+                LinkEvent {
+                    kind: Broken,
+                    a: 0,
+                    b: 1
+                },
+                LinkEvent {
+                    kind: Generated,
+                    a: 0,
+                    b: 2
+                },
+                LinkEvent {
+                    kind: Generated,
+                    a: 0,
+                    b: 4
+                },
+                LinkEvent {
+                    kind: Broken,
+                    a: 0,
+                    b: 5
+                },
             ]
         );
     }
@@ -251,6 +328,28 @@ mod tests {
         let a = Topology::empty(3);
         let b = Topology::empty(4);
         a.diff_into(&b, &mut Vec::new());
+    }
+
+    #[test]
+    fn retain_alive_strips_dead_links_both_ways() {
+        let mut t = topo_from_lists(vec![vec![1, 2], vec![0, 2], vec![0, 1], vec![]]);
+        t.retain_alive(&[true, false, true, true]);
+        assert_eq!(t.neighbors(0), &[2]);
+        assert_eq!(t.neighbors(1), &[] as &[NodeId]);
+        assert_eq!(t.neighbors(2), &[0]);
+        assert_eq!(t.link_count(), 1);
+        // All-alive mask is a no-op.
+        let mut u = topo_from_lists(vec![vec![1], vec![0]]);
+        let orig = u.clone();
+        u.retain_alive(&[true, true]);
+        assert_eq!(u.neighbors(0), orig.neighbors(0));
+        assert_eq!(u.neighbors(1), orig.neighbors(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "alive mask")]
+    fn retain_alive_rejects_wrong_mask_size() {
+        Topology::empty(3).retain_alive(&[true, true]);
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! The simulation world: mobility + link tracking + HELLO + accounting.
 
 use crate::counters::{Counters, MessageKind, MessageSizes};
+use crate::error::{positive, SimError};
+use crate::fault::{ChurnKind, FaultPlan};
 use crate::topology::{LinkEvent, LinkEventKind, Topology};
 use manet_geom::{Metric, SquareRegion, Vec2};
 use manet_mobility::Mobility;
@@ -35,6 +37,10 @@ pub struct StepReport {
     pub generated: usize,
     /// Links broken during the tick.
     pub broken: usize,
+    /// Nodes that crashed during the tick (churn schedule).
+    pub crashed: usize,
+    /// Nodes that recovered during the tick (churn schedule).
+    pub recovered: usize,
 }
 
 /// A deterministic time-stepped MANET world.
@@ -59,6 +65,11 @@ pub struct World {
     counters: Counters,
     degree_samples: Summary,
     rng: Rng,
+    fault: FaultPlan,
+    /// Per-node up/down state driven by the churn schedule.
+    alive: Vec<bool>,
+    /// Index of the next unapplied churn event.
+    churn_cursor: usize,
 }
 
 impl fmt::Debug for World {
@@ -91,11 +102,49 @@ impl World {
         sizes: MessageSizes,
         seed: u64,
     ) -> Self {
-        assert!(radius > 0.0 && radius.is_finite(), "radius must be positive and finite");
-        assert!(dt > 0.0 && dt.is_finite(), "dt must be positive and finite");
+        World::try_new(
+            mobility,
+            radius,
+            dt,
+            metric,
+            hello_mode,
+            sizes,
+            seed,
+            FaultPlan::ideal(),
+        )
+        .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Creates a world over an existing mobility model with a fault plan,
+    /// returning a typed error on invalid parameters.
+    ///
+    /// With [`FaultPlan::ideal`] the world is byte-for-byte equivalent to
+    /// one from [`World::new`]: no loss draws, no churn, identical counters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NonPositive`] for a non-positive `radius` or
+    /// `dt`, and [`SimError::Fault`] for invalid fault-plan parameters or a
+    /// churn event naming a node outside the population.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_new(
+        mobility: Box<dyn Mobility>,
+        radius: f64,
+        dt: f64,
+        metric: Metric,
+        hello_mode: HelloMode,
+        sizes: MessageSizes,
+        seed: u64,
+        fault: FaultPlan,
+    ) -> Result<Self, SimError> {
+        positive("radius", radius)?;
+        positive("dt", dt)?;
+        let fault = fault.validated()?;
+        fault.churn.check_population(mobility.len())?;
         let region = mobility.region();
-        let topology = Topology::compute(mobility.positions(), region, radius, metric);
-        World {
+        let mut topology = Topology::compute(mobility.positions(), region, radius, metric);
+        let alive = vec![true; mobility.len()];
+        let mut world = World {
             mobility,
             region,
             metric,
@@ -106,12 +155,48 @@ impl World {
             sizes,
             hello_mode,
             hello_accum: 0.0,
-            topology,
+            topology: Topology::empty(0),
             events: Vec::new(),
             counters: Counters::new(),
             degree_samples: Summary::new(),
             rng: Rng::seed_from_u64(seed),
+            fault,
+            alive,
+            churn_cursor: 0,
+        };
+        // Apply any time-zero churn before exposing the initial topology.
+        world.apply_due_churn();
+        if !world.fault.churn.is_empty() {
+            topology.retain_alive(&world.alive);
         }
+        world.topology = topology;
+        Ok(world)
+    }
+
+    /// Applies every churn event scheduled at or before the current time,
+    /// returning `(crashed, recovered)` counts.
+    fn apply_due_churn(&mut self) -> (usize, usize) {
+        let (mut crashed, mut recovered) = (0, 0);
+        while self.churn_cursor < self.fault.churn.events().len() {
+            let e = self.fault.churn.events()[self.churn_cursor];
+            if e.time > self.time {
+                break;
+            }
+            self.churn_cursor += 1;
+            let up = &mut self.alive[e.node as usize];
+            match e.kind {
+                ChurnKind::Crash if *up => {
+                    *up = false;
+                    crashed += 1;
+                }
+                ChurnKind::Recover if !*up => {
+                    *up = true;
+                    recovered += 1;
+                }
+                _ => {}
+            }
+        }
+        (crashed, recovered)
     }
 
     /// Number of nodes.
@@ -175,6 +260,30 @@ impl World {
         &mut self.counters
     }
 
+    /// The fault plan in force (ideal unless built with faults).
+    pub fn fault(&self) -> &FaultPlan {
+        &self.fault
+    }
+
+    /// Per-node up/down state (all `true` without churn).
+    pub fn alive(&self) -> &[bool] {
+        &self.alive
+    }
+
+    /// Whether node `u` is currently up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of bounds.
+    pub fn is_alive(&self, u: crate::NodeId) -> bool {
+        self.alive[u as usize]
+    }
+
+    /// Number of nodes currently up.
+    pub fn alive_count(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+
     /// Mean of the per-tick mean degree over the measurement window.
     pub fn mean_degree(&self) -> f64 {
         self.degree_samples.mean()
@@ -196,17 +305,22 @@ impl World {
 
     /// Advances the world by one tick of `dt` seconds and returns a summary.
     ///
-    /// Order of operations: move nodes → recompute topology → diff into link
-    /// events → account link events and HELLO traffic.
+    /// Order of operations: move nodes → apply due churn events → recompute
+    /// topology (crashed nodes lose all links) → diff into link events →
+    /// account link events and HELLO traffic.
     pub fn step(&mut self) -> StepReport {
         self.mobility.step(self.dt, &mut self.rng);
         self.time += self.dt;
-        let next = Topology::compute(
+        let (crashed, recovered) = self.apply_due_churn();
+        let mut next = Topology::compute(
             self.mobility.positions(),
             self.region,
             self.radius,
             self.metric,
         );
+        if !self.fault.churn.is_empty() {
+            next.retain_alive(&self.alive);
+        }
         self.events.clear();
         self.topology.diff_into(&next, &mut self.events);
         self.topology = next;
@@ -231,16 +345,18 @@ impl World {
                 // Each new link prompts one beacon from each endpoint.
                 let msgs = 2 * generated as u64;
                 if msgs > 0 {
-                    self.counters.record_sized(MessageKind::Hello, msgs, &self.sizes);
+                    self.counters
+                        .record_sized(MessageKind::Hello, msgs, &self.sizes);
                 }
             }
             HelloMode::Periodic { interval } => {
                 self.hello_accum += self.dt;
                 while self.hello_accum >= interval {
                     self.hello_accum -= interval;
+                    // Crashed nodes do not beacon.
                     self.counters.record_sized(
                         MessageKind::Hello,
-                        self.node_count() as u64,
+                        self.alive_count() as u64,
                         &self.sizes,
                     );
                 }
@@ -249,7 +365,13 @@ impl World {
         }
 
         self.degree_samples.push(self.topology.mean_degree());
-        StepReport { time: self.time, generated, broken }
+        StepReport {
+            time: self.time,
+            generated,
+            broken,
+            crashed,
+            recovered,
+        }
     }
 
     /// Runs whole ticks until at least `seconds` more simulated time has
@@ -411,6 +533,112 @@ mod tests {
         let w = small_world(8);
         let s = format!("{w:?}");
         assert!(s.contains("World"));
+    }
+
+    #[test]
+    fn churn_strips_and_restores_links() {
+        use crate::fault::{ChurnEvent, ChurnKind, ChurnSchedule};
+        let region = SquareRegion::new(100.0);
+        let mut rng = Rng::seed_from_u64(11);
+        // Static nodes so only churn changes the topology.
+        let mobility = ConstantVelocity::new(region, 20, 0.0, &mut rng);
+        let fault = crate::FaultPlan {
+            loss: crate::LossModel::Ideal,
+            churn: ChurnSchedule::new(vec![
+                ChurnEvent {
+                    time: 1.0,
+                    node: 3,
+                    kind: ChurnKind::Crash,
+                },
+                ChurnEvent {
+                    time: 3.0,
+                    node: 3,
+                    kind: ChurnKind::Recover,
+                },
+            ]),
+            seed: 0,
+        };
+        let mut w = World::try_new(
+            Box::new(mobility),
+            40.0,
+            0.5,
+            Metric::toroidal(100.0),
+            HelloMode::EventDriven,
+            MessageSizes::default(),
+            5,
+            fault,
+        )
+        .unwrap();
+        let degree = w.topology().degree(3);
+        assert!(degree > 0, "test needs node 3 connected");
+        let links_before = w.topology().link_count();
+        w.step();
+        let r = w.step(); // t = 1.0: crash fires
+        assert_eq!(r.crashed, 1);
+        assert!(!w.is_alive(3));
+        assert_eq!(w.alive_count(), 19);
+        assert_eq!(w.topology().degree(3), 0);
+        assert_eq!(w.topology().link_count(), links_before - degree);
+        let mut recovered = 0;
+        while w.time() < 3.5 {
+            recovered += w.step().recovered;
+        }
+        assert_eq!(recovered, 1);
+        assert!(w.is_alive(3));
+        assert_eq!(w.topology().degree(3), degree);
+        // Recovery re-generates the node's links (drives the HELLO path).
+        assert!(w.counters().links_generated() >= degree as u64);
+    }
+
+    #[test]
+    fn churn_event_out_of_population_is_an_error() {
+        use crate::fault::{ChurnEvent, ChurnKind, ChurnSchedule};
+        let region = SquareRegion::new(50.0);
+        let mut rng = Rng::seed_from_u64(2);
+        let mobility = ConstantVelocity::new(region, 4, 1.0, &mut rng);
+        let fault = crate::FaultPlan {
+            loss: crate::LossModel::Ideal,
+            churn: ChurnSchedule::new(vec![ChurnEvent {
+                time: 1.0,
+                node: 9,
+                kind: ChurnKind::Crash,
+            }]),
+            seed: 0,
+        };
+        let err = World::try_new(
+            Box::new(mobility),
+            10.0,
+            0.5,
+            Metric::toroidal(50.0),
+            HelloMode::Disabled,
+            MessageSizes::default(),
+            1,
+            fault,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("node 9"));
+    }
+
+    #[test]
+    fn try_new_rejects_bad_geometry_with_typed_errors() {
+        let make = |radius: f64, dt: f64| {
+            let region = SquareRegion::new(50.0);
+            let mut rng = Rng::seed_from_u64(2);
+            let mobility = ConstantVelocity::new(region, 4, 1.0, &mut rng);
+            World::try_new(
+                Box::new(mobility),
+                radius,
+                dt,
+                Metric::toroidal(50.0),
+                HelloMode::Disabled,
+                MessageSizes::default(),
+                1,
+                crate::FaultPlan::ideal(),
+            )
+        };
+        assert!(make(0.0, 0.5).unwrap_err().to_string().contains("radius"));
+        assert!(make(10.0, f64::NAN).unwrap_err().to_string().contains("dt"));
+        assert!(make(10.0, 0.5).is_ok());
     }
 
     #[test]

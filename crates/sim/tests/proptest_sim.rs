@@ -1,5 +1,9 @@
 //! Property-based tests for the simulator's link tracking and accounting.
 
+// Compiled only with `--features slow-proptests`, which additionally
+// requires re-adding the `proptest` dev-dependency (network access);
+// the hermetic default build resolves zero external crates.
+#![cfg(feature = "slow-proptests")]
 use manet_sim::{HelloMode, LinkEventKind, MessageKind, MobilityKind, SimBuilder};
 use proptest::prelude::*;
 

@@ -97,7 +97,11 @@ impl Samples {
             return String::from("(no samples)\n");
         }
         let min = self.values.iter().copied().fold(f64::INFINITY, f64::min);
-        let max = self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let max = self
+            .values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
         let span = (max - min).max(f64::MIN_POSITIVE);
         let mut counts = vec![0usize; bins];
         for &x in &self.values {

@@ -44,7 +44,9 @@ impl fmt::Debug for Rng {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         // The internal state is an implementation detail; printing it in full
         // would invite test code to depend on it.
-        f.debug_struct("Rng").field("state0", &self.s[0]).finish_non_exhaustive()
+        f.debug_struct("Rng")
+            .field("state0", &self.s[0])
+            .finish_non_exhaustive()
     }
 }
 
@@ -180,7 +182,10 @@ impl Rng {
     /// Panics if `rate` is not strictly positive and finite.
     #[inline]
     pub fn exponential(&mut self, rate: f64) -> f64 {
-        assert!(rate > 0.0 && rate.is_finite(), "rate must be positive and finite");
+        assert!(
+            rate > 0.0 && rate.is_finite(),
+            "rate must be positive and finite"
+        );
         // Inverse CDF; 1 - f64() is in (0, 1] so ln is finite.
         -(1.0 - self.f64()).ln() / rate
     }

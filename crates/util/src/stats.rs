@@ -120,8 +120,7 @@ impl Summary {
         let n = (self.n + other.n) as f64;
         let delta = other.mean - self.mean;
         let mean = self.mean + delta * other.n as f64 / n;
-        let m2 =
-            self.m2 + other.m2 + delta * delta * (self.n as f64) * (other.n as f64) / n;
+        let m2 = self.m2 + other.m2 + delta * delta * (self.n as f64) * (other.n as f64) / n;
         self.n += other.n;
         self.mean = mean;
         self.m2 = m2;
@@ -195,8 +194,16 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Option<LinearFit> {
     }
     let slope = sxy / sxx;
     let intercept = mean_y - slope * mean_x;
-    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
-    Some(LinearFit { slope, intercept, r_squared })
+    let r_squared = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
+    Some(LinearFit {
+        slope,
+        intercept,
+        r_squared,
+    })
 }
 
 /// Estimates the growth exponent `α` such that `y ∝ x^α` by fitting a line in

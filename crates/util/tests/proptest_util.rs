@@ -1,5 +1,9 @@
 //! Property-based tests for the utility crate.
 
+// Compiled only with `--features slow-proptests`, which additionally
+// requires re-adding the `proptest` dev-dependency (network access);
+// the hermetic default build resolves zero external crates.
+#![cfg(feature = "slow-proptests")]
 use manet_util::rng::Rng;
 use manet_util::solve::bisect;
 use manet_util::stats::{linear_fit, Summary};

@@ -36,8 +36,7 @@ fn main() {
         .seed(20260704)
         .build();
     let mut clustering = Clustering::form(LowestId, world.topology());
-    let mut routing =
-        IntraClusterRouting::with_policy(UpdatePolicy::Coalesced { interval: 5.0 });
+    let mut routing = IntraClusterRouting::with_policy(UpdatePolicy::Coalesced { interval: 5.0 });
     routing.update_timed(0.0, world.topology(), &clustering);
     let mut rng = Rng::seed_from_u64(99);
 
@@ -85,14 +84,29 @@ fn main() {
     let per_node = |c: u64| c as f64 / N as f64 / elapsed;
     println!("Disaster-relief scenario: {N} nodes, {SIDE} m field, v = {SPEED} m/s");
     println!("{} reports over {DURATION:.0} s:\n", sent);
-    println!("  delivered     : {delivered}/{sent} ({:.1}%)", 100.0 * delivered as f64 / sent as f64);
-    println!("  mean hops     : {:.2} (max {:.0})", hops.mean(), hops.max());
-    println!("  mean stretch  : {:.3} vs flat shortest path", stretch.mean());
-    println!("  discovery cost: {:.2} RREQ per report", rreq_total as f64 / sent as f64);
+    println!(
+        "  delivered     : {delivered}/{sent} ({:.1}%)",
+        100.0 * delivered as f64 / sent as f64
+    );
+    println!(
+        "  mean hops     : {:.2} (max {:.0})",
+        hops.mean(),
+        hops.max()
+    );
+    println!(
+        "  mean stretch  : {:.3} vs flat shortest path",
+        stretch.mean()
+    );
+    println!(
+        "  discovery cost: {:.2} RREQ per report",
+        rreq_total as f64 / sent as f64
+    );
     println!("\nControl traffic that kept this running (per node per second):");
     println!(
         "  HELLO {:.3}   CLUSTER {:.3}   ROUTE {:.3} msg",
-        world.counters().per_node_rate(MessageKind::Hello, N, elapsed),
+        world
+            .counters()
+            .per_node_rate(MessageKind::Hello, N, elapsed),
         per_node(maint.total_messages()),
         per_node(route.route_messages),
     );

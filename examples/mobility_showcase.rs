@@ -93,13 +93,28 @@ fn main() {
     let theory = rates::cv_link_change_rate(density, 120.0, SPEED);
     println!("Per-node link change rate at N=300, r=120 m (CV theory: {theory:.3} /s):");
     for (name, kind) in [
-        ("epoch-rd", MobilityKind::EpochRandomDirection { epoch: 20.0 }),
+        (
+            "epoch-rd",
+            MobilityKind::EpochRandomDirection { epoch: 20.0 },
+        ),
         ("constant-velocity", MobilityKind::ConstantVelocity),
-        ("random-waypoint", MobilityKind::RandomWaypoint { pause: 0.0 }),
-        ("random-walk", MobilityKind::RandomWalk { min_leg: 5.0, max_leg: 25.0 }),
+        (
+            "random-waypoint",
+            MobilityKind::RandomWaypoint { pause: 0.0 },
+        ),
+        (
+            "random-walk",
+            MobilityKind::RandomWalk {
+                min_leg: 5.0,
+                max_leg: 25.0,
+            },
+        ),
     ] {
         let rate = measured_link_rate(kind);
-        println!("  {name:>18}: {rate:6.3} /s  ({:+.1}% vs CV)", (rate / theory - 1.0) * 100.0);
+        println!(
+            "  {name:>18}: {rate:6.3} /s  ({:+.1}% vs CV)",
+            (rate / theory - 1.0) * 100.0
+        );
     }
     println!("\nThe torus models sit on the closed form; RWP and the bounded walk");
     println!("drift off it — the paper's reason for building the analysis on (B)CV.");

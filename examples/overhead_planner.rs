@@ -43,14 +43,7 @@ fn main() {
     // Envelope table: per (N, v), does the predicted total control overhead
     // fit the budget?
     let speeds = [2.0, 5.0, 10.0, 20.0, 40.0];
-    let mut t = Table::new([
-        "N \\ v [m/s]",
-        "2",
-        "5",
-        "10",
-        "20",
-        "40",
-    ]);
+    let mut t = Table::new(["N \\ v [m/s]", "2", "5", "10", "20", "40"]);
     for n in [100usize, 200, 400, 800, 1600] {
         let mut row = vec![n.to_string()];
         for &v in &speeds {
@@ -95,7 +88,10 @@ fn main() {
                 "  control ≤ {:>4.0}% of capacity holds up to N ≈ {nmax} (probed by doubling)",
                 budget * 100.0
             ),
-            None => println!("  control ≤ {:>4.0}% of capacity: violated already at N = 100", budget * 100.0),
+            None => println!(
+                "  control ≤ {:>4.0}% of capacity: violated already at N = 100",
+                budget * 100.0
+            ),
         }
     }
     println!("\nEvery number above is closed-form (no simulation) — that is the");

@@ -26,10 +26,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Deployment: N={n}, a={side} m, r={radius} m, v={speed} m/s");
     println!("Expected degree d = {d:.1}, LID head ratio P ≈ {p:.3}\n");
     println!("Analytical lower bounds (per node):");
-    println!("  f_hello   = {:8.3} msg/s   O_hello   = {:9.1} bit/s", predicted.f_hello, predicted.o_hello);
-    println!("  f_cluster = {:8.3} msg/s   O_cluster = {:9.1} bit/s", predicted.f_cluster, predicted.o_cluster);
-    println!("  f_route   = {:8.3} msg/s   O_route   = {:9.1} bit/s", predicted.f_route, predicted.o_route);
-    println!("  total                        O_total   = {:9.1} bit/s\n", predicted.o_total);
+    println!(
+        "  f_hello   = {:8.3} msg/s   O_hello   = {:9.1} bit/s",
+        predicted.f_hello, predicted.o_hello
+    );
+    println!(
+        "  f_cluster = {:8.3} msg/s   O_cluster = {:9.1} bit/s",
+        predicted.f_cluster, predicted.o_cluster
+    );
+    println!(
+        "  f_route   = {:8.3} msg/s   O_route   = {:9.1} bit/s",
+        predicted.f_route, predicted.o_route
+    );
+    println!(
+        "  total                        O_total   = {:9.1} bit/s\n",
+        predicted.o_total
+    );
 
     // ---- Simulated confirmation ---------------------------------------
     let mut world = SimBuilder::new()
@@ -57,7 +69,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         p_sum += clustering.head_ratio();
     }
     let elapsed = world.measured_time();
-    let f_hello = world.counters().per_node_rate(MessageKind::Hello, n, elapsed);
+    let f_hello = world
+        .counters()
+        .per_node_rate(MessageKind::Hello, n, elapsed);
     let f_cluster = maint.total_messages() as f64 / n as f64 / elapsed;
     let f_route = route.route_messages as f64 / n as f64 / elapsed;
     let p_meas = p_sum / ticks as f64;

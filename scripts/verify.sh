@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 verification: formatting, lints, release build, full test suite.
+# Hermetic and offline — the workspace resolves with zero external crates
+# (see the workspace manifest; `crates/bench` is excluded on purpose).
+#
+# Usage: scripts/verify.sh   (from anywhere inside the repo)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --workspace --release"
+cargo build --workspace --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "verify: all checks passed"

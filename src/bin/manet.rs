@@ -88,15 +88,27 @@ fn cmd_predict(flags: &Flags) -> Result<(), String> {
         return Err(format!("--p must be in (0, 1], got {p}"));
     }
     let b = model.breakdown(p);
-    println!("N={n} a={side} r={radius} v={speed}  =>  d={d:.2}, P={p:.4} (m={:.1})", 1.0 / p);
+    println!(
+        "N={n} a={side} r={radius} v={speed}  =>  d={d:.2}, P={p:.4} (m={:.1})",
+        1.0 / p
+    );
     println!("per-node lower bounds:");
-    println!("  f_hello   = {:10.4} msg/s    O_hello   = {:10.1} bit/s", b.f_hello, b.o_hello);
+    println!(
+        "  f_hello   = {:10.4} msg/s    O_hello   = {:10.1} bit/s",
+        b.f_hello, b.o_hello
+    );
     println!(
         "  f_cluster = {:10.4} msg/s    O_cluster = {:10.1} bit/s  (break {:.4} + contact {:.4})",
         b.f_cluster, b.o_cluster, b.f_cluster_break, b.f_cluster_contact
     );
-    println!("  f_route   = {:10.4} msg/s    O_route   = {:10.1} bit/s", b.f_route, b.o_route);
-    println!("  total                           O_total   = {:10.1} bit/s", b.o_total);
+    println!(
+        "  f_route   = {:10.4} msg/s    O_route   = {:10.1} bit/s",
+        b.f_route, b.o_route
+    );
+    println!(
+        "  total                           O_total   = {:10.1} bit/s",
+        b.o_total
+    );
     Ok(())
 }
 
@@ -148,7 +160,12 @@ fn cmd_simulate(flags: &Flags) -> Result<(), String> {
             route.absorb(routing.update(world.topology(), &clustering));
             p_acc += clustering.head_ratio();
         }
-        (maint, route, p_acc / ticks.max(1) as f64, world.topology().pair_connectivity())
+        (
+            maint,
+            route,
+            p_acc / ticks.max(1) as f64,
+            world.topology().pair_connectivity(),
+        )
     }
 
     let (maint, route, p_meas, connectivity) = match policy {
@@ -159,7 +176,9 @@ fn cmd_simulate(flags: &Flags) -> Result<(), String> {
 
     let elapsed = world.measured_time();
     let per_node = |count: u64| count as f64 / n as f64 / elapsed;
-    let f_hello = world.counters().per_node_rate(MessageKind::Hello, n, elapsed);
+    let f_hello = world
+        .counters()
+        .per_node_rate(MessageKind::Hello, n, elapsed);
     println!("simulated {elapsed:.0}s of {policy} clustering (seed {seed}):");
     println!("  steady head ratio P = {p_meas:.4}  (final pair connectivity {connectivity:.3})");
     println!("  f_hello   = {f_hello:10.4} msg/node/s");
@@ -169,17 +188,19 @@ fn cmd_simulate(flags: &Flags) -> Result<(), String> {
         per_node(maint.break_triggered_messages()),
         per_node(maint.contact_triggered_messages())
     );
-    println!("  f_route   = {:10.4} msg/node/s  ({:.1} table entries/node/s)",
+    println!(
+        "  f_route   = {:10.4} msg/node/s  ({:.1} table entries/node/s)",
         per_node(route.route_messages),
         per_node(route.route_entries)
     );
 
     // The model at the measured P, for side-by-side reading.
     let params = NetworkParams::new(n, side, radius, speed).map_err(|e| e.to_string())?;
-    let b = OverheadModel::new(params, DegreeModel::TorusExact)
-        .breakdown(p_meas.clamp(1e-6, 1.0));
-    println!("model at measured P: f_hello {:.4}, f_cluster {:.4}, f_route {:.4} (lower bound)",
-        b.f_hello, b.f_cluster, b.f_route);
+    let b = OverheadModel::new(params, DegreeModel::TorusExact).breakdown(p_meas.clamp(1e-6, 1.0));
+    println!(
+        "model at measured P: f_hello {:.4}, f_cluster {:.4}, f_route {:.4} (lower bound)",
+        b.f_hello, b.f_cluster, b.f_route
+    );
     Ok(())
 }
 

@@ -1,0 +1,167 @@
+//! Fault-plane integration tests: end-to-end determinism of the faulty
+//! stack and the zero-cost guarantee of the ideal plan.
+
+use clustered_manet::cluster::{Backoff, Clustering, LowestId, RepairOutcome, SelfHealing};
+use clustered_manet::routing::intra::{IntraClusterRouting, RouteUpdateOutcome};
+use clustered_manet::sim::{
+    ChurnSchedule, Counters, FaultPlan, LossModel, SimBuilder, STREAM_CLUSTER, STREAM_ROUTE,
+};
+
+/// Runs the full self-healing stack under a bursty channel plus Poisson
+/// churn and returns every observable: counters, outcomes, roles, liveness.
+fn faulty_run() -> (
+    Counters,
+    RepairOutcome,
+    RouteUpdateOutcome,
+    Vec<String>,
+    Vec<bool>,
+) {
+    let churn = ChurnSchedule::poisson(100, 0.004, 15.0, 140.0, 77).expect("valid churn");
+    let plan = FaultPlan {
+        loss: LossModel::GilbertElliott {
+            p_gb: 0.1,
+            p_bg: 0.3,
+            loss_good: 0.02,
+            loss_bad: 0.7,
+        },
+        churn,
+        seed: 0xDE7E_12A1,
+    };
+    let mut world = SimBuilder::new()
+        .nodes(100)
+        .side(500.0)
+        .radius(100.0)
+        .speed(10.0)
+        .seed(5)
+        .fault(plan)
+        .build();
+    let mut ch_cluster = world.fault().channel(STREAM_CLUSTER);
+    let mut ch_route = world.fault().channel(STREAM_ROUTE);
+    let mut healing = SelfHealing::new(
+        Clustering::form(LowestId, world.topology()),
+        Backoff::default(),
+        8,
+    );
+    let mut routing = IntraClusterRouting::new();
+    routing.update_lossy(world.topology(), healing.clustering(), &mut ch_route);
+
+    let mut repair = RepairOutcome::default();
+    let mut route = RouteUpdateOutcome::default();
+    for _ in 0..280 {
+        world.step();
+        repair.absorb(healing.step(world.topology(), world.alive(), &mut ch_cluster));
+        route.absorb(routing.update_lossy(world.topology(), healing.clustering(), &mut ch_route));
+    }
+    let roles: Vec<String> = healing
+        .clustering()
+        .roles()
+        .iter()
+        .map(|r| format!("{r:?}"))
+        .collect();
+    (
+        world.counters().clone(),
+        repair,
+        route,
+        roles,
+        world.alive().to_vec(),
+    )
+}
+
+/// Same seed + same fault plan → bit-identical counters, traffic
+/// decomposition, final roles, and liveness.
+#[test]
+fn faulty_stack_is_deterministic() {
+    let a = faulty_run();
+    let b = faulty_run();
+    assert_eq!(a.0, b.0, "counters diverged");
+    assert_eq!(a.1, b.1, "repair outcomes diverged");
+    assert_eq!(a.2, b.2, "route outcomes diverged");
+    assert_eq!(a.3, b.3, "final roles diverged");
+    assert_eq!(a.4, b.4, "alive masks diverged");
+    // And the run actually exercised the fault plane.
+    assert!(
+        a.1.maintenance.lost_sends > 0,
+        "no cluster losses — plan too tame"
+    );
+    assert!(a.2.lost_messages > 0, "no route losses — plan too tame");
+    assert!(
+        a.4.iter().any(|&x| !x) || a.1.repairs > 0,
+        "churn never manifested"
+    );
+}
+
+/// The ideal fault plan is free: the self-healing stack over ideal
+/// channels produces the same counters, outcomes, and roles as the plain
+/// pre-fault-plane stack on the same world.
+#[test]
+fn ideal_plan_reduces_to_the_plain_stack() {
+    let build = |fault: Option<FaultPlan>| {
+        let mut b = SimBuilder::new()
+            .nodes(120)
+            .side(600.0)
+            .radius(110.0)
+            .speed(10.0)
+            .seed(9);
+        if let Some(plan) = fault {
+            b = b.fault(plan);
+        }
+        b.build()
+    };
+
+    // Plain stack (no fault plane anywhere).
+    let mut world_p = build(None);
+    let mut clustering = Clustering::form(LowestId, world_p.topology());
+    let mut routing_p = IntraClusterRouting::new();
+    routing_p.update(world_p.topology(), &clustering);
+    let mut maint_total = 0u64;
+    let mut route_p = RouteUpdateOutcome::default();
+    for _ in 0..300 {
+        world_p.step();
+        maint_total += clustering.maintain(world_p.topology()).total_messages();
+        route_p.absorb(routing_p.update(world_p.topology(), &clustering));
+    }
+
+    // Self-healing stack under the ideal plan.
+    let mut world_f = build(Some(FaultPlan::ideal()));
+    let mut ch_cluster = world_f.fault().channel(STREAM_CLUSTER);
+    let mut ch_route = world_f.fault().channel(STREAM_ROUTE);
+    let mut healing = SelfHealing::new(
+        Clustering::form(LowestId, world_f.topology()),
+        Backoff::default(),
+        8,
+    );
+    let mut routing_f = IntraClusterRouting::new();
+    routing_f.update_lossy(world_f.topology(), healing.clustering(), &mut ch_route);
+    let mut repair = RepairOutcome::default();
+    let mut route_f = RouteUpdateOutcome::default();
+    for _ in 0..300 {
+        world_f.step();
+        repair.absorb(healing.step(world_f.topology(), world_f.alive(), &mut ch_cluster));
+        route_f.absorb(routing_f.update_lossy(
+            world_f.topology(),
+            healing.clustering(),
+            &mut ch_route,
+        ));
+    }
+
+    assert_eq!(
+        world_p.counters(),
+        world_f.counters(),
+        "world counters diverged"
+    );
+    assert_eq!(
+        repair.maintenance.total_messages(),
+        maint_total,
+        "cluster traffic diverged"
+    );
+    assert_eq!(repair.maintenance.lost_sends, 0);
+    assert_eq!(repair.maintenance.deferred_sends, 0);
+    assert_eq!(repair.retransmissions, 0);
+    assert_eq!(repair.repairs, 0);
+    assert_eq!(route_f, route_p, "route traffic diverged");
+    assert_eq!(
+        healing.clustering().roles(),
+        clustering.roles(),
+        "cluster structures diverged"
+    );
+}

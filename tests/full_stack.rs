@@ -12,8 +12,18 @@ use clustered_manet::sim::SimBuilder;
 /// agree on HELLO exactly and on CLUSTER within the lower-bound slack.
 #[test]
 fn sim_and_analysis_agree_on_hello_and_cluster() {
-    let scenario = Scenario { nodes: 200, side: 800.0, radius: 130.0, ..Scenario::default() };
-    let protocol = Protocol { warmup: 50.0, measure: 200.0, seeds: vec![1, 2], dt: 0.25 };
+    let scenario = Scenario {
+        nodes: 200,
+        side: 800.0,
+        radius: 130.0,
+        ..Scenario::default()
+    };
+    let protocol = Protocol {
+        warmup: 50.0,
+        measure: 200.0,
+        seeds: vec![1, 2],
+        dt: 0.25,
+    };
     let m = measure_lid(&scenario, &protocol);
     let model = OverheadModel::new(scenario.params(), DegreeModel::TorusExact);
     let b = model.breakdown(m.head_ratio.mean.clamp(1e-6, 1.0));
@@ -43,7 +53,12 @@ fn sim_and_analysis_agree_on_hello_and_cluster() {
 #[test]
 fn full_stack_is_deterministic() {
     let run = || {
-        let mut world = SimBuilder::new().nodes(120).side(600.0).radius(110.0).seed(9).build();
+        let mut world = SimBuilder::new()
+            .nodes(120)
+            .side(600.0)
+            .radius(110.0)
+            .seed(9)
+            .build();
         let mut clustering = Clustering::form(LowestId, world.topology());
         let mut routing = IntraClusterRouting::new();
         routing.update(world.topology(), &clustering);
@@ -64,7 +79,12 @@ fn full_stack_is_deterministic() {
 /// BFS says the network is connected at the cluster level.
 #[test]
 fn hybrid_routing_covers_the_network() {
-    let mut world = SimBuilder::new().nodes(150).side(700.0).radius(120.0).seed(4).build();
+    let mut world = SimBuilder::new()
+        .nodes(150)
+        .side(700.0)
+        .radius(120.0)
+        .seed(4)
+        .build();
     let mut clustering = Clustering::form(LowestId, world.topology());
     for _ in 0..40 {
         world.step();
@@ -96,8 +116,14 @@ fn hybrid_routing_covers_the_network() {
             }
         }
     }
-    assert!(checked_intra > 50, "too few intra pairs exercised: {checked_intra}");
-    assert!(checked_inter > 50, "too few inter pairs exercised: {checked_inter}");
+    assert!(
+        checked_intra > 50,
+        "too few intra pairs exercised: {checked_intra}"
+    );
+    assert!(
+        checked_inter > 50,
+        "too few inter pairs exercised: {checked_inter}"
+    );
 }
 
 /// The LID analysis plumbing is exposed end to end through the facade.
@@ -153,7 +179,10 @@ fn trace_replay_reproduces_link_dynamics() {
         for _ in 0..200 {
             world.step();
         }
-        (world.counters().links_generated(), world.counters().links_broken())
+        (
+            world.counters().links_generated(),
+            world.counters().links_broken(),
+        )
     };
 
     let mut replay_a = trace.clone();
