@@ -3,6 +3,7 @@
 use crate::policy::ClusterPolicy;
 use crate::Role;
 use manet_sim::{NodeId, Topology};
+use manet_telemetry::{EventKind, Layer, Probe};
 use std::fmt;
 
 /// A violation of the one-hop clustering invariants P1/P2.
@@ -286,6 +287,21 @@ impl<P: ClusterPolicy> Clustering<P> {
         topology: &Topology,
         hooks: &mut H,
     ) -> MaintenanceOutcome {
+        self.maintain_traced(topology, hooks, 0.0, &mut Probe::off())
+    }
+
+    /// [`maintain_faulty`](Self::maintain_faulty) with telemetry: every
+    /// committed role change is emitted through `probe` (`HeadResigned`,
+    /// `MemberReaffiliated`, `HeadElected`) stamped with sim time `now`.
+    /// With [`Probe::off`] this is exactly `maintain_faulty` — identical
+    /// role changes, identical counts.
+    pub fn maintain_traced<H: FaultHooks>(
+        &mut self,
+        topology: &Topology,
+        hooks: &mut H,
+        now: f64,
+        probe: &mut Probe<'_>,
+    ) -> MaintenanceOutcome {
         assert_eq!(
             topology.len(),
             self.roles.len(),
@@ -340,6 +356,14 @@ impl<P: ClusterPolicy> Clustering<P> {
                 Attempt::Delivered => {
                     self.roles[loser as usize] = Role::Member { head: winner };
                     outcome.contact_resignations += 1;
+                    probe.emit(
+                        now,
+                        Layer::Cluster,
+                        EventKind::HeadResigned {
+                            node: loser,
+                            new_head: winner,
+                        },
+                    );
                     orphan_cause[loser as usize] = None; // it just re-homed itself
                                                          // Its members are orphaned (unless already orphaned by a
                                                          // break).
@@ -389,18 +413,30 @@ impl<P: ClusterPolicy> Clustering<P> {
                 (Some(h), OrphanCause::LinkBroke) => {
                     self.roles[u as usize] = Role::Member { head: h };
                     outcome.break_reaffiliations += 1;
+                    probe.emit(
+                        now,
+                        Layer::Cluster,
+                        EventKind::MemberReaffiliated { member: u, head: h },
+                    );
                 }
                 (Some(h), OrphanCause::HeadResigned) => {
                     self.roles[u as usize] = Role::Member { head: h };
                     outcome.contact_reaffiliations += 1;
+                    probe.emit(
+                        now,
+                        Layer::Cluster,
+                        EventKind::MemberReaffiliated { member: u, head: h },
+                    );
                 }
                 (None, OrphanCause::LinkBroke) => {
                     self.roles[u as usize] = Role::Head;
                     outcome.break_promotions += 1;
+                    probe.emit(now, Layer::Cluster, EventKind::HeadElected { node: u });
                 }
                 (None, OrphanCause::HeadResigned) => {
                     self.roles[u as usize] = Role::Head;
                     outcome.contact_promotions += 1;
+                    probe.emit(now, Layer::Cluster, EventKind::HeadElected { node: u });
                 }
             }
         }
@@ -945,6 +981,54 @@ mod tests {
             assert_eq!(oa, ob);
             assert_eq!(a.roles(), b.roles());
         }
+    }
+
+    #[test]
+    fn traced_maintenance_emits_one_event_per_committed_role_change() {
+        use manet_sim::SimBuilder;
+        use manet_telemetry::{Event, Subscriber};
+
+        #[derive(Default)]
+        struct Collect(Vec<Event>);
+        impl Subscriber for Collect {
+            fn event(&mut self, e: &Event) {
+                self.0.push(*e);
+            }
+        }
+
+        let mut world = SimBuilder::new().nodes(80).seed(17).build();
+        let mut c = Clustering::form(LowestId, world.topology());
+        let mut sink = Collect::default();
+        let mut total = MaintenanceOutcome::default();
+        for _ in 0..60 {
+            world.step();
+            let mut probe = Probe::subscriber(&mut sink);
+            total.absorb(c.maintain_traced(
+                world.topology(),
+                &mut NoFaults,
+                world.time(),
+                &mut probe,
+            ));
+        }
+        assert!(total.total_messages() > 0, "mobile world must churn roles");
+        let count = |f: fn(&EventKind) -> bool| sink.0.iter().filter(|e| f(&e.kind)).count() as u64;
+        assert_eq!(
+            count(|k| matches!(k, EventKind::HeadResigned { .. })),
+            total.contact_resignations
+        );
+        assert_eq!(
+            count(|k| matches!(k, EventKind::MemberReaffiliated { .. })),
+            total.break_reaffiliations + total.contact_reaffiliations
+        );
+        assert_eq!(
+            count(|k| matches!(k, EventKind::HeadElected { .. })),
+            total.break_promotions + total.contact_promotions
+        );
+        // One event per committed CLUSTER message.
+        assert_eq!(sink.0.len() as u64, total.total_messages());
+        assert!(sink.0.iter().all(|e| e.layer == Layer::Cluster));
+        // Timestamps are the sim times passed in, monotone over the run.
+        assert!(sink.0.windows(2).all(|w| w[0].time <= w[1].time));
     }
 
     #[test]

@@ -23,7 +23,8 @@
 use crate::engine::{Attempt, Clustering, FaultHooks, MaintenanceOutcome};
 use crate::policy::ClusterPolicy;
 use crate::Role;
-use manet_sim::{Channel, Counters, MessageKind, MessageSizes, NodeId, Topology};
+use manet_sim::{Channel, Counters, MessageKind, NodeId, Topology};
+use manet_telemetry::{EventKind, Layer, Probe};
 
 /// Bounded exponential backoff for lost CLUSTER sends.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,11 +82,13 @@ impl RepairOutcome {
     }
 
     /// Records this step's traffic into shared counters: ordinary sends as
-    /// `CLUSTER`, retries as `RETX`, fault repairs as `REPAIR`.
-    pub fn record(&self, counters: &mut Counters, sizes: &MessageSizes) {
-        counters.record_sized(MessageKind::Cluster, self.cluster_messages(), sizes);
-        counters.record_sized(MessageKind::Retransmit, self.retransmissions, sizes);
-        counters.record_sized(MessageKind::Repair, self.repairs, sizes);
+    /// `CLUSTER`, retries as `RETX`, fault repairs as `REPAIR`. Bytes come
+    /// from the counters' own embedded size table (`record_kind`), so the
+    /// byte-consistency invariant holds by construction.
+    pub fn record(&self, counters: &mut Counters) {
+        counters.record_kind(MessageKind::Cluster, self.cluster_messages());
+        counters.record_kind(MessageKind::Retransmit, self.retransmissions);
+        counters.record_kind(MessageKind::Repair, self.repairs);
     }
 
     /// Accumulates another step into this one (keeping the *latest*
@@ -109,6 +112,10 @@ struct Gate<'a> {
     tick: u64,
     retransmissions: u64,
     repairs: u64,
+    /// `(node, wait_ticks)` for each loss this pass, emitted as
+    /// `RetxScheduled` telemetry after the maintenance pass returns (the
+    /// gate cannot hold the probe itself: the engine borrows it mutably).
+    scheduled: Vec<(NodeId, u64)>,
 }
 
 impl FaultHooks for Gate<'_> {
@@ -135,7 +142,9 @@ impl FaultHooks for Gate<'_> {
             Attempt::Delivered
         } else {
             s.failures += 1;
-            s.next_allowed = self.tick + self.backoff.delay_after(s.failures);
+            let wait = self.backoff.delay_after(s.failures);
+            s.next_allowed = self.tick + wait;
+            self.scheduled.push((u, wait));
             Attempt::Lost
         }
     }
@@ -194,6 +203,21 @@ impl<P: ClusterPolicy> SelfHealing<P> {
         alive: &[bool],
         channel: &mut Channel,
     ) -> RepairOutcome {
+        self.step_traced(topology, alive, channel, 0.0, &mut Probe::off())
+    }
+
+    /// [`SelfHealing::step`] with telemetry: role-change events are emitted
+    /// through the engine's traced maintenance pass, and every lost send
+    /// additionally emits a `RetxScheduled` event carrying the backoff wait
+    /// chosen for its retry. With [`Probe::off`] this is exactly `step`.
+    pub fn step_traced(
+        &mut self,
+        topology: &Topology,
+        alive: &[bool],
+        channel: &mut Channel,
+        now: f64,
+        probe: &mut Probe<'_>,
+    ) -> RepairOutcome {
         assert_eq!(alive.len(), self.send.len(), "alive mask size mismatch");
         self.tick += 1;
 
@@ -235,9 +259,19 @@ impl<P: ClusterPolicy> SelfHealing<P> {
             tick: self.tick,
             retransmissions: 0,
             repairs: 0,
+            scheduled: Vec::new(),
         };
-        let maintenance = self.clustering.maintain_faulty(topology, &mut gate);
+        let maintenance = self
+            .clustering
+            .maintain_traced(topology, &mut gate, now, probe);
         let (retransmissions, repairs) = (gate.retransmissions, gate.repairs);
+        for (node, wait_ticks) in gate.scheduled {
+            probe.emit(
+                now,
+                Layer::Cluster,
+                EventKind::RetxScheduled { node, wait_ticks },
+            );
+        }
         let violations_left = self.clustering.violations_among(topology, alive).len() as u64;
         RepairOutcome {
             maintenance,
@@ -422,6 +456,69 @@ mod tests {
         // recovering *member* would re-validate. Either way: no violation.
         let o = healing.step(&full, &[true; 3], &mut channel);
         assert_eq!(o.violations_left, 0);
+    }
+
+    #[test]
+    fn traced_step_emits_retx_schedules_and_records_consistently() {
+        use manet_telemetry::{Event, Subscriber};
+
+        #[derive(Default)]
+        struct Collect(Vec<Event>);
+        impl Subscriber for Collect {
+            fn event(&mut self, event: &Event) {
+                self.0.push(*event);
+            }
+        }
+
+        let mut world = SimBuilder::new()
+            .nodes(80)
+            .side(500.0)
+            .radius(120.0)
+            .speed(12.0)
+            .seed(41)
+            .build();
+        let c = Clustering::form(LowestId, world.topology());
+        let mut traced = SelfHealing::new(c.clone(), Backoff::default(), 8);
+        let mut plain = SelfHealing::new(c, Backoff::default(), 8);
+        let plan = FaultPlan::bernoulli(0.5, 13).unwrap();
+        let mut ch_traced = plan.channel(manet_sim::fault::STREAM_CLUSTER);
+        let mut ch_plain = plan.channel(manet_sim::fault::STREAM_CLUSTER);
+        let alive = vec![true; 80];
+        let mut sink = Collect::default();
+        let mut counters = Counters::default();
+        let mut losses = 0;
+        for t in 0..40 {
+            world.step();
+            let now = t as f64;
+            let o = traced.step_traced(
+                world.topology(),
+                &alive,
+                &mut ch_traced,
+                now,
+                &mut Probe::subscriber(&mut sink),
+            );
+            let o_plain = plain.step(world.topology(), &alive, &mut ch_plain);
+            assert_eq!(o, o_plain, "tracing must not change the outcome");
+            o.record(&mut counters);
+            losses += o.maintenance.lost_sends;
+        }
+        assert!(losses > 0, "the lossy channel must actually lose sends");
+        let retx_events = sink
+            .0
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::RetxScheduled { .. }))
+            .count() as u64;
+        assert_eq!(
+            retx_events, losses,
+            "one RetxScheduled per lost send, exactly"
+        );
+        for e in &sink.0 {
+            assert_eq!(e.layer, Layer::Cluster);
+            if let EventKind::RetxScheduled { wait_ticks, .. } = e.kind {
+                assert!((1..=16).contains(&wait_ticks), "default backoff range");
+            }
+        }
+        assert!(counters.bytes_consistent());
     }
 
     #[test]

@@ -1,0 +1,58 @@
+//! Profiler baseline: tick-phase wall-clock timing of the default
+//! 400-node scenario, written to `BENCH_telemetry.json` (committed at the
+//! repo root so regressions in per-phase cost are visible in review).
+
+use manet_experiments::harness::{Protocol, Scenario};
+use manet_experiments::trace::{trace_run, TelemetryConfig};
+use manet_telemetry::Phase;
+use manet_util::json::Value;
+
+fn main() {
+    let scenario = Scenario::default();
+    let protocol = Protocol {
+        warmup: 20.0,
+        measure: 60.0,
+        seeds: vec![11],
+        dt: 0.25,
+    };
+    let run = trace_run(
+        &scenario,
+        &protocol,
+        &TelemetryConfig::in_memory("bench_telemetry"),
+    )
+    .expect("in-memory run performs no IO");
+    println!("{}", run.profile.to_table().to_ascii());
+
+    let mut phases = Vec::new();
+    for phase in Phase::ALL {
+        let Some(s) = run.profile.get(phase) else {
+            continue;
+        };
+        phases.push(Value::Obj(vec![
+            ("phase".into(), Value::from(phase.name())),
+            ("ticks".into(), Value::from(s.count)),
+            ("total_s".into(), Value::from(s.total)),
+            ("min_s".into(), Value::from(s.min)),
+            ("mean_s".into(), Value::from(s.mean)),
+            ("p99_s".into(), Value::from(s.p99)),
+            ("max_s".into(), Value::from(s.max)),
+        ]));
+    }
+    let doc = Value::Obj(vec![
+        ("bench".into(), Value::from("telemetry_phase_profile")),
+        ("nodes".into(), Value::from(scenario.nodes)),
+        ("dt".into(), Value::from(protocol.dt)),
+        (
+            "sim_seconds".into(),
+            Value::from(protocol.warmup + protocol.measure),
+        ),
+        ("seed".into(), Value::from(protocol.seeds[0])),
+        ("total_wall_s".into(), Value::from(run.profile.total_secs())),
+        ("phases".into(), Value::Arr(phases)),
+    ]);
+    let path = "BENCH_telemetry.json";
+    match std::fs::write(path, format!("{doc}\n")) {
+        Ok(()) => println!("[json] {path}"),
+        Err(e) => println!("[json] write failed: {e}"),
+    }
+}

@@ -13,4 +13,5 @@ fn main() {
         "claim_bcv_window",
         &claims::bcv_table(&claims::bcv_window(3000.0, 300.0)),
     );
+    manet_experiments::trace::maybe_trace_default("claim_validation");
 }

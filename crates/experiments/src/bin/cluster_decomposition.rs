@@ -12,4 +12,5 @@ fn main() {
     );
     println!("The simulation's contact column should track the PerPair convention");
     println!("(the paper's literal Eqn 10 reading, PerEndpoint, is 2x).");
+    manet_experiments::trace::maybe_trace_default("cluster_decomposition");
 }

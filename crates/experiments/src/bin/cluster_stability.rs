@@ -24,4 +24,9 @@ fn main() {
     println!("\nMean link lifetime tracks Claim 2's implied pi^2*r/(8v). Head lifetimes");
     println!("are shorter than link lifetimes: a head role ends on the FIRST of many");
     println!("competing events (any head contact), a union of failure modes.");
+    manet_experiments::trace::maybe_trace(
+        "cluster_stability",
+        &scenario,
+        &manet_experiments::harness::Protocol::default(),
+    );
 }

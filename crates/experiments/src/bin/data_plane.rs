@@ -13,4 +13,5 @@ fn main() {
     println!("\nDelivery equals flat reachability by construction (asserted in-code);");
     println!("the hierarchy's price is the stretch column, its benefit the control");
     println!("overhead comparison of EXT2.");
+    manet_experiments::trace::maybe_trace_default("data_plane");
 }

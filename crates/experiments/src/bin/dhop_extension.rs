@@ -20,4 +20,9 @@ fn main() {
     );
     println!("\nMore hops → fewer, bigger clusters and (typically) fewer cluster");
     println!("changes per node — the trade the paper's future-work section poses.");
+    manet_experiments::trace::maybe_trace(
+        "dhop_extension",
+        &scenario,
+        &manet_experiments::harness::Protocol::default(),
+    );
 }

@@ -11,4 +11,5 @@ fn main() {
     println!("only on the instantaneous relative-speed distribution, which the");
     println!("epoch model preserves at every tau. The paper's choice of epoch");
     println!("length is therefore immaterial to its Figures 1-3.");
+    manet_experiments::trace::maybe_trace_default("epoch_sensitivity");
 }

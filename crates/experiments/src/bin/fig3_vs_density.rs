@@ -10,4 +10,5 @@ fn main() {
     manet_experiments::emit("fig3_vs_density", &fig.table());
     let (h, c, r) = fig.agreement();
     println!("RMS relative error (sim vs analysis): hello {h:.3}  cluster {c:.3}  route {r:.3}");
+    manet_experiments::trace::maybe_trace_default("fig3_vs_density");
 }

@@ -13,4 +13,5 @@ fn main() {
         .map(|r| ((r.p_exact - r.p_approx).abs() / r.p_exact * 100.0).abs())
         .fold(0.0f64, f64::max);
     println!("worst Eqn17-vs-Eqn16 deviation for d+1 > 12: {worst:.2}%");
+    manet_experiments::trace::maybe_trace_default("fig4_lid_p_approx");
 }

@@ -12,4 +12,5 @@ fn main() {
     println!("\nNote: the paper's Eqn 18 overestimates true LID cluster counts;");
     println!("the Caro-Wei column is this reproduction's first-round lower bound.");
     println!("See EXPERIMENTS.md for the discussion.");
+    manet_experiments::trace::maybe_trace_default("fig5_cluster_count");
 }

@@ -8,4 +8,5 @@ fn main() {
     let rows = flat_vs_clustered(&Protocol::default(), &[100, 200, 400, 800], 10.0);
     manet_experiments::emit("ext2_flat_vs_clustered", &table(&rows));
     println!("Flat per-node overhead grows with N; clustered stays ~flat (paper §1).");
+    manet_experiments::trace::maybe_trace_default("flat_vs_clustered");
 }

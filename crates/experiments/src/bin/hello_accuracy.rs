@@ -12,4 +12,5 @@ fn main() {
     println!("\nOnce the beacon rate drops below the per-node link generation rate");
     println!("(the paper's f_hello lower bound), the protocol's view of the");
     println!("neighborhood visibly decays — missing and stale fractions climb.");
+    manet_experiments::trace::maybe_trace_default("hello_accuracy");
 }

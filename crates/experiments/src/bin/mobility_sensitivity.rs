@@ -8,4 +8,5 @@ fn main() {
     manet_experiments::emit("abl3_mobility", &mobility_sensitivity(&Protocol::default()));
     println!("epoch-RD and CV should match Claim 2; RWP and random-walk deviate,");
     println!("which is why the paper analyzes (B)CV instead.");
+    manet_experiments::trace::maybe_trace_default("mobility_sensitivity");
 }

@@ -28,4 +28,5 @@ fn main() {
     println!("as retransmissions, repair traffic, and route re-syncs are paid.");
     println!("'viol end' is the P1/P2 violation count after a quiescence window —");
     println!("zero means the self-healing maintenance fully restored the clusters.");
+    manet_experiments::trace::maybe_trace("robustness", &scenario, &protocol);
 }

@@ -16,4 +16,5 @@ fn main() {
     println!("  x4    membership churn: a member switching clusters moves all its");
     println!("        intra-links between cluster tables at once -- the dominant");
     println!("        term, absent from the paper's physical-link bound.");
+    manet_experiments::trace::maybe_trace_default("route_dispersion");
 }

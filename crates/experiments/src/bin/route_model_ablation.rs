@@ -11,4 +11,5 @@ fn main() {
     );
     println!("The κ model should track simulation; the star-only model misses the");
     println!("member-member churn and undershoots at large ranges.");
+    manet_experiments::trace::maybe_trace_default("route_model_ablation");
 }

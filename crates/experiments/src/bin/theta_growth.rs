@@ -8,4 +8,5 @@ fn main() {
     manet_experiments::emit("theta_growth", &theta::table(&cells));
     let confirmed = cells.iter().filter(|c| c.confirms(0.12)).count();
     println!("{confirmed}/9 cells confirm the paper's exponents");
+    manet_experiments::trace::maybe_trace_default("theta_growth");
 }

@@ -7,4 +7,5 @@ fn main() {
     manet_experiments::emit("tick_convergence", &table(&tick_convergence(300.0)));
     println!("Coarse ticks miss links that form and break within one tick;");
     println!("the default dt = 0.25 s sits in the converged regime.");
+    manet_experiments::trace::maybe_trace_default("tick_convergence");
 }

@@ -1,0 +1,127 @@
+//! Summarizes JSONL telemetry traces written via `--trace-out`.
+//!
+//! ```text
+//! trace_report <trace.jsonl>...   # summarize existing trace files
+//! trace_report --smoke            # self-check: run, write, re-read, reconcile
+//! ```
+//!
+//! For each trace the report prints the run metadata, the estimated warmup
+//! time (first window whose CLUSTER rate is within 10% of the steady
+//! state), per-class steady-state rates, churn totals, and the tick-phase
+//! profile when the trace carries one.
+
+use manet_experiments::harness::{Protocol, Scenario};
+use manet_experiments::trace::{report_text, trace_run, TelemetryConfig};
+use manet_sim::MessageKind;
+use manet_telemetry::{read_trace, MsgClass};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--smoke") {
+        return smoke();
+    }
+    if args.is_empty() {
+        eprintln!("usage: trace_report <trace.jsonl>... | trace_report --smoke");
+        return ExitCode::FAILURE;
+    }
+    let mut ok = true;
+    for path in &args {
+        println!("== {path} ==");
+        match read_trace(path) {
+            Ok(trace) => {
+                let window = trace.meta.as_ref().map_or(5.0, |m| m.window);
+                let recorder = trace.replay(window);
+                print!(
+                    "{}",
+                    report_text(trace.meta.as_ref(), &recorder, trace.profile.as_ref())
+                );
+            }
+            Err(e) => {
+                println!("unreadable: {e}");
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// End-to-end self check used by `scripts/verify.sh`: run a short traced
+/// scenario, write the JSONL, read it back, and reconcile the replayed
+/// window sums against the run's final counters.
+fn smoke() -> ExitCode {
+    let scenario = Scenario {
+        nodes: 80,
+        side: 500.0,
+        radius: 100.0,
+        ..Scenario::default()
+    };
+    let protocol = Protocol {
+        warmup: 10.0,
+        measure: 30.0,
+        seeds: vec![7],
+        dt: 0.5,
+    };
+    let path = manet_experiments::figures_dir().join("trace_smoke.jsonl");
+    let config = TelemetryConfig::to_file("trace_smoke", path.clone());
+    let run = match trace_run(&scenario, &protocol, &config) {
+        Ok(run) => run,
+        Err(e) => {
+            println!("SMOKE FAIL: traced run errored: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let trace = match read_trace(&path) {
+        Ok(trace) => trace,
+        Err(e) => {
+            println!("SMOKE FAIL: written trace unreadable: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let replayed = trace.replay(run.meta.window);
+    let mut ok = true;
+    for (class, kind) in [
+        (MsgClass::Hello, MessageKind::Hello),
+        (MsgClass::Cluster, MessageKind::Cluster),
+        (MsgClass::Route, MessageKind::Route),
+    ] {
+        let from_trace = replayed.total_msgs(class);
+        let from_counters = run.counters.messages(kind);
+        if from_trace != from_counters {
+            println!(
+                "SMOKE FAIL: {} trace total {from_trace} != counters {from_counters}",
+                class.name()
+            );
+            ok = false;
+        }
+    }
+    if trace.meta.is_none() {
+        println!("SMOKE FAIL: meta line missing");
+        ok = false;
+    }
+    if trace.profile.is_none() {
+        println!("SMOKE FAIL: profile line missing");
+        ok = false;
+    }
+    if !run.counters.bytes_consistent() {
+        println!("SMOKE FAIL: counters byte totals inconsistent with size table");
+        ok = false;
+    }
+    print!(
+        "{}",
+        report_text(trace.meta.as_ref(), &replayed, trace.profile.as_ref())
+    );
+    if ok {
+        println!(
+            "SMOKE OK: {} reconciles with final counters",
+            path.display()
+        );
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

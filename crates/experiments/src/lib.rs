@@ -24,6 +24,11 @@
 //! | `flat_vs_clustered` | EXT2 — DSDV baseline vs clustered hybrid |
 //! | `dhop_extension` | EXT3 — d-hop clustering (Section 7 future work) |
 //! | `robustness` | ROB1 — overhead under loss + churn vs the ideal bounds |
+//! | `trace_report` | telemetry — summarize a `--trace-out` JSONL trace |
+//!
+//! Every binary additionally accepts `--trace-out <path>`: after its
+//! experiment runs, a telemetry-instrumented twin of its default scenario
+//! writes a JSONL event trace there (see the [`trace`] module).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -41,6 +46,7 @@ pub mod lid_figures;
 pub mod robustness;
 pub mod stability;
 pub mod theta;
+pub mod trace;
 
 use std::path::PathBuf;
 

@@ -15,8 +15,8 @@ use crate::harness::{analysis_at, Estimate, Protocol, Scenario};
 use manet_cluster::{Backoff, Clustering, LowestId, RepairOutcome, SelfHealing};
 use manet_routing::intra::{IntraClusterRouting, RouteUpdateOutcome};
 use manet_sim::{
-    ChurnSchedule, FaultPlan, HelloMode, HelloProtocol, LossModel, MessageKind, MessageSizes,
-    SimBuilder, STREAM_CLUSTER, STREAM_HELLO, STREAM_ROUTE,
+    ChurnSchedule, FaultPlan, HelloMode, HelloProtocol, LossModel, MessageKind, SimBuilder,
+    STREAM_CLUSTER, STREAM_HELLO, STREAM_ROUTE,
 };
 use manet_util::stats::Summary;
 use manet_util::table::{fmt_sig, Table};
@@ -184,14 +184,13 @@ pub fn measure_with_faults(
         // Route the decomposed traffic through the shared counters (the new
         // RETX/REPAIR categories) and read the rates back from there, so the
         // accounting path the paper's tooling uses is exercised end to end.
-        let sizes = MessageSizes::default();
-        repair.record(world.counters_mut(), &sizes);
+        repair.record(world.counters_mut());
         world
             .counters_mut()
-            .record_sized(MessageKind::Hello, hello_sent, &sizes);
+            .record_kind(MessageKind::Hello, hello_sent);
         world
             .counters_mut()
-            .record_sized(MessageKind::Route, route.attempted_messages(), &sizes);
+            .record_kind(MessageKind::Route, route.attempted_messages());
         let rate = |kind| world.counters().per_node_rate(kind, n, elapsed);
 
         // Quiescence drain: freeze the world, heal the channel, and give the

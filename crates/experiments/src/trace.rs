@@ -1,0 +1,363 @@
+//! Traced runs: the telemetry-instrumented twin of the harness loop.
+//!
+//! [`trace_run`] drives the full ideal stack (HELLO + clustering +
+//! intra-cluster routing) with a live [`Probe`], producing a windowed
+//! time-series recorder, a tick-phase wall-clock profile, and (optionally)
+//! a JSONL trace file. Unlike `measure_lid` it traces from `t = 0` with no
+//! warmup cut, so the recorded series *shows* the transient — the
+//! trace-report tooling estimates the warmup point from the data instead
+//! of assuming it.
+//!
+//! Every experiment binary accepts `--trace-out <path>` (via
+//! [`maybe_trace`]): when present, a traced twin of the binary's default
+//! scenario runs after the experiment proper and writes its JSONL trace
+//! there, summarized on stdout. `bin/trace_report` re-reads such files.
+
+use crate::harness::{Protocol, Scenario};
+use manet_cluster::{Clustering, LowestId, NoFaults};
+use manet_routing::intra::IntraClusterRouting;
+use manet_sim::{Counters, HelloMode, MessageKind, SimBuilder};
+use manet_telemetry::{
+    EventKind, JsonlSink, Layer, MsgClass, Phase, PhaseProfiler, Probe, ProfileReport, TraceMeta,
+    TraceOut, WindowedRecorder,
+};
+use std::fmt::Write as _;
+use std::io;
+use std::path::PathBuf;
+
+/// Relative tolerance defining "settled": the warmup point is the first
+/// window whose CLUSTER rate is within this fraction of the steady state.
+pub const WARMUP_TOLERANCE: f64 = 0.1;
+
+/// Telemetry options for a traced run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryConfig {
+    /// Tumbling-window width for the time series, sim seconds.
+    pub window: f64,
+    /// JSONL trace output path (`None` = in-memory recording only).
+    pub out: Option<PathBuf>,
+    /// Run label stamped into the trace meta line.
+    pub label: String,
+}
+
+impl TelemetryConfig {
+    /// In-memory telemetry with the default 5 s window.
+    pub fn in_memory(label: &str) -> TelemetryConfig {
+        TelemetryConfig {
+            window: 5.0,
+            out: None,
+            label: label.to_string(),
+        }
+    }
+
+    /// Telemetry teed to a JSONL file with the default 5 s window.
+    pub fn to_file(label: &str, path: PathBuf) -> TelemetryConfig {
+        TelemetryConfig {
+            out: Some(path),
+            ..TelemetryConfig::in_memory(label)
+        }
+    }
+}
+
+/// Everything a traced run produced.
+#[derive(Debug)]
+pub struct TraceRun {
+    /// The run's metadata (also the trace file's first line).
+    pub meta: TraceMeta,
+    /// Final message counters — the ground truth the recorder's window
+    /// sums reconcile against.
+    pub counters: Counters,
+    /// The windowed time series.
+    pub recorder: WindowedRecorder,
+    /// Tick-phase wall-clock profile.
+    pub profile: ProfileReport,
+}
+
+/// Runs the ideal stack once (first seed of `protocol`) with telemetry
+/// attached, tracing from `t = 0` for `warmup + measure` sim seconds.
+///
+/// The harness emits a batched `MsgSent` event for exactly the count it
+/// records into the shared [`Counters`], per layer per tick, so the
+/// recorder's per-class window sums reconcile with the final counters by
+/// construction.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating or writing the JSONL sink.
+pub fn trace_run(
+    scenario: &Scenario,
+    protocol: &Protocol,
+    config: &TelemetryConfig,
+) -> io::Result<TraceRun> {
+    let seed = protocol.seeds.first().copied().unwrap_or(1);
+    let duration = protocol.warmup + protocol.measure;
+    let mut world = SimBuilder::new()
+        .side(scenario.side)
+        .nodes(scenario.nodes)
+        .radius(scenario.radius)
+        .speed(scenario.speed)
+        .mobility(scenario.mobility)
+        .dt(protocol.dt)
+        .seed(seed)
+        .hello_mode(HelloMode::EventDriven)
+        .build();
+    let meta = TraceMeta {
+        label: config.label.clone(),
+        nodes: scenario.nodes as u64,
+        window: config.window,
+        dt: protocol.dt,
+        duration,
+        seed,
+    };
+    let sink = match &config.out {
+        Some(path) => Some(JsonlSink::create(path)?),
+        None => None,
+    };
+    let mut out = TraceOut::new(config.window, sink);
+    out.write_meta(&meta);
+    let mut profiler = PhaseProfiler::new();
+
+    let mut clustering = Clustering::form(LowestId, world.topology());
+    let mut routing = IntraClusterRouting::new();
+    routing.update(world.topology(), &clustering); // baseline fill, uncharged
+
+    let ticks = (duration / protocol.dt).round() as usize;
+    for _ in 0..ticks {
+        let mut probe = Probe::new(Some(&mut out), Some(&mut profiler));
+        world.step_traced(&mut probe);
+        let now = world.time();
+
+        let t0 = probe.phase_start();
+        let maint = clustering.maintain_traced(world.topology(), &mut NoFaults, now, &mut probe);
+        probe.phase_end(Phase::Cluster, t0);
+        let cluster_sent = maint.total_messages();
+        if cluster_sent > 0 {
+            probe.emit(
+                now,
+                Layer::Cluster,
+                EventKind::MsgSent {
+                    class: MsgClass::Cluster,
+                    count: cluster_sent,
+                },
+            );
+        }
+
+        let t0 = probe.phase_start();
+        let route =
+            routing.update_traced(protocol.dt, world.topology(), &clustering, now, &mut probe);
+        probe.phase_end(Phase::Routing, t0);
+        let route_sent = route.attempted_messages();
+        if route_sent > 0 {
+            probe.emit(
+                now,
+                Layer::Routing,
+                EventKind::MsgSent {
+                    class: MsgClass::Route,
+                    count: route_sent,
+                },
+            );
+        }
+
+        probe.emit(
+            now,
+            Layer::Cluster,
+            EventKind::ClusterGauge {
+                heads: clustering.head_count() as u64,
+            },
+        );
+
+        world
+            .counters_mut()
+            .record_kind(MessageKind::Cluster, cluster_sent);
+        world
+            .counters_mut()
+            .record_kind(MessageKind::Route, route_sent);
+    }
+
+    let profile = profiler.report();
+    let recorder = std::mem::replace(&mut out.recorder, WindowedRecorder::new(config.window));
+    out.finish(&profile)?;
+    Ok(TraceRun {
+        meta,
+        counters: world.counters().clone(),
+        recorder,
+        profile,
+    })
+}
+
+/// Renders the human summary of a trace: meta, warmup estimate,
+/// steady-state per-class rates, churn totals, and the phase profile.
+///
+/// Shared between [`maybe_trace`] (fresh runs) and `bin/trace_report`
+/// (re-read JSONL files, where the profile may be absent).
+pub fn report_text(
+    meta: Option<&TraceMeta>,
+    recorder: &WindowedRecorder,
+    profile: Option<&ProfileReport>,
+) -> String {
+    let mut s = String::new();
+    if let Some(m) = meta {
+        let _ = writeln!(
+            s,
+            "trace: label={} nodes={} dt={} window={}s duration={}s seed={}",
+            m.label, m.nodes, m.dt, m.window, m.duration, m.seed
+        );
+    }
+    let _ = writeln!(
+        s,
+        "events: {} across {} windows of {}s",
+        recorder.events_seen(),
+        recorder.windows().len(),
+        recorder.width()
+    );
+    match recorder.warmup_time(MsgClass::Cluster, WARMUP_TOLERANCE) {
+        Some(t) => {
+            let _ = writeln!(
+                s,
+                "warmup: CLUSTER rate settles within {:.0}% of steady state at t ≈ {t} s",
+                WARMUP_TOLERANCE * 100.0
+            );
+        }
+        None => {
+            let _ = writeln!(s, "warmup: not enough windows to estimate");
+        }
+    }
+    let mut rates = String::new();
+    for class in MsgClass::ALL {
+        if recorder.total_msgs(class) == 0 {
+            continue;
+        }
+        if let Some(r) = recorder.steady_state_rate(class) {
+            let _ = write!(rates, " {}={:.2}", class.name(), r);
+        }
+    }
+    let _ = writeln!(
+        s,
+        "steady-state rates (msgs/s):{}",
+        if rates.is_empty() { " none" } else { &rates }
+    );
+    let churn: u64 = recorder.windows().iter().map(|w| w.link_churn()).sum();
+    let head_changes: u64 = recorder.head_change_series().iter().sum();
+    let _ = writeln!(
+        s,
+        "link churn: {churn} events; head changes: {head_changes}"
+    );
+    let heads: Vec<f64> = recorder
+        .cluster_count_series()
+        .into_iter()
+        .flatten()
+        .collect();
+    if !heads.is_empty() {
+        let mean = heads.iter().sum::<f64>() / heads.len() as f64;
+        let _ = writeln!(s, "mean cluster count: {mean:.1}");
+    }
+    match profile {
+        Some(p) if !p.is_empty() => {
+            let _ = writeln!(s, "tick-phase profile:");
+            let _ = write!(s, "{}", p.to_table().to_ascii());
+        }
+        _ => {
+            let _ = writeln!(s, "tick-phase profile: absent");
+        }
+    }
+    s
+}
+
+/// Extracts `--trace-out <path>` (or `--trace-out=<path>`) from the
+/// process arguments.
+pub fn trace_out_from_args() -> Option<PathBuf> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--trace-out" {
+            return args.next().map(PathBuf::from);
+        }
+        if let Some(rest) = a.strip_prefix("--trace-out=") {
+            return Some(PathBuf::from(rest));
+        }
+    }
+    None
+}
+
+/// Experiment-binary hook: when the process was invoked with
+/// `--trace-out <path>`, run a traced twin of `scenario` under `protocol`,
+/// write the JSONL trace to that path, and print the summary. Without the
+/// flag this is a no-op, so binaries stay byte-identical to their
+/// pre-telemetry behavior by default.
+pub fn maybe_trace(label: &str, scenario: &Scenario, protocol: &Protocol) {
+    let Some(path) = trace_out_from_args() else {
+        return;
+    };
+    println!("\n[trace] {label}: traced run -> {}", path.display());
+    match trace_run(scenario, protocol, &TelemetryConfig::to_file(label, path)) {
+        Ok(run) => print!(
+            "{}",
+            report_text(Some(&run.meta), &run.recorder, Some(&run.profile))
+        ),
+        Err(e) => println!("[trace] failed: {e}"),
+    }
+}
+
+/// [`maybe_trace`] over the shared default scenario and protocol — the
+/// one-liner most experiment binaries use.
+pub fn maybe_trace_default(label: &str) {
+    maybe_trace(label, &Scenario::default(), &Protocol::default());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> (Scenario, Protocol) {
+        (
+            Scenario {
+                nodes: 80,
+                side: 500.0,
+                radius: 100.0,
+                ..Scenario::default()
+            },
+            Protocol {
+                warmup: 10.0,
+                measure: 30.0,
+                seeds: vec![7],
+                dt: 0.5,
+            },
+        )
+    }
+
+    #[test]
+    fn trace_run_reconciles_with_counters_per_class() {
+        let (scenario, protocol) = quick();
+        let run = trace_run(&scenario, &protocol, &TelemetryConfig::in_memory("test"))
+            .expect("in-memory run cannot fail on IO");
+        assert!(run.counters.bytes_consistent());
+        for (class, kind) in [
+            (MsgClass::Hello, MessageKind::Hello),
+            (MsgClass::Cluster, MessageKind::Cluster),
+            (MsgClass::Route, MessageKind::Route),
+        ] {
+            assert_eq!(
+                run.recorder.total_msgs(class),
+                run.counters.messages(kind),
+                "window sums must reconcile with counters for {}",
+                class.name()
+            );
+            assert!(run.counters.messages(kind) > 0, "{} traffic", class.name());
+        }
+        // Profiled every tick, all five phases.
+        let ticks = ((protocol.warmup + protocol.measure) / protocol.dt).round() as u64;
+        for phase in Phase::ALL {
+            assert_eq!(run.profile.get(phase).map(|s| s.count), Some(ticks));
+        }
+        let text = report_text(Some(&run.meta), &run.recorder, Some(&run.profile));
+        assert!(text.contains("steady-state rates"));
+        assert!(text.contains("tick-phase profile"));
+    }
+
+    #[test]
+    fn trace_out_flag_is_absent_in_tests() {
+        assert_eq!(trace_out_from_args(), None);
+        // And therefore maybe_trace is a no-op.
+        let (scenario, protocol) = quick();
+        maybe_trace("noop", &scenario, &protocol);
+    }
+}

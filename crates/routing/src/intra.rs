@@ -9,6 +9,7 @@
 
 use manet_cluster::ClusterAssignment;
 use manet_sim::{Channel, NodeId, SimError, Topology};
+use manet_telemetry::{EventKind, Layer, MsgClass, Probe};
 use std::collections::BTreeMap;
 
 /// ROUTE-message accounting for one update pass.
@@ -185,13 +186,37 @@ impl IntraClusterRouting {
         topology: &Topology,
         clustering: &C,
     ) -> RouteUpdateOutcome {
+        self.update_traced(dt, topology, clustering, 0.0, &mut Probe::off())
+    }
+
+    /// [`update_timed`](Self::update_timed) with telemetry: every cluster
+    /// charged this pass emits one `RouteRoundStarted` event carrying the
+    /// head, the cluster size, and the number of broadcast rounds. With
+    /// [`Probe::off`] this is exactly `update_timed`.
+    pub fn update_traced<C: ClusterAssignment + ?Sized>(
+        &mut self,
+        dt: f64,
+        topology: &Topology,
+        clustering: &C,
+        now: f64,
+        probe: &mut Probe<'_>,
+    ) -> RouteUpdateOutcome {
         let current = Self::snapshot(topology, clustering);
         let mut outcome = RouteUpdateOutcome::default();
-        for (_, rounds, m) in self.compute_charges(dt, &current) {
+        for (head, rounds, m) in self.compute_charges(dt, &current) {
             outcome.clusters_updated += 1;
             outcome.update_rounds += rounds;
             outcome.route_messages += rounds * m;
             outcome.route_entries += rounds * m * m;
+            probe.emit(
+                now,
+                Layer::Routing,
+                EventKind::RouteRoundStarted {
+                    head,
+                    size: m,
+                    rounds,
+                },
+            );
         }
         self.prev = current;
         self.initialized = true;
@@ -225,6 +250,23 @@ impl IntraClusterRouting {
         clustering: &C,
         channel: &mut Channel,
     ) -> RouteUpdateOutcome {
+        self.update_lossy_traced(dt, topology, clustering, channel, 0.0, &mut Probe::off())
+    }
+
+    /// [`update_lossy_timed`](Self::update_lossy_timed) with telemetry:
+    /// regular charges and fallback re-sync rounds each emit a
+    /// `RouteRoundStarted` event (re-syncs with `rounds: 1`), and losses on
+    /// the channel emit one batched `MsgLost` event for the pass. With
+    /// [`Probe::off`] this is exactly `update_lossy_timed`.
+    pub fn update_lossy_traced<C: ClusterAssignment + ?Sized>(
+        &mut self,
+        dt: f64,
+        topology: &Topology,
+        clustering: &C,
+        channel: &mut Channel,
+        now: f64,
+        probe: &mut Probe<'_>,
+    ) -> RouteUpdateOutcome {
         let current = Self::snapshot(topology, clustering);
         let mut outcome = RouteUpdateOutcome::default();
         // Fallback re-sync rounds for clusters whose previous pass lost
@@ -239,6 +281,15 @@ impl IntraClusterRouting {
             outcome.resync_rounds += 1;
             outcome.resync_messages += m;
             outcome.route_entries += m * m;
+            probe.emit(
+                now,
+                Layer::Routing,
+                EventKind::RouteRoundStarted {
+                    head,
+                    size: m,
+                    rounds: 1,
+                },
+            );
             let mut clean = true;
             for _ in 0..m {
                 if !channel.deliver() {
@@ -255,6 +306,15 @@ impl IntraClusterRouting {
             outcome.update_rounds += rounds;
             outcome.route_messages += rounds * m;
             outcome.route_entries += rounds * m * m;
+            probe.emit(
+                now,
+                Layer::Routing,
+                EventKind::RouteRoundStarted {
+                    head,
+                    size: m,
+                    rounds,
+                },
+            );
             let mut clean = true;
             for _ in 0..rounds * m {
                 if !channel.deliver() {
@@ -265,6 +325,16 @@ impl IntraClusterRouting {
             if !clean {
                 self.resync_pending.insert(head);
             }
+        }
+        if outcome.lost_messages > 0 {
+            probe.emit(
+                now,
+                Layer::Routing,
+                EventKind::MsgLost {
+                    class: MsgClass::Route,
+                    count: outcome.lost_messages,
+                },
+            );
         }
         self.prev = current;
         self.initialized = true;
@@ -732,6 +802,116 @@ mod tests {
         let mut clean = FaultPlan::ideal().channel(manet_sim::STREAM_ROUTE);
         r.update_lossy(&t1, &c, &mut clean);
         assert_eq!(r.resync_backlog(), 0);
+    }
+
+    #[test]
+    fn traced_update_emits_one_round_event_per_charged_cluster() {
+        use manet_telemetry::{Event, Subscriber};
+
+        #[derive(Default)]
+        struct Collect(Vec<Event>);
+        impl Subscriber for Collect {
+            fn event(&mut self, event: &Event) {
+                self.0.push(*event);
+            }
+        }
+
+        // Cluster {0:head, 1, 2}; node 2 walks away and self-promotes.
+        let t0 = topo(&[(0.0, 0.0), (1.0, 0.0), (0.5, 0.8)], 1.2);
+        let mut c = Clustering::form(LowestId, &t0);
+        let mut r = IntraClusterRouting::new();
+        r.update(&t0, &c);
+        let t1 = topo(&[(0.0, 0.0), (1.0, 0.0), (500.0, 500.0)], 1.2);
+        c.maintain(&t1);
+        let mut sink = Collect::default();
+        let o = r.update_traced(0.0, &t1, &c, 3.5, &mut Probe::subscriber(&mut sink));
+        assert_eq!(o.clusters_updated, 2);
+        assert_eq!(sink.0.len(), 2, "one RouteRoundStarted per charged cluster");
+        let mut msgs = 0;
+        let mut rounds = 0;
+        for e in &sink.0 {
+            assert_eq!(e.layer, Layer::Routing);
+            assert_eq!(e.time, 3.5);
+            match e.kind {
+                EventKind::RouteRoundStarted {
+                    size, rounds: k, ..
+                } => {
+                    msgs += k * size;
+                    rounds += k;
+                }
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+        assert_eq!(rounds, o.update_rounds);
+        assert_eq!(msgs, o.route_messages, "events reconstruct the charge");
+    }
+
+    #[test]
+    fn traced_lossy_update_emits_resync_rounds_and_losses() {
+        use manet_sim::{FaultPlan, LossModel};
+        use manet_telemetry::{Event, Subscriber};
+
+        #[derive(Default)]
+        struct Collect(Vec<Event>);
+        impl Subscriber for Collect {
+            fn event(&mut self, event: &Event) {
+                self.0.push(*event);
+            }
+        }
+
+        let t0 = topo(&[(0.0, 10.0), (0.9, 10.3), (0.9, 9.7)], 1.0);
+        let c = Clustering::form(LowestId, &t0);
+        let mut r = IntraClusterRouting::new();
+        let mut black_hole = FaultPlan {
+            loss: LossModel::Bernoulli { p: 1.0 },
+            ..FaultPlan::ideal()
+        }
+        .channel(manet_sim::STREAM_ROUTE);
+        r.update_lossy(&t0, &c, &mut black_hole);
+        let t1 = topo(&[(0.0, 10.0), (0.6, 10.7), (0.6, 9.3)], 1.0);
+        let mut sink = Collect::default();
+        let o = r.update_lossy_traced(
+            0.0,
+            &t1,
+            &c,
+            &mut black_hole,
+            1.0,
+            &mut Probe::subscriber(&mut sink),
+        );
+        assert_eq!(o.lost_messages, 3);
+        // One charged round plus one batched loss event.
+        assert!(sink.0.iter().any(|e| matches!(
+            e.kind,
+            EventKind::RouteRoundStarted {
+                rounds: 1,
+                size: 3,
+                ..
+            }
+        )));
+        assert!(sink.0.iter().any(|e| e.kind
+            == EventKind::MsgLost {
+                class: MsgClass::Route,
+                count: 3,
+            }));
+        // Next pass: the pure re-sync round is also a RouteRoundStarted.
+        let mut sink2 = Collect::default();
+        let o = r.update_lossy_traced(
+            0.0,
+            &t1,
+            &c,
+            &mut black_hole,
+            2.0,
+            &mut Probe::subscriber(&mut sink2),
+        );
+        assert_eq!(o.resync_rounds, 1);
+        assert_eq!(
+            sink2
+                .0
+                .iter()
+                .filter(|e| matches!(e.kind, EventKind::RouteRoundStarted { .. }))
+                .count(),
+            1
+        );
     }
 
     #[test]

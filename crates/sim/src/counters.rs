@@ -62,6 +62,24 @@ impl MessageKind {
     }
 }
 
+impl From<MessageKind> for manet_telemetry::MsgClass {
+    /// The telemetry plane mirrors `MessageKind` one-to-one (it sits below
+    /// this crate in the dependency graph, so the conversion lives here).
+    fn from(kind: MessageKind) -> manet_telemetry::MsgClass {
+        use manet_telemetry::MsgClass;
+        match kind {
+            MessageKind::Hello => MsgClass::Hello,
+            MessageKind::Cluster => MsgClass::Cluster,
+            MessageKind::Route => MsgClass::Route,
+            MessageKind::RouteRequest => MsgClass::RouteRequest,
+            MessageKind::RouteReply => MsgClass::RouteReply,
+            MessageKind::TableDump => MsgClass::TableDump,
+            MessageKind::Retransmit => MsgClass::Retransmit,
+            MessageKind::Repair => MsgClass::Repair,
+        }
+    }
+}
+
 impl fmt::Display for MessageKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
@@ -121,6 +139,13 @@ impl MessageSizes {
 }
 
 /// Accumulates message and byte counts per [`MessageKind`].
+///
+/// Counters carry their own [`MessageSizes`] so byte accounting is
+/// consistent *by construction*: the preferred recording entry point,
+/// [`Counters::record_kind`], derives bytes from the embedded size table,
+/// and [`Counters::bytes_consistent`] checks the invariant
+/// `bytes(kind) == messages(kind) * size_of(kind)` for callers that still
+/// use the raw [`Counters::record`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Counters {
     messages: [u64; 8],
@@ -129,15 +154,33 @@ pub struct Counters {
     links_generated: u64,
     /// Link breaks observed in the current window.
     links_broken: u64,
+    /// The size table byte accounting is checked against.
+    sizes: MessageSizes,
 }
 
 impl Counters {
-    /// Creates zeroed counters.
+    /// Creates zeroed counters with the default size table.
     pub fn new() -> Self {
         Counters::default()
     }
 
+    /// Creates zeroed counters with a custom size table.
+    pub fn with_sizes(sizes: MessageSizes) -> Self {
+        Counters {
+            sizes,
+            ..Counters::default()
+        }
+    }
+
+    /// The embedded size table.
+    pub fn sizes(&self) -> MessageSizes {
+        self.sizes
+    }
+
     /// Records `count` messages of `kind` totaling `bytes` bytes.
+    ///
+    /// Prefer [`Counters::record_kind`], which derives `bytes` from the
+    /// embedded size table and cannot introduce byte-accounting drift.
     pub fn record(&mut self, kind: MessageKind, count: u64, bytes: u64) {
         let i = kind.index();
         self.messages[i] += count;
@@ -145,8 +188,28 @@ impl Counters {
     }
 
     /// Records `count` messages of `kind`, sized via `sizes`.
+    ///
+    /// Prefer [`Counters::record_kind`] unless a deliberately different
+    /// size table is required.
     pub fn record_sized(&mut self, kind: MessageKind, count: u64, sizes: &MessageSizes) {
         self.record(kind, count, count * sizes.size_of(kind) as u64);
+    }
+
+    /// Records `count` messages of `kind`, sized via the embedded size
+    /// table — the checked entry point that keeps
+    /// [`Counters::bytes_consistent`] true by construction.
+    pub fn record_kind(&mut self, kind: MessageKind, count: u64) {
+        let i = kind.index();
+        self.messages[i] += count;
+        self.bytes[i] += count * self.sizes.size_of(kind) as u64;
+    }
+
+    /// Whether every kind's byte total equals `messages * size_of(kind)`
+    /// under the embedded size table.
+    pub fn bytes_consistent(&self) -> bool {
+        MessageKind::ALL
+            .into_iter()
+            .all(|kind| self.bytes(kind) == self.messages(kind) * self.sizes.size_of(kind) as u64)
     }
 
     /// Records one link-generation event.
@@ -221,9 +284,10 @@ impl Counters {
         }
     }
 
-    /// Zeroes every counter (start of a measurement window).
+    /// Zeroes every counter (start of a measurement window), preserving
+    /// the embedded size table.
     pub fn reset(&mut self) {
-        *self = Counters::default();
+        *self = Counters::with_sizes(self.sizes);
     }
 }
 
@@ -249,6 +313,47 @@ mod tests {
         let mut c = Counters::new();
         c.record_sized(MessageKind::Cluster, 2, &sizes);
         assert_eq!(c.bytes(MessageKind::Cluster), 48);
+    }
+
+    #[test]
+    fn record_kind_uses_embedded_sizes_and_stays_consistent() {
+        let mut c = Counters::new();
+        c.record_kind(MessageKind::Hello, 3);
+        c.record_kind(MessageKind::Retransmit, 2);
+        assert_eq!(c.bytes(MessageKind::Hello), 48);
+        // RETX carries a CLUSTER-format payload (24 B).
+        assert_eq!(c.bytes(MessageKind::Retransmit), 48);
+        assert!(c.bytes_consistent());
+        // Raw `record` can drift; the checker catches it.
+        c.record(MessageKind::Route, 1, 999);
+        assert!(!c.bytes_consistent());
+    }
+
+    #[test]
+    fn with_sizes_survives_reset() {
+        let sizes = MessageSizes {
+            hello: 8,
+            cluster: 40,
+            route_entry: 20,
+        };
+        let mut c = Counters::with_sizes(sizes);
+        c.record_kind(MessageKind::Hello, 2);
+        assert_eq!(c.bytes(MessageKind::Hello), 16);
+        c.reset();
+        assert_eq!(c.sizes(), sizes);
+        assert_eq!(c.messages(MessageKind::Hello), 0);
+        c.record_kind(MessageKind::Cluster, 1);
+        assert_eq!(c.bytes(MessageKind::Cluster), 40);
+        assert!(c.bytes_consistent());
+    }
+
+    #[test]
+    fn message_kind_maps_onto_telemetry_class() {
+        use manet_telemetry::MsgClass;
+        for (kind, class) in MessageKind::ALL.into_iter().zip(MsgClass::ALL) {
+            assert_eq!(MsgClass::from(kind), class);
+            assert_eq!(kind.to_string(), class.name());
+        }
     }
 
     #[test]

@@ -12,6 +12,7 @@ use crate::error::SimError;
 use crate::fault::Channel;
 use crate::topology::Topology;
 use crate::NodeId;
+use manet_telemetry::{EventKind, Layer, MsgClass, Probe};
 use std::collections::BTreeMap;
 
 /// Soft-state neighbor tables driven by periodic HELLO beacons.
@@ -114,6 +115,13 @@ impl HelloProtocol {
     /// broadcasts, and every current ground-truth neighbor hears it.
     /// Returns the number of beacons sent this step.
     pub fn step(&mut self, now: f64, topology: &Topology) -> u64 {
+        self.step_traced(now, topology, &mut Probe::off())
+    }
+
+    /// [`HelloProtocol::step`] with telemetry: emits one batched `MsgSent`
+    /// event for the tick's beacons through `probe`. With [`Probe::off`]
+    /// this is exactly `step`.
+    pub fn step_traced(&mut self, now: f64, topology: &Topology, probe: &mut Probe<'_>) -> u64 {
         let mut sent = 0u64;
         for u in 0..self.next_beacon.len() {
             while self.next_beacon[u] <= now {
@@ -129,6 +137,16 @@ impl HelloProtocol {
             table.retain(|_, &mut t| now - t <= self.timeout);
         }
         self.hellos_sent += sent;
+        if sent > 0 {
+            probe.emit(
+                now,
+                Layer::Hello,
+                EventKind::MsgSent {
+                    class: MsgClass::Hello,
+                    count: sent,
+                },
+            );
+        }
         sent
     }
 
@@ -152,12 +170,34 @@ impl HelloProtocol {
         channel: &mut Channel,
         alive: &[bool],
     ) -> u64 {
+        self.step_lossy_traced(now, topology, channel, alive, &mut Probe::off())
+            .0
+    }
+
+    /// [`HelloProtocol::step_lossy`] with telemetry: emits batched
+    /// `MsgSent` / `MsgLost` events through `probe` and additionally
+    /// returns the number of dropped deliveries as `(sent, lost)`. With
+    /// [`Probe::off`] the protocol state and draws are exactly those of
+    /// `step_lossy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alive.len()` differs from the node count.
+    pub fn step_lossy_traced(
+        &mut self,
+        now: f64,
+        topology: &Topology,
+        channel: &mut Channel,
+        alive: &[bool],
+        probe: &mut Probe<'_>,
+    ) -> (u64, u64) {
         assert_eq!(
             self.next_beacon.len(),
             alive.len(),
             "alive mask size mismatch"
         );
         let mut sent = 0u64;
+        let mut lost = 0u64;
         for (u, &up) in alive.iter().enumerate() {
             if !up {
                 // Advance the timer silently so recovery does not replay the
@@ -175,6 +215,8 @@ impl HelloProtocol {
                 for &w in topology.neighbors(u as NodeId) {
                     if channel.deliver() {
                         self.last_heard[w as usize].insert(u as NodeId, now);
+                    } else {
+                        lost += 1;
                     }
                 }
             }
@@ -183,7 +225,27 @@ impl HelloProtocol {
             table.retain(|_, &mut t| now - t <= self.timeout);
         }
         self.hellos_sent += sent;
-        sent
+        if sent > 0 {
+            probe.emit(
+                now,
+                Layer::Hello,
+                EventKind::MsgSent {
+                    class: MsgClass::Hello,
+                    count: sent,
+                },
+            );
+        }
+        if lost > 0 {
+            probe.emit(
+                now,
+                Layer::Hello,
+                EventKind::MsgLost {
+                    class: MsgClass::Hello,
+                    count: lost,
+                },
+            );
+        }
+        (sent, lost)
     }
 
     /// Node `u`'s current view of its neighborhood.
@@ -333,6 +395,53 @@ mod tests {
         assert_eq!(h.hellos_sent(), sent);
         let acc = h.accuracy(&topo);
         assert_eq!(acc.missing, acc.true_relations, "no beacon got through");
+    }
+
+    #[test]
+    fn traced_lossy_step_counts_and_emits_losses() {
+        use crate::fault::{Channel, LossModel};
+        use manet_telemetry::{Event, Subscriber};
+
+        #[derive(Default)]
+        struct Collect(Vec<Event>);
+        impl Subscriber for Collect {
+            fn event(&mut self, e: &Event) {
+                self.0.push(*e);
+            }
+        }
+
+        let topo = static_topo();
+        let mut h = HelloProtocol::new(3, 1.0, 1.5);
+        let mut dead_air = Channel::new(LossModel::Bernoulli { p: 1.0 }, 4);
+        let mut sink = Collect::default();
+        let (sent, lost) = {
+            let mut probe = Probe::subscriber(&mut sink);
+            h.step_lossy_traced(1.0, &topo, &mut dead_air, &[true; 3], &mut probe)
+        };
+        assert!(sent >= 3);
+        // Path 0-1-2: each beacon reaches every ground-truth neighbor and
+        // every delivery drops, so losses equal the directed relations
+        // covered by this step's beacons.
+        assert!(lost >= sent, "each beacon had at least one neighbor");
+        let sent_events: u64 = sink
+            .0
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::MsgSent { count, .. } => Some(count),
+                _ => None,
+            })
+            .sum();
+        let lost_events: u64 = sink
+            .0
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::MsgLost { count, .. } => Some(count),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(sent_events, sent);
+        assert_eq!(lost_events, lost);
+        assert!(sink.0.iter().all(|e| e.layer == Layer::Hello));
     }
 
     #[test]

@@ -2,10 +2,11 @@
 
 use crate::counters::{Counters, MessageKind, MessageSizes};
 use crate::error::{positive, SimError};
-use crate::fault::{ChurnKind, FaultPlan};
+use crate::fault::{Channel, ChurnKind, FaultPlan, STREAM_HELLO};
 use crate::topology::{LinkEvent, LinkEventKind, Topology};
 use manet_geom::{Metric, SquareRegion, Vec2};
 use manet_mobility::Mobility;
+use manet_telemetry::{EventKind, Layer, Phase, Probe};
 use manet_util::stats::Summary;
 use manet_util::Rng;
 use std::fmt;
@@ -41,6 +42,13 @@ pub struct StepReport {
     pub crashed: usize,
     /// Nodes that recovered during the tick (churn schedule).
     pub recovered: usize,
+    /// HELLO deliveries dropped by the fault plane during the tick (zero on
+    /// an ideal channel; attempted sends are still counted as overhead).
+    pub hello_lost: usize,
+    /// Total control-message deliveries the world observed dropping this
+    /// tick. The world itself transmits only HELLOs, so this equals
+    /// `hello_lost` unless a higher layer folds its own losses in.
+    pub msgs_lost: usize,
 }
 
 /// A deterministic time-stepped MANET world.
@@ -66,6 +74,9 @@ pub struct World {
     degree_samples: Summary,
     rng: Rng,
     fault: FaultPlan,
+    /// The world's own HELLO-delivery channel (forked from the fault plan;
+    /// consumes no randomness when the loss model is ideal).
+    hello_channel: Channel,
     /// Per-node up/down state driven by the churn schedule.
     alive: Vec<bool>,
     /// Index of the next unapplied churn event.
@@ -144,6 +155,7 @@ impl World {
         let region = mobility.region();
         let mut topology = Topology::compute(mobility.positions(), region, radius, metric);
         let alive = vec![true; mobility.len()];
+        let hello_channel = fault.channel(STREAM_HELLO);
         let mut world = World {
             mobility,
             region,
@@ -157,15 +169,16 @@ impl World {
             hello_accum: 0.0,
             topology: Topology::empty(0),
             events: Vec::new(),
-            counters: Counters::new(),
+            counters: Counters::with_sizes(sizes),
             degree_samples: Summary::new(),
             rng: Rng::seed_from_u64(seed),
             fault,
+            hello_channel,
             alive,
             churn_cursor: 0,
         };
         // Apply any time-zero churn before exposing the initial topology.
-        world.apply_due_churn();
+        world.apply_due_churn(&mut Probe::off());
         if !world.fault.churn.is_empty() {
             topology.retain_alive(&world.alive);
         }
@@ -175,7 +188,7 @@ impl World {
 
     /// Applies every churn event scheduled at or before the current time,
     /// returning `(crashed, recovered)` counts.
-    fn apply_due_churn(&mut self) -> (usize, usize) {
+    fn apply_due_churn(&mut self, probe: &mut Probe<'_>) -> (usize, usize) {
         let (mut crashed, mut recovered) = (0, 0);
         while self.churn_cursor < self.fault.churn.events().len() {
             let e = self.fault.churn.events()[self.churn_cursor];
@@ -188,10 +201,20 @@ impl World {
                 ChurnKind::Crash if *up => {
                     *up = false;
                     crashed += 1;
+                    probe.emit(
+                        self.time,
+                        Layer::Sim,
+                        EventKind::NodeCrashed { node: e.node },
+                    );
                 }
                 ChurnKind::Recover if !*up => {
                     *up = true;
                     recovered += 1;
+                    probe.emit(
+                        self.time,
+                        Layer::Sim,
+                        EventKind::NodeRecovered { node: e.node },
+                    );
                 }
                 _ => {}
             }
@@ -309,9 +332,21 @@ impl World {
     /// topology (crashed nodes lose all links) → diff into link events →
     /// account link events and HELLO traffic.
     pub fn step(&mut self) -> StepReport {
+        self.step_traced(&mut Probe::off())
+    }
+
+    /// [`World::step`] with telemetry: emits link, churn, and HELLO
+    /// send/loss events through `probe` and charges the mobility /
+    /// topology / HELLO phases to its profiler. With [`Probe::off`] this
+    /// is exactly `step` — same draws, same counters, same report.
+    pub fn step_traced(&mut self, probe: &mut Probe<'_>) -> StepReport {
+        let t0 = probe.phase_start();
         self.mobility.step(self.dt, &mut self.rng);
+        probe.phase_end(Phase::Mobility, t0);
         self.time += self.dt;
-        let (crashed, recovered) = self.apply_due_churn();
+        let (crashed, recovered) = self.apply_due_churn(probe);
+
+        let t0 = probe.phase_start();
         let mut next = Topology::compute(
             self.mobility.positions(),
             self.region,
@@ -332,37 +367,73 @@ impl World {
                 LinkEventKind::Generated => {
                     generated += 1;
                     self.counters.record_link_generated();
+                    probe.emit(self.time, Layer::Sim, EventKind::LinkUp { a: e.a, b: e.b });
                 }
                 LinkEventKind::Broken => {
                     broken += 1;
                     self.counters.record_link_broken();
+                    probe.emit(
+                        self.time,
+                        Layer::Sim,
+                        EventKind::LinkDown { a: e.a, b: e.b },
+                    );
                 }
             }
         }
+        probe.phase_end(Phase::Topology, t0);
 
+        let t0 = probe.phase_start();
+        let mut hello_sent = 0u64;
         match self.hello_mode {
             HelloMode::EventDriven => {
                 // Each new link prompts one beacon from each endpoint.
-                let msgs = 2 * generated as u64;
-                if msgs > 0 {
-                    self.counters
-                        .record_sized(MessageKind::Hello, msgs, &self.sizes);
-                }
+                hello_sent = 2 * generated as u64;
             }
             HelloMode::Periodic { interval } => {
                 self.hello_accum += self.dt;
                 while self.hello_accum >= interval {
                     self.hello_accum -= interval;
                     // Crashed nodes do not beacon.
-                    self.counters.record_sized(
-                        MessageKind::Hello,
-                        self.alive_count() as u64,
-                        &self.sizes,
-                    );
+                    hello_sent += self.alive_count() as u64;
                 }
             }
             HelloMode::Disabled => {}
         }
+        let mut hello_lost = 0usize;
+        if hello_sent > 0 {
+            self.counters.record_kind(MessageKind::Hello, hello_sent);
+            probe.emit(
+                self.time,
+                Layer::Sim,
+                EventKind::MsgSent {
+                    class: MessageKind::Hello.into(),
+                    count: hello_sent,
+                },
+            );
+            // Overhead is paid at the sender, so attempted sends are counted
+            // above regardless; a lossy channel additionally drops receptions.
+            // The ideal channel consumes no randomness, and the draws come
+            // from the world's own forked channel, so loss observation never
+            // perturbs mobility or higher layers.
+            if !self.hello_channel.is_ideal() {
+                for _ in 0..hello_sent {
+                    if !self.hello_channel.deliver() {
+                        hello_lost += 1;
+                    }
+                }
+                if hello_lost > 0 {
+                    probe.emit(
+                        self.time,
+                        Layer::Sim,
+                        EventKind::MsgLost {
+                            class: MessageKind::Hello.into(),
+                            count: hello_lost as u64,
+                        },
+                    );
+                }
+            }
+        }
+        probe.phase_end(Phase::Hello, t0);
 
         self.degree_samples.push(self.topology.mean_degree());
         StepReport {
@@ -371,6 +442,8 @@ impl World {
             broken,
             crashed,
             recovered,
+            hello_lost,
+            msgs_lost: hello_lost,
         }
     }
 
@@ -526,6 +599,112 @@ mod tests {
             rel < 0.1,
             "measured {rate:.4} vs theory {theory:.4} (rel err {rel:.3})"
         );
+    }
+
+    #[test]
+    fn lossy_channel_reports_hello_losses_but_counts_attempts() {
+        let region = SquareRegion::new(200.0);
+        let mut rng = Rng::seed_from_u64(21);
+        let mobility = EpochRandomDirection::new(region, 60, 8.0, 15.0, &mut rng);
+        let mut w = World::try_new(
+            Box::new(mobility),
+            40.0,
+            0.25,
+            Metric::toroidal(200.0),
+            HelloMode::EventDriven,
+            MessageSizes::default(),
+            77,
+            crate::FaultPlan::bernoulli(1.0, 5).unwrap(),
+        )
+        .unwrap();
+        let mut lost = 0usize;
+        let mut total_msgs_lost = 0usize;
+        for _ in 0..80 {
+            let r = w.step();
+            lost += r.hello_lost;
+            total_msgs_lost += r.msgs_lost;
+        }
+        let sent = w.counters().messages(MessageKind::Hello);
+        assert!(sent > 0);
+        // p = 1: every delivery drops, yet every attempt is still charged.
+        assert_eq!(lost as u64, sent);
+        assert_eq!(total_msgs_lost, lost);
+        assert!(w.counters().bytes_consistent());
+    }
+
+    #[test]
+    fn ideal_channel_reports_zero_losses() {
+        let mut w = small_world(31);
+        for _ in 0..40 {
+            let r = w.step();
+            assert_eq!(r.hello_lost, 0);
+            assert_eq!(r.msgs_lost, 0);
+        }
+    }
+
+    #[test]
+    fn traced_step_with_noop_probe_matches_untraced() {
+        use manet_telemetry::NoopSubscriber;
+        let mut plain = small_world(55);
+        let mut traced = small_world(55);
+        let mut noop = NoopSubscriber;
+        for _ in 0..60 {
+            let a = plain.step();
+            let mut probe = Probe::subscriber(&mut noop);
+            let b = traced.step_traced(&mut probe);
+            assert_eq!(a, b);
+        }
+        assert_eq!(plain.counters(), traced.counters());
+        assert_eq!(plain.positions(), traced.positions());
+    }
+
+    #[test]
+    fn traced_step_emits_link_and_hello_events() {
+        use manet_telemetry::{Event, Subscriber};
+
+        #[derive(Default)]
+        struct Collect(Vec<Event>);
+        impl Subscriber for Collect {
+            fn event(&mut self, e: &Event) {
+                self.0.push(*e);
+            }
+        }
+
+        let mut w = small_world(9);
+        let mut sink = Collect::default();
+        let mut generated = 0usize;
+        let mut broken = 0usize;
+        for _ in 0..40 {
+            let mut probe = Probe::subscriber(&mut sink);
+            let r = w.step_traced(&mut probe);
+            generated += r.generated;
+            broken += r.broken;
+        }
+        let ups = sink
+            .0
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::LinkUp { .. }))
+            .count();
+        let downs = sink
+            .0
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::LinkDown { .. }))
+            .count();
+        assert_eq!(ups, generated);
+        assert_eq!(downs, broken);
+        let hellos: u64 = sink
+            .0
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::MsgSent {
+                    class: manet_telemetry::MsgClass::Hello,
+                    count,
+                } => Some(count),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(hellos, w.counters().messages(MessageKind::Hello));
+        assert!(sink.0.iter().all(|e| e.layer == Layer::Sim));
     }
 
     #[test]

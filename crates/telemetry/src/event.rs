@@ -1,0 +1,445 @@
+//! Structured events, the [`Subscriber`] sink trait, and the [`Probe`]
+//! handle layers use to emit them.
+//!
+//! The design mirrors the fault plane's `FaultHooks` pattern: every
+//! instrumented code path takes a `&mut Probe`, whose disabled form
+//! ([`Probe::off`]) contains two `None`s. The `#[inline]` emit/phase hooks
+//! then collapse to a branch on a `None` that the optimizer removes, so an
+//! untraced run is bit-identical to a build where telemetry was never
+//! attached (guarded by the counters-parity integration test).
+
+use crate::profiler::{Phase, PhaseProfiler};
+use std::time::Instant;
+
+/// Identifier of a node (mirrors `manet_sim::NodeId`; the telemetry crate
+/// sits below the simulator in the dependency graph and cannot import it).
+pub type NodeId = u32;
+
+/// The protocol layer an event originates from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Layer {
+    /// The simulation world: links, churn, world-driven HELLO accounting.
+    Sim,
+    /// The HELLO protocol proper (`manet-sim::hello`).
+    Hello,
+    /// Cluster maintenance and repair (`manet-cluster`).
+    Cluster,
+    /// Intra-cluster routing (`manet-routing`).
+    Routing,
+}
+
+impl Layer {
+    /// All layers, in display order.
+    pub const ALL: [Layer; 4] = [Layer::Sim, Layer::Hello, Layer::Cluster, Layer::Routing];
+
+    /// Stable lowercase name (used in JSONL traces).
+    pub fn name(self) -> &'static str {
+        match self {
+            Layer::Sim => "sim",
+            Layer::Hello => "hello",
+            Layer::Cluster => "cluster",
+            Layer::Routing => "routing",
+        }
+    }
+
+    /// Inverse of [`Layer::name`].
+    pub fn from_name(name: &str) -> Option<Layer> {
+        Layer::ALL.into_iter().find(|l| l.name() == name)
+    }
+}
+
+/// Control-message category, mirroring `manet_sim::MessageKind` one-to-one
+/// (the simulator provides the `From<MessageKind>` conversion).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MsgClass {
+    /// Neighbor-discovery beacon.
+    Hello,
+    /// Cluster-maintenance message.
+    Cluster,
+    /// Proactive intra-cluster routing update.
+    Route,
+    /// Reactive inter-cluster route request.
+    RouteRequest,
+    /// Reactive inter-cluster route reply.
+    RouteReply,
+    /// Full-table dump of the flat proactive baseline.
+    TableDump,
+    /// Backoff-scheduled resend of a lost CLUSTER message.
+    Retransmit,
+    /// Fault-repair traffic.
+    Repair,
+}
+
+impl MsgClass {
+    /// All classes, in `MessageKind` index order.
+    pub const ALL: [MsgClass; 8] = [
+        MsgClass::Hello,
+        MsgClass::Cluster,
+        MsgClass::Route,
+        MsgClass::RouteRequest,
+        MsgClass::RouteReply,
+        MsgClass::TableDump,
+        MsgClass::Retransmit,
+        MsgClass::Repair,
+    ];
+
+    /// Dense index (identical to `MessageKind::index` on the sim side).
+    pub fn index(self) -> usize {
+        match self {
+            MsgClass::Hello => 0,
+            MsgClass::Cluster => 1,
+            MsgClass::Route => 2,
+            MsgClass::RouteRequest => 3,
+            MsgClass::RouteReply => 4,
+            MsgClass::TableDump => 5,
+            MsgClass::Retransmit => 6,
+            MsgClass::Repair => 7,
+        }
+    }
+
+    /// Stable uppercase name matching `MessageKind`'s `Display`.
+    pub fn name(self) -> &'static str {
+        match self {
+            MsgClass::Hello => "HELLO",
+            MsgClass::Cluster => "CLUSTER",
+            MsgClass::Route => "ROUTE",
+            MsgClass::RouteRequest => "RREQ",
+            MsgClass::RouteReply => "RREP",
+            MsgClass::TableDump => "TABLE",
+            MsgClass::Retransmit => "RETX",
+            MsgClass::Repair => "REPAIR",
+        }
+    }
+
+    /// Inverse of [`MsgClass::name`].
+    pub fn from_name(name: &str) -> Option<MsgClass> {
+        MsgClass::ALL.into_iter().find(|c| c.name() == name)
+    }
+}
+
+/// What happened. Counts are batched per tick where the source naturally
+/// produces batches (`MsgSent`/`MsgLost`) and unitary where identity
+/// matters (role changes, churn, links).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventKind {
+    /// A link formed between `a < b`.
+    LinkUp {
+        /// Lower endpoint.
+        a: NodeId,
+        /// Higher endpoint.
+        b: NodeId,
+    },
+    /// A link broke between `a < b`.
+    LinkDown {
+        /// Lower endpoint.
+        a: NodeId,
+        /// Higher endpoint.
+        b: NodeId,
+    },
+    /// A node crashed (churn schedule).
+    NodeCrashed {
+        /// The node that went down.
+        node: NodeId,
+    },
+    /// A node recovered (churn schedule).
+    NodeRecovered {
+        /// The node that came back up.
+        node: NodeId,
+    },
+    /// `count` control messages of `class` were transmitted (attempted —
+    /// overhead is paid at the sender whether or not the channel delivers).
+    MsgSent {
+        /// Message category.
+        class: MsgClass,
+        /// Number of messages.
+        count: u64,
+    },
+    /// `count` deliveries of `class` were dropped by the fault plane.
+    MsgLost {
+        /// Message category.
+        class: MsgClass,
+        /// Number of lost deliveries.
+        count: u64,
+    },
+    /// A node became a cluster-head (self-promotion during maintenance;
+    /// initial formation is not traced, matching the paper's accounting).
+    HeadElected {
+        /// The promoted node.
+        node: NodeId,
+    },
+    /// A head resigned after a head–head contact and re-homed.
+    HeadResigned {
+        /// The resigning head.
+        node: NodeId,
+        /// The head it affiliated with.
+        new_head: NodeId,
+    },
+    /// A member switched clusters.
+    MemberReaffiliated {
+        /// The re-homed member.
+        member: NodeId,
+        /// Its new head.
+        head: NodeId,
+    },
+    /// A cluster started `rounds` ROUTE broadcast round(s).
+    RouteRoundStarted {
+        /// The cluster's head.
+        head: NodeId,
+        /// Cluster size (messages per round).
+        size: u64,
+        /// Rounds charged this pass.
+        rounds: u64,
+    },
+    /// A lost CLUSTER send entered backoff: the node will retry after
+    /// `wait_ticks` maintenance ticks.
+    RetxScheduled {
+        /// The backing-off sender.
+        node: NodeId,
+        /// Ticks until the retry gate opens.
+        wait_ticks: u64,
+    },
+    /// Periodic gauge: current number of cluster-heads.
+    ClusterGauge {
+        /// Head count at sample time.
+        heads: u64,
+    },
+}
+
+impl EventKind {
+    /// Stable snake_case name (used in JSONL traces).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::LinkUp { .. } => "link_up",
+            EventKind::LinkDown { .. } => "link_down",
+            EventKind::NodeCrashed { .. } => "node_crashed",
+            EventKind::NodeRecovered { .. } => "node_recovered",
+            EventKind::MsgSent { .. } => "msg_sent",
+            EventKind::MsgLost { .. } => "msg_lost",
+            EventKind::HeadElected { .. } => "head_elected",
+            EventKind::HeadResigned { .. } => "head_resigned",
+            EventKind::MemberReaffiliated { .. } => "member_reaffiliated",
+            EventKind::RouteRoundStarted { .. } => "route_round_started",
+            EventKind::RetxScheduled { .. } => "retx_scheduled",
+            EventKind::ClusterGauge { .. } => "cluster_gauge",
+        }
+    }
+}
+
+/// One structured telemetry event: when, from which layer, and what.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// Simulation time, seconds.
+    pub time: f64,
+    /// Originating layer.
+    pub layer: Layer,
+    /// Payload.
+    pub kind: EventKind,
+}
+
+/// A sink for telemetry events.
+///
+/// Implementations must tolerate events arriving out of strict time order
+/// within one tick (layers are driven sequentially at the same sim time).
+pub trait Subscriber {
+    /// Receives one event.
+    fn event(&mut self, event: &Event);
+}
+
+/// The static no-op sink: receives and discards.
+///
+/// Attaching a `NoopSubscriber` must leave every simulation observable
+/// (counters, roles, positions, RNG state) bit-identical to a run with no
+/// subscriber at all — the telemetry plane's zero-cost contract.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopSubscriber;
+
+impl Subscriber for NoopSubscriber {
+    #[inline]
+    fn event(&mut self, _event: &Event) {}
+}
+
+/// The handle instrumented code paths thread through the stack: an optional
+/// event sink plus an optional tick-phase profiler.
+///
+/// [`Probe::off`] is the zero-cost disabled form; every hook is `#[inline]`
+/// and reduces to a `None` check.
+#[derive(Debug, Default)]
+pub struct Probe<'a> {
+    sub: Option<&'a mut dyn Subscriber>,
+    prof: Option<&'a mut PhaseProfiler>,
+}
+
+impl std::fmt::Debug for dyn Subscriber + '_ {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Subscriber")
+    }
+}
+
+impl<'a> Probe<'a> {
+    /// The disabled probe: no subscriber, no profiler.
+    #[inline]
+    pub fn off() -> Probe<'static> {
+        Probe {
+            sub: None,
+            prof: None,
+        }
+    }
+
+    /// A probe from optional parts.
+    pub fn new(
+        sub: Option<&'a mut dyn Subscriber>,
+        prof: Option<&'a mut PhaseProfiler>,
+    ) -> Probe<'a> {
+        Probe { sub, prof }
+    }
+
+    /// A tracing-only probe (no profiling).
+    pub fn subscriber(sub: &'a mut dyn Subscriber) -> Probe<'a> {
+        Probe {
+            sub: Some(sub),
+            prof: None,
+        }
+    }
+
+    /// Whether a subscriber is attached.
+    #[inline]
+    pub fn is_tracing(&self) -> bool {
+        self.sub.is_some()
+    }
+
+    /// Whether a profiler is attached.
+    #[inline]
+    pub fn is_profiling(&self) -> bool {
+        self.prof.is_some()
+    }
+
+    /// Emits one event (no-op without a subscriber).
+    #[inline]
+    pub fn emit(&mut self, time: f64, layer: Layer, kind: EventKind) {
+        if let Some(sub) = self.sub.as_deref_mut() {
+            sub.event(&Event { time, layer, kind });
+        }
+    }
+
+    /// Runs `f`, charging its wall-clock time to `phase` when a profiler is
+    /// attached. Use [`Probe::phase_start`]/[`Probe::phase_end`] instead
+    /// when the timed region itself needs the probe.
+    #[inline]
+    pub fn phase<T>(&mut self, phase: Phase, f: impl FnOnce() -> T) -> T {
+        match self.prof.as_deref_mut() {
+            Some(prof) => {
+                let t0 = Instant::now();
+                let out = f();
+                prof.record(phase, t0.elapsed().as_secs_f64());
+                out
+            }
+            None => f(),
+        }
+    }
+
+    /// Starts timing a phase whose body needs `&mut self` (returns `None`
+    /// when no profiler is attached, so the disabled path never reads the
+    /// clock).
+    #[inline]
+    pub fn phase_start(&self) -> Option<Instant> {
+        if self.prof.is_some() {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Ends a timing started by [`Probe::phase_start`].
+    #[inline]
+    pub fn phase_end(&mut self, phase: Phase, start: Option<Instant>) {
+        if let (Some(prof), Some(t0)) = (self.prof.as_deref_mut(), start) {
+            prof.record(phase, t0.elapsed().as_secs_f64());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Collects events for assertions.
+    #[derive(Default)]
+    struct Collect(Vec<Event>);
+
+    impl Subscriber for Collect {
+        fn event(&mut self, e: &Event) {
+            self.0.push(*e);
+        }
+    }
+
+    #[test]
+    fn off_probe_is_inert() {
+        let mut p = Probe::off();
+        assert!(!p.is_tracing());
+        assert!(!p.is_profiling());
+        p.emit(1.0, Layer::Sim, EventKind::ClusterGauge { heads: 3 });
+        assert_eq!(p.phase_start(), None);
+        let x = p.phase(Phase::Mobility, || 41 + 1);
+        assert_eq!(x, 42);
+    }
+
+    #[test]
+    fn emit_reaches_the_subscriber() {
+        let mut sink = Collect::default();
+        {
+            let mut p = Probe::subscriber(&mut sink);
+            assert!(p.is_tracing());
+            p.emit(0.5, Layer::Cluster, EventKind::HeadElected { node: 7 });
+            p.emit(
+                0.5,
+                Layer::Routing,
+                EventKind::RouteRoundStarted {
+                    head: 2,
+                    size: 5,
+                    rounds: 1,
+                },
+            );
+        }
+        assert_eq!(sink.0.len(), 2);
+        assert_eq!(sink.0[0].layer, Layer::Cluster);
+        assert_eq!(sink.0[0].kind, EventKind::HeadElected { node: 7 });
+        assert_eq!(sink.0[1].time, 0.5);
+    }
+
+    #[test]
+    fn phase_records_into_the_profiler() {
+        let mut prof = PhaseProfiler::new();
+        {
+            let mut p = Probe::new(None, Some(&mut prof));
+            assert!(p.is_profiling());
+            let out = p.phase(Phase::Topology, || "done");
+            assert_eq!(out, "done");
+            let t0 = p.phase_start();
+            assert!(t0.is_some());
+            p.phase_end(Phase::Cluster, t0);
+        }
+        assert_eq!(prof.count(Phase::Topology), 1);
+        assert_eq!(prof.count(Phase::Cluster), 1);
+        assert_eq!(prof.count(Phase::Mobility), 0);
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for layer in Layer::ALL {
+            assert_eq!(Layer::from_name(layer.name()), Some(layer));
+        }
+        for class in MsgClass::ALL {
+            assert_eq!(MsgClass::from_name(class.name()), Some(class));
+        }
+        assert_eq!(Layer::from_name("nope"), None);
+        assert_eq!(MsgClass::from_name("nope"), None);
+        assert_eq!(EventKind::LinkUp { a: 0, b: 1 }.name(), "link_up");
+    }
+
+    #[test]
+    fn class_indices_are_dense_and_ordered() {
+        for (i, class) in MsgClass::ALL.into_iter().enumerate() {
+            assert_eq!(class.index(), i);
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Telemetry plane for the clustered-MANET stack.
+//!
+//! The paper's claims are about *rates over time* — per-node HELLO /
+//! CLUSTER / ROUTE frequencies as functions of `N`, `v`, `r`, `P` — but
+//! end-of-run `Counters` totals hide transients: warmup convergence,
+//! post-churn repair storms, election cascades. This crate adds the
+//! missing observability without perturbing the simulation:
+//!
+//! * [`event`] — structured [`Event`]s (`LinkUp`/`LinkDown`,
+//!   `HeadElected`/`HeadResigned`, `MemberReaffiliated`,
+//!   `RouteRoundStarted`, `RetxScheduled`, `NodeCrashed`/`NodeRecovered`,
+//!   batched `MsgSent`/`MsgLost`) carrying sim-time, node ids, and the
+//!   originating [`Layer`]; the [`Subscriber`] sink trait; and the
+//!   [`Probe`] handle instrumented code paths thread through the stack.
+//!   [`Probe::off`] is the zero-cost disabled form — all hooks are
+//!   `#[inline]` branches on `None`, so an untraced run is bit-identical
+//!   to a build with telemetry never attached (mirroring the fault
+//!   plane's `FaultHooks` pattern).
+//! * [`window`] — a [`WindowedRecorder`]: fixed-width tumbling windows
+//!   over sim time yielding per-class rate series, cluster-count and
+//!   head-change series, link-churn series, and warmup detection (first
+//!   window within tolerance of the steady-state rate).
+//! * [`profiler`] — a tick-phase wall-clock [`PhaseProfiler`] (mobility /
+//!   topology / HELLO / cluster / routing) with per-phase min / mean /
+//!   p99 / max summaries.
+//! * [`sink`] — JSONL persistence ([`JsonlSink`], [`read_trace`]) and the
+//!   [`TraceOut`] fan-out used by traced harness runs.
+//!
+//! The crate depends only on `manet-util` (for the in-house JSON layer),
+//! keeping the workspace hermetic, and sits *below* the simulator in the
+//! dependency graph: it defines its own [`MsgClass`] mirror of the sim's
+//! `MessageKind`, and the sim provides the `From` conversion.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod profiler;
+pub mod sink;
+pub mod window;
+
+pub use event::{Event, EventKind, Layer, MsgClass, NodeId, NoopSubscriber, Probe, Subscriber};
+pub use profiler::{Phase, PhaseProfiler, PhaseSummary, ProfileReport};
+pub use sink::{read_trace, JsonlSink, Trace, TraceMeta, TraceOut};
+pub use window::{WindowStats, WindowedRecorder};

@@ -1,0 +1,241 @@
+//! Tick-phase wall-clock profiler.
+//!
+//! Each simulation tick decomposes into phases (mobility integration,
+//! topology rebuild, HELLO exchange, cluster maintenance, route update);
+//! the profiler accumulates one wall-clock sample per phase per tick and
+//! summarizes min / mean / p99 / max at run end. Samples are wall-clock
+//! seconds — profiling is about *where the host CPU goes*, orthogonal to
+//! simulated time.
+
+use manet_util::table::{fmt_sig, Table};
+
+/// A timed tick phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Mobility-model position integration.
+    Mobility,
+    /// Geometric topology rebuild + link diffing.
+    Topology,
+    /// HELLO beacon exchange and neighbor-table upkeep.
+    Hello,
+    /// Cluster maintenance (including repair under faults).
+    Cluster,
+    /// Intra-cluster route update.
+    Routing,
+}
+
+impl Phase {
+    /// All phases, in tick execution order.
+    pub const ALL: [Phase; 5] = [
+        Phase::Mobility,
+        Phase::Topology,
+        Phase::Hello,
+        Phase::Cluster,
+        Phase::Routing,
+    ];
+
+    /// Dense index into per-phase storage.
+    fn index(self) -> usize {
+        match self {
+            Phase::Mobility => 0,
+            Phase::Topology => 1,
+            Phase::Hello => 2,
+            Phase::Cluster => 3,
+            Phase::Routing => 4,
+        }
+    }
+
+    /// Stable lowercase name (used in JSONL traces and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Mobility => "mobility",
+            Phase::Topology => "topology",
+            Phase::Hello => "hello",
+            Phase::Cluster => "cluster",
+            Phase::Routing => "routing",
+        }
+    }
+
+    /// Inverse of [`Phase::name`].
+    pub fn from_name(name: &str) -> Option<Phase> {
+        Phase::ALL.into_iter().find(|p| p.name() == name)
+    }
+}
+
+/// Accumulates per-phase wall-clock samples (seconds).
+///
+/// Samples are kept in full so the report can compute exact order
+/// statistics; at one sample per phase per tick this is a few hundred
+/// kilobytes for even very long runs.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseProfiler {
+    samples: [Vec<f64>; 5],
+}
+
+impl PhaseProfiler {
+    /// An empty profiler.
+    pub fn new() -> PhaseProfiler {
+        PhaseProfiler::default()
+    }
+
+    /// Records one wall-clock sample (seconds) for `phase`.
+    pub fn record(&mut self, phase: Phase, secs: f64) {
+        self.samples[phase.index()].push(secs);
+    }
+
+    /// Number of samples recorded for `phase`.
+    pub fn count(&self, phase: Phase) -> usize {
+        self.samples[phase.index()].len()
+    }
+
+    /// Summarizes all phases that received at least one sample.
+    pub fn report(&self) -> ProfileReport {
+        let mut phases = Vec::new();
+        for phase in Phase::ALL {
+            let samples = &self.samples[phase.index()];
+            if let Some(summary) = PhaseSummary::from_samples(samples) {
+                phases.push((phase, summary));
+            }
+        }
+        ProfileReport { phases }
+    }
+}
+
+/// Order statistics for one phase's wall-clock samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of all samples, seconds.
+    pub total: f64,
+    /// Fastest sample, seconds.
+    pub min: f64,
+    /// Arithmetic mean, seconds.
+    pub mean: f64,
+    /// 99th percentile (nearest-rank), seconds.
+    pub p99: f64,
+    /// Slowest sample, seconds.
+    pub max: f64,
+}
+
+impl PhaseSummary {
+    /// Summarizes a sample set; `None` when empty.
+    pub fn from_samples(samples: &[f64]) -> Option<PhaseSummary> {
+        if samples.is_empty() {
+            return None;
+        }
+        let n = samples.len();
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-finite phase sample"));
+        let total: f64 = sorted.iter().sum();
+        // Nearest-rank percentile: the ceil(q·n)-th smallest sample.
+        let rank = ((0.99 * n as f64).ceil() as usize).clamp(1, n);
+        Some(PhaseSummary {
+            count: n as u64,
+            total,
+            min: sorted[0],
+            mean: total / n as f64,
+            p99: sorted[rank - 1],
+            max: sorted[n - 1],
+        })
+    }
+}
+
+/// End-of-run profile: one summary per phase that ran.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ProfileReport {
+    /// `(phase, summary)` pairs in tick execution order.
+    pub phases: Vec<(Phase, PhaseSummary)>,
+}
+
+impl ProfileReport {
+    /// Whether no phase recorded any sample.
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty()
+    }
+
+    /// The summary for `phase`, if it ran.
+    pub fn get(&self, phase: Phase) -> Option<&PhaseSummary> {
+        self.phases
+            .iter()
+            .find(|(p, _)| *p == phase)
+            .map(|(_, s)| s)
+    }
+
+    /// Total wall-clock seconds across all phases.
+    pub fn total_secs(&self) -> f64 {
+        self.phases.iter().map(|(_, s)| s.total).sum()
+    }
+
+    /// Renders the per-phase timing table (microseconds).
+    pub fn to_table(&self) -> Table {
+        let mut table = Table::new([
+            "phase", "ticks", "total_ms", "min_us", "mean_us", "p99_us", "max_us",
+        ]);
+        for (phase, s) in &self.phases {
+            table.row([
+                phase.name().to_string(),
+                s.count.to_string(),
+                fmt_sig(s.total * 1e3, 4),
+                fmt_sig(s.min * 1e6, 4),
+                fmt_sig(s.mean * 1e6, 4),
+                fmt_sig(s.p99 * 1e6, 4),
+                fmt_sig(s.max * 1e6, 4),
+            ]);
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_samples() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = PhaseSummary::from_samples(&samples).unwrap();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert!((s.mean - 50.5).abs() < 1e-12);
+        // Nearest rank: ceil(0.99 * 100) = 99th smallest = 99.0.
+        assert_eq!(s.p99, 99.0);
+        assert!((s.total - 5050.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_edge_cases() {
+        assert_eq!(PhaseSummary::from_samples(&[]), None);
+        let single = PhaseSummary::from_samples(&[0.25]).unwrap();
+        assert_eq!(single.count, 1);
+        assert_eq!(single.min, 0.25);
+        assert_eq!(single.p99, 0.25);
+        assert_eq!(single.max, 0.25);
+    }
+
+    #[test]
+    fn report_orders_by_execution_and_skips_empty() {
+        let mut prof = PhaseProfiler::new();
+        prof.record(Phase::Routing, 2e-6);
+        prof.record(Phase::Mobility, 1e-6);
+        prof.record(Phase::Mobility, 3e-6);
+        let report = prof.report();
+        assert_eq!(report.phases.len(), 2);
+        assert_eq!(report.phases[0].0, Phase::Mobility);
+        assert_eq!(report.phases[1].0, Phase::Routing);
+        assert_eq!(report.get(Phase::Mobility).unwrap().count, 2);
+        assert_eq!(report.get(Phase::Hello), None);
+        assert!((report.total_secs() - 6e-6).abs() < 1e-15);
+        let table = report.to_table();
+        assert_eq!(table.len(), 2);
+    }
+
+    #[test]
+    fn phase_names_round_trip() {
+        for phase in Phase::ALL {
+            assert_eq!(Phase::from_name(phase.name()), Some(phase));
+        }
+        assert_eq!(Phase::from_name("warp"), None);
+    }
+}

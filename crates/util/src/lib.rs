@@ -15,6 +15,8 @@
 //!   used to solve the Lowest-ID head-ratio equation.
 //! * [`table`] — aligned ASCII table and CSV emission used by the experiment
 //!   harnesses to print paper-style rows.
+//! * [`json`] — a minimal JSON encoder/parser backing the telemetry plane's
+//!   JSONL traces and the `trace_report` summarizer.
 //!
 //! # Example
 //!
@@ -34,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod hist;
+pub mod json;
 pub mod rng;
 pub mod solve;
 pub mod stats;

@@ -19,4 +19,7 @@ cargo build --workspace --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> telemetry smoke (trace_report --smoke)"
+cargo run -q --release -p manet-experiments --bin trace_report -- --smoke
+
 echo "verify: all checks passed"

@@ -15,6 +15,9 @@
 //!   inter-cluster discovery, and a flat DSDV baseline.
 //! * [`mobility`] — CV / BCV, the paper's epoch random-direction model,
 //!   classic random waypoint, and random walk.
+//! * [`telemetry`] — the observability plane: structured event tracing,
+//!   tumbling-window time series, JSONL persistence, and a tick-phase
+//!   wall-clock profiler (zero-cost when disabled).
 //! * [`geom`], [`util`] — the spatial and numeric substrate.
 //! * [`experiments`] — the harnesses that regenerate every figure and
 //!   table of the paper (see DESIGN.md §5 and EXPERIMENTS.md).
@@ -76,6 +79,12 @@ pub mod routing {
 /// Mobility models (re-export of `manet-mobility`).
 pub mod mobility {
     pub use manet_mobility::*;
+}
+
+/// Telemetry plane: events, windows, traces, profiler (re-export of
+/// `manet-telemetry`).
+pub mod telemetry {
+    pub use manet_telemetry::*;
 }
 
 /// Geometry primitives (re-export of `manet-geom`).
