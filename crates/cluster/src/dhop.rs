@@ -25,7 +25,14 @@
 use crate::engine::MaintenanceOutcome;
 use crate::policy::ClusterPolicy;
 use manet_sim::{NodeId, Topology};
+use manet_telemetry::{Cause, EventKind, Layer, Probe, RootCause};
 use std::collections::VecDeque;
+
+/// Transient "no head" marker used *within* a maintenance pass: a member
+/// orphaned by its head's resignation has its pointer cleared immediately
+/// (rather than left dangling at the resigned head) and is re-homed
+/// before the pass returns. Never escapes [`DHopClustering::maintain`].
+const NO_HEAD: NodeId = NodeId::MAX;
 
 /// A d-hop cluster structure: per-node head assignment plus the hop bound.
 #[derive(Debug, Clone)]
@@ -271,14 +278,33 @@ impl DHopClustering {
         policy: &P,
         topology: &Topology,
     ) -> MaintenanceOutcome {
+        self.maintain_traced(policy, topology, 0.0, &mut Probe::off())
+    }
+
+    /// [`maintain`](Self::maintain) with telemetry: committed role changes
+    /// are emitted through `probe` (`HeadResigned`, `MemberReaffiliated`,
+    /// `HeadElected`) stamped with sim time `now`, each tagged with its
+    /// root cause when the probe carries a `CauseTracker` — one fresh
+    /// `HeadContact` root per resignation (shared with the orphanings and
+    /// re-homes it forces), one fresh `HeadLoss` root per out-of-reach
+    /// member. With [`Probe::off`] this is exactly `maintain`.
+    pub fn maintain_traced<P: ClusterPolicy>(
+        &mut self,
+        policy: &P,
+        topology: &Topology,
+        now: f64,
+        probe: &mut Probe<'_>,
+    ) -> MaintenanceOutcome {
         assert_eq!(topology.len(), self.head_of.len(), "node count changed");
         let n = self.head_of.len();
         let mut outcome = MaintenanceOutcome::default();
 
         // Head proximity resolution (P1(d)), analogous to head contacts.
-        // Members orphaned by a resignation keep their dangling pointer and
-        // are re-homed below with the contact attribution.
-        let mut contact_orphan = vec![false; n];
+        // Members orphaned by a resignation have their pointer cleared to
+        // NO_HEAD *at resignation time* — not left dangling at the
+        // resigned head — and are re-homed below with the contact
+        // attribution.
+        let mut orphan_why: Vec<Option<Cause>> = vec![None; n];
         if self.enforce_separation {
             loop {
                 let heads: Vec<NodeId> = (0..n as NodeId).filter(|&u| self.is_head(u)).collect();
@@ -299,14 +325,36 @@ impl DHopClustering {
                 } else {
                     (b, a)
                 };
-                for (u, orphan) in contact_orphan.iter_mut().enumerate() {
-                    if u as NodeId != loser && self.head_of[u] == loser {
-                        *orphan = true;
+                let cause = probe.root(RootCause::HeadContact);
+                for u in 0..n as NodeId {
+                    if u != loser && self.head_of[u as usize] == loser {
+                        self.head_of[u as usize] = NO_HEAD;
+                        orphan_why[u as usize] = cause;
+                        if probe.is_attributing() {
+                            probe.emit_caused(
+                                now,
+                                Layer::Cluster,
+                                EventKind::HeadLost {
+                                    member: u,
+                                    head: loser,
+                                },
+                                cause,
+                            );
+                        }
                     }
                 }
                 // The loser joins the winner (within d hops by contact).
                 self.head_of[loser as usize] = winner;
                 outcome.contact_resignations += 1;
+                probe.emit_caused(
+                    now,
+                    Layer::Cluster,
+                    EventKind::HeadResigned {
+                        node: loser,
+                        new_head: winner,
+                    },
+                    cause,
+                );
             }
         }
 
@@ -316,17 +364,32 @@ impl DHopClustering {
             if head == u {
                 continue; // a head
             }
+            let from_contact = head == NO_HEAD;
             let dist = bfs_distances(topology, u, self.hops);
-            let valid = self.head_of[head as usize] == head && dist[head as usize] <= self.hops;
+            // NO_HEAD must be checked before indexing with `head`.
+            let valid = !from_contact
+                && self.head_of[head as usize] == head
+                && dist[head as usize] <= self.hops;
             if valid {
                 continue;
+            }
+            let mut why = orphan_why[u as usize];
+            if !from_contact {
+                why = probe.root(RootCause::HeadLoss);
+                if probe.is_attributing() {
+                    probe.emit_caused(
+                        now,
+                        Layer::Cluster,
+                        EventKind::HeadLost { member: u, head },
+                        why,
+                    );
+                }
             }
             let replacement = (0..n as NodeId)
                 .filter(|&h| {
                     h != u && self.head_of[h as usize] == h && dist[h as usize] <= self.hops
                 })
                 .max_by_key(|&h| policy.priority(h, topology));
-            let from_contact = contact_orphan[u as usize];
             match replacement {
                 Some(h) => {
                     self.head_of[u as usize] = h;
@@ -335,6 +398,12 @@ impl DHopClustering {
                     } else {
                         outcome.break_reaffiliations += 1;
                     }
+                    probe.emit_caused(
+                        now,
+                        Layer::Cluster,
+                        EventKind::MemberReaffiliated { member: u, head: h },
+                        why,
+                    );
                 }
                 None => {
                     self.head_of[u as usize] = u;
@@ -343,9 +412,11 @@ impl DHopClustering {
                     } else {
                         outcome.break_promotions += 1;
                     }
+                    probe.emit_caused(now, Layer::Cluster, EventKind::HeadElected { node: u }, why);
                 }
             }
         }
+        debug_assert!(self.head_of.iter().all(|&h| h != NO_HEAD));
         debug_assert_eq!(self.check_invariants(topology), Ok(()));
         outcome
     }
@@ -489,6 +560,66 @@ mod tests {
         c.check_invariants(&t1).unwrap();
         assert!(c.is_head(0) && !c.is_head(2) && c.is_head(3));
         assert_eq!(c.head_count(), 2);
+    }
+
+    #[test]
+    fn resignation_clears_orphan_pointers_and_attributes_the_contact() {
+        use manet_telemetry::{CauseTracker, Event, Probe, Subscriber};
+
+        #[derive(Default)]
+        struct Collect(Vec<Event>);
+        impl Subscriber for Collect {
+            fn event(&mut self, e: &Event) {
+                self.0.push(*e);
+            }
+        }
+
+        // Same scenario as `maintenance_resolves_head_proximity`: heads 0
+        // and 2 come within 2 hops; head 2 resigns and its member 3 (now 3
+        // hops from head 0) must promote itself.
+        let pts0 = [
+            Vec2::new(0.0, 0.0),
+            Vec2::new(1.0, 0.0),
+            Vec2::new(100.0, 0.0),
+            Vec2::new(101.0, 0.0),
+        ];
+        let t0 = Topology::compute(&pts0, SquareRegion::new(1000.0), 1.1, Metric::Euclidean);
+        let mut c = DHopClustering::form(&LowestId, &t0, 2);
+        let t1 = path(4);
+        let mut sink = Collect::default();
+        let mut tracker = CauseTracker::new();
+        let mut probe = Probe::with_causes(Some(&mut sink), None, Some(&mut tracker));
+        let o = c.maintain_traced(&LowestId, &t1, 1.0, &mut probe);
+        // Accounting matches the untraced path exactly.
+        assert_eq!(o.contact_resignations, 1);
+        assert_eq!(o.contact_promotions, 1);
+        // The orphaning is recorded *at resignation time*: a HeadLost event
+        // naming the resigned head, sharing the resignation's HeadContact
+        // root, and the promotion it forces carries the same root — the
+        // member never re-homes off a dangling pointer.
+        let resigned = sink
+            .0
+            .iter()
+            .find(|e| matches!(e.kind, EventKind::HeadResigned { .. }))
+            .expect("resignation emitted");
+        let root = resigned.cause.unwrap();
+        assert_eq!(root.root, RootCause::HeadContact);
+        let lost = sink
+            .0
+            .iter()
+            .find(|e| matches!(e.kind, EventKind::HeadLost { .. }))
+            .expect("orphaning emitted");
+        assert_eq!(lost.kind, EventKind::HeadLost { member: 3, head: 2 });
+        assert_eq!(lost.cause.unwrap().id, root.id);
+        let elected = sink
+            .0
+            .iter()
+            .find(|e| matches!(e.kind, EventKind::HeadElected { .. }))
+            .expect("promotion emitted");
+        assert_eq!(elected.cause.unwrap().id, root.id);
+        // No transient NO_HEAD marker escapes the pass.
+        assert!(c.assignments().iter().all(|&h| (h as usize) < 4));
+        c.check_invariants(&t1).unwrap();
     }
 
     #[test]

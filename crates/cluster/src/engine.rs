@@ -3,7 +3,7 @@
 use crate::policy::ClusterPolicy;
 use crate::Role;
 use manet_sim::{NodeId, Topology};
-use manet_telemetry::{EventKind, Layer, Probe};
+use manet_telemetry::{Cause, EventKind, Layer, Probe, RootCause};
 use std::fmt;
 
 /// A violation of the one-hop clustering invariants P1/P2.
@@ -295,6 +295,18 @@ impl<P: ClusterPolicy> Clustering<P> {
     /// `MemberReaffiliated`, `HeadElected`) stamped with sim time `now`.
     /// With [`Probe::off`] this is exactly `maintain_faulty` — identical
     /// role changes, identical counts.
+    ///
+    /// When the probe carries a `CauseTracker`, every emitted event is
+    /// tagged with the root cause that triggered it — a fresh `HeadLoss`
+    /// root per broken member↔head link (chained to a same-tick `Churn`
+    /// root when the head just crashed or recovered), a fresh
+    /// `HeadContact` root per committed resignation (carried by the
+    /// loser's orphaned members through their re-homes), and the stored
+    /// resignation cause for members whose recorded head quietly stopped
+    /// being one. Orphanings additionally emit `HeadLost` marker events;
+    /// these exist only under attribution, so a traced-but-unattributed
+    /// run remains event-for-event identical to the pre-attribution
+    /// behavior (one event per committed CLUSTER message).
     pub fn maintain_traced<H: FaultHooks>(
         &mut self,
         topology: &Topology,
@@ -310,6 +322,9 @@ impl<P: ClusterPolicy> Clustering<P> {
         let mut outcome = MaintenanceOutcome::default();
         let n = self.roles.len();
         let mut orphan_cause: Vec<Option<OrphanCause>> = vec![None; n];
+        // The root cause each orphan's eventual re-home or promotion will
+        // carry. All `None` when the probe has no cause tracker.
+        let mut orphan_why: Vec<Option<Cause>> = vec![None; n];
 
         // Phase 1: members whose affiliation is broken — the head link is
         // gone, or (only possible after a lost repair or a recovery from a
@@ -321,8 +336,40 @@ impl<P: ClusterPolicy> Clustering<P> {
             if let Role::Member { head } = self.roles[u as usize] {
                 if !topology.are_linked(u, head) {
                     orphan_cause[u as usize] = Some(OrphanCause::LinkBroke);
+                    // Chain to a same-tick churn root (the head or the
+                    // member itself just crashed/recovered); otherwise
+                    // this is the paper's first CLUSTER trigger.
+                    let cause = probe.causes().map(|t| {
+                        t.churn_cause(head, now)
+                            .or_else(|| t.churn_cause(u, now))
+                            .unwrap_or_else(|| t.allocate(RootCause::HeadLoss))
+                    });
+                    orphan_why[u as usize] = cause;
+                    if probe.is_attributing() {
+                        probe.emit_caused(
+                            now,
+                            Layer::Cluster,
+                            EventKind::HeadLost { member: u, head },
+                            cause,
+                        );
+                    }
                 } else if !self.roles[head as usize].is_head() {
                     orphan_cause[u as usize] = Some(OrphanCause::HeadResigned);
+                    // The head resigned in an earlier pass (this member's
+                    // re-home was lost) — keep charging that contact.
+                    let cause = probe.causes().map(|t| {
+                        t.resignation_cause(head)
+                            .unwrap_or_else(|| t.allocate(RootCause::HeadLoss))
+                    });
+                    orphan_why[u as usize] = cause;
+                    if probe.is_attributing() {
+                        probe.emit_caused(
+                            now,
+                            Layer::Cluster,
+                            EventKind::HeadLost { member: u, head },
+                            cause,
+                        );
+                    }
                 }
             }
         }
@@ -356,21 +403,43 @@ impl<P: ClusterPolicy> Clustering<P> {
                 Attempt::Delivered => {
                     self.roles[loser as usize] = Role::Member { head: winner };
                     outcome.contact_resignations += 1;
-                    probe.emit(
+                    // One fresh HeadContact root covers the resignation
+                    // and every re-home it forces; remembered so members
+                    // whose re-home is lost keep charging this contact.
+                    let cause = probe.causes().map(|t| {
+                        let c = t.allocate(RootCause::HeadContact);
+                        t.note_resignation(loser, c);
+                        c
+                    });
+                    probe.emit_caused(
                         now,
                         Layer::Cluster,
                         EventKind::HeadResigned {
                             node: loser,
                             new_head: winner,
                         },
+                        cause,
                     );
                     orphan_cause[loser as usize] = None; // it just re-homed itself
-                                                         // Its members are orphaned (unless already orphaned by a
-                                                         // break).
+                    orphan_why[loser as usize] = None;
+                    // Its members are orphaned (unless already orphaned by
+                    // a break).
                     for m in 0..n as NodeId {
                         if let Role::Member { head } = self.roles[m as usize] {
                             if head == loser && orphan_cause[m as usize].is_none() {
                                 orphan_cause[m as usize] = Some(OrphanCause::HeadResigned);
+                                orphan_why[m as usize] = cause;
+                                if probe.is_attributing() {
+                                    probe.emit_caused(
+                                        now,
+                                        Layer::Cluster,
+                                        EventKind::HeadLost {
+                                            member: m,
+                                            head: loser,
+                                        },
+                                        cause,
+                                    );
+                                }
                             }
                         }
                     }
@@ -409,34 +478,43 @@ impl<P: ClusterPolicy> Clustering<P> {
                 .filter(|&&x| self.roles[x as usize].is_head())
                 .max_by_key(|&&x| self.policy.priority(x, topology))
                 .copied();
+            let why = orphan_why[u as usize];
             match (best_head, cause) {
                 (Some(h), OrphanCause::LinkBroke) => {
                     self.roles[u as usize] = Role::Member { head: h };
                     outcome.break_reaffiliations += 1;
-                    probe.emit(
+                    probe.emit_caused(
                         now,
                         Layer::Cluster,
                         EventKind::MemberReaffiliated { member: u, head: h },
+                        why,
                     );
                 }
                 (Some(h), OrphanCause::HeadResigned) => {
                     self.roles[u as usize] = Role::Member { head: h };
                     outcome.contact_reaffiliations += 1;
-                    probe.emit(
+                    probe.emit_caused(
                         now,
                         Layer::Cluster,
                         EventKind::MemberReaffiliated { member: u, head: h },
+                        why,
                     );
                 }
                 (None, OrphanCause::LinkBroke) => {
                     self.roles[u as usize] = Role::Head;
                     outcome.break_promotions += 1;
-                    probe.emit(now, Layer::Cluster, EventKind::HeadElected { node: u });
+                    if let Some(t) = probe.causes() {
+                        t.clear_resignation(u);
+                    }
+                    probe.emit_caused(now, Layer::Cluster, EventKind::HeadElected { node: u }, why);
                 }
                 (None, OrphanCause::HeadResigned) => {
                     self.roles[u as usize] = Role::Head;
                     outcome.contact_promotions += 1;
-                    probe.emit(now, Layer::Cluster, EventKind::HeadElected { node: u });
+                    if let Some(t) = probe.causes() {
+                        t.clear_resignation(u);
+                    }
+                    probe.emit_caused(now, Layer::Cluster, EventKind::HeadElected { node: u }, why);
                 }
             }
         }
@@ -1029,6 +1107,95 @@ mod tests {
         assert!(sink.0.iter().all(|e| e.layer == Layer::Cluster));
         // Timestamps are the sim times passed in, monotone over the run.
         assert!(sink.0.windows(2).all(|w| w[0].time <= w[1].time));
+    }
+
+    #[test]
+    fn attributed_maintenance_chains_every_event_to_a_root() {
+        use manet_telemetry::{CauseTracker, Event, Subscriber};
+
+        #[derive(Default)]
+        struct Collect(Vec<Event>);
+        impl Subscriber for Collect {
+            fn event(&mut self, e: &Event) {
+                self.0.push(*e);
+            }
+        }
+
+        // Head contact: heads 0 and 2 (members 1 and 3) drift together.
+        let t0 = topo(&[(0.0, 0.0), (1.0, 0.0), (10.0, 0.0), (11.0, 0.0)], 1.1);
+        let mut c = Clustering::form(LowestId, &t0);
+        let t1 = topo(&[(5.0, 0.0), (4.5, 0.0), (5.5, 0.0), (6.0, 0.0)], 2.0);
+        let mut sink = Collect::default();
+        let mut tracker = CauseTracker::new();
+        let mut probe = Probe::with_causes(Some(&mut sink), None, Some(&mut tracker));
+        let o = c.maintain_traced(&t1, &mut NoFaults, 1.0, &mut probe);
+        // Accounting is untouched by attribution.
+        assert_eq!(o.contact_resignations, 1);
+        assert_eq!(o.contact_reaffiliations, 1);
+        // Every event carries a cause; the resignation anchors a single
+        // HeadContact root shared by the orphaning and the re-home.
+        assert!(sink.0.iter().all(|e| e.cause.is_some()));
+        let resigned = sink
+            .0
+            .iter()
+            .find(|e| matches!(e.kind, EventKind::HeadResigned { .. }))
+            .expect("resignation emitted");
+        let root = resigned.cause.unwrap();
+        assert_eq!(root.root, RootCause::HeadContact);
+        let lost: Vec<_> = sink
+            .0
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::HeadLost { .. }))
+            .collect();
+        assert_eq!(lost.len(), 1, "loser's member 3 is orphaned");
+        assert_eq!(lost[0].cause.unwrap().id, root.id);
+        let rehomed = sink
+            .0
+            .iter()
+            .find(|e| matches!(e.kind, EventKind::MemberReaffiliated { .. }))
+            .expect("re-home emitted");
+        assert_eq!(rehomed.cause.unwrap().id, root.id);
+
+        // Member↔head break: a fresh HeadLoss root covers HeadLost + the
+        // re-affiliation.
+        let b0 = path(3);
+        let mut c = Clustering::form(LowestId, &b0);
+        let b1 = topo(&[(500.0, 0.0), (1.0, 0.0), (2.0, 0.0)], 1.1);
+        let mut sink = Collect::default();
+        let mut tracker = CauseTracker::new();
+        let mut probe = Probe::with_causes(Some(&mut sink), None, Some(&mut tracker));
+        let o = c.maintain_traced(&b1, &mut NoFaults, 2.0, &mut probe);
+        assert_eq!(o.break_reaffiliations, 1);
+        assert_eq!(sink.0.len(), 2, "HeadLost marker + re-affiliation");
+        let root = sink.0[0].cause.unwrap();
+        assert!(matches!(sink.0[0].kind, EventKind::HeadLost { .. }));
+        assert_eq!(root.root, RootCause::HeadLoss);
+        assert_eq!(sink.0[1].cause.unwrap().id, root.id);
+    }
+
+    #[test]
+    fn unattributed_tracing_emits_no_headlost_markers() {
+        use manet_telemetry::{Event, Subscriber};
+
+        #[derive(Default)]
+        struct Collect(Vec<Event>);
+        impl Subscriber for Collect {
+            fn event(&mut self, e: &Event) {
+                self.0.push(*e);
+            }
+        }
+
+        let t0 = path(3);
+        let mut c = Clustering::form(LowestId, &t0);
+        let t1 = topo(&[(500.0, 0.0), (1.0, 0.0), (2.0, 0.0)], 1.1);
+        let mut sink = Collect::default();
+        let mut probe = Probe::subscriber(&mut sink);
+        let o = c.maintain_traced(&t1, &mut NoFaults, 1.0, &mut probe);
+        assert_eq!(o.total_messages(), 1);
+        // Without a cause tracker the event stream is exactly the PR2
+        // contract: one uncaused event per committed CLUSTER message.
+        assert_eq!(sink.0.len(), 1);
+        assert!(sink.0.iter().all(|e| e.cause.is_none()));
     }
 
     #[test]

@@ -24,7 +24,7 @@ use crate::engine::{Attempt, Clustering, FaultHooks, MaintenanceOutcome};
 use crate::policy::ClusterPolicy;
 use crate::Role;
 use manet_sim::{Channel, Counters, MessageKind, NodeId, Topology};
-use manet_telemetry::{EventKind, Layer, Probe};
+use manet_telemetry::{EventKind, Layer, Probe, RootCause};
 
 /// Bounded exponential backoff for lost CLUSTER sends.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -266,10 +266,12 @@ impl<P: ClusterPolicy> SelfHealing<P> {
             .maintain_traced(topology, &mut gate, now, probe);
         let (retransmissions, repairs) = (gate.retransmissions, gate.repairs);
         for (node, wait_ticks) in gate.scheduled {
-            probe.emit(
+            let cause = probe.root(RootCause::ChannelLoss);
+            probe.emit_caused(
                 now,
                 Layer::Cluster,
                 EventKind::RetxScheduled { node, wait_ticks },
+                cause,
             );
         }
         let violations_left = self.clustering.violations_among(topology, alive).len() as u64;

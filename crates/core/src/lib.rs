@@ -56,7 +56,7 @@ pub mod params;
 
 pub use degree::DegreeModel;
 pub use overhead::{
-    ClusterSizeModel, HeadContactConvention, OverheadBreakdown, OverheadModel, RouteLinkModel,
-    RouteMessageModel,
+    contact_unit_cost, route_unit_cost, ClusterSizeModel, HeadContactConvention, OverheadBreakdown,
+    OverheadModel, RouteLinkModel, RouteMessageModel,
 };
 pub use params::NetworkParams;

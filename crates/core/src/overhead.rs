@@ -300,6 +300,29 @@ impl OverheadModel {
         }
     }
 
+    /// Expected CLUSTER messages per head-contact event.
+    ///
+    /// Delegates to the module-level [`contact_unit_cost`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `p ∈ (0, 1]`.
+    pub fn contact_unit_cost(&self, p: f64) -> f64 {
+        contact_unit_cost(p)
+    }
+
+    /// Expected ROUTE messages per intra-cluster link change.
+    ///
+    /// Delegates to the module-level [`route_unit_cost`] with this
+    /// model's [`RouteLinkModel`] convention.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `p ∈ (0, 1]`.
+    pub fn route_unit_cost(&self, p: f64) -> f64 {
+        route_unit_cost(p, self.route_links)
+    }
+
     /// Full per-node breakdown at head ratio `p`.
     ///
     /// # Panics
@@ -333,6 +356,68 @@ impl OverheadModel {
     }
 }
 
+/// Gamma shape of the normalized 2-D Poisson–Voronoi cell-area
+/// distribution (Kiang's classic fit). Cluster populations inherit the
+/// dispersion of the head dominance regions, so the size distribution is
+/// modeled as `m ~ Gamma(k, m̄/k)`.
+pub const VORONOI_AREA_GAMMA_SHAPE: f64 = 3.575;
+
+/// Expected CLUSTER messages per head-contact event: the losing cluster
+/// dissolves, costing one resignation plus one re-affiliation per member,
+/// i.e. the loser's population at contact time.
+///
+/// The paper's first-order factor is the mean size `m̄ = 1/P` (Eqn 10).
+/// That overstates the per-event cost: a cluster that loses a contact
+/// resigns and later re-emerges at size 1 (a fresh promotion), regrowing
+/// toward `m̄` until its next contact. Sampling the regrowth uniformly in
+/// time — contacts arrive roughly independently of cluster age — catches
+/// the loser midway, at `(m̄ + 1)/2`.
+///
+/// # Panics
+///
+/// Panics unless `p ∈ (0, 1]`.
+pub fn contact_unit_cost(p: f64) -> f64 {
+    assert!(p > 0.0 && p <= 1.0, "head ratio must be in (0, 1], got {p}");
+    (1.0 / p + 1.0) / 2.0
+}
+
+/// Expected ROUTE messages per intra-cluster link change: one sync round
+/// of `m` messages through the cluster whose link changed.
+///
+/// Link changes land on clusters in proportion to their intra-cluster
+/// link count `L(m)`, so the per-change cost is the link-weighted mean
+/// size `E[m·L(m)] / E[L(m)]` — strictly above the first-order `m̄ = 1/P`
+/// whenever sizes disperse, because `L` grows quadratically in `m`. The
+/// size distribution is modeled as `Gamma(k)` with mean `m̄` and the
+/// Poisson–Voronoi shape [`VORONOI_AREA_GAMMA_SHAPE`], giving closed-form
+/// moments `E[m²] = m̄²(1+1/k)` and `E[m³] = m̄³(1+1/k)(1+2/k)`.
+///
+/// # Panics
+///
+/// Panics unless `p ∈ (0, 1]`.
+pub fn route_unit_cost(p: f64, links: RouteLinkModel) -> f64 {
+    assert!(p > 0.0 && p <= 1.0, "head ratio must be in (0, 1], got {p}");
+    let m = 1.0 / p;
+    let k = VORONOI_AREA_GAMMA_SHAPE;
+    let m2 = m * m * (1.0 + 1.0 / k);
+    let m3 = m * m * m * (1.0 + 1.0 / k) * (1.0 + 2.0 / k);
+    // E[L] and E[m·L] for L(m) = (m−1) + κ·(m−1)(m−2)/2.
+    let (links_mean, links_size_weighted) = match links {
+        RouteLinkModel::MemberHeadOnly => ((m - 1.0).max(0.0), (m2 - m).max(0.0)),
+        RouteLinkModel::WithMemberMember => {
+            let half_kappa = DISC_SAME_RADIUS_LINK_PROB / 2.0;
+            let el = (m - 1.0) + half_kappa * (m2 - 3.0 * m + 2.0);
+            let eml = (m2 - m) + half_kappa * (m3 - 3.0 * m2 + 2.0 * m);
+            (el.max(0.0), eml.max(0.0))
+        }
+    };
+    if links_mean <= 0.0 {
+        m
+    } else {
+        links_size_weighted / links_mean
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -340,6 +425,36 @@ mod tests {
     fn model() -> OverheadModel {
         let params = NetworkParams::new(400, 1000.0, 150.0, 10.0).unwrap();
         OverheadModel::new(params, DegreeModel::TorusExact)
+    }
+
+    #[test]
+    fn contact_unit_cost_is_midway_through_regrowth() {
+        // Singleton clusters (p = 1) cost exactly the one resignation.
+        assert!((contact_unit_cost(1.0) - 1.0).abs() < 1e-12);
+        // Mean size 10 → loser caught midway between 1 and 10.
+        assert!((contact_unit_cost(0.1) - 5.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn route_unit_cost_is_size_biased_above_the_mean() {
+        for links in [
+            RouteLinkModel::MemberHeadOnly,
+            RouteLinkModel::WithMemberMember,
+        ] {
+            let cost = route_unit_cost(0.1, links);
+            // Link-weighting over a dispersed size distribution pulls the
+            // per-change cost above the plain mean m̄ = 10 ...
+            assert!(cost > 10.0, "{links:?}: {cost}");
+            // ... but stays below the exponential-dispersion extreme.
+            assert!(cost < 30.0, "{links:?}: {cost}");
+        }
+        // Member-member pairs weight large clusters harder than the star.
+        assert!(
+            route_unit_cost(0.1, RouteLinkModel::WithMemberMember)
+                > route_unit_cost(0.1, RouteLinkModel::MemberHeadOnly)
+        );
+        // Degenerate all-heads network: a round is a single self message.
+        assert!((route_unit_cost(1.0, RouteLinkModel::MemberHeadOnly) - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -1,11 +1,39 @@
 //! Profiler baseline: tick-phase wall-clock timing of the default
-//! 400-node scenario, written to `BENCH_telemetry.json` (committed at the
-//! repo root so regressions in per-phase cost are visible in review).
+//! 400-node scenario, written to `BENCH_telemetry.json`, plus the same
+//! scenario with causal attribution enabled, written to
+//! `BENCH_attribution.json` (both committed at the repo root so
+//! regressions in per-phase and attribution cost are visible in review).
 
 use manet_experiments::harness::{Protocol, Scenario};
-use manet_experiments::trace::{trace_run, TelemetryConfig};
+use manet_experiments::trace::{trace_run, TelemetryConfig, TraceRun};
 use manet_telemetry::Phase;
 use manet_util::json::Value;
+
+fn phase_rows(run: &TraceRun) -> Vec<Value> {
+    let mut phases = Vec::new();
+    for phase in Phase::ALL {
+        let Some(s) = run.profile.get(phase) else {
+            continue;
+        };
+        phases.push(Value::Obj(vec![
+            ("phase".into(), Value::from(phase.name())),
+            ("ticks".into(), Value::from(s.count)),
+            ("total_s".into(), Value::from(s.total)),
+            ("min_s".into(), Value::from(s.min)),
+            ("mean_s".into(), Value::from(s.mean)),
+            ("p99_s".into(), Value::from(s.p99)),
+            ("max_s".into(), Value::from(s.max)),
+        ]));
+    }
+    phases
+}
+
+fn write_json(path: &str, doc: &Value) {
+    match std::fs::write(path, format!("{doc}\n")) {
+        Ok(()) => println!("[json] {path}"),
+        Err(e) => println!("[json] write failed: {e}"),
+    }
+}
 
 fn main() {
     let scenario = Scenario::default();
@@ -23,21 +51,6 @@ fn main() {
     .expect("in-memory run performs no IO");
     println!("{}", run.profile.to_table().to_ascii());
 
-    let mut phases = Vec::new();
-    for phase in Phase::ALL {
-        let Some(s) = run.profile.get(phase) else {
-            continue;
-        };
-        phases.push(Value::Obj(vec![
-            ("phase".into(), Value::from(phase.name())),
-            ("ticks".into(), Value::from(s.count)),
-            ("total_s".into(), Value::from(s.total)),
-            ("min_s".into(), Value::from(s.min)),
-            ("mean_s".into(), Value::from(s.mean)),
-            ("p99_s".into(), Value::from(s.p99)),
-            ("max_s".into(), Value::from(s.max)),
-        ]));
-    }
     let doc = Value::Obj(vec![
         ("bench".into(), Value::from("telemetry_phase_profile")),
         ("nodes".into(), Value::from(scenario.nodes)),
@@ -48,11 +61,69 @@ fn main() {
         ),
         ("seed".into(), Value::from(protocol.seeds[0])),
         ("total_wall_s".into(), Value::from(run.profile.total_secs())),
-        ("phases".into(), Value::Arr(phases)),
+        ("phases".into(), Value::Arr(phase_rows(&run))),
     ]);
-    let path = "BENCH_telemetry.json";
-    match std::fs::write(path, format!("{doc}\n")) {
-        Ok(()) => println!("[json] {path}"),
-        Err(e) => println!("[json] write failed: {e}"),
-    }
+    write_json("BENCH_telemetry.json", &doc);
+
+    // The attribution-enabled twin: same scenario, same seed, with the
+    // cause tracker, ledger, and audit monitors live. The overhead ratio
+    // against the plain traced run is the cost of the attribution plane.
+    let attr_run = trace_run(
+        &scenario,
+        &protocol,
+        &TelemetryConfig::in_memory("bench_attribution").with_attribution(),
+    )
+    .expect("in-memory run performs no IO");
+    println!("{}", attr_run.profile.to_table().to_ascii());
+    let attr = attr_run
+        .attribution
+        .as_ref()
+        .expect("attribution was enabled");
+    let plain_wall = run.profile.total_secs();
+    let attr_wall = attr_run.profile.total_secs();
+    let overhead_pct = if plain_wall > 0.0 {
+        (attr_wall - plain_wall) / plain_wall * 100.0
+    } else {
+        0.0
+    };
+    println!(
+        "attribution overhead: {plain_wall:.3}s -> {attr_wall:.3}s ({overhead_pct:+.1}%), \
+         {} events, {} chains, audit {}",
+        attr.ledger.events_seen(),
+        attr.ledger.chains().len(),
+        if attr.audit.is_clean() {
+            "clean"
+        } else {
+            "VIOLATED"
+        }
+    );
+
+    let attr_doc = Value::Obj(vec![
+        ("bench".into(), Value::from("attribution_phase_profile")),
+        ("nodes".into(), Value::from(scenario.nodes)),
+        ("dt".into(), Value::from(protocol.dt)),
+        (
+            "sim_seconds".into(),
+            Value::from(protocol.warmup + protocol.measure),
+        ),
+        ("seed".into(), Value::from(protocol.seeds[0])),
+        ("total_wall_s".into(), Value::from(attr_wall)),
+        ("plain_wall_s".into(), Value::from(plain_wall)),
+        ("overhead_pct".into(), Value::from(overhead_pct)),
+        (
+            "ledger_events".into(),
+            Value::from(attr.ledger.events_seen()),
+        ),
+        (
+            "causal_chains".into(),
+            Value::from(attr.ledger.chains().len()),
+        ),
+        (
+            "audit_violations".into(),
+            Value::from(attr.audit.violations.len()),
+        ),
+        ("audit_samples".into(), Value::from(attr.audit.samples)),
+        ("phases".into(), Value::Arr(phase_rows(&attr_run))),
+    ]);
+    write_json("BENCH_attribution.json", &attr_doc);
 }

@@ -14,12 +14,14 @@
 //! there, summarized on stdout. `bin/trace_report` re-reads such files.
 
 use crate::harness::{Protocol, Scenario};
-use manet_cluster::{Clustering, LowestId, NoFaults};
+use manet_cluster::{Clustering, InvariantViolation, LowestId, NoFaults};
+use manet_model::overhead::{contact_unit_cost, route_unit_cost, RouteLinkModel};
 use manet_routing::intra::IntraClusterRouting;
 use manet_sim::{Counters, HelloMode, MessageKind, SimBuilder};
 use manet_telemetry::{
-    EventKind, JsonlSink, Layer, MsgClass, Phase, PhaseProfiler, Probe, ProfileReport, TraceMeta,
-    TraceOut, WindowedRecorder,
+    prometheus_text, AttributionLedger, AuditConfig, AuditMonitor, AuditReport, AuditSample,
+    CauseTracker, Event, EventKind, JsonlSink, Layer, MsgClass, Phase, PhaseProfiler, Probe,
+    ProfileReport, RootCause, Subscriber, TraceMeta, TraceOut, WindowedRecorder,
 };
 use std::fmt::Write as _;
 use std::io;
@@ -38,6 +40,13 @@ pub struct TelemetryConfig {
     pub out: Option<PathBuf>,
     /// Run label stamped into the trace meta line.
     pub label: String,
+    /// Thread a [`CauseTracker`] through the stack and stream every event
+    /// into an [`AttributionLedger`] plus the runtime audit monitors.
+    /// Off by default: an unattributed run emits the exact same event
+    /// stream as before the attribution plane existed.
+    pub attribution: bool,
+    /// Prometheus text-format snapshot path, written once after the run.
+    pub metrics_out: Option<PathBuf>,
 }
 
 impl TelemetryConfig {
@@ -47,6 +56,8 @@ impl TelemetryConfig {
             window: 5.0,
             out: None,
             label: label.to_string(),
+            attribution: false,
+            metrics_out: None,
         }
     }
 
@@ -57,6 +68,32 @@ impl TelemetryConfig {
             ..TelemetryConfig::in_memory(label)
         }
     }
+
+    /// Enables causal attribution and the audit monitors.
+    pub fn with_attribution(mut self) -> TelemetryConfig {
+        self.attribution = true;
+        self
+    }
+
+    /// Writes a Prometheus text-format metrics snapshot to `path` after
+    /// the run. Implies attribution so the snapshot carries the
+    /// per-root-cause families.
+    pub fn with_metrics_out(mut self, path: PathBuf) -> TelemetryConfig {
+        self.metrics_out = Some(path);
+        self.attribution = true;
+        self
+    }
+}
+
+/// Causal-attribution outputs of a traced run, present when
+/// [`TelemetryConfig::attribution`] was set.
+#[derive(Debug)]
+pub struct AttributionRun {
+    /// Root-cause overhead ledger streamed over every event of the run.
+    pub ledger: AttributionLedger,
+    /// Runtime invariant audit: violations plus sample/event counts,
+    /// including the end-of-run Counters reconciliation checks.
+    pub audit: AuditReport,
 }
 
 /// Everything a traced run produced.
@@ -71,6 +108,31 @@ pub struct TraceRun {
     pub recorder: WindowedRecorder,
     /// Tick-phase wall-clock profile.
     pub profile: ProfileReport,
+    /// Causal attribution outputs (`None` unless enabled in the config).
+    pub attribution: Option<AttributionRun>,
+}
+
+/// Live attribution state carried across the ticks of one traced run.
+struct AttribState {
+    tracker: CauseTracker,
+    ledger: AttributionLedger,
+    audit: AuditMonitor,
+}
+
+/// Tee subscriber: forwards each event to the trace output while also
+/// streaming it into the ledger and the audit monitor.
+struct AttribFan<'a> {
+    out: &'a mut dyn Subscriber,
+    ledger: &'a mut AttributionLedger,
+    audit: &'a mut AuditMonitor,
+}
+
+impl Subscriber for AttribFan<'_> {
+    fn event(&mut self, event: &Event) {
+        self.out.event(event);
+        self.ledger.absorb(event);
+        self.audit.event(event);
+    }
 }
 
 /// Runs the ideal stack once (first seed of `protocol`) with telemetry
@@ -116,6 +178,11 @@ pub fn trace_run(
     let mut out = TraceOut::new(config.window, sink);
     out.write_meta(&meta);
     let mut profiler = PhaseProfiler::new();
+    let mut attrib = config.attribution.then(|| AttribState {
+        tracker: CauseTracker::new(),
+        ledger: AttributionLedger::new(),
+        audit: AuditMonitor::new(AuditConfig::default()),
+    });
 
     let mut clustering = Clustering::form(LowestId, world.topology());
     let mut routing = IntraClusterRouting::new();
@@ -123,7 +190,18 @@ pub fn trace_run(
 
     let ticks = (duration / protocol.dt).round() as usize;
     for _ in 0..ticks {
-        let mut probe = Probe::new(Some(&mut out), Some(&mut profiler));
+        let mut fan;
+        let mut probe = match attrib.as_mut() {
+            Some(st) => {
+                fan = AttribFan {
+                    out: &mut out,
+                    ledger: &mut st.ledger,
+                    audit: &mut st.audit,
+                };
+                Probe::with_causes(Some(&mut fan), Some(&mut profiler), Some(&mut st.tracker))
+            }
+            None => Probe::new(Some(&mut out), Some(&mut profiler)),
+        };
         world.step_traced(&mut probe);
         let now = world.time();
 
@@ -172,16 +250,55 @@ pub fn trace_run(
         world
             .counters_mut()
             .record_kind(MessageKind::Route, route_sent);
+
+        // Feed the invariant monitors a post-maintenance structural sample.
+        if let Some(st) = attrib.as_mut() {
+            let mut pairs = Vec::new();
+            let mut headless = Vec::new();
+            for v in clustering.violations(world.topology()) {
+                match v {
+                    InvariantViolation::AdjacentHeads(a, b) => pairs.push((a, b)),
+                    InvariantViolation::HeadIsNotHead { member, .. }
+                    | InvariantViolation::HeadOutOfRange { member, .. } => headless.push(member),
+                }
+            }
+            st.audit.sample(&AuditSample {
+                time: now,
+                adjacent_head_pairs: pairs,
+                headless_members: headless,
+                repair_pending: 0,
+            });
+        }
     }
 
     let profile = profiler.report();
     let recorder = std::mem::replace(&mut out.recorder, WindowedRecorder::new(config.window));
     out.finish(&profile)?;
+    let attribution = attrib.map(|mut st| {
+        for (class, kind) in [
+            (MsgClass::Hello, MessageKind::Hello),
+            (MsgClass::Cluster, MessageKind::Cluster),
+            (MsgClass::Route, MessageKind::Route),
+        ] {
+            st.audit.reconcile(class, world.counters().messages(kind));
+        }
+        AttributionRun {
+            ledger: st.ledger,
+            audit: st.audit.finish(),
+        }
+    });
+    if let Some(path) = &config.metrics_out {
+        std::fs::write(
+            path,
+            prometheus_text(&recorder, attribution.as_ref().map(|a| &a.ledger)),
+        )?;
+    }
     Ok(TraceRun {
         meta,
         counters: world.counters().clone(),
         recorder,
         profile,
+        attribution,
     })
 }
 
@@ -263,19 +380,172 @@ pub fn report_text(
     s
 }
 
-/// Extracts `--trace-out <path>` (or `--trace-out=<path>`) from the
-/// process arguments.
-pub fn trace_out_from_args() -> Option<PathBuf> {
+/// Renders the root-cause attribution summary: the per-root ledger
+/// breakdown and the measured-vs-analytic per-event unit-cost table.
+///
+/// The analytic unit costs come from the paper's per-event decomposition
+/// (see `crates/core/src/overhead.rs`): an EventDriven link generation
+/// costs 2 HELLO beacons; a head loss costs 1 CLUSTER message; a head
+/// contact dissolves the losing cluster ([`contact_unit_cost`]); an
+/// intra-cluster link change triggers one sync round through the cluster
+/// that changed ([`route_unit_cost`]). `p̄` is estimated from the
+/// recorder's gauged mean cluster count over `nodes`.
+pub fn attribution_text(
+    ledger: &AttributionLedger,
+    recorder: &WindowedRecorder,
+    nodes: u64,
+) -> String {
+    let mut s = String::new();
+    let heads: Vec<f64> = recorder
+        .cluster_count_series()
+        .into_iter()
+        .flatten()
+        .collect();
+    let mean_heads = if heads.is_empty() {
+        0.0
+    } else {
+        heads.iter().sum::<f64>() / heads.len() as f64
+    };
+    let m_bar = if mean_heads > 0.0 && nodes > 0 {
+        nodes as f64 / mean_heads
+    } else {
+        0.0
+    };
+    let _ = writeln!(
+        s,
+        "root-cause ledger: {} events, {} unanchored chains",
+        ledger.events_seen(),
+        ledger.unanchored_chains().len()
+    );
+    let _ = writeln!(
+        s,
+        "  {:<18} {:>7} {:>7} {:>8} {:>8} {:>8}",
+        "root cause", "events", "weight", "HELLO", "CLUSTER", "ROUTE"
+    );
+    for root in RootCause::ALL {
+        let events = ledger.root_events(root);
+        let msgs: [u64; 3] = [
+            ledger.msgs(root, MsgClass::Hello),
+            ledger.msgs(root, MsgClass::Cluster),
+            ledger.msgs(root, MsgClass::Route),
+        ];
+        if events == 0 && msgs.iter().all(|&m| m == 0) {
+            continue;
+        }
+        let _ = writeln!(
+            s,
+            "  {:<18} {:>7} {:>7} {:>8} {:>8} {:>8}",
+            root.name(),
+            events,
+            ledger.root_weight_total(root),
+            msgs[0],
+            msgs[1],
+            msgs[2]
+        );
+    }
+    let _ = writeln!(
+        s,
+        "  uncaused batch msgs: HELLO={} CLUSTER={} ROUTE={}",
+        ledger.uncaused_msgs(MsgClass::Hello),
+        ledger.uncaused_msgs(MsgClass::Cluster),
+        ledger.uncaused_msgs(MsgClass::Route)
+    );
+    let _ = writeln!(
+        s,
+        "unit costs, measured vs analytic (m\u{304} = {m_bar:.2} from mean heads {mean_heads:.1}):"
+    );
+    let p_bar = if m_bar > 0.0 { 1.0 / m_bar } else { 1.0 };
+    for (root, class, predicted) in [
+        (RootCause::LinkGen, MsgClass::Hello, 2.0),
+        (RootCause::HeadLoss, MsgClass::Cluster, 1.0),
+        (
+            RootCause::HeadContact,
+            MsgClass::Cluster,
+            contact_unit_cost(p_bar),
+        ),
+        (
+            RootCause::IntraClusterChange,
+            MsgClass::Route,
+            route_unit_cost(p_bar, RouteLinkModel::WithMemberMember),
+        ),
+    ] {
+        match ledger.unit_cost(root, class) {
+            Some(measured) => {
+                let err = if predicted > 0.0 {
+                    (measured - predicted) / predicted * 100.0
+                } else {
+                    f64::NAN
+                };
+                let _ = writeln!(
+                    s,
+                    "  {:<18} per {:<7} measured {:>7.3}  predicted {:>7.3}  err {:>+6.1}%",
+                    root.name(),
+                    class.name(),
+                    measured,
+                    predicted,
+                    err
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    s,
+                    "  {:<18} per {:<7} no root events observed",
+                    root.name(),
+                    class.name()
+                );
+            }
+        }
+    }
+    s
+}
+
+/// Renders a one-line audit verdict for a finished run.
+pub fn audit_text(report: &AuditReport) -> String {
+    if report.is_clean() {
+        format!(
+            "audit: clean ({} samples, {} events)\n",
+            report.samples, report.events
+        )
+    } else {
+        let mut s = format!(
+            "audit: {} violation(s) over {} samples:\n",
+            report.violations.len(),
+            report.samples
+        );
+        for v in &report.violations {
+            let _ = writeln!(s, "  {v}");
+        }
+        s
+    }
+}
+
+/// Extracts `--<flag> <path>` (or `--<flag>=<path>`) from the process
+/// arguments.
+fn path_flag_from_args(flag: &str) -> Option<PathBuf> {
+    let long = format!("--{flag}");
+    let prefixed = format!("--{flag}=");
     let mut args = std::env::args();
     while let Some(a) = args.next() {
-        if a == "--trace-out" {
+        if a == long {
             return args.next().map(PathBuf::from);
         }
-        if let Some(rest) = a.strip_prefix("--trace-out=") {
+        if let Some(rest) = a.strip_prefix(&prefixed) {
             return Some(PathBuf::from(rest));
         }
     }
     None
+}
+
+/// Extracts `--trace-out <path>` (or `--trace-out=<path>`) from the
+/// process arguments.
+pub fn trace_out_from_args() -> Option<PathBuf> {
+    path_flag_from_args("trace-out")
+}
+
+/// Extracts `--metrics-out <path>` (or `--metrics-out=<path>`) from the
+/// process arguments.
+pub fn metrics_out_from_args() -> Option<PathBuf> {
+    path_flag_from_args("metrics-out")
 }
 
 /// Experiment-binary hook: when the process was invoked with
@@ -284,15 +554,39 @@ pub fn trace_out_from_args() -> Option<PathBuf> {
 /// flag this is a no-op, so binaries stay byte-identical to their
 /// pre-telemetry behavior by default.
 pub fn maybe_trace(label: &str, scenario: &Scenario, protocol: &Protocol) {
-    let Some(path) = trace_out_from_args() else {
+    let trace_out = trace_out_from_args();
+    let metrics_out = metrics_out_from_args();
+    if trace_out.is_none() && metrics_out.is_none() {
         return;
+    }
+    let mut config = match trace_out {
+        Some(path) => {
+            println!("\n[trace] {label}: traced run -> {}", path.display());
+            TelemetryConfig::to_file(label, path)
+        }
+        None => {
+            println!("\n[trace] {label}: traced run (in-memory)");
+            TelemetryConfig::in_memory(label)
+        }
     };
-    println!("\n[trace] {label}: traced run -> {}", path.display());
-    match trace_run(scenario, protocol, &TelemetryConfig::to_file(label, path)) {
-        Ok(run) => print!(
-            "{}",
-            report_text(Some(&run.meta), &run.recorder, Some(&run.profile))
-        ),
+    if let Some(path) = metrics_out {
+        println!("[trace] metrics snapshot -> {}", path.display());
+        config = config.with_metrics_out(path);
+    }
+    match trace_run(scenario, protocol, &config) {
+        Ok(run) => {
+            print!(
+                "{}",
+                report_text(Some(&run.meta), &run.recorder, Some(&run.profile))
+            );
+            if let Some(attr) = &run.attribution {
+                print!(
+                    "{}",
+                    attribution_text(&attr.ledger, &run.recorder, run.meta.nodes)
+                );
+                print!("{}", audit_text(&attr.audit));
+            }
+        }
         Err(e) => println!("[trace] failed: {e}"),
     }
 }
@@ -356,8 +650,59 @@ mod tests {
     #[test]
     fn trace_out_flag_is_absent_in_tests() {
         assert_eq!(trace_out_from_args(), None);
+        assert_eq!(metrics_out_from_args(), None);
         // And therefore maybe_trace is a no-op.
         let (scenario, protocol) = quick();
         maybe_trace("noop", &scenario, &protocol);
+    }
+
+    #[test]
+    fn attributed_run_reconciles_ledger_audit_and_counters() {
+        let (scenario, protocol) = quick();
+        let config = TelemetryConfig::in_memory("attr").with_attribution();
+        let run = trace_run(&scenario, &protocol, &config).expect("in-memory run");
+        let attr = run.attribution.as_ref().expect("attribution enabled");
+        // Invariant monitors stay silent on the ideal stack, and the
+        // Counters <-> trace reconciliation is exact per class.
+        assert!(
+            attr.audit.is_clean(),
+            "audit violations: {:?}",
+            attr.audit.violations
+        );
+        // Every attributed message reconciles exactly with the shared
+        // counters: the ledger charges per-event what the batched
+        // rollups charge per-tick.
+        for (class, kind) in [
+            (MsgClass::Hello, MessageKind::Hello),
+            (MsgClass::Cluster, MessageKind::Cluster),
+            (MsgClass::Route, MessageKind::Route),
+        ] {
+            assert_eq!(
+                attr.ledger.attributed_total(class),
+                run.counters.messages(kind),
+                "ledger must reconcile with counters for {}",
+                class.name()
+            );
+        }
+        // Every causal chain resolves back to a recorded root event.
+        assert!(attr.ledger.unanchored_chains().is_empty());
+        // The windowed series still reconciles (attribution does not
+        // change what the recorder sees for batched classes).
+        assert_eq!(
+            run.recorder.total_msgs(MsgClass::Cluster),
+            run.counters.messages(MessageKind::Cluster)
+        );
+        let text = attribution_text(&attr.ledger, &run.recorder, run.meta.nodes);
+        assert!(text.contains("unit costs"));
+        assert!(text.contains("link_gen"));
+        assert!(audit_text(&attr.audit).contains("clean"));
+    }
+
+    #[test]
+    fn attribution_off_leaves_run_without_ledger() {
+        let (scenario, protocol) = quick();
+        let run = trace_run(&scenario, &protocol, &TelemetryConfig::in_memory("plain"))
+            .expect("in-memory run");
+        assert!(run.attribution.is_none());
     }
 }

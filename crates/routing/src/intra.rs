@@ -9,7 +9,7 @@
 
 use manet_cluster::ClusterAssignment;
 use manet_sim::{Channel, NodeId, SimError, Topology};
-use manet_telemetry::{EventKind, Layer, MsgClass, Probe};
+use manet_telemetry::{Cause, EventKind, Layer, MsgClass, Probe, RootCause};
 use std::collections::BTreeMap;
 
 /// ROUTE-message accounting for one update pass.
@@ -102,6 +102,10 @@ pub struct IntraClusterRouting {
     /// Clusters whose last lossy round dropped at least one ROUTE message;
     /// they re-broadcast a full round on the next pass (fallback re-sync).
     resync_pending: std::collections::BTreeSet<NodeId>,
+    /// The `ChannelLoss` cause that scheduled each pending re-sync, so the
+    /// re-sync round is attributed to the loss that forced it (only
+    /// populated when a cause tracker is attached).
+    resync_cause: BTreeMap<NodeId, Cause>,
 }
 
 impl IntraClusterRouting {
@@ -208,7 +212,8 @@ impl IntraClusterRouting {
             outcome.update_rounds += rounds;
             outcome.route_messages += rounds * m;
             outcome.route_entries += rounds * m * m;
-            probe.emit(
+            let cause = probe.root(RootCause::IntraClusterChange);
+            probe.emit_caused(
                 now,
                 Layer::Routing,
                 EventKind::RouteRoundStarted {
@@ -216,6 +221,7 @@ impl IntraClusterRouting {
                     size: m,
                     rounds,
                 },
+                cause,
             );
         }
         self.prev = current;
@@ -269,19 +275,24 @@ impl IntraClusterRouting {
     ) -> RouteUpdateOutcome {
         let current = Self::snapshot(topology, clustering);
         let mut outcome = RouteUpdateOutcome::default();
+        // One ChannelLoss root covers every message dropped this pass (and
+        // the re-syncs those drops schedule); allocated on first loss.
+        let mut loss_cause: Option<Cause> = None;
         // Fallback re-sync rounds for clusters whose previous pass lost
         // messages. A dissolved cluster (its head no longer leads one) is
         // dropped: the membership change itself triggers regular rounds in
         // whatever clusters absorbed its nodes.
         for head in std::mem::take(&mut self.resync_pending) {
+            let stored = self.resync_cause.remove(&head);
             let Some(snap) = current.get(&head) else {
                 continue;
             };
+            let cause = stored.or_else(|| probe.root(RootCause::ChannelLoss));
             let m = snap.nodes.len() as u64;
             outcome.resync_rounds += 1;
             outcome.resync_messages += m;
             outcome.route_entries += m * m;
-            probe.emit(
+            probe.emit_caused(
                 now,
                 Layer::Routing,
                 EventKind::RouteRoundStarted {
@@ -289,6 +300,7 @@ impl IntraClusterRouting {
                     size: m,
                     rounds: 1,
                 },
+                cause,
             );
             let mut clean = true;
             for _ in 0..m {
@@ -298,7 +310,13 @@ impl IntraClusterRouting {
                 }
             }
             if !clean {
+                if loss_cause.is_none() {
+                    loss_cause = probe.root(RootCause::ChannelLoss);
+                }
                 self.resync_pending.insert(head);
+                if let Some(c) = loss_cause {
+                    self.resync_cause.insert(head, c);
+                }
             }
         }
         for (head, rounds, m) in self.compute_charges(dt, &current) {
@@ -306,7 +324,8 @@ impl IntraClusterRouting {
             outcome.update_rounds += rounds;
             outcome.route_messages += rounds * m;
             outcome.route_entries += rounds * m * m;
-            probe.emit(
+            let cause = probe.root(RootCause::IntraClusterChange);
+            probe.emit_caused(
                 now,
                 Layer::Routing,
                 EventKind::RouteRoundStarted {
@@ -314,6 +333,7 @@ impl IntraClusterRouting {
                     size: m,
                     rounds,
                 },
+                cause,
             );
             let mut clean = true;
             for _ in 0..rounds * m {
@@ -323,17 +343,24 @@ impl IntraClusterRouting {
                 }
             }
             if !clean {
+                if loss_cause.is_none() {
+                    loss_cause = probe.root(RootCause::ChannelLoss);
+                }
                 self.resync_pending.insert(head);
+                if let Some(c) = loss_cause {
+                    self.resync_cause.insert(head, c);
+                }
             }
         }
         if outcome.lost_messages > 0 {
-            probe.emit(
+            probe.emit_caused(
                 now,
                 Layer::Routing,
                 EventKind::MsgLost {
                     class: MsgClass::Route,
                     count: outcome.lost_messages,
                 },
+                loss_cause,
             );
         }
         self.prev = current;
@@ -912,6 +939,67 @@ mod tests {
                 .count(),
             1
         );
+    }
+
+    #[test]
+    fn attributed_updates_chain_resyncs_to_the_loss_that_forced_them() {
+        use manet_sim::{FaultPlan, LossModel};
+        use manet_telemetry::{CauseTracker, Event, Subscriber};
+
+        #[derive(Default)]
+        struct Collect(Vec<Event>);
+        impl Subscriber for Collect {
+            fn event(&mut self, event: &Event) {
+                self.0.push(*event);
+            }
+        }
+
+        let t0 = topo(&[(0.0, 10.0), (0.9, 10.3), (0.9, 9.7)], 1.0);
+        let c = Clustering::form(LowestId, &t0);
+        let mut r = IntraClusterRouting::new();
+        let mut black_hole = FaultPlan {
+            loss: LossModel::Bernoulli { p: 1.0 },
+            ..FaultPlan::ideal()
+        }
+        .channel(manet_sim::STREAM_ROUTE);
+        let mut tracker = CauseTracker::new();
+        {
+            let mut probe = Probe::with_causes(None, None, Some(&mut tracker));
+            r.update_lossy_traced(0.0, &t0, &c, &mut black_hole, 0.0, &mut probe);
+        }
+        // An internal link change: the regular round carries a fresh
+        // IntraClusterChange root; its losses carry a ChannelLoss root.
+        let t1 = topo(&[(0.0, 10.0), (0.6, 10.7), (0.6, 9.3)], 1.0);
+        let mut sink = Collect::default();
+        {
+            let mut probe = Probe::with_causes(Some(&mut sink), None, Some(&mut tracker));
+            r.update_lossy_traced(0.0, &t1, &c, &mut black_hole, 1.0, &mut probe);
+        }
+        let round = sink
+            .0
+            .iter()
+            .find(|e| matches!(e.kind, EventKind::RouteRoundStarted { .. }))
+            .expect("regular round emitted");
+        assert_eq!(round.cause.unwrap().root, RootCause::IntraClusterChange);
+        let lost = sink
+            .0
+            .iter()
+            .find(|e| matches!(e.kind, EventKind::MsgLost { .. }))
+            .expect("loss emitted");
+        let loss_root = lost.cause.unwrap();
+        assert_eq!(loss_root.root, RootCause::ChannelLoss);
+        // Next pass: the pure re-sync round is attributed to that loss.
+        let mut sink2 = Collect::default();
+        {
+            let mut probe = Probe::with_causes(Some(&mut sink2), None, Some(&mut tracker));
+            r.update_lossy_traced(0.0, &t1, &c, &mut black_hole, 2.0, &mut probe);
+        }
+        let resync = sink2
+            .0
+            .iter()
+            .find(|e| matches!(e.kind, EventKind::RouteRoundStarted { .. }))
+            .expect("re-sync round emitted");
+        assert_eq!(resync.cause.unwrap().id, loss_root.id);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use crate::error::SimError;
 use crate::fault::Channel;
 use crate::topology::Topology;
 use crate::NodeId;
-use manet_telemetry::{EventKind, Layer, MsgClass, Probe};
+use manet_telemetry::{EventKind, Layer, MsgClass, Probe, RootCause};
 use std::collections::BTreeMap;
 
 /// Soft-state neighbor tables driven by periodic HELLO beacons.
@@ -236,13 +236,15 @@ impl HelloProtocol {
             );
         }
         if lost > 0 {
-            probe.emit(
+            let cause = probe.root(RootCause::ChannelLoss);
+            probe.emit_caused(
                 now,
                 Layer::Hello,
                 EventKind::MsgLost {
                     class: MsgClass::Hello,
                     count: lost,
                 },
+                cause,
             );
         }
         (sent, lost)

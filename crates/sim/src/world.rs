@@ -6,7 +6,7 @@ use crate::fault::{Channel, ChurnKind, FaultPlan, STREAM_HELLO};
 use crate::topology::{LinkEvent, LinkEventKind, Topology};
 use manet_geom::{Metric, SquareRegion, Vec2};
 use manet_mobility::Mobility;
-use manet_telemetry::{EventKind, Layer, Phase, Probe};
+use manet_telemetry::{EventKind, Layer, Phase, Probe, RootCause};
 use manet_util::stats::Summary;
 use manet_util::Rng;
 use std::fmt;
@@ -187,36 +187,43 @@ impl World {
     }
 
     /// Applies every churn event scheduled at or before the current time,
-    /// returning `(crashed, recovered)` counts.
+    /// returning `(crashed, recovered)` counts. With attribution enabled
+    /// each churn event opens a `Churn` root and is noted in the tracker,
+    /// so the link changes it provokes this tick chain to it.
     fn apply_due_churn(&mut self, probe: &mut Probe<'_>) -> (usize, usize) {
         let (mut crashed, mut recovered) = (0, 0);
+        let now = self.time;
         while self.churn_cursor < self.fault.churn.events().len() {
             let e = self.fault.churn.events()[self.churn_cursor];
-            if e.time > self.time {
+            if e.time > now {
                 break;
             }
             self.churn_cursor += 1;
             let up = &mut self.alive[e.node as usize];
-            match e.kind {
+            let flipped = match e.kind {
                 ChurnKind::Crash if *up => {
                     *up = false;
                     crashed += 1;
-                    probe.emit(
-                        self.time,
-                        Layer::Sim,
-                        EventKind::NodeCrashed { node: e.node },
-                    );
+                    true
                 }
                 ChurnKind::Recover if !*up => {
                     *up = true;
                     recovered += 1;
-                    probe.emit(
-                        self.time,
-                        Layer::Sim,
-                        EventKind::NodeRecovered { node: e.node },
-                    );
+                    true
                 }
-                _ => {}
+                _ => false,
+            };
+            if flipped {
+                let cause = probe.causes().map(|t| {
+                    let c = t.allocate(RootCause::Churn);
+                    t.note_churn(e.node, now, c);
+                    c
+                });
+                let kind = match e.kind {
+                    ChurnKind::Crash => EventKind::NodeCrashed { node: e.node },
+                    ChurnKind::Recover => EventKind::NodeRecovered { node: e.node },
+                };
+                probe.emit_caused(now, Layer::Sim, kind, cause);
             }
         }
         (crashed, recovered)
@@ -362,20 +369,43 @@ impl World {
 
         let mut generated = 0usize;
         let mut broken = 0usize;
+        // With attribution: each link change opens its own root, unless an
+        // endpoint churned this very tick — then it chains to the churn
+        // root instead. Generation causes are kept so event-driven HELLO
+        // sends below can be charged per link.
+        let mut gen_causes = Vec::new();
         for e in &self.events {
+            let chained = probe
+                .causes()
+                .and_then(|t| {
+                    t.churn_cause(e.a, self.time)
+                        .or_else(|| t.churn_cause(e.b, self.time))
+                })
+                .map(Some);
             match e.kind {
                 LinkEventKind::Generated => {
                     generated += 1;
                     self.counters.record_link_generated();
-                    probe.emit(self.time, Layer::Sim, EventKind::LinkUp { a: e.a, b: e.b });
+                    let cause = chained.unwrap_or_else(|| probe.root(RootCause::LinkGen));
+                    probe.emit_caused(
+                        self.time,
+                        Layer::Sim,
+                        EventKind::LinkUp { a: e.a, b: e.b },
+                        cause,
+                    );
+                    if probe.is_attributing() {
+                        gen_causes.push(cause);
+                    }
                 }
                 LinkEventKind::Broken => {
                     broken += 1;
                     self.counters.record_link_broken();
-                    probe.emit(
+                    let cause = chained.unwrap_or_else(|| probe.root(RootCause::LinkBreak));
+                    probe.emit_caused(
                         self.time,
                         Layer::Sim,
                         EventKind::LinkDown { a: e.a, b: e.b },
+                        cause,
                     );
                 }
             }
@@ -402,14 +432,33 @@ impl World {
         let mut hello_lost = 0usize;
         if hello_sent > 0 {
             self.counters.record_kind(MessageKind::Hello, hello_sent);
-            probe.emit(
-                self.time,
-                Layer::Sim,
-                EventKind::MsgSent {
-                    class: MessageKind::Hello.into(),
-                    count: hello_sent,
-                },
-            );
+            if matches!(self.hello_mode, HelloMode::EventDriven) && !gen_causes.is_empty() {
+                debug_assert_eq!(hello_sent, 2 * gen_causes.len() as u64);
+                // Attributed event-driven HELLO: two beacons per generated
+                // link, each send charged to its link's root. The counts
+                // sum to the batch below, so windowed series and counters
+                // are unchanged.
+                for &cause in &gen_causes {
+                    probe.emit_caused(
+                        self.time,
+                        Layer::Sim,
+                        EventKind::MsgSent {
+                            class: MessageKind::Hello.into(),
+                            count: 2,
+                        },
+                        cause,
+                    );
+                }
+            } else {
+                probe.emit(
+                    self.time,
+                    Layer::Sim,
+                    EventKind::MsgSent {
+                        class: MessageKind::Hello.into(),
+                        count: hello_sent,
+                    },
+                );
+            }
             // Overhead is paid at the sender, so attempted sends are counted
             // above regardless; a lossy channel additionally drops receptions.
             // The ideal channel consumes no randomness, and the draws come
@@ -422,13 +471,15 @@ impl World {
                     }
                 }
                 if hello_lost > 0 {
-                    probe.emit(
+                    let cause = probe.root(RootCause::ChannelLoss);
+                    probe.emit_caused(
                         self.time,
                         Layer::Sim,
                         EventKind::MsgLost {
                             class: MessageKind::Hello.into(),
                             count: hello_lost as u64,
                         },
+                        cause,
                     );
                 }
             }
@@ -705,6 +756,140 @@ mod tests {
             .sum();
         assert_eq!(hellos, w.counters().messages(MessageKind::Hello));
         assert!(sink.0.iter().all(|e| e.layer == Layer::Sim));
+    }
+
+    #[test]
+    fn attributed_step_tags_every_link_and_hello_send() {
+        use manet_telemetry::{CauseTracker, Event, RootCause, Subscriber};
+
+        #[derive(Default)]
+        struct Collect(Vec<Event>);
+        impl Subscriber for Collect {
+            fn event(&mut self, e: &Event) {
+                self.0.push(*e);
+            }
+        }
+
+        let mut plain = small_world(73);
+        let mut traced = small_world(73);
+        let mut sink = Collect::default();
+        let mut tracker = CauseTracker::new();
+        for _ in 0..40 {
+            let a = plain.step();
+            let mut probe = Probe::with_causes(Some(&mut sink), None, Some(&mut tracker));
+            let b = traced.step_traced(&mut probe);
+            assert_eq!(a, b, "attribution must not perturb the simulation");
+        }
+        assert_eq!(plain.counters(), traced.counters());
+        assert_eq!(plain.positions(), traced.positions());
+        assert!(!sink.0.is_empty());
+        assert!(
+            sink.0.iter().all(|e| e.cause.is_some()),
+            "every sim event has a root in an attributed event-driven run"
+        );
+        // Event-driven HELLO splits into per-link sends of 2, each sharing
+        // its LinkUp's root; the counts still reconcile with the counters.
+        let mut hello = 0u64;
+        for e in &sink.0 {
+            if let EventKind::MsgSent { count, .. } = e.kind {
+                assert_eq!(count, 2);
+                assert_eq!(e.cause.unwrap().root, RootCause::LinkGen);
+                hello += count;
+            }
+        }
+        assert_eq!(hello, traced.counters().messages(MessageKind::Hello));
+        let link_ups = sink
+            .0
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::LinkUp { .. }))
+            .count() as u64;
+        assert_eq!(hello, 2 * link_ups);
+    }
+
+    #[test]
+    fn churned_link_changes_chain_to_the_churn_root() {
+        use crate::fault::{ChurnEvent, ChurnKind, ChurnSchedule};
+        use manet_telemetry::{CauseTracker, Event, RootCause, Subscriber};
+
+        #[derive(Default)]
+        struct Collect(Vec<Event>);
+        impl Subscriber for Collect {
+            fn event(&mut self, e: &Event) {
+                self.0.push(*e);
+            }
+        }
+
+        let region = SquareRegion::new(100.0);
+        let mut rng = Rng::seed_from_u64(11);
+        let mobility = ConstantVelocity::new(region, 20, 0.0, &mut rng);
+        let fault = crate::FaultPlan {
+            loss: crate::LossModel::Ideal,
+            churn: ChurnSchedule::new(vec![
+                ChurnEvent {
+                    time: 1.0,
+                    node: 3,
+                    kind: ChurnKind::Crash,
+                },
+                ChurnEvent {
+                    time: 3.0,
+                    node: 3,
+                    kind: ChurnKind::Recover,
+                },
+            ]),
+            seed: 0,
+        };
+        let mut w = World::try_new(
+            Box::new(mobility),
+            40.0,
+            0.5,
+            Metric::toroidal(100.0),
+            HelloMode::EventDriven,
+            MessageSizes::default(),
+            5,
+            fault,
+        )
+        .unwrap();
+        assert!(w.topology().degree(3) > 0);
+        let mut sink = Collect::default();
+        let mut tracker = CauseTracker::new();
+        while w.time() < 3.5 {
+            let mut probe = Probe::with_causes(Some(&mut sink), None, Some(&mut tracker));
+            w.step_traced(&mut probe);
+        }
+        // The crash's link breaks and the recovery's link formations (and
+        // their HELLO beacons) all chain to the churn roots — static nodes,
+        // so churn is the only cause of topology change.
+        let crash_cause = sink
+            .0
+            .iter()
+            .find(|e| matches!(e.kind, EventKind::NodeCrashed { node: 3 }))
+            .and_then(|e| e.cause)
+            .expect("crash event recorded with a cause");
+        assert_eq!(crash_cause.root, RootCause::Churn);
+        let downs: Vec<_> = sink
+            .0
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::LinkDown { .. }))
+            .collect();
+        assert!(!downs.is_empty());
+        assert!(downs.iter().all(|e| e.cause == Some(crash_cause)));
+        let recover_cause = sink
+            .0
+            .iter()
+            .find(|e| matches!(e.kind, EventKind::NodeRecovered { node: 3 }))
+            .and_then(|e| e.cause)
+            .expect("recovery event recorded with a cause");
+        let ups: Vec<_> = sink
+            .0
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::LinkUp { .. }))
+            .collect();
+        assert!(!ups.is_empty());
+        assert!(ups.iter().all(|e| e.cause == Some(recover_cause)));
+        assert!(sink.0.iter().all(|e| match e.kind {
+            EventKind::MsgSent { .. } => e.cause == Some(recover_cause),
+            _ => true,
+        }));
     }
 
     #[test]

@@ -1,0 +1,208 @@
+//! Root-cause taxonomy and the per-run cause tracker.
+//!
+//! The paper's closed forms predict control overhead *per root event*:
+//! HELLO cost per link generation, CLUSTER cost per head-loss and
+//! head–head contact, ROUTE cost per intra-cluster link change. To measure
+//! those quantities directly, every traced [`Event`](crate::Event) may
+//! carry a [`Cause`] — a monotonically allocated [`CauseId`] tagged with
+//! the [`RootCause`] that ultimately triggered it. The id is allocated at
+//! the *detection site* (link event, churn, head contact, channel loss)
+//! and threaded through derived protocol reactions, so a trace can be
+//! folded into "messages per root cause" by the
+//! [`AttributionLedger`](crate::AttributionLedger).
+//!
+//! Attribution is opt-in: a probe without a [`CauseTracker`] emits every
+//! event with `cause: None` and the instrumented paths stay bit-identical
+//! to PR 2's telemetry plane.
+
+use crate::event::NodeId;
+use std::collections::BTreeMap;
+
+/// The kinds of root events the paper's analysis decomposes overhead by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RootCause {
+    /// A new link formed (drives event-driven HELLO beacons).
+    LinkGen,
+    /// A link broke (drives member–head break maintenance).
+    LinkBreak,
+    /// A member lost its head (resignation or break observed at the
+    /// member) and must re-home or self-promote.
+    HeadLoss,
+    /// Two heads came within contact range; the loser resigns.
+    HeadContact,
+    /// An intra-cluster link change charged a ROUTE broadcast round.
+    IntraClusterChange,
+    /// A node crashed or recovered (fault-plane churn schedule).
+    Churn,
+    /// The lossy channel dropped a delivery (drives retries/re-syncs).
+    ChannelLoss,
+}
+
+impl RootCause {
+    /// All root causes, in display order.
+    pub const ALL: [RootCause; 7] = [
+        RootCause::LinkGen,
+        RootCause::LinkBreak,
+        RootCause::HeadLoss,
+        RootCause::HeadContact,
+        RootCause::IntraClusterChange,
+        RootCause::Churn,
+        RootCause::ChannelLoss,
+    ];
+
+    /// Dense index into [`RootCause::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            RootCause::LinkGen => 0,
+            RootCause::LinkBreak => 1,
+            RootCause::HeadLoss => 2,
+            RootCause::HeadContact => 3,
+            RootCause::IntraClusterChange => 4,
+            RootCause::Churn => 5,
+            RootCause::ChannelLoss => 6,
+        }
+    }
+
+    /// Stable snake_case name (used in JSONL traces and the exporter).
+    pub fn name(self) -> &'static str {
+        match self {
+            RootCause::LinkGen => "link_gen",
+            RootCause::LinkBreak => "link_break",
+            RootCause::HeadLoss => "head_loss",
+            RootCause::HeadContact => "head_contact",
+            RootCause::IntraClusterChange => "intra_cluster_change",
+            RootCause::Churn => "churn",
+            RootCause::ChannelLoss => "channel_loss",
+        }
+    }
+
+    /// Inverse of [`RootCause::name`].
+    pub fn from_name(name: &str) -> Option<RootCause> {
+        RootCause::ALL.into_iter().find(|c| c.name() == name)
+    }
+}
+
+/// Monotonic per-run identifier of one root event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CauseId(pub u64);
+
+/// A root event reference carried by derived [`Event`](crate::Event)s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Cause {
+    /// The root event's per-run id.
+    pub id: CauseId,
+    /// What kind of root event it was.
+    pub root: RootCause,
+}
+
+/// Allocates [`CauseId`]s and remembers short-lived causal state that must
+/// cross layer boundaries within (or across) ticks:
+///
+/// - `node_causes`: the churn cause of a node that crashed/recovered this
+///   tick, so the link events and orphanings it provokes chain to the
+///   churn root instead of opening fresh `LinkBreak` roots;
+/// - `resignations`: the head-contact cause of a resigned head, so members
+///   orphaned by the resignation (possibly only re-homed on a later sweep)
+///   charge their CLUSTER messages to the contact that caused them.
+#[derive(Debug, Clone, Default)]
+pub struct CauseTracker {
+    next: u64,
+    node_causes: BTreeMap<NodeId, (f64, Cause)>,
+    resignations: BTreeMap<NodeId, Cause>,
+}
+
+impl CauseTracker {
+    /// A fresh tracker (ids start at 0).
+    pub fn new() -> Self {
+        CauseTracker::default()
+    }
+
+    /// Allocates a new root cause id.
+    pub fn allocate(&mut self, root: RootCause) -> Cause {
+        let id = CauseId(self.next);
+        self.next += 1;
+        Cause { id, root }
+    }
+
+    /// Number of ids allocated so far.
+    pub fn allocated(&self) -> u64 {
+        self.next
+    }
+
+    /// Records that `node` crashed/recovered at `time` under `cause`, so
+    /// same-tick derived events can chain to it.
+    pub fn note_churn(&mut self, node: NodeId, time: f64, cause: Cause) {
+        self.node_causes.insert(node, (time, cause));
+    }
+
+    /// The churn cause of `node` if it churned exactly at `time`.
+    pub fn churn_cause(&self, node: NodeId, time: f64) -> Option<Cause> {
+        self.node_causes
+            .get(&node)
+            .filter(|(t, _)| *t == time)
+            .map(|(_, c)| *c)
+    }
+
+    /// Records the head-contact cause behind `head`'s resignation; kept
+    /// until [`CauseTracker::clear_resignation`] because orphaned members
+    /// may only be re-homed on a later maintenance pass.
+    pub fn note_resignation(&mut self, head: NodeId, cause: Cause) {
+        self.resignations.insert(head, cause);
+    }
+
+    /// The pending resignation cause of `head`, if any.
+    pub fn resignation_cause(&self, head: NodeId) -> Option<Cause> {
+        self.resignations.get(&head).copied()
+    }
+
+    /// Drops the pending resignation cause of `head` (e.g. when it becomes
+    /// a head again).
+    pub fn clear_resignation(&mut self, head: NodeId) {
+        self.resignations.remove(&head);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip_and_indices_are_dense() {
+        for (i, root) in RootCause::ALL.into_iter().enumerate() {
+            assert_eq!(root.index(), i);
+            assert_eq!(RootCause::from_name(root.name()), Some(root));
+        }
+        assert_eq!(RootCause::from_name("nope"), None);
+    }
+
+    #[test]
+    fn tracker_allocates_monotonically() {
+        let mut t = CauseTracker::new();
+        let a = t.allocate(RootCause::LinkGen);
+        let b = t.allocate(RootCause::Churn);
+        assert_eq!(a.id, CauseId(0));
+        assert_eq!(b.id, CauseId(1));
+        assert_eq!(t.allocated(), 2);
+        assert_eq!(a.root, RootCause::LinkGen);
+    }
+
+    #[test]
+    fn churn_causes_match_only_at_the_same_time() {
+        let mut t = CauseTracker::new();
+        let c = t.allocate(RootCause::Churn);
+        t.note_churn(4, 1.25, c);
+        assert_eq!(t.churn_cause(4, 1.25), Some(c));
+        assert_eq!(t.churn_cause(4, 1.5), None);
+        assert_eq!(t.churn_cause(5, 1.25), None);
+    }
+
+    #[test]
+    fn resignation_causes_persist_until_cleared() {
+        let mut t = CauseTracker::new();
+        let c = t.allocate(RootCause::HeadContact);
+        t.note_resignation(9, c);
+        assert_eq!(t.resignation_cause(9), Some(c));
+        t.clear_resignation(9);
+        assert_eq!(t.resignation_cause(9), None);
+    }
+}

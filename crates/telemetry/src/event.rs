@@ -8,6 +8,7 @@
 //! untraced run is bit-identical to a build where telemetry was never
 //! attached (guarded by the counters-parity integration test).
 
+use crate::cause::{Cause, CauseTracker, RootCause};
 use crate::profiler::{Phase, PhaseProfiler};
 use std::time::Instant;
 
@@ -181,6 +182,14 @@ pub enum EventKind {
         /// Its new head.
         head: NodeId,
     },
+    /// A member lost its head (link break, resignation, or crash) and is
+    /// orphaned until re-homed — the anchor of a `HeadLoss` root cause.
+    HeadLost {
+        /// The orphaned member.
+        member: NodeId,
+        /// The head it lost.
+        head: NodeId,
+    },
     /// A cluster started `rounds` ROUTE broadcast round(s).
     RouteRoundStarted {
         /// The cluster's head.
@@ -218,6 +227,7 @@ impl EventKind {
             EventKind::HeadElected { .. } => "head_elected",
             EventKind::HeadResigned { .. } => "head_resigned",
             EventKind::MemberReaffiliated { .. } => "member_reaffiliated",
+            EventKind::HeadLost { .. } => "head_lost",
             EventKind::RouteRoundStarted { .. } => "route_round_started",
             EventKind::RetxScheduled { .. } => "retx_scheduled",
             EventKind::ClusterGauge { .. } => "cluster_gauge",
@@ -225,7 +235,8 @@ impl EventKind {
     }
 }
 
-/// One structured telemetry event: when, from which layer, and what.
+/// One structured telemetry event: when, from which layer, what, and
+/// (with attribution enabled) why.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Event {
     /// Simulation time, seconds.
@@ -234,6 +245,8 @@ pub struct Event {
     pub layer: Layer,
     /// Payload.
     pub kind: EventKind,
+    /// Root cause, when a [`CauseTracker`] is attached; `None` otherwise.
+    pub cause: Option<Cause>,
 }
 
 /// A sink for telemetry events.
@@ -259,7 +272,8 @@ impl Subscriber for NoopSubscriber {
 }
 
 /// The handle instrumented code paths thread through the stack: an optional
-/// event sink plus an optional tick-phase profiler.
+/// event sink, an optional tick-phase profiler, and an optional cause
+/// tracker for root-cause attribution.
 ///
 /// [`Probe::off`] is the zero-cost disabled form; every hook is `#[inline]`
 /// and reduces to a `None` check.
@@ -267,6 +281,7 @@ impl Subscriber for NoopSubscriber {
 pub struct Probe<'a> {
     sub: Option<&'a mut dyn Subscriber>,
     prof: Option<&'a mut PhaseProfiler>,
+    causes: Option<&'a mut CauseTracker>,
 }
 
 impl std::fmt::Debug for dyn Subscriber + '_ {
@@ -276,28 +291,44 @@ impl std::fmt::Debug for dyn Subscriber + '_ {
 }
 
 impl<'a> Probe<'a> {
-    /// The disabled probe: no subscriber, no profiler.
+    /// The disabled probe: no subscriber, no profiler, no attribution.
     #[inline]
     pub fn off() -> Probe<'static> {
         Probe {
             sub: None,
             prof: None,
+            causes: None,
         }
     }
 
-    /// A probe from optional parts.
+    /// A probe from optional parts (no attribution; see
+    /// [`Probe::with_causes`]).
     pub fn new(
         sub: Option<&'a mut dyn Subscriber>,
         prof: Option<&'a mut PhaseProfiler>,
     ) -> Probe<'a> {
-        Probe { sub, prof }
+        Probe {
+            sub,
+            prof,
+            causes: None,
+        }
     }
 
-    /// A tracing-only probe (no profiling).
+    /// A probe from optional parts including a cause tracker.
+    pub fn with_causes(
+        sub: Option<&'a mut dyn Subscriber>,
+        prof: Option<&'a mut PhaseProfiler>,
+        causes: Option<&'a mut CauseTracker>,
+    ) -> Probe<'a> {
+        Probe { sub, prof, causes }
+    }
+
+    /// A tracing-only probe (no profiling, no attribution).
     pub fn subscriber(sub: &'a mut dyn Subscriber) -> Probe<'a> {
         Probe {
             sub: Some(sub),
             prof: None,
+            causes: None,
         }
     }
 
@@ -313,11 +344,42 @@ impl<'a> Probe<'a> {
         self.prof.is_some()
     }
 
-    /// Emits one event (no-op without a subscriber).
+    /// Whether a cause tracker is attached (attribution enabled).
+    #[inline]
+    pub fn is_attributing(&self) -> bool {
+        self.causes.is_some()
+    }
+
+    /// The attached cause tracker, if any.
+    #[inline]
+    pub fn causes(&mut self) -> Option<&mut CauseTracker> {
+        self.causes.as_deref_mut()
+    }
+
+    /// Allocates a fresh root cause when attribution is enabled (`None`
+    /// otherwise, so disabled paths pay one branch).
+    #[inline]
+    pub fn root(&mut self, root: RootCause) -> Option<Cause> {
+        self.causes.as_deref_mut().map(|t| t.allocate(root))
+    }
+
+    /// Emits one uncaused event (no-op without a subscriber).
     #[inline]
     pub fn emit(&mut self, time: f64, layer: Layer, kind: EventKind) {
+        self.emit_caused(time, layer, kind, None);
+    }
+
+    /// Emits one event carrying an optional cause (no-op without a
+    /// subscriber).
+    #[inline]
+    pub fn emit_caused(&mut self, time: f64, layer: Layer, kind: EventKind, cause: Option<Cause>) {
         if let Some(sub) = self.sub.as_deref_mut() {
-            sub.event(&Event { time, layer, kind });
+            sub.event(&Event {
+                time,
+                layer,
+                kind,
+                cause,
+            });
         }
     }
 
@@ -421,6 +483,39 @@ mod tests {
         assert_eq!(prof.count(Phase::Topology), 1);
         assert_eq!(prof.count(Phase::Cluster), 1);
         assert_eq!(prof.count(Phase::Mobility), 0);
+    }
+
+    #[test]
+    fn caused_emits_carry_the_allocated_root() {
+        let mut sink = Collect::default();
+        let mut tracker = CauseTracker::new();
+        {
+            let mut p = Probe::with_causes(Some(&mut sink), None, Some(&mut tracker));
+            assert!(p.is_attributing());
+            let cause = p.root(RootCause::HeadContact);
+            assert!(cause.is_some());
+            p.emit_caused(
+                1.0,
+                Layer::Cluster,
+                EventKind::HeadResigned {
+                    node: 3,
+                    new_head: 1,
+                },
+                cause,
+            );
+            p.emit(1.0, Layer::Sim, EventKind::ClusterGauge { heads: 2 });
+        }
+        assert_eq!(tracker.allocated(), 1);
+        assert_eq!(
+            sink.0[0].cause.map(|c| c.root),
+            Some(RootCause::HeadContact)
+        );
+        assert_eq!(sink.0[1].cause, None);
+        // A probe without a tracker never allocates.
+        let mut p = Probe::off();
+        assert!(!p.is_attributing());
+        assert_eq!(p.root(RootCause::LinkGen), None);
+        assert!(p.causes().is_none());
     }
 
     #[test]

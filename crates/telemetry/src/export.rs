@@ -1,0 +1,271 @@
+//! Prometheus text-exposition snapshot exporter.
+//!
+//! [`prometheus_text`] renders a [`WindowedRecorder`] (and optionally an
+//! [`AttributionLedger`]) as Prometheus text exposition format 0.0.4 —
+//! `# HELP` / `# TYPE` comment pairs followed by `name{labels} value`
+//! samples. Experiments write the snapshot at end of run via
+//! `--metrics-out <path>`, so any scrape-file collector (e.g. the node
+//! exporter's textfile module) can ingest a simulation's totals without
+//! parsing the JSONL trace.
+
+use crate::attribution::AttributionLedger;
+use crate::cause::RootCause;
+use crate::event::MsgClass;
+use crate::window::WindowedRecorder;
+use std::fmt::Write;
+
+fn header(out: &mut String, name: &str, help: &str, kind: &str) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+/// Renders a snapshot of `recorder` (plus `ledger`, when attribution ran)
+/// in Prometheus text exposition format.
+pub fn prometheus_text(recorder: &WindowedRecorder, ledger: Option<&AttributionLedger>) -> String {
+    let mut out = String::new();
+
+    header(
+        &mut out,
+        "manet_msgs_total",
+        "Control messages sent, by class.",
+        "counter",
+    );
+    for class in MsgClass::ALL {
+        let _ = writeln!(
+            out,
+            "manet_msgs_total{{class=\"{}\"}} {}",
+            class.name(),
+            recorder.total_msgs(class)
+        );
+    }
+
+    header(
+        &mut out,
+        "manet_msgs_lost_total",
+        "Deliveries dropped by the fault plane, by class.",
+        "counter",
+    );
+    for class in MsgClass::ALL {
+        let _ = writeln!(
+            out,
+            "manet_msgs_lost_total{{class=\"{}\"}} {}",
+            class.name(),
+            recorder.total_lost(class)
+        );
+    }
+
+    let mut links_up = 0u64;
+    let mut links_down = 0u64;
+    let mut crashes = 0u64;
+    let mut recoveries = 0u64;
+    let mut elections = 0u64;
+    let mut resignations = 0u64;
+    let mut reaffiliations = 0u64;
+    let mut head_losses = 0u64;
+    let mut route_rounds = 0u64;
+    let mut retx = 0u64;
+    for w in recorder.windows() {
+        links_up += w.links_up;
+        links_down += w.links_down;
+        crashes += w.crashes;
+        recoveries += w.recoveries;
+        elections += w.head_elections;
+        resignations += w.head_resignations;
+        reaffiliations += w.reaffiliations;
+        head_losses += w.head_losses;
+        route_rounds += w.route_rounds;
+        retx += w.retx_scheduled;
+    }
+    for (name, help, value) in [
+        ("manet_links_up_total", "Links formed.", links_up),
+        ("manet_links_down_total", "Links broken.", links_down),
+        ("manet_node_crashes_total", "Node crashes.", crashes),
+        (
+            "manet_node_recoveries_total",
+            "Node recoveries.",
+            recoveries,
+        ),
+        (
+            "manet_head_elections_total",
+            "Head self-promotions.",
+            elections,
+        ),
+        (
+            "manet_head_resignations_total",
+            "Head resignations after head-head contact.",
+            resignations,
+        ),
+        (
+            "manet_reaffiliations_total",
+            "Member cluster switches.",
+            reaffiliations,
+        ),
+        (
+            "manet_head_losses_total",
+            "Members orphaned by a lost head.",
+            head_losses,
+        ),
+        (
+            "manet_route_rounds_total",
+            "ROUTE broadcast rounds started.",
+            route_rounds,
+        ),
+        (
+            "manet_retx_scheduled_total",
+            "Retransmissions scheduled into backoff.",
+            retx,
+        ),
+    ] {
+        header(&mut out, name, help, "counter");
+        let _ = writeln!(out, "{name} {value}");
+    }
+
+    header(
+        &mut out,
+        "manet_cluster_heads",
+        "Mean cluster-head count over the last gauged window.",
+        "gauge",
+    );
+    let heads = recorder
+        .windows()
+        .iter()
+        .rev()
+        .find_map(|w| w.mean_heads())
+        .unwrap_or(0.0);
+    let _ = writeln!(out, "manet_cluster_heads {heads}");
+
+    header(
+        &mut out,
+        "manet_trace_events_total",
+        "Telemetry events recorded.",
+        "counter",
+    );
+    let _ = writeln!(out, "manet_trace_events_total {}", recorder.events_seen());
+
+    if let Some(ledger) = ledger {
+        header(
+            &mut out,
+            "manet_cause_events_total",
+            "Root events recorded, by root cause (weighted anchors).",
+            "counter",
+        );
+        for root in RootCause::ALL {
+            let _ = writeln!(
+                out,
+                "manet_cause_events_total{{root=\"{}\"}} {}",
+                root.name(),
+                ledger.root_weight_total(root)
+            );
+        }
+
+        header(
+            &mut out,
+            "manet_cause_msgs_total",
+            "Attributed control messages, by root cause and class.",
+            "counter",
+        );
+        for root in RootCause::ALL {
+            for class in MsgClass::ALL {
+                let msgs = ledger.msgs(root, class);
+                if msgs > 0 {
+                    let _ = writeln!(
+                        out,
+                        "manet_cause_msgs_total{{root=\"{}\",class=\"{}\"}} {msgs}",
+                        root.name(),
+                        class.name()
+                    );
+                }
+            }
+        }
+
+        header(
+            &mut out,
+            "manet_cause_unit_cost",
+            "Measured messages per root event, by root cause and class.",
+            "gauge",
+        );
+        for root in RootCause::ALL {
+            for class in MsgClass::ALL {
+                if let Some(cost) = ledger.unit_cost(root, class) {
+                    if cost > 0.0 {
+                        let _ = writeln!(
+                            out,
+                            "manet_cause_unit_cost{{root=\"{}\",class=\"{}\"}} {cost}",
+                            root.name(),
+                            class.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cause::{Cause, CauseId};
+    use crate::event::{Event, EventKind, Layer};
+
+    #[test]
+    fn snapshot_contains_well_formed_samples() {
+        let mut rec = WindowedRecorder::new(5.0);
+        let mut ledger = AttributionLedger::new();
+        let gen = Cause {
+            id: CauseId(0),
+            root: RootCause::LinkGen,
+        };
+        for e in [
+            Event {
+                time: 1.0,
+                layer: Layer::Sim,
+                kind: EventKind::LinkUp { a: 0, b: 1 },
+                cause: Some(gen),
+            },
+            Event {
+                time: 1.0,
+                layer: Layer::Sim,
+                kind: EventKind::MsgSent {
+                    class: MsgClass::Hello,
+                    count: 2,
+                },
+                cause: Some(gen),
+            },
+            Event {
+                time: 2.0,
+                layer: Layer::Sim,
+                kind: EventKind::ClusterGauge { heads: 7 },
+                cause: None,
+            },
+        ] {
+            rec.absorb(&e);
+            ledger.absorb(&e);
+        }
+
+        let text = prometheus_text(&rec, Some(&ledger));
+        assert!(text.contains("# TYPE manet_msgs_total counter"));
+        assert!(text.contains("manet_msgs_total{class=\"HELLO\"} 2"));
+        assert!(text.contains("manet_links_up_total 1"));
+        assert!(text.contains("manet_cluster_heads 7"));
+        assert!(text.contains("manet_trace_events_total 3"));
+        assert!(text.contains("manet_cause_events_total{root=\"link_gen\"} 1"));
+        assert!(text.contains("manet_cause_msgs_total{root=\"link_gen\",class=\"HELLO\"} 2"));
+        assert!(text.contains("manet_cause_unit_cost{root=\"link_gen\",class=\"HELLO\"} 2"));
+        // Every non-comment line is "name{labels} value" or "name value".
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (name, value) = line.rsplit_once(' ').expect("sample shape");
+            assert!(!name.is_empty());
+            assert!(value.parse::<f64>().is_ok(), "{line}");
+        }
+    }
+
+    #[test]
+    fn exporter_without_ledger_omits_cause_families() {
+        let rec = WindowedRecorder::new(5.0);
+        let text = prometheus_text(&rec, None);
+        assert!(text.contains("manet_msgs_total{class=\"CLUSTER\"} 0"));
+        assert!(!text.contains("manet_cause_"));
+    }
+}

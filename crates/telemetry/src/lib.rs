@@ -25,6 +25,19 @@
 //!   p99 / max summaries.
 //! * [`sink`] — JSONL persistence ([`JsonlSink`], [`read_trace`]) and the
 //!   [`TraceOut`] fan-out used by traced harness runs.
+//! * [`cause`] — the root-cause taxonomy ([`RootCause`], [`CauseId`]) and
+//!   the [`CauseTracker`] that threads "why" through the layers: every
+//!   event optionally carries the [`Cause`] that triggered it, so a trace
+//!   can be folded into the paper's per-event overhead decomposition.
+//! * [`attribution`] — the streaming [`AttributionLedger`]: messages and
+//!   bytes per `RootCause` × `MsgClass`, measured per-event unit costs,
+//!   and a causal-chain index queryable by [`CauseId`].
+//! * [`audit`] — windowed runtime invariant monitors ([`AuditMonitor`]):
+//!   head separation and live-head persistence with grace windows, repair
+//!   drain, and exact trace ↔ counter reconciliation, reported as
+//!   structured [`AuditViolation`]s instead of panics.
+//! * [`export`] — a Prometheus text-exposition snapshot exporter
+//!   ([`prometheus_text`]) over recorder totals and the ledger.
 //!
 //! The crate depends only on `manet-util` (for the in-house JSON layer),
 //! keeping the workspace hermetic, and sits *below* the simulator in the
@@ -34,12 +47,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod attribution;
+pub mod audit;
+pub mod cause;
 pub mod event;
+pub mod export;
 pub mod profiler;
 pub mod sink;
 pub mod window;
 
+pub use attribution::{is_root_anchor, root_weight, AttributionLedger, ChainEntry};
+pub use audit::{AuditConfig, AuditMonitor, AuditReport, AuditSample, AuditViolation};
+pub use cause::{Cause, CauseId, CauseTracker, RootCause};
 pub use event::{Event, EventKind, Layer, MsgClass, NodeId, NoopSubscriber, Probe, Subscriber};
+pub use export::prometheus_text;
 pub use profiler::{Phase, PhaseProfiler, PhaseSummary, ProfileReport};
 pub use sink::{read_trace, JsonlSink, Trace, TraceMeta, TraceOut};
 pub use window::{WindowStats, WindowedRecorder};

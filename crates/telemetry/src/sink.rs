@@ -13,6 +13,7 @@
 //!
 //! The encoder lives here; the JSON layer itself is `manet_util::json`.
 
+use crate::cause::{Cause, CauseId, RootCause};
 use crate::event::{Event, EventKind, Layer, MsgClass, Subscriber};
 use crate::profiler::{Phase, PhaseSummary, ProfileReport};
 use crate::window::WindowedRecorder;
@@ -92,7 +93,7 @@ pub fn event_to_value(event: &Event) -> Value {
             node(&mut pairs, "node", n);
             node(&mut pairs, "new_head", new_head);
         }
-        EventKind::MemberReaffiliated { member, head } => {
+        EventKind::MemberReaffiliated { member, head } | EventKind::HeadLost { member, head } => {
             node(&mut pairs, "member", member);
             node(&mut pairs, "head", head);
         }
@@ -111,6 +112,10 @@ pub fn event_to_value(event: &Event) -> Value {
         EventKind::ClusterGauge { heads } => {
             pairs.push(("heads".into(), Value::from(heads)));
         }
+    }
+    if let Some(cause) = event.cause {
+        pairs.push(("cause".into(), Value::from(cause.id.0)));
+        pairs.push(("root".into(), Value::from(cause.root.name())));
     }
     Value::Obj(pairs)
 }
@@ -155,6 +160,10 @@ pub fn event_from_value(v: &Value) -> Option<Event> {
             member: node_field("member")?,
             head: node_field("head")?,
         },
+        "head_lost" => EventKind::HeadLost {
+            member: node_field("member")?,
+            head: node_field("head")?,
+        },
         "route_round_started" => EventKind::RouteRoundStarted {
             head: node_field("head")?,
             size: v.get("size")?.as_u64()?,
@@ -169,7 +178,22 @@ pub fn event_from_value(v: &Value) -> Option<Event> {
         },
         _ => return None,
     };
-    Some(Event { time, layer, kind })
+    // Cause tagging is optional; both fields must be present together (so
+    // pre-attribution traces, which carry neither, still parse).
+    let cause = match (v.get("cause"), v.get("root")) {
+        (Some(id), Some(root)) => Some(Cause {
+            id: CauseId(id.as_u64()?),
+            root: RootCause::from_name(root.as_str()?)?,
+        }),
+        (None, None) => None,
+        _ => return None,
+    };
+    Some(Event {
+        time,
+        layer,
+        kind,
+        cause,
+    })
 }
 
 /// Encodes a profile as its `{"type":"profile",...}` line payload.
@@ -410,84 +434,90 @@ pub fn read_trace<P: AsRef<Path>>(path: P) -> io::Result<Trace> {
 mod tests {
     use super::*;
 
+    fn ev(time: f64, layer: Layer, kind: EventKind) -> Event {
+        Event {
+            time,
+            layer,
+            kind,
+            cause: None,
+        }
+    }
+
+    fn caused(mut event: Event, id: u64, root: RootCause) -> Event {
+        event.cause = Some(Cause {
+            id: CauseId(id),
+            root,
+        });
+        event
+    }
+
     fn sample_events() -> Vec<Event> {
         vec![
-            Event {
-                time: 0.25,
-                layer: Layer::Sim,
-                kind: EventKind::LinkUp { a: 3, b: 17 },
-            },
-            Event {
-                time: 0.25,
-                layer: Layer::Sim,
-                kind: EventKind::LinkDown { a: 1, b: 2 },
-            },
-            Event {
-                time: 0.5,
-                layer: Layer::Sim,
-                kind: EventKind::MsgSent {
+            ev(0.25, Layer::Sim, EventKind::LinkUp { a: 3, b: 17 }),
+            ev(0.25, Layer::Sim, EventKind::LinkDown { a: 1, b: 2 }),
+            ev(
+                0.5,
+                Layer::Sim,
+                EventKind::MsgSent {
                     class: MsgClass::Hello,
                     count: 12,
                 },
-            },
-            Event {
-                time: 0.5,
-                layer: Layer::Hello,
-                kind: EventKind::MsgLost {
+            ),
+            ev(
+                0.5,
+                Layer::Hello,
+                EventKind::MsgLost {
                     class: MsgClass::Hello,
                     count: 2,
                 },
-            },
-            Event {
-                time: 0.75,
-                layer: Layer::Sim,
-                kind: EventKind::NodeCrashed { node: 9 },
-            },
-            Event {
-                time: 1.0,
-                layer: Layer::Sim,
-                kind: EventKind::NodeRecovered { node: 9 },
-            },
-            Event {
-                time: 1.25,
-                layer: Layer::Cluster,
-                kind: EventKind::HeadElected { node: 4 },
-            },
-            Event {
-                time: 1.25,
-                layer: Layer::Cluster,
-                kind: EventKind::HeadResigned {
-                    node: 6,
-                    new_head: 4,
-                },
-            },
-            Event {
-                time: 1.25,
-                layer: Layer::Cluster,
-                kind: EventKind::MemberReaffiliated { member: 8, head: 4 },
-            },
-            Event {
-                time: 1.5,
-                layer: Layer::Routing,
-                kind: EventKind::RouteRoundStarted {
+            ),
+            ev(0.75, Layer::Sim, EventKind::NodeCrashed { node: 9 }),
+            ev(1.0, Layer::Sim, EventKind::NodeRecovered { node: 9 }),
+            ev(1.25, Layer::Cluster, EventKind::HeadElected { node: 4 }),
+            caused(
+                ev(
+                    1.25,
+                    Layer::Cluster,
+                    EventKind::HeadResigned {
+                        node: 6,
+                        new_head: 4,
+                    },
+                ),
+                3,
+                RootCause::HeadContact,
+            ),
+            ev(
+                1.25,
+                Layer::Cluster,
+                EventKind::MemberReaffiliated { member: 8, head: 4 },
+            ),
+            caused(
+                ev(
+                    1.25,
+                    Layer::Cluster,
+                    EventKind::HeadLost { member: 8, head: 6 },
+                ),
+                4,
+                RootCause::HeadLoss,
+            ),
+            ev(
+                1.5,
+                Layer::Routing,
+                EventKind::RouteRoundStarted {
                     head: 4,
                     size: 7,
                     rounds: 2,
                 },
-            },
-            Event {
-                time: 1.5,
-                layer: Layer::Cluster,
-                kind: EventKind::RetxScheduled {
+            ),
+            ev(
+                1.5,
+                Layer::Cluster,
+                EventKind::RetxScheduled {
                     node: 6,
                     wait_ticks: 8,
                 },
-            },
-            Event {
-                time: 2.0,
-                layer: Layer::Cluster,
-                kind: EventKind::ClusterGauge { heads: 40 },
-            },
+            ),
+            ev(2.0, Layer::Cluster, EventKind::ClusterGauge { heads: 40 }),
         ]
     }
 
@@ -499,6 +529,15 @@ mod tests {
             let parsed = Value::parse(&text).unwrap();
             assert_eq!(event_from_value(&parsed), Some(event), "{text}");
         }
+    }
+
+    #[test]
+    fn cause_tags_must_come_in_pairs() {
+        let v = Value::parse(
+            "{\"type\":\"event\",\"t\":1,\"layer\":\"sim\",\"kind\":\"link_up\",\"a\":0,\"b\":1,\"cause\":5}",
+        )
+        .unwrap();
+        assert_eq!(event_from_value(&v), None);
     }
 
     #[test]

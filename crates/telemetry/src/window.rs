@@ -31,6 +31,8 @@ pub struct WindowStats {
     pub head_resignations: u64,
     /// Member cluster switches.
     pub reaffiliations: u64,
+    /// Members orphaned by a lost head (break, resignation, or crash).
+    pub head_losses: u64,
     /// ROUTE broadcast rounds started.
     pub route_rounds: u64,
     /// Retransmissions scheduled into backoff.
@@ -72,6 +74,7 @@ impl WindowStats {
             EventKind::HeadElected { .. } => self.head_elections += 1,
             EventKind::HeadResigned { .. } => self.head_resignations += 1,
             EventKind::MemberReaffiliated { .. } => self.reaffiliations += 1,
+            EventKind::HeadLost { .. } => self.head_losses += 1,
             EventKind::RouteRoundStarted { rounds, .. } => self.route_rounds += rounds,
             EventKind::RetxScheduled { .. } => self.retx_scheduled += 1,
             EventKind::ClusterGauge { heads } => {
@@ -238,6 +241,7 @@ mod tests {
             time,
             layer: Layer::Sim,
             kind,
+            cause: None,
         }
     }
 
@@ -295,9 +299,11 @@ mod tests {
             3.5,
             EventKind::MemberReaffiliated { member: 9, head: 3 },
         ));
+        rec.absorb(&ev(3.5, EventKind::HeadLost { member: 9, head: 4 }));
         assert_eq!(rec.cluster_count_series(), vec![Some(11.0), None]);
         assert_eq!(rec.head_change_series(), vec![0, 2]);
         assert_eq!(rec.windows()[1].reaffiliations, 1);
+        assert_eq!(rec.windows()[1].head_losses, 1);
     }
 
     #[test]

@@ -22,4 +22,9 @@ cargo test -q
 echo "==> telemetry smoke (trace_report --smoke)"
 cargo run -q --release -p manet-experiments --bin trace_report -- --smoke
 
+echo "==> attribution audit smoke (attribution_report --quick)"
+# Short seeded sim with attribution on: zero invariant violations, every
+# causal chain anchored, and exact Counters <-> ledger reconciliation.
+cargo run -q --release -p manet-experiments --bin attribution_report -- --quick
+
 echo "verify: all checks passed"
