@@ -24,8 +24,8 @@
 
 use crate::engine::MaintenanceOutcome;
 use crate::policy::ClusterPolicy;
-use manet_sim::{NodeId, Topology};
-use manet_telemetry::{Cause, EventKind, Layer, Probe, RootCause};
+use manet_sim::{NodeId, StepCtx, Topology};
+use manet_telemetry::{Cause, EventKind, Layer, RootCause};
 use std::collections::VecDeque;
 
 /// Transient "no head" marker used *within* a maintenance pass: a member
@@ -273,28 +273,23 @@ impl DHopClustering {
     /// out of d-hop reach, resolves head proximity when separation is
     /// enforced, and counts CLUSTER messages with the same conventions as
     /// the one-hop engine.
+    ///
+    /// Telemetry flows through `ctx.probe`: committed role changes are
+    /// emitted (`HeadResigned`, `MemberReaffiliated`, `HeadElected`)
+    /// stamped with `ctx.now`, each tagged with its root cause when the
+    /// probe carries a `CauseTracker` — one fresh `HeadContact` root per
+    /// resignation (shared with the orphanings and re-homes it forces),
+    /// one fresh `HeadLoss` root per out-of-reach member. With
+    /// [`Probe::off`](manet_telemetry::Probe::off) the pass is quiet with
+    /// identical outcomes.
     pub fn maintain<P: ClusterPolicy>(
         &mut self,
         policy: &P,
         topology: &Topology,
+        ctx: &mut StepCtx<'_, '_>,
     ) -> MaintenanceOutcome {
-        self.maintain_traced(policy, topology, 0.0, &mut Probe::off())
-    }
-
-    /// [`maintain`](Self::maintain) with telemetry: committed role changes
-    /// are emitted through `probe` (`HeadResigned`, `MemberReaffiliated`,
-    /// `HeadElected`) stamped with sim time `now`, each tagged with its
-    /// root cause when the probe carries a `CauseTracker` — one fresh
-    /// `HeadContact` root per resignation (shared with the orphanings and
-    /// re-homes it forces), one fresh `HeadLoss` root per out-of-reach
-    /// member. With [`Probe::off`] this is exactly `maintain`.
-    pub fn maintain_traced<P: ClusterPolicy>(
-        &mut self,
-        policy: &P,
-        topology: &Topology,
-        now: f64,
-        probe: &mut Probe<'_>,
-    ) -> MaintenanceOutcome {
+        let now = ctx.now;
+        let probe = &mut *ctx.probe;
         assert_eq!(topology.len(), self.head_of.len(), "node count changed");
         let n = self.head_of.len();
         let mut outcome = MaintenanceOutcome::default();
@@ -533,7 +528,8 @@ mod tests {
             Vec2::new(500.0, 0.0),
         ];
         let t1 = Topology::compute(&pts, SquareRegion::new(1000.0), 1.1, Metric::Euclidean);
-        let o = c.maintain(&LowestId, &t1);
+        let mut q = manet_sim::QuietCtx::new();
+        let o = c.maintain(&LowestId, &t1, &mut q.ctx());
         assert!(c.is_head(2), "stranded node promotes");
         assert_eq!(o.break_promotions, 1);
         c.check_invariants(&t1).unwrap();
@@ -552,7 +548,8 @@ mod tests {
         let mut c = DHopClustering::form(&LowestId, &t0, 2);
         assert_eq!(c.head_count(), 2);
         let t1 = path(4); // 0-1-2-3: heads 0 and 2 are now 2 hops apart
-        let o = c.maintain(&LowestId, &t1);
+        let mut q = manet_sim::QuietCtx::new();
+        let o = c.maintain(&LowestId, &t1, &mut q.ctx());
         assert_eq!(o.contact_resignations, 1, "head 2 resigns to head 0");
         // Former member 3 is 3 hops from head 0, so it must promote itself
         // — counted with the contact attribution.
@@ -589,7 +586,12 @@ mod tests {
         let mut sink = Collect::default();
         let mut tracker = CauseTracker::new();
         let mut probe = Probe::with_causes(Some(&mut sink), None, Some(&mut tracker));
-        let o = c.maintain_traced(&LowestId, &t1, 1.0, &mut probe);
+        let mut scratch = manet_sim::Scratch::new();
+        let o = c.maintain(
+            &LowestId,
+            &t1,
+            &mut StepCtx::new(&mut probe, &mut scratch).at(1.0),
+        );
         // Accounting matches the untraced path exactly.
         assert_eq!(o.contact_resignations, 1);
         assert_eq!(o.contact_promotions, 1);

@@ -2,9 +2,14 @@
 
 use crate::policy::ClusterPolicy;
 use crate::Role;
-use manet_sim::{NodeId, Topology};
-use manet_telemetry::{Cause, EventKind, Layer, Probe, RootCause};
+use manet_sim::{NodeId, StepCtx, Topology};
+use manet_telemetry::{Cause, EventKind, Layer, RootCause};
 use std::fmt;
+
+// The fault plane lives with the rest of the per-tick context in
+// `manet-sim`; re-exported here because the maintenance engine is its main
+// consumer and pre-refactor code imported it from this module.
+pub use manet_sim::{Attempt, FaultHooks, NoFaults};
 
 /// A violation of the one-hop clustering invariants P1/P2.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,46 +62,6 @@ enum OrphanCause {
     /// paper's second CLUSTER trigger).
     HeadResigned,
 }
-
-/// The fate of one attempted CLUSTER send under a fault plane.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Attempt {
-    /// The message went through; the role change commits.
-    Delivered,
-    /// The message was lost; the role change does not commit and the
-    /// underlying invariant violation persists for a later retry.
-    Lost,
-    /// The sender is backing off; no transmission this pass.
-    Deferred,
-}
-
-/// Fault plane seen by the maintenance engine.
-///
-/// The engine calls [`FaultHooks::is_alive`] to skip crashed nodes and
-/// [`FaultHooks::attempt`] before committing each role change (one CLUSTER
-/// message each). The default implementations — everything alive,
-/// everything delivered — make [`NoFaults`] a zero-cost ideal plane:
-/// `maintain` monomorphizes to exactly the pre-fault behavior.
-pub trait FaultHooks {
-    /// Whether node `u` is up. Crashed nodes neither detect breaks nor
-    /// transmit; their links should already be absent from the topology.
-    fn is_alive(&self, u: NodeId) -> bool {
-        let _ = u;
-        true
-    }
-
-    /// Gates and draws one CLUSTER send by node `u`.
-    fn attempt(&mut self, u: NodeId) -> Attempt {
-        let _ = u;
-        Attempt::Delivered
-    }
-}
-
-/// The ideal fault plane: every node up, every message delivered.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct NoFaults;
-
-impl FaultHooks for NoFaults {}
 
 /// CLUSTER-message accounting for one maintenance pass, decomposed by
 /// trigger so the analytical terms of Eqns 6–11 can be validated
@@ -266,54 +231,36 @@ impl<P: ClusterPolicy> Clustering<P> {
     ///    orphan can adopt later orphans — chain reactions are executed and
     ///    counted, which is why measured counts can slightly exceed the
     ///    paper's lower bound.
-    pub fn maintain(&mut self, topology: &Topology) -> MaintenanceOutcome {
-        self.maintain_faulty(topology, &mut NoFaults)
-    }
-
-    /// [`maintain`](Self::maintain) under a fault plane.
     ///
-    /// `hooks` decides which nodes are up and whether each CLUSTER send
-    /// goes through. A [`Attempt::Lost`] send pays its overhead
-    /// (`lost_sends`) but does *not* commit the role change, so the
-    /// invariant violation persists into later passes until a retry
-    /// succeeds; [`Attempt::Deferred`] (backoff) pays nothing. Crashed
-    /// nodes are skipped entirely — they neither orphan themselves nor
-    /// transmit.
+    /// The cross-cutting planes ride in `ctx`:
     ///
-    /// With [`NoFaults`] this is exactly the ideal [`maintain`]: identical
-    /// role changes, identical counts.
-    pub fn maintain_faulty<H: FaultHooks>(
+    /// - **Faults** (`ctx.hooks`) decide which nodes are up and whether
+    ///   each CLUSTER send goes through. An [`Attempt::Lost`] send pays its
+    ///   overhead (`lost_sends`) but does *not* commit the role change, so
+    ///   the invariant violation persists into later passes until a retry
+    ///   succeeds; [`Attempt::Deferred`] (backoff) pays nothing. Crashed
+    ///   nodes are skipped entirely — they neither orphan themselves nor
+    ///   transmit. Without hooks the pass is ideal: identical role changes,
+    ///   identical counts.
+    /// - **Telemetry** (`ctx.probe`): every committed role change is
+    ///   emitted (`HeadResigned`, `MemberReaffiliated`, `HeadElected`)
+    ///   stamped with `ctx.now`. When the probe carries a `CauseTracker`,
+    ///   every event is tagged with its root cause — a fresh `HeadLoss`
+    ///   root per broken member↔head link (chained to a same-tick `Churn`
+    ///   root when the head just crashed or recovered), a fresh
+    ///   `HeadContact` root per committed resignation (carried by the
+    ///   loser's orphaned members through their re-homes), and the stored
+    ///   resignation cause for members whose recorded head quietly stopped
+    ///   being one. Orphanings additionally emit `HeadLost` marker events;
+    ///   these exist only under attribution, so a traced-but-unattributed
+    ///   run remains event-for-event identical (one event per committed
+    ///   CLUSTER message).
+    pub fn maintain(
         &mut self,
         topology: &Topology,
-        hooks: &mut H,
+        ctx: &mut StepCtx<'_, '_>,
     ) -> MaintenanceOutcome {
-        self.maintain_traced(topology, hooks, 0.0, &mut Probe::off())
-    }
-
-    /// [`maintain_faulty`](Self::maintain_faulty) with telemetry: every
-    /// committed role change is emitted through `probe` (`HeadResigned`,
-    /// `MemberReaffiliated`, `HeadElected`) stamped with sim time `now`.
-    /// With [`Probe::off`] this is exactly `maintain_faulty` — identical
-    /// role changes, identical counts.
-    ///
-    /// When the probe carries a `CauseTracker`, every emitted event is
-    /// tagged with the root cause that triggered it — a fresh `HeadLoss`
-    /// root per broken member↔head link (chained to a same-tick `Churn`
-    /// root when the head just crashed or recovered), a fresh
-    /// `HeadContact` root per committed resignation (carried by the
-    /// loser's orphaned members through their re-homes), and the stored
-    /// resignation cause for members whose recorded head quietly stopped
-    /// being one. Orphanings additionally emit `HeadLost` marker events;
-    /// these exist only under attribution, so a traced-but-unattributed
-    /// run remains event-for-event identical to the pre-attribution
-    /// behavior (one event per committed CLUSTER message).
-    pub fn maintain_traced<H: FaultHooks>(
-        &mut self,
-        topology: &Topology,
-        hooks: &mut H,
-        now: f64,
-        probe: &mut Probe<'_>,
-    ) -> MaintenanceOutcome {
+        let now = ctx.now;
         assert_eq!(
             topology.len(),
             self.roles.len(),
@@ -330,7 +277,7 @@ impl<P: ClusterPolicy> Clustering<P> {
         // gone, or (only possible after a lost repair or a recovery from a
         // crash) the recorded head is no longer a head.
         for u in 0..n as NodeId {
-            if !hooks.is_alive(u) {
+            if !ctx.is_alive(u) {
                 continue;
             }
             if let Role::Member { head } = self.roles[u as usize] {
@@ -339,14 +286,14 @@ impl<P: ClusterPolicy> Clustering<P> {
                     // Chain to a same-tick churn root (the head or the
                     // member itself just crashed/recovered); otherwise
                     // this is the paper's first CLUSTER trigger.
-                    let cause = probe.causes().map(|t| {
+                    let cause = ctx.probe.causes().map(|t| {
                         t.churn_cause(head, now)
                             .or_else(|| t.churn_cause(u, now))
                             .unwrap_or_else(|| t.allocate(RootCause::HeadLoss))
                     });
                     orphan_why[u as usize] = cause;
-                    if probe.is_attributing() {
-                        probe.emit_caused(
+                    if ctx.probe.is_attributing() {
+                        ctx.probe.emit_caused(
                             now,
                             Layer::Cluster,
                             EventKind::HeadLost { member: u, head },
@@ -357,13 +304,13 @@ impl<P: ClusterPolicy> Clustering<P> {
                     orphan_cause[u as usize] = Some(OrphanCause::HeadResigned);
                     // The head resigned in an earlier pass (this member's
                     // re-home was lost) — keep charging that contact.
-                    let cause = probe.causes().map(|t| {
+                    let cause = ctx.probe.causes().map(|t| {
                         t.resignation_cause(head)
                             .unwrap_or_else(|| t.allocate(RootCause::HeadLoss))
                     });
                     orphan_why[u as usize] = cause;
-                    if probe.is_attributing() {
-                        probe.emit_caused(
+                    if ctx.probe.is_attributing() {
+                        ctx.probe.emit_caused(
                             now,
                             Layer::Cluster,
                             EventKind::HeadLost { member: u, head },
@@ -399,19 +346,19 @@ impl<P: ClusterPolicy> Clustering<P> {
                     (b, a)
                 };
             // The loser resigns and announces its new affiliation: 1 msg.
-            match hooks.attempt(loser) {
+            match ctx.attempt(loser) {
                 Attempt::Delivered => {
                     self.roles[loser as usize] = Role::Member { head: winner };
                     outcome.contact_resignations += 1;
                     // One fresh HeadContact root covers the resignation
                     // and every re-home it forces; remembered so members
                     // whose re-home is lost keep charging this contact.
-                    let cause = probe.causes().map(|t| {
+                    let cause = ctx.probe.causes().map(|t| {
                         let c = t.allocate(RootCause::HeadContact);
                         t.note_resignation(loser, c);
                         c
                     });
-                    probe.emit_caused(
+                    ctx.probe.emit_caused(
                         now,
                         Layer::Cluster,
                         EventKind::HeadResigned {
@@ -429,8 +376,8 @@ impl<P: ClusterPolicy> Clustering<P> {
                             if head == loser && orphan_cause[m as usize].is_none() {
                                 orphan_cause[m as usize] = Some(OrphanCause::HeadResigned);
                                 orphan_why[m as usize] = cause;
-                                if probe.is_attributing() {
-                                    probe.emit_caused(
+                                if ctx.probe.is_attributing() {
+                                    ctx.probe.emit_caused(
                                         now,
                                         Layer::Cluster,
                                         EventKind::HeadLost {
@@ -461,7 +408,7 @@ impl<P: ClusterPolicy> Clustering<P> {
             let Some(cause) = orphan_cause[u as usize] else {
                 continue;
             };
-            match hooks.attempt(u) {
+            match ctx.attempt(u) {
                 Attempt::Delivered => {}
                 Attempt::Lost => {
                     outcome.lost_sends += 1;
@@ -483,7 +430,7 @@ impl<P: ClusterPolicy> Clustering<P> {
                 (Some(h), OrphanCause::LinkBroke) => {
                     self.roles[u as usize] = Role::Member { head: h };
                     outcome.break_reaffiliations += 1;
-                    probe.emit_caused(
+                    ctx.probe.emit_caused(
                         now,
                         Layer::Cluster,
                         EventKind::MemberReaffiliated { member: u, head: h },
@@ -493,7 +440,7 @@ impl<P: ClusterPolicy> Clustering<P> {
                 (Some(h), OrphanCause::HeadResigned) => {
                     self.roles[u as usize] = Role::Member { head: h };
                     outcome.contact_reaffiliations += 1;
-                    probe.emit_caused(
+                    ctx.probe.emit_caused(
                         now,
                         Layer::Cluster,
                         EventKind::MemberReaffiliated { member: u, head: h },
@@ -503,18 +450,28 @@ impl<P: ClusterPolicy> Clustering<P> {
                 (None, OrphanCause::LinkBroke) => {
                     self.roles[u as usize] = Role::Head;
                     outcome.break_promotions += 1;
-                    if let Some(t) = probe.causes() {
+                    if let Some(t) = ctx.probe.causes() {
                         t.clear_resignation(u);
                     }
-                    probe.emit_caused(now, Layer::Cluster, EventKind::HeadElected { node: u }, why);
+                    ctx.probe.emit_caused(
+                        now,
+                        Layer::Cluster,
+                        EventKind::HeadElected { node: u },
+                        why,
+                    );
                 }
                 (None, OrphanCause::HeadResigned) => {
                     self.roles[u as usize] = Role::Head;
                     outcome.contact_promotions += 1;
-                    if let Some(t) = probe.causes() {
+                    if let Some(t) = ctx.probe.causes() {
                         t.clear_resignation(u);
                     }
-                    probe.emit_caused(now, Layer::Cluster, EventKind::HeadElected { node: u }, why);
+                    ctx.probe.emit_caused(
+                        now,
+                        Layer::Cluster,
+                        EventKind::HeadElected { node: u },
+                        why,
+                    );
                 }
             }
         }
@@ -524,7 +481,7 @@ impl<P: ClusterPolicy> Clustering<P> {
         #[cfg(debug_assertions)]
         if outcome.lost_sends == 0
             && outcome.deferred_sends == 0
-            && (0..n as NodeId).all(|u| hooks.is_alive(u))
+            && (0..n as NodeId).all(|u| ctx.is_alive(u))
         {
             debug_assert_eq!(self.check_invariants(topology), Ok(()));
         }
@@ -677,8 +634,30 @@ impl<P: ClusterPolicy> Clustering<P> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policy::{HighestConnectivity, LowestId};
+    use crate::policy::{ClusterPolicy, HighestConnectivity, LowestId};
     use manet_geom::{Metric, SquareRegion, Vec2};
+    use manet_sim::{QuietCtx, Scratch};
+    use manet_telemetry::Probe;
+
+    /// One quiet ideal-plane maintenance pass.
+    fn m<P: ClusterPolicy>(c: &mut Clustering<P>, t: &Topology) -> MaintenanceOutcome {
+        let mut q = QuietCtx::new();
+        c.maintain(t, &mut q.ctx())
+    }
+
+    /// One quiet pass under explicit fault hooks.
+    fn mf<P: ClusterPolicy>(
+        c: &mut Clustering<P>,
+        t: &Topology,
+        hooks: &mut dyn FaultHooks,
+    ) -> MaintenanceOutcome {
+        let mut probe = Probe::off();
+        let mut scratch = Scratch::new();
+        c.maintain(
+            t,
+            &mut StepCtx::new(&mut probe, &mut scratch).with_hooks(hooks),
+        )
+    }
 
     /// Builds a topology from explicit positions with unit-disk radius.
     fn topo(positions: &[(f64, f64)], radius: f64) -> Topology {
@@ -759,7 +738,7 @@ mod tests {
         assert_eq!(c.role(1), Role::Member { head: 0 });
         // Node 0 moves away; 1 stays adjacent to 2 only.
         let t1 = topo(&[(500.0, 0.0), (1.0, 0.0), (2.0, 0.0)], 1.1);
-        let o = c.maintain(&t1);
+        let o = m(&mut c, &t1);
         assert_eq!(c.role(1), Role::Member { head: 2 });
         assert_eq!(o.break_reaffiliations, 1);
         assert_eq!(o.total_messages(), 1);
@@ -771,7 +750,7 @@ mod tests {
         let t0 = path(2); // 0 head, 1 member of 0
         let mut c = Clustering::form(LowestId, &t0);
         let t1 = topo(&[(0.0, 0.0), (50.0, 0.0)], 1.1);
-        let o = c.maintain(&t1);
+        let o = m(&mut c, &t1);
         assert!(c.is_head(1));
         assert_eq!(o.break_promotions, 1);
         assert_eq!(o.total_messages(), 1);
@@ -787,7 +766,7 @@ mod tests {
         // Heads drift into contact; everyone ends up mutually visible
         // except nothing else changes.
         let t1 = topo(&[(5.0, 0.0), (4.5, 0.0), (5.5, 0.0), (6.0, 0.0)], 2.0);
-        let o = c.maintain(&t1);
+        let o = m(&mut c, &t1);
         // LID: head 0 beats head 2; 2 resigns and joins 0 (1 msg); 2's
         // member 3 re-homes (1 msg) — it is adjacent to 0 here.
         assert!(c.is_head(0));
@@ -810,7 +789,7 @@ mod tests {
         assert!(c.is_head(0) && c.is_head(1));
         assert_eq!(c.role(2), Role::Member { head: 1 });
         let t1 = topo(&pts, 1.5);
-        let o = c.maintain(&t1);
+        let o = m(&mut c, &t1);
         assert!(c.is_head(0));
         assert_eq!(c.role(1), Role::Member { head: 0 });
         assert!(c.is_head(2), "stranded member promotes");
@@ -827,7 +806,7 @@ mod tests {
         let mut c = Clustering::form(LowestId, &t0);
         assert_eq!(c.head_count(), 3);
         let t1 = path(3);
-        let o = c.maintain(&t1);
+        let o = m(&mut c, &t1);
         // Contacts: (0,1) → 1 resigns to 0. Then (0,2)? Not adjacent (path).
         // 2 stays head; no member of 1 existed.
         assert!(c.is_head(0));
@@ -842,7 +821,7 @@ mod tests {
     fn no_events_means_no_messages() {
         let t = path(6);
         let mut c = Clustering::form(LowestId, &t);
-        let o = c.maintain(&t);
+        let o = m(&mut c, &t);
         assert_eq!(o, MaintenanceOutcome::default());
         assert_eq!(o.total_messages(), 0);
     }
@@ -967,7 +946,7 @@ mod tests {
             pattern: vec![false],
             k: 0,
         };
-        let o = c.maintain_faulty(&t1, &mut lossy);
+        let o = mf(&mut c, &t1, &mut lossy);
         // The resignation was attempted (overhead paid) but did not commit.
         assert_eq!(o.lost_sends, 1);
         assert_eq!(o.total_messages(), 0);
@@ -982,7 +961,7 @@ mod tests {
             pattern: vec![true],
             k: 0,
         };
-        let o = c.maintain_faulty(&t1, &mut fine);
+        let o = mf(&mut c, &t1, &mut fine);
         assert_eq!(o.contact_resignations, 1);
         assert!(c.violations(&t1).is_empty());
         c.check_invariants(&t1).unwrap();
@@ -1001,7 +980,7 @@ mod tests {
         let mut lost = 0;
         let mut passes = 0;
         while !c.violations(&t1).is_empty() {
-            let o = c.maintain_faulty(&t1, &mut lossy);
+            let o = mf(&mut c, &t1, &mut lossy);
             lost += o.lost_sends;
             passes += 1;
             assert!(passes <= 5, "must converge quickly");
@@ -1037,7 +1016,7 @@ mod tests {
             alive,
             senders: Vec::new(),
         };
-        let o = c.maintain_faulty(&masked, &mut hooks);
+        let o = mf(&mut c, &masked, &mut hooks);
         // 1 lost its head → re-homes to head 2 (which stayed a head).
         assert_eq!(hooks.senders, vec![1]);
         assert_eq!(o.break_reaffiliations, 1);
@@ -1047,15 +1026,16 @@ mod tests {
     }
 
     #[test]
-    fn maintain_faulty_with_nofaults_is_maintain() {
+    fn hookless_maintain_matches_nofaults_hooks() {
         use manet_sim::SimBuilder;
         let mut world = SimBuilder::new().nodes(80).seed(13).build();
         let mut a = Clustering::form(LowestId, world.topology());
         let mut b = a.clone();
+        let mut q = QuietCtx::new();
         for _ in 0..50 {
-            world.step();
-            let oa = a.maintain(world.topology());
-            let ob = b.maintain_faulty(world.topology(), &mut NoFaults);
+            world.step(&mut q.ctx());
+            let oa = m(&mut a, world.topology());
+            let ob = mf(&mut b, world.topology(), &mut NoFaults);
             assert_eq!(oa, ob);
             assert_eq!(a.roles(), b.roles());
         }
@@ -1078,14 +1058,14 @@ mod tests {
         let mut c = Clustering::form(LowestId, world.topology());
         let mut sink = Collect::default();
         let mut total = MaintenanceOutcome::default();
+        let mut q = QuietCtx::new();
+        let mut scratch = Scratch::new();
         for _ in 0..60 {
-            world.step();
+            world.step(&mut q.ctx());
             let mut probe = Probe::subscriber(&mut sink);
-            total.absorb(c.maintain_traced(
+            total.absorb(c.maintain(
                 world.topology(),
-                &mut NoFaults,
-                world.time(),
-                &mut probe,
+                &mut StepCtx::new(&mut probe, &mut scratch).at(world.time()),
             ));
         }
         assert!(total.total_messages() > 0, "mobile world must churn roles");
@@ -1128,7 +1108,8 @@ mod tests {
         let mut sink = Collect::default();
         let mut tracker = CauseTracker::new();
         let mut probe = Probe::with_causes(Some(&mut sink), None, Some(&mut tracker));
-        let o = c.maintain_traced(&t1, &mut NoFaults, 1.0, &mut probe);
+        let mut scratch = Scratch::new();
+        let o = c.maintain(&t1, &mut StepCtx::new(&mut probe, &mut scratch).at(1.0));
         // Accounting is untouched by attribution.
         assert_eq!(o.contact_resignations, 1);
         assert_eq!(o.contact_reaffiliations, 1);
@@ -1164,7 +1145,8 @@ mod tests {
         let mut sink = Collect::default();
         let mut tracker = CauseTracker::new();
         let mut probe = Probe::with_causes(Some(&mut sink), None, Some(&mut tracker));
-        let o = c.maintain_traced(&b1, &mut NoFaults, 2.0, &mut probe);
+        let mut scratch = Scratch::new();
+        let o = c.maintain(&b1, &mut StepCtx::new(&mut probe, &mut scratch).at(2.0));
         assert_eq!(o.break_reaffiliations, 1);
         assert_eq!(sink.0.len(), 2, "HeadLost marker + re-affiliation");
         let root = sink.0[0].cause.unwrap();
@@ -1190,7 +1172,8 @@ mod tests {
         let t1 = topo(&[(500.0, 0.0), (1.0, 0.0), (2.0, 0.0)], 1.1);
         let mut sink = Collect::default();
         let mut probe = Probe::subscriber(&mut sink);
-        let o = c.maintain_traced(&t1, &mut NoFaults, 1.0, &mut probe);
+        let mut scratch = Scratch::new();
+        let o = c.maintain(&t1, &mut StepCtx::new(&mut probe, &mut scratch).at(1.0));
         assert_eq!(o.total_messages(), 1);
         // Without a cause tracker the event stream is exactly the PR2
         // contract: one uncaused event per committed CLUSTER message.

@@ -27,14 +27,15 @@
 //!
 //! ```
 //! use manet_cluster::{Clustering, LowestId};
-//! use manet_sim::SimBuilder;
+//! use manet_sim::{QuietCtx, SimBuilder};
 //!
 //! let mut world = SimBuilder::new().nodes(100).seed(5).build();
 //! let mut clustering = Clustering::form(LowestId, world.topology());
 //! clustering.check_invariants(world.topology()).unwrap();
+//! let mut quiet = QuietCtx::new();
 //! for _ in 0..40 {
-//!     world.step();
-//!     let outcome = clustering.maintain(world.topology());
+//!     world.step(&mut quiet.ctx());
+//!     let outcome = clustering.maintain(world.topology(), &mut quiet.ctx());
 //!     let _ = outcome.total_messages();
 //!     clustering.check_invariants(world.topology()).unwrap();
 //! }

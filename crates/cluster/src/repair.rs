@@ -23,8 +23,8 @@
 use crate::engine::{Attempt, Clustering, FaultHooks, MaintenanceOutcome};
 use crate::policy::ClusterPolicy;
 use crate::Role;
-use manet_sim::{Channel, Counters, MessageKind, NodeId, Topology};
-use manet_telemetry::{EventKind, Layer, Probe, RootCause};
+use manet_sim::{Channel, Counters, MessageKind, NodeId, StepCtx, Topology};
+use manet_telemetry::{EventKind, Layer, RootCause};
 
 /// Bounded exponential backoff for lost CLUSTER sends.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -194,6 +194,15 @@ impl<P: ClusterPolicy> SelfHealing<P> {
     /// `topology` must already exclude dead nodes' links and `alive` must
     /// match the world's current up/down state (see `World::alive`).
     ///
+    /// The wrapper installs its own retry/backoff gate as the engine's
+    /// fault hooks for the nested maintenance pass (any hooks already on
+    /// `ctx` are not consulted). Telemetry flows through `ctx.probe`:
+    /// role-change events come from the engine, and every lost send
+    /// additionally emits a `RetxScheduled` event (stamped `ctx.now`)
+    /// carrying the backoff wait chosen for its retry. With
+    /// [`Probe::off`](manet_telemetry::Probe::off) the step is quiet with
+    /// identical outcomes.
+    ///
     /// # Panics
     ///
     /// Panics if `alive.len()` differs from the node count.
@@ -202,22 +211,9 @@ impl<P: ClusterPolicy> SelfHealing<P> {
         topology: &Topology,
         alive: &[bool],
         channel: &mut Channel,
+        ctx: &mut StepCtx<'_, '_>,
     ) -> RepairOutcome {
-        self.step_traced(topology, alive, channel, 0.0, &mut Probe::off())
-    }
-
-    /// [`SelfHealing::step`] with telemetry: role-change events are emitted
-    /// through the engine's traced maintenance pass, and every lost send
-    /// additionally emits a `RetxScheduled` event carrying the backoff wait
-    /// chosen for its retry. With [`Probe::off`] this is exactly `step`.
-    pub fn step_traced(
-        &mut self,
-        topology: &Topology,
-        alive: &[bool],
-        channel: &mut Channel,
-        now: f64,
-        probe: &mut Probe<'_>,
-    ) -> RepairOutcome {
+        let now = ctx.now;
         assert_eq!(alive.len(), self.send.len(), "alive mask size mismatch");
         self.tick += 1;
 
@@ -261,13 +257,19 @@ impl<P: ClusterPolicy> SelfHealing<P> {
             repairs: 0,
             scheduled: Vec::new(),
         };
-        let maintenance = self
-            .clustering
-            .maintain_traced(topology, &mut gate, now, probe);
+        let maintenance = {
+            let mut inner = StepCtx {
+                probe: &mut *ctx.probe,
+                hooks: Some(&mut gate),
+                now,
+                scratch: &mut *ctx.scratch,
+            };
+            self.clustering.maintain(topology, &mut inner)
+        };
         let (retransmissions, repairs) = (gate.retransmissions, gate.repairs);
         for (node, wait_ticks) in gate.scheduled {
-            let cause = probe.root(RootCause::ChannelLoss);
-            probe.emit_caused(
+            let cause = ctx.probe.root(RootCause::ChannelLoss);
+            ctx.probe.emit_caused(
                 now,
                 Layer::Cluster,
                 EventKind::RetxScheduled { node, wait_ticks },
@@ -288,7 +290,9 @@ impl<P: ClusterPolicy> SelfHealing<P> {
 mod tests {
     use super::*;
     use crate::policy::LowestId;
-    use manet_sim::{FaultPlan, LossModel, SimBuilder};
+    use manet_sim::Scratch;
+    use manet_sim::{FaultPlan, LossModel, QuietCtx, SimBuilder};
+    use manet_telemetry::Probe;
 
     fn lossy_channel(p: f64, seed: u64) -> Channel {
         Channel::new(LossModel::Bernoulli { p }, seed)
@@ -320,10 +324,11 @@ mod tests {
         let mut healing = SelfHealing::new(plain.clone(), Backoff::default(), 10);
         let mut channel = ideal_channel();
         let alive = vec![true; 100];
+        let mut q = QuietCtx::new();
         for _ in 0..60 {
-            world.step();
-            let o_plain = plain.maintain(world.topology());
-            let o_heal = healing.step(world.topology(), &alive, &mut channel);
+            world.step(&mut q.ctx());
+            let o_plain = plain.maintain(world.topology(), &mut q.ctx());
+            let o_heal = healing.step(world.topology(), &alive, &mut channel, &mut q.ctx());
             assert_eq!(o_heal.maintenance, o_plain);
             assert_eq!(o_heal.retransmissions, 0);
             assert_eq!(o_heal.repairs, 0);
@@ -360,24 +365,25 @@ mod tests {
         );
         let mut dead_air = lossy_channel(1.0, 7);
         let alive = [true, true];
-        let o = healing.step(&near, &alive, &mut dead_air);
+        let mut q = QuietCtx::new();
+        let o = healing.step(&near, &alive, &mut dead_air, &mut q.ctx());
         assert_eq!(o.maintenance.lost_sends, 1);
         assert_eq!(o.violations_left, 1);
         // Next 3 ticks: backoff gates the retry, zero overhead.
         for _ in 0..3 {
-            let o = healing.step(&near, &alive, &mut dead_air);
+            let o = healing.step(&near, &alive, &mut dead_air, &mut q.ctx());
             assert_eq!(o.maintenance.deferred_sends, 1);
             assert_eq!(o.maintenance.attempted_messages(), 0);
         }
         // Gate opens: the retry happens (and is lost again, as a retx).
-        let o = healing.step(&near, &alive, &mut dead_air);
+        let o = healing.step(&near, &alive, &mut dead_air, &mut q.ctx());
         assert_eq!(o.maintenance.lost_sends, 1);
         assert_eq!(o.retransmissions, 1);
         // Channel heals: the next allowed retry commits.
         let mut fine = ideal_channel();
         let mut done = false;
         for _ in 0..20 {
-            let o = healing.step(&near, &alive, &mut fine);
+            let o = healing.step(&near, &alive, &mut fine, &mut q.ctx());
             if o.violations_left == 0 {
                 done = true;
                 break;
@@ -413,11 +419,12 @@ mod tests {
         );
         let mut dead_air = lossy_channel(1.0, 7);
         let alive = [true, true];
-        healing.step(&near, &alive, &mut dead_air); // lost, gated ~1000 ticks
+        let mut q = QuietCtx::new();
+        healing.step(&near, &alive, &mut dead_air, &mut q.ctx()); // lost, gated ~1000 ticks
         let mut fine = ideal_channel();
         let mut healed_at = None;
         for k in 2..=8u64 {
-            let o = healing.step(&near, &alive, &mut fine);
+            let o = healing.step(&near, &alive, &mut fine, &mut q.ctx());
             if o.violations_left == 0 {
                 healed_at = Some(k);
                 break;
@@ -443,12 +450,13 @@ mod tests {
         let c = Clustering::form(LowestId, &full);
         let mut healing = SelfHealing::new(c, Backoff::default(), 10);
         let mut channel = ideal_channel();
-        healing.step(&full, &[true; 3], &mut channel);
+        let mut q = QuietCtx::new();
+        healing.step(&full, &[true; 3], &mut channel, &mut q.ctx());
         // Head 0 crashes.
         let alive = [false, true, true];
         let mut masked = full.clone();
         masked.retain_alive(&alive);
-        let o = healing.step(&masked, &alive, &mut channel);
+        let o = healing.step(&masked, &alive, &mut channel, &mut q.ctx());
         assert_eq!(o.repairs, 1, "the orphan's re-home is repair traffic");
         assert_eq!(o.cluster_messages(), 0);
         assert_eq!(o.violations_left, 0);
@@ -456,7 +464,7 @@ mod tests {
         // Head 0 recovers: it wakes as a stale head next to nobody — its
         // role is still consistent (singleton head), so no traffic, but a
         // recovering *member* would re-validate. Either way: no violation.
-        let o = healing.step(&full, &[true; 3], &mut channel);
+        let o = healing.step(&full, &[true; 3], &mut channel, &mut q.ctx());
         assert_eq!(o.violations_left, 0);
     }
 
@@ -483,23 +491,25 @@ mod tests {
         let mut traced = SelfHealing::new(c.clone(), Backoff::default(), 8);
         let mut plain = SelfHealing::new(c, Backoff::default(), 8);
         let plan = FaultPlan::bernoulli(0.5, 13).unwrap();
-        let mut ch_traced = plan.channel(manet_sim::fault::STREAM_CLUSTER);
+        let mut ch_probed = plan.channel(manet_sim::fault::STREAM_CLUSTER);
         let mut ch_plain = plan.channel(manet_sim::fault::STREAM_CLUSTER);
         let alive = vec![true; 80];
         let mut sink = Collect::default();
         let mut counters = Counters::default();
         let mut losses = 0;
+        let mut q = QuietCtx::new();
+        let mut scratch = Scratch::new();
         for t in 0..40 {
-            world.step();
+            world.step(&mut q.ctx());
             let now = t as f64;
-            let o = traced.step_traced(
+            let mut probe = Probe::subscriber(&mut sink);
+            let o = traced.step(
                 world.topology(),
                 &alive,
-                &mut ch_traced,
-                now,
-                &mut Probe::subscriber(&mut sink),
+                &mut ch_probed,
+                &mut StepCtx::new(&mut probe, &mut scratch).at(now),
             );
-            let o_plain = plain.step(world.topology(), &alive, &mut ch_plain);
+            let o_plain = plain.step(world.topology(), &alive, &mut ch_plain, &mut q.ctx());
             assert_eq!(o, o_plain, "tracing must not change the outcome");
             o.record(&mut counters);
             losses += o.maintenance.lost_sends;
@@ -539,8 +549,9 @@ mod tests {
         let plan = FaultPlan::bernoulli(0.4, 5).unwrap();
         let mut channel = plan.channel(manet_sim::fault::STREAM_CLUSTER);
         let mut alive = vec![true; 60];
+        let mut q = QuietCtx::new();
         for t in 0..200 {
-            world.step();
+            world.step(&mut q.ctx());
             // Crash nodes 3 and 17 for a stretch.
             if t == 40 {
                 alive[3] = false;
@@ -552,14 +563,16 @@ mod tests {
             }
             let mut masked = world.topology().clone();
             masked.retain_alive(&alive);
-            healing.step(&masked, &alive, &mut channel);
+            healing.step(&masked, &alive, &mut channel, &mut q.ctx());
         }
         // Quiescence: freeze the world, heal the channel.
         let mut fine = ideal_channel();
         let masked = world.topology().clone();
         let mut last = u64::MAX;
         for _ in 0..10 {
-            last = healing.step(&masked, &alive, &mut fine).violations_left;
+            last = healing
+                .step(&masked, &alive, &mut fine, &mut q.ctx())
+                .violations_left;
         }
         assert_eq!(
             last, 0,

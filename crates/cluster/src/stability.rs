@@ -96,7 +96,7 @@ mod tests {
     use super::*;
     use crate::policy::LowestId;
     use manet_geom::{Metric, SquareRegion, Vec2};
-    use manet_sim::Topology;
+    use manet_sim::{QuietCtx, Topology};
 
     fn topo(positions: &[(f64, f64)], radius: f64) -> Topology {
         let pts: Vec<Vec2> = positions.iter().map(|&(x, y)| Vec2::new(x, y)).collect();
@@ -111,7 +111,7 @@ mod tests {
         let mut c = Clustering::form(LowestId, &t0);
         let mut tracker = StabilityTracker::new(&c, 0.0);
         let t1 = topo(&[(0.0, 0.0), (500.0, 0.0)], 1.1);
-        c.maintain(&t1);
+        c.maintain(&t1, &mut QuietCtx::new().ctx());
         tracker.observe(&c, 10.0);
         // Node 1's membership spell of 10 s ended; node 0 kept its role.
         assert_eq!(tracker.role_changes(), 1);
@@ -128,7 +128,7 @@ mod tests {
         let mut c = Clustering::form(LowestId, &t0);
         let mut tracker = StabilityTracker::new(&c, 0.0);
         let t1 = topo(&[(0.0, 0.0), (1.0, 0.0)], 1.1);
-        c.maintain(&t1);
+        c.maintain(&t1, &mut QuietCtx::new().ctx());
         tracker.observe(&c, 7.5);
         assert_eq!(tracker.head_lifetimes().count(), 1);
         assert_eq!(tracker.head_lifetimes().mean(), 7.5);
@@ -154,7 +154,7 @@ mod tests {
         assert_eq!(c.role(1), Role::Member { head: 0 });
         let mut tracker = StabilityTracker::new(&c, 0.0);
         let t1 = topo(&[(500.0, 0.0), (1.0, 0.0), (2.0, 0.0)], 1.1);
-        c.maintain(&t1);
+        c.maintain(&t1, &mut QuietCtx::new().ctx());
         tracker.observe(&c, 3.0);
         assert_eq!(c.role(1), Role::Member { head: 2 });
         assert_eq!(tracker.membership_residences().count(), 1);

@@ -3,7 +3,7 @@
 use manet_cluster::{
     ClusterStats, Clustering, HighestConnectivity, LowestId, MaintenanceOutcome, StaticWeights,
 };
-use manet_sim::{MobilityKind, SimBuilder};
+use manet_sim::{MobilityKind, QuietCtx, SimBuilder};
 
 /// Invariants hold at every tick of a mobile world, for every policy.
 #[test]
@@ -20,18 +20,20 @@ fn invariants_hold_through_motion_for_all_policies() {
         match name {
             "lid" => {
                 let mut c = Clustering::form(LowestId, world.topology());
+                let mut q = QuietCtx::new();
                 for _ in 0..200 {
-                    world.step();
-                    c.maintain(world.topology());
+                    world.step(&mut q.ctx());
+                    c.maintain(world.topology(), &mut q.ctx());
                     c.check_invariants(world.topology())
                         .unwrap_or_else(|e| panic!("{name}: {e}"));
                 }
             }
             "hcc" => {
                 let mut c = Clustering::form(HighestConnectivity, world.topology());
+                let mut q = QuietCtx::new();
                 for _ in 0..200 {
-                    world.step();
-                    c.maintain(world.topology());
+                    world.step(&mut q.ctx());
+                    c.maintain(world.topology(), &mut q.ctx());
                     c.check_invariants(world.topology())
                         .unwrap_or_else(|e| panic!("{name}: {e}"));
                 }
@@ -39,9 +41,10 @@ fn invariants_hold_through_motion_for_all_policies() {
             _ => {
                 let weights = (0..120).map(|i| ((i * 37) % 17) as f64).collect();
                 let mut c = Clustering::form(StaticWeights::new(weights), world.topology());
+                let mut q = QuietCtx::new();
                 for _ in 0..200 {
-                    world.step();
-                    c.maintain(world.topology());
+                    world.step(&mut q.ctx());
+                    c.maintain(world.topology(), &mut q.ctx());
                     c.check_invariants(world.topology())
                         .unwrap_or_else(|e| panic!("{name}: {e}"));
                 }
@@ -56,9 +59,10 @@ fn static_world_is_silent() {
     let mut world = SimBuilder::new().nodes(150).speed(0.0).seed(4).build();
     let mut c = Clustering::form(LowestId, world.topology());
     let mut total = MaintenanceOutcome::default();
+    let mut q = QuietCtx::new();
     for _ in 0..50 {
-        world.step();
-        total.absorb(c.maintain(world.topology()));
+        world.step(&mut q.ctx());
+        total.absorb(c.maintain(world.topology(), &mut q.ctx()));
     }
     assert_eq!(total.total_messages(), 0);
 }
@@ -71,9 +75,10 @@ fn cluster_messages_are_sparser_than_link_events() {
     let mut c = Clustering::form(LowestId, world.topology());
     world.begin_measurement();
     let mut msgs = 0u64;
+    let mut q = QuietCtx::new();
     for _ in 0..800 {
-        world.step();
-        msgs += c.maintain(world.topology()).total_messages();
+        world.step(&mut q.ctx());
+        msgs += c.maintain(world.topology(), &mut q.ctx()).total_messages();
     }
     let events = world.counters().links_generated() + world.counters().links_broken();
     assert!(events > 0);
@@ -130,9 +135,10 @@ fn maintained_head_ratio_stays_near_formation_level() {
     let mut c = Clustering::form(LowestId, world.topology());
     let formation_p = c.head_ratio();
     let mut ratios = Vec::new();
+    let mut q = QuietCtx::new();
     for t in 0..600 {
-        world.step();
-        c.maintain(world.topology());
+        world.step(&mut q.ctx());
+        c.maintain(world.topology(), &mut q.ctx());
         if t >= 200 && t % 20 == 0 {
             ratios.push(c.head_ratio());
         }
@@ -155,9 +161,10 @@ fn invariants_hold_under_random_waypoint() {
         .seed(7)
         .build();
     let mut c = Clustering::form(LowestId, world.topology());
+    let mut q = QuietCtx::new();
     for _ in 0..300 {
-        world.step();
-        c.maintain(world.topology());
+        world.step(&mut q.ctx());
+        c.maintain(world.topology(), &mut q.ctx());
         c.check_invariants(world.topology()).unwrap();
     }
     let stats = ClusterStats::measure(&c);
@@ -194,9 +201,10 @@ mod slow_proptests {
         let mut c = Clustering::form(LowestId, world.topology());
         prop_assert!(c.check_invariants(world.topology()).is_ok());
         let mut total = MaintenanceOutcome::default();
+        let mut q = QuietCtx::new();
         for _ in 0..30 {
-            world.step();
-            let o = c.maintain(world.topology());
+            world.step(&mut q.ctx());
+            let o = c.maintain(world.topology(), &mut q.ctx());
             total.absorb(o);
             prop_assert!(c.check_invariants(world.topology()).is_ok());
         }
@@ -241,9 +249,10 @@ mod dhop_properties {
                 .build();
             let mut c = DHopClustering::form(&LowestId, world.topology(), hops);
             prop_assert!(c.check_invariants(world.topology()).is_ok());
+            let mut q = manet_sim::QuietCtx::new();
             for _ in 0..20 {
-                world.step();
-                c.maintain(&LowestId, world.topology());
+                world.step(&mut q.ctx());
+                c.maintain(&LowestId, world.topology(), &mut q.ctx());
                 if let Err(e) = c.check_invariants(world.topology()) {
                     return Err(TestCaseError::fail(format!("hops={hops}: {e}")));
                 }

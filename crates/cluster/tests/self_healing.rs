@@ -9,7 +9,7 @@
 //! makes every failure exactly reproducible from its scenario index.
 
 use manet_cluster::{Backoff, Clustering, LowestId, SelfHealing};
-use manet_sim::{FaultPlan, LossModel, SimBuilder};
+use manet_sim::{FaultPlan, LossModel, QuietCtx, SimBuilder};
 use manet_util::Rng;
 
 /// One randomized fault scenario, fully determined by `index`.
@@ -67,8 +67,9 @@ fn run_scenario(index: u64) -> (u64, usize) {
         .collect();
     flip_at.sort_unstable();
     let mut attempted = 0u64;
+    let mut q = QuietCtx::new();
     for t in 0..ticks {
-        world.step();
+        world.step(&mut q.ctx());
         for &(ft, node) in &flip_at {
             if ft == t {
                 alive[node] = !alive[node];
@@ -77,7 +78,7 @@ fn run_scenario(index: u64) -> (u64, usize) {
         let mut masked = world.topology().clone();
         masked.retain_alive(&alive);
         attempted += healing
-            .step(&masked, &alive, &mut channel)
+            .step(&masked, &alive, &mut channel, &mut q.ctx())
             .maintenance
             .attempted_messages();
     }
@@ -89,7 +90,9 @@ fn run_scenario(index: u64) -> (u64, usize) {
     masked.retain_alive(&alive);
     let mut left = u64::MAX;
     for _ in 0..sweep + 1 {
-        left = healing.step(&masked, &alive, &mut fine).violations_left;
+        left = healing
+            .step(&masked, &alive, &mut fine, &mut q.ctx())
+            .violations_left;
     }
     (left, attempted as usize)
 }

@@ -228,6 +228,8 @@ pub fn route_dispersion_closure(protocol: &Protocol, range_fractions: &[f64]) ->
     use manet_cluster::{ClusterStats, Clustering, LowestId};
     use manet_geom::linkdist::DISC_SAME_RADIUS_LINK_PROB;
     use manet_routing::intra::{IntraClusterRouting, RouteUpdateOutcome};
+    use manet_sim::QuietCtx;
+    use manet_stack::ProtocolStack;
     use manet_util::Samples;
 
     let mut t = Table::new([
@@ -246,17 +248,16 @@ pub fn route_dispersion_closure(protocol: &Protocol, range_fractions: &[f64]) ->
             ..base
         };
         let seed = protocol.seeds.first().copied().unwrap_or(1);
-        let mut world = crate::harness::build_world(&scenario, protocol.dt, seed);
-        let mut clustering = Clustering::form(LowestId, world.topology());
-        let mut routing = IntraClusterRouting::new();
-        routing.update(world.topology(), &clustering);
+        let world = crate::harness::build_world(&scenario, protocol.dt, seed);
+        let clustering = Clustering::form(LowestId, world.topology());
+        let mut stack = ProtocolStack::ideal(world, clustering, IntraClusterRouting::new());
+        let mut quiet = QuietCtx::new();
+        stack.prime(&mut quiet.ctx());
         let warm = (protocol.warmup / protocol.dt) as usize;
         for _ in 0..warm {
-            world.step();
-            clustering.maintain(world.topology());
-            routing.update(world.topology(), &clustering);
+            stack.tick(&mut quiet.ctx());
         }
-        world.begin_measurement();
+        stack.world_mut().begin_measurement();
         let mut route = RouteUpdateOutcome::default();
         let mut phys_msgs = 0u64;
         let mut sizes = Samples::new();
@@ -264,9 +265,9 @@ pub fn route_dispersion_closure(protocol: &Protocol, range_fractions: &[f64]) ->
         let mut pairs: Vec<(f64, f64)> = Vec::new();
         let ticks = (protocol.measure / protocol.dt) as usize;
         for k in 0..ticks {
-            world.step();
-            clustering.maintain(world.topology());
-            route.absorb(routing.update(world.topology(), &clustering));
+            let report = stack.tick(&mut quiet.ctx());
+            route.absorb(report.route);
+            let (world, clustering) = (stack.world(), stack.cluster());
             // Physical intra-cluster churn: link events whose endpoints are
             // co-clustered — the only changes the paper's Eqn 13 counts.
             for e in world.last_events() {
@@ -294,6 +295,7 @@ pub fn route_dispersion_closure(protocol: &Protocol, range_fractions: &[f64]) ->
                 }
             }
         }
+        let (world, clustering) = (stack.world(), stack.cluster());
         let n = world.node_count();
         let elapsed = world.measured_time();
         let f_route_sim = route.route_messages as f64 / n as f64 / elapsed;
@@ -322,7 +324,7 @@ pub fn route_dispersion_closure(protocol: &Protocol, range_fractions: &[f64]) ->
             0.0
         };
 
-        let stats = ClusterStats::measure(&clustering);
+        let stats = ClusterStats::measure(clustering);
         let _ = stats;
         let f_phys = phys_msgs as f64 / n as f64 / elapsed;
         t.row([

@@ -2,10 +2,11 @@
 //! vs the clustered hybrid stack, as network size grows at fixed density.
 
 use crate::harness::{Protocol, Scenario};
-use manet_cluster::{Clustering, LowestId, MaintenanceOutcome};
+use manet_cluster::{Clustering, LowestId};
 use manet_routing::dsdv::{Dsdv, DsdvOutcome};
-use manet_routing::intra::{IntraClusterRouting, RouteUpdateOutcome, UpdatePolicy};
-use manet_sim::{HelloMode, MessageKind, SimBuilder};
+use manet_routing::intra::{IntraClusterRouting, UpdatePolicy};
+use manet_sim::{HelloMode, MessageKind, QuietCtx, SimBuilder};
+use manet_stack::{ProtocolStack, StackReport};
 use manet_util::table::{fmt_sig, Table};
 
 /// One row of the comparison: per-node control bit rates.
@@ -40,7 +41,7 @@ pub fn flat_vs_clustered(
             };
             let seed = protocol.seeds.first().copied().unwrap_or(1);
 
-            let mut world = SimBuilder::new()
+            let world = SimBuilder::new()
                 .side(scenario.side)
                 .nodes(scenario.nodes)
                 .radius(scenario.radius)
@@ -49,42 +50,42 @@ pub fn flat_vs_clustered(
                 .seed(seed)
                 .hello_mode(HelloMode::EventDriven)
                 .build();
-            let mut clustering = Clustering::form(LowestId, world.topology());
+            let clustering = Clustering::form(LowestId, world.topology());
             // Fairness: both sides rate-limit their proactive updates to
             // the same interval (per-change flooding is the paper's
             // counting convention, not a deployable protocol).
-            let mut routing = IntraClusterRouting::with_policy(UpdatePolicy::Coalesced {
+            let routing = IntraClusterRouting::with_policy(UpdatePolicy::Coalesced {
                 interval: dump_interval,
             });
-            routing.update_timed(0.0, world.topology(), &clustering);
+            let mut stack = ProtocolStack::ideal(world, clustering, routing);
+            let mut quiet = QuietCtx::new();
+            stack.prime(&mut quiet.ctx());
             let mut dsdv = Dsdv::new(dump_interval);
 
             let warm_ticks = (protocol.warmup / protocol.dt).round() as usize;
             for _ in 0..warm_ticks {
-                world.step();
-                clustering.maintain(world.topology());
-                routing.update_timed(protocol.dt, world.topology(), &clustering);
+                stack.tick(&mut quiet.ctx());
             }
-            world.begin_measurement();
-            let mut maint = MaintenanceOutcome::default();
-            let mut route = RouteUpdateOutcome::default();
+            stack.world_mut().begin_measurement();
+            let mut agg = StackReport::default();
             let mut flat = DsdvOutcome::default();
             let ticks = (protocol.measure / protocol.dt).round() as usize;
             for _ in 0..ticks {
-                world.step();
-                maint.absorb(clustering.maintain(world.topology()));
-                route.absorb(routing.update_timed(protocol.dt, world.topology(), &clustering));
+                agg.absorb(stack.tick(&mut quiet.ctx()));
                 // The flat baseline sees the same link events.
+                let world = stack.world();
                 let events: Vec<_> = world.last_events().to_vec();
                 flat.absorb(dsdv.step(protocol.dt, world.topology(), &events));
             }
 
+            let world = stack.world();
             let elapsed = world.measured_time();
             let sizes_tbl = world.sizes();
             let per_node_bits = |bytes: f64| bytes * 8.0 / n as f64 / elapsed;
             let hello_bits = world.counters().bytes(MessageKind::Hello) as f64;
-            let cluster_bits = maint.total_messages() as f64 * sizes_tbl.cluster as f64;
-            let route_bits = route.route_entries as f64 * sizes_tbl.route_entry as f64;
+            let cluster_bits =
+                agg.cluster.maintenance.total_messages() as f64 * sizes_tbl.cluster as f64;
+            let route_bits = agg.route.route_entries as f64 * sizes_tbl.route_entry as f64;
             let clustered_bits = per_node_bits(hello_bits + cluster_bits + route_bits);
 
             // Flat baseline bits: HELLO is needed there too; dumps carry

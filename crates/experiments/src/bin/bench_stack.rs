@@ -1,0 +1,171 @@
+//! `bench_stack` — throughput and allocation measurement for the unified
+//! [`ProtocolStack`] tick pipeline (DESIGN.md §12).
+//!
+//! Measures full-stack ticks/sec (LID clustering + intra-cluster routing
+//! over the ideal plane) at N = 400 and N = 1600 at fixed density, plus
+//! the steady-state allocation count of the world's topology/diff hot
+//! path under a counting global allocator (expected: zero once scratch
+//! capacities have warmed up).
+//!
+//! ```sh
+//! cargo run --release -p manet-experiments --bin bench_stack          # full, writes BENCH_stack.json
+//! cargo run --release -p manet-experiments --bin bench_stack -- --quick   # smoke: stdout only
+//! ```
+
+use manet_cluster::{Clustering, LowestId};
+use manet_routing::intra::IntraClusterRouting;
+use manet_sim::{HelloMode, QuietCtx, SimBuilder};
+use manet_stack::{ProtocolStack, StackReport};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to the system allocator; the counter is a
+// relaxed atomic increment with no other side effect.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+const DT: f64 = 0.5;
+const RADIUS: f64 = 150.0;
+const SPEED: f64 = 10.0;
+const DENSITY: f64 = 400.0 / 1e6; // nodes per m², fixed across sizes
+
+struct Row {
+    nodes: usize,
+    side: f64,
+    measure_ticks: usize,
+    ticks_per_sec: f64,
+    msgs_per_tick: f64,
+    world_allocs_per_100_ticks: u64,
+}
+
+fn bench_size(nodes: usize, measure_ticks: usize, alloc_warm_ticks: usize) -> Row {
+    let side = (nodes as f64 / DENSITY).sqrt();
+    let build = || {
+        SimBuilder::new()
+            .nodes(nodes)
+            .side(side)
+            .radius(RADIUS)
+            .speed(SPEED)
+            .dt(DT)
+            .seed(7)
+            .hello_mode(HelloMode::EventDriven)
+            .build()
+    };
+    let mut quiet = QuietCtx::new();
+
+    // Full-stack throughput: LID clustering + intra-cluster routing.
+    let world = build();
+    let clustering = Clustering::form(LowestId, world.topology());
+    let mut stack = ProtocolStack::ideal(world, clustering, IntraClusterRouting::new());
+    stack.prime(&mut quiet.ctx());
+    for _ in 0..100 {
+        stack.tick(&mut quiet.ctx());
+    }
+    let mut agg = StackReport::default();
+    let t0 = Instant::now();
+    for _ in 0..measure_ticks {
+        agg.absorb(stack.tick(&mut quiet.ctx()));
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    // Steady-state allocation count of the world hot path (topology/diff),
+    // the piece DESIGN.md §12 pins at zero. Fresh world and scratch so the
+    // count is warm-up-order independent.
+    let mut world = build();
+    let mut quiet_alloc = QuietCtx::new();
+    for _ in 0..alloc_warm_ticks {
+        world.step(&mut quiet_alloc.ctx());
+    }
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..100 {
+        world.step(&mut quiet_alloc.ctx());
+    }
+    let world_allocs = ALLOCS.load(Ordering::Relaxed) - before;
+
+    Row {
+        nodes,
+        side,
+        measure_ticks,
+        ticks_per_sec: measure_ticks as f64 / elapsed,
+        msgs_per_tick: agg.attempted_messages() as f64 / measure_ticks as f64,
+        world_allocs_per_100_ticks: world_allocs,
+    }
+}
+
+fn to_json(rows: &[Row], quick: bool) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"bench_stack\",\n");
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str(&format!(
+        "  \"dt\": {DT}, \"radius\": {RADIUS}, \"speed\": {SPEED}, \"density_per_m2\": {DENSITY},\n"
+    ));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"nodes\": {}, \"side\": {:.1}, \"measure_ticks\": {}, \"ticks_per_sec\": {:.1}, \"msgs_per_tick\": {:.1}, \"world_allocs_per_100_ticks\": {}}}{}\n",
+            r.nodes,
+            r.side,
+            r.measure_ticks,
+            r.ticks_per_sec,
+            r.msgs_per_tick,
+            r.world_allocs_per_100_ticks,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    // Quick mode keeps the smoke run under a couple of seconds; the full
+    // run warms the allocation probe long enough for every capacity in
+    // the double-buffered scratch to settle (see tests/alloc_free.rs).
+    let (ticks_400, ticks_1600, alloc_warm) = if quick {
+        (200, 50, 100)
+    } else {
+        (2000, 500, 6000)
+    };
+
+    let rows = vec![
+        bench_size(400, ticks_400, alloc_warm),
+        bench_size(1600, ticks_1600, alloc_warm),
+    ];
+    let json = to_json(&rows, quick);
+    print!("{json}");
+    for r in &rows {
+        eprintln!(
+            "N={:>5}: {:>9.1} ticks/s  ({:.1} msgs/tick, {} world allocs/100 ticks{})",
+            r.nodes,
+            r.ticks_per_sec,
+            r.msgs_per_tick,
+            r.world_allocs_per_100_ticks,
+            if quick { ", quick warmup" } else { "" }
+        );
+    }
+    if !quick {
+        std::fs::write("BENCH_stack.json", &json).expect("write BENCH_stack.json");
+        eprintln!("wrote BENCH_stack.json");
+    }
+}

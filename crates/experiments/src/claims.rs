@@ -3,7 +3,7 @@
 use crate::harness::{build_world, Scenario};
 use manet_geom::{Metric, SpatialGrid, SquareRegion};
 use manet_model::{DegreeModel, NetworkParams};
-use manet_sim::MobilityKind;
+use manet_sim::{MobilityKind, QuietCtx};
 use manet_util::stats::Summary;
 use manet_util::table::{fmt_sig, Table};
 use manet_util::Rng;
@@ -110,9 +110,10 @@ pub fn claim2(measure_seconds: f64) -> Vec<Claim2Row> {
                 ..Scenario::default()
             };
             let mut world = build_world(&scenario, 0.2, 0xC1A12);
-            world.run_for(30.0);
+            let mut quiet = QuietCtx::new();
+            world.run_for(30.0, &mut quiet.ctx());
             world.begin_measurement();
-            world.run_for(measure_seconds);
+            world.run_for(measure_seconds, &mut quiet.ctx());
             let n = world.node_count();
             let elapsed = world.measured_time();
             let sim_rate = world.counters().per_node_link_generation_rate(n, elapsed)

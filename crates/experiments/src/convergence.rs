@@ -8,7 +8,7 @@
 //! converged regime for the paper's parameter ranges.
 
 use crate::harness::{build_world, Scenario};
-use manet_sim::MobilityKind;
+use manet_sim::{MobilityKind, QuietCtx};
 use manet_util::table::{fmt_sig, Table};
 
 /// One row: tick length vs measured link-change rate.
@@ -37,9 +37,10 @@ pub fn tick_convergence(measure: f64) -> Vec<TickRow> {
         .into_iter()
         .map(|dt| {
             let mut world = build_world(&scenario, dt, 0xD7C0);
-            world.run_for(30.0);
+            let mut quiet = QuietCtx::new();
+            world.run_for(30.0, &mut quiet.ctx());
             world.begin_measurement();
-            world.run_for(measure);
+            world.run_for(measure, &mut quiet.ctx());
             let n = world.node_count();
             let t = world.measured_time();
             let lambda = world.counters().per_node_link_generation_rate(n, t)

@@ -9,7 +9,7 @@
 use crate::harness::{build_world, Scenario};
 use manet_cluster::{Clustering, LowestId};
 use manet_routing::forwarding::HybridForwarder;
-use manet_sim::NodeId;
+use manet_sim::{NodeId, QuietCtx};
 use manet_util::stats::Summary;
 use manet_util::table::{fmt_sig, Table};
 use manet_util::Rng;
@@ -43,9 +43,10 @@ pub fn stretch_sweep(scenario: &Scenario, pairs: usize) -> Vec<StretchRow> {
             let mut world = build_world(&scenario, 0.5, 0xDA7A);
             let mut clustering = Clustering::form(LowestId, world.topology());
             // Let the structure reach steady state.
+            let mut quiet = QuietCtx::new();
             for _ in 0..120 {
-                world.step();
-                clustering.maintain(world.topology());
+                world.step(&mut quiet.ctx());
+                clustering.maintain(world.topology(), &mut quiet.ctx());
             }
             let topo = world.topology();
             let forwarder = HybridForwarder::new(topo, &clustering);

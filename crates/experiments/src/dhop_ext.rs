@@ -3,7 +3,7 @@
 //! heuristic, plus dynamic d-hop maintenance overhead.
 
 use crate::harness::{build_world, Scenario};
-use manet_cluster::{DHopClustering, LowestId, MaintenanceOutcome};
+use manet_cluster::{DHopClustering, LowestId};
 use manet_model::dhop as model_dhop;
 use manet_util::stats::Summary;
 use manet_util::table::{fmt_sig, Table};
@@ -70,36 +70,44 @@ pub fn formation_table(rows: &[DhopRow]) -> Table {
 /// hop bound (the routing layer is generic over cluster assignments, so
 /// the same proactive machinery runs unchanged on d-hop structures).
 pub fn maintenance_rates(scenario: &Scenario, measure: f64) -> Vec<DhopRates> {
-    use manet_routing::intra::{IntraClusterRouting, RouteUpdateOutcome, UpdatePolicy};
+    use manet_routing::intra::{IntraClusterRouting, UpdatePolicy};
+    use manet_sim::QuietCtx;
+    use manet_stack::{DHopLayer, ProtocolStack, StackReport};
     (1..=3usize)
         .map(|hops| {
-            let mut world = build_world(scenario, 0.5, 0xD1);
-            let mut c = DHopClustering::form(&LowestId, world.topology(), hops);
+            let world = build_world(scenario, 0.5, 0xD1);
+            let c = DHopClustering::form(&LowestId, world.topology(), hops);
             // Rate-limited updates: raw per-change flooding at d ≥ 2 is
             // dominated by membership-churn multiplicities (see ABL4);
             // the deployable comparison is the coalesced one.
-            let mut routing =
+            let routing =
                 IntraClusterRouting::with_policy(UpdatePolicy::Coalesced { interval: 10.0 });
-            routing.update_timed(0.0, world.topology(), &c);
-            world.run_for(30.0);
-            c.maintain(&LowestId, world.topology());
-            world.begin_measurement();
-            let mut total = MaintenanceOutcome::default();
-            let mut route = RouteUpdateOutcome::default();
-            let ticks = (measure / world.dt()) as usize;
+            let mut stack = ProtocolStack::ideal(world, DHopLayer::new(LowestId, c), routing);
+            let mut quiet = QuietCtx::new();
+            stack.prime(&mut quiet.ctx());
+            stack.world_mut().run_for(30.0, &mut quiet.ctx());
+            {
+                let (world, layer, _) = stack.split_mut();
+                layer
+                    .clustering
+                    .maintain(&layer.policy, world.topology(), &mut quiet.ctx());
+            }
+            stack.world_mut().begin_measurement();
+            let mut agg = StackReport::default();
+            let ticks = (measure / stack.world().dt()) as usize;
             let mut p_acc = 0.0;
             for _ in 0..ticks {
-                world.step();
-                total.absorb(c.maintain(&LowestId, world.topology()));
-                route.absorb(routing.update_timed(world.dt(), world.topology(), &c));
-                p_acc += c.head_ratio();
+                let report = stack.tick(&mut quiet.ctx());
+                p_acc += report.head_ratio;
+                agg.absorb(report);
             }
+            let world = stack.world();
             let per_node = |x: u64| x as f64 / world.node_count() as f64 / world.measured_time();
             DhopRates {
                 hops,
-                f_cluster: per_node(total.total_messages()),
-                f_route: per_node(route.route_messages),
-                route_entries: per_node(route.route_entries),
+                f_cluster: per_node(agg.cluster.maintenance.total_messages()),
+                f_route: per_node(agg.route.route_messages),
+                route_entries: per_node(agg.route.route_entries),
                 steady_p: p_acc / ticks as f64,
             }
         })

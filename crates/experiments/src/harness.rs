@@ -2,9 +2,10 @@
 //! clustering + intra-cluster routing) over a scenario and measures the
 //! paper's per-node control-message frequencies.
 
-use manet_cluster::{ClusterPolicy, Clustering, LowestId, MaintenanceOutcome};
-use manet_routing::intra::{IntraClusterRouting, RouteUpdateOutcome};
-use manet_sim::{HelloMode, MessageKind, MobilityKind, SimBuilder, World};
+use manet_cluster::{ClusterPolicy, Clustering, LowestId};
+use manet_routing::intra::IntraClusterRouting;
+use manet_sim::{HelloMode, MessageKind, MobilityKind, QuietCtx, SimBuilder, World};
+use manet_stack::{ProtocolStack, StackReport};
 use manet_util::stats::Summary;
 
 /// Scenario geometry and kinematics (DESIGN.md §5 defaults).
@@ -160,7 +161,7 @@ where
     let mut link_change = Summary::new();
 
     for &seed in &protocol.seeds {
-        let mut world = SimBuilder::new()
+        let world = SimBuilder::new()
             .side(scenario.side)
             .nodes(scenario.nodes)
             .radius(scenario.radius)
@@ -170,32 +171,31 @@ where
             .seed(seed)
             .hello_mode(HelloMode::EventDriven)
             .build();
-        let mut clustering = Clustering::form(policy_for_seed(seed), world.topology());
-        let mut routing = IntraClusterRouting::new();
-        routing.update(world.topology(), &clustering); // baseline fill
+        let clustering = Clustering::form(policy_for_seed(seed), world.topology());
+        let mut stack = ProtocolStack::ideal(world, clustering, IntraClusterRouting::new());
+        let mut quiet = QuietCtx::new();
+        stack.prime(&mut quiet.ctx()); // baseline fill
 
         // Warmup: run the full stack so the structure reaches steady state.
         let warm_ticks = (protocol.warmup / protocol.dt).round() as usize;
         for _ in 0..warm_ticks {
-            world.step();
-            clustering.maintain(world.topology());
-            routing.update(world.topology(), &clustering);
+            stack.tick(&mut quiet.ctx());
         }
 
-        world.begin_measurement();
-        let mut maint = MaintenanceOutcome::default();
-        let mut route = RouteUpdateOutcome::default();
+        stack.world_mut().begin_measurement();
+        let mut agg = StackReport::default();
         let mut p_samples = Summary::new();
         let ticks = (protocol.measure / protocol.dt).round() as usize;
         for _ in 0..ticks {
-            world.step();
-            maint.absorb(clustering.maintain(world.topology()));
-            route.absorb(routing.update(world.topology(), &clustering));
-            p_samples.push(clustering.head_ratio());
+            let report = stack.tick(&mut quiet.ctx());
+            p_samples.push(report.head_ratio);
+            agg.absorb(report);
         }
+        let world = stack.world();
         let elapsed = world.measured_time();
         let n = world.node_count();
         let per_node = |count: u64| count as f64 / n as f64 / elapsed;
+        let maint = agg.cluster.maintenance;
 
         f_hello.push(
             world
@@ -205,8 +205,8 @@ where
         f_cluster.push(per_node(maint.total_messages()));
         f_cluster_break.push(per_node(maint.break_triggered_messages()));
         f_cluster_contact.push(per_node(maint.contact_triggered_messages()));
-        f_route.push(per_node(route.route_messages));
-        f_route_entries.push(per_node(route.route_entries));
+        f_route.push(per_node(agg.route.route_messages));
+        f_route_entries.push(per_node(agg.route.route_entries));
         head_ratio.push(p_samples.mean());
         mean_degree.push(world.mean_degree());
         link_gen.push(world.counters().per_node_link_generation_rate(n, elapsed));

@@ -8,6 +8,8 @@
 
 use crate::harness::{build_world, Scenario};
 use manet_sim::hello::HelloProtocol;
+use manet_sim::{Channel, LossModel, QuietCtx};
+use manet_stack::{HelloDriver, NoClustering, NoRouting, ProtocolStack};
 use manet_util::stats::Summary;
 use manet_util::table::{fmt_sig, Table};
 
@@ -31,21 +33,33 @@ pub fn sweep(scenario: &Scenario, measure: f64) -> Vec<HelloRow> {
     [0.5, 1.0, 2.0, 5.0, 10.0, 20.0]
         .into_iter()
         .map(|interval| {
-            let mut world = build_world(scenario, 0.25, 0x4E11);
-            // Timeout at the conventional 3 beacon periods.
-            let mut hello = HelloProtocol::new(world.node_count(), interval, 3.0 * interval);
-            world.run_for(30.0);
-            world.begin_measurement();
+            let world = build_world(scenario, 0.25, 0x4E11);
+            // Timeout at the conventional 3 beacon periods; the explicit
+            // driver beacons over an ideal channel (accuracy only, no loss).
+            let hello = HelloProtocol::new(world.node_count(), interval, 3.0 * interval);
+            let ideal = || Channel::new(LossModel::Ideal, 0);
+            let mut stack = ProtocolStack::new(
+                world,
+                NoClustering,
+                NoRouting,
+                HelloDriver::explicit(hello, ideal()),
+                ideal(),
+                ideal(),
+            );
+            let mut quiet = QuietCtx::new();
+            stack.world_mut().run_for(30.0, &mut quiet.ctx());
+            stack.world_mut().begin_measurement();
             let mut missing = Summary::new();
             let mut stale = Summary::new();
-            let ticks = (measure / world.dt()) as usize;
+            let ticks = (measure / stack.world().dt()) as usize;
             for _ in 0..ticks {
-                world.step();
-                hello.step(world.time(), world.topology());
-                let acc = hello.accuracy(world.topology());
+                stack.tick(&mut quiet.ctx());
+                let hello = stack.hello().expect("explicit driver attached");
+                let acc = hello.accuracy(stack.world().topology());
                 missing.push(acc.missing_fraction());
                 stale.push(acc.stale_fraction());
             }
+            let world = stack.world();
             let n = world.node_count();
             let t = world.measured_time();
             HelloRow {

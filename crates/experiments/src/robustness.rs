@@ -12,12 +12,13 @@
 //! measured total collapses onto the ideal stack's numbers.
 
 use crate::harness::{analysis_at, Estimate, Protocol, Scenario};
-use manet_cluster::{Backoff, Clustering, LowestId, RepairOutcome, SelfHealing};
-use manet_routing::intra::{IntraClusterRouting, RouteUpdateOutcome};
+use manet_cluster::{Backoff, Clustering, LowestId, SelfHealing};
+use manet_routing::intra::IntraClusterRouting;
 use manet_sim::{
-    ChurnSchedule, FaultPlan, HelloMode, HelloProtocol, LossModel, MessageKind, SimBuilder,
-    STREAM_CLUSTER, STREAM_HELLO, STREAM_ROUTE,
+    ChurnSchedule, FaultPlan, HelloMode, HelloProtocol, LossModel, MessageKind, QuietCtx,
+    SimBuilder, STREAM_CLUSTER,
 };
+use manet_stack::{ProtocolStack, StackReport};
 use manet_util::stats::Summary;
 use manet_util::table::{fmt_sig, Table};
 
@@ -127,7 +128,7 @@ pub fn measure_with_faults(
         }
         .validated()
         .expect("loss config validated by construction");
-        let mut world = SimBuilder::new()
+        let world = SimBuilder::new()
             .side(scenario.side)
             .nodes(n)
             .radius(scenario.radius)
@@ -138,71 +139,47 @@ pub fn measure_with_faults(
             .hello_mode(HelloMode::Disabled) // beacons are driven lossily below
             .fault(plan)
             .build();
-        let mut ch_hello = world.fault().channel(STREAM_HELLO);
-        let mut ch_cluster = world.fault().channel(STREAM_CLUSTER);
-        let mut ch_route = world.fault().channel(STREAM_ROUTE);
-        let mut hello = HelloProtocol::new(n, config.hello_interval, 3.0 * config.hello_interval);
+        let hello = HelloProtocol::new(n, config.hello_interval, 3.0 * config.hello_interval);
         let clustering = Clustering::form(LowestId, world.topology());
-        let mut healer = SelfHealing::new(clustering, config.backoff, config.sweep_interval);
-        let mut routing = IntraClusterRouting::new();
-        routing.update_lossy(world.topology(), healer.clustering(), &mut ch_route);
+        let healer = SelfHealing::new(clustering, config.backoff, config.sweep_interval);
+        let mut stack = ProtocolStack::faulty(world, healer, IntraClusterRouting::new(), hello);
+        let mut quiet = QuietCtx::new();
+        stack.prime(&mut quiet.ctx());
 
         let warm_ticks = (protocol.warmup / protocol.dt).round() as usize;
         for _ in 0..warm_ticks {
-            world.step();
-            hello.step_lossy(world.time(), world.topology(), &mut ch_hello, world.alive());
-            healer.step(world.topology(), world.alive(), &mut ch_cluster);
-            routing.update_lossy_timed(
-                protocol.dt,
-                world.topology(),
-                healer.clustering(),
-                &mut ch_route,
-            );
+            stack.tick(&mut quiet.ctx());
         }
 
-        world.begin_measurement();
-        let mut hello_sent = 0u64;
-        let mut repair = RepairOutcome::default();
-        let mut route = RouteUpdateOutcome::default();
+        // The stack records each tick's decomposed traffic into the shared
+        // counters (the RETX/REPAIR categories included) and the rates are
+        // read back from there, so the accounting path the paper's tooling
+        // uses is exercised end to end.
+        stack.world_mut().begin_measurement();
+        let mut agg = StackReport::default();
         let mut p_samples = Summary::new();
         let ticks = (protocol.measure / protocol.dt).round() as usize;
         for _ in 0..ticks {
-            world.step();
-            hello_sent +=
-                hello.step_lossy(world.time(), world.topology(), &mut ch_hello, world.alive());
-            repair.absorb(healer.step(world.topology(), world.alive(), &mut ch_cluster));
-            route.absorb(routing.update_lossy_timed(
-                protocol.dt,
-                world.topology(),
-                healer.clustering(),
-                &mut ch_route,
-            ));
-            p_samples.push(healer.clustering().head_ratio());
+            let report = stack.tick(&mut quiet.ctx());
+            p_samples.push(report.head_ratio);
+            agg.absorb(report);
         }
-        let elapsed = world.measured_time();
-
-        // Route the decomposed traffic through the shared counters (the new
-        // RETX/REPAIR categories) and read the rates back from there, so the
-        // accounting path the paper's tooling uses is exercised end to end.
-        repair.record(world.counters_mut());
-        world
-            .counters_mut()
-            .record_kind(MessageKind::Hello, hello_sent);
-        world
-            .counters_mut()
-            .record_kind(MessageKind::Route, route.attempted_messages());
-        let rate = |kind| world.counters().per_node_rate(kind, n, elapsed);
+        let elapsed = stack.world().measured_time();
+        let counters = stack.world().counters().clone();
+        let rate = |kind| counters.per_node_rate(kind, n, elapsed);
 
         // Quiescence drain: freeze the world, heal the channel, and give the
         // repair machinery one sweep's worth of passes to converge.
         let mut fine = FaultPlan::ideal().channel(STREAM_CLUSTER);
-        let mut left = repair.violations_left;
+        let mut left = agg.cluster.violations_left;
+        let (world, healer, _) = stack.split_mut();
         for _ in 0..config.sweep_interval + 2 {
             left = healer
-                .step(world.topology(), world.alive(), &mut fine)
+                .step(world.topology(), world.alive(), &mut fine, &mut quiet.ctx())
                 .violations_left;
         }
 
+        let route = agg.route;
         let per_node = |count: u64| count as f64 / n as f64 / elapsed;
         f_hello.push(rate(MessageKind::Hello));
         f_cluster.push(rate(MessageKind::Cluster));
@@ -210,11 +187,9 @@ pub fn measure_with_faults(
         f_repair.push(rate(MessageKind::Repair));
         f_route.push(per_node(route.route_messages));
         f_resync.push(per_node(route.resync_messages));
-        total.push(per_node(
-            hello_sent + repair.maintenance.attempted_messages() + route.attempted_messages(),
-        ));
-        let attempted = repair.maintenance.attempted_messages() + route.attempted_messages();
-        let lost = repair.maintenance.lost_sends + route.lost_messages;
+        total.push(per_node(agg.attempted_messages()));
+        let attempted = agg.cluster.maintenance.attempted_messages() + route.attempted_messages();
+        let lost = agg.cluster.maintenance.lost_sends + route.lost_messages;
         lost_fraction.push(if attempted == 0 {
             0.0
         } else {

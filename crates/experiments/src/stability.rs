@@ -4,7 +4,8 @@
 
 use crate::harness::{build_world, Scenario};
 use manet_cluster::{ClusterPolicy, Clustering, HighestConnectivity, LowestId, StabilityTracker};
-use manet_sim::LinkLifetimes;
+use manet_sim::{LinkLifetimes, QuietCtx};
+use manet_stack::{NoRouting, ProtocolStack};
 use manet_util::table::{fmt_sig, Table};
 
 /// One measured stability row.
@@ -31,25 +32,30 @@ fn run_policy<P: ClusterPolicy>(
     measure: f64,
 ) -> StabilityRow {
     let scenario = Scenario { speed, ..*scenario };
-    let mut world = build_world(&scenario, 0.25, 0x57AB);
-    let mut clustering = Clustering::form(policy, world.topology());
-    world.run_for(40.0);
-    clustering.maintain(world.topology());
-    let mut tracker = StabilityTracker::new(&clustering, world.time());
+    let world = build_world(&scenario, 0.25, 0x57AB);
+    let clustering = Clustering::form(policy, world.topology());
+    let mut stack = ProtocolStack::ideal(world, clustering, NoRouting);
+    let mut quiet = QuietCtx::new();
+    stack.world_mut().run_for(40.0, &mut quiet.ctx());
+    {
+        let (world, clustering, _) = stack.split_mut();
+        clustering.maintain(world.topology(), &mut quiet.ctx());
+    }
+    let mut tracker = StabilityTracker::new(stack.cluster(), stack.world().time());
     let mut links = LinkLifetimes::new();
-    world.begin_measurement();
-    let ticks = (measure / world.dt()) as usize;
+    stack.world_mut().begin_measurement();
+    let ticks = (measure / stack.world().dt()) as usize;
     for _ in 0..ticks {
-        world.step();
-        clustering.maintain(world.topology());
-        tracker.observe(&clustering, world.time());
+        stack.tick(&mut quiet.ctx());
+        let world = stack.world();
+        tracker.observe(stack.cluster(), world.time());
         links.observe(world.time(), world.last_events());
     }
     StabilityRow {
         speed,
         head_lifetime: tracker.head_lifetimes().mean(),
         membership_residence: tracker.membership_residences().mean(),
-        change_rate: tracker.change_rate(world.measured_time()),
+        change_rate: tracker.change_rate(stack.world().measured_time()),
         link_lifetime: links.lifetimes().mean(),
         link_lifetime_theory: LinkLifetimes::claim2_mean_lifetime(scenario.radius, speed),
     }
@@ -188,10 +194,11 @@ pub fn mobility_aware_comparison(measure: f64) -> manet_util::table::Table {
     };
 
     // Probe pass: count per-node link events to estimate churn.
+    let mut quiet = manet_sim::QuietCtx::new();
     let (mut world, _) = build();
     let mut churn = vec![0u64; n];
     for _ in 0..(probe / dt) as usize {
-        world.step();
+        world.step(&mut quiet.ctx());
         for e in world.last_events() {
             churn[e.a as usize] += 1;
             churn[e.b as usize] += 1;
@@ -218,7 +225,7 @@ pub fn mobility_aware_comparison(measure: f64) -> manet_util::table::Table {
         // Re-run the probe period so both policies cluster the same
         // steady-state geometry the weights were measured on.
         for _ in 0..(probe / dt) as usize {
-            world.step();
+            world.step(&mut quiet.ctx());
         }
         macro_rules! run {
             ($policy:expr) => {{
@@ -227,8 +234,8 @@ pub fn mobility_aware_comparison(measure: f64) -> manet_util::table::Table {
                 let mut head_speed = Summary::new();
                 world.begin_measurement();
                 for _ in 0..(measure / dt) as usize {
-                    world.step();
-                    clustering.maintain(world.topology());
+                    world.step(&mut quiet.ctx());
+                    clustering.maintain(world.topology(), &mut quiet.ctx());
                     tracker.observe(&clustering, world.time());
                 }
                 for u in 0..n as u32 {

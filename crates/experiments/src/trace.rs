@@ -14,14 +14,15 @@
 //! there, summarized on stdout. `bin/trace_report` re-reads such files.
 
 use crate::harness::{Protocol, Scenario};
-use manet_cluster::{Clustering, InvariantViolation, LowestId, NoFaults};
+use manet_cluster::{Clustering, LowestId};
 use manet_model::overhead::{contact_unit_cost, route_unit_cost, RouteLinkModel};
 use manet_routing::intra::IntraClusterRouting;
-use manet_sim::{Counters, HelloMode, MessageKind, SimBuilder};
+use manet_sim::{Counters, HelloMode, MessageKind, QuietCtx, Scratch, SimBuilder, StepCtx};
+use manet_stack::ProtocolStack;
 use manet_telemetry::{
-    prometheus_text, AttributionLedger, AuditConfig, AuditMonitor, AuditReport, AuditSample,
-    CauseTracker, Event, EventKind, JsonlSink, Layer, MsgClass, Phase, PhaseProfiler, Probe,
-    ProfileReport, RootCause, Subscriber, TraceMeta, TraceOut, WindowedRecorder,
+    prometheus_text, AttributionLedger, AuditConfig, AuditMonitor, AuditReport, CauseTracker,
+    Event, JsonlSink, MsgClass, PhaseProfiler, Probe, ProfileReport, RootCause, Subscriber,
+    TraceMeta, TraceOut, WindowedRecorder,
 };
 use std::fmt::Write as _;
 use std::io;
@@ -153,7 +154,7 @@ pub fn trace_run(
 ) -> io::Result<TraceRun> {
     let seed = protocol.seeds.first().copied().unwrap_or(1);
     let duration = protocol.warmup + protocol.measure;
-    let mut world = SimBuilder::new()
+    let world = SimBuilder::new()
         .side(scenario.side)
         .nodes(scenario.nodes)
         .radius(scenario.radius)
@@ -184,10 +185,11 @@ pub fn trace_run(
         audit: AuditMonitor::new(AuditConfig::default()),
     });
 
-    let mut clustering = Clustering::form(LowestId, world.topology());
-    let mut routing = IntraClusterRouting::new();
-    routing.update(world.topology(), &clustering); // baseline fill, uncharged
+    let clustering = Clustering::form(LowestId, world.topology());
+    let mut stack = ProtocolStack::ideal(world, clustering, IntraClusterRouting::new());
+    stack.prime(&mut QuietCtx::new().ctx()); // baseline fill, uncharged
 
+    let mut scratch = Scratch::new();
     let ticks = (duration / protocol.dt).round() as usize;
     for _ in 0..ticks {
         let mut fan;
@@ -202,72 +204,11 @@ pub fn trace_run(
             }
             None => Probe::new(Some(&mut out), Some(&mut profiler)),
         };
-        world.step_traced(&mut probe);
-        let now = world.time();
-
-        let t0 = probe.phase_start();
-        let maint = clustering.maintain_traced(world.topology(), &mut NoFaults, now, &mut probe);
-        probe.phase_end(Phase::Cluster, t0);
-        let cluster_sent = maint.total_messages();
-        if cluster_sent > 0 {
-            probe.emit(
-                now,
-                Layer::Cluster,
-                EventKind::MsgSent {
-                    class: MsgClass::Cluster,
-                    count: cluster_sent,
-                },
-            );
-        }
-
-        let t0 = probe.phase_start();
-        let route =
-            routing.update_traced(protocol.dt, world.topology(), &clustering, now, &mut probe);
-        probe.phase_end(Phase::Routing, t0);
-        let route_sent = route.attempted_messages();
-        if route_sent > 0 {
-            probe.emit(
-                now,
-                Layer::Routing,
-                EventKind::MsgSent {
-                    class: MsgClass::Route,
-                    count: route_sent,
-                },
-            );
-        }
-
-        probe.emit(
-            now,
-            Layer::Cluster,
-            EventKind::ClusterGauge {
-                heads: clustering.head_count() as u64,
-            },
-        );
-
-        world
-            .counters_mut()
-            .record_kind(MessageKind::Cluster, cluster_sent);
-        world
-            .counters_mut()
-            .record_kind(MessageKind::Route, route_sent);
+        let report = stack.tick(&mut StepCtx::new(&mut probe, &mut scratch));
 
         // Feed the invariant monitors a post-maintenance structural sample.
         if let Some(st) = attrib.as_mut() {
-            let mut pairs = Vec::new();
-            let mut headless = Vec::new();
-            for v in clustering.violations(world.topology()) {
-                match v {
-                    InvariantViolation::AdjacentHeads(a, b) => pairs.push((a, b)),
-                    InvariantViolation::HeadIsNotHead { member, .. }
-                    | InvariantViolation::HeadOutOfRange { member, .. } => headless.push(member),
-                }
-            }
-            st.audit.sample(&AuditSample {
-                time: now,
-                adjacent_head_pairs: pairs,
-                headless_members: headless,
-                repair_pending: 0,
-            });
+            st.audit.sample(&stack.audit_sample(report.time));
         }
     }
 
@@ -280,7 +221,8 @@ pub fn trace_run(
             (MsgClass::Cluster, MessageKind::Cluster),
             (MsgClass::Route, MessageKind::Route),
         ] {
-            st.audit.reconcile(class, world.counters().messages(kind));
+            st.audit
+                .reconcile(class, stack.world().counters().messages(kind));
         }
         AttributionRun {
             ledger: st.ledger,
@@ -295,7 +237,7 @@ pub fn trace_run(
     }
     Ok(TraceRun {
         meta,
-        counters: world.counters().clone(),
+        counters: stack.world().counters().clone(),
         recorder,
         profile,
         attribution,
@@ -600,6 +542,7 @@ pub fn maybe_trace_default(label: &str) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use manet_telemetry::Phase;
 
     fn quick() -> (Scenario, Protocol) {
         (

@@ -46,6 +46,35 @@ impl SpatialGrid {
     /// `u32::MAX` positions are given, or (debug builds) if a position lies
     /// outside the region.
     pub fn build(positions: &[Vec2], region: SquareRegion, radius: f64, metric: Metric) -> Self {
+        let mut grid = SpatialGrid {
+            region,
+            metric,
+            radius,
+            cells_per_axis: 0,
+            inv_cell: 0.0,
+            bins: Vec::new(),
+            positions: Vec::new(),
+        };
+        grid.rebuild(positions, region, radius, metric);
+        grid
+    }
+
+    /// Re-indexes the grid in place for a new tick's positions, reusing the
+    /// bin and position allocations of the previous build. Equivalent to
+    /// replacing `self` with [`SpatialGrid::build`] on the same arguments,
+    /// but allocation-free in the steady state (bins are only resized when
+    /// the cell count changes).
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`SpatialGrid::build`].
+    pub fn rebuild(
+        &mut self,
+        positions: &[Vec2],
+        region: SquareRegion,
+        radius: f64,
+        metric: Metric,
+    ) {
         assert!(
             radius > 0.0 && radius.is_finite(),
             "radius must be positive and finite"
@@ -53,21 +82,24 @@ impl SpatialGrid {
         assert!(positions.len() <= u32::MAX as usize, "too many positions");
         let side = region.side();
         let cells_per_axis = ((side / radius).floor() as usize).max(1);
-        let inv_cell = cells_per_axis as f64 / side;
-        let mut bins = vec![Vec::new(); cells_per_axis * cells_per_axis];
+        self.region = region;
+        self.metric = metric;
+        self.radius = radius;
+        self.inv_cell = cells_per_axis as f64 / side;
+        if cells_per_axis != self.cells_per_axis {
+            self.cells_per_axis = cells_per_axis;
+            self.bins
+                .resize_with(cells_per_axis * cells_per_axis, Vec::new);
+        }
+        for bin in &mut self.bins {
+            bin.clear();
+        }
+        self.positions.clear();
+        self.positions.extend_from_slice(positions);
         for (i, &p) in positions.iter().enumerate() {
             debug_assert!(region.contains(p), "position {p} outside region");
-            let (cx, cy) = cell_of(p, inv_cell, cells_per_axis);
-            bins[cy * cells_per_axis + cx].push(i as u32);
-        }
-        SpatialGrid {
-            region,
-            metric,
-            radius,
-            cells_per_axis,
-            inv_cell,
-            bins,
-            positions: positions.to_vec(),
+            let (cx, cy) = cell_of(p, self.inv_cell, cells_per_axis);
+            self.bins[cy * cells_per_axis + cx].push(i as u32);
         }
     }
 
@@ -298,6 +330,37 @@ mod tests {
         assert_eq!(grid.len(), 20);
         assert!(!grid.is_empty());
         assert_eq!(grid.radius(), 50.0);
+    }
+
+    #[test]
+    fn rebuild_matches_fresh_build_across_parameter_changes() {
+        let region_a = SquareRegion::new(100.0);
+        let region_b = SquareRegion::new(40.0);
+        let mut grid = SpatialGrid::build(
+            &random_positions(120, 100.0, 3),
+            region_a,
+            9.0,
+            Metric::Euclidean,
+        );
+        // Same-shape rebuild, changed radius (cell count changes), changed
+        // region + metric — each must equal a from-scratch build.
+        for (n, side, region, radius, metric, seed) in [
+            (120, 100.0, region_a, 9.0, Metric::Euclidean, 11u64),
+            (120, 100.0, region_a, 31.0, Metric::Euclidean, 12),
+            (60, 40.0, region_b, 7.0, Metric::toroidal(40.0), 13),
+            (200, 40.0, region_b, 3.0, Metric::toroidal(40.0), 14),
+        ] {
+            let positions = random_positions(n, side, seed);
+            grid.rebuild(&positions, region, radius, metric);
+            let fresh = SpatialGrid::build(&positions, region, radius, metric);
+            assert_eq!(grid.len(), fresh.len());
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            for i in 0..n {
+                grid.neighbors_within(i, &mut a);
+                fresh.neighbors_within(i, &mut b);
+                assert_eq!(a, b, "node {i} seed {seed}");
+            }
+        }
     }
 
     #[test]

@@ -8,8 +8,8 @@
 //! ROUTE message per cluster node.
 
 use manet_cluster::ClusterAssignment;
-use manet_sim::{Channel, NodeId, SimError, Topology};
-use manet_telemetry::{Cause, EventKind, Layer, MsgClass, Probe, RootCause};
+use manet_sim::{Channel, NodeId, SimError, StepCtx, Topology};
+use manet_telemetry::{Cause, EventKind, Layer, MsgClass, RootCause};
 use std::collections::BTreeMap;
 
 /// ROUTE-message accounting for one update pass.
@@ -75,8 +75,8 @@ pub enum UpdatePolicy {
     PerChange,
     /// Rate-limited triggered updates: changes are coalesced and each
     /// dirty cluster transmits at most one round per `interval` seconds —
-    /// how deployed proactive protocols actually behave. Drive this policy
-    /// with [`IntraClusterRouting::update_timed`].
+    /// how deployed proactive protocols actually behave. Pass the real
+    /// tick length as `dt` to [`IntraClusterRouting::update`].
     Coalesced {
         /// Minimum seconds between rounds in one cluster.
         interval: f64,
@@ -85,11 +85,9 @@ pub enum UpdatePolicy {
 
 /// The proactive intra-cluster routing layer.
 ///
-/// Call [`IntraClusterRouting::update`] (or
-/// [`update_timed`](IntraClusterRouting::update_timed) for the coalesced
-/// policy) once per tick after cluster maintenance; it diffs each cluster's
-/// internal topology against the previous tick and charges ROUTE broadcast
-/// rounds per [`UpdatePolicy`]. The first call fills the baseline and
+/// Call [`IntraClusterRouting::update`] once per tick after cluster
+/// maintenance; it diffs each cluster's internal topology against the
+/// previous tick and charges ROUTE broadcast rounds per [`UpdatePolicy`]. The first call fills the baseline and
 /// charges nothing (the paper excludes initial table population along with
 /// cluster formation).
 #[derive(Debug, Clone, Default)]
@@ -173,106 +171,33 @@ impl IntraClusterRouting {
 
     /// Diffs the cluster-internal topologies against the previous tick and
     /// returns the ROUTE traffic charged.
+    ///
+    /// `dt` is the tick length, used only by the
+    /// [`UpdatePolicy::Coalesced`] rate limiter (ignored under
+    /// `PerChange`). Every ROUTE message is drawn through `channel`; a
+    /// cluster whose round loses at least one message is left with
+    /// inconsistent tables, so it is marked for a **fallback re-sync**: on
+    /// the next pass the whole cluster re-broadcasts one full round (`m`
+    /// messages, `m²` entries) before any regular charging, repeating
+    /// until a round goes through clean or the cluster dissolves. An ideal
+    /// channel consumes no randomness and never schedules re-syncs.
+    ///
+    /// Telemetry flows through `ctx.probe`: every cluster charged this
+    /// pass emits one `RouteRoundStarted` event (re-syncs with
+    /// `rounds: 1`) stamped `ctx.now`, and losses on the channel emit one
+    /// batched `MsgLost` event for the pass. With
+    /// [`Probe::off`](manet_telemetry::Probe::off) the pass is quiet with
+    /// identical outcomes.
     pub fn update<C: ClusterAssignment + ?Sized>(
         &mut self,
-        topology: &Topology,
-        clustering: &C,
-    ) -> RouteUpdateOutcome {
-        self.update_timed(0.0, topology, clustering)
-    }
-
-    /// [`update`](Self::update) with the tick length, required for the
-    /// [`UpdatePolicy::Coalesced`] policy's rate limiting (under
-    /// `PerChange` the time is ignored).
-    pub fn update_timed<C: ClusterAssignment + ?Sized>(
-        &mut self,
-        dt: f64,
-        topology: &Topology,
-        clustering: &C,
-    ) -> RouteUpdateOutcome {
-        self.update_traced(dt, topology, clustering, 0.0, &mut Probe::off())
-    }
-
-    /// [`update_timed`](Self::update_timed) with telemetry: every cluster
-    /// charged this pass emits one `RouteRoundStarted` event carrying the
-    /// head, the cluster size, and the number of broadcast rounds. With
-    /// [`Probe::off`] this is exactly `update_timed`.
-    pub fn update_traced<C: ClusterAssignment + ?Sized>(
-        &mut self,
-        dt: f64,
-        topology: &Topology,
-        clustering: &C,
-        now: f64,
-        probe: &mut Probe<'_>,
-    ) -> RouteUpdateOutcome {
-        let current = Self::snapshot(topology, clustering);
-        let mut outcome = RouteUpdateOutcome::default();
-        for (head, rounds, m) in self.compute_charges(dt, &current) {
-            outcome.clusters_updated += 1;
-            outcome.update_rounds += rounds;
-            outcome.route_messages += rounds * m;
-            outcome.route_entries += rounds * m * m;
-            let cause = probe.root(RootCause::IntraClusterChange);
-            probe.emit_caused(
-                now,
-                Layer::Routing,
-                EventKind::RouteRoundStarted {
-                    head,
-                    size: m,
-                    rounds,
-                },
-                cause,
-            );
-        }
-        self.prev = current;
-        self.initialized = true;
-        outcome
-    }
-
-    /// [`update`](Self::update) over a faulty channel; see
-    /// [`update_lossy_timed`](Self::update_lossy_timed).
-    pub fn update_lossy<C: ClusterAssignment + ?Sized>(
-        &mut self,
-        topology: &Topology,
-        clustering: &C,
-        channel: &mut Channel,
-    ) -> RouteUpdateOutcome {
-        self.update_lossy_timed(0.0, topology, clustering, channel)
-    }
-
-    /// [`update_timed`](Self::update_timed) over a faulty channel.
-    ///
-    /// Every ROUTE message is drawn through `channel`. A cluster whose round
-    /// loses at least one message is left with inconsistent tables, so it is
-    /// marked for a **fallback re-sync**: on the next pass the whole cluster
-    /// re-broadcasts one full round (`m` messages, `m²` entries) before any
-    /// regular charging, repeating until a round goes through clean or the
-    /// cluster dissolves. With an ideal channel the outcome is identical to
-    /// [`update_timed`](Self::update_timed) (no RNG draws, no re-syncs).
-    pub fn update_lossy_timed<C: ClusterAssignment + ?Sized>(
-        &mut self,
         dt: f64,
         topology: &Topology,
         clustering: &C,
         channel: &mut Channel,
+        ctx: &mut StepCtx<'_, '_>,
     ) -> RouteUpdateOutcome {
-        self.update_lossy_traced(dt, topology, clustering, channel, 0.0, &mut Probe::off())
-    }
-
-    /// [`update_lossy_timed`](Self::update_lossy_timed) with telemetry:
-    /// regular charges and fallback re-sync rounds each emit a
-    /// `RouteRoundStarted` event (re-syncs with `rounds: 1`), and losses on
-    /// the channel emit one batched `MsgLost` event for the pass. With
-    /// [`Probe::off`] this is exactly `update_lossy_timed`.
-    pub fn update_lossy_traced<C: ClusterAssignment + ?Sized>(
-        &mut self,
-        dt: f64,
-        topology: &Topology,
-        clustering: &C,
-        channel: &mut Channel,
-        now: f64,
-        probe: &mut Probe<'_>,
-    ) -> RouteUpdateOutcome {
+        let now = ctx.now;
+        let probe = &mut *ctx.probe;
         let current = Self::snapshot(topology, clustering);
         let mut outcome = RouteUpdateOutcome::default();
         // One ChannelLoss root covers every message dropped this pass (and
@@ -543,6 +468,36 @@ mod tests {
     use super::*;
     use manet_cluster::{Clustering, LowestId};
     use manet_geom::{Metric, SquareRegion, Vec2};
+    use manet_sim::{LossModel, QuietCtx, Scratch};
+    use manet_telemetry::Probe;
+
+    fn ideal() -> Channel {
+        Channel::new(LossModel::Ideal, 0)
+    }
+
+    /// One quiet update pass over an ideal channel.
+    fn up<C: ClusterAssignment + ?Sized>(
+        r: &mut IntraClusterRouting,
+        t: &Topology,
+        c: &C,
+    ) -> RouteUpdateOutcome {
+        r.update(0.0, t, c, &mut ideal(), &mut QuietCtx::new().ctx())
+    }
+
+    /// One quiet update pass over an explicit channel.
+    fn up_on<C: ClusterAssignment + ?Sized>(
+        r: &mut IntraClusterRouting,
+        t: &Topology,
+        c: &C,
+        channel: &mut Channel,
+    ) -> RouteUpdateOutcome {
+        r.update(0.0, t, c, channel, &mut QuietCtx::new().ctx())
+    }
+
+    /// One quiet maintenance pass.
+    fn m(c: &mut Clustering<LowestId>, t: &Topology) {
+        c.maintain(t, &mut QuietCtx::new().ctx());
+    }
 
     fn topo(positions: &[(f64, f64)], radius: f64) -> Topology {
         let pts: Vec<Vec2> = positions.iter().map(|&(x, y)| Vec2::new(x, y)).collect();
@@ -554,8 +509,8 @@ mod tests {
         let t = topo(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)], 1.1);
         let c = Clustering::form(LowestId, &t);
         let mut r = IntraClusterRouting::new();
-        assert_eq!(r.update(&t, &c), RouteUpdateOutcome::default());
-        assert_eq!(r.update(&t, &c), RouteUpdateOutcome::default());
+        assert_eq!(up(&mut r, &t, &c), RouteUpdateOutcome::default());
+        assert_eq!(up(&mut r, &t, &c), RouteUpdateOutcome::default());
     }
 
     #[test]
@@ -566,11 +521,11 @@ mod tests {
         let mut c = Clustering::form(LowestId, &t0);
         assert_eq!(c.head_count(), 1);
         let mut r = IntraClusterRouting::new();
-        r.update(&t0, &c);
+        up(&mut r, &t0, &c);
 
         let t1 = topo(&[(0.0, 0.0), (1.0, 0.0), (500.0, 500.0)], 1.2);
-        c.maintain(&t1);
-        let o = r.update(&t1, &c);
+        m(&mut c, &t1);
+        let o = up(&mut r, &t1, &c);
         // Cluster 0 lost links (0,2) and (1,2): two rounds of 2 messages
         // through the shrunken cluster {0,1}; the new singleton cluster 2
         // rebuilds in one round of 1 message.
@@ -587,11 +542,11 @@ mod tests {
         let mut c = Clustering::form(LowestId, &t0);
         assert_eq!(c.head_count(), 1);
         let mut r = IntraClusterRouting::new();
-        r.update(&t0, &c);
+        up(&mut r, &t0, &c);
         let t1 = topo(&[(0.0, 10.0), (0.6, 10.7), (0.6, 9.3)], 1.0);
-        let o_cluster = c.maintain(&t1);
+        let o_cluster = c.maintain(&t1, &mut QuietCtx::new().ctx());
         assert_eq!(o_cluster.total_messages(), 0, "no cluster change");
-        let o = r.update(&t1, &c);
+        let o = up(&mut r, &t1, &c);
         assert_eq!(o.clusters_updated, 1);
         assert_eq!(o.route_messages, 3);
     }
@@ -601,13 +556,13 @@ mod tests {
         let t0 = topo(&[(0.0, 0.0), (1.0, 0.0), (100.0, 0.0), (101.0, 0.0)], 1.2);
         let mut c = Clustering::form(LowestId, &t0);
         let mut r = IntraClusterRouting::new();
-        r.update(&t0, &c);
+        up(&mut r, &t0, &c);
         // Only the second cluster's internal link geometry changes: member 3
         // orbits its head 2 (distance stays < 1.2, no membership change, no
         // intra-link change → actually no change at all; then verify zero).
         let t1 = topo(&[(0.0, 0.0), (1.0, 0.0), (100.0, 0.0), (100.0, 1.0)], 1.2);
-        c.maintain(&t1);
-        let o = r.update(&t1, &c);
+        m(&mut c, &t1);
+        let o = up(&mut r, &t1, &c);
         assert_eq!(o.route_messages, 0, "same link sets → no ROUTE traffic");
     }
 
@@ -743,13 +698,13 @@ mod tests {
         let mut c_plain = Clustering::form(LowestId, &t);
         let mut c_lossy = c_plain.clone();
         for _ in 0..30 {
-            let a = plain.update(&t, &c_plain);
-            let b = lossy.update_lossy(&t, &c_lossy, &mut channel);
+            let a = up(&mut plain, &t, &c_plain);
+            let b = up_on(&mut lossy, &t, &c_lossy, &mut channel);
             assert_eq!(a, b);
             mob.step(1.0, &mut rng);
             t = Topology::compute(mob.positions(), region, 80.0, Metric::Euclidean);
-            c_plain.maintain(&t);
-            c_lossy.maintain(&t);
+            m(&mut c_plain, &t);
+            m(&mut c_lossy, &t);
         }
         assert_eq!(lossy.resync_backlog(), 0);
     }
@@ -767,9 +722,9 @@ mod tests {
             ..FaultPlan::ideal()
         }
         .channel(manet_sim::STREAM_ROUTE);
-        r.update_lossy(&t0, &c, &mut black_hole);
+        up_on(&mut r, &t0, &c, &mut black_hole);
         let t1 = topo(&[(0.0, 10.0), (0.6, 10.7), (0.6, 9.3)], 1.0);
-        let o = r.update_lossy(&t1, &c, &mut black_hole);
+        let o = up_on(&mut r, &t1, &c, &mut black_hole);
         assert_eq!(o.route_messages, 3);
         assert_eq!(o.lost_messages, 3);
         assert_eq!(
@@ -778,7 +733,7 @@ mod tests {
             "lossy round leaves the cluster pending"
         );
         // Next pass with no topology change: a pure re-sync round, still lost.
-        let o = r.update_lossy(&t1, &c, &mut black_hole);
+        let o = up_on(&mut r, &t1, &c, &mut black_hole);
         assert_eq!(o.route_messages, 0, "no regular charge without a change");
         assert_eq!(o.resync_rounds, 1);
         assert_eq!(o.resync_messages, 3);
@@ -786,14 +741,14 @@ mod tests {
         assert_eq!(r.resync_backlog(), 1);
         // Channel heals: one clean re-sync round clears the backlog.
         let mut clean = FaultPlan::ideal().channel(manet_sim::STREAM_ROUTE);
-        let o = r.update_lossy(&t1, &c, &mut clean);
+        let o = up_on(&mut r, &t1, &c, &mut clean);
         assert_eq!(o.resync_rounds, 1);
         assert_eq!(o.resync_messages, 3);
         assert_eq!(o.lost_messages, 0);
         assert_eq!(r.resync_backlog(), 0);
         // Fully quiescent afterwards.
         assert_eq!(
-            r.update_lossy(&t1, &c, &mut clean),
+            up_on(&mut r, &t1, &c, &mut clean),
             RouteUpdateOutcome::default()
         );
     }
@@ -812,22 +767,22 @@ mod tests {
             ..FaultPlan::ideal()
         }
         .channel(manet_sim::STREAM_ROUTE);
-        r.update_lossy(&t0, &c, &mut black_hole);
+        up_on(&mut r, &t0, &c, &mut black_hole);
         // Nudge node 2 to dirty an unrelated link set? No — instead break the
         // 0–1 link so cluster 0's round is charged (and lost).
         let t1 = topo(&[(0.0, 0.0), (50.0, 0.0), (100.0, 0.0)], 1.2);
-        c.maintain(&t1);
-        let o = r.update_lossy(&t1, &c, &mut black_hole);
+        m(&mut c, &t1);
+        let o = up_on(&mut r, &t1, &c, &mut black_hole);
         assert!(o.lost_messages > 0);
         let pending_before = r.resync_backlog();
         assert!(pending_before > 0);
         // Cluster 0 is now a singleton that keeps losing its re-syncs; its
         // backlog persists but never exceeds the live cluster count.
-        let o = r.update_lossy(&t1, &c, &mut black_hole);
+        let o = up_on(&mut r, &t1, &c, &mut black_hole);
         assert_eq!(o.resync_rounds as usize, pending_before);
         // Heal: all re-syncs drain.
         let mut clean = FaultPlan::ideal().channel(manet_sim::STREAM_ROUTE);
-        r.update_lossy(&t1, &c, &mut clean);
+        up_on(&mut r, &t1, &c, &mut clean);
         assert_eq!(r.resync_backlog(), 0);
     }
 
@@ -847,11 +802,19 @@ mod tests {
         let t0 = topo(&[(0.0, 0.0), (1.0, 0.0), (0.5, 0.8)], 1.2);
         let mut c = Clustering::form(LowestId, &t0);
         let mut r = IntraClusterRouting::new();
-        r.update(&t0, &c);
+        up(&mut r, &t0, &c);
         let t1 = topo(&[(0.0, 0.0), (1.0, 0.0), (500.0, 500.0)], 1.2);
-        c.maintain(&t1);
+        m(&mut c, &t1);
         let mut sink = Collect::default();
-        let o = r.update_traced(0.0, &t1, &c, 3.5, &mut Probe::subscriber(&mut sink));
+        let mut probe = Probe::subscriber(&mut sink);
+        let mut scratch = Scratch::new();
+        let o = r.update(
+            0.0,
+            &t1,
+            &c,
+            &mut ideal(),
+            &mut StepCtx::new(&mut probe, &mut scratch).at(3.5),
+        );
         assert_eq!(o.clusters_updated, 2);
         assert_eq!(sink.0.len(), 2, "one RouteRoundStarted per charged cluster");
         let mut msgs = 0;
@@ -894,16 +857,17 @@ mod tests {
             ..FaultPlan::ideal()
         }
         .channel(manet_sim::STREAM_ROUTE);
-        r.update_lossy(&t0, &c, &mut black_hole);
+        up_on(&mut r, &t0, &c, &mut black_hole);
         let t1 = topo(&[(0.0, 10.0), (0.6, 10.7), (0.6, 9.3)], 1.0);
         let mut sink = Collect::default();
-        let o = r.update_lossy_traced(
+        let mut probe = Probe::subscriber(&mut sink);
+        let mut scratch = Scratch::new();
+        let o = r.update(
             0.0,
             &t1,
             &c,
             &mut black_hole,
-            1.0,
-            &mut Probe::subscriber(&mut sink),
+            &mut StepCtx::new(&mut probe, &mut scratch).at(1.0),
         );
         assert_eq!(o.lost_messages, 3);
         // One charged round plus one batched loss event.
@@ -922,13 +886,13 @@ mod tests {
             }));
         // Next pass: the pure re-sync round is also a RouteRoundStarted.
         let mut sink2 = Collect::default();
-        let o = r.update_lossy_traced(
+        let mut probe2 = Probe::subscriber(&mut sink2);
+        let o = r.update(
             0.0,
             &t1,
             &c,
             &mut black_hole,
-            2.0,
-            &mut Probe::subscriber(&mut sink2),
+            &mut StepCtx::new(&mut probe2, &mut scratch).at(2.0),
         );
         assert_eq!(o.resync_rounds, 1);
         assert_eq!(
@@ -963,9 +927,16 @@ mod tests {
         }
         .channel(manet_sim::STREAM_ROUTE);
         let mut tracker = CauseTracker::new();
+        let mut scratch = Scratch::new();
         {
             let mut probe = Probe::with_causes(None, None, Some(&mut tracker));
-            r.update_lossy_traced(0.0, &t0, &c, &mut black_hole, 0.0, &mut probe);
+            r.update(
+                0.0,
+                &t0,
+                &c,
+                &mut black_hole,
+                &mut StepCtx::new(&mut probe, &mut scratch).at(0.0),
+            );
         }
         // An internal link change: the regular round carries a fresh
         // IntraClusterChange root; its losses carry a ChannelLoss root.
@@ -973,7 +944,13 @@ mod tests {
         let mut sink = Collect::default();
         {
             let mut probe = Probe::with_causes(Some(&mut sink), None, Some(&mut tracker));
-            r.update_lossy_traced(0.0, &t1, &c, &mut black_hole, 1.0, &mut probe);
+            r.update(
+                0.0,
+                &t1,
+                &c,
+                &mut black_hole,
+                &mut StepCtx::new(&mut probe, &mut scratch).at(1.0),
+            );
         }
         let round = sink
             .0
@@ -992,7 +969,13 @@ mod tests {
         let mut sink2 = Collect::default();
         {
             let mut probe = Probe::with_causes(Some(&mut sink2), None, Some(&mut tracker));
-            r.update_lossy_traced(0.0, &t1, &c, &mut black_hole, 2.0, &mut probe);
+            r.update(
+                0.0,
+                &t1,
+                &c,
+                &mut black_hole,
+                &mut StepCtx::new(&mut probe, &mut scratch).at(2.0),
+            );
         }
         let resync = sink2
             .0
@@ -1008,10 +991,10 @@ mod tests {
         let t0 = topo(&[(0.0, 10.0), (0.9, 10.3), (0.9, 9.7)], 1.0);
         let mut c = Clustering::form(LowestId, &t0);
         let mut r = IntraClusterRouting::new();
-        r.update(&t0, &c);
+        up(&mut r, &t0, &c);
         let t1 = topo(&[(0.0, 10.0), (0.6, 10.7), (0.6, 9.3)], 1.0);
-        c.maintain(&t1);
-        let o = r.update(&t1, &c);
+        m(&mut c, &t1);
+        let o = up(&mut r, &t1, &c);
         assert_eq!(o.route_messages, 3);
         assert_eq!(o.route_entries, 9);
     }

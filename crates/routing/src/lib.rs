@@ -23,15 +23,19 @@
 //! ```
 //! use manet_cluster::{Clustering, LowestId};
 //! use manet_routing::intra::IntraClusterRouting;
-//! use manet_sim::SimBuilder;
+//! use manet_sim::{Channel, LossModel, QuietCtx, SimBuilder};
 //!
 //! let mut world = SimBuilder::new().nodes(80).seed(2).build();
 //! let mut clustering = Clustering::form(LowestId, world.topology());
 //! let mut routing = IntraClusterRouting::new();
-//! routing.update(world.topology(), &clustering); // initial fill
-//! world.step();
-//! clustering.maintain(world.topology());
-//! let outcome = routing.update(world.topology(), &clustering);
+//! let mut channel = Channel::new(LossModel::Ideal, 0);
+//! let mut quiet = QuietCtx::new();
+//! let dt = world.dt();
+//! // Initial fill, then one tick of the canonical pipeline.
+//! routing.update(dt, world.topology(), &clustering, &mut channel, &mut quiet.ctx());
+//! world.step(&mut quiet.ctx());
+//! clustering.maintain(world.topology(), &mut quiet.ctx());
+//! let outcome = routing.update(dt, world.topology(), &clustering, &mut channel, &mut quiet.ctx());
 //! println!("ROUTE messages this tick: {}", outcome.route_messages);
 //! ```
 

@@ -287,7 +287,8 @@ mod tests {
     fn same_seed_same_world() {
         let make = || {
             let mut w = SimBuilder::new().nodes(40).seed(77).build();
-            w.run_for(5.0);
+            let mut q = crate::QuietCtx::new();
+            w.run_for(5.0, &mut q.ctx());
             w.positions().to_vec()
         };
         assert_eq!(make(), make());
@@ -336,7 +337,8 @@ mod tests {
                 b = b.fault(FaultPlan::ideal());
             }
             let mut w = b.build();
-            w.run_for(20.0);
+            let mut q = crate::QuietCtx::new();
+            w.run_for(20.0, &mut q.ctx());
             let c = w.counters().clone();
             (
                 c.messages(MessageKind::Hello),

@@ -1,0 +1,209 @@
+//! The unified per-tick context threaded through every protocol layer.
+//!
+//! Before this module existed, each cross-cutting plane grew its own
+//! parameter-twin entry points (a plain `step` next to traced and
+//! faulty variants of itself, and so on). [`StepCtx`] bundles
+//! everything those twins varied — the telemetry [`Probe`], the fault
+//! plane ([`FaultHooks`]), the sim time, and shared scratch buffers — so
+//! every layer exposes exactly one entry point and a future plane adds a
+//! context field instead of a fourth twin (DESIGN.md §12).
+
+use crate::topology::Topology;
+use crate::NodeId;
+use manet_geom::SpatialGrid;
+use manet_telemetry::Probe;
+
+/// The fate of one attempted CLUSTER send under a fault plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Attempt {
+    /// The message went through; the role change commits.
+    Delivered,
+    /// The message was lost; the role change does not commit and the
+    /// underlying invariant violation persists for a later retry.
+    Lost,
+    /// The sender is backing off; no transmission this pass.
+    Deferred,
+}
+
+/// Fault plane seen by the cluster maintenance engine.
+///
+/// The engine calls [`FaultHooks::is_alive`] to skip crashed nodes and
+/// [`FaultHooks::attempt`] before committing each role change (one CLUSTER
+/// message each). The default implementations — everything alive,
+/// everything delivered — make [`NoFaults`] a zero-cost ideal plane.
+pub trait FaultHooks {
+    /// Whether node `u` is up. Crashed nodes neither detect breaks nor
+    /// transmit; their links should already be absent from the topology.
+    fn is_alive(&self, u: NodeId) -> bool {
+        let _ = u;
+        true
+    }
+
+    /// Gates and draws one CLUSTER send by node `u`.
+    fn attempt(&mut self, u: NodeId) -> Attempt {
+        let _ = u;
+        Attempt::Delivered
+    }
+}
+
+/// The ideal fault plane: every node up, every message delivered.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoFaults;
+
+impl FaultHooks for NoFaults {}
+
+/// Shared scratch buffers for the steady-state tick loop.
+///
+/// Holding the spatial grid and the double-buffered topology here (rather
+/// than rebuilding them from scratch each tick) makes the topology/diff
+/// path of `World::step` allocation-free once capacities have warmed up;
+/// see the `bench_stack` binary and `tests/alloc_free.rs` for the
+/// measurement.
+#[derive(Debug, Default)]
+pub struct Scratch {
+    /// The spatial hash grid, rebuilt (not reallocated) every tick.
+    pub(crate) grid: Option<SpatialGrid>,
+    /// The next-tick topology buffer, swapped with the world's current
+    /// topology after the diff so neighbor-list capacities are recycled.
+    pub(crate) spare: Topology,
+}
+
+impl Scratch {
+    /// Fresh, empty scratch buffers (capacities warm up over the first
+    /// couple of ticks).
+    pub fn new() -> Self {
+        Scratch::default()
+    }
+}
+
+/// Per-tick context carried through every layer's single entry point:
+/// telemetry probe, optional fault hooks, current sim time, and the shared
+/// [`Scratch`] buffers.
+///
+/// Layers read `now` for event timestamps, route telemetry through
+/// `probe`, and consult the hooks via [`StepCtx::is_alive`] /
+/// [`StepCtx::attempt`] (both default to the ideal plane when no hooks
+/// are attached). `World::step` refreshes `now` after advancing time, so
+/// downstream layers in the same tick observe the post-step clock.
+pub struct StepCtx<'a, 'p> {
+    /// Telemetry probe; [`Probe::off`] for quiet runs.
+    pub probe: &'a mut Probe<'p>,
+    /// Fault plane for the cluster maintenance engine (`None` = ideal).
+    pub hooks: Option<&'a mut dyn FaultHooks>,
+    /// Current sim time, seconds.
+    pub now: f64,
+    /// Shared scratch buffers, reused across ticks.
+    pub scratch: &'a mut Scratch,
+}
+
+impl<'a, 'p> StepCtx<'a, 'p> {
+    /// A context with no fault hooks at `t = 0`.
+    pub fn new(probe: &'a mut Probe<'p>, scratch: &'a mut Scratch) -> Self {
+        StepCtx {
+            probe,
+            hooks: None,
+            now: 0.0,
+            scratch,
+        }
+    }
+
+    /// Sets the sim time (builder style).
+    #[must_use]
+    pub fn at(mut self, now: f64) -> Self {
+        self.now = now;
+        self
+    }
+
+    /// Attaches fault hooks (builder style).
+    #[must_use]
+    pub fn with_hooks(mut self, hooks: &'a mut dyn FaultHooks) -> Self {
+        self.hooks = Some(hooks);
+        self
+    }
+
+    /// Whether node `u` is up under the attached fault plane (always true
+    /// without hooks).
+    pub fn is_alive(&self, u: NodeId) -> bool {
+        match &self.hooks {
+            Some(h) => h.is_alive(u),
+            None => true,
+        }
+    }
+
+    /// Gates and draws one CLUSTER send by node `u` (always
+    /// [`Attempt::Delivered`] without hooks).
+    pub fn attempt(&mut self, u: NodeId) -> Attempt {
+        match &mut self.hooks {
+            Some(h) => h.attempt(u),
+            None => Attempt::Delivered,
+        }
+    }
+}
+
+/// Owned probe-off context bundle for quiet runs (tests and experiments
+/// that want neither telemetry nor faults).
+///
+/// Create one per simulation, then mint a fresh [`StepCtx`] per tick; the
+/// [`Scratch`] buffers inside persist across ticks so the hot loop stays
+/// allocation-free.
+pub struct QuietCtx {
+    probe: Probe<'static>,
+    scratch: Scratch,
+}
+
+impl QuietCtx {
+    /// A quiet bundle: [`Probe::off`] and empty scratch buffers.
+    pub fn new() -> Self {
+        QuietCtx {
+            probe: Probe::off(),
+            scratch: Scratch::new(),
+        }
+    }
+
+    /// A fresh hookless context at `t = 0` (`World::step` refreshes `now`).
+    pub fn ctx(&mut self) -> StepCtx<'_, 'static> {
+        StepCtx::new(&mut self.probe, &mut self.scratch)
+    }
+}
+
+impl Default for QuietCtx {
+    fn default() -> Self {
+        QuietCtx::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hookless_ctx_is_the_ideal_plane() {
+        let mut probe = Probe::off();
+        let mut scratch = Scratch::new();
+        let mut ctx = StepCtx::new(&mut probe, &mut scratch).at(3.5);
+        assert_eq!(ctx.now, 3.5);
+        assert!(ctx.is_alive(7));
+        assert_eq!(ctx.attempt(7), Attempt::Delivered);
+    }
+
+    #[test]
+    fn attached_hooks_are_consulted() {
+        struct DeadAndLossy;
+        impl FaultHooks for DeadAndLossy {
+            fn is_alive(&self, u: NodeId) -> bool {
+                u != 1
+            }
+            fn attempt(&mut self, _: NodeId) -> Attempt {
+                Attempt::Lost
+            }
+        }
+        let mut probe = Probe::off();
+        let mut scratch = Scratch::new();
+        let mut hooks = DeadAndLossy;
+        let mut ctx = StepCtx::new(&mut probe, &mut scratch).with_hooks(&mut hooks);
+        assert!(!ctx.is_alive(1));
+        assert!(ctx.is_alive(2));
+        assert_eq!(ctx.attempt(2), Attempt::Lost);
+        assert_eq!(ctx.attempt(0), Attempt::Lost);
+    }
+}

@@ -8,11 +8,15 @@
 //! must at least match the link generation rate, or the protocol view of
 //! the topology decays (see the `hello_accuracy` experiment).
 
+use crate::ctx::StepCtx;
 use crate::error::SimError;
 use crate::fault::Channel;
 use crate::topology::Topology;
 use crate::NodeId;
-use manet_telemetry::{EventKind, Layer, MsgClass, Probe, RootCause};
+#[cfg(test)]
+use manet_telemetry::Probe;
+use manet_telemetry::{EventKind, Layer, MsgClass, RootCause};
+
 use std::collections::BTreeMap;
 
 /// Soft-state neighbor tables driven by periodic HELLO beacons.
@@ -111,86 +115,33 @@ impl HelloProtocol {
         self.hellos_sent
     }
 
-    /// Advances the protocol to time `now`: every node whose beacon is due
-    /// broadcasts, and every current ground-truth neighbor hears it.
-    /// Returns the number of beacons sent this step.
-    pub fn step(&mut self, now: f64, topology: &Topology) -> u64 {
-        self.step_traced(now, topology, &mut Probe::off())
-    }
-
-    /// [`HelloProtocol::step`] with telemetry: emits one batched `MsgSent`
-    /// event for the tick's beacons through `probe`. With [`Probe::off`]
-    /// this is exactly `step`.
-    pub fn step_traced(&mut self, now: f64, topology: &Topology, probe: &mut Probe<'_>) -> u64 {
-        let mut sent = 0u64;
-        for u in 0..self.next_beacon.len() {
-            while self.next_beacon[u] <= now {
-                self.next_beacon[u] += self.interval;
-                sent += 1;
-                for &w in topology.neighbors(u as NodeId) {
-                    self.last_heard[w as usize].insert(u as NodeId, now);
-                }
-            }
-        }
-        // Expire soft state.
-        for table in &mut self.last_heard {
-            table.retain(|_, &mut t| now - t <= self.timeout);
-        }
-        self.hellos_sent += sent;
-        if sent > 0 {
-            probe.emit(
-                now,
-                Layer::Hello,
-                EventKind::MsgSent {
-                    class: MsgClass::Hello,
-                    count: sent,
-                },
-            );
-        }
-        sent
-    }
-
-    /// Advances the protocol under a fault plane: crashed nodes neither
-    /// beacon nor keep soft state, and each (beacon, receiver) delivery is
-    /// drawn from `channel`, so lost beacons make neighbor views decay.
-    /// Returns the number of beacons *attempted* this step (overhead is
-    /// paid at the sender whether or not the channel delivers).
+    /// Advances the protocol to `ctx.now`: every live node whose beacon is
+    /// due broadcasts, each (beacon, receiver) delivery is drawn from
+    /// `channel`, and soft timers expire silent entries. Returns
+    /// `(sent, lost)` — beacons *attempted* (overhead is paid at the
+    /// sender) and deliveries dropped.
     ///
-    /// With an ideal channel and an all-alive mask this is exactly
-    /// [`HelloProtocol::step`]. `topology` should already exclude crashed
-    /// nodes' links (see `Topology::retain_alive`).
+    /// Crashed nodes neither beacon nor keep soft state; their timers
+    /// advance silently so recovery does not replay missed beacons.
+    /// `topology` should already exclude crashed nodes' links (see
+    /// `Topology::retain_alive`). With an ideal channel and an all-alive
+    /// mask this is the ideal HELLO layer — no draws, no losses. Telemetry
+    /// (batched `MsgSent` / `MsgLost` events) flows through `ctx.probe`;
+    /// [`Probe::off`](manet_telemetry::Probe::off) makes the step quiet
+    /// with identical state and draws.
     ///
     /// # Panics
     ///
     /// Panics if `alive.len()` differs from the node count.
-    pub fn step_lossy(
+    pub fn step(
         &mut self,
-        now: f64,
         topology: &Topology,
         channel: &mut Channel,
         alive: &[bool],
-    ) -> u64 {
-        self.step_lossy_traced(now, topology, channel, alive, &mut Probe::off())
-            .0
-    }
-
-    /// [`HelloProtocol::step_lossy`] with telemetry: emits batched
-    /// `MsgSent` / `MsgLost` events through `probe` and additionally
-    /// returns the number of dropped deliveries as `(sent, lost)`. With
-    /// [`Probe::off`] the protocol state and draws are exactly those of
-    /// `step_lossy`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `alive.len()` differs from the node count.
-    pub fn step_lossy_traced(
-        &mut self,
-        now: f64,
-        topology: &Topology,
-        channel: &mut Channel,
-        alive: &[bool],
-        probe: &mut Probe<'_>,
+        ctx: &mut StepCtx<'_, '_>,
     ) -> (u64, u64) {
+        let now = ctx.now;
+        let probe = &mut *ctx.probe;
         assert_eq!(
             self.next_beacon.len(),
             alive.len(),
@@ -279,7 +230,34 @@ impl HelloProtocol {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ctx::Scratch;
+    use crate::fault::{Channel, LossModel};
     use manet_geom::{Metric, SquareRegion, Vec2};
+
+    /// One quiet ideal-channel step at time `now` (the pre-ctx `step`).
+    fn tick(h: &mut HelloProtocol, now: f64, topo: &Topology) -> u64 {
+        let mut ideal = Channel::new(LossModel::Ideal, 0);
+        let alive = vec![true; topo.len()];
+        lossy_tick(h, now, topo, &mut ideal, &alive).0
+    }
+
+    /// One quiet step at time `now` over an explicit channel and mask.
+    fn lossy_tick(
+        h: &mut HelloProtocol,
+        now: f64,
+        topo: &Topology,
+        channel: &mut Channel,
+        alive: &[bool],
+    ) -> (u64, u64) {
+        let mut probe = Probe::off();
+        let mut scratch = Scratch::new();
+        h.step(
+            topo,
+            channel,
+            alive,
+            &mut StepCtx::new(&mut probe, &mut scratch).at(now),
+        )
+    }
 
     fn static_topo() -> Topology {
         let pts = [
@@ -294,7 +272,7 @@ mod tests {
     fn views_fill_after_one_interval() {
         let topo = static_topo();
         let mut h = HelloProtocol::new(3, 1.0, 3.0);
-        h.step(1.0, &topo);
+        tick(&mut h, 1.0, &topo);
         let acc = h.accuracy(&topo);
         assert_eq!(acc.missing, 0, "every node beaconed at least once by t=1");
         assert_eq!(acc.stale, 0);
@@ -306,7 +284,7 @@ mod tests {
     fn stale_entries_persist_until_timeout() {
         let topo = static_topo();
         let mut h = HelloProtocol::new(3, 1.0, 2.5);
-        h.step(1.0, &topo);
+        tick(&mut h, 1.0, &topo);
         // Node 2 moves away: links (1,2) vanish.
         let pts = [
             Vec2::new(0.0, 0.0),
@@ -315,11 +293,11 @@ mod tests {
         ];
         let far = Topology::compute(&pts, SquareRegion::new(10.0), 1.1, Metric::Euclidean);
         // Shortly after, 1 still believes in 2 (soft state).
-        h.step(1.5, &far);
+        tick(&mut h, 1.5, &far);
         let acc = h.accuracy(&far);
         assert!(acc.stale > 0, "view should lag ground truth");
         // After the timeout the entry expires.
-        h.step(4.1, &far);
+        tick(&mut h, 4.1, &far);
         let acc = h.accuracy(&far);
         assert_eq!(acc.stale, 0, "soft timer must clear stale entries");
     }
@@ -330,7 +308,7 @@ mod tests {
         let mut h = HelloProtocol::new(3, 2.0, 4.0);
         let mut total = 0;
         for k in 1..=8 {
-            total += h.step(k as f64, &topo);
+            total += tick(&mut h, k as f64, &topo);
         }
         // 8 s / 2 s = 4 beacons per node (plus the staggered t≈0 ones).
         assert!((12..=15).contains(&total), "total {total}");
@@ -365,8 +343,7 @@ mod tests {
     }
 
     #[test]
-    fn lossy_step_with_ideal_channel_matches_step() {
-        use crate::fault::{Channel, LossModel};
+    fn lossy_step_with_ideal_channel_matches_ideal_helper() {
         let topo = static_topo();
         let mut a = HelloProtocol::new(3, 1.0, 3.0);
         let mut b = a.clone();
@@ -375,8 +352,8 @@ mod tests {
         for k in 1..=6 {
             let now = k as f64 * 0.5;
             assert_eq!(
-                a.step(now, &topo),
-                b.step_lossy(now, &topo, &mut ideal, &alive)
+                tick(&mut a, now, &topo),
+                lossy_tick(&mut b, now, &topo, &mut ideal, &alive).0
             );
         }
         assert_eq!(a.accuracy(&topo), b.accuracy(&topo));
@@ -385,14 +362,13 @@ mod tests {
 
     #[test]
     fn lost_beacons_decay_the_view() {
-        use crate::fault::{Channel, LossModel};
         let topo = static_topo();
         let mut h = HelloProtocol::new(3, 1.0, 1.5);
         // Everything is lost: views never fill, yet beacons are still
         // counted as attempted sends.
         let mut dead_air = Channel::new(LossModel::Bernoulli { p: 1.0 }, 4);
         let alive = [true; 3];
-        let sent = h.step_lossy(1.0, &topo, &mut dead_air, &alive);
+        let (sent, _) = lossy_tick(&mut h, 1.0, &topo, &mut dead_air, &alive);
         assert!(sent >= 3);
         assert_eq!(h.hellos_sent(), sent);
         let acc = h.accuracy(&topo);
@@ -401,7 +377,6 @@ mod tests {
 
     #[test]
     fn traced_lossy_step_counts_and_emits_losses() {
-        use crate::fault::{Channel, LossModel};
         use manet_telemetry::{Event, Subscriber};
 
         #[derive(Default)]
@@ -418,7 +393,13 @@ mod tests {
         let mut sink = Collect::default();
         let (sent, lost) = {
             let mut probe = Probe::subscriber(&mut sink);
-            h.step_lossy_traced(1.0, &topo, &mut dead_air, &[true; 3], &mut probe)
+            let mut scratch = Scratch::new();
+            h.step(
+                &topo,
+                &mut dead_air,
+                &[true; 3],
+                &mut StepCtx::new(&mut probe, &mut scratch).at(1.0),
+            )
         };
         assert!(sent >= 3);
         // Path 0-1-2: each beacon reaches every ground-truth neighbor and
@@ -448,24 +429,23 @@ mod tests {
 
     #[test]
     fn crashed_nodes_lose_state_and_stay_silent() {
-        use crate::fault::{Channel, LossModel};
         let full = static_topo();
         let mut h = HelloProtocol::new(3, 1.0, 10.0);
         let mut ideal = Channel::new(LossModel::Ideal, 0);
-        h.step_lossy(1.0, &full, &mut ideal, &[true; 3]);
+        lossy_tick(&mut h, 1.0, &full, &mut ideal, &[true; 3]);
         assert!(h.view(1).count() > 0);
         // Node 1 crashes: its links vanish from the masked ground truth.
         let mut masked = full.clone();
         masked.retain_alive(&[true, false, true]);
         let before = h.hellos_sent();
-        let sent = h.step_lossy(2.0, &masked, &mut ideal, &[true, false, true]);
+        let (sent, _) = lossy_tick(&mut h, 2.0, &masked, &mut ideal, &[true, false, true]);
         // Two survivors beaconed; the crashed node did not.
         assert_eq!(sent, 2);
         assert_eq!(h.hellos_sent(), before + 2);
         assert_eq!(h.view(1).count(), 0, "crashed node drops its tables");
         // Long outage: timers advance silently, no replay burst on recovery.
-        h.step_lossy(9.0, &masked, &mut ideal, &[true, false, true]);
-        let recovered_sent = h.step_lossy(10.0, &full, &mut ideal, &[true; 3]);
+        lossy_tick(&mut h, 9.0, &masked, &mut ideal, &[true, false, true]);
+        let (recovered_sent, _) = lossy_tick(&mut h, 10.0, &full, &mut ideal, &[true; 3]);
         assert_eq!(
             recovered_sent, 3,
             "exactly one beacon per node after recovery"

@@ -17,7 +17,7 @@
 //! # Example
 //!
 //! ```
-//! use manet_sim::{MessageKind, SimBuilder};
+//! use manet_sim::{MessageKind, QuietCtx, SimBuilder};
 //!
 //! let mut world = SimBuilder::new()
 //!     .side(500.0)
@@ -26,9 +26,10 @@
 //!     .speed(10.0)
 //!     .seed(7)
 //!     .build();
-//! world.run_for(30.0);          // warm up
+//! let mut quiet = QuietCtx::new();
+//! world.run_for(30.0, &mut quiet.ctx());          // warm up
 //! world.begin_measurement();
-//! world.run_for(60.0);
+//! world.run_for(60.0, &mut quiet.ctx());
 //! let f_hello = world.counters().per_node_rate(
 //!     MessageKind::Hello,
 //!     world.node_count(),
@@ -42,6 +43,7 @@
 
 pub mod builder;
 pub mod counters;
+pub mod ctx;
 pub mod error;
 pub mod fault;
 pub mod hello;
@@ -51,6 +53,7 @@ pub mod world;
 
 pub use builder::{MobilityKind, SimBuilder};
 pub use counters::{Counters, MessageKind, MessageSizes};
+pub use ctx::{Attempt, FaultHooks, NoFaults, QuietCtx, Scratch, StepCtx};
 pub use error::SimError;
 pub use fault::{
     Channel, ChurnEvent, ChurnKind, ChurnSchedule, FaultError, FaultPlan, LossModel,

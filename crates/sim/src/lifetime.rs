@@ -120,10 +120,11 @@ mod tests {
             .dt(0.1)
             .seed(0x11FE)
             .build();
-        world.run_for(20.0);
+        let mut q = crate::QuietCtx::new();
+        world.run_for(20.0, &mut q.ctx());
         let mut tracker = LinkLifetimes::new();
         for _ in 0..(600.0 / world.dt()) as usize {
-            world.step();
+            world.step(&mut q.ctx());
             tracker.observe(world.time(), world.last_events());
         }
         assert!(tracker.completed_count() > 2000, "need statistics");

@@ -45,11 +45,24 @@ impl Topology {
     /// `radius`.
     pub fn compute(positions: &[Vec2], region: SquareRegion, radius: f64, metric: Metric) -> Self {
         let grid = SpatialGrid::build(positions, region, radius, metric);
-        let mut neighbors = vec![Vec::new(); positions.len()];
-        for (i, list) in neighbors.iter_mut().enumerate() {
+        let mut topo = Topology::default();
+        topo.compute_into(&grid);
+        topo
+    }
+
+    /// Recomputes this topology in place from a grid already indexed over
+    /// the tick's positions, reusing the per-node neighbor allocations.
+    ///
+    /// Equivalent to `*self = Topology::compute(..)` over the grid's
+    /// inputs, but allocation-free in the steady state: neighbor lists only
+    /// reallocate when a node's degree exceeds its list's past capacity.
+    pub fn compute_into(&mut self, grid: &SpatialGrid) {
+        let n = grid.len();
+        self.neighbors.truncate(n);
+        self.neighbors.resize_with(n, Vec::new);
+        for (i, list) in self.neighbors.iter_mut().enumerate() {
             grid.neighbors_within(i, list);
         }
-        Topology { neighbors }
     }
 
     /// Number of nodes.

@@ -1,10 +1,11 @@
 //! The simulation world: mobility + link tracking + HELLO + accounting.
 
 use crate::counters::{Counters, MessageKind, MessageSizes};
+use crate::ctx::{Scratch, StepCtx};
 use crate::error::{positive, SimError};
 use crate::fault::{Channel, ChurnKind, FaultPlan, STREAM_HELLO};
 use crate::topology::{LinkEvent, LinkEventKind, Topology};
-use manet_geom::{Metric, SquareRegion, Vec2};
+use manet_geom::{Metric, SpatialGrid, SquareRegion, Vec2};
 use manet_mobility::Mobility;
 use manet_telemetry::{EventKind, Layer, Phase, Probe, RootCause};
 use manet_util::stats::Summary;
@@ -45,9 +46,14 @@ pub struct StepReport {
     /// HELLO deliveries dropped by the fault plane during the tick (zero on
     /// an ideal channel; attempted sends are still counted as overhead).
     pub hello_lost: usize,
-    /// Total control-message deliveries the world observed dropping this
-    /// tick. The world itself transmits only HELLOs, so this equals
-    /// `hello_lost` unless a higher layer folds its own losses in.
+    /// HELLO deliveries dropped this tick — a historical alias for
+    /// [`StepReport::hello_lost`].
+    ///
+    /// The world transmits only HELLOs, so this field never captured
+    /// cluster or route losses despite its name. The cross-layer total now
+    /// lives in `StackReport::msgs_lost`, aggregated by `ProtocolStack`.
+    #[deprecated(note = "world-level losses are HELLO-only; read `hello_lost`, or \
+                `StackReport::msgs_lost` for the cross-layer total")]
     pub msgs_lost: usize,
 }
 
@@ -338,34 +344,52 @@ impl World {
     /// Order of operations: move nodes → apply due churn events → recompute
     /// topology (crashed nodes lose all links) → diff into link events →
     /// account link events and HELLO traffic.
-    pub fn step(&mut self) -> StepReport {
-        self.step_traced(&mut Probe::off())
-    }
-
-    /// [`World::step`] with telemetry: emits link, churn, and HELLO
-    /// send/loss events through `probe` and charges the mobility /
-    /// topology / HELLO phases to its profiler. With [`Probe::off`] this
-    /// is exactly `step` — same draws, same counters, same report.
-    pub fn step_traced(&mut self, probe: &mut Probe<'_>) -> StepReport {
-        let t0 = probe.phase_start();
+    ///
+    /// Cross-cutting planes ride in the [`StepCtx`]: telemetry flows
+    /// through `ctx.probe` (with [`Probe::off`] the tick is quiet at zero
+    /// cost — same draws, same counters, same report), and the topology
+    /// rebuild recycles the grid and neighbor-list allocations held in
+    /// `ctx.scratch`, making the steady-state topology/diff path
+    /// allocation-free. `ctx.now` is refreshed to the post-tick clock so
+    /// downstream layers driven in the same tick observe it.
+    pub fn step(&mut self, ctx: &mut StepCtx<'_, '_>) -> StepReport {
+        let t0 = ctx.probe.phase_start();
         self.mobility.step(self.dt, &mut self.rng);
-        probe.phase_end(Phase::Mobility, t0);
+        ctx.probe.phase_end(Phase::Mobility, t0);
         self.time += self.dt;
-        let (crashed, recovered) = self.apply_due_churn(probe);
+        ctx.now = self.time;
+        let (crashed, recovered) = self.apply_due_churn(ctx.probe);
 
-        let t0 = probe.phase_start();
-        let mut next = Topology::compute(
-            self.mobility.positions(),
-            self.region,
-            self.radius,
-            self.metric,
-        );
+        let t0 = ctx.probe.phase_start();
+        // Rebuild the next topology in the shared scratch buffers: the
+        // spatial grid and the spare topology keep their capacities across
+        // ticks, and the post-diff swap recycles the current topology's
+        // neighbor lists as next tick's spare.
+        let Scratch { grid, spare } = &mut *ctx.scratch;
+        match grid {
+            Some(g) => g.rebuild(
+                self.mobility.positions(),
+                self.region,
+                self.radius,
+                self.metric,
+            ),
+            None => {
+                *grid = Some(SpatialGrid::build(
+                    self.mobility.positions(),
+                    self.region,
+                    self.radius,
+                    self.metric,
+                ))
+            }
+        }
+        let grid = grid.as_ref().expect("grid just built");
+        spare.compute_into(grid);
         if !self.fault.churn.is_empty() {
-            next.retain_alive(&self.alive);
+            spare.retain_alive(&self.alive);
         }
         self.events.clear();
-        self.topology.diff_into(&next, &mut self.events);
-        self.topology = next;
+        self.topology.diff_into(spare, &mut self.events);
+        std::mem::swap(&mut self.topology, spare);
 
         let mut generated = 0usize;
         let mut broken = 0usize;
@@ -375,7 +399,8 @@ impl World {
         // sends below can be charged per link.
         let mut gen_causes = Vec::new();
         for e in &self.events {
-            let chained = probe
+            let chained = ctx
+                .probe
                 .causes()
                 .and_then(|t| {
                     t.churn_cause(e.a, self.time)
@@ -386,22 +411,22 @@ impl World {
                 LinkEventKind::Generated => {
                     generated += 1;
                     self.counters.record_link_generated();
-                    let cause = chained.unwrap_or_else(|| probe.root(RootCause::LinkGen));
-                    probe.emit_caused(
+                    let cause = chained.unwrap_or_else(|| ctx.probe.root(RootCause::LinkGen));
+                    ctx.probe.emit_caused(
                         self.time,
                         Layer::Sim,
                         EventKind::LinkUp { a: e.a, b: e.b },
                         cause,
                     );
-                    if probe.is_attributing() {
+                    if ctx.probe.is_attributing() {
                         gen_causes.push(cause);
                     }
                 }
                 LinkEventKind::Broken => {
                     broken += 1;
                     self.counters.record_link_broken();
-                    let cause = chained.unwrap_or_else(|| probe.root(RootCause::LinkBreak));
-                    probe.emit_caused(
+                    let cause = chained.unwrap_or_else(|| ctx.probe.root(RootCause::LinkBreak));
+                    ctx.probe.emit_caused(
                         self.time,
                         Layer::Sim,
                         EventKind::LinkDown { a: e.a, b: e.b },
@@ -410,9 +435,9 @@ impl World {
                 }
             }
         }
-        probe.phase_end(Phase::Topology, t0);
+        ctx.probe.phase_end(Phase::Topology, t0);
 
-        let t0 = probe.phase_start();
+        let t0 = ctx.probe.phase_start();
         let mut hello_sent = 0u64;
         match self.hello_mode {
             HelloMode::EventDriven => {
@@ -439,7 +464,7 @@ impl World {
                 // sum to the batch below, so windowed series and counters
                 // are unchanged.
                 for &cause in &gen_causes {
-                    probe.emit_caused(
+                    ctx.probe.emit_caused(
                         self.time,
                         Layer::Sim,
                         EventKind::MsgSent {
@@ -450,7 +475,7 @@ impl World {
                     );
                 }
             } else {
-                probe.emit(
+                ctx.probe.emit(
                     self.time,
                     Layer::Sim,
                     EventKind::MsgSent {
@@ -471,8 +496,8 @@ impl World {
                     }
                 }
                 if hello_lost > 0 {
-                    let cause = probe.root(RootCause::ChannelLoss);
-                    probe.emit_caused(
+                    let cause = ctx.probe.root(RootCause::ChannelLoss);
+                    ctx.probe.emit_caused(
                         self.time,
                         Layer::Sim,
                         EventKind::MsgLost {
@@ -484,9 +509,10 @@ impl World {
                 }
             }
         }
-        probe.phase_end(Phase::Hello, t0);
+        ctx.probe.phase_end(Phase::Hello, t0);
 
         self.degree_samples.push(self.topology.mean_degree());
+        #[allow(deprecated)]
         StepReport {
             time: self.time,
             generated,
@@ -500,11 +526,11 @@ impl World {
 
     /// Runs whole ticks until at least `seconds` more simulated time has
     /// elapsed.
-    pub fn run_for(&mut self, seconds: f64) {
+    pub fn run_for(&mut self, seconds: f64, ctx: &mut StepCtx<'_, '_>) {
         let target = self.time + seconds;
         // Tolerate float drift: never run an extra tick for rounding noise.
         while self.time + self.dt * 0.5 < target {
-            self.step();
+            self.step(ctx);
         }
     }
 }
@@ -512,6 +538,7 @@ impl World {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ctx::QuietCtx;
     use manet_mobility::{ConstantVelocity, EpochRandomDirection};
 
     fn small_world(seed: u64) -> World {
@@ -532,9 +559,10 @@ mod tests {
     #[test]
     fn time_advances_and_events_flow() {
         let mut w = small_world(1);
-        let r = w.step();
+        let mut q = QuietCtx::new();
+        let r = w.step(&mut q.ctx());
         assert!((r.time - 0.25).abs() < 1e-12);
-        w.run_for(10.0);
+        w.run_for(10.0, &mut q.ctx());
         assert!((w.time() - 10.25).abs() < 1e-9);
         // In a mobile world links must have churned.
         assert!(w.counters().links_generated() + w.counters().links_broken() > 0);
@@ -544,7 +572,8 @@ mod tests {
     fn determinism_same_seed_same_trace() {
         let run = |seed| {
             let mut w = small_world(seed);
-            w.run_for(20.0);
+            let mut q = QuietCtx::new();
+            w.run_for(20.0, &mut q.ctx());
             (
                 w.counters().links_generated(),
                 w.counters().links_broken(),
@@ -565,7 +594,8 @@ mod tests {
     #[test]
     fn event_driven_hello_counts_two_per_generation() {
         let mut w = small_world(2);
-        w.run_for(30.0);
+        let mut q = QuietCtx::new();
+        w.run_for(30.0, &mut q.ctx());
         assert_eq!(
             w.counters().messages(MessageKind::Hello),
             2 * w.counters().links_generated()
@@ -586,7 +616,8 @@ mod tests {
             MessageSizes::default(),
             9,
         );
-        w.run_for(20.0);
+        let mut q = QuietCtx::new();
+        w.run_for(20.0, &mut q.ctx());
         // 10 intervals × 50 nodes.
         assert_eq!(w.counters().messages(MessageKind::Hello), 500);
     }
@@ -594,13 +625,14 @@ mod tests {
     #[test]
     fn measurement_window_excludes_warmup() {
         let mut w = small_world(4);
-        w.run_for(10.0);
+        let mut q = QuietCtx::new();
+        w.run_for(10.0, &mut q.ctx());
         let warm = w.counters().links_generated();
         assert!(warm > 0);
         w.begin_measurement();
         assert_eq!(w.counters().links_generated(), 0);
         assert_eq!(w.measured_time(), 0.0);
-        w.run_for(5.0);
+        w.run_for(5.0, &mut q.ctx());
         assert!((w.measured_time() - 5.0).abs() < 1e-9);
     }
 
@@ -609,9 +641,10 @@ mod tests {
         // Over a long window on a torus, generation and break counts agree
         // within statistical noise.
         let mut w = small_world(5);
-        w.run_for(30.0);
+        let mut q = QuietCtx::new();
+        w.run_for(30.0, &mut q.ctx());
         w.begin_measurement();
-        w.run_for(400.0);
+        w.run_for(400.0, &mut q.ctx());
         let gen = w.counters().links_generated() as f64;
         let brk = w.counters().links_broken() as f64;
         assert!(gen > 100.0);
@@ -637,9 +670,10 @@ mod tests {
             MessageSizes::default(),
             7,
         );
-        w.run_for(50.0);
+        let mut q = QuietCtx::new();
+        w.run_for(50.0, &mut q.ctx());
         w.begin_measurement();
-        w.run_for(600.0);
+        w.run_for(600.0, &mut q.ctx());
         let elapsed = w.measured_time();
         let rate = w.counters().per_node_link_generation_rate(n, elapsed)
             + w.counters().per_node_link_break_rate(n, elapsed);
@@ -668,12 +702,16 @@ mod tests {
             crate::FaultPlan::bernoulli(1.0, 5).unwrap(),
         )
         .unwrap();
+        let mut q = QuietCtx::new();
         let mut lost = 0usize;
         let mut total_msgs_lost = 0usize;
         for _ in 0..80 {
-            let r = w.step();
+            let r = w.step(&mut q.ctx());
             lost += r.hello_lost;
-            total_msgs_lost += r.msgs_lost;
+            #[allow(deprecated)]
+            {
+                total_msgs_lost += r.msgs_lost;
+            }
         }
         let sent = w.counters().messages(MessageKind::Hello);
         assert!(sent > 0);
@@ -686,11 +724,36 @@ mod tests {
     #[test]
     fn ideal_channel_reports_zero_losses() {
         let mut w = small_world(31);
+        let mut q = QuietCtx::new();
         for _ in 0..40 {
-            let r = w.step();
+            let r = w.step(&mut q.ctx());
             assert_eq!(r.hello_lost, 0);
-            assert_eq!(r.msgs_lost, 0);
+            #[allow(deprecated)]
+            {
+                assert_eq!(r.msgs_lost, 0);
+            }
         }
+    }
+
+    #[test]
+    fn degree_samples_stream_into_a_constant_size_summary() {
+        // Regression for the old unbounded-Vec design: degree sampling must
+        // accumulate into a fixed-size streaming summary so multi-hour runs
+        // hold memory constant, while `mean_degree` keeps its semantics
+        // (mean of the per-tick mean degrees).
+        let mut w = small_world(12);
+        let mut q = QuietCtx::new();
+        let mut sum = 0.0;
+        let mut ticks = 0u64;
+        for _ in 0..200 {
+            w.step(&mut q.ctx());
+            sum += w.topology().mean_degree();
+            ticks += 1;
+        }
+        assert!((w.mean_degree() - sum / ticks as f64).abs() < 1e-9);
+        // Compile-time bound: the accumulator is a few scalars, not a Vec
+        // of one sample per tick.
+        const _: () = assert!(std::mem::size_of::<Summary>() <= 64);
     }
 
     #[test]
@@ -698,11 +761,13 @@ mod tests {
         use manet_telemetry::NoopSubscriber;
         let mut plain = small_world(55);
         let mut traced = small_world(55);
+        let mut q = QuietCtx::new();
         let mut noop = NoopSubscriber;
+        let mut scratch = Scratch::new();
         for _ in 0..60 {
-            let a = plain.step();
+            let a = plain.step(&mut q.ctx());
             let mut probe = Probe::subscriber(&mut noop);
-            let b = traced.step_traced(&mut probe);
+            let b = traced.step(&mut StepCtx::new(&mut probe, &mut scratch));
             assert_eq!(a, b);
         }
         assert_eq!(plain.counters(), traced.counters());
@@ -723,11 +788,12 @@ mod tests {
 
         let mut w = small_world(9);
         let mut sink = Collect::default();
+        let mut scratch = Scratch::new();
         let mut generated = 0usize;
         let mut broken = 0usize;
         for _ in 0..40 {
             let mut probe = Probe::subscriber(&mut sink);
-            let r = w.step_traced(&mut probe);
+            let r = w.step(&mut StepCtx::new(&mut probe, &mut scratch));
             generated += r.generated;
             broken += r.broken;
         }
@@ -772,12 +838,14 @@ mod tests {
 
         let mut plain = small_world(73);
         let mut traced = small_world(73);
+        let mut q = QuietCtx::new();
         let mut sink = Collect::default();
         let mut tracker = CauseTracker::new();
+        let mut scratch = Scratch::new();
         for _ in 0..40 {
-            let a = plain.step();
+            let a = plain.step(&mut q.ctx());
             let mut probe = Probe::with_causes(Some(&mut sink), None, Some(&mut tracker));
-            let b = traced.step_traced(&mut probe);
+            let b = traced.step(&mut StepCtx::new(&mut probe, &mut scratch));
             assert_eq!(a, b, "attribution must not perturb the simulation");
         }
         assert_eq!(plain.counters(), traced.counters());
@@ -852,9 +920,10 @@ mod tests {
         assert!(w.topology().degree(3) > 0);
         let mut sink = Collect::default();
         let mut tracker = CauseTracker::new();
+        let mut scratch = Scratch::new();
         while w.time() < 3.5 {
             let mut probe = Probe::with_causes(Some(&mut sink), None, Some(&mut tracker));
-            w.step_traced(&mut probe);
+            w.step(&mut StepCtx::new(&mut probe, &mut scratch));
         }
         // The crash's link breaks and the recovery's link formations (and
         // their HELLO beacons) all chain to the churn roots — static nodes,
@@ -936,8 +1005,9 @@ mod tests {
         let degree = w.topology().degree(3);
         assert!(degree > 0, "test needs node 3 connected");
         let links_before = w.topology().link_count();
-        w.step();
-        let r = w.step(); // t = 1.0: crash fires
+        let mut q = QuietCtx::new();
+        w.step(&mut q.ctx());
+        let r = w.step(&mut q.ctx()); // t = 1.0: crash fires
         assert_eq!(r.crashed, 1);
         assert!(!w.is_alive(3));
         assert_eq!(w.alive_count(), 19);
@@ -945,7 +1015,7 @@ mod tests {
         assert_eq!(w.topology().link_count(), links_before - degree);
         let mut recovered = 0;
         while w.time() < 3.5 {
-            recovered += w.step().recovered;
+            recovered += w.step(&mut q.ctx()).recovered;
         }
         assert_eq!(recovered, 1);
         assert!(w.is_alive(3));

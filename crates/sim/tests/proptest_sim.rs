@@ -4,7 +4,7 @@
 // requires re-adding the `proptest` dev-dependency (network access);
 // the hermetic default build resolves zero external crates.
 #![cfg(feature = "slow-proptests")]
-use manet_sim::{HelloMode, LinkEventKind, MessageKind, MobilityKind, SimBuilder};
+use manet_sim::{HelloMode, LinkEventKind, MessageKind, MobilityKind, QuietCtx, SimBuilder};
 use proptest::prelude::*;
 
 proptest! {
@@ -26,8 +26,9 @@ proptest! {
             .build();
         let mut links: std::collections::BTreeSet<(u32, u32)> =
             world.topology().links().collect();
+        let mut q = QuietCtx::new();
         for _ in 0..30 {
-            world.step();
+            world.step(&mut q.ctx());
             for e in world.last_events() {
                 let key = (e.a, e.b);
                 match e.kind {
@@ -58,8 +59,9 @@ proptest! {
             .seed(seed)
             .hello_mode(HelloMode::EventDriven)
             .build();
+        let mut q = QuietCtx::new();
         for _ in 0..40 {
-            world.step();
+            world.step(&mut q.ctx());
         }
         let gens = world.counters().links_generated();
         prop_assert_eq!(world.counters().messages(MessageKind::Hello), 2 * gens);
@@ -88,8 +90,9 @@ proptest! {
             .seed(seed)
             .mobility(mobility)
             .build();
+        let mut q = QuietCtx::new();
         for _ in 0..20 {
-            world.step();
+            world.step(&mut q.ctx());
             let topo = world.topology();
             for u in 0..n as u32 {
                 prop_assert!(topo.degree(u) < n);

@@ -12,10 +12,11 @@
 //! cargo run --release --example data_delivery
 //! ```
 
-use clustered_manet::cluster::{Clustering, LowestId, MaintenanceOutcome};
+use clustered_manet::cluster::{Clustering, LowestId};
 use clustered_manet::routing::forwarding::HybridForwarder;
-use clustered_manet::routing::intra::{IntraClusterRouting, RouteUpdateOutcome, UpdatePolicy};
-use clustered_manet::sim::{MessageKind, SimBuilder};
+use clustered_manet::routing::intra::{IntraClusterRouting, UpdatePolicy};
+use clustered_manet::sim::{MessageKind, QuietCtx, SimBuilder};
+use clustered_manet::stack::{ProtocolStack, StackReport};
 use clustered_manet::util::stats::Summary;
 use clustered_manet::util::Rng;
 
@@ -28,40 +29,39 @@ const DURATION: f64 = 300.0;
 
 fn main() {
     // Node 0 is the command post; teams 1..N stream reports to it.
-    let mut world = SimBuilder::new()
+    let world = SimBuilder::new()
         .nodes(N)
         .side(SIDE)
         .radius(RADIUS)
         .speed(SPEED)
         .seed(20260704)
         .build();
-    let mut clustering = Clustering::form(LowestId, world.topology());
-    let mut routing = IntraClusterRouting::with_policy(UpdatePolicy::Coalesced { interval: 5.0 });
-    routing.update_timed(0.0, world.topology(), &clustering);
+    let clustering = Clustering::form(LowestId, world.topology());
+    let routing = IntraClusterRouting::with_policy(UpdatePolicy::Coalesced { interval: 5.0 });
+    let mut stack = ProtocolStack::ideal(world, clustering, routing);
+    let mut quiet = QuietCtx::new();
+    stack.prime(&mut quiet.ctx());
     let mut rng = Rng::seed_from_u64(99);
 
-    world.run_for(30.0);
-    world.begin_measurement();
+    stack.world_mut().run_for(30.0, &mut quiet.ctx());
+    stack.world_mut().begin_measurement();
 
-    let mut maint = MaintenanceOutcome::default();
-    let mut route = RouteUpdateOutcome::default();
+    let mut agg = StackReport::default();
     let mut sent = 0u64;
     let mut delivered = 0u64;
     let mut hops = Summary::new();
     let mut stretch = Summary::new();
     let mut rreq_total = 0u64;
-    let mut next_report = world.time();
+    let mut next_report = stack.world().time();
 
-    let ticks = (DURATION / world.dt()) as usize;
+    let ticks = (DURATION / stack.world().dt()) as usize;
     for _ in 0..ticks {
-        world.step();
-        maint.absorb(clustering.maintain(world.topology()));
-        route.absorb(routing.update_timed(world.dt(), world.topology(), &clustering));
+        agg.absorb(stack.tick(&mut quiet.ctx()));
 
         // Report wave: a random squad of 10 teams sends to the post.
-        if world.time() >= next_report {
+        if stack.world().time() >= next_report {
             next_report += REPORT_PERIOD;
-            let forwarder = HybridForwarder::new(world.topology(), &clustering);
+            let forwarder = HybridForwarder::new(stack.world().topology(), stack.cluster());
             for _ in 0..10 {
                 let team = 1 + rng.u64_below((N - 1) as u64) as u32;
                 sent += 1;
@@ -80,6 +80,7 @@ fn main() {
         }
     }
 
+    let world = stack.world();
     let elapsed = world.measured_time();
     let per_node = |c: u64| c as f64 / N as f64 / elapsed;
     println!("Disaster-relief scenario: {N} nodes, {SIDE} m field, v = {SPEED} m/s");
@@ -107,8 +108,8 @@ fn main() {
         world
             .counters()
             .per_node_rate(MessageKind::Hello, N, elapsed),
-        per_node(maint.total_messages()),
-        per_node(route.route_messages),
+        per_node(agg.cluster.maintenance.total_messages()),
+        per_node(agg.route.route_messages),
     );
     println!("\nUndelivered reports correspond to genuine partitions (teams out of");
     println!("radio contact with the post) — the forwarder is reachability-exact.");

@@ -56,9 +56,10 @@ fn measured_link_rate(kind: MobilityKind) -> f64 {
         .mobility(kind)
         .seed(5)
         .build();
-    world.run_for(40.0);
+    let mut quiet = clustered_manet::sim::QuietCtx::new();
+    world.run_for(40.0, &mut quiet.ctx());
     world.begin_measurement();
-    world.run_for(200.0);
+    world.run_for(200.0, &mut quiet.ctx());
     let n = world.node_count();
     let t = world.measured_time();
     world.counters().per_node_link_generation_rate(n, t)

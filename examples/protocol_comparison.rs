@@ -8,12 +8,12 @@
 //! ```
 
 use clustered_manet::cluster::{
-    ClusterPolicy, ClusterStats, Clustering, HighestConnectivity, LowestId, MaintenanceOutcome,
-    StaticWeights,
+    ClusterPolicy, ClusterStats, Clustering, HighestConnectivity, LowestId, StaticWeights,
 };
 use clustered_manet::routing::dsdv::{Dsdv, DsdvOutcome};
-use clustered_manet::routing::intra::{IntraClusterRouting, RouteUpdateOutcome, UpdatePolicy};
-use clustered_manet::sim::{MessageKind, SimBuilder, World};
+use clustered_manet::routing::intra::{IntraClusterRouting, UpdatePolicy};
+use clustered_manet::sim::{MessageKind, QuietCtx, SimBuilder, World};
+use clustered_manet::stack::{ProtocolStack, StackReport};
 use clustered_manet::util::table::{fmt_sig, Table};
 use clustered_manet::util::Rng;
 
@@ -43,47 +43,47 @@ fn world(seed: u64) -> World {
 }
 
 fn run_policy<P: ClusterPolicy>(policy: P) -> Run {
-    let mut world = world(7);
-    let mut clustering = Clustering::form(policy, world.topology());
+    let world = world(7);
+    let clustering = Clustering::form(policy, world.topology());
     // Rate-limited triggered updates, like a deployable protocol.
-    let mut routing = IntraClusterRouting::with_policy(UpdatePolicy::Coalesced {
+    let routing = IntraClusterRouting::with_policy(UpdatePolicy::Coalesced {
         interval: UPDATE_INTERVAL,
     });
-    routing.update_timed(0.0, world.topology(), &clustering);
-    world.run_for(WARMUP);
-    world.begin_measurement();
-    let mut maint = MaintenanceOutcome::default();
-    let mut route = RouteUpdateOutcome::default();
+    let mut stack = ProtocolStack::ideal(world, clustering, routing);
+    let mut quiet = QuietCtx::new();
+    stack.prime(&mut quiet.ctx());
+    stack.world_mut().run_for(WARMUP, &mut quiet.ctx());
+    stack.world_mut().begin_measurement();
+    let mut agg = StackReport::default();
     let mut p_acc = 0.0;
     let mut m_acc = 0.0;
-    let ticks = (MEASURE / world.dt()) as usize;
+    let ticks = (MEASURE / stack.world().dt()) as usize;
     for _ in 0..ticks {
-        world.step();
-        maint.absorb(clustering.maintain(world.topology()));
-        route.absorb(routing.update_timed(world.dt(), world.topology(), &clustering));
-        let stats = ClusterStats::measure(&clustering);
+        agg.absorb(stack.tick(&mut quiet.ctx()));
+        let stats = ClusterStats::measure(stack.cluster());
         p_acc += stats.head_ratio;
         m_acc += stats.mean_cluster_size;
     }
-    let elapsed = world.measured_time();
-    let entry_bytes = world.sizes().route_entry as f64;
+    let elapsed = stack.world().measured_time();
+    let entry_bytes = stack.world().sizes().route_entry as f64;
     Run {
         head_ratio: p_acc / ticks as f64,
         mean_cluster: m_acc / ticks as f64,
-        f_cluster: maint.total_messages() as f64 / N as f64 / elapsed,
-        route_bits: route.route_entries as f64 * entry_bytes * 8.0 / N as f64 / elapsed,
+        f_cluster: agg.cluster.maintenance.total_messages() as f64 / N as f64 / elapsed,
+        route_bits: agg.route.route_entries as f64 * entry_bytes * 8.0 / N as f64 / elapsed,
     }
 }
 
 fn run_flat_dsdv() -> (f64, f64) {
     let mut world = world(7);
     let mut dsdv = Dsdv::new(UPDATE_INTERVAL);
-    world.run_for(WARMUP);
+    let mut quiet = QuietCtx::new();
+    world.run_for(WARMUP, &mut quiet.ctx());
     world.begin_measurement();
     let mut flat = DsdvOutcome::default();
     let ticks = (MEASURE / world.dt()) as usize;
     for _ in 0..ticks {
-        world.step();
+        world.step(&mut quiet.ctx());
         let events: Vec<_> = world.last_events().to_vec();
         flat.absorb(dsdv.step(world.dt(), world.topology(), &events));
     }

@@ -7,10 +7,11 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use clustered_manet::cluster::{Clustering, LowestId, MaintenanceOutcome};
+use clustered_manet::cluster::{Clustering, LowestId};
 use clustered_manet::model::{lid, DegreeModel, NetworkParams, OverheadModel};
-use clustered_manet::routing::intra::{IntraClusterRouting, RouteUpdateOutcome};
-use clustered_manet::sim::{MessageKind, SimBuilder};
+use clustered_manet::routing::intra::IntraClusterRouting;
+use clustered_manet::sim::{MessageKind, QuietCtx, SimBuilder};
+use clustered_manet::stack::{ProtocolStack, StackReport};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A 300-node network in a 1 km² field, 140 m radios, 12 m/s movers.
@@ -44,36 +45,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // ---- Simulated confirmation ---------------------------------------
-    let mut world = SimBuilder::new()
+    let world = SimBuilder::new()
         .side(side)
         .nodes(n)
         .radius(radius)
         .speed(speed)
         .seed(2026)
         .build();
-    let mut clustering = Clustering::form(LowestId, world.topology());
-    let mut routing = IntraClusterRouting::new();
-    routing.update(world.topology(), &clustering);
+    let clustering = Clustering::form(LowestId, world.topology());
+    let mut stack = ProtocolStack::ideal(world, clustering, IntraClusterRouting::new());
+    let mut quiet = QuietCtx::new();
+    stack.prime(&mut quiet.ctx());
 
     // Warm up 60 s, measure 240 s.
-    world.run_for(60.0);
-    world.begin_measurement();
-    let mut maint = MaintenanceOutcome::default();
-    let mut route = RouteUpdateOutcome::default();
-    let ticks = (240.0 / world.dt()) as usize;
+    stack.world_mut().run_for(60.0, &mut quiet.ctx());
+    stack.world_mut().begin_measurement();
+    let mut agg = StackReport::default();
+    let ticks = (240.0 / stack.world().dt()) as usize;
     let mut p_sum = 0.0;
     for _ in 0..ticks {
-        world.step();
-        maint.absorb(clustering.maintain(world.topology()));
-        route.absorb(routing.update(world.topology(), &clustering));
-        p_sum += clustering.head_ratio();
+        let report = stack.tick(&mut quiet.ctx());
+        p_sum += report.head_ratio;
+        agg.absorb(report);
     }
+    let world = stack.world();
     let elapsed = world.measured_time();
     let f_hello = world
         .counters()
         .per_node_rate(MessageKind::Hello, n, elapsed);
-    let f_cluster = maint.total_messages() as f64 / n as f64 / elapsed;
-    let f_route = route.route_messages as f64 / n as f64 / elapsed;
+    let f_cluster = agg.cluster.maintenance.total_messages() as f64 / n as f64 / elapsed;
+    let f_route = agg.route.route_messages as f64 / n as f64 / elapsed;
     let p_meas = p_sum / ticks as f64;
 
     // Re-evaluate the closed forms at the *measured* head ratio, which is

@@ -7,6 +7,15 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> no-twins guard (single entry point per layer, DESIGN.md §12)"
+# The StepCtx refactor collapsed every parameter-twin entry point
+# (step_traced, maintain_faulty, update_lossy, ...). Fail the build if
+# one ever reappears in source.
+if grep -rn "_traced\|maintain_faulty\|update_lossy" crates src --include='*.rs'; then
+    echo "verify: FAIL — twin entry points found (use StepCtx instead)" >&2
+    exit 1
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
@@ -26,5 +35,10 @@ echo "==> attribution audit smoke (attribution_report --quick)"
 # Short seeded sim with attribution on: zero invariant violations, every
 # causal chain anchored, and exact Counters <-> ledger reconciliation.
 cargo run -q --release -p manet-experiments --bin attribution_report -- --quick
+
+echo "==> stack bench smoke (bench_stack --quick)"
+# Throughput + allocation probe over the unified ProtocolStack tick
+# (short warmup; the committed BENCH_stack.json comes from the full run).
+cargo run -q --release -p manet-experiments --bin bench_stack -- --quick
 
 echo "verify: all checks passed"

@@ -14,12 +14,13 @@
 //! `trace` emits a reproducible mobility trace (plain text or ns-2
 //! movement format); `theta` prints the Section 6 growth-exponent table.
 
-use clustered_manet::cluster::{Clustering, HighestConnectivity, LowestId, MaintenanceOutcome};
+use clustered_manet::cluster::{Clustering, HighestConnectivity, LowestId};
 use clustered_manet::geom::SquareRegion;
 use clustered_manet::mobility::{ConstantVelocity, TraceRecorder};
 use clustered_manet::model::{lid, DegreeModel, NetworkParams, OverheadModel};
-use clustered_manet::routing::intra::{IntraClusterRouting, RouteUpdateOutcome};
-use clustered_manet::sim::{MessageKind, SimBuilder};
+use clustered_manet::routing::intra::IntraClusterRouting;
+use clustered_manet::sim::{MessageKind, QuietCtx, SimBuilder};
+use clustered_manet::stack::{ProtocolStack, StackReport};
 use clustered_manet::util::Rng;
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -125,7 +126,7 @@ fn cmd_simulate(flags: &Flags) -> Result<(), String> {
         return Err(format!("need radius < side (got {radius} >= {side})"));
     }
 
-    let mut world = SimBuilder::new()
+    let world = SimBuilder::new()
         .nodes(n)
         .side(side)
         .radius(radius)
@@ -135,44 +136,39 @@ fn cmd_simulate(flags: &Flags) -> Result<(), String> {
 
     // The two policies share the run loop; generics keep it monomorphic.
     fn run<P: clustered_manet::cluster::ClusterPolicy>(
-        world: &mut clustered_manet::sim::World,
+        world: clustered_manet::sim::World,
         policy: P,
         warmup: f64,
         measure: f64,
-    ) -> (MaintenanceOutcome, RouteUpdateOutcome, f64, f64) {
-        let mut clustering = Clustering::form(policy, world.topology());
-        let mut routing = IntraClusterRouting::new();
-        routing.update(world.topology(), &clustering);
-        let warm_ticks = (warmup / world.dt()).round() as usize;
+    ) -> (StackReport, f64, f64, clustered_manet::sim::World) {
+        let clustering = Clustering::form(policy, world.topology());
+        let mut stack = ProtocolStack::ideal(world, clustering, IntraClusterRouting::new());
+        let mut quiet = QuietCtx::new();
+        stack.prime(&mut quiet.ctx());
+        let warm_ticks = (warmup / stack.world().dt()).round() as usize;
         for _ in 0..warm_ticks {
-            world.step();
-            clustering.maintain(world.topology());
-            routing.update(world.topology(), &clustering);
+            stack.tick(&mut quiet.ctx());
         }
-        world.begin_measurement();
-        let mut maint = MaintenanceOutcome::default();
-        let mut route = RouteUpdateOutcome::default();
+        stack.world_mut().begin_measurement();
+        let mut agg = StackReport::default();
         let mut p_acc = 0.0;
-        let ticks = (measure / world.dt()).round() as usize;
+        let ticks = (measure / stack.world().dt()).round() as usize;
         for _ in 0..ticks {
-            world.step();
-            maint.absorb(clustering.maintain(world.topology()));
-            route.absorb(routing.update(world.topology(), &clustering));
-            p_acc += clustering.head_ratio();
+            let report = stack.tick(&mut quiet.ctx());
+            p_acc += report.head_ratio;
+            agg.absorb(report);
         }
-        (
-            maint,
-            route,
-            p_acc / ticks.max(1) as f64,
-            world.topology().pair_connectivity(),
-        )
+        let connectivity = stack.world().topology().pair_connectivity();
+        let (world, _, _, _) = stack.into_parts();
+        (agg, p_acc / ticks.max(1) as f64, connectivity, world)
     }
 
-    let (maint, route, p_meas, connectivity) = match policy {
-        "lid" => run(&mut world, LowestId, warmup, measure),
-        "hcc" => run(&mut world, HighestConnectivity, warmup, measure),
+    let (agg, p_meas, connectivity, world) = match policy {
+        "lid" => run(world, LowestId, warmup, measure),
+        "hcc" => run(world, HighestConnectivity, warmup, measure),
         other => return Err(format!("unknown --policy {other:?} (expected lid or hcc)")),
     };
+    let (maint, route) = (agg.cluster.maintenance, agg.route);
 
     let elapsed = world.measured_time();
     let per_node = |count: u64| count as f64 / n as f64 / elapsed;

@@ -30,7 +30,9 @@
 //! ```
 //! use clustered_manet::model::{DegreeModel, NetworkParams, OverheadModel};
 //! use clustered_manet::cluster::{Clustering, LowestId};
-//! use clustered_manet::sim::SimBuilder;
+//! use clustered_manet::routing::intra::IntraClusterRouting;
+//! use clustered_manet::sim::{QuietCtx, SimBuilder};
+//! use clustered_manet::stack::ProtocolStack;
 //!
 //! // Analytical prediction.
 //! let params = NetworkParams::new(200, 800.0, 120.0, 8.0)?;
@@ -38,17 +40,19 @@
 //! let p = clustered_manet::model::lid::p_approx(model.expected_degree());
 //! let predicted = model.breakdown(p);
 //!
-//! // Simulated confirmation (shortened run).
-//! let mut world = SimBuilder::new()
+//! // Simulated confirmation (shortened run) through the staged stack:
+//! // Mobility → Topology → HELLO → Cluster → Route per tick.
+//! let world = SimBuilder::new()
 //!     .side(800.0).nodes(200).radius(120.0).speed(8.0).seed(1).build();
-//! let mut clustering = Clustering::form(LowestId, world.topology());
-//! world.begin_measurement();
-//! for _ in 0..200 {
-//!     world.step();
-//!     clustering.maintain(world.topology());
-//! }
-//! let f_hello = world.counters().per_node_rate(
-//!     clustered_manet::sim::MessageKind::Hello, 200, world.measured_time());
+//! let clustering = Clustering::form(LowestId, world.topology());
+//! let mut stack = ProtocolStack::ideal(world, clustering, IntraClusterRouting::new());
+//! let mut quiet = QuietCtx::new();
+//! stack.prime(&mut quiet.ctx());
+//! stack.world_mut().begin_measurement();
+//! let agg = stack.run(50.0, &mut quiet.ctx());
+//! assert_eq!(agg.msgs_lost(), 0, "the ideal stack loses nothing");
+//! let f_hello = stack.world().counters().per_node_rate(
+//!     clustered_manet::sim::MessageKind::Hello, 200, stack.world().measured_time());
 //! assert!((f_hello - predicted.f_hello).abs() / predicted.f_hello < 0.5);
 //! # Ok::<(), clustered_manet::model::params::ParamError>(())
 //! ```
@@ -74,6 +78,12 @@ pub mod cluster {
 /// Routing substrates (re-export of `manet-routing`).
 pub mod routing {
     pub use manet_routing::*;
+}
+
+/// The canonical protocol-stack tick pipeline (re-export of
+/// `manet-stack`).
+pub mod stack {
+    pub use manet_stack::*;
 }
 
 /// Mobility models (re-export of `manet-mobility`).

@@ -10,7 +10,8 @@ use clustered_manet::experiments::harness::{Protocol, Scenario};
 use clustered_manet::experiments::trace::{trace_run, TelemetryConfig};
 use clustered_manet::routing::intra::IntraClusterRouting;
 use clustered_manet::sim::{
-    ChurnSchedule, FaultPlan, LossModel, MessageKind, SimBuilder, STREAM_CLUSTER, STREAM_ROUTE,
+    ChurnSchedule, FaultPlan, LossModel, MessageKind, QuietCtx, Scratch, SimBuilder, StepCtx,
+    STREAM_CLUSTER, STREAM_ROUTE,
 };
 use clustered_manet::telemetry::{
     AttributionLedger, CauseTracker, Event, EventKind, Layer, MsgClass, Probe, Subscriber,
@@ -75,29 +76,30 @@ fn every_attributed_event_resolves_to_a_root() {
         8,
     );
     let mut routing = IntraClusterRouting::new();
-    routing.update_lossy(world.topology(), healing.clustering(), &mut ch_route);
+    let mut quiet = QuietCtx::new();
+    routing.update(
+        0.0,
+        world.topology(),
+        healing.clustering(),
+        &mut ch_route,
+        &mut quiet.ctx(),
+    );
 
     let dt = world.dt();
     let mut tracker = CauseTracker::new();
     let mut sink = Collect::default();
+    let mut scratch = Scratch::new();
     for _ in 0..280 {
         let mut probe = Probe::with_causes(Some(&mut sink), None, Some(&mut tracker));
-        world.step_traced(&mut probe);
-        let now = world.time();
-        healing.step_traced(
-            world.topology(),
-            world.alive(),
-            &mut ch_cluster,
-            now,
-            &mut probe,
-        );
-        routing.update_lossy_traced(
+        let mut ctx = StepCtx::new(&mut probe, &mut scratch);
+        world.step(&mut ctx);
+        healing.step(world.topology(), world.alive(), &mut ch_cluster, &mut ctx);
+        routing.update(
             dt,
             world.topology(),
             healing.clustering(),
             &mut ch_route,
-            now,
-            &mut probe,
+            &mut ctx,
         );
     }
 

@@ -1,17 +1,19 @@
 //! Fault-plane integration tests: end-to-end determinism of the faulty
 //! stack and the zero-cost guarantee of the ideal plan.
 
-use clustered_manet::cluster::{Backoff, Clustering, LowestId, RepairOutcome, SelfHealing};
+use clustered_manet::cluster::{Backoff, Clustering, LowestId, SelfHealing};
 use clustered_manet::routing::intra::{IntraClusterRouting, RouteUpdateOutcome};
 use clustered_manet::sim::{
-    ChurnSchedule, Counters, FaultPlan, LossModel, SimBuilder, STREAM_CLUSTER, STREAM_ROUTE,
+    ChurnSchedule, Counters, FaultPlan, LossModel, QuietCtx, SimBuilder, STREAM_CLUSTER,
+    STREAM_ROUTE,
 };
+use clustered_manet::stack::{ClusterFlow, HelloDriver, ProtocolStack, StackReport};
 
 /// Runs the full self-healing stack under a bursty channel plus Poisson
 /// churn and returns every observable: counters, outcomes, roles, liveness.
 fn faulty_run() -> (
     Counters,
-    RepairOutcome,
+    ClusterFlow,
     RouteUpdateOutcome,
     Vec<String>,
     Vec<bool>,
@@ -27,7 +29,7 @@ fn faulty_run() -> (
         churn,
         seed: 0xDE7E_12A1,
     };
-    let mut world = SimBuilder::new()
+    let world = SimBuilder::new()
         .nodes(100)
         .side(500.0)
         .radius(100.0)
@@ -35,35 +37,43 @@ fn faulty_run() -> (
         .seed(5)
         .fault(plan)
         .build();
-    let mut ch_cluster = world.fault().channel(STREAM_CLUSTER);
-    let mut ch_route = world.fault().channel(STREAM_ROUTE);
-    let mut healing = SelfHealing::new(
+    let ch_cluster = world.fault().channel(STREAM_CLUSTER);
+    let ch_route = world.fault().channel(STREAM_ROUTE);
+    let healing = SelfHealing::new(
         Clustering::form(LowestId, world.topology()),
         Backoff::default(),
         8,
     );
-    let mut routing = IntraClusterRouting::new();
-    routing.update_lossy(world.topology(), healing.clustering(), &mut ch_route);
+    // World-driven HELLO (the builder's default mode), lossy CLUSTER and
+    // ROUTE channels forked from the plan's per-layer streams.
+    let mut stack = ProtocolStack::new(
+        world,
+        healing,
+        IntraClusterRouting::new(),
+        HelloDriver::World,
+        ch_cluster,
+        ch_route,
+    );
+    let mut quiet = QuietCtx::new();
+    stack.prime(&mut quiet.ctx());
 
-    let mut repair = RepairOutcome::default();
-    let mut route = RouteUpdateOutcome::default();
+    let mut agg = StackReport::default();
     for _ in 0..280 {
-        world.step();
-        repair.absorb(healing.step(world.topology(), world.alive(), &mut ch_cluster));
-        route.absorb(routing.update_lossy(world.topology(), healing.clustering(), &mut ch_route));
+        agg.absorb(stack.tick(&mut quiet.ctx()));
     }
-    let roles: Vec<String> = healing
+    let roles: Vec<String> = stack
+        .cluster()
         .clustering()
         .roles()
         .iter()
         .map(|r| format!("{r:?}"))
         .collect();
     (
-        world.counters().clone(),
-        repair,
-        route,
+        stack.world().counters().clone(),
+        agg.cluster,
+        agg.route,
         roles,
-        world.alive().to_vec(),
+        stack.world().alive().to_vec(),
     )
 }
 
@@ -92,7 +102,7 @@ fn faulty_stack_is_deterministic() {
 
 /// The ideal fault plan is free: the self-healing stack over ideal
 /// channels produces the same counters, outcomes, and roles as the plain
-/// pre-fault-plane stack on the same world.
+/// maintenance stack on the same world.
 #[test]
 fn ideal_plan_reduces_to_the_plain_stack() {
     let build = |fault: Option<FaultPlan>| {
@@ -107,61 +117,59 @@ fn ideal_plan_reduces_to_the_plain_stack() {
         }
         b.build()
     };
+    let mut quiet = QuietCtx::new();
 
     // Plain stack (no fault plane anywhere).
-    let mut world_p = build(None);
-    let mut clustering = Clustering::form(LowestId, world_p.topology());
-    let mut routing_p = IntraClusterRouting::new();
-    routing_p.update(world_p.topology(), &clustering);
-    let mut maint_total = 0u64;
-    let mut route_p = RouteUpdateOutcome::default();
+    let world_p = build(None);
+    let clustering = Clustering::form(LowestId, world_p.topology());
+    let mut plain = ProtocolStack::ideal(world_p, clustering, IntraClusterRouting::new());
+    plain.prime(&mut quiet.ctx());
+    let mut agg_p = StackReport::default();
     for _ in 0..300 {
-        world_p.step();
-        maint_total += clustering.maintain(world_p.topology()).total_messages();
-        route_p.absorb(routing_p.update(world_p.topology(), &clustering));
+        agg_p.absorb(plain.tick(&mut quiet.ctx()));
     }
 
     // Self-healing stack under the ideal plan.
-    let mut world_f = build(Some(FaultPlan::ideal()));
-    let mut ch_cluster = world_f.fault().channel(STREAM_CLUSTER);
-    let mut ch_route = world_f.fault().channel(STREAM_ROUTE);
-    let mut healing = SelfHealing::new(
+    let world_f = build(Some(FaultPlan::ideal()));
+    let ch_cluster = world_f.fault().channel(STREAM_CLUSTER);
+    let ch_route = world_f.fault().channel(STREAM_ROUTE);
+    let healing = SelfHealing::new(
         Clustering::form(LowestId, world_f.topology()),
         Backoff::default(),
         8,
     );
-    let mut routing_f = IntraClusterRouting::new();
-    routing_f.update_lossy(world_f.topology(), healing.clustering(), &mut ch_route);
-    let mut repair = RepairOutcome::default();
-    let mut route_f = RouteUpdateOutcome::default();
+    let mut faulty = ProtocolStack::new(
+        world_f,
+        healing,
+        IntraClusterRouting::new(),
+        HelloDriver::World,
+        ch_cluster,
+        ch_route,
+    );
+    faulty.prime(&mut quiet.ctx());
+    let mut agg_f = StackReport::default();
     for _ in 0..300 {
-        world_f.step();
-        repair.absorb(healing.step(world_f.topology(), world_f.alive(), &mut ch_cluster));
-        route_f.absorb(routing_f.update_lossy(
-            world_f.topology(),
-            healing.clustering(),
-            &mut ch_route,
-        ));
+        agg_f.absorb(faulty.tick(&mut quiet.ctx()));
     }
 
     assert_eq!(
-        world_p.counters(),
-        world_f.counters(),
+        plain.world().counters(),
+        faulty.world().counters(),
         "world counters diverged"
     );
     assert_eq!(
-        repair.maintenance.total_messages(),
-        maint_total,
+        agg_f.cluster.maintenance.total_messages(),
+        agg_p.cluster.maintenance.total_messages(),
         "cluster traffic diverged"
     );
-    assert_eq!(repair.maintenance.lost_sends, 0);
-    assert_eq!(repair.maintenance.deferred_sends, 0);
-    assert_eq!(repair.retransmissions, 0);
-    assert_eq!(repair.repairs, 0);
-    assert_eq!(route_f, route_p, "route traffic diverged");
+    assert_eq!(agg_f.cluster.maintenance.lost_sends, 0);
+    assert_eq!(agg_f.cluster.maintenance.deferred_sends, 0);
+    assert_eq!(agg_f.cluster.retransmissions, 0);
+    assert_eq!(agg_f.cluster.repairs, 0);
+    assert_eq!(agg_f.route, agg_p.route, "route traffic diverged");
     assert_eq!(
-        healing.clustering().roles(),
-        clustering.roles(),
+        faulty.cluster().clustering().roles(),
+        plain.cluster().roles(),
         "cluster structures diverged"
     );
 }

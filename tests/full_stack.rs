@@ -6,7 +6,8 @@ use clustered_manet::experiments::harness::{measure_lid, Protocol, Scenario};
 use clustered_manet::model::{lid, DegreeModel, NetworkParams, OverheadModel};
 use clustered_manet::routing::discovery::RouteDiscovery;
 use clustered_manet::routing::intra::{IntraClusterRouting, IntraTables};
-use clustered_manet::sim::SimBuilder;
+use clustered_manet::sim::{QuietCtx, SimBuilder};
+use clustered_manet::stack::{ProtocolStack, StackReport};
 
 /// The headline reproduction check in miniature: simulation and analysis
 /// agree on HELLO exactly and on CLUSTER within the lower-bound slack.
@@ -53,23 +54,25 @@ fn sim_and_analysis_agree_on_hello_and_cluster() {
 #[test]
 fn full_stack_is_deterministic() {
     let run = || {
-        let mut world = SimBuilder::new()
+        let world = SimBuilder::new()
             .nodes(120)
             .side(600.0)
             .radius(110.0)
             .seed(9)
             .build();
-        let mut clustering = Clustering::form(LowestId, world.topology());
-        let mut routing = IntraClusterRouting::new();
-        routing.update(world.topology(), &clustering);
-        let mut cluster_msgs = 0u64;
-        let mut route_msgs = 0u64;
+        let clustering = Clustering::form(LowestId, world.topology());
+        let mut stack = ProtocolStack::ideal(world, clustering, IntraClusterRouting::new());
+        let mut quiet = QuietCtx::new();
+        stack.prime(&mut quiet.ctx());
+        let mut agg = StackReport::default();
         for _ in 0..400 {
-            world.step();
-            cluster_msgs += clustering.maintain(world.topology()).total_messages();
-            route_msgs += routing.update(world.topology(), &clustering).route_messages;
+            agg.absorb(stack.tick(&mut quiet.ctx()));
         }
-        (cluster_msgs, route_msgs, clustering.head_count())
+        (
+            agg.cluster.maintenance.total_messages(),
+            agg.route.route_messages,
+            stack.cluster().head_count(),
+        )
     };
     assert_eq!(run(), run());
 }
@@ -86,9 +89,10 @@ fn hybrid_routing_covers_the_network() {
         .seed(4)
         .build();
     let mut clustering = Clustering::form(LowestId, world.topology());
+    let mut quiet = QuietCtx::new();
     for _ in 0..40 {
-        world.step();
-        clustering.maintain(world.topology());
+        world.step(&mut quiet.ctx());
+        clustering.maintain(world.topology(), &mut quiet.ctx());
     }
     let topo = world.topology();
     let tables = IntraTables::build(topo, &clustering);
@@ -176,8 +180,9 @@ fn trace_replay_reproduces_link_dynamics() {
             MessageSizes::default(),
             1,
         );
+        let mut quiet = QuietCtx::new();
         for _ in 0..200 {
-            world.step();
+            world.step(&mut quiet.ctx());
         }
         (
             world.counters().links_generated(),

@@ -1,0 +1,129 @@
+//! Golden-parity pins: the refactored `ProtocolStack` tick pipeline must
+//! reproduce the pre-refactor hand-rolled loops bit-for-bit for fixed
+//! seeds — per-class `Counters`, measured harness rates, fault-plane
+//! rates, and the JSONL trace (attribution on and off).
+//!
+//! The fixtures under `tests/golden/` were captured from the pre-refactor
+//! loop (PR 3 head) by running with `GOLDEN_CAPTURE=1`:
+//!
+//! ```text
+//! GOLDEN_CAPTURE=1 cargo test --test golden_parity
+//! ```
+//!
+//! Profile lines (`"type":"profile"`) are excluded from the JSONL
+//! comparison: they carry wall-clock timings and are nondeterministic
+//! even across identical pre-refactor runs.
+
+use clustered_manet::experiments::harness::{measure_lid, Protocol, Scenario};
+use clustered_manet::experiments::robustness::{measure_with_faults, FaultConfig};
+use clustered_manet::experiments::trace::{trace_run, TelemetryConfig};
+use clustered_manet::sim::LossModel;
+use std::path::{Path, PathBuf};
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn capture_mode() -> bool {
+    std::env::var_os("GOLDEN_CAPTURE").is_some()
+}
+
+/// Compares (or captures) `actual` against the named fixture.
+fn check(name: &str, actual: &str) {
+    let path = golden_dir().join(name);
+    if capture_mode() {
+        std::fs::create_dir_all(golden_dir()).expect("create tests/golden");
+        std::fs::write(&path, actual).expect("write fixture");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {} ({e}); see module docs", path.display()));
+    assert_eq!(
+        actual, expected,
+        "{name} diverged from the pre-refactor golden fixture"
+    );
+}
+
+/// Strips wall-clock profile lines; everything else is deterministic.
+fn without_profile_lines(raw: &str) -> String {
+    raw.lines()
+        .filter(|l| !l.contains("\"type\":\"profile\""))
+        .map(|l| format!("{l}\n"))
+        .collect()
+}
+
+fn quick() -> (Scenario, Protocol) {
+    (
+        Scenario {
+            nodes: 80,
+            side: 500.0,
+            radius: 100.0,
+            ..Scenario::default()
+        },
+        Protocol {
+            warmup: 10.0,
+            measure: 30.0,
+            seeds: vec![7],
+            dt: 0.5,
+        },
+    )
+}
+
+#[test]
+fn traced_jsonl_and_counters_match_pre_refactor() {
+    let (scenario, protocol) = quick();
+    let dir = std::env::temp_dir().join(format!("manet-golden-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("plain.jsonl");
+    let run = trace_run(
+        &scenario,
+        &protocol,
+        &TelemetryConfig::to_file("golden", path.clone()),
+    )
+    .expect("traced run");
+    let raw = std::fs::read_to_string(&path).expect("trace file");
+    check("trace_plain.jsonl", &without_profile_lines(&raw));
+    check("trace_counters.txt", &format!("{:#?}\n", run.counters));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn attributed_jsonl_matches_pre_refactor() {
+    let (scenario, protocol) = quick();
+    let dir = std::env::temp_dir().join(format!("manet-golden-attr-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("attr.jsonl");
+    let run = trace_run(
+        &scenario,
+        &protocol,
+        &TelemetryConfig::to_file("golden", path.clone()).with_attribution(),
+    )
+    .expect("attributed traced run");
+    let raw = std::fs::read_to_string(&path).expect("trace file");
+    check("trace_attributed.jsonl", &without_profile_lines(&raw));
+    check(
+        "trace_attributed_counters.txt",
+        &format!("{:#?}\n", run.counters),
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn harness_measurement_matches_pre_refactor() {
+    let (scenario, protocol) = quick();
+    let m = measure_lid(&scenario, &protocol);
+    check("measured_lid.txt", &format!("{m:#?}\n"));
+}
+
+#[test]
+fn faulty_stack_measurement_matches_pre_refactor() {
+    let (scenario, protocol) = quick();
+    let config = FaultConfig {
+        loss: LossModel::Bernoulli { p: 0.15 },
+        crash_rate: 0.004,
+        mean_downtime: 12.0,
+        ..FaultConfig::default()
+    };
+    let m = measure_with_faults(&scenario, &protocol, &config);
+    check("measured_faulty.txt", &format!("{m:#?}\n"));
+}
