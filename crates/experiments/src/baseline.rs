@@ -1,8 +1,9 @@
 //! EXT2 — the paper's motivating comparison: flat proactive routing (DSDV)
 //! vs the clustered hybrid stack, as network size grows at fixed density.
 
-use crate::harness::{Protocol, Scenario};
+use crate::harness::{Protocol, Scenario, StackDriver};
 use manet_cluster::{Clustering, LowestId};
+use manet_geom::ShardDims;
 use manet_routing::dsdv::{Dsdv, DsdvOutcome};
 use manet_routing::intra::{IntraClusterRouting, UpdatePolicy};
 use manet_sim::{HelloMode, MessageKind, QuietCtx, SimBuilder};
@@ -27,6 +28,22 @@ pub fn flat_vs_clustered(
     protocol: &Protocol,
     sizes: &[usize],
     dump_interval: f64,
+) -> Vec<BaselineRow> {
+    flat_vs_clustered_sharded(protocol, sizes, dump_interval, None)
+}
+
+/// [`flat_vs_clustered`] over an optional shard layout for the clustered
+/// stack (`None` = monolithic; results are bit-identical either way).
+///
+/// # Panics
+///
+/// Panics when the layout's tiles would be narrower than the 150 m radio
+/// radius at the smallest swept size.
+pub fn flat_vs_clustered_sharded(
+    protocol: &Protocol,
+    sizes: &[usize],
+    dump_interval: f64,
+    shards: Option<ShardDims>,
 ) -> Vec<BaselineRow> {
     let density = 400.0 / 1e6;
     sizes
@@ -57,7 +74,9 @@ pub fn flat_vs_clustered(
             let routing = IntraClusterRouting::with_policy(UpdatePolicy::Coalesced {
                 interval: dump_interval,
             });
-            let mut stack = ProtocolStack::ideal(world, clustering, routing);
+            let stack = ProtocolStack::ideal(world, clustering, routing);
+            let mut stack = StackDriver::with_shards(stack, shards)
+                .expect("shard layout incompatible with swept scenario radius");
             let mut quiet = QuietCtx::new();
             stack.prime(&mut quiet.ctx());
             let mut dsdv = Dsdv::new(dump_interval);

@@ -1,0 +1,209 @@
+//! `bench_shard` — throughput of the sharded topology step across shard
+//! layouts and population sizes (DESIGN.md §13).
+//!
+//! For each N at fixed density, measures the per-tick world step —
+//! mobility, topology, diff, HELLO accounting — on the monolithic grid
+//! path and on the ghost-margin shard plane at a sweep of layouts, plus
+//! the steady-state allocation count of the sharded hot path (expected:
+//! zero once per-shard capacities have warmed up). Results are honest to
+//! the host: `host_cpus` and `workers` are recorded next to every
+//! speedup, and on a single-core container the sharded layouts are
+//! expected to track 1x1 (the determinism contract makes them
+//! bit-identical, so the sweep is then a pure-overhead measurement).
+//!
+//! ```sh
+//! cargo run --release -p manet-experiments --bin bench_shard          # full, writes BENCH_shard.json
+//! cargo run --release -p manet-experiments --bin bench_shard -- --quick   # smoke: stdout only
+//! ```
+
+use manet_geom::ShardDims;
+use manet_shard::ShardPlane;
+use manet_sim::{HelloMode, QuietCtx, SimBuilder, World};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to the system allocator; the counter is a
+// relaxed atomic increment with no other side effect.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+const DT: f64 = 0.5;
+const RADIUS: f64 = 150.0;
+const SPEED: f64 = 10.0;
+const DENSITY: f64 = 400.0 / 1e6; // nodes per m², fixed across sizes
+
+struct Row {
+    nodes: usize,
+    side: f64,
+    layout: String,
+    shards: usize,
+    workers: usize,
+    measure_ticks: usize,
+    ticks_per_sec: f64,
+    speedup_vs_1x1: f64,
+    step_allocs_per_100_ticks: u64,
+}
+
+fn build_world(nodes: usize, side: f64) -> World {
+    SimBuilder::new()
+        .nodes(nodes)
+        .side(side)
+        .radius(RADIUS)
+        .speed(SPEED)
+        .dt(DT)
+        .seed(7)
+        .hello_mode(HelloMode::EventDriven)
+        .build()
+}
+
+/// One (N, layout) cell: throughput over `measure_ticks`, then a
+/// steady-state allocation window. `layout = None` is the monolithic
+/// grid path, the reference the shard plane must not regress.
+fn bench_cell(
+    nodes: usize,
+    layout: Option<ShardDims>,
+    measure_ticks: usize,
+    warm_ticks: usize,
+) -> Row {
+    let side = (nodes as f64 / DENSITY).sqrt();
+    let mut world = build_world(nodes, side);
+    let mut plane = layout.map(|dims| {
+        ShardPlane::for_world(&world, dims).unwrap_or_else(|e| panic!("layout {dims}: {e}"))
+    });
+    let mut quiet = QuietCtx::new();
+    let mut step = |world: &mut World, plane: &mut Option<ShardPlane>| match plane {
+        Some(p) => world.step_with(&mut quiet.ctx(), p),
+        None => world.step(&mut quiet.ctx()),
+    };
+
+    for _ in 0..warm_ticks {
+        step(&mut world, &mut plane);
+    }
+    let t0 = Instant::now();
+    for _ in 0..measure_ticks {
+        step(&mut world, &mut plane);
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    let alloc_window = 100;
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..alloc_window {
+        step(&mut world, &mut plane);
+    }
+    let step_allocs = ALLOCS.load(Ordering::Relaxed) - before;
+
+    Row {
+        nodes,
+        side,
+        layout: layout.map_or("mono".to_string(), |d| d.to_string()),
+        shards: layout.map_or(1, |d| d.count()),
+        workers: plane.as_ref().map_or(1, |p| p.workers()),
+        measure_ticks,
+        ticks_per_sec: measure_ticks as f64 / elapsed,
+        speedup_vs_1x1: 0.0, // filled in per size group below
+        step_allocs_per_100_ticks: step_allocs,
+    }
+}
+
+fn bench_size(nodes: usize, layouts: &[&str], measure_ticks: usize, warm_ticks: usize) -> Vec<Row> {
+    let mut rows = vec![bench_cell(nodes, None, measure_ticks, warm_ticks)];
+    for l in layouts {
+        let dims = ShardDims::parse(l).expect("layout literal");
+        rows.push(bench_cell(nodes, Some(dims), measure_ticks, warm_ticks));
+    }
+    let base = rows
+        .iter()
+        .find(|r| r.layout == "1x1")
+        .map(|r| r.ticks_per_sec)
+        .expect("sweep includes 1x1");
+    for r in &mut rows {
+        r.speedup_vs_1x1 = r.ticks_per_sec / base;
+    }
+    rows
+}
+
+fn to_json(rows: &[Row], quick: bool) -> String {
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"bench_shard\",\n");
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
+    out.push_str(&format!(
+        "  \"dt\": {DT}, \"radius\": {RADIUS}, \"speed\": {SPEED}, \"density_per_m2\": {DENSITY},\n"
+    ));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"nodes\": {}, \"side\": {:.1}, \"layout\": \"{}\", \"shards\": {}, \"workers\": {}, \"measure_ticks\": {}, \"ticks_per_sec\": {:.2}, \"speedup_vs_1x1\": {:.3}, \"step_allocs_per_100_ticks\": {}}}{}\n",
+            r.nodes,
+            r.side,
+            r.layout,
+            r.shards,
+            r.workers,
+            r.measure_ticks,
+            r.ticks_per_sec,
+            r.speedup_vs_1x1,
+            r.step_allocs_per_100_ticks,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let layouts = ["1x1", "2x2", "4x2", "4x4"];
+    // (nodes, measure_ticks, warm_ticks): the warm window must reach the
+    // per-shard high-water marks so the allocation count reflects steady
+    // state, but scales down with N to keep the full sweep tractable.
+    let sizes: &[(usize, usize, usize)] = if quick {
+        &[(400, 40, 40), (1600, 20, 20)]
+    } else {
+        &[(1600, 400, 600), (10_000, 100, 200), (100_000, 25, 40)]
+    };
+
+    let mut rows = Vec::new();
+    for &(nodes, measure_ticks, warm_ticks) in sizes {
+        rows.extend(bench_size(nodes, &layouts, measure_ticks, warm_ticks));
+    }
+    let json = to_json(&rows, quick);
+    print!("{json}");
+    for r in &rows {
+        eprintln!(
+            "N={:>6} {:>4}: {:>8.2} ticks/s  ({:.3}x vs 1x1, {} shards, {} workers, {} allocs/100 ticks)",
+            r.nodes,
+            r.layout,
+            r.ticks_per_sec,
+            r.speedup_vs_1x1,
+            r.shards,
+            r.workers,
+            r.step_allocs_per_100_ticks,
+        );
+    }
+    if !quick {
+        std::fs::write("BENCH_shard.json", &json).expect("write BENCH_shard.json");
+        eprintln!("wrote BENCH_shard.json");
+    }
+}

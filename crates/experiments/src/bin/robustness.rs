@@ -2,24 +2,27 @@
 //! lower bounds.
 
 use manet_experiments::harness::{Protocol, Scenario};
-use manet_experiments::robustness::{burst_row, sweep_loss, table};
+use manet_experiments::robustness::{burst_row_sharded, sweep_loss_sharded, table};
+use manet_experiments::trace::{shards_from_args, shards_header};
 
 fn main() {
     let scenario = Scenario::default();
     let protocol = Protocol::default();
+    let shards = shards_from_args();
 
-    println!("ROB1 — fault plane: Bernoulli loss sweep, no churn (N=400)\n");
-    let mut rows = sweep_loss(&scenario, &protocol, &[0.0, 0.05, 0.1, 0.2], 0.0);
+    println!("ROB1 — fault plane: Bernoulli loss sweep, no churn (N=400)");
+    println!("{}\n", shards_header(shards));
+    let mut rows = sweep_loss_sharded(&scenario, &protocol, &[0.0, 0.05, 0.1, 0.2], 0.0, shards);
     manet_experiments::emit("rob1_loss_sweep", &table(&rows));
 
     println!("\nROB1b — same loss sweep with churn (crash rate 0.002/s, 20 s downtime)\n");
-    let churned = sweep_loss(&scenario, &protocol, &[0.0, 0.05, 0.1, 0.2], 0.002);
+    let churned = sweep_loss_sharded(&scenario, &protocol, &[0.0, 0.05, 0.1, 0.2], 0.002, shards);
     manet_experiments::emit("rob1_loss_churn_sweep", &table(&churned));
 
     println!("\nROB1c — burst loss (Gilbert–Elliott) at matched stationary loss\n");
     rows.truncate(0);
     for p in [0.05, 0.1, 0.2] {
-        rows.push(burst_row(&scenario, &protocol, p, 0.0));
+        rows.push(burst_row_sharded(&scenario, &protocol, p, 0.0, shards));
     }
     manet_experiments::emit("rob1_burst_loss", &table(&rows));
 

@@ -3,9 +3,11 @@
 //! paper's per-node control-message frequencies.
 
 use manet_cluster::{ClusterPolicy, Clustering, LowestId};
+use manet_geom::{ShardDims, ShardLayoutError};
 use manet_routing::intra::IntraClusterRouting;
-use manet_sim::{HelloMode, MessageKind, MobilityKind, QuietCtx, SimBuilder, World};
-use manet_stack::{ProtocolStack, StackReport};
+use manet_shard::ShardedStack;
+use manet_sim::{HelloMode, MessageKind, MobilityKind, QuietCtx, SimBuilder, StepCtx, World};
+use manet_stack::{ClusterLayer, ProtocolStack, RouteLayer, StackReport};
 use manet_util::stats::Summary;
 
 /// Scenario geometry and kinematics (DESIGN.md §5 defaults).
@@ -135,6 +137,93 @@ pub struct Measured {
     pub link_change_rate: Estimate,
 }
 
+/// A harness stack on either the monolithic or the sharded topology
+/// path, exposing the handful of entry points the measurement loops use.
+///
+/// Both paths are bit-identical for a fixed seed (the shard plane's
+/// determinism contract, pinned by `tests/shard_plane.rs`); the sharded
+/// one additionally fans the topology stage out over spatial shards.
+pub enum StackDriver<C, R> {
+    /// The monolithic `ProtocolStack` (the default path).
+    Mono(Box<ProtocolStack<C, R>>),
+    /// The ghost-margin sharded stack.
+    Sharded(Box<ShardedStack<C, R>>),
+}
+
+impl<C: ClusterLayer, R: RouteLayer> StackDriver<C, R> {
+    /// Wraps `stack`: monolithic when `shards` is `None`, sharded (even
+    /// at `1x1`) when given dims.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the layout is too fine for the world's radio radius.
+    pub fn with_shards(
+        stack: ProtocolStack<C, R>,
+        shards: Option<ShardDims>,
+    ) -> Result<Self, ShardLayoutError> {
+        Ok(match shards {
+            None => StackDriver::Mono(Box::new(stack)),
+            Some(dims) => StackDriver::Sharded(Box::new(ShardedStack::new(stack, dims)?)),
+        })
+    }
+
+    /// See `ProtocolStack::prime`.
+    pub fn prime(&mut self, ctx: &mut StepCtx<'_, '_>) {
+        match self {
+            StackDriver::Mono(s) => s.prime(ctx),
+            StackDriver::Sharded(s) => s.prime(ctx),
+        }
+    }
+
+    /// One canonical tick on whichever path is configured.
+    pub fn tick(&mut self, ctx: &mut StepCtx<'_, '_>) -> StackReport {
+        match self {
+            StackDriver::Mono(s) => s.tick(ctx),
+            StackDriver::Sharded(s) => s.tick(ctx),
+        }
+    }
+
+    /// See `ProtocolStack::audit_sample`.
+    pub fn audit_sample(&self, now: f64) -> manet_telemetry::AuditSample {
+        match self {
+            StackDriver::Mono(s) => s.audit_sample(now),
+            StackDriver::Sharded(s) => s.audit_sample(now),
+        }
+    }
+
+    /// The simulated world.
+    pub fn world(&self) -> &World {
+        match self {
+            StackDriver::Mono(s) => s.world(),
+            StackDriver::Sharded(s) => s.world(),
+        }
+    }
+
+    /// Mutable world access.
+    pub fn world_mut(&mut self) -> &mut World {
+        match self {
+            StackDriver::Mono(s) => s.world_mut(),
+            StackDriver::Sharded(s) => s.world_mut(),
+        }
+    }
+
+    /// See `ProtocolStack::split_mut`.
+    pub fn split_mut(&mut self) -> (&mut World, &mut C, &mut R) {
+        match self {
+            StackDriver::Mono(s) => s.split_mut(),
+            StackDriver::Sharded(s) => s.split_mut(),
+        }
+    }
+
+    /// Consumes the driver, returning the simulated world.
+    pub fn into_world(self) -> World {
+        match self {
+            StackDriver::Mono(s) => s.into_parts().0,
+            StackDriver::Sharded(s) => s.into_parts().0.into_parts().0,
+        }
+    }
+}
+
 /// Runs the full stack (HELLO + clustering + intra-cluster routing) under
 /// `policy_for_seed` and measures the paper's metrics.
 ///
@@ -143,6 +232,28 @@ pub struct Measured {
 pub fn measure_with_policy<P, F>(
     scenario: &Scenario,
     protocol: &Protocol,
+    policy_for_seed: F,
+) -> Measured
+where
+    P: ClusterPolicy,
+    F: FnMut(u64) -> P,
+{
+    measure_with_policy_sharded(scenario, protocol, None, policy_for_seed)
+}
+
+/// [`measure_with_policy`] over an optional shard layout (`None` =
+/// monolithic; `Some(dims)` runs the topology stage on the ghost-margin
+/// shard plane, bit-identical for a fixed seed at any dims).
+///
+/// # Panics
+///
+/// Panics when the layout's tiles would be narrower than the radio
+/// radius; validate dims against the scenario up front (as the
+/// experiment bins do) for a friendlier error.
+pub fn measure_with_policy_sharded<P, F>(
+    scenario: &Scenario,
+    protocol: &Protocol,
+    shards: Option<ShardDims>,
     mut policy_for_seed: F,
 ) -> Measured
 where
@@ -172,7 +283,9 @@ where
             .hello_mode(HelloMode::EventDriven)
             .build();
         let clustering = Clustering::form(policy_for_seed(seed), world.topology());
-        let mut stack = ProtocolStack::ideal(world, clustering, IntraClusterRouting::new());
+        let stack = ProtocolStack::ideal(world, clustering, IntraClusterRouting::new());
+        let mut stack = StackDriver::with_shards(stack, shards)
+            .expect("shard layout incompatible with scenario radius");
         let mut quiet = QuietCtx::new();
         stack.prime(&mut quiet.ctx()); // baseline fill
 
@@ -233,6 +346,16 @@ where
 /// [`measure_with_policy`] specialized to the paper's LID case study.
 pub fn measure_lid(scenario: &Scenario, protocol: &Protocol) -> Measured {
     measure_with_policy(scenario, protocol, |_| LowestId)
+}
+
+/// [`measure_lid`] over an optional shard layout (see
+/// [`measure_with_policy_sharded`]).
+pub fn measure_lid_sharded(
+    scenario: &Scenario,
+    protocol: &Protocol,
+    shards: Option<ShardDims>,
+) -> Measured {
+    measure_with_policy_sharded(scenario, protocol, shards, |_| LowestId)
 }
 
 /// The analytical counterpart at a given head ratio: frequencies from the

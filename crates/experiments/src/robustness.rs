@@ -11,8 +11,9 @@
 //! `p = 0` with no churn the fault machinery is pass-through and the
 //! measured total collapses onto the ideal stack's numbers.
 
-use crate::harness::{analysis_at, Estimate, Protocol, Scenario};
+use crate::harness::{analysis_at, Estimate, Protocol, Scenario, StackDriver};
 use manet_cluster::{Backoff, Clustering, LowestId, SelfHealing};
+use manet_geom::ShardDims;
 use manet_routing::intra::IntraClusterRouting;
 use manet_sim::{
     ChurnSchedule, FaultPlan, HelloMode, HelloProtocol, LossModel, MessageKind, QuietCtx,
@@ -95,6 +96,24 @@ pub fn measure_with_faults(
     protocol: &Protocol,
     config: &FaultConfig,
 ) -> FaultMeasured {
+    measure_with_faults_sharded(scenario, protocol, config, None)
+}
+
+/// [`measure_with_faults`] over an optional shard layout (`None` =
+/// monolithic; `Some(dims)` runs the topology stage on the ghost-margin
+/// shard plane, bit-identical for a fixed seed at any dims).
+///
+/// # Panics
+///
+/// Panics when the layout's tiles would be narrower than the radio
+/// radius; validate dims against the scenario up front for a friendlier
+/// error.
+pub fn measure_with_faults_sharded(
+    scenario: &Scenario,
+    protocol: &Protocol,
+    config: &FaultConfig,
+    shards: Option<ShardDims>,
+) -> FaultMeasured {
     let mut f_hello = Summary::new();
     let mut f_cluster = Summary::new();
     let mut f_retransmit = Summary::new();
@@ -142,7 +161,9 @@ pub fn measure_with_faults(
         let hello = HelloProtocol::new(n, config.hello_interval, 3.0 * config.hello_interval);
         let clustering = Clustering::form(LowestId, world.topology());
         let healer = SelfHealing::new(clustering, config.backoff, config.sweep_interval);
-        let mut stack = ProtocolStack::faulty(world, healer, IntraClusterRouting::new(), hello);
+        let stack = ProtocolStack::faulty(world, healer, IntraClusterRouting::new(), hello);
+        let mut stack = StackDriver::with_shards(stack, shards)
+            .expect("shard layout incompatible with scenario radius");
         let mut quiet = QuietCtx::new();
         stack.prime(&mut quiet.ctx());
 
@@ -233,6 +254,18 @@ pub fn sweep_loss(
     ps: &[f64],
     crash_rate: f64,
 ) -> Vec<RobustnessRow> {
+    sweep_loss_sharded(scenario, protocol, ps, crash_rate, None)
+}
+
+/// [`sweep_loss`] over an optional shard layout (see
+/// [`measure_with_faults_sharded`]).
+pub fn sweep_loss_sharded(
+    scenario: &Scenario,
+    protocol: &Protocol,
+    ps: &[f64],
+    crash_rate: f64,
+    shards: Option<ShardDims>,
+) -> Vec<RobustnessRow> {
     ps.iter()
         .map(|&p| {
             let config = FaultConfig {
@@ -244,7 +277,7 @@ pub fn sweep_loss(
                 crash_rate,
                 ..FaultConfig::default()
             };
-            let measured = measure_with_faults(scenario, protocol, &config);
+            let measured = measure_with_faults_sharded(scenario, protocol, &config, shards);
             RobustnessRow {
                 loss_p: p,
                 crash_rate,
@@ -263,6 +296,18 @@ pub fn burst_row(
     p: f64,
     crash_rate: f64,
 ) -> RobustnessRow {
+    burst_row_sharded(scenario, protocol, p, crash_rate, None)
+}
+
+/// [`burst_row`] over an optional shard layout (see
+/// [`measure_with_faults_sharded`]).
+pub fn burst_row_sharded(
+    scenario: &Scenario,
+    protocol: &Protocol,
+    p: f64,
+    crash_rate: f64,
+    shards: Option<ShardDims>,
+) -> RobustnessRow {
     // Bad state is mostly-lossy and sticky; p_gb chosen so the stationary
     // loss π_b·loss_bad matches the target p.
     let loss_bad = 0.8;
@@ -278,7 +323,7 @@ pub fn burst_row(
         crash_rate,
         ..FaultConfig::default()
     };
-    let measured = measure_with_faults(scenario, protocol, &config);
+    let measured = measure_with_faults_sharded(scenario, protocol, &config, shards);
     RobustnessRow {
         loss_p: p,
         crash_rate,

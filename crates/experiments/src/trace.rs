@@ -13,8 +13,9 @@
 //! scenario runs after the experiment proper and writes its JSONL trace
 //! there, summarized on stdout. `bin/trace_report` re-reads such files.
 
-use crate::harness::{Protocol, Scenario};
+use crate::harness::{Protocol, Scenario, StackDriver};
 use manet_cluster::{Clustering, LowestId};
+use manet_geom::ShardDims;
 use manet_model::overhead::{contact_unit_cost, route_unit_cost, RouteLinkModel};
 use manet_routing::intra::IntraClusterRouting;
 use manet_sim::{Counters, HelloMode, MessageKind, QuietCtx, Scratch, SimBuilder, StepCtx};
@@ -152,6 +153,30 @@ pub fn trace_run(
     protocol: &Protocol,
     config: &TelemetryConfig,
 ) -> io::Result<TraceRun> {
+    trace_run_sharded(scenario, protocol, config, None)
+}
+
+/// [`trace_run`] over an optional shard layout (`None` = monolithic;
+/// `Some(dims)` runs the topology stage on the ghost-margin shard plane).
+/// The event stream, recorder, and counters are bit-identical across
+/// layouts for a fixed seed — the root `tests/shard_plane.rs` pins the
+/// traced JSONL byte-for-byte.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating or writing the JSONL sink.
+///
+/// # Panics
+///
+/// Panics when the layout's tiles would be narrower than the radio
+/// radius; validate dims against the scenario up front for a friendlier
+/// error.
+pub fn trace_run_sharded(
+    scenario: &Scenario,
+    protocol: &Protocol,
+    config: &TelemetryConfig,
+    shards: Option<ShardDims>,
+) -> io::Result<TraceRun> {
     let seed = protocol.seeds.first().copied().unwrap_or(1);
     let duration = protocol.warmup + protocol.measure;
     let world = SimBuilder::new()
@@ -186,7 +211,9 @@ pub fn trace_run(
     });
 
     let clustering = Clustering::form(LowestId, world.topology());
-    let mut stack = ProtocolStack::ideal(world, clustering, IntraClusterRouting::new());
+    let stack = ProtocolStack::ideal(world, clustering, IntraClusterRouting::new());
+    let mut stack = StackDriver::with_shards(stack, shards)
+        .expect("shard layout incompatible with scenario radius");
     stack.prime(&mut QuietCtx::new().ctx()); // baseline fill, uncharged
 
     let mut scratch = Scratch::new();
@@ -484,6 +511,36 @@ pub fn trace_out_from_args() -> Option<PathBuf> {
     path_flag_from_args("trace-out")
 }
 
+/// Extracts `--shards KXxKY` (or `--shards=KXxKY`) from the process
+/// arguments. `None` (flag absent) means the monolithic path; `1x1` runs
+/// the shard plane at a single shard, which is bit-identical.
+///
+/// # Panics
+///
+/// Panics with a usage message when the value is malformed — experiment
+/// binaries surface this at startup, before any sweep runs.
+pub fn shards_from_args() -> Option<ShardDims> {
+    let raw = path_flag_from_args("shards")?;
+    let raw = raw.to_string_lossy();
+    match ShardDims::parse(&raw) {
+        Ok(dims) => Some(dims),
+        Err(e) => panic!("--shards {raw}: {e} (expected KXxKY, e.g. --shards 2x2)"),
+    }
+}
+
+/// The run-header line describing the topology path: monolithic, or the
+/// shard layout with its worker budget.
+pub fn shards_header(shards: Option<ShardDims>) -> String {
+    match shards {
+        None => "topology: monolithic (pass --shards KXxKY to shard)".to_string(),
+        Some(dims) => format!(
+            "topology: sharded {dims} ({} shards, {} host cpus)",
+            dims.count(),
+            std::thread::available_parallelism().map_or(1, |n| n.get()),
+        ),
+    }
+}
+
 /// Extracts `--metrics-out <path>` (or `--metrics-out=<path>`) from the
 /// process arguments.
 pub fn metrics_out_from_args() -> Option<PathBuf> {
@@ -494,13 +551,15 @@ pub fn metrics_out_from_args() -> Option<PathBuf> {
 /// `--trace-out <path>`, run a traced twin of `scenario` under `protocol`,
 /// write the JSONL trace to that path, and print the summary. Without the
 /// flag this is a no-op, so binaries stay byte-identical to their
-/// pre-telemetry behavior by default.
+/// pre-telemetry behavior by default. The traced twin honors `--shards`
+/// (the trace bytes are bit-identical either way).
 pub fn maybe_trace(label: &str, scenario: &Scenario, protocol: &Protocol) {
     let trace_out = trace_out_from_args();
     let metrics_out = metrics_out_from_args();
     if trace_out.is_none() && metrics_out.is_none() {
         return;
     }
+    let shards = shards_from_args();
     let mut config = match trace_out {
         Some(path) => {
             println!("\n[trace] {label}: traced run -> {}", path.display());
@@ -515,7 +574,7 @@ pub fn maybe_trace(label: &str, scenario: &Scenario, protocol: &Protocol) {
         println!("[trace] metrics snapshot -> {}", path.display());
         config = config.with_metrics_out(path);
     }
-    match trace_run(scenario, protocol, &config) {
+    match trace_run_sharded(scenario, protocol, &config, shards) {
         Ok(run) => {
             print!(
                 "{}",
@@ -594,6 +653,7 @@ mod tests {
     fn trace_out_flag_is_absent_in_tests() {
         assert_eq!(trace_out_from_args(), None);
         assert_eq!(metrics_out_from_args(), None);
+        assert_eq!(shards_from_args(), None);
         // And therefore maybe_trace is a no-op.
         let (scenario, protocol) = quick();
         maybe_trace("noop", &scenario, &protocol);

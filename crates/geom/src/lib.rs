@@ -12,6 +12,8 @@
 //! * [`linkdist`] — link-distance distributions: Miller's CDF for uniform
 //!   points in a square (the paper's Claim 1 substrate) and the disc
 //!   line-picking CDF used by the intra-cluster ROUTE model.
+//! * [`shard`] — spatial shard tilings with ghost margins, the geometry
+//!   under the sharded world (`manet-shard`).
 //!
 //! # Example
 //!
@@ -32,6 +34,7 @@ pub mod grid;
 pub mod linkdist;
 pub mod metric;
 pub mod region;
+pub mod shard;
 pub mod vec2;
 
 /// Convenient glob-import of the most used items.
@@ -39,10 +42,12 @@ pub mod prelude {
     pub use crate::grid::SpatialGrid;
     pub use crate::metric::Metric;
     pub use crate::region::{BoundaryPolicy, SquareRegion};
+    pub use crate::shard::{ShardDims, ShardLayout};
     pub use crate::vec2::Vec2;
 }
 
 pub use grid::SpatialGrid;
 pub use metric::Metric;
 pub use region::{BoundaryPolicy, SquareRegion};
+pub use shard::{ShardDims, ShardLayout, ShardLayoutError};
 pub use vec2::Vec2;

@@ -1,0 +1,82 @@
+//! The zero-allocation contract of the steady-state *sharded* topology
+//! step, the sharded twin of `manet-sim`'s `alloc_free` test: once every
+//! shard's buffers have warmed up — frame point/id vectors, ghost
+//! margins, per-shard `FrameGrid` CSR arrays, neighbor rows, and the
+//! owner-migration scratch — a full `World::step_with` on the
+//! [`ShardPlane`] (mobility, owner exchange + ghost replication,
+//! per-shard topology, deterministic merge, diff, HELLO accounting)
+//! performs no heap allocation at all. Measured with a counting global
+//! allocator wrapped around the system one, at `workers = 1` so the
+//! count excludes thread spawning (the scoped pool allocates per spawn
+//! by construction; the parallel path's *results* are pinned identical
+//! by the plane's worker-count tests). The cluster/route layers above
+//! are outside the contract on the monolithic path too.
+//!
+//! This file holds exactly one test so no concurrent test case can
+//! allocate while the steady-state window is being counted.
+
+use manet_geom::ShardDims;
+use manet_shard::ShardPlane;
+use manet_sim::{HelloMode, QuietCtx, SimBuilder};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to the system allocator; the counter is a
+// relaxed atomic increment with no other side effect.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_sharded_step_is_allocation_free() {
+    let mut world = SimBuilder::new()
+        .nodes(400)
+        .side(1000.0)
+        .radius(150.0)
+        .speed(10.0)
+        .dt(0.5)
+        .seed(1)
+        .hello_mode(HelloMode::EventDriven)
+        .build();
+    let mut plane = ShardPlane::for_world(&world, ShardDims::parse("2x2").unwrap())
+        .unwrap()
+        .with_workers(1);
+    let mut quiet = QuietCtx::new();
+    // Warm up every capacity the hot loop touches; node migration keeps
+    // reshaping per-shard populations, so give the frame buffers, ghost
+    // margins, and neighbor rows long enough to reach their high-water
+    // marks.
+    for _ in 0..1000 {
+        world.step_with(&mut quiet.ctx(), &mut plane);
+    }
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..100 {
+        world.step_with(&mut quiet.ctx(), &mut plane);
+    }
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state sharded World::step must not allocate (got {} allocations over 100 ticks)",
+        after - before
+    );
+}

@@ -61,7 +61,7 @@ pub use fault::{
 };
 pub use hello::{HelloProtocol, ViewAccuracy};
 pub use lifetime::LinkLifetimes;
-pub use topology::{LinkEvent, LinkEventKind, Topology};
+pub use topology::{GridTopology, LinkEvent, LinkEventKind, Topology, TopologyBuilder};
 pub use world::{HelloMode, StepReport, World};
 
 /// Identifier of a node, an index into the simulation's node arrays.

@@ -23,12 +23,59 @@ pub struct LinkEvent {
     pub b: NodeId,
 }
 
+/// Strategy for recomputing the per-tick unit-disk topology.
+///
+/// `World::step_with` delegates only the neighbor-list computation to the
+/// builder; everything downstream — the alive mask, the diff, link events,
+/// HELLO accounting, counters — is shared `World` code. Any builder that
+/// produces the same sorted neighbor rows as [`GridTopology`] is therefore
+/// observationally identical to the monolithic world by construction. The
+/// shard plane (`manet-shard`) is the non-trivial implementation.
+pub trait TopologyBuilder {
+    /// Recomputes the topology of `positions` into `out`, reusing `out`'s
+    /// row allocations and the scratch `grid` slot where applicable. Every
+    /// row of `out` must end up sorted and cover exactly the unit-disk
+    /// neighbors under `metric`.
+    fn build_into(
+        &mut self,
+        positions: &[Vec2],
+        region: SquareRegion,
+        radius: f64,
+        metric: Metric,
+        grid: &mut Option<SpatialGrid>,
+        out: &mut Topology,
+    );
+}
+
+/// The default [`TopologyBuilder`]: one monolithic spatial hash grid,
+/// rebuilt (not reallocated) in the scratch slot every tick.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GridTopology;
+
+impl TopologyBuilder for GridTopology {
+    fn build_into(
+        &mut self,
+        positions: &[Vec2],
+        region: SquareRegion,
+        radius: f64,
+        metric: Metric,
+        grid: &mut Option<SpatialGrid>,
+        out: &mut Topology,
+    ) {
+        match grid {
+            Some(g) => g.rebuild(positions, region, radius, metric),
+            None => *grid = Some(SpatialGrid::build(positions, region, radius, metric)),
+        }
+        out.compute_into(grid.as_ref().expect("grid just built"));
+    }
+}
+
 /// The current unit-disk topology: per-node sorted neighbor lists.
 ///
 /// Rebuilt from node positions every tick; [`Topology::diff_into`] produces
 /// the [`LinkEvent`] stream that drives the HELLO, CLUSTER, and ROUTE
 /// protocol layers.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Topology {
     neighbors: Vec<Vec<NodeId>>,
 }
@@ -63,6 +110,19 @@ impl Topology {
         for (i, list) in self.neighbors.iter_mut().enumerate() {
             grid.neighbors_within(i, list);
         }
+    }
+
+    /// Resizes to `n` rows and exposes them mutably, for external
+    /// [`TopologyBuilder`]s that fill neighbor lists themselves (e.g. by
+    /// swapping in per-shard row buffers).
+    ///
+    /// Rows keep whatever stale content the previous tick left; the
+    /// builder must overwrite (or swap out) every row, leaving each one
+    /// sorted.
+    pub fn rows_mut(&mut self, n: usize) -> &mut [Vec<NodeId>] {
+        self.neighbors.truncate(n);
+        self.neighbors.resize_with(n, Vec::new);
+        &mut self.neighbors
     }
 
     /// Number of nodes.

@@ -4,8 +4,8 @@ use crate::counters::{Counters, MessageKind, MessageSizes};
 use crate::ctx::{Scratch, StepCtx};
 use crate::error::{positive, SimError};
 use crate::fault::{Channel, ChurnKind, FaultPlan, STREAM_HELLO};
-use crate::topology::{LinkEvent, LinkEventKind, Topology};
-use manet_geom::{Metric, SpatialGrid, SquareRegion, Vec2};
+use crate::topology::{GridTopology, LinkEvent, LinkEventKind, Topology, TopologyBuilder};
+use manet_geom::{Metric, SquareRegion, Vec2};
 use manet_mobility::Mobility;
 use manet_telemetry::{EventKind, Layer, Phase, Probe, RootCause};
 use manet_util::stats::Summary;
@@ -353,6 +353,20 @@ impl World {
     /// allocation-free. `ctx.now` is refreshed to the post-tick clock so
     /// downstream layers driven in the same tick observe it.
     pub fn step(&mut self, ctx: &mut StepCtx<'_, '_>) -> StepReport {
+        self.step_with(ctx, &mut GridTopology)
+    }
+
+    /// [`World::step`] with an explicit [`TopologyBuilder`] supplying the
+    /// per-tick neighbor-list computation (the shard plane passes its
+    /// ghost-margin builder here). Only the topology construction is
+    /// delegated; the diff, link events, HELLO, and counters are this
+    /// world's shared code, so any builder producing the same neighbor
+    /// rows yields a bit-identical tick.
+    pub fn step_with(
+        &mut self,
+        ctx: &mut StepCtx<'_, '_>,
+        builder: &mut dyn TopologyBuilder,
+    ) -> StepReport {
         let t0 = ctx.probe.phase_start();
         self.mobility.step(self.dt, &mut self.rng);
         ctx.probe.phase_end(Phase::Mobility, t0);
@@ -366,24 +380,14 @@ impl World {
         // ticks, and the post-diff swap recycles the current topology's
         // neighbor lists as next tick's spare.
         let Scratch { grid, spare } = &mut *ctx.scratch;
-        match grid {
-            Some(g) => g.rebuild(
-                self.mobility.positions(),
-                self.region,
-                self.radius,
-                self.metric,
-            ),
-            None => {
-                *grid = Some(SpatialGrid::build(
-                    self.mobility.positions(),
-                    self.region,
-                    self.radius,
-                    self.metric,
-                ))
-            }
-        }
-        let grid = grid.as_ref().expect("grid just built");
-        spare.compute_into(grid);
+        builder.build_into(
+            self.mobility.positions(),
+            self.region,
+            self.radius,
+            self.metric,
+            grid,
+            spare,
+        );
         if !self.fault.churn.is_empty() {
             spare.retain_alive(&self.alive);
         }
@@ -728,10 +732,6 @@ mod tests {
         for _ in 0..40 {
             let r = w.step(&mut q.ctx());
             assert_eq!(r.hello_lost, 0);
-            #[allow(deprecated)]
-            {
-                assert_eq!(r.msgs_lost, 0);
-            }
         }
     }
 

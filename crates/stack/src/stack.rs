@@ -3,8 +3,8 @@
 use crate::layer::{ClusterLayer, RouteLayer};
 use crate::report::StackReport;
 use manet_sim::{
-    Channel, HelloProtocol, LossModel, MessageKind, StepCtx, World, STREAM_CLUSTER, STREAM_HELLO,
-    STREAM_ROUTE,
+    Channel, GridTopology, HelloProtocol, LossModel, MessageKind, StepCtx, TopologyBuilder, World,
+    STREAM_CLUSTER, STREAM_HELLO, STREAM_ROUTE,
 };
 use manet_telemetry::{AuditSample, EventKind, Layer, MsgClass, Phase};
 
@@ -130,7 +130,20 @@ impl<C: ClusterLayer, R: RouteLayer> ProtocolStack<C, R> {
 
     /// Advances the whole stack by one tick in the canonical stage order.
     pub fn tick(&mut self, ctx: &mut StepCtx<'_, '_>) -> StackReport {
-        let step = self.world.step(ctx);
+        self.tick_with(ctx, &mut GridTopology)
+    }
+
+    /// [`ProtocolStack::tick`] with an explicit [`TopologyBuilder`] for
+    /// the world's topology stage (see `World::step_with`). The sharded
+    /// stack passes its ghost-margin shard plane here; every other stage
+    /// is the shared code below, so counters and traces depend only on
+    /// the neighbor rows the builder produces.
+    pub fn tick_with(
+        &mut self,
+        ctx: &mut StepCtx<'_, '_>,
+        builder: &mut dyn TopologyBuilder,
+    ) -> StackReport {
+        let step = self.world.step_with(ctx, builder);
         let now = ctx.now;
 
         let (hello_sent, hello_lost) = match &mut self.hello {
@@ -213,11 +226,21 @@ impl<C: ClusterLayer, R: RouteLayer> ProtocolStack<C, R> {
     /// Runs whole ticks until at least `seconds` more simulated time has
     /// elapsed, returning the aggregated report.
     pub fn run(&mut self, seconds: f64, ctx: &mut StepCtx<'_, '_>) -> StackReport {
+        self.run_with(seconds, ctx, &mut GridTopology)
+    }
+
+    /// [`ProtocolStack::run`] with an explicit [`TopologyBuilder`].
+    pub fn run_with(
+        &mut self,
+        seconds: f64,
+        ctx: &mut StepCtx<'_, '_>,
+        builder: &mut dyn TopologyBuilder,
+    ) -> StackReport {
         let mut agg = StackReport::default();
         let target = self.world.time() + seconds;
         // Same float-drift tolerance as `World::run_for`.
         while self.world.time() + self.world.dt() * 0.5 < target {
-            agg.absorb(self.tick(ctx));
+            agg.absorb(self.tick_with(ctx, builder));
         }
         agg
     }

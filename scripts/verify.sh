@@ -16,6 +16,17 @@ if grep -rn "_traced\|maintain_faulty\|update_lossy" crates src --include='*.rs'
     exit 1
 fi
 
+echo "==> msgs_lost deprecation guard (StepReport decomposed-loss fields)"
+# StepReport.msgs_lost is a deprecated alias of hello_lost kept for one
+# release; the only permitted uses are its definition, the alias fill,
+# and the alias-equality pin, all in crates/sim/src/world.rs. Fail the
+# build if any other source file reads the field (the unrelated
+# StackReport::msgs_lost() *method* is fine and excluded here).
+if grep -rn "\.msgs_lost" crates src examples tests --include='*.rs' | grep -v "msgs_lost()" | grep -v "^crates/sim/src/world.rs:"; then
+    echo "verify: FAIL — .msgs_lost field use outside crates/sim/src/world.rs (use hello_lost / the decomposed fields)" >&2
+    exit 1
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
@@ -40,5 +51,11 @@ echo "==> stack bench smoke (bench_stack --quick)"
 # Throughput + allocation probe over the unified ProtocolStack tick
 # (short warmup; the committed BENCH_stack.json comes from the full run).
 cargo run -q --release -p manet-experiments --bin bench_stack -- --quick
+
+echo "==> shard bench smoke (bench_shard --quick)"
+# Sharded topology step across layouts at small N: exercises the ghost
+# exchange, per-shard grids, and deterministic merge end to end (the
+# committed BENCH_shard.json comes from the full run).
+cargo run -q --release -p manet-experiments --bin bench_shard -- --quick
 
 echo "verify: all checks passed"

@@ -3,7 +3,8 @@
 //! ```text
 //! manet predict  --nodes 400 --side 1000 --radius 150 --speed 10 [--p 0.08]
 //! manet simulate --nodes 400 --side 1000 --radius 150 --speed 10 \
-//!                [--measure 200] [--warmup 60] [--seed 1] [--policy lid|hcc]
+//!                [--measure 200] [--warmup 60] [--seed 1] [--policy lid|hcc] \
+//!                [--shards KXxKY]
 //! manet trace    --nodes 50 --side 500 --speed 8 --frames 60 --period 1 \
 //!                [--format text|ns2] [--seed 1]
 //! manet theta
@@ -15,7 +16,8 @@
 //! movement format); `theta` prints the Section 6 growth-exponent table.
 
 use clustered_manet::cluster::{Clustering, HighestConnectivity, LowestId};
-use clustered_manet::geom::SquareRegion;
+use clustered_manet::experiments::harness::StackDriver;
+use clustered_manet::geom::{ShardDims, SquareRegion};
 use clustered_manet::mobility::{ConstantVelocity, TraceRecorder};
 use clustered_manet::model::{lid, DegreeModel, NetworkParams, OverheadModel};
 use clustered_manet::routing::intra::IntraClusterRouting;
@@ -73,7 +75,7 @@ impl Flags {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  manet predict  --nodes N --side A --radius R --speed V [--p HEADRATIO]\n  manet simulate --nodes N --side A --radius R --speed V [--measure S] [--warmup S] [--seed K] [--policy lid|hcc]\n  manet trace    --nodes N --side A --speed V --frames K --period S [--format text|ns2] [--seed K]\n  manet theta\nSee README.md for the underlying model (Xue, Er & Seah, ICDCS 2006)."
+    "usage:\n  manet predict  --nodes N --side A --radius R --speed V [--p HEADRATIO]\n  manet simulate --nodes N --side A --radius R --speed V [--measure S] [--warmup S] [--seed K] [--policy lid|hcc] [--shards KXxKY]\n  manet trace    --nodes N --side A --speed V --frames K --period S [--format text|ns2] [--seed K]\n  manet theta\nSee README.md for the underlying model (Xue, Er & Seah, ICDCS 2006)."
 }
 
 fn cmd_predict(flags: &Flags) -> Result<(), String> {
@@ -122,6 +124,10 @@ fn cmd_simulate(flags: &Flags) -> Result<(), String> {
     let warmup = flags.f64("warmup", 60.0)?;
     let seed = flags.u64("seed", 1)?;
     let policy = flags.str_or("policy", "lid");
+    let shards = match flags.0.get("shards") {
+        None => None,
+        Some(v) => Some(ShardDims::parse(v).map_err(|e| format!("--shards: {e}"))?),
+    };
     if radius >= side {
         return Err(format!("need radius < side (got {radius} >= {side})"));
     }
@@ -140,9 +146,12 @@ fn cmd_simulate(flags: &Flags) -> Result<(), String> {
         policy: P,
         warmup: f64,
         measure: f64,
-    ) -> (StackReport, f64, f64, clustered_manet::sim::World) {
+        shards: Option<ShardDims>,
+    ) -> Result<(StackReport, f64, f64, clustered_manet::sim::World), String> {
         let clustering = Clustering::form(policy, world.topology());
-        let mut stack = ProtocolStack::ideal(world, clustering, IntraClusterRouting::new());
+        let stack = ProtocolStack::ideal(world, clustering, IntraClusterRouting::new());
+        let mut stack =
+            StackDriver::with_shards(stack, shards).map_err(|e| format!("--shards: {e}"))?;
         let mut quiet = QuietCtx::new();
         stack.prime(&mut quiet.ctx());
         let warm_ticks = (warmup / stack.world().dt()).round() as usize;
@@ -159,13 +168,13 @@ fn cmd_simulate(flags: &Flags) -> Result<(), String> {
             agg.absorb(report);
         }
         let connectivity = stack.world().topology().pair_connectivity();
-        let (world, _, _, _) = stack.into_parts();
-        (agg, p_acc / ticks.max(1) as f64, connectivity, world)
+        let world = stack.into_world();
+        Ok((agg, p_acc / ticks.max(1) as f64, connectivity, world))
     }
 
     let (agg, p_meas, connectivity, world) = match policy {
-        "lid" => run(world, LowestId, warmup, measure),
-        "hcc" => run(world, HighestConnectivity, warmup, measure),
+        "lid" => run(world, LowestId, warmup, measure, shards)?,
+        "hcc" => run(world, HighestConnectivity, warmup, measure, shards)?,
         other => return Err(format!("unknown --policy {other:?} (expected lid or hcc)")),
     };
     let (maint, route) = (agg.cluster.maintenance, agg.route);
@@ -175,7 +184,13 @@ fn cmd_simulate(flags: &Flags) -> Result<(), String> {
     let f_hello = world
         .counters()
         .per_node_rate(MessageKind::Hello, n, elapsed);
-    println!("simulated {elapsed:.0}s of {policy} clustering (seed {seed}):");
+    match shards {
+        None => println!("simulated {elapsed:.0}s of {policy} clustering (seed {seed}):"),
+        Some(dims) => println!(
+            "simulated {elapsed:.0}s of {policy} clustering (seed {seed}, sharded {dims}, {} shards):",
+            dims.count()
+        ),
+    }
     println!("  steady head ratio P = {p_meas:.4}  (final pair connectivity {connectivity:.3})");
     println!("  f_hello   = {f_hello:10.4} msg/node/s");
     println!(
@@ -320,6 +335,23 @@ mod tests {
         ))
         .unwrap();
         assert!(cmd_simulate(&f).is_ok());
+    }
+
+    #[test]
+    fn simulate_accepts_shard_layouts_and_rejects_bad_ones() {
+        let f = Flags::parse(&args(
+            "--nodes 60 --side 400 --radius 80 --speed 10 --measure 10 --warmup 2 --shards 2x2",
+        ))
+        .unwrap();
+        assert!(cmd_simulate(&f).is_ok());
+        // Malformed dims and layouts finer than the radius both error.
+        for bad in ["twoxtwo", "0x2", "16x16"] {
+            let f = Flags::parse(&args(&format!(
+                "--nodes 60 --side 400 --radius 80 --speed 10 --measure 10 --warmup 2 --shards {bad}"
+            )))
+            .unwrap();
+            assert!(cmd_simulate(&f).is_err(), "--shards {bad} should fail");
+        }
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //! * [`telemetry`] — the observability plane: structured event tracing,
 //!   tumbling-window time series, JSONL persistence, and a tick-phase
 //!   wall-clock profiler (zero-cost when disabled).
+//! * [`shard`] — spatially sharded worlds: ghost-margin shard plane and
+//!   a deterministic parallel tick bit-identical to the monolithic stack
+//!   (DESIGN.md §13).
 //! * [`geom`], [`util`] — the spatial and numeric substrate.
 //! * [`experiments`] — the harnesses that regenerate every figure and
 //!   table of the paper (see DESIGN.md §5 and EXPERIMENTS.md).
@@ -84,6 +87,12 @@ pub mod routing {
 /// `manet-stack`).
 pub mod stack {
     pub use manet_stack::*;
+}
+
+/// Sharded worlds: ghost margins and the deterministic parallel tick
+/// (re-export of `manet-shard`).
+pub mod shard {
+    pub use manet_shard::*;
 }
 
 /// Mobility models (re-export of `manet-mobility`).

@@ -1,0 +1,181 @@
+//! Shard-plane parity: the sharded stack is *bit-identical* to the
+//! monolithic one (DESIGN.md §13).
+//!
+//! Three layers of evidence, all in-process (no fixtures — the reference
+//! run is the monolithic stack itself, which `tests/golden_parity.rs`
+//! already pins against committed fixtures):
+//!
+//! 1. **Traced JSONL** — a traced run at shard layouts 1x1, 2x2, and 4x1
+//!    produces byte-identical trace files and final counters to the
+//!    monolithic run (profile lines excluded: they carry wall-clock).
+//! 2. **Measured metrics** — the harness (`measure_lid`) and the fault
+//!    plane (`measure_with_faults`) return `==` results through the
+//!    sharded drivers.
+//! 3. **Migration property** — stepping a world on the shard plane next
+//!    to an identical monolithic world, node↔shard migration across the
+//!    torus wrap never drops or duplicates a node or a link event: link
+//!    events, neighbor rows, and counters match tick for tick while the
+//!    plane's ownership partition stays exact.
+
+use clustered_manet::experiments::harness::{measure_lid, measure_lid_sharded, Protocol, Scenario};
+use clustered_manet::experiments::robustness::{
+    measure_with_faults, measure_with_faults_sharded, FaultConfig,
+};
+use clustered_manet::experiments::trace::{trace_run, trace_run_sharded, TelemetryConfig};
+use clustered_manet::geom::ShardDims;
+use clustered_manet::shard::ShardPlane;
+use clustered_manet::sim::{HelloMode, LossModel, QuietCtx, SimBuilder};
+use std::path::PathBuf;
+
+/// The layouts every parity check sweeps: the degenerate single shard,
+/// a 2-D split, and a 1-D strip split (exercising both axes' wrap).
+const LAYOUTS: [&str; 3] = ["1x1", "2x2", "4x1"];
+
+/// Short but non-trivial run: long enough for clusters to churn and for
+/// nodes to cross shard boundaries and the torus seam.
+fn quick() -> (Scenario, Protocol) {
+    (
+        Scenario {
+            nodes: 80,
+            side: 500.0,
+            radius: 100.0,
+            ..Scenario::default()
+        },
+        Protocol {
+            warmup: 10.0,
+            measure: 30.0,
+            seeds: vec![7],
+            dt: 0.5,
+        },
+    )
+}
+
+/// Trace lines minus `"type":"profile"` records, which carry wall-clock
+/// timings and legitimately differ run to run.
+fn without_profile_lines(raw: &str) -> String {
+    raw.lines()
+        .filter(|l| !l.contains("\"type\":\"profile\""))
+        .map(|l| format!("{l}\n"))
+        .collect()
+}
+
+fn tmp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("manet-shard-parity-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(name)
+}
+
+#[test]
+fn traced_jsonl_is_byte_identical_across_shard_layouts() {
+    let (scenario, protocol) = quick();
+    let mono_path = tmp_path("mono.jsonl");
+    let mono = trace_run(
+        &scenario,
+        &protocol,
+        &TelemetryConfig::to_file("shard-parity", mono_path.clone()),
+    )
+    .expect("monolithic trace");
+    let mono_raw = without_profile_lines(&std::fs::read_to_string(&mono_path).expect("trace"));
+    assert!(
+        mono_raw.lines().count() > 50,
+        "trace unexpectedly small — the parity check would be vacuous"
+    );
+
+    for dims in LAYOUTS {
+        let path = tmp_path(&format!("sharded-{dims}.jsonl"));
+        let sharded = trace_run_sharded(
+            &scenario,
+            &protocol,
+            &TelemetryConfig::to_file("shard-parity", path.clone()),
+            Some(ShardDims::parse(dims).unwrap()),
+        )
+        .expect("sharded trace");
+        let raw = without_profile_lines(&std::fs::read_to_string(&path).expect("trace"));
+        assert_eq!(mono_raw, raw, "{dims}: traced JSONL diverged");
+        assert_eq!(mono.counters, sharded.counters, "{dims}: counters diverged");
+    }
+}
+
+#[test]
+fn measured_metrics_are_identical_across_shard_layouts() {
+    let (scenario, protocol) = quick();
+    let mono = measure_lid(&scenario, &protocol);
+    for dims in LAYOUTS {
+        let dims = ShardDims::parse(dims).unwrap();
+        let sharded = measure_lid_sharded(&scenario, &protocol, Some(dims));
+        assert_eq!(mono, sharded, "{dims}: measured metrics diverged");
+    }
+
+    // The fault plane (lossy HELLO, retries, repair sweeps) rides the
+    // same topology stage, so it inherits the same equality.
+    let config = FaultConfig {
+        loss: LossModel::Bernoulli { p: 0.1 },
+        crash_rate: 0.002,
+        ..FaultConfig::default()
+    };
+    let mono = measure_with_faults(&scenario, &protocol, &config);
+    let dims = ShardDims::parse("2x2").unwrap();
+    let sharded = measure_with_faults_sharded(&scenario, &protocol, &config, Some(dims));
+    assert_eq!(mono, sharded, "fault-plane metrics diverged");
+}
+
+/// Seeded property: node↔shard migration across the torus wrap never
+/// drops or duplicates a node or a link event. Fast nodes on a small
+/// torus cross shard boundaries and the wrap seam constantly; every tick
+/// the sharded world must report exactly the monolithic link events and
+/// neighbor rows, and the plane's ownership must stay an exact partition
+/// with balanced migration flows.
+#[test]
+fn torus_wrap_migration_preserves_nodes_and_link_events() {
+    for seed in [3u64, 11, 42] {
+        let build = || {
+            SimBuilder::new()
+                .nodes(90)
+                .side(450.0)
+                .radius(90.0)
+                .speed(25.0) // fast: constant boundary + seam crossings
+                .dt(0.5)
+                .seed(seed)
+                .hello_mode(HelloMode::EventDriven)
+                .build()
+        };
+        let mut mono = build();
+        let mut sharded = build();
+        let n = sharded.node_count();
+        let mut plane = ShardPlane::for_world(&sharded, ShardDims::parse("3x3").unwrap()).unwrap();
+        let mut qa = QuietCtx::new();
+        let mut qb = QuietCtx::new();
+        let mut total_migrations = 0usize;
+        for tick in 0..240 {
+            let a = mono.step(&mut qa.ctx());
+            let b = sharded.step_with(&mut qb.ctx(), &mut plane);
+            assert_eq!(a, b, "seed {seed}: step report diverged at tick {tick}");
+            assert_eq!(
+                mono.last_events(),
+                sharded.last_events(),
+                "seed {seed}: link events diverged at tick {tick}"
+            );
+
+            // Ownership is an exact partition: every node owned exactly
+            // once (the per-shard counts sum to N and every link both
+            // worlds agree on is owner-visible, per the assertions above),
+            // and migration flows balance — nothing is lost at the seam.
+            let (mut owned, mut m_in, mut m_out) = (0usize, 0usize, 0usize);
+            for s in plane.shard_stats() {
+                owned += s.owned;
+                m_in += s.migrations_in;
+                m_out += s.migrations_out;
+            }
+            assert_eq!(owned, n, "seed {seed}: ownership partition broken");
+            assert_eq!(m_in, m_out, "seed {seed}: migration flow imbalance");
+            total_migrations += m_in;
+        }
+        assert_eq!(mono.positions(), sharded.positions());
+        assert_eq!(mono.counters(), sharded.counters());
+        assert_eq!(mono.topology(), sharded.topology());
+        assert!(
+            total_migrations > 100,
+            "seed {seed}: only {total_migrations} migrations — property under-exercised"
+        );
+    }
+}
