@@ -250,7 +250,10 @@ pub fn route_dispersion_closure(protocol: &Protocol, range_fractions: &[f64]) ->
         let seed = protocol.seeds.first().copied().unwrap_or(1);
         let world = crate::harness::build_world(&scenario, protocol.dt, seed);
         let clustering = Clustering::form(LowestId, world.topology());
-        let mut stack = ProtocolStack::ideal(world, clustering, IntraClusterRouting::new());
+        let stack = ProtocolStack::ideal(world, clustering, IntraClusterRouting::new());
+        let mut stack =
+            crate::harness::StackDriver::with_shards(stack, crate::harness::default_shards())
+                .expect("--shards layout incompatible with the scenario radius");
         let mut quiet = QuietCtx::new();
         stack.prime(&mut quiet.ctx());
         let warm = (protocol.warmup / protocol.dt) as usize;

@@ -22,7 +22,8 @@
 
 use manet_experiments::harness::{Protocol, Scenario};
 use manet_experiments::trace::{
-    attribution_text, audit_text, metrics_out_from_args, trace_run, TelemetryConfig,
+    attribution_text, audit_text, init_shards_from_args, metrics_out_from_args, trace_run_sharded,
+    TelemetryConfig,
 };
 use manet_model::overhead::OverheadModel;
 use manet_model::{DegreeModel, NetworkParams};
@@ -34,6 +35,7 @@ use std::process::ExitCode;
 const UNIT_COST_TOLERANCE: f64 = 0.15;
 
 fn main() -> ExitCode {
+    let shards = init_shards_from_args();
     let quick = std::env::args().any(|a| a == "--quick");
     let (scenario, protocol, label) = if quick {
         (
@@ -71,7 +73,7 @@ fn main() -> ExitCode {
         protocol.dt,
         protocol.seeds.first().copied().unwrap_or(1),
     );
-    let run = match trace_run(&scenario, &protocol, &config) {
+    let run = match trace_run_sharded(&scenario, &protocol, &config, shards) {
         Ok(run) => run,
         Err(e) => {
             println!("GATE FAIL: traced run errored: {e}");

@@ -3,6 +3,7 @@
 use manet_experiments::claims;
 
 fn main() {
+    manet_experiments::trace::init_shards_from_args();
     println!("CLAIM1 — expected degree: Monte Carlo vs Eqn 1 (N = 400)\n");
     manet_experiments::emit("claim1_degree", &claims::claim1_table(&claims::claim1(50)));
     println!("\nCLAIM2 — link change rate on the CV torus vs 16dv/(pi^2 r)\n");

@@ -5,6 +5,7 @@ use manet_experiments::ablations::cluster_decomposition;
 use manet_experiments::harness::Protocol;
 
 fn main() {
+    manet_experiments::trace::init_shards_from_args();
     println!("ABL1 — CLUSTER decomposition: break vs contact, PerPair vs PerEndpoint\n");
     manet_experiments::emit(
         "abl1_cluster_decomposition",

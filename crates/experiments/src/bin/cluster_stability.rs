@@ -5,6 +5,7 @@ use manet_experiments::harness::Scenario;
 use manet_experiments::stability::{lid_speed_sweep, policy_comparison, policy_table, speed_table};
 
 fn main() {
+    manet_experiments::trace::init_shards_from_args();
     let scenario = Scenario::default();
     println!("EXT6 — stability vs speed (LID, N=400, r=150 m)\n");
     manet_experiments::emit(

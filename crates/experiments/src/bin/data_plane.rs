@@ -5,6 +5,7 @@ use manet_experiments::dataplane::{stretch_sweep, table};
 use manet_experiments::harness::Scenario;
 
 fn main() {
+    manet_experiments::trace::init_shards_from_args();
     println!("EXT5 — packet forwarding over the hybrid stack (300 pairs/point)\n");
     manet_experiments::emit(
         "ext5_data_plane",

@@ -7,6 +7,7 @@ use manet_experiments::dhop_ext::{
 use manet_experiments::harness::Scenario;
 
 fn main() {
+    manet_experiments::trace::init_shards_from_args();
     let scenario = Scenario::default();
     println!("EXT3 — d-hop cluster formation (N=400, r=150 m), 10 placements\n");
     manet_experiments::emit(

@@ -4,6 +4,7 @@ use manet_experiments::ablations::epoch_sensitivity;
 use manet_experiments::harness::Protocol;
 
 fn main() {
+    manet_experiments::trace::init_shards_from_args();
     println!("ABL5 — does the analysis care about the direction-redraw epoch tau?\n");
     manet_experiments::emit("abl5_epoch", &epoch_sensitivity(&Protocol::default()));
     println!("\nResult: the CV closed forms are tau-INVARIANT (ratio = 1.00 from");

@@ -4,6 +4,7 @@ use manet_experiments::figures::fig1;
 use manet_experiments::harness::Protocol;
 
 fn main() {
+    manet_experiments::trace::init_shards_from_args();
     println!("FIG1 — control message frequencies vs r (paper Figure 1)");
     println!("fixed: N=400, a=1000 m, v=10 m/s, epoch-RD mobility; P measured live\n");
     let fig = fig1(&Protocol::default());

@@ -4,6 +4,7 @@ use manet_experiments::figures::fig2;
 use manet_experiments::harness::Protocol;
 
 fn main() {
+    manet_experiments::trace::init_shards_from_args();
     println!("FIG2 — control message frequencies vs v (paper Figure 2)");
     println!("fixed: N=400, a=1000 m, r=150 m, epoch-RD mobility; P measured live\n");
     let fig = fig2(&Protocol::default());

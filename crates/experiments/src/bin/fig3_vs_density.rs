@@ -4,6 +4,7 @@ use manet_experiments::figures::fig3;
 use manet_experiments::harness::Protocol;
 
 fn main() {
+    manet_experiments::trace::init_shards_from_args();
     println!("FIG3 — control message frequencies vs density (paper Figure 3)");
     println!("fixed: a=1000 m, r=150 m, v=10 m/s; N sweeps the density\n");
     let fig = fig3(&Protocol::default());

@@ -2,12 +2,11 @@
 
 use manet_experiments::baseline::{flat_vs_clustered_sharded, table};
 use manet_experiments::harness::Protocol;
-use manet_experiments::trace::{shards_from_args, shards_header};
+use manet_experiments::trace::init_shards_from_args;
 
 fn main() {
-    let shards = shards_from_args();
-    println!("EXT2 — flat proactive (DSDV, 10 s dumps) vs clustered hybrid, fixed density");
-    println!("{}\n", shards_header(shards));
+    let shards = init_shards_from_args();
+    println!("EXT2 — flat proactive (DSDV, 10 s dumps) vs clustered hybrid, fixed density\n");
     let rows = flat_vs_clustered_sharded(&Protocol::default(), &[100, 200, 400, 800], 10.0, shards);
     manet_experiments::emit("ext2_flat_vs_clustered", &table(&rows));
     println!("Flat per-node overhead grows with N; clustered stays ~flat (paper §1).");

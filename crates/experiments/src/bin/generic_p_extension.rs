@@ -4,6 +4,7 @@ use manet_experiments::ablations::generic_p_extension;
 use manet_experiments::harness::Protocol;
 
 fn main() {
+    manet_experiments::trace::init_shards_from_args();
     println!("EXT1 — generic one-hop policies through the same closed forms\n");
     manet_experiments::emit("ext1_generic_p", &generic_p_extension(&Protocol::default()));
     manet_experiments::trace::maybe_trace_default("generic_p_extension");

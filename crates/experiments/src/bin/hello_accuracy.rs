@@ -4,6 +4,7 @@ use manet_experiments::harness::Scenario;
 use manet_experiments::hello_accuracy::{sweep, table};
 
 fn main() {
+    manet_experiments::trace::init_shards_from_args();
     println!("EXT4 — soft-timer neighbor views vs beacon interval (N=400, v=10 m/s)\n");
     manet_experiments::emit(
         "ext4_hello_accuracy",

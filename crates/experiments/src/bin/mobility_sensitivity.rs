@@ -4,6 +4,7 @@ use manet_experiments::ablations::mobility_sensitivity;
 use manet_experiments::harness::Protocol;
 
 fn main() {
+    manet_experiments::trace::init_shards_from_args();
     println!("ABL3 — link dynamics under four mobility models (paper §3.2 claim)\n");
     manet_experiments::emit("abl3_mobility", &mobility_sensitivity(&Protocol::default()));
     println!("epoch-RD and CV should match Claim 2; RWP and random-walk deviate,");

@@ -3,15 +3,14 @@
 
 use manet_experiments::harness::{Protocol, Scenario};
 use manet_experiments::robustness::{burst_row_sharded, sweep_loss_sharded, table};
-use manet_experiments::trace::{shards_from_args, shards_header};
+use manet_experiments::trace::init_shards_from_args;
 
 fn main() {
     let scenario = Scenario::default();
     let protocol = Protocol::default();
-    let shards = shards_from_args();
+    let shards = init_shards_from_args();
 
-    println!("ROB1 — fault plane: Bernoulli loss sweep, no churn (N=400)");
-    println!("{}\n", shards_header(shards));
+    println!("ROB1 — fault plane: Bernoulli loss sweep, no churn (N=400)\n");
     let mut rows = sweep_loss_sharded(&scenario, &protocol, &[0.0, 0.05, 0.1, 0.2], 0.0, shards);
     manet_experiments::emit("rob1_loss_sweep", &table(&rows));
 

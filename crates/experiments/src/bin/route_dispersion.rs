@@ -4,6 +4,7 @@ use manet_experiments::ablations::route_dispersion_closure;
 use manet_experiments::harness::Protocol;
 
 fn main() {
+    manet_experiments::trace::init_shards_from_args();
     println!("ABL4 — dispersion-weighted ROUTE bound with empirical cluster sizes\n");
     manet_experiments::emit(
         "abl4_route_dispersion",

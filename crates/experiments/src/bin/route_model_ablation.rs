@@ -4,6 +4,7 @@ use manet_experiments::ablations::route_model_ablation;
 use manet_experiments::harness::Protocol;
 
 fn main() {
+    manet_experiments::trace::init_shards_from_args();
     println!("ABL2 — ROUTE frequency: member+member (κ) vs member-head-only models\n");
     manet_experiments::emit(
         "abl2_route_model",

@@ -3,6 +3,7 @@
 use manet_experiments::convergence::{table, tick_convergence};
 
 fn main() {
+    manet_experiments::trace::init_shards_from_args();
     println!("VALIDATION — tick-size convergence of the link-event engine\n");
     manet_experiments::emit("tick_convergence", &table(&tick_convergence(300.0)));
     println!("Coarse ticks miss links that form and break within one tick;");

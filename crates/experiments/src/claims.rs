@@ -1,6 +1,6 @@
 //! Direct validation of the paper's Claims 1 and 2.
 
-use crate::harness::{build_world, Scenario};
+use crate::harness::{build_world, Scenario, WorldDriver};
 use manet_geom::{Metric, SpatialGrid, SquareRegion};
 use manet_model::{DegreeModel, NetworkParams};
 use manet_sim::{MobilityKind, QuietCtx};
@@ -109,7 +109,7 @@ pub fn claim2(measure_seconds: f64) -> Vec<Claim2Row> {
                 radius: 120.0,
                 ..Scenario::default()
             };
-            let mut world = build_world(&scenario, 0.2, 0xC1A12);
+            let mut world = WorldDriver::new(build_world(&scenario, 0.2, 0xC1A12));
             let mut quiet = QuietCtx::new();
             world.run_for(30.0, &mut quiet.ctx());
             world.begin_measurement();

@@ -7,7 +7,7 @@
 //! `dt → 0` — the evidence that the default `dt = 0.25 s` is inside the
 //! converged regime for the paper's parameter ranges.
 
-use crate::harness::{build_world, Scenario};
+use crate::harness::{build_world, Scenario, WorldDriver};
 use manet_sim::{MobilityKind, QuietCtx};
 use manet_util::table::{fmt_sig, Table};
 
@@ -36,7 +36,7 @@ pub fn tick_convergence(measure: f64) -> Vec<TickRow> {
     [2.0, 1.0, 0.5, 0.25, 0.125]
         .into_iter()
         .map(|dt| {
-            let mut world = build_world(&scenario, dt, 0xD7C0);
+            let mut world = WorldDriver::new(build_world(&scenario, dt, 0xD7C0));
             let mut quiet = QuietCtx::new();
             world.run_for(30.0, &mut quiet.ctx());
             world.begin_measurement();

@@ -6,7 +6,7 @@
 //! heads and gateways take longer routes than the flat shortest path
 //! (stretch ≥ 1), in exchange for the flat baseline's control traffic.
 
-use crate::harness::{build_world, Scenario};
+use crate::harness::{build_world, Scenario, WorldDriver};
 use manet_cluster::{Clustering, LowestId};
 use manet_routing::forwarding::HybridForwarder;
 use manet_sim::{NodeId, QuietCtx};
@@ -40,7 +40,7 @@ pub fn stretch_sweep(scenario: &Scenario, pairs: usize) -> Vec<StretchRow> {
                 radius: frac * scenario.side,
                 ..*scenario
             };
-            let mut world = build_world(&scenario, 0.5, 0xDA7A);
+            let mut world = WorldDriver::new(build_world(&scenario, 0.5, 0xDA7A));
             let mut clustering = Clustering::form(LowestId, world.topology());
             // Let the structure reach steady state.
             let mut quiet = QuietCtx::new();

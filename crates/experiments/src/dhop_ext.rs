@@ -82,7 +82,10 @@ pub fn maintenance_rates(scenario: &Scenario, measure: f64) -> Vec<DhopRates> {
             // the deployable comparison is the coalesced one.
             let routing =
                 IntraClusterRouting::with_policy(UpdatePolicy::Coalesced { interval: 10.0 });
-            let mut stack = ProtocolStack::ideal(world, DHopLayer::new(LowestId, c), routing);
+            let stack = ProtocolStack::ideal(world, DHopLayer::new(LowestId, c), routing);
+            let mut stack =
+                crate::harness::StackDriver::with_shards(stack, crate::harness::default_shards())
+                    .expect("--shards layout incompatible with the scenario radius");
             let mut quiet = QuietCtx::new();
             stack.prime(&mut quiet.ctx());
             stack.world_mut().run_for(30.0, &mut quiet.ctx());

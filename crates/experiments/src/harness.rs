@@ -5,10 +5,16 @@
 use manet_cluster::{ClusterPolicy, Clustering, LowestId};
 use manet_geom::{ShardDims, ShardLayoutError};
 use manet_routing::intra::IntraClusterRouting;
-use manet_shard::ShardedStack;
-use manet_sim::{HelloMode, MessageKind, MobilityKind, QuietCtx, SimBuilder, StepCtx, World};
+use manet_shard::{InterconnectConfig, ShardPlane, ShardReport, ShardedStack};
+use manet_sim::{
+    HelloMode, HelloProtocol, MessageKind, MobilityKind, QuietCtx, SimBuilder, StepCtx, StepReport,
+    World,
+};
 use manet_stack::{ClusterLayer, ProtocolStack, RouteLayer, StackReport};
+use manet_telemetry::ShardSnapshot;
 use manet_util::stats::Summary;
+use std::ops::{Deref, DerefMut};
+use std::sync::OnceLock;
 
 /// Scenario geometry and kinematics (DESIGN.md §5 defaults).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -137,6 +143,65 @@ pub struct Measured {
     pub link_change_rate: Estimate,
 }
 
+/// Process-wide default shard layout, set once by experiment binaries
+/// from `--shards` (see [`set_default_shards`]).
+static DEFAULT_SHARDS: OnceLock<Option<ShardDims>> = OnceLock::new();
+
+/// Sets the process-wide default shard layout. Experiment binaries call
+/// this once at startup after parsing `--shards`; every harness wrapper
+/// that does not take explicit dims ([`measure_lid`],
+/// [`measure_with_policy`], `measure_with_faults`, …) then routes its
+/// topology stage through the shard plane. A second call is ignored.
+///
+/// The sharded path is bit-identical to the monolithic one for a fixed
+/// seed, so this changes wall-clock only — never results.
+pub fn set_default_shards(dims: Option<ShardDims>) {
+    let _ = DEFAULT_SHARDS.set(dims);
+}
+
+/// The process-wide default shard layout (`None` until a binary sets one).
+pub fn default_shards() -> Option<ShardDims> {
+    DEFAULT_SHARDS.get().copied().flatten()
+}
+
+/// Shard-path options for one harness run: the layout plus an optional
+/// worker cap and an optional fallible-interconnect configuration.
+#[derive(Debug, Clone)]
+pub struct ShardRun {
+    /// Shard grid layout.
+    pub dims: ShardDims,
+    /// Worker-thread cap for the per-shard compute fan-out (`None` = one
+    /// thread per shard up to the host parallelism).
+    pub workers: Option<usize>,
+    /// Interconnect fault config (`None` = the ideal default).
+    pub interconnect: Option<InterconnectConfig>,
+}
+
+impl ShardRun {
+    /// An ideal-interconnect run at `dims` with the default worker pool.
+    pub fn new(dims: ShardDims) -> Self {
+        ShardRun {
+            dims,
+            workers: None,
+            interconnect: None,
+        }
+    }
+
+    /// Caps the shard worker pool.
+    #[must_use]
+    pub fn with_workers(mut self, n: usize) -> Self {
+        self.workers = Some(n);
+        self
+    }
+
+    /// Runs the fallible interconnect under `config`.
+    #[must_use]
+    pub fn with_interconnect(mut self, config: InterconnectConfig) -> Self {
+        self.interconnect = Some(config);
+        self
+    }
+}
+
 /// A harness stack on either the monolithic or the sharded topology
 /// path, exposing the handful of entry points the measurement loops use.
 ///
@@ -165,6 +230,55 @@ impl<C: ClusterLayer, R: RouteLayer> StackDriver<C, R> {
             None => StackDriver::Mono(Box::new(stack)),
             Some(dims) => StackDriver::Sharded(Box::new(ShardedStack::new(stack, dims)?)),
         })
+    }
+
+    /// [`StackDriver::with_shards`] over full [`ShardRun`] options
+    /// (worker cap, fallible interconnect).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the layout is too fine for the world's radio radius.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid interconnect config (loss probability or
+    /// stall schedule out of range) — chaos configs are constructed in
+    /// code, so this indicates a bug in the sweep, not user input.
+    pub fn with_shard_run(
+        stack: ProtocolStack<C, R>,
+        run: Option<&ShardRun>,
+    ) -> Result<Self, ShardLayoutError> {
+        Ok(match run {
+            None => StackDriver::Mono(Box::new(stack)),
+            Some(r) => {
+                let mut s = ShardedStack::new(stack, r.dims)?;
+                if let Some(w) = r.workers {
+                    s = s.with_workers(w);
+                }
+                if let Some(ic) = &r.interconnect {
+                    s = s
+                        .with_interconnect(ic.clone())
+                        .expect("interconnect config validated by construction");
+                }
+                StackDriver::Sharded(Box::new(s))
+            }
+        })
+    }
+
+    /// The shard + link-health snapshot (`None` on the monolithic path).
+    pub fn shard_snapshot(&self) -> Option<ShardSnapshot> {
+        match self {
+            StackDriver::Mono(_) => None,
+            StackDriver::Sharded(s) => Some(s.shard_snapshot()),
+        }
+    }
+
+    /// The aggregated shard report (`None` on the monolithic path).
+    pub fn shard_report(&self) -> Option<ShardReport> {
+        match self {
+            StackDriver::Mono(_) => None,
+            StackDriver::Sharded(s) => Some(s.shard_report()),
+        }
     }
 
     /// See `ProtocolStack::prime`.
@@ -222,13 +336,100 @@ impl<C: ClusterLayer, R: RouteLayer> StackDriver<C, R> {
             StackDriver::Sharded(s) => s.into_parts().0.into_parts().0,
         }
     }
+
+    /// The cluster layer.
+    pub fn cluster(&self) -> &C {
+        match self {
+            StackDriver::Mono(s) => s.cluster(),
+            StackDriver::Sharded(s) => s.cluster(),
+        }
+    }
+
+    /// The explicit HELLO protocol driver, when one is attached.
+    pub fn hello(&self) -> Option<&HelloProtocol> {
+        match self {
+            StackDriver::Mono(s) => s.hello(),
+            StackDriver::Sharded(s) => s.hello(),
+        }
+    }
+}
+
+/// A bare [`World`] stepped on either topology path — the world-only twin
+/// of [`StackDriver`] for engine-validation experiments that run no
+/// protocol stack (tick convergence, data-plane stretch, claim checks).
+/// Dereferences to the inner world for everything except `step`/`run_for`,
+/// which are shadowed to route through the shard plane when one is
+/// configured. Both paths are bit-identical for a fixed seed.
+pub struct WorldDriver {
+    world: World,
+    plane: Option<Box<ShardPlane>>,
+}
+
+impl WorldDriver {
+    /// Wraps `world`, honoring the process-wide [`default_shards`] layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the default layout is too fine for the world's radio
+    /// radius — the operator picked `--shards` for this scenario.
+    pub fn new(world: World) -> Self {
+        WorldDriver::with_shards(world, default_shards())
+    }
+
+    /// Explicit-layout variant of [`WorldDriver::new`] (`None` =
+    /// monolithic).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the layout is too fine for the world's radio radius.
+    pub fn with_shards(world: World, shards: Option<ShardDims>) -> Self {
+        let plane = shards.map(|dims| {
+            Box::new(
+                ShardPlane::for_world(&world, dims)
+                    .expect("--shards layout incompatible with the scenario radius"),
+            )
+        });
+        WorldDriver { world, plane }
+    }
+
+    /// One tick on whichever topology path is configured.
+    pub fn step(&mut self, ctx: &mut StepCtx<'_, '_>) -> StepReport {
+        match &mut self.plane {
+            None => self.world.step(ctx),
+            Some(plane) => self.world.step_with(ctx, plane.as_mut()),
+        }
+    }
+
+    /// Runs whole ticks until at least `seconds` more simulated time has
+    /// elapsed (see `World::run_for`).
+    pub fn run_for(&mut self, seconds: f64, ctx: &mut StepCtx<'_, '_>) {
+        let target = self.world.time() + seconds;
+        while self.world.time() + self.world.dt() * 0.5 < target {
+            self.step(ctx);
+        }
+    }
+}
+
+impl Deref for WorldDriver {
+    type Target = World;
+    fn deref(&self) -> &World {
+        &self.world
+    }
+}
+
+impl DerefMut for WorldDriver {
+    fn deref_mut(&mut self) -> &mut World {
+        &mut self.world
+    }
 }
 
 /// Runs the full stack (HELLO + clustering + intra-cluster routing) under
 /// `policy_for_seed` and measures the paper's metrics.
 ///
 /// The per-seed policy constructor allows weight-based policies (DMAC) to
-/// draw per-node weights deterministically per replication.
+/// draw per-node weights deterministically per replication. Honors the
+/// process-wide [`default_shards`] layout (results are identical either
+/// way; only the topology stage's parallelism changes).
 pub fn measure_with_policy<P, F>(
     scenario: &Scenario,
     protocol: &Protocol,
@@ -238,7 +439,7 @@ where
     P: ClusterPolicy,
     F: FnMut(u64) -> P,
 {
-    measure_with_policy_sharded(scenario, protocol, None, policy_for_seed)
+    measure_with_policy_sharded(scenario, protocol, default_shards(), policy_for_seed)
 }
 
 /// [`measure_with_policy`] over an optional shard layout (`None` =

@@ -6,7 +6,7 @@
 //! how the protocol's neighbor view degrades as the beacon rate drops
 //! below the link dynamics, quantifying what the bound actually buys.
 
-use crate::harness::{build_world, Scenario};
+use crate::harness::{build_world, default_shards, Scenario, StackDriver};
 use manet_sim::hello::HelloProtocol;
 use manet_sim::{Channel, LossModel, QuietCtx};
 use manet_stack::{HelloDriver, NoClustering, NoRouting, ProtocolStack};
@@ -38,7 +38,7 @@ pub fn sweep(scenario: &Scenario, measure: f64) -> Vec<HelloRow> {
             // driver beacons over an ideal channel (accuracy only, no loss).
             let hello = HelloProtocol::new(world.node_count(), interval, 3.0 * interval);
             let ideal = || Channel::new(LossModel::Ideal, 0);
-            let mut stack = ProtocolStack::new(
+            let stack = ProtocolStack::new(
                 world,
                 NoClustering,
                 NoRouting,
@@ -46,6 +46,8 @@ pub fn sweep(scenario: &Scenario, measure: f64) -> Vec<HelloRow> {
                 ideal(),
                 ideal(),
             );
+            let mut stack = StackDriver::with_shards(stack, default_shards())
+                .expect("--shards layout incompatible with the scenario radius");
             let mut quiet = QuietCtx::new();
             stack.world_mut().run_for(30.0, &mut quiet.ctx());
             stack.world_mut().begin_measurement();

@@ -24,6 +24,7 @@
 //! | `flat_vs_clustered` | EXT2 — DSDV baseline vs clustered hybrid |
 //! | `dhop_extension` | EXT3 — d-hop clustering (Section 7 future work) |
 //! | `robustness` | ROB1 — overhead under loss + churn vs the ideal bounds |
+//! | `robustness2` | ROB2 — sharded stack under interconnect chaos |
 //! | `trace_report` | telemetry — summarize a `--trace-out` JSONL trace |
 //!
 //! Every binary additionally accepts `--trace-out <path>`: after its
@@ -44,6 +45,7 @@ pub mod harness;
 pub mod hello_accuracy;
 pub mod lid_figures;
 pub mod robustness;
+pub mod robustness2;
 pub mod stability;
 pub mod theta;
 pub mod trace;

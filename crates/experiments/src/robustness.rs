@@ -91,12 +91,14 @@ impl FaultMeasured {
 
 /// Runs the self-healing stack (lossy HELLO + retrying cluster maintenance
 /// + re-syncing intra-cluster routing) under `config` and measures rates.
+///
+/// Honors the process-wide [`crate::harness::default_shards`] layout.
 pub fn measure_with_faults(
     scenario: &Scenario,
     protocol: &Protocol,
     config: &FaultConfig,
 ) -> FaultMeasured {
-    measure_with_faults_sharded(scenario, protocol, config, None)
+    measure_with_faults_sharded(scenario, protocol, config, crate::harness::default_shards())
 }
 
 /// [`measure_with_faults`] over an optional shard layout (`None` =

@@ -2,7 +2,7 @@
 //! membership residence, role-change rates, and the Claim 2 link-lifetime
 //! companion.
 
-use crate::harness::{build_world, Scenario};
+use crate::harness::{build_world, default_shards, Scenario, StackDriver};
 use manet_cluster::{ClusterPolicy, Clustering, HighestConnectivity, LowestId, StabilityTracker};
 use manet_sim::{LinkLifetimes, QuietCtx};
 use manet_stack::{NoRouting, ProtocolStack};
@@ -34,7 +34,9 @@ fn run_policy<P: ClusterPolicy>(
     let scenario = Scenario { speed, ..*scenario };
     let world = build_world(&scenario, 0.25, 0x57AB);
     let clustering = Clustering::form(policy, world.topology());
-    let mut stack = ProtocolStack::ideal(world, clustering, NoRouting);
+    let stack = ProtocolStack::ideal(world, clustering, NoRouting);
+    let mut stack = StackDriver::with_shards(stack, default_shards())
+        .expect("--shards layout incompatible with the scenario radius");
     let mut quiet = QuietCtx::new();
     stack.world_mut().run_for(40.0, &mut quiet.ctx());
     {

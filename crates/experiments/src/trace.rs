@@ -13,7 +13,7 @@
 //! scenario runs after the experiment proper and writes its JSONL trace
 //! there, summarized on stdout. `bin/trace_report` re-reads such files.
 
-use crate::harness::{Protocol, Scenario, StackDriver};
+use crate::harness::{Protocol, Scenario, ShardRun, StackDriver};
 use manet_cluster::{Clustering, LowestId};
 use manet_geom::ShardDims;
 use manet_model::overhead::{contact_unit_cost, route_unit_cost, RouteLinkModel};
@@ -21,9 +21,9 @@ use manet_routing::intra::IntraClusterRouting;
 use manet_sim::{Counters, HelloMode, MessageKind, QuietCtx, Scratch, SimBuilder, StepCtx};
 use manet_stack::ProtocolStack;
 use manet_telemetry::{
-    prometheus_text, AttributionLedger, AuditConfig, AuditMonitor, AuditReport, CauseTracker,
-    Event, JsonlSink, MsgClass, PhaseProfiler, Probe, ProfileReport, RootCause, Subscriber,
-    TraceMeta, TraceOut, WindowedRecorder,
+    prometheus_text_with_shards, AttributionLedger, AuditConfig, AuditMonitor, AuditReport,
+    CauseTracker, Event, JsonlSink, MsgClass, PhaseProfiler, Probe, ProfileReport, RootCause,
+    ShardSnapshot, Subscriber, TraceMeta, TraceOut, WindowedRecorder,
 };
 use std::fmt::Write as _;
 use std::io;
@@ -112,6 +112,9 @@ pub struct TraceRun {
     pub profile: ProfileReport,
     /// Causal attribution outputs (`None` unless enabled in the config).
     pub attribution: Option<AttributionRun>,
+    /// End-of-run shard + link-health snapshot (`None` on the monolithic
+    /// path); also rendered into the Prometheus metrics snapshot.
+    pub shard: Option<ShardSnapshot>,
 }
 
 /// Live attribution state carried across the ticks of one traced run.
@@ -177,6 +180,35 @@ pub fn trace_run_sharded(
     config: &TelemetryConfig,
     shards: Option<ShardDims>,
 ) -> io::Result<TraceRun> {
+    trace_run_chaos(
+        scenario,
+        protocol,
+        config,
+        shards.map(ShardRun::new).as_ref(),
+    )
+}
+
+/// [`trace_run_sharded`] over full [`ShardRun`] options — in particular a
+/// fallible interconnect config, which turns the traced run into a chaos
+/// run: ghost syncs and migrations ride seeded lossy links, stalled
+/// shards freeze, and the `interconnect_*` event kinds appear in the
+/// trace. With an ideal (or absent) interconnect the bytes are identical
+/// to [`trace_run`].
+///
+/// # Errors
+///
+/// Returns any I/O error from creating or writing the JSONL sink.
+///
+/// # Panics
+///
+/// Panics when the layout is too fine for the radius or the interconnect
+/// config is invalid; chaos sweeps construct both in code.
+pub fn trace_run_chaos(
+    scenario: &Scenario,
+    protocol: &Protocol,
+    config: &TelemetryConfig,
+    shards: Option<&ShardRun>,
+) -> io::Result<TraceRun> {
     let seed = protocol.seeds.first().copied().unwrap_or(1);
     let duration = protocol.warmup + protocol.measure;
     let world = SimBuilder::new()
@@ -212,7 +244,7 @@ pub fn trace_run_sharded(
 
     let clustering = Clustering::form(LowestId, world.topology());
     let stack = ProtocolStack::ideal(world, clustering, IntraClusterRouting::new());
-    let mut stack = StackDriver::with_shards(stack, shards)
+    let mut stack = StackDriver::with_shard_run(stack, shards)
         .expect("shard layout incompatible with scenario radius");
     stack.prime(&mut QuietCtx::new().ctx()); // baseline fill, uncharged
 
@@ -256,10 +288,15 @@ pub fn trace_run_sharded(
             audit: st.audit.finish(),
         }
     });
+    let shard = stack.shard_snapshot();
     if let Some(path) = &config.metrics_out {
         std::fs::write(
             path,
-            prometheus_text(&recorder, attribution.as_ref().map(|a| &a.ledger)),
+            prometheus_text_with_shards(
+                &recorder,
+                attribution.as_ref().map(|a| &a.ledger),
+                shard.as_ref(),
+            ),
         )?;
     }
     Ok(TraceRun {
@@ -268,6 +305,7 @@ pub fn trace_run_sharded(
         recorder,
         profile,
         attribution,
+        shard,
     })
 }
 
@@ -511,6 +549,18 @@ pub fn trace_out_from_args() -> Option<PathBuf> {
     path_flag_from_args("trace-out")
 }
 
+/// Parses one `--shards` value (`KXxKY`) into dims, with the usage hint
+/// every frontend shares. The fallible core of [`shards_from_args`];
+/// `manet simulate` calls it directly from its own flag map.
+///
+/// # Errors
+///
+/// Returns the usage message when the value is malformed.
+pub fn parse_shards(raw: &str) -> Result<ShardDims, String> {
+    ShardDims::parse(raw)
+        .map_err(|e| format!("--shards {raw}: {e} (expected KXxKY, e.g. --shards 2x2)"))
+}
+
 /// Extracts `--shards KXxKY` (or `--shards=KXxKY`) from the process
 /// arguments. `None` (flag absent) means the monolithic path; `1x1` runs
 /// the shard plane at a single shard, which is bit-identical.
@@ -522,10 +572,22 @@ pub fn trace_out_from_args() -> Option<PathBuf> {
 pub fn shards_from_args() -> Option<ShardDims> {
     let raw = path_flag_from_args("shards")?;
     let raw = raw.to_string_lossy();
-    match ShardDims::parse(&raw) {
+    match parse_shards(&raw) {
         Ok(dims) => Some(dims),
-        Err(e) => panic!("--shards {raw}: {e} (expected KXxKY, e.g. --shards 2x2)"),
+        Err(e) => panic!("{e}"),
     }
+}
+
+/// One-call experiment-binary hook for the shard path: parses `--shards`,
+/// installs it as the process-wide harness default (see
+/// [`crate::harness::set_default_shards`]), and prints the topology
+/// header line. Returns the parsed dims for binaries that also thread
+/// them explicitly.
+pub fn init_shards_from_args() -> Option<ShardDims> {
+    let shards = shards_from_args();
+    crate::harness::set_default_shards(shards);
+    println!("{}", shards_header(shards));
+    shards
 }
 
 /// The run-header line describing the topology path: monolithic, or the

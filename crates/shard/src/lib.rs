@@ -49,10 +49,14 @@
 #![warn(missing_docs)]
 
 pub mod grid;
+pub mod interconnect;
+pub mod link;
 pub mod plane;
 pub mod stack;
 
 pub use grid::FrameGrid;
+pub use interconnect::{GhostBatch, Interconnect, InterconnectConfig, InterconnectMsg};
+pub use link::{LinkHealth, LinkManager, ShardLink};
 pub use manet_geom::{ShardDims, ShardLayout, ShardLayoutError};
 pub use plane::{ShardPlane, ShardReport, ShardStats};
 pub use stack::ShardedStack;

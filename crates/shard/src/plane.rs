@@ -1,26 +1,37 @@
 //! The shard plane: a [`TopologyBuilder`] that computes the unit-disk
 //! topology shard-locally with ghost margins and merges deterministically.
 //!
-//! Per tick, [`ShardPlane::build_into`] runs three phases:
+//! Per tick, [`ShardPlane::build_into`] runs four phases:
 //!
 //! 1. **Owner + ghost exchange** (sequential, O(N)): every node is
-//!    assigned to the shard whose tile contains it (tracking migrations
-//!    against the previous tick), and every node within one margin of a
-//!    tile boundary is replicated into the neighboring shards' frames as
-//!    a read-only ghost. On a torus the margins wrap, so with `kx == 1`
-//!    or `ky == 1` nodes reappear as periodic self-images — which is
-//!    exactly what makes the `1x1` layout equivalent to the monolithic
-//!    grid.
+//!    assigned to the shard whose tile contains it. Ownership transfers
+//!    and cross-shard ghost replication are *messages* on the fallible
+//!    [`Interconnect`]: migrations are unit sends with retry/backoff
+//!    (the old owner retains the node meanwhile), and ghosts are staged
+//!    into per-pair batches whose delivery, staleness, and recovery the
+//!    interconnect arbitrates. Images into a node's own shard (periodic
+//!    self-images, which make the `1x1` layout equivalent to the
+//!    monolithic grid) never touch the interconnect — they are
+//!    in-process pushes, so a single-shard plane is immune to chaos by
+//!    construction.
 //! 2. **Per-shard compute** (parallel over a scoped worker pool): each
 //!    shard buckets its frame-local points into a [`FrameGrid`] and scans
 //!    candidate pairs once, writing sorted neighbor rows for its owned
 //!    nodes. Shards share nothing mutable, so any worker count produces
-//!    the same rows.
+//!    the same rows — all fault-plane decisions happen on the sequential
+//!    exchange path.
 //! 3. **Merge** (sequential, in shard-index order): each owned row is
 //!    swapped into the global [`Topology`] — pointer swaps, no copying —
 //!    so row capacities circulate between the shard buffers and the
 //!    world's double-buffered topology and the steady state stays
 //!    allocation-free.
+//! 4. **Reconciliation** (sequential, fault ticks only): when the
+//!    interconnect lost, stalled, or served stale data this tick, shard
+//!    views can disagree about boundary links. A symmetrization sweep
+//!    drops every link the two endpoints' owners do not both see —
+//!    conservative (a link requires agreement) and deterministic. On an
+//!    ideal interconnect the sweep never runs and the plane is
+//!    bit-identical to a plane without the message layer.
 //!
 //! **Bit-exactness.** The link predicate must match the monolithic
 //! `Metric::within` decision exactly, but frame-local coordinates are
@@ -34,8 +45,10 @@
 //! bit-identical at any shard count.
 
 use crate::grid::FrameGrid;
+use crate::interconnect::{Interconnect, InterconnectConfig};
 use manet_geom::{Metric, ShardDims, ShardLayout, ShardLayoutError, SquareRegion, Vec2};
-use manet_sim::{NodeId, Topology, TopologyBuilder, World};
+use manet_sim::{FaultError, NodeId, Topology, TopologyBuilder, World};
+use manet_telemetry::{Probe, ShardGaugeRow, ShardSnapshot};
 
 /// Owner shard of a node not yet assigned (before its first tick).
 const UNASSIGNED: u16 = u16::MAX;
@@ -176,8 +189,16 @@ pub struct ShardPlane {
     metric: Metric,
     workers: usize,
     shards: Vec<ShardState>,
-    /// Owner shard of each node on the previous tick (migration ledger).
-    prev_owner: Vec<u16>,
+    /// Authoritative owner shard of each node (the migration ledger).
+    /// Under interconnect faults this can lag the tile assignment: a
+    /// node whose migration message was lost stays owned by its old
+    /// shard until the retry lands or retention becomes impossible.
+    owner: Vec<u16>,
+    /// The fallible message layer between shards.
+    interconnect: Interconnect,
+    /// Scratch: nodes retained by their old owner this tick, with their
+    /// home tile and tile-local coordinates (sorted by node id).
+    retained: Vec<(u32, u16, Vec2)>,
 }
 
 impl ShardPlane {
@@ -221,6 +242,8 @@ impl ShardPlane {
             s.grid.configure(layout.frame_w(), layout.frame_h(), radius);
             shards.push(s);
         }
+        let interconnect = Interconnect::new(InterconnectConfig::default(), dims.count())
+            .expect("the default interconnect config is valid");
         Ok(ShardPlane {
             layout,
             region,
@@ -228,7 +251,9 @@ impl ShardPlane {
             metric,
             workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
             shards,
-            prev_owner: Vec::new(),
+            owner: Vec::new(),
+            interconnect,
+            retained: Vec::new(),
         })
     }
 
@@ -245,6 +270,23 @@ impl ShardPlane {
     pub fn with_workers(mut self, n: usize) -> Self {
         self.workers = n.max(1);
         self
+    }
+
+    /// Replaces the interconnect with one running under `config` (the
+    /// default is the ideal, loss-free interconnect).
+    ///
+    /// # Errors
+    ///
+    /// Rejects an invalid loss model or a stall schedule naming a shard
+    /// outside this layout.
+    pub fn with_interconnect(mut self, config: InterconnectConfig) -> Result<Self, FaultError> {
+        self.interconnect = Interconnect::new(config, self.shards.len())?;
+        Ok(self)
+    }
+
+    /// The shard interconnect (link health, fault statistics).
+    pub fn interconnect(&self) -> &Interconnect {
+        &self.interconnect
     }
 
     /// The worker-pool cap.
@@ -283,9 +325,33 @@ impl ShardPlane {
         r
     }
 
-    /// Phase 1: bucket every node into its owner shard and replicate
-    /// ghost images into neighboring frames, tracking migrations.
-    fn exchange(&mut self, positions: &[Vec2]) {
+    /// A point-in-time shard + interconnect view for the Prometheus
+    /// exporter (see `manet_telemetry::prometheus_text_with_shards`).
+    pub fn snapshot(&self) -> ShardSnapshot {
+        let mut snap = ShardSnapshot::default();
+        for (i, s) in self.shards.iter().enumerate() {
+            snap.shards.push(ShardGaugeRow {
+                shard: i as u16,
+                owned: s.stats.owned as u64,
+                ghosts: s.stats.ghosts as u64,
+                migrations_in: s.stats.migrations_in as u64,
+                migrations_out: s.stats.migrations_out as u64,
+                boundary_links: s.stats.boundary_links as u64,
+            });
+        }
+        let (up, degraded, down) = self.interconnect.links().health_counts();
+        snap.links_up = up;
+        snap.links_degraded = degraded;
+        snap.links_down = down;
+        snap.max_ghost_staleness = self.interconnect.max_staleness();
+        snap
+    }
+
+    /// Phase 1: assign owners (migrations as fallible unit messages),
+    /// place every node in its owner's frame, and move ghost images —
+    /// in-process for a node's own shard, via the interconnect's staged
+    /// batches for every other shard.
+    fn exchange(&mut self, positions: &[Vec2], probe: &mut Probe<'_>, now: f64) {
         let n = positions.len();
         for s in &mut self.shards {
             s.ids.clear();
@@ -294,43 +360,124 @@ impl ShardPlane {
             s.stats.migrations_out = 0;
         }
         // A population change (only possible across reconstruction)
-        // resets the migration ledger rather than faking migrations.
-        if self.prev_owner.len() != n {
-            self.prev_owner.clear();
-            self.prev_owner.resize(n, UNASSIGNED);
+        // resets the ledger and interconnect rather than faking traffic.
+        if self.owner.len() != n {
+            self.owner.clear();
+            self.owner.resize(n, UNASSIGNED);
+            self.interconnect.reset();
         }
+        self.interconnect.begin_tick(probe, now);
+
+        // Ownership and owned placement, in node-id order (migration
+        // channel draws interleave deterministically with ghost syncs).
+        let mut retained = std::mem::take(&mut self.retained);
+        retained.clear();
         for (i, &p) in positions.iter().enumerate() {
-            let (owner, local) = self.layout.owner_local(p);
-            let prev = self.prev_owner[i];
-            if prev != owner as u16 {
-                if prev != UNASSIGNED {
+            let (tile, local) = self.layout.owner_local(p);
+            let prev = self.owner[i];
+            let (o, lp) = if prev == UNASSIGNED || prev as usize == tile {
+                self.owner[i] = tile as u16;
+                (tile, local)
+            } else {
+                // The node crossed into another shard's tile: ownership
+                // moves only if the transfer message lands. Otherwise the
+                // old owner retains it at its ghost-image coordinates —
+                // possible exactly while the node is within the margin.
+                let placement = image_in(&self.layout, prev, p);
+                let moves = self.interconnect.migrate(
+                    i as u32,
+                    prev,
+                    tile as u16,
+                    placement.is_some(),
+                    probe,
+                    now,
+                );
+                if moves {
                     self.shards[prev as usize].stats.migrations_out += 1;
-                    self.shards[owner].stats.migrations_in += 1;
+                    self.shards[tile].stats.migrations_in += 1;
+                    self.owner[i] = tile as u16;
+                    (tile, local)
+                } else {
+                    let lp = placement.expect("retained node has an image in its owner's frame");
+                    retained.push((i as u32, tile as u16, local));
+                    (prev as usize, lp)
                 }
-                self.prev_owner[i] = owner as u16;
-            }
-            self.shards[owner].ids.push(i as u32);
-            self.shards[owner].pts.push(local);
+            };
+            self.shards[o].ids.push(i as u32);
+            self.shards[o].pts.push(lp);
         }
         for s in &mut self.shards {
             s.owned = s.ids.len();
             s.stats.owned = s.owned;
         }
-        let layout = self.layout;
-        let shards = &mut self.shards;
-        for (i, &p) in positions.iter().enumerate() {
-            layout.for_each_ghost_image(p, |shard, lp| {
-                shards[shard].ids.push(i as u32);
-                shards[shard].pts.push(lp);
-            });
+
+        // Ghost images: a retained node's identity position is itself a
+        // ghost for its home tile, and its first own-shard image was
+        // consumed above as its owned placement.
+        {
+            let layout = self.layout;
+            let ShardPlane {
+                shards,
+                owner,
+                interconnect,
+                ..
+            } = self;
+            let mut next_retained = 0usize;
+            for (i, &p) in positions.iter().enumerate() {
+                let o = owner[i];
+                let mut skip_own_image = false;
+                if let Some(&(node, tile, local)) = retained.get(next_retained) {
+                    if node == i as u32 {
+                        interconnect.stage(o, tile, node, local);
+                        skip_own_image = true;
+                        next_retained += 1;
+                    }
+                }
+                layout.for_each_ghost_image(p, |s, lp| {
+                    if s as u16 == o {
+                        if skip_own_image {
+                            skip_own_image = false; // the owned placement
+                        } else {
+                            shards[s].ids.push(i as u32);
+                            shards[s].pts.push(lp);
+                        }
+                    } else {
+                        interconnect.stage(o, s as u16, i as u32, lp);
+                    }
+                });
+            }
         }
+        self.retained = retained;
+
+        // Deliver (or lose) this tick's batches, then consume every
+        // pair's cached — possibly stale, possibly dropped — view.
+        self.interconnect.sync(probe, now);
+        let shards = &mut self.shards;
+        self.interconnect.consume(probe, now, |dst, ids, pts| {
+            let sh = &mut shards[dst as usize];
+            sh.ids.extend_from_slice(ids);
+            sh.pts.extend_from_slice(pts);
+        });
         for s in &mut self.shards {
             s.stats.ghosts = s.ids.len() - s.owned;
         }
     }
 }
 
+/// First ghost image of `p` landing in `shard`, if any (the frame-local
+/// placement a retaining owner uses).
+fn image_in(layout: &ShardLayout, shard: u16, p: Vec2) -> Option<Vec2> {
+    let mut found = None;
+    layout.for_each_ghost_image(p, |s, lp| {
+        if found.is_none() && s == shard as usize {
+            found = Some(lp);
+        }
+    });
+    found
+}
+
 impl TopologyBuilder for ShardPlane {
+    #[allow(clippy::too_many_arguments)]
     fn build_into(
         &mut self,
         positions: &[Vec2],
@@ -339,12 +486,14 @@ impl TopologyBuilder for ShardPlane {
         metric: Metric,
         _grid: &mut Option<manet_geom::SpatialGrid>,
         out: &mut Topology,
+        probe: &mut Probe<'_>,
+        now: f64,
     ) {
         assert!(
             region == self.region && radius == self.radius && metric == self.metric,
             "world geometry changed under the shard plane"
         );
-        self.exchange(positions);
+        self.exchange(positions, probe, now);
 
         // Phase 2: per-shard neighbor rows. Shards are mutually
         // independent, so the worker split affects wall-clock only.
@@ -375,6 +524,21 @@ impl TopologyBuilder for ShardPlane {
                 std::mem::swap(&mut rows[id as usize], &mut s.rows[k]);
             }
         }
+
+        // Phase 4: reconciliation. Stale ghost views can produce
+        // asymmetric rows (u sees v through an old cache while v's shard
+        // dropped u). Under an interconnect fault this tick, keep only
+        // mutually agreed links — conservative, deterministic, and a
+        // no-op on the ideal path. In-place is equivalent to a frozen
+        // two-pass because the keep-condition is symmetric: a row
+        // filtered earlier already encodes the same conjunction.
+        if self.interconnect.fault_tick() {
+            for u in 0..rows.len() {
+                let mut row = std::mem::take(&mut rows[u]);
+                row.retain(|&v| rows[v as usize].binary_search(&(u as NodeId)).is_ok());
+                rows[u] = row;
+            }
+        }
     }
 }
 
@@ -393,7 +557,17 @@ mod tests {
     fn build(plane: &mut ShardPlane, pts: &[Vec2], radius: f64, metric: Metric) -> Topology {
         let mut topo = Topology::default();
         let mut grid = None;
-        plane.build_into(pts, plane.region, radius, metric, &mut grid, &mut topo);
+        let mut probe = Probe::off();
+        plane.build_into(
+            pts,
+            plane.region,
+            radius,
+            metric,
+            &mut grid,
+            &mut topo,
+            &mut probe,
+            0.0,
+        );
         topo
     }
 
@@ -541,5 +715,234 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, ShardLayoutError::TileTooSmall { .. }));
+    }
+
+    /// An explicitly configured ideal interconnect is pass-through: the
+    /// chaos machinery enabled but fault-free yields the monolithic rows.
+    #[test]
+    fn explicit_ideal_interconnect_is_pass_through() {
+        let (side, radius) = (400.0, 60.0);
+        let region = SquareRegion::new(side);
+        let metric = Metric::toroidal(side);
+        let pts = random_points(250, side, 17);
+        let reference = Topology::compute(&pts, region, radius, metric);
+        let mut plane = ShardPlane::new(ShardDims::parse("2x2").unwrap(), region, radius, metric)
+            .unwrap()
+            .with_interconnect(InterconnectConfig::default())
+            .unwrap()
+            .with_workers(1);
+        let topo = build(&mut plane, &pts, radius, metric);
+        for i in 0..pts.len() as NodeId {
+            assert_eq!(topo.neighbors(i), reference.neighbors(i), "node {i}");
+        }
+    }
+
+    /// Bounded staleness: while a stalled peer's ghost view is within the
+    /// bound the cached rows keep boundary links alive; one tick past the
+    /// bound every link into the stalled shard is dropped — conservatively
+    /// and symmetrically — and no boundary link survives.
+    #[test]
+    fn stale_ghost_views_expire_at_the_staleness_bound() {
+        use manet_sim::{StallEvent, StallSchedule};
+        let (side, radius) = (400.0, 60.0);
+        let region = SquareRegion::new(side);
+        let metric = Metric::toroidal(side);
+        let pts = random_points(250, side, 29);
+        let reference = Topology::compute(&pts, region, radius, metric);
+        let dims = ShardDims::parse("2x2").unwrap();
+        let max_staleness = 3u64;
+        // Shard 0 freezes from tick 1 onward; everything else stays up.
+        let config = InterconnectConfig {
+            stall: StallSchedule::new(vec![StallEvent {
+                tick: 1,
+                shard: 0,
+                ticks: 60,
+            }]),
+            max_ghost_staleness: max_staleness,
+            ..InterconnectConfig::default()
+        };
+        let mut plane = ShardPlane::new(dims, region, radius, metric)
+            .unwrap()
+            .with_interconnect(config)
+            .unwrap()
+            .with_workers(1);
+        let in_stalled: Vec<bool> = pts
+            .iter()
+            .map(|&p| plane.layout().owner_of(p) == 0)
+            .collect();
+        let crossing = |i: usize| {
+            reference
+                .neighbors(i as NodeId)
+                .iter()
+                .any(|&j| in_stalled[i] != in_stalled[j as usize])
+        };
+        assert!(
+            (0..pts.len()).any(crossing),
+            "scenario must have boundary links into the stalled shard"
+        );
+        // Ticks 0..=max: the cached ghost view (static points, so stale ==
+        // fresh) keeps every boundary link; past the bound they all drop.
+        for tick in 0..=(max_staleness + 3) {
+            let topo = build(&mut plane, &pts, radius, metric);
+            let expired = tick > max_staleness;
+            for i in 0..pts.len() {
+                let expected: Vec<NodeId> = reference
+                    .neighbors(i as NodeId)
+                    .iter()
+                    .copied()
+                    .filter(|&j| !expired || in_stalled[i] == in_stalled[j as usize])
+                    .collect();
+                assert_eq!(
+                    topo.neighbors(i as NodeId),
+                    &expected[..],
+                    "tick {tick}: node {i} rows diverge (expired={expired})"
+                );
+            }
+        }
+        // The stalled shard heard from no one: its ghost set is empty.
+        let stats: Vec<ShardStats> = plane.shard_stats().collect();
+        assert_eq!(stats[0].ghosts, 0, "stalled shard must drop all ghosts");
+    }
+
+    /// Chaos is worker-count invariant: the same seeded fault plan yields
+    /// identical topologies, events, and shard stats at 1 and 4 workers.
+    #[test]
+    fn chaos_rows_are_worker_count_invariant() {
+        use manet_mobility::ConstantVelocity;
+        use manet_sim::{HelloMode, LossModel, MessageSizes, StallSchedule, World};
+        let side = 300.0;
+        let region = SquareRegion::new(side);
+        let dims = ShardDims::parse("3x2").unwrap();
+        let chaos = || InterconnectConfig {
+            loss: LossModel::Bernoulli { p: 0.3 },
+            stall: StallSchedule::poisson(dims.count(), 0.05, 2.0, 64, 5).unwrap(),
+            seed: 13,
+            max_ghost_staleness: 2,
+            ..InterconnectConfig::default()
+        };
+        let build_world = || {
+            let mut rng = Rng::seed_from_u64(3);
+            let mobility = ConstantVelocity::new(region, 150, 40.0, &mut rng);
+            World::new(
+                Box::new(mobility),
+                45.0,
+                0.5,
+                Metric::toroidal(side),
+                HelloMode::EventDriven,
+                MessageSizes::default(),
+                77,
+            )
+        };
+        let (mut wa, mut wb) = (build_world(), build_world());
+        let mut pa = ShardPlane::for_world(&wa, dims)
+            .unwrap()
+            .with_interconnect(chaos())
+            .unwrap()
+            .with_workers(1);
+        let mut pb = ShardPlane::for_world(&wb, dims)
+            .unwrap()
+            .with_interconnect(chaos())
+            .unwrap()
+            .with_workers(4);
+        let mut qa = QuietCtx::new();
+        let mut qb = QuietCtx::new();
+        for tick in 0..60 {
+            let a = wa.step_with(&mut qa.ctx(), &mut pa);
+            let b = wb.step_with(&mut qb.ctx(), &mut pb);
+            assert_eq!(a, b, "tick {tick}: step report diverged");
+            assert_eq!(
+                wa.last_events(),
+                wb.last_events(),
+                "tick {tick}: link events diverged"
+            );
+            let sa: Vec<ShardStats> = pa.shard_stats().collect();
+            let sb: Vec<ShardStats> = pb.shard_stats().collect();
+            assert_eq!(sa, sb, "tick {tick}: shard stats diverged");
+        }
+        assert_eq!(wa.topology(), wb.topology());
+        assert_eq!(wa.counters(), wb.counters());
+        assert!(
+            pa.interconnect().migrations_lost() > 0,
+            "chaos config must actually inject faults for this test to bite"
+        );
+        assert_eq!(
+            pa.interconnect().migrations_lost(),
+            pb.interconnect().migrations_lost(),
+            "fault statistics must match across worker counts"
+        );
+    }
+
+    /// Crash-mid-migration property: under a lossy, stalling interconnect
+    /// with node churn, the ownership ledger stays an exact partition —
+    /// every node (alive or crashed) is owned by exactly one shard, never
+    /// double-owned, never orphaned — and migration flows stay balanced.
+    #[test]
+    fn crashed_node_is_never_double_owned_or_orphaned() {
+        use manet_sim::{
+            ChurnSchedule, FaultPlan, HelloMode, LossModel, QuietCtx, SimBuilder, StallSchedule,
+        };
+        for seed in [5u64, 19] {
+            let n = 120;
+            let churn =
+                ChurnSchedule::poisson(n, 0.02, 10.0, 60.0, seed ^ 0xC).expect("valid churn rates");
+            assert!(!churn.is_empty(), "seed {seed}: churn must actually fire");
+            let mut world = SimBuilder::new()
+                .nodes(n)
+                .side(450.0)
+                .radius(90.0)
+                .speed(25.0)
+                .dt(0.5)
+                .seed(seed)
+                .hello_mode(HelloMode::EventDriven)
+                .fault(FaultPlan {
+                    loss: LossModel::Bernoulli { p: 0.1 },
+                    churn,
+                    seed,
+                })
+                .build();
+            let dims = ShardDims::parse("3x3").unwrap();
+            let config = InterconnectConfig {
+                loss: LossModel::Bernoulli { p: 0.4 },
+                stall: StallSchedule::poisson(dims.count(), 0.05, 2.0, 130, seed).unwrap(),
+                seed: seed ^ 0x1C,
+                max_ghost_staleness: 2,
+                ..InterconnectConfig::default()
+            };
+            let mut plane = ShardPlane::for_world(&world, dims)
+                .unwrap()
+                .with_interconnect(config)
+                .unwrap()
+                .with_workers(1);
+            let mut q = QuietCtx::new();
+            let mut owned_by = vec![0u32; n];
+            let mut total_migrations = 0usize;
+            for tick in 0..120 {
+                world.step_with(&mut q.ctx(), &mut plane);
+                owned_by.iter_mut().for_each(|c| *c = 0);
+                for s in &plane.shards {
+                    for &id in &s.ids[..s.owned] {
+                        owned_by[id as usize] += 1;
+                    }
+                }
+                for (i, &count) in owned_by.iter().enumerate() {
+                    assert_eq!(
+                        count, 1,
+                        "seed {seed} tick {tick}: node {i} owned {count} times"
+                    );
+                }
+                let m_in: usize = plane.shard_stats().map(|s| s.migrations_in).sum();
+                let m_out: usize = plane.shard_stats().map(|s| s.migrations_out).sum();
+                assert_eq!(m_in, m_out, "seed {seed} tick {tick}: flow imbalance");
+                total_migrations += m_in;
+            }
+            assert!(
+                total_migrations > 50,
+                "seed {seed}: only {total_migrations} migrations — under-exercised"
+            );
+            assert!(
+                plane.interconnect().migrations_lost() > 0,
+                "seed {seed}: the chaos plan never dropped a migration"
+            );
+        }
     }
 }

@@ -9,10 +9,12 @@
 //! bit-for-bit — the golden-parity tests in the workspace root pin this —
 //! while the topology stage fans out across shards.
 
+use crate::interconnect::InterconnectConfig;
 use crate::plane::{ShardPlane, ShardReport};
 use manet_geom::{ShardDims, ShardLayout, ShardLayoutError};
-use manet_sim::{HelloProtocol, StepCtx, World};
+use manet_sim::{FaultError, HelloProtocol, StepCtx, World};
 use manet_stack::{ClusterLayer, ProtocolStack, RouteLayer, StackReport};
+use manet_telemetry::ShardSnapshot;
 use std::ops::{Deref, DerefMut};
 
 /// A [`ProtocolStack`] whose topology stage runs on a [`ShardPlane`].
@@ -65,6 +67,24 @@ impl<C: ClusterLayer, R: RouteLayer> ShardedStack<C, R> {
     pub fn with_workers(mut self, n: usize) -> Self {
         self.plane = self.plane.with_workers(n);
         self
+    }
+
+    /// Replaces the plane's interconnect (see
+    /// [`ShardPlane::with_interconnect`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the config's loss model or stall schedule is invalid
+    /// for this layout.
+    pub fn with_interconnect(mut self, config: InterconnectConfig) -> Result<Self, FaultError> {
+        self.plane = self.plane.with_interconnect(config)?;
+        Ok(self)
+    }
+
+    /// A point-in-time shard + link-health view for the Prometheus
+    /// exporter (see [`ShardPlane::snapshot`]).
+    pub fn shard_snapshot(&self) -> ShardSnapshot {
+        self.plane.snapshot()
     }
 
     /// Advances the stack by one tick, topology stage on the shard plane.

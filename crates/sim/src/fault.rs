@@ -52,6 +52,13 @@ pub enum FaultError {
         /// Population size.
         nodes: usize,
     },
+    /// A stall event referenced a shard outside the shard layout.
+    ShardOutOfRange {
+        /// Offending shard index.
+        shard: u16,
+        /// Shard count.
+        shards: usize,
+    },
 }
 
 impl fmt::Display for FaultError {
@@ -67,6 +74,12 @@ impl fmt::Display for FaultError {
                 write!(
                     f,
                     "churn event names node {node}, but only {nodes} nodes exist"
+                )
+            }
+            FaultError::ShardOutOfRange { shard, shards } => {
+                write!(
+                    f,
+                    "stall event names shard {shard}, but only {shards} shards exist"
                 )
             }
         }
@@ -371,6 +384,144 @@ impl ChurnSchedule {
     }
 }
 
+/// One scheduled shard-interconnect stall: shard `shard` stops sending
+/// and receiving interconnect messages for `ticks` consecutive topology
+/// ticks starting at `tick` (inclusive).
+///
+/// A stall freezes only the shard's interconnect endpoints — its compute
+/// still runs, but on whatever ghost view it last received, and its peers
+/// stop hearing from it. This is the shard-level analogue of a node
+/// crash in [`ChurnSchedule`]: the process is alive but partitioned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StallEvent {
+    /// First stalled tick (the shard plane counts topology builds).
+    pub tick: u64,
+    /// The stalled shard (row-major shard index).
+    pub shard: u16,
+    /// Stall duration in ticks (at least 1 to have any effect).
+    pub ticks: u32,
+}
+
+/// A tick-ordered schedule of [`StallEvent`]s, analogous to
+/// [`ChurnSchedule`] but indexed by shard and discrete tick rather than
+/// node and simulated time (the interconnect exchanges messages once per
+/// topology tick, so ticks are its natural clock).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StallSchedule {
+    events: Vec<StallEvent>,
+}
+
+impl StallSchedule {
+    /// The empty schedule (no stalls) — the ideal interconnect setting.
+    pub fn none() -> Self {
+        StallSchedule::default()
+    }
+
+    /// Builds a schedule from explicit events, sorting them by tick (ties
+    /// broken by shard index).
+    pub fn new(mut events: Vec<StallEvent>) -> Self {
+        events.sort_by(|a, b| a.tick.cmp(&b.tick).then_with(|| a.shard.cmp(&b.shard)));
+        StallSchedule { events }
+    }
+
+    /// Generates memoryless stall churn over ticks `[0, horizon)`: every
+    /// shard stalls at rate `stall_rate` (per up-tick) and stays frozen
+    /// for an exponential duration of mean `mean_stall` ticks (rounded up
+    /// to at least one tick).
+    ///
+    /// Deterministic in `(shards, rates, horizon, seed)`; each shard's
+    /// draws come from an independent forked stream, so adding shards
+    /// never perturbs the existing ones.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultError::InvalidRate`] unless `stall_rate` is
+    /// non-negative and finite and `mean_stall` is positive and finite
+    /// (`stall_rate == 0` yields an empty schedule).
+    pub fn poisson(
+        shards: usize,
+        stall_rate: f64,
+        mean_stall: f64,
+        horizon: u64,
+        seed: u64,
+    ) -> Result<Self, FaultError> {
+        if !(stall_rate >= 0.0 && stall_rate.is_finite()) {
+            return Err(FaultError::InvalidRate {
+                name: "stall_rate",
+                value: stall_rate,
+            });
+        }
+        if !(mean_stall > 0.0 && mean_stall.is_finite()) {
+            return Err(FaultError::InvalidRate {
+                name: "mean_stall",
+                value: mean_stall,
+            });
+        }
+        let mut events = Vec::new();
+        if stall_rate > 0.0 {
+            let mut root = Rng::seed_from_u64(seed);
+            for shard in 0..shards.min(u16::MAX as usize) as u16 {
+                let mut rng = root.fork(shard as u64);
+                let mut t = rng.exponential(stall_rate);
+                while (t as u64) < horizon {
+                    let ticks = rng.exponential(1.0 / mean_stall).ceil().max(1.0) as u32;
+                    events.push(StallEvent {
+                        tick: t as u64,
+                        shard,
+                        ticks,
+                    });
+                    t += ticks as f64 + rng.exponential(stall_rate);
+                }
+            }
+        }
+        Ok(StallSchedule::new(events))
+    }
+
+    /// The events in firing order.
+    pub fn events(&self) -> &[StallEvent] {
+        &self.events
+    }
+
+    /// Whether the schedule contains no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Whether `shard` is stalled at `tick` (covered by any event).
+    pub fn stalled(&self, shard: u16, tick: u64) -> bool {
+        self.events
+            .iter()
+            .any(|e| e.shard == shard && e.tick <= tick && tick < e.tick + e.ticks as u64)
+    }
+
+    /// Length of the contiguous stalled run of `shard` starting at
+    /// `tick` (0 when the shard is up), merging overlapping events.
+    pub fn stall_run(&self, shard: u16, tick: u64) -> u64 {
+        let mut t = tick;
+        while self.stalled(shard, t) {
+            t += 1;
+        }
+        t - tick
+    }
+
+    /// Checks that every event names a shard below `shards`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultError::ShardOutOfRange`] for the first offender.
+    pub fn check_shards(&self, shards: usize) -> Result<(), FaultError> {
+        for e in &self.events {
+            if e.shard as usize >= shards {
+                return Err(FaultError::ShardOutOfRange {
+                    shard: e.shard,
+                    shards,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
 /// A complete, seeded fault scenario: a channel loss model plus a node
 /// churn schedule.
 ///
@@ -616,6 +767,77 @@ mod tests {
             seed: 0,
         };
         assert!(!churny.is_ideal());
+    }
+
+    #[test]
+    fn stall_schedule_covers_intervals_and_validates() {
+        let s = StallSchedule::new(vec![
+            StallEvent {
+                tick: 10,
+                shard: 1,
+                ticks: 3,
+            },
+            StallEvent {
+                tick: 4,
+                shard: 0,
+                ticks: 1,
+            },
+        ]);
+        // Sorted by tick.
+        assert_eq!(s.events()[0].tick, 4);
+        assert!(s.stalled(0, 4));
+        assert!(!s.stalled(0, 5));
+        assert!(s.stalled(1, 10) && s.stalled(1, 12));
+        assert!(!s.stalled(1, 13));
+        assert!(!s.stalled(2, 10));
+        assert_eq!(s.stall_run(1, 10), 3);
+        assert_eq!(s.stall_run(1, 11), 2);
+        assert_eq!(s.stall_run(1, 13), 0);
+        assert!(s.check_shards(2).is_ok());
+        assert!(matches!(
+            s.check_shards(1),
+            Err(FaultError::ShardOutOfRange {
+                shard: 1,
+                shards: 1
+            })
+        ));
+        let msg = FaultError::ShardOutOfRange {
+            shard: 7,
+            shards: 4,
+        }
+        .to_string();
+        assert!(msg.contains("shard 7"));
+        assert!(StallSchedule::none().is_empty());
+    }
+
+    #[test]
+    fn poisson_stalls_are_deterministic_and_non_overlapping_per_shard() {
+        let a = StallSchedule::poisson(6, 0.02, 4.0, 400, 9).unwrap();
+        let b = StallSchedule::poisson(6, 0.02, 4.0, 400, 9).unwrap();
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        assert!(a.check_shards(6).is_ok());
+        // Per shard: events are disjoint and ordered (a shard cannot
+        // stall while already stalled).
+        for shard in 0..6u16 {
+            let evs: Vec<&StallEvent> = a.events().iter().filter(|e| e.shard == shard).collect();
+            for w in evs.windows(2) {
+                assert!(w[0].tick + w[0].ticks as u64 <= w[1].tick);
+            }
+            for e in &evs {
+                assert!(e.ticks >= 1);
+            }
+        }
+        // Adding shards never perturbs existing streams.
+        let wider = StallSchedule::poisson(8, 0.02, 4.0, 400, 9).unwrap();
+        let narrow: Vec<&StallEvent> = wider.events().iter().filter(|e| e.shard < 6).collect();
+        assert_eq!(narrow.len(), a.events().len());
+        // Validation mirrors churn's.
+        assert!(StallSchedule::poisson(4, -0.1, 4.0, 100, 0).is_err());
+        assert!(StallSchedule::poisson(4, 0.1, 0.0, 100, 0).is_err());
+        assert!(StallSchedule::poisson(4, 0.0, 4.0, 100, 0)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

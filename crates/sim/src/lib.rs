@@ -56,8 +56,8 @@ pub use counters::{Counters, MessageKind, MessageSizes};
 pub use ctx::{Attempt, FaultHooks, NoFaults, QuietCtx, Scratch, StepCtx};
 pub use error::SimError;
 pub use fault::{
-    Channel, ChurnEvent, ChurnKind, ChurnSchedule, FaultError, FaultPlan, LossModel,
-    STREAM_CLUSTER, STREAM_HELLO, STREAM_ROUTE,
+    Channel, ChurnEvent, ChurnKind, ChurnSchedule, FaultError, FaultPlan, LossModel, StallEvent,
+    StallSchedule, STREAM_CLUSTER, STREAM_HELLO, STREAM_ROUTE,
 };
 pub use hello::{HelloProtocol, ViewAccuracy};
 pub use lifetime::LinkLifetimes;

@@ -2,6 +2,7 @@
 
 use crate::NodeId;
 use manet_geom::{Metric, SpatialGrid, SquareRegion, Vec2};
+use manet_telemetry::Probe;
 
 /// Whether a link appeared or disappeared.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -35,7 +36,11 @@ pub trait TopologyBuilder {
     /// Recomputes the topology of `positions` into `out`, reusing `out`'s
     /// row allocations and the scratch `grid` slot where applicable. Every
     /// row of `out` must end up sorted and cover exactly the unit-disk
-    /// neighbors under `metric`.
+    /// neighbors under `metric` — except that a builder with a degraded
+    /// internal view (e.g. the shard plane under interconnect faults) may
+    /// conservatively omit links, provided it emits the corresponding
+    /// telemetry through `probe` at sim time `now`.
+    #[allow(clippy::too_many_arguments)]
     fn build_into(
         &mut self,
         positions: &[Vec2],
@@ -44,6 +49,8 @@ pub trait TopologyBuilder {
         metric: Metric,
         grid: &mut Option<SpatialGrid>,
         out: &mut Topology,
+        probe: &mut Probe<'_>,
+        now: f64,
     );
 }
 
@@ -61,6 +68,8 @@ impl TopologyBuilder for GridTopology {
         metric: Metric,
         grid: &mut Option<SpatialGrid>,
         out: &mut Topology,
+        _probe: &mut Probe<'_>,
+        _now: f64,
     ) {
         match grid {
             Some(g) => g.rebuild(positions, region, radius, metric),

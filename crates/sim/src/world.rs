@@ -387,6 +387,8 @@ impl World {
             self.metric,
             grid,
             spare,
+            &mut *ctx.probe,
+            self.time,
         );
         if !self.fault.churn.is_empty() {
             spare.retain_alive(&self.alive);

@@ -45,6 +45,16 @@ pub fn is_root_anchor(kind: &EventKind, root: RootCause) -> bool {
             kind,
             EventKind::MsgLost { .. } | EventKind::RetxScheduled { .. }
         ),
+        // Every interconnect event is a detection site: each allocates its
+        // own root at the moment the fault (or recovery) is observed, so
+        // none can leave an unanchored chain behind.
+        RootCause::InterconnectFault => matches!(
+            kind,
+            EventKind::InterconnectLost { .. }
+                | EventKind::InterconnectStalled { .. }
+                | EventKind::GhostStale { .. }
+                | EventKind::InterconnectRecovered { .. }
+        ),
     }
 }
 
@@ -59,6 +69,10 @@ pub fn root_weight(kind: &EventKind) -> u64 {
         _ => 1,
     }
 }
+
+/// Number of distinct root-cause kinds ([`RootCause::ALL`]'s length),
+/// the row dimension of the ledger's per-root tables.
+const ROOTS: usize = RootCause::ALL.len();
 
 /// Summary of one causal chain (all events sharing a [`CauseId`]).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -85,12 +99,12 @@ pub const DEFAULT_CLASS_SIZES: [u64; 8] = [16, 24, 12, 12, 12, 12, 24, 24];
 /// [`RootCause`] × [`MsgClass`], anchor counts, and a causal-chain index.
 #[derive(Debug, Clone)]
 pub struct AttributionLedger {
-    msgs: [[u64; 8]; 7],
-    lost: [[u64; 8]; 7],
+    msgs: [[u64; 8]; ROOTS],
+    lost: [[u64; 8]; ROOTS],
     uncaused: [u64; 8],
-    anchors: [u64; 7],
-    weights: [u64; 7],
-    derived: [u64; 7],
+    anchors: [u64; ROOTS],
+    weights: [u64; ROOTS],
+    derived: [u64; ROOTS],
     sizes: [u64; 8],
     chains: BTreeMap<CauseId, ChainEntry>,
     events_seen: u64,
@@ -111,12 +125,12 @@ impl AttributionLedger {
     /// An empty ledger with a custom per-class size table.
     pub fn with_sizes(sizes: [u64; 8]) -> Self {
         AttributionLedger {
-            msgs: [[0; 8]; 7],
-            lost: [[0; 8]; 7],
+            msgs: [[0; 8]; ROOTS],
+            lost: [[0; 8]; ROOTS],
             uncaused: [0; 8],
-            anchors: [0; 7],
-            weights: [0; 7],
-            derived: [0; 7],
+            anchors: [0; ROOTS],
+            weights: [0; ROOTS],
+            derived: [0; ROOTS],
             sizes,
             chains: BTreeMap::new(),
             events_seen: 0,
@@ -296,6 +310,11 @@ mod tests {
             EventKind::NodeCrashed { node: 0 },
             EventKind::MsgLost {
                 class: MsgClass::Hello,
+                count: 1,
+            },
+            EventKind::InterconnectLost {
+                src: 0,
+                dst: 1,
                 count: 1,
             },
         ];

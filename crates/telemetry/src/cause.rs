@@ -36,11 +36,14 @@ pub enum RootCause {
     Churn,
     /// The lossy channel dropped a delivery (drives retries/re-syncs).
     ChannelLoss,
+    /// The shard interconnect failed: a ghost/migration batch was lost, a
+    /// shard stalled, or a ghost view aged past its staleness bound.
+    InterconnectFault,
 }
 
 impl RootCause {
     /// All root causes, in display order.
-    pub const ALL: [RootCause; 7] = [
+    pub const ALL: [RootCause; 8] = [
         RootCause::LinkGen,
         RootCause::LinkBreak,
         RootCause::HeadLoss,
@@ -48,6 +51,7 @@ impl RootCause {
         RootCause::IntraClusterChange,
         RootCause::Churn,
         RootCause::ChannelLoss,
+        RootCause::InterconnectFault,
     ];
 
     /// Dense index into [`RootCause::ALL`].
@@ -60,6 +64,7 @@ impl RootCause {
             RootCause::IntraClusterChange => 4,
             RootCause::Churn => 5,
             RootCause::ChannelLoss => 6,
+            RootCause::InterconnectFault => 7,
         }
     }
 
@@ -73,6 +78,7 @@ impl RootCause {
             RootCause::IntraClusterChange => "intra_cluster_change",
             RootCause::Churn => "churn",
             RootCause::ChannelLoss => "channel_loss",
+            RootCause::InterconnectFault => "interconnect_fault",
         }
     }
 

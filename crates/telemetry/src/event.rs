@@ -212,6 +212,47 @@ pub enum EventKind {
         /// Head count at sample time.
         heads: u64,
     },
+    /// A shard-interconnect batch from `src` to `dst` (ghost sync or an
+    /// owner migration) was dropped by the interconnect channel.
+    InterconnectLost {
+        /// Sending shard (row-major index).
+        src: u16,
+        /// Receiving shard.
+        dst: u16,
+        /// Entries in the lost batch (1 for a migration).
+        count: u64,
+    },
+    /// A shard's interconnect endpoints froze (stall schedule): it stops
+    /// sending and receiving shard messages for `ticks` ticks.
+    InterconnectStalled {
+        /// The stalled shard.
+        shard: u16,
+        /// Stall duration in ticks.
+        ticks: u64,
+    },
+    /// The ghost view of `src` held by `dst` exceeded the staleness bound
+    /// and was conservatively dropped (boundary links to that peer vanish
+    /// until the link recovers).
+    GhostStale {
+        /// Shard whose ghosts went stale.
+        src: u16,
+        /// Shard holding the stale view.
+        dst: u16,
+        /// Age of the dropped view in ticks.
+        staleness: u64,
+        /// Ghost entries dropped.
+        dropped: u64,
+    },
+    /// A shard link delivered again after one or more missed syncs; the
+    /// receiver resynchronized its ghost view from the fresh batch.
+    InterconnectRecovered {
+        /// Sending shard.
+        src: u16,
+        /// Receiving shard.
+        dst: u16,
+        /// Ghost entries in the resynchronized view.
+        resync: u64,
+    },
 }
 
 impl EventKind {
@@ -231,6 +272,10 @@ impl EventKind {
             EventKind::RouteRoundStarted { .. } => "route_round_started",
             EventKind::RetxScheduled { .. } => "retx_scheduled",
             EventKind::ClusterGauge { .. } => "cluster_gauge",
+            EventKind::InterconnectLost { .. } => "interconnect_lost",
+            EventKind::InterconnectStalled { .. } => "interconnect_stalled",
+            EventKind::GhostStale { .. } => "ghost_stale",
+            EventKind::InterconnectRecovered { .. } => "interconnect_recovered",
         }
     }
 }

@@ -19,9 +19,54 @@ fn header(out: &mut String, name: &str, help: &str, kind: &str) {
     let _ = writeln!(out, "# TYPE {name} {kind}");
 }
 
+/// Per-shard totals for the exporter. The telemetry crate sits below
+/// `manet-shard` in the dependency graph, so the shard plane fills this
+/// neutral mirror of its `ShardStats` rather than handing us the struct.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardGaugeRow {
+    /// Row-major shard index.
+    pub shard: u16,
+    /// Nodes owned at snapshot time.
+    pub owned: u64,
+    /// Ghost rows held at snapshot time.
+    pub ghosts: u64,
+    /// Nodes that migrated in on the last tick.
+    pub migrations_in: u64,
+    /// Nodes that migrated out on the last tick.
+    pub migrations_out: u64,
+    /// Cross-shard links observed on the last tick.
+    pub boundary_links: u64,
+}
+
+/// A point-in-time view of the shard plane and its interconnect, rendered
+/// by [`prometheus_text_with_shards`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardSnapshot {
+    /// One row per shard, in row-major order.
+    pub shards: Vec<ShardGaugeRow>,
+    /// Directed shard links currently healthy.
+    pub links_up: u64,
+    /// Directed shard links with recent failures (below the down threshold).
+    pub links_degraded: u64,
+    /// Directed shard links past the consecutive-failure threshold.
+    pub links_down: u64,
+    /// Worst ghost-view age across all directed links, in ticks.
+    pub max_ghost_staleness: u64,
+}
+
 /// Renders a snapshot of `recorder` (plus `ledger`, when attribution ran)
 /// in Prometheus text exposition format.
 pub fn prometheus_text(recorder: &WindowedRecorder, ledger: Option<&AttributionLedger>) -> String {
+    prometheus_text_with_shards(recorder, ledger, None)
+}
+
+/// [`prometheus_text`] plus per-shard and interconnect-health gauges when a
+/// [`ShardSnapshot`] is supplied (sharded runs only).
+pub fn prometheus_text_with_shards(
+    recorder: &WindowedRecorder,
+    ledger: Option<&AttributionLedger>,
+    shard: Option<&ShardSnapshot>,
+) -> String {
     let mut out = String::new();
 
     header(
@@ -64,6 +109,10 @@ pub fn prometheus_text(recorder: &WindowedRecorder, ledger: Option<&AttributionL
     let mut head_losses = 0u64;
     let mut route_rounds = 0u64;
     let mut retx = 0u64;
+    let mut ic_lost = 0u64;
+    let mut stalls = 0u64;
+    let mut stale_drops = 0u64;
+    let mut ic_recoveries = 0u64;
     for w in recorder.windows() {
         links_up += w.links_up;
         links_down += w.links_down;
@@ -75,6 +124,10 @@ pub fn prometheus_text(recorder: &WindowedRecorder, ledger: Option<&AttributionL
         head_losses += w.head_losses;
         route_rounds += w.route_rounds;
         retx += w.retx_scheduled;
+        ic_lost += w.interconnect_lost;
+        stalls += w.shard_stalls;
+        stale_drops += w.ghost_stale_drops;
+        ic_recoveries += w.interconnect_recoveries;
     }
     for (name, help, value) in [
         ("manet_links_up_total", "Links formed.", links_up),
@@ -115,6 +168,26 @@ pub fn prometheus_text(recorder: &WindowedRecorder, ledger: Option<&AttributionL
             "Retransmissions scheduled into backoff.",
             retx,
         ),
+        (
+            "manet_interconnect_lost_total",
+            "Shard-interconnect batch entries lost.",
+            ic_lost,
+        ),
+        (
+            "manet_shard_stalls_total",
+            "Shard interconnect-stall onsets.",
+            stalls,
+        ),
+        (
+            "manet_ghost_stale_drops_total",
+            "Ghost entries dropped past the staleness bound.",
+            stale_drops,
+        ),
+        (
+            "manet_interconnect_recoveries_total",
+            "Shard-link resyncs after missed syncs.",
+            ic_recoveries,
+        ),
     ] {
         header(&mut out, name, help, "counter");
         let _ = writeln!(out, "{name} {value}");
@@ -141,6 +214,67 @@ pub fn prometheus_text(recorder: &WindowedRecorder, ledger: Option<&AttributionL
         "counter",
     );
     let _ = writeln!(out, "manet_trace_events_total {}", recorder.events_seen());
+
+    if let Some(snap) = shard {
+        for (name, help, field) in [
+            (
+                "manet_shard_owned",
+                "Nodes owned per shard.",
+                (|r: &ShardGaugeRow| r.owned) as fn(&ShardGaugeRow) -> u64,
+            ),
+            (
+                "manet_shard_ghosts",
+                "Ghost rows held per shard.",
+                |r: &ShardGaugeRow| r.ghosts,
+            ),
+            (
+                "manet_shard_migrations_in",
+                "Nodes migrated in per shard on the last tick.",
+                |r: &ShardGaugeRow| r.migrations_in,
+            ),
+            (
+                "manet_shard_migrations_out",
+                "Nodes migrated out per shard on the last tick.",
+                |r: &ShardGaugeRow| r.migrations_out,
+            ),
+            (
+                "manet_shard_boundary_links",
+                "Cross-shard links per shard on the last tick.",
+                |r: &ShardGaugeRow| r.boundary_links,
+            ),
+        ] {
+            header(&mut out, name, help, "gauge");
+            for row in &snap.shards {
+                let _ = writeln!(out, "{name}{{shard=\"{}\"}} {}", row.shard, field(row));
+            }
+        }
+
+        header(
+            &mut out,
+            "manet_shard_links",
+            "Directed shard links, by interconnect health.",
+            "gauge",
+        );
+        for (health, value) in [
+            ("up", snap.links_up),
+            ("degraded", snap.links_degraded),
+            ("down", snap.links_down),
+        ] {
+            let _ = writeln!(out, "manet_shard_links{{health=\"{health}\"}} {value}");
+        }
+
+        header(
+            &mut out,
+            "manet_ghost_staleness_max",
+            "Worst ghost-view age across directed shard links, in ticks.",
+            "gauge",
+        );
+        let _ = writeln!(
+            out,
+            "manet_ghost_staleness_max {}",
+            snap.max_ghost_staleness
+        );
+    }
 
     if let Some(ledger) = ledger {
         header(
@@ -267,5 +401,75 @@ mod tests {
         let text = prometheus_text(&rec, None);
         assert!(text.contains("manet_msgs_total{class=\"CLUSTER\"} 0"));
         assert!(!text.contains("manet_cause_"));
+        assert!(!text.contains("manet_shard_owned"));
+        assert!(!text.contains("manet_shard_links"));
+        assert!(text.contains("manet_interconnect_lost_total 0"));
+        assert!(text.contains("manet_shard_stalls_total 0"));
+    }
+
+    #[test]
+    fn shard_snapshot_renders_per_shard_and_link_health_gauges() {
+        let mut rec = WindowedRecorder::new(5.0);
+        rec.absorb(&Event {
+            time: 1.0,
+            layer: Layer::Sim,
+            kind: EventKind::InterconnectLost {
+                src: 0,
+                dst: 1,
+                count: 3,
+            },
+            cause: None,
+        });
+        rec.absorb(&Event {
+            time: 2.0,
+            layer: Layer::Sim,
+            kind: EventKind::GhostStale {
+                src: 0,
+                dst: 1,
+                staleness: 5,
+                dropped: 2,
+            },
+            cause: None,
+        });
+        let snap = ShardSnapshot {
+            shards: vec![
+                ShardGaugeRow {
+                    shard: 0,
+                    owned: 40,
+                    ghosts: 6,
+                    migrations_in: 1,
+                    migrations_out: 2,
+                    boundary_links: 9,
+                },
+                ShardGaugeRow {
+                    shard: 1,
+                    owned: 38,
+                    ghosts: 5,
+                    migrations_in: 2,
+                    migrations_out: 1,
+                    boundary_links: 9,
+                },
+            ],
+            links_up: 2,
+            links_degraded: 1,
+            links_down: 1,
+            max_ghost_staleness: 3,
+        };
+        let text = prometheus_text_with_shards(&rec, None, Some(&snap));
+        assert!(text.contains("manet_shard_owned{shard=\"0\"} 40"));
+        assert!(text.contains("manet_shard_owned{shard=\"1\"} 38"));
+        assert!(text.contains("manet_shard_ghosts{shard=\"1\"} 5"));
+        assert!(text.contains("manet_shard_migrations_out{shard=\"0\"} 2"));
+        assert!(text.contains("manet_shard_boundary_links{shard=\"0\"} 9"));
+        assert!(text.contains("manet_shard_links{health=\"up\"} 2"));
+        assert!(text.contains("manet_shard_links{health=\"down\"} 1"));
+        assert!(text.contains("manet_ghost_staleness_max 3"));
+        assert!(text.contains("manet_interconnect_lost_total 3"));
+        assert!(text.contains("manet_ghost_stale_drops_total 2"));
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (name, value) = line.rsplit_once(' ').expect("sample shape");
+            assert!(!name.is_empty());
+            assert!(value.parse::<f64>().is_ok(), "{line}");
+        }
     }
 }

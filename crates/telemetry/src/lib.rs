@@ -60,7 +60,7 @@ pub use attribution::{is_root_anchor, root_weight, AttributionLedger, ChainEntry
 pub use audit::{AuditConfig, AuditMonitor, AuditReport, AuditSample, AuditViolation};
 pub use cause::{Cause, CauseId, CauseTracker, RootCause};
 pub use event::{Event, EventKind, Layer, MsgClass, NodeId, NoopSubscriber, Probe, Subscriber};
-pub use export::prometheus_text;
+pub use export::{prometheus_text, prometheus_text_with_shards, ShardGaugeRow, ShardSnapshot};
 pub use profiler::{Phase, PhaseProfiler, PhaseSummary, ProfileReport};
 pub use sink::{read_trace, JsonlSink, Trace, TraceMeta, TraceOut};
 pub use window::{WindowStats, WindowedRecorder};

@@ -112,6 +112,31 @@ pub fn event_to_value(event: &Event) -> Value {
         EventKind::ClusterGauge { heads } => {
             pairs.push(("heads".into(), Value::from(heads)));
         }
+        EventKind::InterconnectLost { src, dst, count } => {
+            pairs.push(("src".into(), Value::from(u64::from(src))));
+            pairs.push(("dst".into(), Value::from(u64::from(dst))));
+            pairs.push(("count".into(), Value::from(count)));
+        }
+        EventKind::InterconnectStalled { shard, ticks } => {
+            pairs.push(("shard".into(), Value::from(u64::from(shard))));
+            pairs.push(("ticks".into(), Value::from(ticks)));
+        }
+        EventKind::GhostStale {
+            src,
+            dst,
+            staleness,
+            dropped,
+        } => {
+            pairs.push(("src".into(), Value::from(u64::from(src))));
+            pairs.push(("dst".into(), Value::from(u64::from(dst))));
+            pairs.push(("staleness".into(), Value::from(staleness)));
+            pairs.push(("dropped".into(), Value::from(dropped)));
+        }
+        EventKind::InterconnectRecovered { src, dst, resync } => {
+            pairs.push(("src".into(), Value::from(u64::from(src))));
+            pairs.push(("dst".into(), Value::from(u64::from(dst))));
+            pairs.push(("resync".into(), Value::from(resync)));
+        }
     }
     if let Some(cause) = event.cause {
         pairs.push(("cause".into(), Value::from(cause.id.0)));
@@ -125,6 +150,7 @@ pub fn event_from_value(v: &Value) -> Option<Event> {
     let time = v.get("t")?.as_f64()?;
     let layer = Layer::from_name(v.get("layer")?.as_str()?)?;
     let node_field = |key: &str| -> Option<u32> { u32::try_from(v.get(key)?.as_u64()?).ok() };
+    let shard_field = |key: &str| -> Option<u16> { u16::try_from(v.get(key)?.as_u64()?).ok() };
     let class_field = || MsgClass::from_name(v.get("class")?.as_str()?);
     let kind = match v.get("kind")?.as_str()? {
         "link_up" => EventKind::LinkUp {
@@ -175,6 +201,26 @@ pub fn event_from_value(v: &Value) -> Option<Event> {
         },
         "cluster_gauge" => EventKind::ClusterGauge {
             heads: v.get("heads")?.as_u64()?,
+        },
+        "interconnect_lost" => EventKind::InterconnectLost {
+            src: shard_field("src")?,
+            dst: shard_field("dst")?,
+            count: v.get("count")?.as_u64()?,
+        },
+        "interconnect_stalled" => EventKind::InterconnectStalled {
+            shard: shard_field("shard")?,
+            ticks: v.get("ticks")?.as_u64()?,
+        },
+        "ghost_stale" => EventKind::GhostStale {
+            src: shard_field("src")?,
+            dst: shard_field("dst")?,
+            staleness: v.get("staleness")?.as_u64()?,
+            dropped: v.get("dropped")?.as_u64()?,
+        },
+        "interconnect_recovered" => EventKind::InterconnectRecovered {
+            src: shard_field("src")?,
+            dst: shard_field("dst")?,
+            resync: v.get("resync")?.as_u64()?,
         },
         _ => return None,
     };
@@ -518,6 +564,43 @@ mod tests {
                 },
             ),
             ev(2.0, Layer::Cluster, EventKind::ClusterGauge { heads: 40 }),
+            caused(
+                ev(
+                    2.25,
+                    Layer::Sim,
+                    EventKind::InterconnectLost {
+                        src: 0,
+                        dst: 1,
+                        count: 5,
+                    },
+                ),
+                5,
+                RootCause::InterconnectFault,
+            ),
+            ev(
+                2.25,
+                Layer::Sim,
+                EventKind::InterconnectStalled { shard: 2, ticks: 3 },
+            ),
+            ev(
+                2.5,
+                Layer::Sim,
+                EventKind::GhostStale {
+                    src: 1,
+                    dst: 0,
+                    staleness: 5,
+                    dropped: 4,
+                },
+            ),
+            ev(
+                2.75,
+                Layer::Sim,
+                EventKind::InterconnectRecovered {
+                    src: 0,
+                    dst: 1,
+                    resync: 6,
+                },
+            ),
         ]
     }
 

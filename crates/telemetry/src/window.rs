@@ -41,6 +41,14 @@ pub struct WindowStats {
     pub heads_sum: u64,
     /// Number of cluster-head gauge samples.
     pub gauge_samples: u64,
+    /// Shard-interconnect batch entries lost (ghost rows + migrations).
+    pub interconnect_lost: u64,
+    /// Shard interconnect-stall onsets.
+    pub shard_stalls: u64,
+    /// Ghost entries dropped past the staleness bound.
+    pub ghost_stale_drops: u64,
+    /// Shard-link recoveries (resyncs after missed syncs).
+    pub interconnect_recoveries: u64,
 }
 
 impl WindowStats {
@@ -81,6 +89,10 @@ impl WindowStats {
                 self.heads_sum += heads;
                 self.gauge_samples += 1;
             }
+            EventKind::InterconnectLost { count, .. } => self.interconnect_lost += count,
+            EventKind::InterconnectStalled { .. } => self.shard_stalls += 1,
+            EventKind::GhostStale { dropped, .. } => self.ghost_stale_drops += dropped,
+            EventKind::InterconnectRecovered { .. } => self.interconnect_recoveries += 1,
         }
     }
 }
@@ -354,8 +366,41 @@ mod tests {
                 rounds: 2,
             },
         ));
+        rec.absorb(&ev(
+            6.0,
+            EventKind::InterconnectLost {
+                src: 0,
+                dst: 1,
+                count: 4,
+            },
+        ));
+        rec.absorb(&ev(
+            6.5,
+            EventKind::InterconnectStalled { shard: 1, ticks: 2 },
+        ));
+        rec.absorb(&ev(
+            7.0,
+            EventKind::GhostStale {
+                src: 1,
+                dst: 0,
+                staleness: 5,
+                dropped: 6,
+            },
+        ));
+        rec.absorb(&ev(
+            7.5,
+            EventKind::InterconnectRecovered {
+                src: 0,
+                dst: 1,
+                resync: 9,
+            },
+        ));
         let w = rec.windows()[0];
         assert_eq!(w.lost[MsgClass::Hello.index()], 3);
+        assert_eq!(w.interconnect_lost, 4);
+        assert_eq!(w.shard_stalls, 1);
+        assert_eq!(w.ghost_stale_drops, 6);
+        assert_eq!(w.interconnect_recoveries, 1);
         assert_eq!(rec.total_lost(MsgClass::Hello), 3);
         assert_eq!(w.retx_scheduled, 1);
         assert_eq!(w.crashes, 1);

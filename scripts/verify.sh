@@ -58,4 +58,11 @@ echo "==> shard bench smoke (bench_shard --quick)"
 # committed BENCH_shard.json comes from the full run).
 cargo run -q --release -p manet-experiments --bin bench_shard -- --quick
 
+echo "==> interconnect chaos smoke (robustness2 --quick)"
+# Fallible shard interconnect (DESIGN.md §14): the ideal config is
+# byte-parity pass-through vs the monolithic stack, chaos is
+# deterministic and worker-count invariant, the audit stays clean, and
+# every InterconnectFault causal chain anchors in the ledger.
+cargo run -q --release -p manet-experiments --bin robustness2 -- --quick
+
 echo "verify: all checks passed"

@@ -126,7 +126,7 @@ fn cmd_simulate(flags: &Flags) -> Result<(), String> {
     let policy = flags.str_or("policy", "lid");
     let shards = match flags.0.get("shards") {
         None => None,
-        Some(v) => Some(ShardDims::parse(v).map_err(|e| format!("--shards: {e}"))?),
+        Some(v) => Some(clustered_manet::experiments::trace::parse_shards(v)?),
     };
     if radius >= side {
         return Err(format!("need radius < side (got {radius} >= {side})"));

@@ -17,13 +17,17 @@
 //!    events, neighbor rows, and counters match tick for tick while the
 //!    plane's ownership partition stays exact.
 
-use clustered_manet::experiments::harness::{measure_lid, measure_lid_sharded, Protocol, Scenario};
+use clustered_manet::experiments::harness::{
+    measure_lid, measure_lid_sharded, Protocol, Scenario, ShardRun,
+};
 use clustered_manet::experiments::robustness::{
     measure_with_faults, measure_with_faults_sharded, FaultConfig,
 };
-use clustered_manet::experiments::trace::{trace_run, trace_run_sharded, TelemetryConfig};
+use clustered_manet::experiments::trace::{
+    trace_run, trace_run_chaos, trace_run_sharded, TelemetryConfig,
+};
 use clustered_manet::geom::ShardDims;
-use clustered_manet::shard::ShardPlane;
+use clustered_manet::shard::{InterconnectConfig, ShardPlane};
 use clustered_manet::sim::{HelloMode, LossModel, QuietCtx, SimBuilder};
 use std::path::PathBuf;
 
@@ -93,6 +97,46 @@ fn traced_jsonl_is_byte_identical_across_shard_layouts() {
         let raw = without_profile_lines(&std::fs::read_to_string(&path).expect("trace"));
         assert_eq!(mono_raw, raw, "{dims}: traced JSONL diverged");
         assert_eq!(mono.counters, sharded.counters, "{dims}: counters diverged");
+    }
+}
+
+/// The fallible interconnect, explicitly enabled but fault-free, is
+/// pass-through at the trace level: with the ideal
+/// [`InterconnectConfig`] wired in (message staging, per-pair channels,
+/// sync/consume protocol all active) the traced JSONL stays byte-identical
+/// to the monolithic run at every layout and a non-trivial worker count.
+#[test]
+fn ideal_interconnect_traced_jsonl_is_byte_identical() {
+    let (scenario, protocol) = quick();
+    let mono_path = tmp_path("chaos-mono.jsonl");
+    let mono = trace_run(
+        &scenario,
+        &protocol,
+        &TelemetryConfig::to_file("interconnect-parity", mono_path.clone()),
+    )
+    .expect("monolithic trace");
+    let mono_raw = without_profile_lines(&std::fs::read_to_string(&mono_path).expect("trace"));
+
+    for dims in LAYOUTS {
+        let path = tmp_path(&format!("chaos-ideal-{dims}.jsonl"));
+        let run = ShardRun::new(ShardDims::parse(dims).unwrap())
+            .with_interconnect(InterconnectConfig::default())
+            .with_workers(3);
+        let sharded = trace_run_chaos(
+            &scenario,
+            &protocol,
+            &TelemetryConfig::to_file("interconnect-parity", path.clone()),
+            Some(&run),
+        )
+        .expect("sharded trace");
+        let raw = without_profile_lines(&std::fs::read_to_string(&path).expect("trace"));
+        assert_eq!(mono_raw, raw, "{dims}: traced JSONL diverged");
+        assert_eq!(mono.counters, sharded.counters, "{dims}: counters diverged");
+        let snapshot = sharded.shard.expect("sharded runs snapshot their plane");
+        assert_eq!(
+            snapshot.shards.len(),
+            ShardDims::parse(dims).unwrap().count()
+        );
     }
 }
 
