@@ -1,12 +1,13 @@
 //! Profiler baseline: tick-phase wall-clock timing of the default
-//! 400-node scenario, written to `BENCH_telemetry.json`, plus the same
-//! scenario with causal attribution enabled, written to
-//! `BENCH_attribution.json` (both committed at the repo root so
-//! regressions in per-phase and attribution cost are visible in review).
+//! 400-node scenario, written to `BENCH_telemetry.json` (including the
+//! live-exporter serve-on-vs-off overhead), plus the same scenario with
+//! causal attribution enabled, written to `BENCH_attribution.json` (both
+//! committed at the repo root so regressions in per-phase, attribution,
+//! and exporter cost are visible in review).
 
 use manet_experiments::harness::{Protocol, Scenario};
-use manet_experiments::trace::{trace_run, TelemetryConfig, TraceRun};
-use manet_telemetry::Phase;
+use manet_experiments::trace::{install_live_publisher, trace_run, TelemetryConfig, TraceRun};
+use manet_telemetry::{MetricsServer, Phase};
 use manet_util::json::Value;
 
 fn phase_rows(run: &TraceRun) -> Vec<Value> {
@@ -50,20 +51,7 @@ fn main() {
     )
     .expect("in-memory run performs no IO");
     println!("{}", run.profile.to_table().to_ascii());
-
-    let doc = Value::Obj(vec![
-        ("bench".into(), Value::from("telemetry_phase_profile")),
-        ("nodes".into(), Value::from(scenario.nodes)),
-        ("dt".into(), Value::from(protocol.dt)),
-        (
-            "sim_seconds".into(),
-            Value::from(protocol.warmup + protocol.measure),
-        ),
-        ("seed".into(), Value::from(protocol.seeds[0])),
-        ("total_wall_s".into(), Value::from(run.profile.total_secs())),
-        ("phases".into(), Value::Arr(phase_rows(&run))),
-    ]);
-    write_json("BENCH_telemetry.json", &doc);
+    let plain_wall = run.profile.total_secs();
 
     // The attribution-enabled twin: same scenario, same seed, with the
     // cause tracker, ledger, and audit monitors live. The overhead ratio
@@ -79,7 +67,6 @@ fn main() {
         .attribution
         .as_ref()
         .expect("attribution was enabled");
-    let plain_wall = run.profile.total_secs();
     let attr_wall = attr_run.profile.total_secs();
     let overhead_pct = if plain_wall > 0.0 {
         (attr_wall - plain_wall) / plain_wall * 100.0
@@ -97,6 +84,46 @@ fn main() {
             "VIOLATED"
         }
     );
+
+    // The live-exporter twin: same scenario and seed with a bound
+    // /metrics endpoint receiving a snapshot per tumbling window (no
+    // scraper attached — this measures the publication path itself).
+    // Installing the process-wide publisher is irreversible, so this run
+    // comes after every serve-off measurement above.
+    let server = MetricsServer::serve("127.0.0.1:0").expect("bind ephemeral port");
+    assert!(install_live_publisher(server.publisher()));
+    let serve_run = trace_run(
+        &scenario,
+        &protocol,
+        &TelemetryConfig::in_memory("bench_telemetry_serve"),
+    )
+    .expect("in-memory run performs no IO");
+    drop(server);
+    let serve_wall = serve_run.profile.total_secs();
+    let serve_overhead_pct = if plain_wall > 0.0 {
+        (serve_wall - plain_wall) / plain_wall * 100.0
+    } else {
+        0.0
+    };
+    println!(
+        "live-exporter overhead: {plain_wall:.3}s -> {serve_wall:.3}s ({serve_overhead_pct:+.1}%)"
+    );
+
+    let doc = Value::Obj(vec![
+        ("bench".into(), Value::from("telemetry_phase_profile")),
+        ("nodes".into(), Value::from(scenario.nodes)),
+        ("dt".into(), Value::from(protocol.dt)),
+        (
+            "sim_seconds".into(),
+            Value::from(protocol.warmup + protocol.measure),
+        ),
+        ("seed".into(), Value::from(protocol.seeds[0])),
+        ("total_wall_s".into(), Value::from(plain_wall)),
+        ("serve_wall_s".into(), Value::from(serve_wall)),
+        ("serve_overhead_pct".into(), Value::from(serve_overhead_pct)),
+        ("phases".into(), Value::Arr(phase_rows(&run))),
+    ]);
+    write_json("BENCH_telemetry.json", &doc);
 
     let attr_doc = Value::Obj(vec![
         ("bench".into(), Value::from("attribution_phase_profile")),

@@ -15,12 +15,16 @@
 
 use manet_experiments::harness::{Protocol, Scenario};
 use manet_experiments::robustness2::{chaos_trace, summarize, sweep_chaos, table, ChaosPoint};
-use manet_experiments::trace::init_shards_from_args;
+use manet_experiments::trace::{init_serve_from_args, init_shards_from_args};
 use manet_geom::ShardDims;
 use manet_telemetry::MsgClass;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    // Bind the live /metrics endpoint first (no-op without the flag) so
+    // every chaos run below streams its windows there; the guard honors
+    // --serve-hold on exit.
+    let _serve = init_serve_from_args();
     let shards = init_shards_from_args();
     let dims = shards.unwrap_or_else(|| ShardDims::parse("2x2").expect("2x2 parses"));
     let quick = std::env::args().any(|a| a == "--quick");

@@ -140,9 +140,11 @@ pub fn chaos_trace(
     if let Some(w) = workers {
         shard_run = shard_run.with_workers(w);
     }
-    let config = TelemetryConfig::in_memory("rob2_chaos").with_attribution();
+    let config = TelemetryConfig::in_memory("rob2_chaos")
+        .with_attribution()
+        .with_flight_from_args();
     trace_run_chaos(scenario, protocol, &config, Some(&shard_run))
-        .expect("in-memory chaos run cannot fail on IO")
+        .expect("chaos run cannot fail on IO (flight dumps create their dirs)")
 }
 
 /// Reduces a traced chaos run to its [`ChaosRow`].
@@ -287,5 +289,54 @@ mod tests {
         assert!(row.anchored, "interconnect events must self-anchor");
         assert!(row.audit_clean, "degradation must not corrupt invariants");
         assert!(row.recoveries > 0, "lossy links must also recover");
+    }
+
+    /// The flight recorder's black box is a pure function of the seed:
+    /// two identical chaos runs leave byte-identical dumps, and the dump
+    /// re-reads as a replayable trace carrying the chaos event kinds.
+    #[test]
+    fn flight_dump_is_deterministic_in_the_seed_and_replayable() {
+        let (scenario, protocol) = quick();
+        let dims = ShardDims::parse("2x2").unwrap();
+        let point = ChaosPoint {
+            loss_p: 0.3,
+            stall_rate: 0.05,
+            ..ChaosPoint::ideal()
+        };
+        let seed = protocol.seeds.first().copied().unwrap();
+        let ticks = ((protocol.warmup + protocol.measure) / protocol.dt).round() as u64;
+        let run_once = || {
+            let shard_run = ShardRun::new(dims)
+                .with_interconnect(point.config(dims, ticks, seed))
+                .with_workers(1);
+            let config = TelemetryConfig::in_memory("rob2_chaos")
+                .with_attribution()
+                .with_flight(512);
+            crate::trace::trace_run_chaos(&scenario, &protocol, &config, Some(&shard_run))
+                .expect("in-memory chaos run cannot fail on IO")
+        };
+        let (a, b) = (run_once(), run_once());
+        let fa = a.flight.as_ref().expect("flight armed");
+        let fb = b.flight.as_ref().expect("flight armed");
+        assert!(fa.events_seen() > 512, "chaos outgrows the ring");
+        assert_eq!(fa.len(), 512, "ring wrapped and stayed bounded");
+        let dump_a = fa.dump_string(&a.meta, "end-of-run");
+        let dump_b = fb.dump_string(&b.meta, "end-of-run");
+        assert_eq!(dump_a, dump_b, "same seed must give a byte-identical dump");
+
+        // The dump round-trips through the trace reader and replays.
+        let dir = std::env::temp_dir().join("manet_rob2_flight_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("flight.jsonl");
+        fa.dump_to(&path, &a.meta, "end-of-run").unwrap();
+        let trace = manet_telemetry::read_trace(&path).unwrap();
+        assert_eq!(
+            trace.meta.as_ref().map(|m| m.label.as_str()),
+            Some("rob2_chaos#flight:end-of-run")
+        );
+        assert_eq!(trace.events.len(), 512);
+        let replayed = trace.replay(5.0);
+        assert_eq!(replayed.events_seen(), 512);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

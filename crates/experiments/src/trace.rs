@@ -22,12 +22,15 @@ use manet_sim::{Counters, HelloMode, MessageKind, QuietCtx, Scratch, SimBuilder,
 use manet_stack::ProtocolStack;
 use manet_telemetry::{
     prometheus_text_with_shards, AttributionLedger, AuditConfig, AuditMonitor, AuditReport,
-    CauseTracker, Event, JsonlSink, MsgClass, PhaseProfiler, Probe, ProfileReport, RootCause,
-    ShardSnapshot, Subscriber, TraceMeta, TraceOut, WindowedRecorder,
+    CauseTracker, Event, FlightRecorder, FlightTrigger, JsonlSink, MetricsServer, MsgClass,
+    PhaseProfiler, Probe, ProfileReport, Publisher, RootCause, ShardSnapshot, Subscriber,
+    TelemetrySnapshot, TraceMeta, TraceOut, WindowedRecorder,
 };
 use std::fmt::Write as _;
 use std::io;
 use std::path::PathBuf;
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
 
 /// Relative tolerance defining "settled": the warmup point is the first
 /// window whose CLUSTER rate is within this fraction of the steady state.
@@ -49,6 +52,13 @@ pub struct TelemetryConfig {
     pub attribution: bool,
     /// Prometheus text-format snapshot path, written once after the run.
     pub metrics_out: Option<PathBuf>,
+    /// Arm a [`FlightRecorder`] retaining the last `K` events (`None` =
+    /// no flight recorder; the plain event path is untouched).
+    pub flight: Option<usize>,
+    /// Where to dump the flight ring as replayable JSONL: on the first
+    /// audit violation, or (when none fires) once at end of run so the
+    /// black box is never silently empty.
+    pub flight_out: Option<PathBuf>,
 }
 
 impl TelemetryConfig {
@@ -60,6 +70,8 @@ impl TelemetryConfig {
             label: label.to_string(),
             attribution: false,
             metrics_out: None,
+            flight: None,
+            flight_out: None,
         }
     }
 
@@ -85,7 +97,39 @@ impl TelemetryConfig {
         self.attribution = true;
         self
     }
+
+    /// Arms a flight recorder retaining the last `k` events.
+    pub fn with_flight(mut self, k: usize) -> TelemetryConfig {
+        self.flight = Some(k);
+        self
+    }
+
+    /// Sets the flight-dump path (arms a default-capacity recorder when
+    /// [`TelemetryConfig::flight`] was not set explicitly).
+    pub fn with_flight_out(mut self, path: PathBuf) -> TelemetryConfig {
+        self.flight_out = Some(path);
+        if self.flight.is_none() {
+            self.flight = Some(DEFAULT_FLIGHT_CAPACITY);
+        }
+        self
+    }
+
+    /// Experiment-binary hook: applies `--flight <K>` / `--flight-out
+    /// <path>` from the process arguments. A no-op without the flags —
+    /// in particular under unit tests, whose harness passes neither.
+    pub fn with_flight_from_args(mut self) -> TelemetryConfig {
+        if let Some(k) = flight_from_args() {
+            self = self.with_flight(k);
+        }
+        if let Some(path) = flight_out_from_args() {
+            self = self.with_flight_out(path);
+        }
+        self
+    }
 }
+
+/// Ring capacity when `--flight-out` is given without `--flight <K>`.
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 4096;
 
 /// Causal-attribution outputs of a traced run, present when
 /// [`TelemetryConfig::attribution`] was set.
@@ -115,6 +159,9 @@ pub struct TraceRun {
     /// End-of-run shard + link-health snapshot (`None` on the monolithic
     /// path); also rendered into the Prometheus metrics snapshot.
     pub shard: Option<ShardSnapshot>,
+    /// The flight recorder's final ring (`None` unless armed) — what a
+    /// dump at end of run would contain, kept for tests and tooling.
+    pub flight: Option<FlightRecorder>,
 }
 
 /// Live attribution state carried across the ticks of one traced run.
@@ -125,18 +172,30 @@ struct AttribState {
 }
 
 /// Tee subscriber: forwards each event to the trace output while also
-/// streaming it into the ledger and the audit monitor.
-struct AttribFan<'a> {
+/// streaming it into whichever optional consumers this run armed — the
+/// attribution ledger, the audit monitor, and the flight recorder. Runs
+/// with none of them armed never construct a fan at all, so the plain
+/// traced path (and its bytes) is exactly what it was before the
+/// observability plane existed.
+struct TickFan<'a> {
     out: &'a mut dyn Subscriber,
-    ledger: &'a mut AttributionLedger,
-    audit: &'a mut AuditMonitor,
+    ledger: Option<&'a mut AttributionLedger>,
+    audit: Option<&'a mut AuditMonitor>,
+    flight: Option<&'a mut FlightRecorder>,
 }
 
-impl Subscriber for AttribFan<'_> {
+impl Subscriber for TickFan<'_> {
     fn event(&mut self, event: &Event) {
         self.out.event(event);
-        self.ledger.absorb(event);
-        self.audit.event(event);
+        if let Some(ledger) = self.ledger.as_deref_mut() {
+            ledger.absorb(event);
+        }
+        if let Some(audit) = self.audit.as_deref_mut() {
+            audit.event(event);
+        }
+        if let Some(flight) = self.flight.as_deref_mut() {
+            flight.record(event);
+        }
     }
 }
 
@@ -248,20 +307,34 @@ pub fn trace_run_chaos(
         .expect("shard layout incompatible with scenario radius");
     stack.prime(&mut QuietCtx::new().ctx()); // baseline fill, uncharged
 
+    let mut flight = config.flight.map(FlightRecorder::new);
+    let mut trigger = FlightTrigger::new();
+    let live = live_publisher();
+    let started = Instant::now();
+    let mut published_windows = usize::MAX;
+
     let mut scratch = Scratch::new();
     let ticks = (duration / protocol.dt).round() as usize;
-    for _ in 0..ticks {
+    for tick in 0..ticks {
         let mut fan;
-        let mut probe = match attrib.as_mut() {
-            Some(st) => {
-                fan = AttribFan {
-                    out: &mut out,
-                    ledger: &mut st.ledger,
-                    audit: &mut st.audit,
-                };
-                Probe::with_causes(Some(&mut fan), Some(&mut profiler), Some(&mut st.tracker))
-            }
-            None => Probe::new(Some(&mut out), Some(&mut profiler)),
+        let mut probe = if attrib.is_some() || flight.is_some() {
+            let (ledger, audit, tracker) = match attrib.as_mut() {
+                Some(st) => (
+                    Some(&mut st.ledger),
+                    Some(&mut st.audit),
+                    Some(&mut st.tracker),
+                ),
+                None => (None, None, None),
+            };
+            fan = TickFan {
+                out: &mut out,
+                ledger,
+                audit,
+                flight: flight.as_mut(),
+            };
+            Probe::with_causes(Some(&mut fan), Some(&mut profiler), tracker)
+        } else {
+            Probe::new(Some(&mut out), Some(&mut profiler))
         };
         let report = stack.tick(&mut StepCtx::new(&mut probe, &mut scratch));
 
@@ -269,11 +342,60 @@ pub fn trace_run_chaos(
         if let Some(st) = attrib.as_mut() {
             st.audit.sample(&stack.audit_sample(report.time));
         }
+
+        // Black box: dump the event ring the moment the audit trips.
+        if let (Some(fr), Some(st)) = (flight.as_ref(), attrib.as_ref()) {
+            if trigger.check(st.audit.violation_count()) {
+                if let Some(path) = &config.flight_out {
+                    fr.dump_to(path, &meta, "audit-violation")?;
+                    println!(
+                        "[flight] audit violation: ring dumped -> {}",
+                        path.display()
+                    );
+                }
+            }
+        }
+
+        // Live exporter: re-render and swap the snapshot once per
+        // tumbling window (never per tick, never on the scraper's clock).
+        if let Some(publisher) = live {
+            let windows = out.recorder.windows().len();
+            if windows != published_windows {
+                published_windows = windows;
+                publisher.publish(render_snapshot(
+                    &out.recorder,
+                    attrib.as_ref(),
+                    stack.shard_snapshot().as_ref(),
+                    flight.as_ref(),
+                    &meta,
+                    (tick + 1) as u64,
+                    report.time,
+                    started.elapsed(),
+                ));
+            }
+        }
     }
 
     let profile = profiler.report();
     let recorder = std::mem::replace(&mut out.recorder, WindowedRecorder::new(config.window));
     out.finish(&profile)?;
+
+    // A run that never tripped the audit still leaves a black box behind.
+    if let (Some(fr), Some(path), false) = (flight.as_ref(), &config.flight_out, trigger.fired()) {
+        fr.dump_to(path, &meta, "end-of-run")?;
+    }
+    if let Some(publisher) = live {
+        publisher.publish(render_snapshot(
+            &recorder,
+            attrib.as_ref(),
+            stack.shard_snapshot().as_ref(),
+            flight.as_ref(),
+            &meta,
+            ticks as u64,
+            duration,
+            started.elapsed(),
+        ));
+    }
     let attribution = attrib.map(|mut st| {
         for (class, kind) in [
             (MsgClass::Hello, MessageKind::Hello),
@@ -306,7 +428,32 @@ pub fn trace_run_chaos(
         profile,
         attribution,
         shard,
+        flight,
     })
+}
+
+/// Renders one [`TelemetrySnapshot`] for the live exporter: the same
+/// Prometheus text `--metrics-out` writes at end of run, plus tick
+/// progress for `/health` and the flight ring for `/flight`.
+#[allow(clippy::too_many_arguments)]
+fn render_snapshot(
+    recorder: &WindowedRecorder,
+    attrib: Option<&AttribState>,
+    shard: Option<&ShardSnapshot>,
+    flight: Option<&FlightRecorder>,
+    meta: &TraceMeta,
+    tick: u64,
+    sim_time: f64,
+    elapsed: Duration,
+) -> TelemetrySnapshot {
+    TelemetrySnapshot {
+        metrics: prometheus_text_with_shards(recorder, attrib.map(|st| &st.ledger), shard),
+        tick,
+        sim_time,
+        ticks_per_sec: tick as f64 / elapsed.as_secs_f64().max(1e-9),
+        audit_violations: attrib.map_or(0, |st| st.audit.violation_count()),
+        flight: flight.map_or_else(String::new, |fr| fr.dump_string(meta, "live")),
+    }
 }
 
 /// Renders the human summary of a trace: meta, warmup estimate,
@@ -609,6 +756,118 @@ pub fn metrics_out_from_args() -> Option<PathBuf> {
     path_flag_from_args("metrics-out")
 }
 
+/// Extracts `--serve-metrics <addr>` (e.g. `127.0.0.1:9184`; port 0 binds
+/// an ephemeral port) from the process arguments.
+pub fn serve_metrics_from_args() -> Option<String> {
+    path_flag_from_args("serve-metrics").map(|p| p.to_string_lossy().into_owned())
+}
+
+/// Extracts `--serve-hold <secs>`: how long to keep serving after the
+/// run finishes (ended early by `GET /quit`). Defaults to 0.
+pub fn serve_hold_from_args() -> f64 {
+    path_flag_from_args("serve-hold")
+        .map(|p| {
+            let raw = p.to_string_lossy();
+            raw.parse::<f64>()
+                .unwrap_or_else(|e| panic!("--serve-hold {raw}: {e} (expected seconds)"))
+        })
+        .unwrap_or(0.0)
+}
+
+/// Extracts `--flight <K>` (flight-recorder ring capacity) from the
+/// process arguments.
+pub fn flight_from_args() -> Option<usize> {
+    path_flag_from_args("flight").map(|p| {
+        let raw = p.to_string_lossy();
+        raw.parse::<usize>()
+            .unwrap_or_else(|e| panic!("--flight {raw}: {e} (expected a ring capacity)"))
+    })
+}
+
+/// Extracts `--flight-out <path>` (flight-dump JSONL path) from the
+/// process arguments.
+pub fn flight_out_from_args() -> Option<PathBuf> {
+    path_flag_from_args("flight-out")
+}
+
+/// The process-wide live publisher, set once by [`init_serve_from_args`]
+/// when `--serve-metrics` is present. Traced runs poll this and publish
+/// a snapshot per tumbling window; without it (the default, and always
+/// in unit tests) publication is skipped entirely.
+static LIVE_PUBLISHER: OnceLock<Publisher> = OnceLock::new();
+
+/// The live publisher installed by [`init_serve_from_args`], if any.
+pub fn live_publisher() -> Option<&'static Publisher> {
+    LIVE_PUBLISHER.get()
+}
+
+/// Installs `publisher` process-wide (what [`init_serve_from_args`] does
+/// under `--serve-metrics`); returns `false` when one is already
+/// installed. Exposed for integration tests that bind their own
+/// [`MetricsServer`] without going through the CLI flags.
+pub fn install_live_publisher(publisher: Publisher) -> bool {
+    LIVE_PUBLISHER.set(publisher).is_ok()
+}
+
+/// Keeps the metrics endpoint alive until end of `main`. On drop, honors
+/// `--serve-hold <secs>` (serving the final snapshot until `GET /quit`
+/// or the timeout), then shuts the listener down and joins its thread.
+#[derive(Debug)]
+pub struct ServeGuard {
+    server: Option<MetricsServer>,
+    hold: Duration,
+}
+
+impl Drop for ServeGuard {
+    fn drop(&mut self) {
+        let Some(mut server) = self.server.take() else {
+            return;
+        };
+        if !self.hold.is_zero() && !server.quit_requested() {
+            println!(
+                "[serve] holding http://{} for {:.0}s (GET /quit to end)",
+                server.local_addr(),
+                self.hold.as_secs_f64()
+            );
+            server.wait_for_quit(self.hold);
+        }
+        server.shutdown();
+    }
+}
+
+/// One-call experiment-binary hook for the live exporter: when the
+/// process was invoked with `--serve-metrics <addr>`, binds the endpoint,
+/// prints the bound address, and installs the process-wide publisher so
+/// every traced run in this process streams its windows there. Without
+/// the flag (or on a second call) this is a no-op returning an inert
+/// guard. Keep the guard alive until end of `main`.
+pub fn init_serve_from_args() -> ServeGuard {
+    let hold = Duration::from_secs_f64(serve_hold_from_args().max(0.0));
+    let Some(addr) = serve_metrics_from_args() else {
+        return ServeGuard { server: None, hold };
+    };
+    if LIVE_PUBLISHER.get().is_some() {
+        return ServeGuard { server: None, hold };
+    }
+    match MetricsServer::serve(addr.as_str()) {
+        Ok(server) => {
+            println!(
+                "[serve] listening on http://{} (endpoints: /metrics /health /flight /quit)",
+                server.local_addr()
+            );
+            let _ = LIVE_PUBLISHER.set(server.publisher());
+            ServeGuard {
+                server: Some(server),
+                hold,
+            }
+        }
+        Err(e) => {
+            println!("[serve] failed to bind {addr}: {e}");
+            ServeGuard { server: None, hold }
+        }
+    }
+}
+
 /// Experiment-binary hook: when the process was invoked with
 /// `--trace-out <path>`, run a traced twin of `scenario` under `protocol`,
 /// write the JSONL trace to that path, and print the summary. Without the
@@ -618,9 +877,21 @@ pub fn metrics_out_from_args() -> Option<PathBuf> {
 pub fn maybe_trace(label: &str, scenario: &Scenario, protocol: &Protocol) {
     let trace_out = trace_out_from_args();
     let metrics_out = metrics_out_from_args();
-    if trace_out.is_none() && metrics_out.is_none() {
+    let serve = serve_metrics_from_args();
+    let flight = flight_from_args();
+    let flight_out = flight_out_from_args();
+    if trace_out.is_none()
+        && metrics_out.is_none()
+        && serve.is_none()
+        && flight.is_none()
+        && flight_out.is_none()
+    {
         return;
     }
+    // Binaries that already installed the endpoint get an inert guard;
+    // the rest (the ~20 `maybe_trace`-only bins) get it bound here, so
+    // `--serve-metrics` works uniformly across the fleet.
+    let _serve = init_serve_from_args();
     let shards = shards_from_args();
     let mut config = match trace_out {
         Some(path) => {
@@ -635,6 +906,13 @@ pub fn maybe_trace(label: &str, scenario: &Scenario, protocol: &Protocol) {
     if let Some(path) = metrics_out {
         println!("[trace] metrics snapshot -> {}", path.display());
         config = config.with_metrics_out(path);
+    }
+    if let Some(k) = flight {
+        config = config.with_flight(k);
+    }
+    if let Some(path) = flight_out {
+        println!("[trace] flight dump -> {}", path.display());
+        config = config.with_flight_out(path);
     }
     match trace_run_sharded(scenario, protocol, &config, shards) {
         Ok(run) => {
@@ -701,11 +979,14 @@ mod tests {
             );
             assert!(run.counters.messages(kind) > 0, "{} traffic", class.name());
         }
-        // Profiled every tick, all five phases.
+        // Profiled every tick: the five top-level phases partition it.
         let ticks = ((protocol.warmup + protocol.measure) / protocol.dt).round() as u64;
-        for phase in Phase::ALL {
+        for phase in Phase::TICK {
             assert_eq!(run.profile.get(phase).map(|s| s.count), Some(ticks));
         }
+        // The shard sub-phases only appear on the sharded path.
+        assert_eq!(run.profile.get(Phase::ShardFlush), None);
+        assert_eq!(run.profile.get(Phase::ShardMerge), None);
         let text = report_text(Some(&run.meta), &run.recorder, Some(&run.profile));
         assert!(text.contains("steady-state rates"));
         assert!(text.contains("tick-phase profile"));
@@ -716,6 +997,11 @@ mod tests {
         assert_eq!(trace_out_from_args(), None);
         assert_eq!(metrics_out_from_args(), None);
         assert_eq!(shards_from_args(), None);
+        assert_eq!(serve_metrics_from_args(), None);
+        assert_eq!(flight_from_args(), None);
+        assert_eq!(flight_out_from_args(), None);
+        assert_eq!(serve_hold_from_args(), 0.0);
+        assert!(live_publisher().is_none());
         // And therefore maybe_trace is a no-op.
         let (scenario, protocol) = quick();
         maybe_trace("noop", &scenario, &protocol);

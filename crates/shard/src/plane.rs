@@ -48,7 +48,7 @@ use crate::grid::FrameGrid;
 use crate::interconnect::{Interconnect, InterconnectConfig};
 use manet_geom::{Metric, ShardDims, ShardLayout, ShardLayoutError, SquareRegion, Vec2};
 use manet_sim::{FaultError, NodeId, Topology, TopologyBuilder, World};
-use manet_telemetry::{Probe, ShardGaugeRow, ShardSnapshot};
+use manet_telemetry::{Phase, Probe, ShardGaugeRow, ShardSnapshot};
 
 /// Owner shard of a node not yet assigned (before its first tick).
 const UNASSIGNED: u16 = u16::MAX;
@@ -493,7 +493,9 @@ impl TopologyBuilder for ShardPlane {
             region == self.region && radius == self.radius && metric == self.metric,
             "world geometry changed under the shard plane"
         );
+        let t0 = probe.phase_start();
         self.exchange(positions, probe, now);
+        probe.phase_end(Phase::ShardFlush, t0);
 
         // Phase 2: per-shard neighbor rows. Shards are mutually
         // independent, so the worker split affects wall-clock only.
@@ -518,6 +520,7 @@ impl TopologyBuilder for ShardPlane {
         // Phase 3: deterministic merge in shard-index order. Swapping
         // rows (rather than copying) circulates capacities between the
         // shard buffers and the world's double-buffered topology.
+        let t0 = probe.phase_start();
         let rows = out.rows_mut(positions.len());
         for s in &mut self.shards {
             for (k, &id) in s.ids[..s.owned].iter().enumerate() {
@@ -539,6 +542,7 @@ impl TopologyBuilder for ShardPlane {
                 rows[u] = row;
             }
         }
+        probe.phase_end(Phase::ShardMerge, t0);
     }
 }
 

@@ -268,6 +268,13 @@ impl AuditMonitor {
         self.msgs[class.index()]
     }
 
+    /// Violations recorded so far — readable mid-run, unlike
+    /// [`AuditMonitor::finish`]. The flight-recorder trigger polls this
+    /// each tick to dump the event ring on the first violation.
+    pub fn violation_count(&self) -> u64 {
+        self.violations.len() as u64
+    }
+
     /// Checks the trace's `MsgSent` total for `class` against the run's
     /// counter value; records a [`AuditViolation::CounterMismatch`] and
     /// returns `false` on disagreement.

@@ -19,6 +19,25 @@ fn header(out: &mut String, name: &str, help: &str, kind: &str) {
     let _ = writeln!(out, "# TYPE {name} {kind}");
 }
 
+/// Escapes a label value per the text-exposition grammar: backslash,
+/// double quote, and newline must be backslash-escaped inside the quoted
+/// value. Today's label values are all static identifiers, but every
+/// interpolation site routes through here so a future free-form label
+/// (run labels, file paths) cannot corrupt the format — pinned by the
+/// conformance test.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
 /// Per-shard totals for the exporter. The telemetry crate sits below
 /// `manet-shard` in the dependency graph, so the shard plane fills this
 /// neutral mirror of its `ShardStats` rather than handing us the struct.
@@ -79,7 +98,7 @@ pub fn prometheus_text_with_shards(
         let _ = writeln!(
             out,
             "manet_msgs_total{{class=\"{}\"}} {}",
-            class.name(),
+            escape_label_value(class.name()),
             recorder.total_msgs(class)
         );
     }
@@ -94,7 +113,7 @@ pub fn prometheus_text_with_shards(
         let _ = writeln!(
             out,
             "manet_msgs_lost_total{{class=\"{}\"}} {}",
-            class.name(),
+            escape_label_value(class.name()),
             recorder.total_lost(class)
         );
     }
@@ -287,7 +306,7 @@ pub fn prometheus_text_with_shards(
             let _ = writeln!(
                 out,
                 "manet_cause_events_total{{root=\"{}\"}} {}",
-                root.name(),
+                escape_label_value(root.name()),
                 ledger.root_weight_total(root)
             );
         }
@@ -305,8 +324,8 @@ pub fn prometheus_text_with_shards(
                     let _ = writeln!(
                         out,
                         "manet_cause_msgs_total{{root=\"{}\",class=\"{}\"}} {msgs}",
-                        root.name(),
-                        class.name()
+                        escape_label_value(root.name()),
+                        escape_label_value(class.name())
                     );
                 }
             }
@@ -325,8 +344,8 @@ pub fn prometheus_text_with_shards(
                         let _ = writeln!(
                             out,
                             "manet_cause_unit_cost{{root=\"{}\",class=\"{}\"}} {cost}",
-                            root.name(),
-                            class.name()
+                            escape_label_value(root.name()),
+                            escape_label_value(class.name())
                         );
                     }
                 }
@@ -471,5 +490,130 @@ mod tests {
             assert!(!name.is_empty());
             assert!(value.parse::<f64>().is_ok(), "{line}");
         }
+    }
+
+    /// Whether `name` matches the metric-name grammar
+    /// `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+    fn valid_metric_name(name: &str) -> bool {
+        let mut chars = name.chars();
+        let Some(first) = chars.next() else {
+            return false;
+        };
+        (first.is_ascii_alphabetic() || first == '_' || first == ':')
+            && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    }
+
+    /// Full text-format conformance pass over a maximal snapshot (with
+    /// ledger and shards): every sample's metric name must have been declared by
+    /// an immediately preceding `# HELP`/`# TYPE` pair, names must match
+    /// the grammar, and label values must parse as escaped quoted
+    /// strings. Pins the format before an external scraper depends on
+    /// the live `/metrics` endpoint.
+    #[test]
+    fn exposition_format_conformance() {
+        let mut rec = WindowedRecorder::new(5.0);
+        let mut ledger = AttributionLedger::new();
+        let gen = Cause {
+            id: CauseId(0),
+            root: RootCause::LinkGen,
+        };
+        for e in [
+            Event {
+                time: 1.0,
+                layer: Layer::Sim,
+                kind: EventKind::MsgSent {
+                    class: MsgClass::Hello,
+                    count: 3,
+                },
+                cause: Some(gen),
+            },
+            Event {
+                time: 2.0,
+                layer: Layer::Sim,
+                kind: EventKind::ClusterGauge { heads: 4 },
+                cause: None,
+            },
+        ] {
+            rec.absorb(&e);
+            ledger.absorb(&e);
+        }
+        let snap = ShardSnapshot {
+            shards: vec![ShardGaugeRow {
+                shard: 0,
+                owned: 10,
+                ghosts: 2,
+                migrations_in: 0,
+                migrations_out: 0,
+                boundary_links: 3,
+            }],
+            links_up: 4,
+            links_degraded: 0,
+            links_down: 0,
+            max_ghost_staleness: 1,
+        };
+        let text = prometheus_text_with_shards(&rec, Some(&ledger), Some(&snap));
+
+        let mut declared: Vec<(String, bool)> = Vec::new(); // (name, has_type)
+        for line in text.lines() {
+            assert!(!line.trim().is_empty(), "no blank lines in exposition");
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let name = rest.split(' ').next().unwrap().to_string();
+                assert!(valid_metric_name(&name), "{name}");
+                declared.push((name, false));
+            } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut parts = rest.split(' ');
+                let name = parts.next().unwrap();
+                let kind = parts.next().unwrap();
+                let last = declared.last_mut().expect("TYPE after HELP");
+                assert_eq!(last.0, name, "TYPE names the metric its HELP declared");
+                assert!(["counter", "gauge"].contains(&kind), "{kind}");
+                last.1 = true;
+            } else {
+                // A sample: name[{labels}] value
+                let (series, value) = line.rsplit_once(' ').expect("sample shape: {line}");
+                assert!(value.parse::<f64>().is_ok(), "{line}");
+                let name = series.split('{').next().unwrap();
+                assert!(valid_metric_name(name), "{name}");
+                let (declared_name, has_type) =
+                    declared.last().expect("samples follow a header pair");
+                assert_eq!(declared_name, name, "sample under its own header block");
+                assert!(has_type, "HELP without TYPE before {line}");
+                if let Some(labels) = series
+                    .strip_prefix(name)
+                    .and_then(|l| l.strip_prefix('{'))
+                    .and_then(|l| l.strip_suffix('}'))
+                {
+                    for pair in labels.split(',') {
+                        let (key, quoted) = pair.split_once('=').expect("label pair: {pair}");
+                        assert!(valid_metric_name(key), "{key}");
+                        let inner = quoted
+                            .strip_prefix('"')
+                            .and_then(|q| q.strip_suffix('"'))
+                            .expect("quoted label value");
+                        // Raw quotes/backslashes/newlines must be escaped.
+                        let mut chars = inner.chars();
+                        while let Some(c) = chars.next() {
+                            assert!(c != '"' && c != '\n', "unescaped {c:?} in {line}");
+                            if c == '\\' {
+                                let next = chars.next().expect("dangling escape");
+                                assert!(
+                                    ['\\', '"', 'n'].contains(&next),
+                                    "bad escape \\{next} in {line}"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value("a\"b"), "a\\\"b");
+        assert_eq!(escape_label_value("a\\b"), "a\\\\b");
+        assert_eq!(escape_label_value("a\nb"), "a\\nb");
+        assert_eq!(escape_label_value("run\\ \"7\"\n"), "run\\\\ \\\"7\\\"\\n");
     }
 }

@@ -1,0 +1,296 @@
+//! Fixed-capacity streaming histograms for wall-clock latencies.
+//!
+//! [`Histogram`] is the telemetry plane's answer to "keep a latency
+//! distribution forever without growing": 64 log2-spaced buckets plus
+//! exact count / sum / min / max, all inline in the struct — recording is
+//! O(1), allocation-free, and the memory footprint is a compile-time
+//! constant regardless of how many samples arrive. That makes it safe for
+//! the long-running server path where the old per-sample `Vec`s inside
+//! the profiler were an unbounded leak.
+//!
+//! Quantiles are approximate: a query returns the upper edge of the
+//! bucket holding the nearest-rank sample, clamped to the observed
+//! `[min, max]` range. Because buckets are powers of two, the answer is
+//! always within one log2 bucket of the exact order statistic (at most
+//! 2× the true value, never below it) — pinned by a regression test in
+//! `profiler.rs` against the exact nearest-rank reference.
+
+/// Number of log2 buckets (compile-time capacity of a [`Histogram`]).
+pub const HIST_BUCKETS: usize = 64;
+
+/// Binary exponent covered by the first regular bucket: bucket 1 spans
+/// `[2^MIN_EXP, 2^(MIN_EXP+1))` seconds. With 62 regular buckets the
+/// histogram resolves ~9e-13 s .. ~4.4e6 s; bucket 0 catches underflow
+/// (zero, negatives, subnormals) and bucket 63 catches overflow.
+const MIN_EXP: i64 = -40;
+
+/// A zero-alloc streaming histogram over non-negative `f64` samples
+/// (seconds), with exact count/sum/min/max and log2-bucketed quantiles.
+///
+/// The struct is plain data: `record` touches no heap, `merge` adds two
+/// histograms bucket-wise, and `size_of::<Histogram>()` bounds the memory
+/// per tracked distribution forever.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Histogram {
+    counts: [u64; HIST_BUCKETS],
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Bucket index for a sample: 0 for anything not strictly positive
+    /// and normal (zero, negative, subnormal), 63 for overflow, else the
+    /// sample's binary exponent shifted into range.
+    fn bucket(v: f64) -> usize {
+        if v.is_nan() || v <= 0.0 {
+            return 0;
+        }
+        let e = ((v.to_bits() >> 52) & 0x7ff) as i64;
+        if e == 0 {
+            return 0; // subnormal: below every regular bucket
+        }
+        (e - 1023 - MIN_EXP + 1).clamp(0, HIST_BUCKETS as i64 - 1) as usize
+    }
+
+    /// Upper edge of bucket `b` in seconds (`2^(b + MIN_EXP)`).
+    fn upper_edge(b: usize) -> f64 {
+        f64::exp2((b as i64 + MIN_EXP) as f64)
+    }
+
+    /// Records one sample. O(1), allocation-free.
+    #[inline]
+    pub fn record(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+        self.counts[Self::bucket(v)] += 1;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of all samples (exact).
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest sample (exact); `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample (exact); `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Arithmetic mean (exact); `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.sum / self.count as f64)
+    }
+
+    /// Nearest-rank quantile, approximated to the containing log2
+    /// bucket's upper edge and clamped to the observed `[min, max]`.
+    /// `None` when empty; `q` is clamped to `[0, 1]`.
+    ///
+    /// The result never undershoots the exact nearest-rank value and
+    /// overshoots by at most one bucket (a factor of 2).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        // The extreme order statistics are tracked exactly — no need to
+        // approximate them from the buckets.
+        if rank == 1 {
+            return Some(self.min);
+        }
+        if rank == self.count {
+            return Some(self.max);
+        }
+        let mut cum = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                // Bucket 0 has no meaningful edge; report the exact min.
+                let edge = if b == 0 {
+                    self.min
+                } else {
+                    Self::upper_edge(b)
+                };
+                return Some(edge.clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Median (see [`Histogram::quantile`]).
+    pub fn p50(&self) -> Option<f64> {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> Option<f64> {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> Option<f64> {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile.
+    pub fn p999(&self) -> Option<f64> {
+        self.quantile(0.999)
+    }
+
+    /// Folds `other` into `self` (bucket-wise addition; min/max/sum/count
+    /// combine exactly). Merging then querying equals querying a
+    /// histogram that recorded both sample streams.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.min < self.min {
+            self.min = other.min;
+        }
+        if other.max > self.max {
+            self.max = other.max;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exact nearest-rank quantile over raw samples, the reference the
+    /// bucketed answer is compared against.
+    fn exact_quantile(samples: &[f64], q: f64) -> f64 {
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    #[test]
+    fn exact_statistics_match_the_sample_stream() {
+        let mut h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), None);
+        for v in [3e-6, 1e-6, 2e-6, 8e-6] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.min(), Some(1e-6));
+        assert_eq!(h.max(), Some(8e-6));
+        assert!((h.sum() - 14e-6).abs() < 1e-18);
+        assert!((h.mean().unwrap() - 3.5e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn quantiles_stay_within_one_log2_bucket_of_exact() {
+        // A skewed latency-like distribution spanning several decades.
+        let samples: Vec<f64> = (1..=1000).map(|i| 1e-6 * (i as f64).powf(1.7)).collect();
+        let mut h = Histogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let exact = exact_quantile(&samples, q);
+            let approx = h.quantile(q).unwrap();
+            assert!(
+                approx >= exact && approx <= exact * 2.0,
+                "q={q}: approx {approx} vs exact {exact}"
+            );
+        }
+        // Extremes are exact, not bucketed.
+        assert_eq!(h.quantile(0.0), Some(samples[0]));
+        assert_eq!(h.quantile(1.0).unwrap(), *samples.last().unwrap());
+    }
+
+    #[test]
+    fn degenerate_and_out_of_range_samples_land_safely() {
+        let mut h = Histogram::new();
+        h.record(0.0);
+        h.record(-1.0); // clock went backwards: underflow bucket
+        h.record(f64::MIN_POSITIVE / 2.0); // subnormal
+        h.record(1e9); // beyond the top regular bucket
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.min(), Some(-1.0));
+        assert_eq!(h.max(), Some(1e9));
+        // Quantiles stay inside the observed range even for the
+        // overflow/underflow buckets.
+        let p = h.quantile(0.999).unwrap();
+        assert!((-1.0..=1e9).contains(&p));
+    }
+
+    #[test]
+    fn merge_equals_recording_both_streams() {
+        let (a_samples, b_samples): (Vec<f64>, Vec<f64>) = (
+            (1..=50).map(|i| 1e-5 * i as f64).collect(),
+            (1..=80).map(|i| 3e-4 * i as f64).collect(),
+        );
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut both = Histogram::new();
+        for &v in &a_samples {
+            a.record(v);
+            both.record(v);
+        }
+        for &v in &b_samples {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+        assert_eq!(a.count(), 130);
+    }
+
+    #[test]
+    fn footprint_is_a_compile_time_constant() {
+        // The O(1)-memory contract: the struct holds no heap data, so its
+        // size bounds the cost per tracked distribution forever.
+        let mut h = Histogram::new();
+        let size = std::mem::size_of_val(&h);
+        for i in 0..100_000 {
+            h.record(1e-6 * (i % 977) as f64);
+        }
+        assert_eq!(std::mem::size_of_val(&h), size);
+        assert_eq!(h.count(), 100_000);
+        assert_eq!(size, std::mem::size_of::<Histogram>());
+    }
+}

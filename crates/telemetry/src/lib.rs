@@ -20,9 +20,14 @@
 //!   over sim time yielding per-class rate series, cluster-count and
 //!   head-change series, link-churn series, and warmup detection (first
 //!   window within tolerance of the steady-state rate).
+//! * [`hist`] — fixed-capacity, zero-alloc, log2-bucketed streaming
+//!   [`Histogram`]s (record / merge / p50–p999 quantiles) whose memory
+//!   footprint is a compile-time constant — the storage behind the
+//!   profiler and safe for unbounded-length server runs.
 //! * [`profiler`] — a tick-phase wall-clock [`PhaseProfiler`] (mobility /
-//!   topology / HELLO / cluster / routing) with per-phase min / mean /
-//!   p99 / max summaries.
+//!   topology / shard flush + merge / HELLO / cluster / routing) backed
+//!   by streaming histograms, with per-phase min / mean / p99 / max
+//!   summaries.
 //! * [`sink`] — JSONL persistence ([`JsonlSink`], [`read_trace`]) and the
 //!   [`TraceOut`] fan-out used by traced harness runs.
 //! * [`cause`] — the root-cause taxonomy ([`RootCause`], [`CauseId`]) and
@@ -38,6 +43,15 @@
 //!   structured [`AuditViolation`]s instead of panics.
 //! * [`export`] — a Prometheus text-exposition snapshot exporter
 //!   ([`prometheus_text`]) over recorder totals and the ledger.
+//! * [`serve`] — the live exporter: a zero-dependency HTTP
+//!   [`MetricsServer`] on `std::net::TcpListener` serving `/metrics`,
+//!   `/health`, and `/flight` from [`TelemetrySnapshot`]s the tick loop
+//!   publishes once per tumbling window via an `Arc` swap — scrapers can
+//!   never block the hot path.
+//! * [`flight`] — the [`FlightRecorder`]: a bounded ring over the live
+//!   event stream, dumped as replayable JSONL (same codec as [`sink`])
+//!   when an audit violation fires — chaos post-mortems without paying
+//!   for full tracing.
 //!
 //! The crate depends only on `manet-util` (for the in-house JSON layer),
 //! keeping the workspace hermetic, and sits *below* the simulator in the
@@ -52,7 +66,10 @@ pub mod audit;
 pub mod cause;
 pub mod event;
 pub mod export;
+pub mod flight;
+pub mod hist;
 pub mod profiler;
+pub mod serve;
 pub mod sink;
 pub mod window;
 
@@ -60,7 +77,12 @@ pub use attribution::{is_root_anchor, root_weight, AttributionLedger, ChainEntry
 pub use audit::{AuditConfig, AuditMonitor, AuditReport, AuditSample, AuditViolation};
 pub use cause::{Cause, CauseId, CauseTracker, RootCause};
 pub use event::{Event, EventKind, Layer, MsgClass, NodeId, NoopSubscriber, Probe, Subscriber};
-pub use export::{prometheus_text, prometheus_text_with_shards, ShardGaugeRow, ShardSnapshot};
+pub use export::{
+    escape_label_value, prometheus_text, prometheus_text_with_shards, ShardGaugeRow, ShardSnapshot,
+};
+pub use flight::{FlightRecorder, FlightTrigger};
+pub use hist::{Histogram, HIST_BUCKETS};
 pub use profiler::{Phase, PhaseProfiler, PhaseSummary, ProfileReport};
+pub use serve::{MetricsServer, Publisher, TelemetrySnapshot};
 pub use sink::{read_trace, JsonlSink, Trace, TraceMeta, TraceOut};
 pub use window::{WindowStats, WindowedRecorder};

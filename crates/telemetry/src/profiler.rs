@@ -1,12 +1,20 @@
 //! Tick-phase wall-clock profiler.
 //!
 //! Each simulation tick decomposes into phases (mobility integration,
-//! topology rebuild, HELLO exchange, cluster maintenance, route update);
-//! the profiler accumulates one wall-clock sample per phase per tick and
-//! summarizes min / mean / p99 / max at run end. Samples are wall-clock
-//! seconds — profiling is about *where the host CPU goes*, orthogonal to
-//! simulated time.
+//! topology rebuild, HELLO exchange, cluster maintenance, route update;
+//! sharded runs also time the shard plane's interconnect flush and merge
+//! stages); the profiler accumulates one wall-clock sample per phase per
+//! tick and summarizes min / mean / p99 / max at run end. Samples are
+//! wall-clock seconds — profiling is about *where the host CPU goes*,
+//! orthogonal to simulated time.
+//!
+//! Storage is a fixed-size streaming [`Histogram`] per phase, so the
+//! profiler's memory is O(1) no matter how long the run is — count, sum,
+//! min, and max stay exact; only p99 is approximated to one log2 bucket
+//! (never below the exact order statistic, at most 2× it — pinned by the
+//! regression test below against the exact nearest-rank reference).
 
+use crate::hist::Histogram;
 use manet_util::table::{fmt_sig, Table};
 
 /// A timed tick phase.
@@ -16,6 +24,13 @@ pub enum Phase {
     Mobility,
     /// Geometric topology rebuild + link diffing.
     Topology,
+    /// Shard-plane owner/ghost exchange through the interconnect — a
+    /// sub-phase of `Topology` (its time is included in `Topology`'s),
+    /// recorded only on sharded runs.
+    ShardFlush,
+    /// Shard-plane merge + reconciliation sweep — a sub-phase of
+    /// `Topology`, recorded only on sharded runs.
+    ShardMerge,
     /// HELLO beacon exchange and neighbor-table upkeep.
     Hello,
     /// Cluster maintenance (including repair under faults).
@@ -25,8 +40,22 @@ pub enum Phase {
 }
 
 impl Phase {
-    /// All phases, in tick execution order.
-    pub const ALL: [Phase; 5] = [
+    /// All phases, in tick execution order (the shard sub-phases nest
+    /// inside `Topology` and appear right after it).
+    pub const ALL: [Phase; 7] = [
+        Phase::Mobility,
+        Phase::Topology,
+        Phase::ShardFlush,
+        Phase::ShardMerge,
+        Phase::Hello,
+        Phase::Cluster,
+        Phase::Routing,
+    ];
+
+    /// The five top-level phases every tick runs (no shard sub-phases):
+    /// these partition the tick, so their totals sum to the tick wall
+    /// time without double counting.
+    pub const TICK: [Phase; 5] = [
         Phase::Mobility,
         Phase::Topology,
         Phase::Hello,
@@ -39,9 +68,11 @@ impl Phase {
         match self {
             Phase::Mobility => 0,
             Phase::Topology => 1,
-            Phase::Hello => 2,
-            Phase::Cluster => 3,
-            Phase::Routing => 4,
+            Phase::ShardFlush => 2,
+            Phase::ShardMerge => 3,
+            Phase::Hello => 4,
+            Phase::Cluster => 5,
+            Phase::Routing => 6,
         }
     }
 
@@ -50,6 +81,8 @@ impl Phase {
         match self {
             Phase::Mobility => "mobility",
             Phase::Topology => "topology",
+            Phase::ShardFlush => "shard_flush",
+            Phase::ShardMerge => "shard_merge",
             Phase::Hello => "hello",
             Phase::Cluster => "cluster",
             Phase::Routing => "routing",
@@ -64,12 +97,14 @@ impl Phase {
 
 /// Accumulates per-phase wall-clock samples (seconds).
 ///
-/// Samples are kept in full so the report can compute exact order
-/// statistics; at one sample per phase per tick this is a few hundred
-/// kilobytes for even very long runs.
+/// Each phase is a fixed-capacity streaming [`Histogram`]: recording is
+/// O(1) and allocation-free, and the profiler's footprint is a
+/// compile-time constant regardless of run length — safe to leave
+/// attached to a long-running server (the previous per-sample `Vec`s
+/// grew without bound).
 #[derive(Debug, Clone, Default)]
 pub struct PhaseProfiler {
-    samples: [Vec<f64>; 5],
+    hists: [Histogram; 7],
 }
 
 impl PhaseProfiler {
@@ -78,22 +113,37 @@ impl PhaseProfiler {
         PhaseProfiler::default()
     }
 
-    /// Records one wall-clock sample (seconds) for `phase`.
+    /// Records one wall-clock sample (seconds) for `phase`. O(1),
+    /// allocation-free.
+    #[inline]
     pub fn record(&mut self, phase: Phase, secs: f64) {
-        self.samples[phase.index()].push(secs);
+        self.hists[phase.index()].record(secs);
     }
 
     /// Number of samples recorded for `phase`.
     pub fn count(&self, phase: Phase) -> usize {
-        self.samples[phase.index()].len()
+        self.hists[phase.index()].count() as usize
+    }
+
+    /// The streaming histogram behind `phase` (for quantiles beyond the
+    /// summary's p99).
+    pub fn histogram(&self, phase: Phase) -> &Histogram {
+        &self.hists[phase.index()]
+    }
+
+    /// Folds another profiler's samples into this one (bucket-wise; see
+    /// [`Histogram::merge`]).
+    pub fn merge(&mut self, other: &PhaseProfiler) {
+        for (a, b) in self.hists.iter_mut().zip(other.hists.iter()) {
+            a.merge(b);
+        }
     }
 
     /// Summarizes all phases that received at least one sample.
     pub fn report(&self) -> ProfileReport {
         let mut phases = Vec::new();
         for phase in Phase::ALL {
-            let samples = &self.samples[phase.index()];
-            if let Some(summary) = PhaseSummary::from_samples(samples) {
+            if let Some(summary) = PhaseSummary::from_histogram(&self.hists[phase.index()]) {
                 phases.push((phase, summary));
             }
         }
@@ -112,14 +162,17 @@ pub struct PhaseSummary {
     pub min: f64,
     /// Arithmetic mean, seconds.
     pub mean: f64,
-    /// 99th percentile (nearest-rank), seconds.
+    /// 99th percentile (nearest-rank), seconds. From a histogram this is
+    /// bucketed: within one log2 bucket above the exact value.
     pub p99: f64,
     /// Slowest sample, seconds.
     pub max: f64,
 }
 
 impl PhaseSummary {
-    /// Summarizes a sample set; `None` when empty.
+    /// Summarizes a raw sample set exactly; `None` when empty. This is
+    /// the exact nearest-rank reference the histogram-backed path is
+    /// tested against.
     pub fn from_samples(samples: &[f64]) -> Option<PhaseSummary> {
         if samples.is_empty() {
             return None;
@@ -137,6 +190,19 @@ impl PhaseSummary {
             mean: total / n as f64,
             p99: sorted[rank - 1],
             max: sorted[n - 1],
+        })
+    }
+
+    /// Summarizes a streaming histogram; `None` when empty. Everything
+    /// except `p99` is exact.
+    pub fn from_histogram(hist: &Histogram) -> Option<PhaseSummary> {
+        Some(PhaseSummary {
+            count: hist.count(),
+            total: hist.sum(),
+            min: hist.min()?,
+            mean: hist.mean()?,
+            p99: hist.p99()?,
+            max: hist.max()?,
         })
     }
 }
@@ -162,9 +228,15 @@ impl ProfileReport {
             .map(|(_, s)| s)
     }
 
-    /// Total wall-clock seconds across all phases.
+    /// Total wall-clock seconds across the top-level tick phases (the
+    /// shard sub-phases nest inside `Topology` and are excluded so the
+    /// total is not double-counted).
     pub fn total_secs(&self) -> f64 {
-        self.phases.iter().map(|(_, s)| s.total).sum()
+        self.phases
+            .iter()
+            .filter(|(p, _)| Phase::TICK.contains(p))
+            .map(|(_, s)| s.total)
+            .sum()
     }
 
     /// Renders the per-phase timing table (microseconds).
@@ -207,11 +279,69 @@ mod tests {
     #[test]
     fn summary_edge_cases() {
         assert_eq!(PhaseSummary::from_samples(&[]), None);
+        assert_eq!(PhaseSummary::from_histogram(&Histogram::new()), None);
         let single = PhaseSummary::from_samples(&[0.25]).unwrap();
         assert_eq!(single.count, 1);
         assert_eq!(single.min, 0.25);
         assert_eq!(single.p99, 0.25);
         assert_eq!(single.max, 0.25);
+    }
+
+    /// The histogram-backed profiler keeps count/total/min/mean/max exact
+    /// and its p99 within one log2 bucket of the exact nearest-rank value
+    /// computed from the raw samples.
+    #[test]
+    fn histogram_summary_tracks_exact_reference_within_one_bucket() {
+        // Latency-like heavy tail across several decades of seconds.
+        let samples: Vec<f64> = (1..=500)
+            .map(|i| 2e-6 + 1e-7 * (i as f64).powf(2.1))
+            .collect();
+        let exact = PhaseSummary::from_samples(&samples).unwrap();
+        let mut prof = PhaseProfiler::new();
+        for &v in &samples {
+            prof.record(Phase::Topology, v);
+        }
+        let report = prof.report();
+        let s = report.get(Phase::Topology).unwrap();
+        assert_eq!(s.count, exact.count);
+        assert_eq!(s.min, exact.min);
+        assert_eq!(s.max, exact.max);
+        assert!((s.total - exact.total).abs() < 1e-12);
+        assert!((s.mean - exact.mean).abs() < 1e-15);
+        assert!(
+            s.p99 >= exact.p99 && s.p99 <= exact.p99 * 2.0,
+            "p99 {} must be within one log2 bucket of exact {}",
+            s.p99,
+            exact.p99
+        );
+    }
+
+    /// The O(1)-memory contract: the profiler's footprint is fixed at
+    /// construction no matter how many samples are recorded (the old
+    /// per-sample `Vec`s grew linearly with run length).
+    #[test]
+    fn profiler_memory_is_constant_in_run_length() {
+        let mut prof = PhaseProfiler::new();
+        let size = std::mem::size_of_val(&prof);
+        for i in 0..200_000u64 {
+            prof.record(Phase::Hello, 1e-6 + (i % 251) as f64 * 1e-8);
+        }
+        assert_eq!(std::mem::size_of_val(&prof), size);
+        assert_eq!(size, std::mem::size_of::<PhaseProfiler>());
+        assert_eq!(prof.count(Phase::Hello), 200_000);
+    }
+
+    #[test]
+    fn merge_folds_per_phase_histograms() {
+        let mut a = PhaseProfiler::new();
+        let mut b = PhaseProfiler::new();
+        a.record(Phase::Mobility, 1e-6);
+        b.record(Phase::Mobility, 3e-6);
+        b.record(Phase::Routing, 2e-6);
+        a.merge(&b);
+        assert_eq!(a.count(Phase::Mobility), 2);
+        assert_eq!(a.count(Phase::Routing), 1);
+        assert_eq!(a.histogram(Phase::Mobility).max(), Some(3e-6));
     }
 
     #[test]
@@ -231,11 +361,29 @@ mod tests {
         assert_eq!(table.len(), 2);
     }
 
+    /// Shard sub-phases render in the report but do not double-count in
+    /// the top-level total.
+    #[test]
+    fn shard_sub_phases_are_excluded_from_the_total() {
+        let mut prof = PhaseProfiler::new();
+        prof.record(Phase::Topology, 10e-6);
+        prof.record(Phase::ShardFlush, 4e-6);
+        prof.record(Phase::ShardMerge, 2e-6);
+        let report = prof.report();
+        assert_eq!(report.phases.len(), 3);
+        assert_eq!(report.phases[1].0, Phase::ShardFlush);
+        assert!((report.total_secs() - 10e-6).abs() < 1e-15);
+        assert_eq!(report.get(Phase::ShardMerge).unwrap().count, 1);
+    }
+
     #[test]
     fn phase_names_round_trip() {
         for phase in Phase::ALL {
             assert_eq!(Phase::from_name(phase.name()), Some(phase));
         }
         assert_eq!(Phase::from_name("warp"), None);
+        for phase in Phase::TICK {
+            assert!(Phase::ALL.contains(&phase));
+        }
     }
 }

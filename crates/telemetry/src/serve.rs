@@ -1,0 +1,331 @@
+//! The live exporter: a zero-dependency HTTP endpoint over
+//! `std::net::TcpListener` serving the telemetry plane while a run is in
+//! flight.
+//!
+//! The design keeps the simulation hot path untouched: the tick loop
+//! renders a [`TelemetrySnapshot`] once per tumbling window (not per
+//! tick) and hands it to a [`Publisher`], which swaps an
+//! `Arc<TelemetrySnapshot>` behind a mutex — the serving thread clones
+//! the `Arc` out under the lock and formats responses from the immutable
+//! snapshot, so a slow scraper can never stall the simulation and the
+//! lock is held only for pointer swaps. With no server running nothing
+//! is published and the run is bit-identical to an unserved one.
+//!
+//! Endpoints:
+//!
+//! * `GET /metrics` — the latest Prometheus text-exposition snapshot
+//!   (the same format `--metrics-out` writes at end of run).
+//! * `GET /health` — plain-text `key value` lines: current tick, sim
+//!   time, tick rate, seconds since the last published window, and the
+//!   audit-violation count.
+//! * `GET /flight` — the flight recorder's current ring as JSONL (empty
+//!   body when no flight recorder is armed).
+//! * `GET /quit` — asks the hosting process to stop serving (used by
+//!   `scripts/verify.sh` to end the post-run hold deterministically).
+//!
+//! The server answers one request per connection (`Connection: close`),
+//! which every scraper and `curl` handles, and needs no HTTP parsing
+//! beyond the request line.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// One published view of a running simulation, rendered by the tick loop
+/// once per tumbling window and served immutably until the next publish.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TelemetrySnapshot {
+    /// Prometheus text exposition (see `prometheus_text_with_shards`).
+    pub metrics: String,
+    /// Ticks completed so far.
+    pub tick: u64,
+    /// Simulation time at publish, seconds.
+    pub sim_time: f64,
+    /// Wall-clock tick throughput since the run started, ticks/second.
+    pub ticks_per_sec: f64,
+    /// Audit violations recorded so far (0 when auditing is off).
+    pub audit_violations: u64,
+    /// Flight-recorder ring as JSONL (empty when no recorder is armed).
+    pub flight: String,
+}
+
+/// State shared between the run loop (via [`Publisher`]) and the serving
+/// thread.
+#[derive(Debug)]
+struct Shared {
+    /// The current snapshot plus the wall-clock instant it was published.
+    snapshot: Mutex<(Arc<TelemetrySnapshot>, Option<Instant>)>,
+    /// Set by shutdown to end the accept loop.
+    stop: AtomicBool,
+    /// Set by `GET /quit`; the hosting process polls it to end a hold.
+    quit: AtomicBool,
+}
+
+/// The run loop's handle for publishing snapshots; cheap to clone, safe
+/// to call from any thread. Publishing is a pointer swap under a mutex —
+/// O(1) in the snapshot size and independent of any connected scraper.
+#[derive(Debug, Clone)]
+pub struct Publisher {
+    shared: Arc<Shared>,
+}
+
+impl Publisher {
+    /// Swaps in a freshly rendered snapshot.
+    pub fn publish(&self, snapshot: TelemetrySnapshot) {
+        let mut cell = self.shared.snapshot.lock().expect("snapshot lock");
+        *cell = (Arc::new(snapshot), Some(Instant::now()));
+    }
+
+    /// Whether a scraper requested `GET /quit`.
+    pub fn quit_requested(&self) -> bool {
+        self.shared.quit.load(Ordering::Relaxed)
+    }
+}
+
+/// The live metrics endpoint: a background thread accepting plain-HTTP
+/// scrapes of the latest published snapshot. Dropping the server (or
+/// calling [`MetricsServer::shutdown`]) stops the thread and closes the
+/// listener; the join is bounded because shutdown wakes the accept loop
+/// with a loopback connection.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9184`; port 0 picks an ephemeral
+    /// port — read the result from [`MetricsServer::local_addr`]) and
+    /// starts the serving thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures (address in use, permission, parse).
+    pub fn serve<A: ToSocketAddrs>(addr: A) -> io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            snapshot: Mutex::new((Arc::new(TelemetrySnapshot::default()), None)),
+            stop: AtomicBool::new(false),
+            quit: AtomicBool::new(false),
+        });
+        let thread_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("manet-metrics".into())
+            .spawn(move || accept_loop(listener, &thread_shared))
+            .expect("spawn metrics thread");
+        Ok(MetricsServer {
+            addr,
+            shared,
+            handle: Some(handle),
+        })
+    }
+
+    /// The actually bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A cloneable publishing handle for the run loop.
+    pub fn publisher(&self) -> Publisher {
+        Publisher {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Whether a scraper requested `GET /quit`.
+    pub fn quit_requested(&self) -> bool {
+        self.shared.quit.load(Ordering::Relaxed)
+    }
+
+    /// Blocks up to `max`, returning early (true) when `GET /quit`
+    /// arrives — the post-run hold `--serve-hold` uses.
+    pub fn wait_for_quit(&self, max: Duration) -> bool {
+        let deadline = Instant::now() + max;
+        while Instant::now() < deadline {
+            if self.quit_requested() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        self.quit_requested()
+    }
+
+    /// Stops the serving thread and joins it. Idempotent; also runs on
+    /// drop.
+    pub fn shutdown(&mut self) {
+        let Some(handle) = self.handle.take() else {
+            return;
+        };
+        self.shared.stop.store(true, Ordering::Relaxed);
+        // Wake the blocking accept with a throwaway loopback connection.
+        let _ = TcpStream::connect(self.addr);
+        let _ = handle.join();
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: &Shared) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            if shared.stop.load(Ordering::Relaxed) {
+                return;
+            }
+            continue;
+        };
+        if shared.stop.load(Ordering::Relaxed) {
+            return; // the shutdown wake-up connection
+        }
+        let _ = handle_connection(stream, shared);
+    }
+}
+
+/// Reads one request line and writes one response. Errors are returned
+/// only to be discarded — a broken scraper must never affect the run.
+fn handle_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    let path = request_line.split_whitespace().nth(1).unwrap_or("/");
+    let (snapshot, published_at) = {
+        let cell = shared.snapshot.lock().expect("snapshot lock");
+        (Arc::clone(&cell.0), cell.1)
+    };
+    let (status, body) = match path {
+        "/metrics" => ("200 OK", snapshot.metrics.clone()),
+        "/health" => ("200 OK", health_body(&snapshot, published_at)),
+        "/flight" => ("200 OK", snapshot.flight.clone()),
+        "/quit" => {
+            shared.quit.store(true, Ordering::Relaxed);
+            ("200 OK", "quitting\n".to_string())
+        }
+        _ => ("404 Not Found", "not found\n".to_string()),
+    };
+    let mut stream = reader.into_inner();
+    write!(
+        stream,
+        "HTTP/1.0 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}
+
+/// Renders the `/health` body: `key value` lines, one per fact.
+fn health_body(snapshot: &TelemetrySnapshot, published_at: Option<Instant>) -> String {
+    let age = published_at.map_or(-1.0, |t| t.elapsed().as_secs_f64());
+    format!(
+        "status {}\ntick {}\nsim_time {:.3}\nticks_per_sec {:.2}\nlast_tick_age_secs {:.3}\naudit_violations {}\n",
+        if published_at.is_some() { "ok" } else { "starting" },
+        snapshot.tick,
+        snapshot.sim_time,
+        snapshot.ticks_per_sec,
+        age,
+        snapshot.audit_violations,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    /// One GET against the server, returning (status line, body).
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        let status = response.lines().next().unwrap_or_default().to_string();
+        let body = response
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (status, body)
+    }
+
+    #[test]
+    fn serves_published_snapshots_and_shuts_down_cleanly() {
+        let mut server = MetricsServer::serve("127.0.0.1:0").expect("bind ephemeral");
+        let addr = server.local_addr();
+        assert_ne!(addr.port(), 0);
+
+        // Before any publish: /health reports starting, /metrics empty.
+        let (status, body) = get(addr, "/health");
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("status starting"), "{body}");
+        assert!(body.contains("last_tick_age_secs -1.000"), "{body}");
+
+        let publisher = server.publisher();
+        publisher.publish(TelemetrySnapshot {
+            metrics: "# TYPE manet_msgs_total counter\nmanet_msgs_total{class=\"HELLO\"} 42\n"
+                .into(),
+            tick: 480,
+            sim_time: 120.0,
+            ticks_per_sec: 96.5,
+            audit_violations: 1,
+            flight: "{\"type\":\"meta\",\"label\":\"x\"}\n".into(),
+        });
+
+        let (status, body) = get(addr, "/metrics");
+        assert!(status.contains("200"));
+        assert!(body.contains("manet_msgs_total{class=\"HELLO\"} 42"));
+
+        let (_, body) = get(addr, "/health");
+        assert!(body.contains("status ok"), "{body}");
+        assert!(body.contains("tick 480"));
+        assert!(body.contains("ticks_per_sec 96.50"));
+        assert!(body.contains("audit_violations 1"));
+
+        let (_, body) = get(addr, "/flight");
+        assert!(body.contains("\"type\":\"meta\""));
+
+        let (status, _) = get(addr, "/nope");
+        assert!(status.contains("404"), "{status}");
+
+        assert!(!server.quit_requested());
+        let (status, body) = get(addr, "/quit");
+        assert!(status.contains("200"));
+        assert!(body.contains("quitting"));
+        assert!(server.quit_requested());
+        assert!(publisher.quit_requested());
+        assert!(server.wait_for_quit(Duration::from_millis(10)));
+
+        server.shutdown();
+        server.shutdown(); // idempotent
+        assert!(
+            TcpStream::connect(addr).is_err() || {
+                // The OS may briefly accept on a closing socket; a second
+                // attempt after the listener is joined must fail.
+                std::thread::sleep(Duration::from_millis(50));
+                TcpStream::connect(addr).is_err()
+            },
+            "listener must be closed after shutdown"
+        );
+    }
+
+    #[test]
+    fn publisher_swap_is_last_write_wins() {
+        let server = MetricsServer::serve("127.0.0.1:0").expect("bind");
+        let publisher = server.publisher();
+        for tick in 1..=5u64 {
+            publisher.publish(TelemetrySnapshot {
+                tick,
+                ..TelemetrySnapshot::default()
+            });
+        }
+        let (_, body) = get(server.local_addr(), "/health");
+        assert!(body.contains("tick 5"), "{body}");
+    }
+}

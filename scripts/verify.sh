@@ -65,4 +65,54 @@ echo "==> interconnect chaos smoke (robustness2 --quick)"
 # every InterconnectFault causal chain anchors in the ledger.
 cargo run -q --release -p manet-experiments --bin robustness2 -- --quick
 
+echo "==> live observability smoke (/metrics + /health over a real scrape)"
+# Live exporter (DESIGN.md §15): a short traced run serving on an
+# ephemeral port; curl /metrics and /health mid-hold, assert well-formed
+# output, then /quit for a clean shutdown (exit 0 = no leaked listener
+# thread panicked).
+serve_log=$(mktemp)
+cargo run -q --release -p manet-experiments --bin tick_convergence -- \
+    --serve-metrics 127.0.0.1:0 --serve-hold 60 >"$serve_log" 2>&1 &
+serve_pid=$!
+serve_addr=""
+for _ in $(seq 1 120); do
+    serve_addr=$(sed -n 's|.*listening on http://\([0-9.:]*\).*|\1|p' "$serve_log" | head -n1)
+    [ -n "$serve_addr" ] && break
+    if ! kill -0 "$serve_pid" 2>/dev/null; then break; fi
+    sleep 0.5
+done
+if [ -z "$serve_addr" ]; then
+    echo "verify: FAIL — serve endpoint never came up" >&2
+    cat "$serve_log" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+# Wait for the run to publish at least one snapshot, then scrape.
+health=""
+for _ in $(seq 1 120); do
+    health=$(curl -fsS --max-time 5 "http://$serve_addr/health" || true)
+    case "$health" in *"status ok"*) break ;; esac
+    sleep 0.5
+done
+case "$health" in
+    *"status ok"*) : ;;
+    *)
+        echo "verify: FAIL — /health never reported a published snapshot: $health" >&2
+        kill "$serve_pid" 2>/dev/null || true
+        exit 1
+        ;;
+esac
+echo "$health" | grep -q "^tick [1-9]" || { echo "verify: FAIL — /health lacks tick progress" >&2; exit 1; }
+metrics=$(curl -fsS --max-time 5 "http://$serve_addr/metrics")
+echo "$metrics" | grep -q "^# TYPE manet_msgs_total counter" || { echo "verify: FAIL — /metrics lacks TYPE headers" >&2; exit 1; }
+echo "$metrics" | grep -q '^manet_msgs_total{class="HELLO"} [0-9]' || { echo "verify: FAIL — /metrics lacks samples" >&2; exit 1; }
+curl -fsS --max-time 5 "http://$serve_addr/quit" >/dev/null
+if ! wait "$serve_pid"; then
+    echo "verify: FAIL — served run exited non-zero" >&2
+    cat "$serve_log" >&2
+    exit 1
+fi
+rm -f "$serve_log"
+echo "    served $(echo "$metrics" | grep -c '') metric lines at $serve_addr; clean shutdown"
+
 echo "verify: all checks passed"
