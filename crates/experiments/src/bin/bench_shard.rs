@@ -18,7 +18,8 @@
 
 use manet_geom::ShardDims;
 use manet_shard::ShardPlane;
-use manet_sim::{HelloMode, QuietCtx, SimBuilder, World};
+use manet_sim::{HelloMode, QuietCtx, Scratch, SimBuilder, StepCtx, World};
+use manet_telemetry::{Probe, SpanLabel, SpanRecorder};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
@@ -63,6 +64,9 @@ struct Row {
     ticks_per_sec: f64,
     speedup_vs_1x1: f64,
     step_allocs_per_100_ticks: u64,
+    /// Max-over-mean per-shard compute wall time from the span plane
+    /// (1.0 = perfectly balanced; the straggler baseline review watches).
+    compute_imbalance: f64,
 }
 
 fn build_world(nodes: usize, side: f64) -> World {
@@ -113,6 +117,39 @@ fn bench_cell(
     }
     let step_allocs = ALLOCS.load(Ordering::Relaxed) - before;
 
+    // Straggler window: a short spanned run after the alloc window (the
+    // span recorder allocates, so it must not share that window). The
+    // per-shard compute spans give max/mean shard wall time — the
+    // imbalance a worker-per-shard run is limited by.
+    let compute_imbalance = if plane.is_some() {
+        let mut spans = SpanRecorder::new();
+        let mut scratch = Scratch::new();
+        for _ in 0..measure_ticks.min(25) {
+            let mut probe = Probe::new(None, None).with_spans(Some(&mut spans));
+            let mut ctx = StepCtx::new(&mut probe, &mut scratch);
+            match plane.as_mut() {
+                Some(p) => world.step_with(&mut ctx, p),
+                None => unreachable!("spanned window only runs sharded"),
+            };
+        }
+        let shards = spans.shard_slots().saturating_sub(1);
+        let totals: Vec<f64> = (0..shards)
+            .map(|s| {
+                spans
+                    .hist(SpanLabel::ShardCompute, Some(s as u16))
+                    .map_or(0.0, |h| h.sum())
+            })
+            .collect();
+        let mean = totals.iter().sum::<f64>() / totals.len().max(1) as f64;
+        if mean > 0.0 {
+            totals.iter().cloned().fold(0.0, f64::max) / mean
+        } else {
+            1.0
+        }
+    } else {
+        1.0 // monolithic: a single undivided compute, balanced by definition
+    };
+
     Row {
         nodes,
         side,
@@ -123,6 +160,7 @@ fn bench_cell(
         ticks_per_sec: measure_ticks as f64 / elapsed,
         speedup_vs_1x1: 0.0, // filled in per size group below
         step_allocs_per_100_ticks: step_allocs,
+        compute_imbalance,
     }
 }
 
@@ -155,7 +193,7 @@ fn to_json(rows: &[Row], quick: bool) -> String {
     out.push_str("  \"results\": [\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"nodes\": {}, \"side\": {:.1}, \"layout\": \"{}\", \"shards\": {}, \"workers\": {}, \"measure_ticks\": {}, \"ticks_per_sec\": {:.2}, \"speedup_vs_1x1\": {:.3}, \"step_allocs_per_100_ticks\": {}}}{}\n",
+            "    {{\"nodes\": {}, \"side\": {:.1}, \"layout\": \"{}\", \"shards\": {}, \"workers\": {}, \"measure_ticks\": {}, \"ticks_per_sec\": {:.2}, \"speedup_vs_1x1\": {:.3}, \"step_allocs_per_100_ticks\": {}, \"compute_imbalance\": {:.3}}}{}\n",
             r.nodes,
             r.side,
             r.layout,
@@ -165,6 +203,7 @@ fn to_json(rows: &[Row], quick: bool) -> String {
             r.ticks_per_sec,
             r.speedup_vs_1x1,
             r.step_allocs_per_100_ticks,
+            r.compute_imbalance,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
@@ -192,7 +231,7 @@ fn main() {
     print!("{json}");
     for r in &rows {
         eprintln!(
-            "N={:>6} {:>4}: {:>8.2} ticks/s  ({:.3}x vs 1x1, {} shards, {} workers, {} allocs/100 ticks)",
+            "N={:>6} {:>4}: {:>8.2} ticks/s  ({:.3}x vs 1x1, {} shards, {} workers, {} allocs/100 ticks, imbalance {:.3})",
             r.nodes,
             r.layout,
             r.ticks_per_sec,
@@ -200,6 +239,7 @@ fn main() {
             r.shards,
             r.workers,
             r.step_allocs_per_100_ticks,
+            r.compute_imbalance,
         );
     }
     if !quick {

@@ -4,11 +4,21 @@
 //! causal attribution enabled, written to `BENCH_attribution.json` (both
 //! committed at the repo root so regressions in per-phase, attribution,
 //! and exporter cost are visible in review).
+//!
+//! Each configuration runs three times and the committed overhead ratios
+//! compare **medians**, with the raw per-run wall times kept alongside:
+//! a single cold run is noisy enough (allocator warmup, CPU frequency
+//! ramp) that one-shot ratios used to come out negative — the exporter
+//! run measuring *faster* than its baseline. The serve runs come last
+//! because installing the process-wide live publisher is irreversible.
 
 use manet_experiments::harness::{Protocol, Scenario};
 use manet_experiments::trace::{install_live_publisher, trace_run, TelemetryConfig, TraceRun};
 use manet_telemetry::{MetricsServer, Phase};
 use manet_util::json::Value;
+
+/// Runs per configuration; medians are over these.
+const RUNS: usize = 3;
 
 fn phase_rows(run: &TraceRun) -> Vec<Value> {
     let mut phases = Vec::new();
@@ -36,6 +46,39 @@ fn write_json(path: &str, doc: &Value) {
     }
 }
 
+/// Runs one configuration [`RUNS`] times; returns the runs and the index
+/// of the median-wall run.
+fn run_many(
+    scenario: &Scenario,
+    protocol: &Protocol,
+    config: &TelemetryConfig,
+) -> (Vec<TraceRun>, usize) {
+    let runs: Vec<TraceRun> = (0..RUNS)
+        .map(|_| trace_run(scenario, protocol, config).expect("in-memory run performs no IO"))
+        .collect();
+    let mut order: Vec<usize> = (0..runs.len()).collect();
+    order.sort_by(|&a, &b| {
+        runs[a]
+            .profile
+            .total_secs()
+            .total_cmp(&runs[b].profile.total_secs())
+    });
+    let median = order[order.len() / 2];
+    (runs, median)
+}
+
+fn walls(runs: &[TraceRun]) -> Vec<f64> {
+    runs.iter().map(|r| r.profile.total_secs()).collect()
+}
+
+fn fmt_walls(walls: &[f64]) -> String {
+    walls
+        .iter()
+        .map(|w| format!("{w:.3}s"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
 fn main() {
     let scenario = Scenario::default();
     let protocol = Protocol {
@@ -44,38 +87,44 @@ fn main() {
         seeds: vec![11],
         dt: 0.25,
     };
-    let run = trace_run(
+
+    // Serve-off configurations first: installing the live publisher below
+    // is process-wide and irreversible, so every baseline must be
+    // measured before it.
+    let (plain_runs, plain_mid) = run_many(
         &scenario,
         &protocol,
         &TelemetryConfig::in_memory("bench_telemetry"),
-    )
-    .expect("in-memory run performs no IO");
+    );
+    let run = &plain_runs[plain_mid];
     println!("{}", run.profile.to_table().to_ascii());
-    let plain_wall = run.profile.total_secs();
+    let plain_walls = walls(&plain_runs);
+    let plain_wall = plain_walls[plain_mid];
 
     // The attribution-enabled twin: same scenario, same seed, with the
     // cause tracker, ledger, and audit monitors live. The overhead ratio
     // against the plain traced run is the cost of the attribution plane.
-    let attr_run = trace_run(
+    let (attr_runs, attr_mid) = run_many(
         &scenario,
         &protocol,
         &TelemetryConfig::in_memory("bench_attribution").with_attribution(),
-    )
-    .expect("in-memory run performs no IO");
+    );
+    let attr_run = &attr_runs[attr_mid];
     println!("{}", attr_run.profile.to_table().to_ascii());
     let attr = attr_run
         .attribution
         .as_ref()
         .expect("attribution was enabled");
-    let attr_wall = attr_run.profile.total_secs();
+    let attr_walls = walls(&attr_runs);
+    let attr_wall = attr_walls[attr_mid];
     let overhead_pct = if plain_wall > 0.0 {
         (attr_wall - plain_wall) / plain_wall * 100.0
     } else {
         0.0
     };
     println!(
-        "attribution overhead: {plain_wall:.3}s -> {attr_wall:.3}s ({overhead_pct:+.1}%), \
-         {} events, {} chains, audit {}",
+        "attribution overhead (median of {RUNS}): {plain_wall:.3}s -> {attr_wall:.3}s \
+         ({overhead_pct:+.1}%), {} events, {} chains, audit {}",
         attr.ledger.events_seen(),
         attr.ledger.chains().len(),
         if attr.audit.is_clean() {
@@ -84,31 +133,34 @@ fn main() {
             "VIOLATED"
         }
     );
+    println!("  plain runs: {}", fmt_walls(&plain_walls));
+    println!("  attr runs:  {}", fmt_walls(&attr_walls));
 
     // The live-exporter twin: same scenario and seed with a bound
     // /metrics endpoint receiving a snapshot per tumbling window (no
     // scraper attached — this measures the publication path itself).
-    // Installing the process-wide publisher is irreversible, so this run
-    // comes after every serve-off measurement above.
     let server = MetricsServer::serve("127.0.0.1:0").expect("bind ephemeral port");
     assert!(install_live_publisher(server.publisher()));
-    let serve_run = trace_run(
+    let (serve_runs, serve_mid) = run_many(
         &scenario,
         &protocol,
         &TelemetryConfig::in_memory("bench_telemetry_serve"),
-    )
-    .expect("in-memory run performs no IO");
+    );
     drop(server);
-    let serve_wall = serve_run.profile.total_secs();
+    let serve_walls = walls(&serve_runs);
+    let serve_wall = serve_walls[serve_mid];
     let serve_overhead_pct = if plain_wall > 0.0 {
         (serve_wall - plain_wall) / plain_wall * 100.0
     } else {
         0.0
     };
     println!(
-        "live-exporter overhead: {plain_wall:.3}s -> {serve_wall:.3}s ({serve_overhead_pct:+.1}%)"
+        "live-exporter overhead (median of {RUNS}): {plain_wall:.3}s -> {serve_wall:.3}s \
+         ({serve_overhead_pct:+.1}%)"
     );
+    println!("  serve runs: {}", fmt_walls(&serve_walls));
 
+    let wall_arr = |walls: &[f64]| Value::Arr(walls.iter().map(|&w| Value::from(w)).collect());
     let doc = Value::Obj(vec![
         ("bench".into(), Value::from("telemetry_phase_profile")),
         ("nodes".into(), Value::from(scenario.nodes)),
@@ -118,10 +170,13 @@ fn main() {
             Value::from(protocol.warmup + protocol.measure),
         ),
         ("seed".into(), Value::from(protocol.seeds[0])),
+        ("runs_per_config".into(), Value::from(RUNS)),
         ("total_wall_s".into(), Value::from(plain_wall)),
+        ("wall_runs_s".into(), wall_arr(&plain_walls)),
         ("serve_wall_s".into(), Value::from(serve_wall)),
+        ("serve_wall_runs_s".into(), wall_arr(&serve_walls)),
         ("serve_overhead_pct".into(), Value::from(serve_overhead_pct)),
-        ("phases".into(), Value::Arr(phase_rows(&run))),
+        ("phases".into(), Value::Arr(phase_rows(run))),
     ]);
     write_json("BENCH_telemetry.json", &doc);
 
@@ -134,7 +189,9 @@ fn main() {
             Value::from(protocol.warmup + protocol.measure),
         ),
         ("seed".into(), Value::from(protocol.seeds[0])),
+        ("runs_per_config".into(), Value::from(RUNS)),
         ("total_wall_s".into(), Value::from(attr_wall)),
+        ("wall_runs_s".into(), wall_arr(&attr_walls)),
         ("plain_wall_s".into(), Value::from(plain_wall)),
         ("overhead_pct".into(), Value::from(overhead_pct)),
         (
@@ -150,7 +207,7 @@ fn main() {
             Value::from(attr.audit.violations.len()),
         ),
         ("audit_samples".into(), Value::from(attr.audit.samples)),
-        ("phases".into(), Value::Arr(phase_rows(&attr_run))),
+        ("phases".into(), Value::Arr(phase_rows(attr_run))),
     ]);
     write_json("BENCH_attribution.json", &attr_doc);
 }

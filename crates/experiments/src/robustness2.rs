@@ -140,9 +140,13 @@ pub fn chaos_trace(
     if let Some(w) = workers {
         shard_run = shard_run.with_workers(w);
     }
+    // Spans ride the same flag hooks as the flight recorder; with
+    // `--spans-out` each chaos run overwrites the dump, so the file left
+    // behind is the last (heaviest) run of the sweep or gate sequence.
     let config = TelemetryConfig::in_memory("rob2_chaos")
         .with_attribution()
-        .with_flight_from_args();
+        .with_flight_from_args()
+        .with_spans_from_args();
     trace_run_chaos(scenario, protocol, &config, Some(&shard_run))
         .expect("chaos run cannot fail on IO (flight dumps create their dirs)")
 }

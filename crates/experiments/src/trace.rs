@@ -21,10 +21,11 @@ use manet_routing::intra::IntraClusterRouting;
 use manet_sim::{Counters, HelloMode, MessageKind, QuietCtx, Scratch, SimBuilder, StepCtx};
 use manet_stack::ProtocolStack;
 use manet_telemetry::{
-    prometheus_text_with_shards, AttributionLedger, AuditConfig, AuditMonitor, AuditReport,
-    CauseTracker, Event, FlightRecorder, FlightTrigger, JsonlSink, MetricsServer, MsgClass,
-    PhaseProfiler, Probe, ProfileReport, Publisher, RootCause, ShardSnapshot, Subscriber,
-    TelemetrySnapshot, TraceMeta, TraceOut, WindowedRecorder,
+    chrome_trace_json, prometheus_text_full, AttributionLedger, AuditConfig, AuditMonitor,
+    AuditReport, CauseTracker, Event, FlightRecorder, FlightTrigger, JsonlSink, MetricsServer,
+    MsgClass, PhaseProfiler, Probe, ProfileReport, Publisher, RootCause, ShardSnapshot,
+    SpanRecorder, SpanTimebase, Subscriber, TelemetrySnapshot, TraceMeta, TraceOut,
+    WindowedRecorder,
 };
 use std::fmt::Write as _;
 use std::io;
@@ -59,6 +60,22 @@ pub struct TelemetryConfig {
     /// audit violation, or (when none fires) once at end of run so the
     /// black box is never silently empty.
     pub flight_out: Option<PathBuf>,
+    /// Attach a [`SpanRecorder`] to the run: every tick/stage/shard span
+    /// aggregates into per-(stage, shard) histograms and the last
+    /// [`TelemetryConfig::spans_ring`] raw spans are retained for export.
+    /// Off by default — the un-spanned path never reads the clock for
+    /// spans and emits byte-identical traces.
+    pub spans: bool,
+    /// Chrome trace-event JSON output path, written once after the run
+    /// (implies [`TelemetryConfig::spans`]).
+    pub spans_out: Option<PathBuf>,
+    /// Raw-span ring capacity (defaults to
+    /// [`DEFAULT_SPAN_RING_CAPACITY`] when spans are on).
+    pub spans_ring: Option<usize>,
+    /// Export spans on the canonical timebase (sequence-derived
+    /// timestamps, byte-identical across same-seed runs) instead of wall
+    /// clock.
+    pub spans_canonical: bool,
 }
 
 impl TelemetryConfig {
@@ -72,6 +89,10 @@ impl TelemetryConfig {
             metrics_out: None,
             flight: None,
             flight_out: None,
+            spans: false,
+            spans_out: None,
+            spans_ring: None,
+            spans_canonical: false,
         }
     }
 
@@ -126,10 +147,69 @@ impl TelemetryConfig {
         }
         self
     }
+
+    /// Attaches a span recorder to the run (in-memory aggregation only
+    /// unless [`TelemetryConfig::with_spans_out`] also names a file).
+    pub fn with_spans(mut self) -> TelemetryConfig {
+        self.spans = true;
+        self
+    }
+
+    /// Writes the raw span ring as Chrome trace-event JSON to `path`
+    /// after the run (load it at `ui.perfetto.dev` or `chrome://tracing`).
+    pub fn with_spans_out(mut self, path: PathBuf) -> TelemetryConfig {
+        self.spans_out = Some(path);
+        self.spans = true;
+        self
+    }
+
+    /// Sets the raw-span ring capacity.
+    pub fn with_spans_ring(mut self, cap: usize) -> TelemetryConfig {
+        self.spans_ring = Some(cap);
+        self.spans = true;
+        self
+    }
+
+    /// Switches span export to the canonical (sequence-derived,
+    /// deterministic) timebase.
+    pub fn with_spans_canonical(mut self) -> TelemetryConfig {
+        self.spans_canonical = true;
+        self
+    }
+
+    /// Experiment-binary hook: applies `--spans-out <path>` /
+    /// `--spans-ring <K>` / `--spans-canonical` from the process
+    /// arguments. A no-op without the flags.
+    pub fn with_spans_from_args(mut self) -> TelemetryConfig {
+        if let Some(path) = spans_out_from_args() {
+            self = self.with_spans_out(path);
+        }
+        if let Some(k) = spans_ring_from_args() {
+            self = self.with_spans_ring(k);
+        }
+        if spans_canonical_from_args() {
+            self = self.with_spans_canonical();
+        }
+        self
+    }
+
+    /// The span-export timebase this config selects.
+    pub fn span_timebase(&self) -> SpanTimebase {
+        if self.spans_canonical {
+            SpanTimebase::Canonical
+        } else {
+            SpanTimebase::Wall
+        }
+    }
 }
 
 /// Ring capacity when `--flight-out` is given without `--flight <K>`.
 pub const DEFAULT_FLIGHT_CAPACITY: usize = 4096;
+
+/// Raw-span ring capacity when spans are armed without `--spans-ring <K>`.
+/// A quick traced run closes a few tens of spans per tick, so 64 Ki spans
+/// retain several hundred ticks of full fidelity.
+pub const DEFAULT_SPAN_RING_CAPACITY: usize = 1 << 16;
 
 /// Causal-attribution outputs of a traced run, present when
 /// [`TelemetryConfig::attribution`] was set.
@@ -162,6 +242,11 @@ pub struct TraceRun {
     /// The flight recorder's final ring (`None` unless armed) — what a
     /// dump at end of run would contain, kept for tests and tooling.
     pub flight: Option<FlightRecorder>,
+    /// The span recorder (`None` unless spans were enabled): per-(stage,
+    /// shard) duration histograms plus the raw-span ring behind the
+    /// Chrome trace export. `bin/span_report` builds its critical-path
+    /// and imbalance tables from this.
+    pub spans: Option<SpanRecorder>,
 }
 
 /// Live attribution state carried across the ticks of one traced run.
@@ -308,6 +393,9 @@ pub fn trace_run_chaos(
     stack.prime(&mut QuietCtx::new().ctx()); // baseline fill, uncharged
 
     let mut flight = config.flight.map(FlightRecorder::new);
+    let mut spans = config.spans.then(|| {
+        SpanRecorder::new().with_ring(config.spans_ring.unwrap_or(DEFAULT_SPAN_RING_CAPACITY))
+    });
     let mut trigger = FlightTrigger::new();
     let live = live_publisher();
     let started = Instant::now();
@@ -317,7 +405,7 @@ pub fn trace_run_chaos(
     let ticks = (duration / protocol.dt).round() as usize;
     for tick in 0..ticks {
         let mut fan;
-        let mut probe = if attrib.is_some() || flight.is_some() {
+        let probe = if attrib.is_some() || flight.is_some() {
             let (ledger, audit, tracker) = match attrib.as_mut() {
                 Some(st) => (
                     Some(&mut st.ledger),
@@ -336,6 +424,7 @@ pub fn trace_run_chaos(
         } else {
             Probe::new(Some(&mut out), Some(&mut profiler))
         };
+        let mut probe = probe.with_spans(spans.as_mut());
         let report = stack.tick(&mut StepCtx::new(&mut probe, &mut scratch));
 
         // Feed the invariant monitors a post-maintenance structural sample.
@@ -367,6 +456,7 @@ pub fn trace_run_chaos(
                     attrib.as_ref(),
                     stack.shard_snapshot().as_ref(),
                     flight.as_ref(),
+                    spans.as_ref(),
                     &meta,
                     (tick + 1) as u64,
                     report.time,
@@ -390,11 +480,15 @@ pub fn trace_run_chaos(
             attrib.as_ref(),
             stack.shard_snapshot().as_ref(),
             flight.as_ref(),
+            spans.as_ref(),
             &meta,
             ticks as u64,
             duration,
             started.elapsed(),
         ));
+    }
+    if let (Some(rec), Some(path)) = (spans.as_ref(), &config.spans_out) {
+        std::fs::write(path, chrome_trace_json(rec, config.span_timebase()))?;
     }
     let attribution = attrib.map(|mut st| {
         for (class, kind) in [
@@ -414,10 +508,11 @@ pub fn trace_run_chaos(
     if let Some(path) = &config.metrics_out {
         std::fs::write(
             path,
-            prometheus_text_with_shards(
+            prometheus_text_full(
                 &recorder,
                 attribution.as_ref().map(|a| &a.ledger),
                 shard.as_ref(),
+                spans.as_ref(),
             ),
         )?;
     }
@@ -429,6 +524,7 @@ pub fn trace_run_chaos(
         attribution,
         shard,
         flight,
+        spans,
     })
 }
 
@@ -441,13 +537,14 @@ fn render_snapshot(
     attrib: Option<&AttribState>,
     shard: Option<&ShardSnapshot>,
     flight: Option<&FlightRecorder>,
+    spans: Option<&SpanRecorder>,
     meta: &TraceMeta,
     tick: u64,
     sim_time: f64,
     elapsed: Duration,
 ) -> TelemetrySnapshot {
     TelemetrySnapshot {
-        metrics: prometheus_text_with_shards(recorder, attrib.map(|st| &st.ledger), shard),
+        metrics: prometheus_text_full(recorder, attrib.map(|st| &st.ledger), shard, spans),
         tick,
         sim_time,
         ticks_per_sec: tick as f64 / elapsed.as_secs_f64().max(1e-9),
@@ -790,6 +887,34 @@ pub fn flight_out_from_args() -> Option<PathBuf> {
     path_flag_from_args("flight-out")
 }
 
+/// Whether the bare flag `--<flag>` appears in the process arguments.
+fn bool_flag_from_args(flag: &str) -> bool {
+    let long = format!("--{flag}");
+    std::env::args().any(|a| a == long)
+}
+
+/// Extracts `--spans-out <path>` (Chrome trace-event JSON path) from the
+/// process arguments.
+pub fn spans_out_from_args() -> Option<PathBuf> {
+    path_flag_from_args("spans-out")
+}
+
+/// Extracts `--spans-ring <K>` (raw-span ring capacity) from the process
+/// arguments.
+pub fn spans_ring_from_args() -> Option<usize> {
+    path_flag_from_args("spans-ring").map(|p| {
+        let raw = p.to_string_lossy();
+        raw.parse::<usize>()
+            .unwrap_or_else(|e| panic!("--spans-ring {raw}: {e} (expected a ring capacity)"))
+    })
+}
+
+/// Whether `--spans-canonical` (deterministic sequence-derived span
+/// timestamps) appears in the process arguments.
+pub fn spans_canonical_from_args() -> bool {
+    bool_flag_from_args("spans-canonical")
+}
+
 /// The process-wide live publisher, set once by [`init_serve_from_args`]
 /// when `--serve-metrics` is present. Traced runs poll this and publish
 /// a snapshot per tumbling window; without it (the default, and always
@@ -880,11 +1005,13 @@ pub fn maybe_trace(label: &str, scenario: &Scenario, protocol: &Protocol) {
     let serve = serve_metrics_from_args();
     let flight = flight_from_args();
     let flight_out = flight_out_from_args();
+    let spans_out = spans_out_from_args();
     if trace_out.is_none()
         && metrics_out.is_none()
         && serve.is_none()
         && flight.is_none()
         && flight_out.is_none()
+        && spans_out.is_none()
     {
         return;
     }
@@ -914,12 +1041,24 @@ pub fn maybe_trace(label: &str, scenario: &Scenario, protocol: &Protocol) {
         println!("[trace] flight dump -> {}", path.display());
         config = config.with_flight_out(path);
     }
+    if let Some(path) = &spans_out {
+        println!("[trace] span trace -> {}", path.display());
+    }
+    config = config.with_spans_from_args();
     match trace_run_sharded(scenario, protocol, &config, shards) {
         Ok(run) => {
             print!(
                 "{}",
                 report_text(Some(&run.meta), &run.recorder, Some(&run.profile))
             );
+            if let Some(spans) = &run.spans {
+                println!(
+                    "spans: {} recorded across {} ticks ({} retained in ring)",
+                    spans.spans_recorded(),
+                    spans.tick(),
+                    spans.ring_len()
+                );
+            }
             if let Some(attr) = &run.attribution {
                 print!(
                     "{}",
@@ -1001,6 +1140,9 @@ mod tests {
         assert_eq!(flight_from_args(), None);
         assert_eq!(flight_out_from_args(), None);
         assert_eq!(serve_hold_from_args(), 0.0);
+        assert_eq!(spans_out_from_args(), None);
+        assert_eq!(spans_ring_from_args(), None);
+        assert!(!spans_canonical_from_args());
         assert!(live_publisher().is_none());
         // And therefore maybe_trace is a no-op.
         let (scenario, protocol) = quick();
@@ -1055,5 +1197,38 @@ mod tests {
         let run = trace_run(&scenario, &protocol, &TelemetryConfig::in_memory("plain"))
             .expect("in-memory run");
         assert!(run.attribution.is_none());
+        assert!(run.spans.is_none());
+    }
+
+    /// A spanned run closes one tick span and one stage span per phase
+    /// per tick, and the per-stage span totals equal the phase profiler's
+    /// (the same clock read feeds both planes).
+    #[test]
+    fn spanned_run_reconciles_with_the_phase_profiler() {
+        use manet_telemetry::SpanLabel;
+        let (scenario, protocol) = quick();
+        let config = TelemetryConfig::in_memory("spans").with_spans();
+        let run = trace_run(&scenario, &protocol, &config).expect("in-memory run");
+        let spans = run.spans.as_ref().expect("spans enabled");
+        let ticks = ((protocol.warmup + protocol.measure) / protocol.dt).round() as u64;
+        assert_eq!(spans.tick(), ticks);
+        assert_eq!(spans.hist(SpanLabel::Tick, None).unwrap().count(), ticks);
+        for phase in Phase::TICK {
+            let h = spans
+                .hist(SpanLabel::Stage(phase), None)
+                .expect("stage spans on the main thread");
+            let p = run.profile.get(phase).expect("phase profiled");
+            assert_eq!(h.count(), p.count, "{}", phase.name());
+            let err = (h.sum() - p.total).abs() / p.total.max(1e-12);
+            assert!(
+                err < 0.01,
+                "{}: span sum {} vs profile {}",
+                phase.name(),
+                h.sum(),
+                p.total
+            );
+        }
+        // The raw ring retained every span of this short run.
+        assert_eq!(spans.ring_len() as u64, spans.spans_recorded());
     }
 }

@@ -43,7 +43,7 @@
 use crate::link::LinkManager;
 use manet_geom::Vec2;
 use manet_sim::{FaultError, LossModel, StallSchedule};
-use manet_telemetry::{EventKind, Layer, Probe, RootCause};
+use manet_telemetry::{EventKind, Layer, Probe, RootCause, SpanLabel};
 use std::collections::BTreeMap;
 
 /// Configuration of the shard interconnect's fault plane.
@@ -416,10 +416,16 @@ impl Interconnect {
         } = self;
         let tick = *tick;
         for (&(src, dst), view) in pairs.iter_mut() {
+            // One ic_send span per directed pair, tagged with the sending
+            // shard; if this hop allocates an attribution cause (loss or
+            // post-gap recovery) the span links to the same CauseId.
+            let span = probe.span_open();
+            let mut span_cause = None;
             if config.stall.stalled(src, tick) || config.stall.stalled(dst, tick) {
                 links.link_mut(src, dst).record_failure();
                 view.staging.clear();
                 *fault_tick = true;
+                probe.span_close(span, SpanLabel::IcSend, Some(src), None);
                 continue;
             }
             let link = links.link_mut(src, dst);
@@ -436,6 +442,7 @@ impl Interconnect {
                 view.epoch = tick;
                 if gap > 1 {
                     let cause = probe.root(RootCause::InterconnectFault);
+                    span_cause = cause.map(|c| c.id);
                     probe.emit_caused(
                         now,
                         Layer::Sim,
@@ -450,6 +457,7 @@ impl Interconnect {
             } else {
                 *fault_tick = true;
                 let cause = probe.root(RootCause::InterconnectFault);
+                span_cause = cause.map(|c| c.id);
                 probe.emit_caused(
                     now,
                     Layer::Sim,
@@ -462,6 +470,7 @@ impl Interconnect {
                 );
                 view.staging.clear();
             }
+            probe.span_close(span, SpanLabel::IcSend, Some(src), span_cause);
         }
     }
 
@@ -487,14 +496,20 @@ impl Interconnect {
             let Some(staleness) = view.staleness(tick) else {
                 continue; // never synced; the loss was already flagged
             };
+            // One ic_deliver span per directed pair, tagged with the
+            // receiving shard; a staleness drop links the span to the
+            // GhostStale event's cause.
+            let span = probe.span_open();
             if staleness > 0 {
                 *fault_tick = true;
             }
             if staleness > config.max_ghost_staleness {
                 let dropped = view.cache.len() as u64;
                 view.cache.clear();
+                let mut span_cause = None;
                 if dropped > 0 {
                     let cause = probe.root(RootCause::InterconnectFault);
+                    span_cause = cause.map(|c| c.id);
                     probe.emit_caused(
                         now,
                         Layer::Sim,
@@ -507,9 +522,11 @@ impl Interconnect {
                         cause,
                     );
                 }
+                probe.span_close(span, SpanLabel::IcDeliver, Some(dst), span_cause);
                 continue;
             }
             sink(dst, &view.cache.ids, &view.cache.pts);
+            probe.span_close(span, SpanLabel::IcDeliver, Some(dst), None);
         }
     }
 }

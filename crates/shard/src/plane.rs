@@ -48,7 +48,8 @@ use crate::grid::FrameGrid;
 use crate::interconnect::{Interconnect, InterconnectConfig};
 use manet_geom::{Metric, ShardDims, ShardLayout, ShardLayoutError, SquareRegion, Vec2};
 use manet_sim::{FaultError, NodeId, Topology, TopologyBuilder, World};
-use manet_telemetry::{Phase, Probe, ShardGaugeRow, ShardSnapshot};
+use manet_telemetry::{Phase, Probe, ShardGaugeRow, ShardSnapshot, SpanLabel};
+use std::time::{Duration, Instant};
 
 /// Owner shard of a node not yet assigned (before its first tick).
 const UNASSIGNED: u16 = u16::MAX;
@@ -105,6 +106,11 @@ struct ShardState {
     rows: Vec<Vec<NodeId>>,
     grid: FrameGrid,
     stats: ShardStats,
+    /// Wall-clock measurement of this tick's `compute` call, taken on the
+    /// worker thread when the probe records spans. The main thread folds
+    /// it into the span recorder after the join (in shard-index order, so
+    /// the record stream is deterministic and worker-count invariant).
+    timed: Option<(Instant, Duration)>,
 }
 
 impl ShardState {
@@ -120,6 +126,7 @@ impl ShardState {
             rows,
             grid,
             stats,
+            timed: _,
         } = self;
         let oc = *owned;
         if rows.len() < oc {
@@ -498,23 +505,44 @@ impl TopologyBuilder for ShardPlane {
         probe.phase_end(Phase::ShardFlush, t0);
 
         // Phase 2: per-shard neighbor rows. Shards are mutually
-        // independent, so the worker split affects wall-clock only.
+        // independent, so the worker split affects wall-clock only. When
+        // spans are recorded each shard self-times its compute; the probe
+        // is not shared across workers, so the measurements are folded in
+        // afterwards.
+        let record_spans = probe.is_spanning();
         let workers = self.workers.min(self.shards.len()).max(1);
+        let timed_compute = |s: &mut ShardState| {
+            if record_spans {
+                let c0 = Instant::now();
+                s.compute(positions, radius, metric);
+                s.timed = Some((c0, c0.elapsed()));
+            } else {
+                s.compute(positions, radius, metric);
+            }
+        };
         if workers == 1 {
             for s in &mut self.shards {
-                s.compute(positions, radius, metric);
+                timed_compute(s);
             }
         } else {
             let chunk = self.shards.len().div_ceil(workers);
+            let timed_compute = &timed_compute;
             std::thread::scope(|scope| {
                 for group in self.shards.chunks_mut(chunk) {
                     scope.spawn(move || {
                         for s in group {
-                            s.compute(positions, radius, metric);
+                            timed_compute(s);
                         }
                     });
                 }
             });
+        }
+        if record_spans {
+            for (i, s) in self.shards.iter_mut().enumerate() {
+                if let Some((at, dur)) = s.timed.take() {
+                    probe.span_sample(SpanLabel::ShardCompute, Some(i as u16), None, at, dur);
+                }
+            }
         }
 
         // Phase 3: deterministic merge in shard-index order. Swapping

@@ -138,6 +138,45 @@ impl<'a, 'p> StepCtx<'a, 'p> {
             None => Attempt::Delivered,
         }
     }
+
+    /// Opens the root tick span as an RAII guard: the guard derefs to
+    /// this context (so the tick body uses it exactly like the plain
+    /// `StepCtx`) and closes the span when dropped. Without a span
+    /// recorder on the probe this is a no-op pass-through — the disabled
+    /// path never reads the clock.
+    pub fn tick_span(&mut self) -> TickSpan<'_, 'a, 'p> {
+        let start = self.probe.tick_start();
+        TickSpan { ctx: self, start }
+    }
+}
+
+/// RAII guard for the root tick span (see [`StepCtx::tick_span`]):
+/// derefs to the underlying [`StepCtx`] and closes the span on drop, so
+/// the whole tick body — including everything emitted through the probe
+/// — nests inside it.
+pub struct TickSpan<'g, 'a, 'p> {
+    ctx: &'g mut StepCtx<'a, 'p>,
+    start: Option<manet_telemetry::SpanStart>,
+}
+
+impl<'a, 'p> std::ops::Deref for TickSpan<'_, 'a, 'p> {
+    type Target = StepCtx<'a, 'p>;
+
+    fn deref(&self) -> &Self::Target {
+        self.ctx
+    }
+}
+
+impl std::ops::DerefMut for TickSpan<'_, '_, '_> {
+    fn deref_mut(&mut self) -> &mut Self::Target {
+        self.ctx
+    }
+}
+
+impl Drop for TickSpan<'_, '_, '_> {
+    fn drop(&mut self) {
+        self.ctx.probe.tick_end(self.start.take());
+    }
 }
 
 /// Owned probe-off context bundle for quiet runs (tests and experiments
@@ -184,6 +223,34 @@ mod tests {
         assert_eq!(ctx.now, 3.5);
         assert!(ctx.is_alive(7));
         assert_eq!(ctx.attempt(7), Attempt::Delivered);
+    }
+
+    /// The tick-span guard passes the context through unchanged and
+    /// closes exactly one tick span per guard when a recorder is
+    /// attached (none when it is not).
+    #[test]
+    fn tick_span_guard_records_one_tick_span() {
+        use manet_telemetry::{SpanLabel, SpanRecorder};
+        let mut spans = SpanRecorder::new();
+        let mut scratch = Scratch::new();
+        {
+            let mut probe = Probe::new(None, None).with_spans(Some(&mut spans));
+            let mut ctx = StepCtx::new(&mut probe, &mut scratch).at(2.0);
+            let mut span = ctx.tick_span();
+            // The guard is a drop-in StepCtx: fields and methods resolve
+            // through Deref.
+            assert_eq!(span.now, 2.0);
+            assert!(span.is_alive(3));
+            assert_eq!(span.attempt(3), Attempt::Delivered);
+        }
+        assert_eq!(spans.tick(), 1);
+        assert_eq!(spans.hist(SpanLabel::Tick, None).unwrap().count(), 1);
+
+        // Quiet context: the guard is inert.
+        let mut q = QuietCtx::new();
+        let mut ctx = q.ctx();
+        let span = ctx.tick_span();
+        assert!(!span.probe.is_spanning());
     }
 
     #[test]

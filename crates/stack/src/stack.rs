@@ -143,6 +143,10 @@ impl<C: ClusterLayer, R: RouteLayer> ProtocolStack<C, R> {
         ctx: &mut StepCtx<'_, '_>,
         builder: &mut dyn TopologyBuilder,
     ) -> StackReport {
+        // Root span of the tick hierarchy; every stage span below nests
+        // inside it. Inert unless a span recorder is attached.
+        let mut tick_span = ctx.tick_span();
+        let ctx = &mut *tick_span;
         let step = self.world.step_with(ctx, builder);
         let now = ctx.now;
 

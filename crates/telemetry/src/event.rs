@@ -8,9 +8,10 @@
 //! untraced run is bit-identical to a build where telemetry was never
 //! attached (guarded by the counters-parity integration test).
 
-use crate::cause::{Cause, CauseTracker, RootCause};
+use crate::cause::{Cause, CauseId, CauseTracker, RootCause};
 use crate::profiler::{Phase, PhaseProfiler};
-use std::time::Instant;
+use crate::span::{SpanLabel, SpanRecorder, SpanStart};
+use std::time::{Duration, Instant};
 
 /// Identifier of a node (mirrors `manet_sim::NodeId`; the telemetry crate
 /// sits below the simulator in the dependency graph and cannot import it).
@@ -317,8 +318,9 @@ impl Subscriber for NoopSubscriber {
 }
 
 /// The handle instrumented code paths thread through the stack: an optional
-/// event sink, an optional tick-phase profiler, and an optional cause
-/// tracker for root-cause attribution.
+/// event sink, an optional tick-phase profiler, an optional cause tracker
+/// for root-cause attribution, and an optional span recorder for the
+/// hierarchical wall-clock timeline.
 ///
 /// [`Probe::off`] is the zero-cost disabled form; every hook is `#[inline]`
 /// and reduces to a `None` check.
@@ -327,6 +329,7 @@ pub struct Probe<'a> {
     sub: Option<&'a mut dyn Subscriber>,
     prof: Option<&'a mut PhaseProfiler>,
     causes: Option<&'a mut CauseTracker>,
+    spans: Option<&'a mut SpanRecorder>,
 }
 
 impl std::fmt::Debug for dyn Subscriber + '_ {
@@ -336,13 +339,15 @@ impl std::fmt::Debug for dyn Subscriber + '_ {
 }
 
 impl<'a> Probe<'a> {
-    /// The disabled probe: no subscriber, no profiler, no attribution.
+    /// The disabled probe: no subscriber, no profiler, no attribution,
+    /// no spans.
     #[inline]
     pub fn off() -> Probe<'static> {
         Probe {
             sub: None,
             prof: None,
             causes: None,
+            spans: None,
         }
     }
 
@@ -356,6 +361,7 @@ impl<'a> Probe<'a> {
             sub,
             prof,
             causes: None,
+            spans: None,
         }
     }
 
@@ -365,7 +371,12 @@ impl<'a> Probe<'a> {
         prof: Option<&'a mut PhaseProfiler>,
         causes: Option<&'a mut CauseTracker>,
     ) -> Probe<'a> {
-        Probe { sub, prof, causes }
+        Probe {
+            sub,
+            prof,
+            causes,
+            spans: None,
+        }
     }
 
     /// A tracing-only probe (no profiling, no attribution).
@@ -374,7 +385,17 @@ impl<'a> Probe<'a> {
             sub: Some(sub),
             prof: None,
             causes: None,
+            spans: None,
         }
+    }
+
+    /// Attaches (or detaches) a span recorder, builder style. The span
+    /// plane is orthogonal to the other probe parts: a probe can record
+    /// spans without a profiler and vice versa.
+    #[must_use]
+    pub fn with_spans(mut self, spans: Option<&'a mut SpanRecorder>) -> Probe<'a> {
+        self.spans = spans;
+        self
     }
 
     /// Whether a subscriber is attached.
@@ -393,6 +414,12 @@ impl<'a> Probe<'a> {
     #[inline]
     pub fn is_attributing(&self) -> bool {
         self.causes.is_some()
+    }
+
+    /// Whether a span recorder is attached.
+    #[inline]
+    pub fn is_spanning(&self) -> bool {
+        self.spans.is_some()
     }
 
     /// The attached cause tracker, if any.
@@ -428,39 +455,103 @@ impl<'a> Probe<'a> {
         }
     }
 
-    /// Runs `f`, charging its wall-clock time to `phase` when a profiler is
-    /// attached. Use [`Probe::phase_start`]/[`Probe::phase_end`] instead
-    /// when the timed region itself needs the probe.
+    /// Runs `f`, charging its wall-clock time to `phase` when a profiler
+    /// or span recorder is attached. Use
+    /// [`Probe::phase_start`]/[`Probe::phase_end`] instead when the timed
+    /// region itself needs the probe.
     #[inline]
     pub fn phase<T>(&mut self, phase: Phase, f: impl FnOnce() -> T) -> T {
-        match self.prof.as_deref_mut() {
-            Some(prof) => {
-                let t0 = Instant::now();
-                let out = f();
-                prof.record(phase, t0.elapsed().as_secs_f64());
-                out
-            }
-            None => f(),
-        }
+        let t0 = self.phase_start();
+        let out = f();
+        self.phase_end(phase, t0);
+        out
     }
 
     /// Starts timing a phase whose body needs `&mut self` (returns `None`
-    /// when no profiler is attached, so the disabled path never reads the
-    /// clock).
+    /// when neither a profiler nor a span recorder is attached, so the
+    /// disabled path never reads the clock).
     #[inline]
-    pub fn phase_start(&self) -> Option<Instant> {
+    pub fn phase_start(&mut self) -> Option<SpanStart> {
+        if let Some(spans) = self.spans.as_deref_mut() {
+            return Some(spans.open());
+        }
         if self.prof.is_some() {
-            Some(Instant::now())
-        } else {
-            None
+            return Some(SpanStart::untracked());
+        }
+        None
+    }
+
+    /// Ends a timing started by [`Probe::phase_start`]: the elapsed time
+    /// is recorded into the profiler (flat per-phase histogram) and
+    /// closed as a `Stage` span — each from the same single clock read.
+    #[inline]
+    pub fn phase_end(&mut self, phase: Phase, start: Option<SpanStart>) {
+        let Some(t0) = start else { return };
+        let dur = t0.at.elapsed();
+        if let Some(prof) = self.prof.as_deref_mut() {
+            prof.record(phase, dur.as_secs_f64());
+        }
+        if let Some(spans) = self.spans.as_deref_mut() {
+            spans.close_with(t0, SpanLabel::Stage(phase), None, None, dur);
         }
     }
 
-    /// Ends a timing started by [`Probe::phase_start`].
+    /// Opens the root tick span (and advances the recorder's tick
+    /// counter). `None` without a span recorder — the tick span exists
+    /// only on the span plane, so a profiler-only probe pays nothing.
     #[inline]
-    pub fn phase_end(&mut self, phase: Phase, start: Option<Instant>) {
-        if let (Some(prof), Some(t0)) = (self.prof.as_deref_mut(), start) {
-            prof.record(phase, t0.elapsed().as_secs_f64());
+    pub fn tick_start(&mut self) -> Option<SpanStart> {
+        self.spans.as_deref_mut().map(|s| {
+            s.start_tick();
+            s.open()
+        })
+    }
+
+    /// Closes the root tick span opened by [`Probe::tick_start`].
+    #[inline]
+    pub fn tick_end(&mut self, start: Option<SpanStart>) {
+        if let (Some(spans), Some(t0)) = (self.spans.as_deref_mut(), start) {
+            spans.close(t0, SpanLabel::Tick, None, None);
+        }
+    }
+
+    /// Opens a leaf span (interconnect hops and other sub-stages).
+    /// `None` without a span recorder, so the disabled path never reads
+    /// the clock.
+    #[inline]
+    pub fn span_open(&mut self) -> Option<SpanStart> {
+        self.spans.as_deref_mut().map(|s| s.open())
+    }
+
+    /// Closes a leaf span opened by [`Probe::span_open`], tagging it with
+    /// a shard and an optional causal link into the attribution plane.
+    #[inline]
+    pub fn span_close(
+        &mut self,
+        start: Option<SpanStart>,
+        label: SpanLabel,
+        shard: Option<u16>,
+        cause: Option<CauseId>,
+    ) {
+        if let (Some(spans), Some(t0)) = (self.spans.as_deref_mut(), start) {
+            spans.close(t0, label, shard, cause);
+        }
+    }
+
+    /// Folds in a span measured off-thread (e.g. one shard worker's
+    /// compute time, recorded by the main thread after the join so
+    /// sequence numbers stay deterministic and worker-count invariant).
+    #[inline]
+    pub fn span_sample(
+        &mut self,
+        label: SpanLabel,
+        shard: Option<u16>,
+        cause: Option<CauseId>,
+        at: Instant,
+        dur: Duration,
+    ) {
+        if let Some(spans) = self.spans.as_deref_mut() {
+            spans.record_external(label, shard, cause, at, dur);
         }
     }
 }
@@ -528,6 +619,61 @@ mod tests {
         assert_eq!(prof.count(Phase::Topology), 1);
         assert_eq!(prof.count(Phase::Cluster), 1);
         assert_eq!(prof.count(Phase::Mobility), 0);
+    }
+
+    /// Spans ride the same phase hooks as the profiler: one probe with
+    /// both attached feeds both from a single clock read, and the span
+    /// recorder also sees tick/leaf/off-thread spans the profiler never
+    /// does.
+    #[test]
+    fn phase_hooks_feed_spans_and_profiler_together() {
+        let mut prof = PhaseProfiler::new();
+        let mut spans = crate::span::SpanRecorder::new();
+        {
+            let mut p = Probe::new(None, Some(&mut prof)).with_spans(Some(&mut spans));
+            assert!(p.is_spanning());
+            let tick = p.tick_start();
+            assert!(tick.is_some());
+            let t0 = p.phase_start();
+            p.phase_end(Phase::Topology, t0);
+            let s = p.span_open();
+            p.span_close(s, SpanLabel::IcSend, Some(1), Some(CauseId(9)));
+            p.span_sample(
+                SpanLabel::ShardCompute,
+                Some(0),
+                None,
+                Instant::now(),
+                Duration::from_micros(10),
+            );
+            p.tick_end(tick);
+        }
+        assert_eq!(prof.count(Phase::Topology), 1);
+        assert_eq!(spans.spans_recorded(), 4);
+        assert_eq!(spans.tick(), 1);
+        assert!(spans.hist(SpanLabel::Tick, None).is_some());
+        assert!(spans.hist(SpanLabel::IcSend, Some(1)).is_some());
+        assert!(spans.hist(SpanLabel::ShardCompute, Some(0)).is_some());
+        // A spans-only probe still times phases (no profiler attached).
+        let mut spans2 = crate::span::SpanRecorder::new();
+        {
+            let mut p = Probe::new(None, None).with_spans(Some(&mut spans2));
+            assert!(!p.is_profiling());
+            let t0 = p.phase_start();
+            assert!(t0.is_some());
+            p.phase_end(Phase::Hello, t0);
+        }
+        assert_eq!(
+            spans2
+                .hist(SpanLabel::Stage(Phase::Hello), None)
+                .unwrap()
+                .count(),
+            1
+        );
+        // The disabled probe opens nothing.
+        let mut p = Probe::off();
+        assert!(!p.is_spanning());
+        assert_eq!(p.tick_start(), None);
+        assert_eq!(p.span_open(), None);
     }
 
     #[test]

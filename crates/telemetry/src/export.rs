@@ -11,6 +11,7 @@
 use crate::attribution::AttributionLedger;
 use crate::cause::RootCause;
 use crate::event::MsgClass;
+use crate::span::{SpanLabel, SpanRecorder};
 use crate::window::WindowedRecorder;
 use std::fmt::Write;
 
@@ -85,6 +86,21 @@ pub fn prometheus_text_with_shards(
     recorder: &WindowedRecorder,
     ledger: Option<&AttributionLedger>,
     shard: Option<&ShardSnapshot>,
+) -> String {
+    prometheus_text_full(recorder, ledger, shard, None)
+}
+
+/// The maximal exporter: counters and gauges from the recorder/ledger,
+/// shard-plane gauges, and — when a [`SpanRecorder`] is supplied — the
+/// `manet_stage_seconds{phase=,shard=}` histogram family built from the
+/// span plane's per-(stage, shard) log2 histograms. The `shard` label is
+/// `"all"` for main-thread spans and the shard index for worker-side
+/// spans; buckets are cumulative `le` edges per the exposition format.
+pub fn prometheus_text_full(
+    recorder: &WindowedRecorder,
+    ledger: Option<&AttributionLedger>,
+    shard: Option<&ShardSnapshot>,
+    spans: Option<&SpanRecorder>,
 ) -> String {
     let mut out = String::new();
 
@@ -293,6 +309,48 @@ pub fn prometheus_text_with_shards(
             "manet_ghost_staleness_max {}",
             snap.max_ghost_staleness
         );
+    }
+
+    if let Some(spans) = spans.filter(|s| !s.is_empty()) {
+        header(
+            &mut out,
+            "manet_stage_seconds",
+            "Span wall-clock seconds per pipeline stage and shard.",
+            "histogram",
+        );
+        for slot in 0..spans.shard_slots() {
+            let shard_label = if slot == 0 {
+                "all".to_string()
+            } else {
+                (slot - 1).to_string()
+            };
+            for label in SpanLabel::ALL {
+                let sh = (slot > 0).then(|| (slot - 1) as u16);
+                let Some(h) = spans.hist(label, sh) else {
+                    continue;
+                };
+                let base = format!(
+                    "phase=\"{}\",shard=\"{}\"",
+                    escape_label_value(label.name()),
+                    shard_label
+                );
+                let mut cum = 0u64;
+                for (edge, count) in h.buckets() {
+                    cum += count;
+                    let _ = writeln!(
+                        out,
+                        "manet_stage_seconds_bucket{{{base},le=\"{edge}\"}} {cum}"
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "manet_stage_seconds_bucket{{{base},le=\"+Inf\"}} {}",
+                    h.count()
+                );
+                let _ = writeln!(out, "manet_stage_seconds_sum{{{base}}} {}", h.sum());
+                let _ = writeln!(out, "manet_stage_seconds_count{{{base}}} {}", h.count());
+            }
+        }
     }
 
     if let Some(ledger) = ledger {
@@ -551,33 +609,53 @@ mod tests {
             links_down: 0,
             max_ghost_staleness: 1,
         };
-        let text = prometheus_text_with_shards(&rec, Some(&ledger), Some(&snap));
+        let mut spans = SpanRecorder::new();
+        spans.start_tick();
+        let t = spans.open();
+        let s = spans.open();
+        spans.close(s, SpanLabel::ShardCompute, Some(1), None);
+        spans.close(t, SpanLabel::Tick, None, None);
+        let text = prometheus_text_full(&rec, Some(&ledger), Some(&snap), Some(&spans));
+        assert!(text.contains("# TYPE manet_stage_seconds histogram"));
 
-        let mut declared: Vec<(String, bool)> = Vec::new(); // (name, has_type)
+        let mut declared: Vec<(String, Option<String>)> = Vec::new(); // (name, type kind)
         for line in text.lines() {
             assert!(!line.trim().is_empty(), "no blank lines in exposition");
             if let Some(rest) = line.strip_prefix("# HELP ") {
                 let name = rest.split(' ').next().unwrap().to_string();
                 assert!(valid_metric_name(&name), "{name}");
-                declared.push((name, false));
+                declared.push((name, None));
             } else if let Some(rest) = line.strip_prefix("# TYPE ") {
                 let mut parts = rest.split(' ');
                 let name = parts.next().unwrap();
                 let kind = parts.next().unwrap();
                 let last = declared.last_mut().expect("TYPE after HELP");
                 assert_eq!(last.0, name, "TYPE names the metric its HELP declared");
-                assert!(["counter", "gauge"].contains(&kind), "{kind}");
-                last.1 = true;
+                assert!(["counter", "gauge", "histogram"].contains(&kind), "{kind}");
+                last.1 = Some(kind.to_string());
             } else {
                 // A sample: name[{labels}] value
                 let (series, value) = line.rsplit_once(' ').expect("sample shape: {line}");
                 assert!(value.parse::<f64>().is_ok(), "{line}");
                 let name = series.split('{').next().unwrap();
                 assert!(valid_metric_name(name), "{name}");
-                let (declared_name, has_type) =
-                    declared.last().expect("samples follow a header pair");
-                assert_eq!(declared_name, name, "sample under its own header block");
-                assert!(has_type, "HELP without TYPE before {line}");
+                let (declared_name, kind) = declared.last().expect("samples follow a header pair");
+                let kind = kind.as_deref().unwrap_or_else(|| {
+                    panic!("HELP without TYPE before {line}");
+                });
+                if kind == "histogram" {
+                    // Histogram samples use the declared family name with a
+                    // _bucket/_sum/_count suffix.
+                    let suffix = name
+                        .strip_prefix(declared_name.as_str())
+                        .unwrap_or_else(|| panic!("sample outside its family: {line}"));
+                    assert!(
+                        ["_bucket", "_sum", "_count"].contains(&suffix),
+                        "bad histogram suffix in {line}"
+                    );
+                } else {
+                    assert_eq!(declared_name, name, "sample under its own header block");
+                }
                 if let Some(labels) = series
                     .strip_prefix(name)
                     .and_then(|l| l.strip_prefix('{'))
@@ -606,6 +684,58 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// The span family renders one cumulative-bucket series per
+    /// (stage, shard) cell that actually received spans, with `shard="all"`
+    /// for main-thread work, monotone `_bucket` counts ending at `+Inf`,
+    /// and `_count` equal to the cell's span count.
+    #[test]
+    fn span_recorder_renders_stage_seconds_histograms() {
+        let rec = WindowedRecorder::new(5.0);
+        let mut spans = SpanRecorder::new();
+        spans.start_tick();
+        for shard in [None, Some(0u16), Some(1)] {
+            for _ in 0..3 {
+                let s = spans.open();
+                spans.close(s, SpanLabel::ShardCompute, shard, None);
+            }
+        }
+        let t = spans.open();
+        spans.close(t, SpanLabel::Tick, None, None);
+
+        let text = prometheus_text_full(&rec, None, None, Some(&spans));
+        assert!(text.contains("# TYPE manet_stage_seconds histogram"));
+        assert!(text.contains("manet_stage_seconds_count{phase=\"tick\",shard=\"all\"} 1"));
+        assert!(text.contains("manet_stage_seconds_count{phase=\"shard_compute\",shard=\"all\"} 3"));
+        assert!(text.contains("manet_stage_seconds_count{phase=\"shard_compute\",shard=\"0\"} 3"));
+        assert!(text.contains("manet_stage_seconds_count{phase=\"shard_compute\",shard=\"1\"} 3"));
+        assert!(text.contains("phase=\"shard_compute\",shard=\"1\",le=\"+Inf\"} 3"));
+        // No series for cells that never saw a span.
+        assert!(!text.contains("phase=\"ic_send\""));
+
+        // Cumulative buckets are monotone non-decreasing within a series
+        // and the +Inf bucket matches the count.
+        let series = "phase=\"shard_compute\",shard=\"0\"";
+        let mut last = 0u64;
+        let mut inf = None;
+        for line in text
+            .lines()
+            .filter(|l| l.starts_with("manet_stage_seconds_bucket") && l.contains(series))
+        {
+            let v: u64 = line.rsplit_once(' ').unwrap().1.parse().unwrap();
+            assert!(v >= last, "non-monotone bucket in {line}");
+            last = v;
+            if line.contains("le=\"+Inf\"") {
+                inf = Some(v);
+            }
+        }
+        assert_eq!(inf, Some(3));
+
+        // Without spans (or with an empty recorder) the family is absent.
+        let empty = SpanRecorder::new();
+        let text = prometheus_text_full(&rec, None, None, Some(&empty));
+        assert!(!text.contains("manet_stage_seconds"));
     }
 
     #[test]

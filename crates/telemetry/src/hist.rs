@@ -8,12 +8,15 @@
 //! the long-running server path where the old per-sample `Vec`s inside
 //! the profiler were an unbounded leak.
 //!
-//! Quantiles are approximate: a query returns the upper edge of the
-//! bucket holding the nearest-rank sample, clamped to the observed
-//! `[min, max]` range. Because buckets are powers of two, the answer is
-//! always within one log2 bucket of the exact order statistic (at most
-//! 2× the true value, never below it) — pinned by a regression test in
-//! `profiler.rs` against the exact nearest-rank reference.
+//! Quantiles are approximate: a query interpolates by rank position
+//! inside the bucket holding the nearest-rank sample, with the bucket's
+//! span clipped to the observed `[min, max]` range. Because buckets are
+//! powers of two, the answer is always within one log2 bucket of the
+//! exact order statistic (between 0.5× and 2× the true value) — pinned
+//! by a regression test in `profiler.rs` against the exact nearest-rank
+//! reference — and an interior quantile of a spread distribution never
+//! collapses onto the max endpoint (the old edge-clamping answer did
+//! whenever the top bucket held more than `1 − q` of the samples).
 
 /// Number of log2 buckets (compile-time capacity of a [`Histogram`]).
 pub const HIST_BUCKETS: usize = 64;
@@ -120,12 +123,15 @@ impl Histogram {
         (self.count > 0).then_some(self.sum / self.count as f64)
     }
 
-    /// Nearest-rank quantile, approximated to the containing log2
-    /// bucket's upper edge and clamped to the observed `[min, max]`.
-    /// `None` when empty; `q` is clamped to `[0, 1]`.
+    /// Nearest-rank quantile, interpolated by rank position inside the
+    /// containing log2 bucket (bucket span clipped to the observed
+    /// `[min, max]`). `None` when empty; `q` is clamped to `[0, 1]`.
     ///
-    /// The result never undershoots the exact nearest-rank value and
-    /// overshoots by at most one bucket (a factor of 2).
+    /// The result stays within one log2 bucket of the exact nearest-rank
+    /// value (between 0.5× and 2× it), and — unlike the former
+    /// edge-clamping answer — an interior rank reports an interior
+    /// value: p99 of a spread distribution stays strictly below the max
+    /// even when the top bucket holds more than 1% of the samples.
     pub fn quantile(&self, q: f64) -> Option<f64> {
         if self.count == 0 {
             return None;
@@ -141,15 +147,25 @@ impl Histogram {
         }
         let mut cum = 0u64;
         for (b, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let before = cum;
             cum += c;
             if cum >= rank {
-                // Bucket 0 has no meaningful edge; report the exact min.
-                let edge = if b == 0 {
-                    self.min
-                } else {
-                    Self::upper_edge(b)
-                };
-                return Some(edge.clamp(self.min, self.max));
+                // Bucket 0 has no meaningful edges; report the exact min.
+                if b == 0 {
+                    return Some(self.min);
+                }
+                // The rank-th sample is one of `c` samples inside this
+                // bucket's span (clipped to the exact endpoints, which
+                // tightens the extreme buckets); interpolate linearly by
+                // its rank position within the bucket.
+                let upper = Self::upper_edge(b);
+                let lo = (upper * 0.5).max(self.min);
+                let hi = upper.min(self.max);
+                let pos = (rank - before) as f64 / c as f64;
+                return Some((lo + pos * (hi - lo)).clamp(self.min, self.max));
             }
         }
         Some(self.max)
@@ -173,6 +189,18 @@ impl Histogram {
     /// 99.9th percentile.
     pub fn p999(&self) -> Option<f64> {
         self.quantile(0.999)
+    }
+
+    /// Non-empty log2 buckets as `(upper_edge_seconds, count)` pairs in
+    /// ascending edge order. The Prometheus exporter turns these into
+    /// cumulative `le` buckets; bucket 0 (underflow: zero/negative/
+    /// subnormal samples) reports the smallest representable edge.
+    pub fn buckets(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(b, &c)| (Self::upper_edge(b), c))
     }
 
     /// Folds `other` into `self` (bucket-wise addition; min/max/sum/count
@@ -232,14 +260,109 @@ mod tests {
         for q in [0.5, 0.9, 0.99, 0.999] {
             let exact = exact_quantile(&samples, q);
             let approx = h.quantile(q).unwrap();
+            // Interpolation keeps the answer inside the exact value's
+            // log2 bucket: between 0.5× and 2× the true order statistic.
             assert!(
-                approx >= exact && approx <= exact * 2.0,
+                approx >= exact * 0.5 && approx <= exact * 2.0,
                 "q={q}: approx {approx} vs exact {exact}"
             );
         }
         // Extremes are exact, not bucketed.
         assert_eq!(h.quantile(0.0), Some(samples[0]));
         assert_eq!(h.quantile(1.0).unwrap(), *samples.last().unwrap());
+    }
+
+    /// Regression for the small-n quantile wart: with a linear spread the
+    /// top log2 bucket holds far more than 1% of the samples, and the old
+    /// edge-clamping quantile answered `max` for p99 (the bucket's upper
+    /// edge, clamped). Interpolation must report an interior value.
+    #[test]
+    fn interior_quantiles_stay_strictly_below_the_max() {
+        let samples: Vec<f64> = (1..=300).map(|i| 1e-6 * i as f64).collect();
+        let mut h = Histogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let p99 = h.quantile(0.99).unwrap();
+        let max = h.max().unwrap();
+        assert!(p99 < max, "p99 {p99} must not collapse onto max {max}");
+        let exact = exact_quantile(&samples, 0.99);
+        assert!(
+            p99 >= exact * 0.5 && p99 <= exact * 2.0,
+            "p99 {p99} vs exact {exact}"
+        );
+        // Quantiles remain monotone in q.
+        let p50 = h.quantile(0.5).unwrap();
+        let p90 = h.quantile(0.9).unwrap();
+        assert!(p50 <= p90 && p90 <= p99);
+    }
+
+    /// Seeded property: merging two histograms answers every quantile
+    /// exactly as if one histogram had recorded the concatenated stream,
+    /// and recording after a merge keeps the exact min/max endpoints.
+    #[test]
+    fn merge_matches_concatenated_stream_under_random_streams() {
+        let mut rng = manet_util::Rng::seed_from_u64(0xC0FFEE);
+        for case in 0..20u64 {
+            let n_a = 1 + rng.usize_below(200);
+            let n_b = 1 + rng.usize_below(200);
+            let mut a = Histogram::new();
+            let mut b = Histogram::new();
+            let mut both = Histogram::new();
+            // Log-uniform samples spanning ~9 decades of seconds.
+            let draw = |rng: &mut manet_util::Rng| 10f64.powf(rng.f64_range(-9.0..0.0));
+            for _ in 0..n_a {
+                let v = draw(&mut rng);
+                a.record(v);
+                both.record(v);
+            }
+            for _ in 0..n_b {
+                let v = draw(&mut rng);
+                b.record(v);
+                both.record(v);
+            }
+            a.merge(&b);
+            // Counts and endpoints are exact; the sum differs only by
+            // float-addition order (merge adds the two partial sums).
+            assert_eq!(a.count(), both.count(), "case {case}");
+            assert_eq!(a.min(), both.min(), "case {case}");
+            assert_eq!(a.max(), both.max(), "case {case}");
+            assert!(
+                (a.sum() - both.sum()).abs() <= 1e-12 * both.sum().abs(),
+                "case {case}: sums diverged beyond rounding"
+            );
+            for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+                assert_eq!(
+                    a.quantile(q),
+                    both.quantile(q),
+                    "case {case}: quantile q={q} diverged after merge"
+                );
+            }
+            // Recording after the merge keeps endpoints exact: push one
+            // sample below and one above everything seen so far.
+            let old_min = a.min().unwrap();
+            let old_max = a.max().unwrap();
+            a.record(old_min * 0.25);
+            a.record(old_max * 4.0);
+            assert_eq!(a.min(), Some(old_min * 0.25));
+            assert_eq!(a.max(), Some(old_max * 4.0));
+            assert_eq!(a.quantile(0.0), Some(old_min * 0.25));
+            assert_eq!(a.quantile(1.0), Some(old_max * 4.0));
+        }
+    }
+
+    #[test]
+    fn buckets_iterate_non_empty_cells_in_edge_order() {
+        let mut h = Histogram::new();
+        for v in [1e-6, 1.5e-6, 3e-3, 0.5] {
+            h.record(v);
+        }
+        let buckets: Vec<(f64, u64)> = h.buckets().collect();
+        assert_eq!(buckets.iter().map(|&(_, c)| c).sum::<u64>(), 4);
+        assert!(buckets.windows(2).all(|w| w[0].0 < w[1].0), "ascending");
+        // 1e-6 and 1.5e-6 share one log2 bucket.
+        assert_eq!(buckets.len(), 3);
+        assert_eq!(buckets[0].1, 2);
     }
 
     #[test]

@@ -52,6 +52,12 @@
 //!   event stream, dumped as replayable JSONL (same codec as [`sink`])
 //!   when an audit violation fires — chaos post-mortems without paying
 //!   for full tracing.
+//! * [`span`] — the span plane: hierarchical wall-clock spans
+//!   (tick → stage → shard → interconnect hop) recorded through the
+//!   probe's phase hooks, aggregated per `(label, shard)` into streaming
+//!   histograms by a [`SpanRecorder`] with an optional bounded raw ring,
+//!   and exported as Chrome trace-event JSON ([`chrome_trace_json`]) for
+//!   Perfetto / `chrome://tracing`.
 //!
 //! The crate depends only on `manet-util` (for the in-house JSON layer),
 //! keeping the workspace hermetic, and sits *below* the simulator in the
@@ -71,6 +77,7 @@ pub mod hist;
 pub mod profiler;
 pub mod serve;
 pub mod sink;
+pub mod span;
 pub mod window;
 
 pub use attribution::{is_root_anchor, root_weight, AttributionLedger, ChainEntry};
@@ -78,11 +85,13 @@ pub use audit::{AuditConfig, AuditMonitor, AuditReport, AuditSample, AuditViolat
 pub use cause::{Cause, CauseId, CauseTracker, RootCause};
 pub use event::{Event, EventKind, Layer, MsgClass, NodeId, NoopSubscriber, Probe, Subscriber};
 pub use export::{
-    escape_label_value, prometheus_text, prometheus_text_with_shards, ShardGaugeRow, ShardSnapshot,
+    escape_label_value, prometheus_text, prometheus_text_full, prometheus_text_with_shards,
+    ShardGaugeRow, ShardSnapshot,
 };
 pub use flight::{FlightRecorder, FlightTrigger};
 pub use hist::{Histogram, HIST_BUCKETS};
 pub use profiler::{Phase, PhaseProfiler, PhaseSummary, ProfileReport};
 pub use serve::{MetricsServer, Publisher, TelemetrySnapshot};
 pub use sink::{read_trace, JsonlSink, Trace, TraceMeta, TraceOut};
+pub use span::{chrome_trace_json, RawSpan, SpanLabel, SpanRecorder, SpanStart, SpanTimebase};
 pub use window::{WindowStats, WindowedRecorder};

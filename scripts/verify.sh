@@ -65,6 +65,18 @@ echo "==> interconnect chaos smoke (robustness2 --quick)"
 # every InterconnectFault causal chain anchors in the ledger.
 cargo run -q --release -p manet-experiments --bin robustness2 -- --quick
 
+echo "==> span plane smoke (span_report --quick + Chrome trace check)"
+# Span tracing plane (DESIGN.md §16): the sharded chaos scenario with a
+# span recorder attached. The bin's own gates pin profiler
+# reconciliation within 1% and byte-identical canonical dumps across
+# same-seed runs; the --check pass re-validates the emitted Chrome
+# trace-event JSON through the in-house JSON reader.
+span_trace=$(mktemp -t spans_XXXXXX.json)
+cargo run -q --release -p manet-experiments --bin span_report -- \
+    --quick --spans-out "$span_trace" --spans-canonical
+cargo run -q --release -p manet-experiments --bin span_report -- --check "$span_trace"
+rm -f "$span_trace"
+
 echo "==> live observability smoke (/metrics + /health over a real scrape)"
 # Live exporter (DESIGN.md §15): a short traced run serving on an
 # ephemeral port; curl /metrics and /health mid-hold, assert well-formed
