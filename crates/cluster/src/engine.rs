@@ -2,7 +2,7 @@
 
 use crate::policy::ClusterPolicy;
 use crate::Role;
-use manet_sim::{NodeId, StepCtx, Topology};
+use manet_sim::{NodeId, StageScope, StepCtx, Topology};
 use manet_telemetry::{Cause, EventKind, Layer, RootCause};
 use std::fmt;
 
@@ -478,6 +478,261 @@ impl<P: ClusterPolicy> Clustering<P> {
 
         // The engine only guarantees clean invariants when nothing was
         // lost, deferred, or down this pass.
+        #[cfg(debug_assertions)]
+        if outcome.lost_sends == 0
+            && outcome.deferred_sends == 0
+            && (0..n as NodeId).all(|u| ctx.is_alive(u))
+        {
+            debug_assert_eq!(self.check_invariants(topology), Ok(()));
+        }
+        outcome
+    }
+
+    /// [`Clustering::maintain`] with a scoped worker pool (DESIGN.md §17):
+    /// the read-only scans — broken affiliations (phase 1) and adjacent
+    /// head pairs (phase 2 candidates) — fan out per owner frame, while
+    /// every commit (role writes, cause allocation, fault attempts,
+    /// emissions) replays sequentially in the exact order of the
+    /// monolithic pass. Bit-identical to `maintain` for every frame
+    /// layout and worker count:
+    ///
+    /// * Both scans read only the pre-pass roles and topology, which
+    ///   phase 1 never mutates, so hoisting them before the commits
+    ///   changes nothing.
+    /// * Frames partition the ids, so the merged candidate lists (sorted
+    ///   — frames are spatial tiles, their concatenation is not
+    ///   id-ordered) equal the sequential scan order: neighbor rows are
+    ///   sorted, hence the sequential contact rescan always picks the
+    ///   lexicographically smallest live pair, and since resignations
+    ///   only ever *remove* heads, a single forward pass over the sorted
+    ///   pair list with a validity re-check visits the same pairs in the
+    ///   same order.
+    ///
+    /// Falls back to the sequential pass when the scope's frames do not
+    /// cover the node set exactly.
+    pub fn maintain_scoped(
+        &mut self,
+        topology: &Topology,
+        ctx: &mut StepCtx<'_, '_>,
+        scope: &mut StageScope<'_>,
+    ) -> MaintenanceOutcome {
+        let now = ctx.now;
+        assert_eq!(
+            topology.len(),
+            self.roles.len(),
+            "topology node count changed under a live clustering"
+        );
+        if scope.frames().len() != self.roles.len() {
+            return self.maintain(topology, ctx);
+        }
+        let n = self.roles.len();
+
+        // Parallel scan: pure reads of roles + topology, no RNG, no
+        // telemetry, no writes. `true` marks a broken member↔head link,
+        // `false` a recorded head that quietly stopped being one.
+        type FrameScan = (Vec<(NodeId, NodeId, bool)>, Vec<(NodeId, NodeId)>);
+        let mut scans: Vec<FrameScan> =
+            vec![(Vec::new(), Vec::new()); scope.frames().frame_count()];
+        {
+            let roles = &self.roles;
+            scope.map_frames(&mut scans, |_, ids, (broken, pairs)| {
+                for &u in ids {
+                    match roles[u as usize] {
+                        Role::Member { head } => {
+                            if !topology.are_linked(u, head) {
+                                broken.push((u, head, true));
+                            } else if !roles[head as usize].is_head() {
+                                broken.push((u, head, false));
+                            }
+                        }
+                        Role::Head => {
+                            for &b in topology.neighbors(u) {
+                                if b > u && roles[b as usize].is_head() {
+                                    pairs.push((u, b));
+                                }
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        let mut broken: Vec<(NodeId, NodeId, bool)> = Vec::new();
+        let mut contacts: Vec<(NodeId, NodeId)> = Vec::new();
+        for (b, p) in &scans {
+            broken.extend_from_slice(b);
+            contacts.extend_from_slice(p);
+        }
+        broken.sort_unstable();
+        contacts.sort_unstable();
+
+        let mut outcome = MaintenanceOutcome::default();
+        let mut orphan_cause: Vec<Option<OrphanCause>> = vec![None; n];
+        let mut orphan_why: Vec<Option<Cause>> = vec![None; n];
+
+        // Phase 1 commit: orphan the broken members, ascending id — the
+        // aliveness gate runs here, on the sequential path, exactly where
+        // the monolithic pass applies it.
+        for &(u, head, link_broke) in &broken {
+            if !ctx.is_alive(u) {
+                continue;
+            }
+            let cause = if link_broke {
+                orphan_cause[u as usize] = Some(OrphanCause::LinkBroke);
+                ctx.probe.causes().map(|t| {
+                    t.churn_cause(head, now)
+                        .or_else(|| t.churn_cause(u, now))
+                        .unwrap_or_else(|| t.allocate(RootCause::HeadLoss))
+                })
+            } else {
+                orphan_cause[u as usize] = Some(OrphanCause::HeadResigned);
+                ctx.probe.causes().map(|t| {
+                    t.resignation_cause(head)
+                        .unwrap_or_else(|| t.allocate(RootCause::HeadLoss))
+                })
+            };
+            orphan_why[u as usize] = cause;
+            if ctx.probe.is_attributing() {
+                ctx.probe.emit_caused(
+                    now,
+                    Layer::Cluster,
+                    EventKind::HeadLost { member: u, head },
+                    cause,
+                );
+            }
+        }
+
+        // Phase 2 commit: one forward pass over the sorted contact pairs.
+        // Pairs whose endpoints lost headship to an earlier resignation
+        // are skipped; lost/deferred resignations stay adjacent heads and
+        // retry next pass (the monolithic `unresolved` set).
+        for &(a, b) in &contacts {
+            if !(self.roles[a as usize].is_head() && self.roles[b as usize].is_head()) {
+                continue;
+            }
+            let (winner, loser) =
+                if self.policy.priority(a, topology) > self.policy.priority(b, topology) {
+                    (a, b)
+                } else {
+                    (b, a)
+                };
+            match ctx.attempt(loser) {
+                Attempt::Delivered => {
+                    self.roles[loser as usize] = Role::Member { head: winner };
+                    outcome.contact_resignations += 1;
+                    let cause = ctx.probe.causes().map(|t| {
+                        let c = t.allocate(RootCause::HeadContact);
+                        t.note_resignation(loser, c);
+                        c
+                    });
+                    ctx.probe.emit_caused(
+                        now,
+                        Layer::Cluster,
+                        EventKind::HeadResigned {
+                            node: loser,
+                            new_head: winner,
+                        },
+                        cause,
+                    );
+                    orphan_cause[loser as usize] = None; // it just re-homed itself
+                    orphan_why[loser as usize] = None;
+                    for m in 0..n as NodeId {
+                        if let Role::Member { head } = self.roles[m as usize] {
+                            if head == loser && orphan_cause[m as usize].is_none() {
+                                orphan_cause[m as usize] = Some(OrphanCause::HeadResigned);
+                                orphan_why[m as usize] = cause;
+                                if ctx.probe.is_attributing() {
+                                    ctx.probe.emit_caused(
+                                        now,
+                                        Layer::Cluster,
+                                        EventKind::HeadLost {
+                                            member: m,
+                                            head: loser,
+                                        },
+                                        cause,
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+                Attempt::Lost => outcome.lost_sends += 1,
+                Attempt::Deferred => outcome.deferred_sends += 1,
+            }
+        }
+
+        // Phase 3: identical to the monolithic pass.
+        for u in 0..n as NodeId {
+            let Some(cause) = orphan_cause[u as usize] else {
+                continue;
+            };
+            match ctx.attempt(u) {
+                Attempt::Delivered => {}
+                Attempt::Lost => {
+                    outcome.lost_sends += 1;
+                    continue;
+                }
+                Attempt::Deferred => {
+                    outcome.deferred_sends += 1;
+                    continue;
+                }
+            }
+            let best_head = topology
+                .neighbors(u)
+                .iter()
+                .filter(|&&x| self.roles[x as usize].is_head())
+                .max_by_key(|&&x| self.policy.priority(x, topology))
+                .copied();
+            let why = orphan_why[u as usize];
+            match (best_head, cause) {
+                (Some(h), OrphanCause::LinkBroke) => {
+                    self.roles[u as usize] = Role::Member { head: h };
+                    outcome.break_reaffiliations += 1;
+                    ctx.probe.emit_caused(
+                        now,
+                        Layer::Cluster,
+                        EventKind::MemberReaffiliated { member: u, head: h },
+                        why,
+                    );
+                }
+                (Some(h), OrphanCause::HeadResigned) => {
+                    self.roles[u as usize] = Role::Member { head: h };
+                    outcome.contact_reaffiliations += 1;
+                    ctx.probe.emit_caused(
+                        now,
+                        Layer::Cluster,
+                        EventKind::MemberReaffiliated { member: u, head: h },
+                        why,
+                    );
+                }
+                (None, OrphanCause::LinkBroke) => {
+                    self.roles[u as usize] = Role::Head;
+                    outcome.break_promotions += 1;
+                    if let Some(t) = ctx.probe.causes() {
+                        t.clear_resignation(u);
+                    }
+                    ctx.probe.emit_caused(
+                        now,
+                        Layer::Cluster,
+                        EventKind::HeadElected { node: u },
+                        why,
+                    );
+                }
+                (None, OrphanCause::HeadResigned) => {
+                    self.roles[u as usize] = Role::Head;
+                    outcome.contact_promotions += 1;
+                    if let Some(t) = ctx.probe.causes() {
+                        t.clear_resignation(u);
+                    }
+                    ctx.probe.emit_caused(
+                        now,
+                        Layer::Cluster,
+                        EventKind::HeadElected { node: u },
+                        why,
+                    );
+                }
+            }
+        }
+
         #[cfg(debug_assertions)]
         if outcome.lost_sends == 0
             && outcome.deferred_sends == 0

@@ -16,9 +16,12 @@
 //! cargo run --release -p manet-experiments --bin bench_shard -- --quick   # smoke: stdout only
 //! ```
 
+use manet_cluster::{Clustering, LowestId};
 use manet_geom::ShardDims;
-use manet_shard::ShardPlane;
+use manet_routing::intra::IntraClusterRouting;
+use manet_shard::{ShardPlane, ShardedStack};
 use manet_sim::{HelloMode, QuietCtx, Scratch, SimBuilder, StepCtx, World};
+use manet_stack::ProtocolStack;
 use manet_telemetry::{Probe, SpanLabel, SpanRecorder};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -55,6 +58,10 @@ const SPEED: f64 = 10.0;
 const DENSITY: f64 = 400.0 / 1e6; // nodes per m², fixed across sizes
 
 struct Row {
+    /// `"world_step"`: mobility + topology + HELLO accounting only.
+    /// `"full_stack"`: the whole canonical pipeline (Mobility → Topology →
+    /// HELLO → Cluster → Route → Telemetry) through the stage traits.
+    mode: &'static str,
     nodes: usize,
     side: f64,
     layout: String,
@@ -151,6 +158,7 @@ fn bench_cell(
     };
 
     Row {
+        mode: "world_step",
         nodes,
         side,
         layout: layout.map_or("mono".to_string(), |d| d.to_string()),
@@ -164,11 +172,148 @@ fn bench_cell(
     }
 }
 
-fn bench_size(nodes: usize, layouts: &[&str], measure_ticks: usize, warm_ticks: usize) -> Vec<Row> {
-    let mut rows = vec![bench_cell(nodes, None, measure_ticks, warm_ticks)];
+/// The full canonical pipeline under bench: either the monolithic stack or
+/// the sharded stack whose every stage runs on the plane.
+enum StackBench {
+    Mono(Box<ProtocolStack<Clustering<LowestId>, IntraClusterRouting>>),
+    Sharded(Box<ShardedStack<Clustering<LowestId>, IntraClusterRouting>>),
+}
+
+impl StackBench {
+    fn build(nodes: usize, side: f64, layout: Option<ShardDims>) -> Self {
+        let world = build_world(nodes, side);
+        let clustering = Clustering::form(LowestId, world.topology());
+        match layout {
+            None => StackBench::Mono(Box::new(ProtocolStack::ideal(
+                world,
+                clustering,
+                IntraClusterRouting::new(),
+            ))),
+            Some(dims) => StackBench::Sharded(Box::new(
+                ShardedStack::ideal(world, clustering, IntraClusterRouting::new(), dims)
+                    .unwrap_or_else(|e| panic!("layout {dims}: {e}")),
+            )),
+        }
+    }
+
+    fn prime(&mut self, ctx: &mut StepCtx<'_, '_>) {
+        match self {
+            StackBench::Mono(s) => s.prime(ctx),
+            StackBench::Sharded(s) => s.prime(ctx),
+        }
+    }
+
+    fn tick(&mut self, ctx: &mut StepCtx<'_, '_>) {
+        match self {
+            StackBench::Mono(s) => {
+                s.tick(ctx);
+            }
+            StackBench::Sharded(s) => {
+                s.tick(ctx);
+            }
+        }
+    }
+
+    fn workers(&self) -> usize {
+        match self {
+            StackBench::Mono(_) => 1,
+            StackBench::Sharded(s) => s.plane().workers(),
+        }
+    }
+}
+
+/// One (N, layout) cell of the full-stack sweep: the whole
+/// Mobility→HELLO→Cluster→Route pipeline per tick, through the stage
+/// traits (monolithic defaults vs the shard plane's frame-parallel
+/// stages). The imbalance here aggregates *all* per-shard stage spans —
+/// topology compute plus the scoped HELLO/cluster/route scans.
+fn bench_stack_cell(
+    nodes: usize,
+    layout: Option<ShardDims>,
+    measure_ticks: usize,
+    warm_ticks: usize,
+) -> Row {
+    let side = (nodes as f64 / DENSITY).sqrt();
+    let mut bench = StackBench::build(nodes, side, layout);
+    let mut quiet = QuietCtx::new();
+    bench.prime(&mut quiet.ctx());
+    for _ in 0..warm_ticks {
+        bench.tick(&mut quiet.ctx());
+    }
+    let t0 = Instant::now();
+    for _ in 0..measure_ticks {
+        bench.tick(&mut quiet.ctx());
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    // The cluster/route layers allocate per tick by design (they are
+    // outside the world-step zero-allocation contract); the count is
+    // recorded to keep that cost visible, not gated on.
+    let alloc_window = 100.min(measure_ticks.max(25));
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..alloc_window {
+        bench.tick(&mut quiet.ctx());
+    }
+    let step_allocs = (ALLOCS.load(Ordering::Relaxed) - before) * 100 / alloc_window.max(1) as u64;
+
+    let compute_imbalance = if matches!(bench, StackBench::Sharded(_)) {
+        let mut spans = SpanRecorder::new();
+        let mut scratch = Scratch::new();
+        for _ in 0..measure_ticks.min(25) {
+            let mut probe = Probe::new(None, None).with_spans(Some(&mut spans));
+            let mut ctx = StepCtx::new(&mut probe, &mut scratch);
+            bench.tick(&mut ctx);
+        }
+        let shards = spans.shard_slots().saturating_sub(1);
+        let totals: Vec<f64> = (0..shards)
+            .map(|s| {
+                [
+                    SpanLabel::ShardCompute,
+                    SpanLabel::ShardHello,
+                    SpanLabel::ShardCluster,
+                    SpanLabel::ShardRoute,
+                ]
+                .iter()
+                .map(|&l| spans.hist(l, Some(s as u16)).map_or(0.0, |h| h.sum()))
+                .sum()
+            })
+            .collect();
+        let mean = totals.iter().sum::<f64>() / totals.len().max(1) as f64;
+        if mean > 0.0 {
+            totals.iter().cloned().fold(0.0, f64::max) / mean
+        } else {
+            1.0
+        }
+    } else {
+        1.0
+    };
+
+    Row {
+        mode: "full_stack",
+        nodes,
+        side,
+        layout: layout.map_or("mono".to_string(), |d| d.to_string()),
+        shards: layout.map_or(1, |d| d.count()),
+        workers: bench.workers(),
+        measure_ticks,
+        ticks_per_sec: measure_ticks as f64 / elapsed,
+        speedup_vs_1x1: 0.0,
+        step_allocs_per_100_ticks: step_allocs,
+        compute_imbalance,
+    }
+}
+
+fn bench_size(
+    nodes: usize,
+    layouts: &[&str],
+    measure_ticks: usize,
+    warm_ticks: usize,
+    cell: fn(usize, Option<ShardDims>, usize, usize) -> Row,
+) -> Vec<Row> {
+    let mut rows = vec![cell(nodes, None, measure_ticks, warm_ticks)];
     for l in layouts {
         let dims = ShardDims::parse(l).expect("layout literal");
-        rows.push(bench_cell(nodes, Some(dims), measure_ticks, warm_ticks));
+        rows.push(cell(nodes, Some(dims), measure_ticks, warm_ticks));
     }
     let base = rows
         .iter()
@@ -179,6 +324,48 @@ fn bench_size(nodes: usize, layouts: &[&str], measure_ticks: usize, warm_ticks: 
         r.speedup_vs_1x1 = r.ticks_per_sec / base;
     }
     rows
+}
+
+/// The `--quick` stage-parallel parity gate: the full sharded stack (every
+/// stage on the plane, default worker pool) must report bit-identically to
+/// the monolithic stack, tick for tick. This is the cheap CI face of the
+/// golden-parity suites; a nonzero exit fails `verify.sh`.
+fn stage_parity_gate() -> bool {
+    let nodes = 400;
+    let side = (nodes as f64 / DENSITY).sqrt();
+    for l in ["2x2", "4x2"] {
+        let dims = ShardDims::parse(l).expect("layout literal");
+        let w = build_world(nodes, side);
+        let c = Clustering::form(LowestId, w.topology());
+        let mut mono = ProtocolStack::ideal(w, c, IntraClusterRouting::new());
+        let w = build_world(nodes, side);
+        let c = Clustering::form(LowestId, w.topology());
+        let mut sharded = ShardedStack::ideal(w, c, IntraClusterRouting::new(), dims)
+            .unwrap_or_else(|e| panic!("layout {dims}: {e}"));
+        let mut qa = QuietCtx::new();
+        let mut qb = QuietCtx::new();
+        mono.prime(&mut qa.ctx());
+        sharded.prime(&mut qb.ctx());
+        for tick in 0..60 {
+            let a = mono.tick(&mut qa.ctx());
+            let b = sharded.tick(&mut qb.ctx());
+            if a != b {
+                eprintln!("PARITY FAIL: {l} tick {tick}: sharded stack report diverged");
+                return false;
+            }
+        }
+        if mono.world().counters() != sharded.world().counters()
+            || mono.world().positions() != sharded.world().positions()
+        {
+            eprintln!("PARITY FAIL: {l}: end-state counters/positions diverged");
+            return false;
+        }
+        eprintln!(
+            "parity {l}: 60 full-stack ticks bit-identical to monolithic ({} workers)",
+            sharded.plane().workers()
+        );
+    }
+    true
 }
 
 fn to_json(rows: &[Row], quick: bool) -> String {
@@ -193,7 +380,8 @@ fn to_json(rows: &[Row], quick: bool) -> String {
     out.push_str("  \"results\": [\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"nodes\": {}, \"side\": {:.1}, \"layout\": \"{}\", \"shards\": {}, \"workers\": {}, \"measure_ticks\": {}, \"ticks_per_sec\": {:.2}, \"speedup_vs_1x1\": {:.3}, \"step_allocs_per_100_ticks\": {}, \"compute_imbalance\": {:.3}}}{}\n",
+            "    {{\"mode\": \"{}\", \"nodes\": {}, \"side\": {:.1}, \"layout\": \"{}\", \"shards\": {}, \"workers\": {}, \"measure_ticks\": {}, \"ticks_per_sec\": {:.2}, \"speedup_vs_1x1\": {:.3}, \"step_allocs_per_100_ticks\": {}, \"compute_imbalance\": {:.3}}}{}\n",
+            r.mode,
             r.nodes,
             r.side,
             r.layout,
@@ -211,7 +399,7 @@ fn to_json(rows: &[Row], quick: bool) -> String {
     out
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let quick = std::env::args().any(|a| a == "--quick");
     let layouts = ["1x1", "2x2", "4x2", "4x4"];
     // (nodes, measure_ticks, warm_ticks): the warm window must reach the
@@ -225,13 +413,37 @@ fn main() {
 
     let mut rows = Vec::new();
     for &(nodes, measure_ticks, warm_ticks) in sizes {
-        rows.extend(bench_size(nodes, &layouts, measure_ticks, warm_ticks));
+        rows.extend(bench_size(
+            nodes,
+            &layouts,
+            measure_ticks,
+            warm_ticks,
+            bench_cell,
+        ));
+    }
+    // Full-stack sweep: quick mode keeps one small size; the full sweep
+    // mirrors the world-step sizes so the stage-trait overhead and the
+    // scoped-stage scaling are visible at every N.
+    let stack_sizes: &[(usize, usize, usize)] = if quick {
+        &[(400, 40, 40)]
+    } else {
+        &[(1600, 200, 300), (10_000, 60, 100), (100_000, 15, 25)]
+    };
+    for &(nodes, measure_ticks, warm_ticks) in stack_sizes {
+        rows.extend(bench_size(
+            nodes,
+            &layouts,
+            measure_ticks,
+            warm_ticks,
+            bench_stack_cell,
+        ));
     }
     let json = to_json(&rows, quick);
     print!("{json}");
     for r in &rows {
         eprintln!(
-            "N={:>6} {:>4}: {:>8.2} ticks/s  ({:.3}x vs 1x1, {} shards, {} workers, {} allocs/100 ticks, imbalance {:.3})",
+            "{:>10} N={:>6} {:>4}: {:>8.2} ticks/s  ({:.3}x vs 1x1, {} shards, {} workers, {} allocs/100 ticks, imbalance {:.3})",
+            r.mode,
             r.nodes,
             r.layout,
             r.ticks_per_sec,
@@ -242,8 +454,12 @@ fn main() {
             r.compute_imbalance,
         );
     }
+    if quick && !stage_parity_gate() {
+        return std::process::ExitCode::FAILURE;
+    }
     if !quick {
         std::fs::write("BENCH_shard.json", &json).expect("write BENCH_shard.json");
         eprintln!("wrote BENCH_shard.json");
     }
+    std::process::ExitCode::SUCCESS
 }

@@ -46,6 +46,7 @@ pub fn stretch_sweep(scenario: &Scenario, pairs: usize) -> Vec<StretchRow> {
             let mut quiet = QuietCtx::new();
             for _ in 0..120 {
                 world.step(&mut quiet.ctx());
+                // stage-exempt: single-layer cluster study, not the pipeline
                 clustering.maintain(world.topology(), &mut quiet.ctx());
             }
             let topo = world.topology();

@@ -92,7 +92,7 @@ pub fn maintenance_rates(scenario: &Scenario, measure: f64) -> Vec<DhopRates> {
             {
                 let (world, layer, _) = stack.split_mut();
                 layer
-                    .clustering
+                    .clustering // stage-exempt: single-layer d-hop study
                     .maintain(&layer.policy, world.topology(), &mut quiet.ctx());
             }
             stack.world_mut().begin_measurement();

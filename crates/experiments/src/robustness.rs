@@ -197,7 +197,7 @@ pub fn measure_with_faults_sharded(
         let mut left = agg.cluster.violations_left;
         let (world, healer, _) = stack.split_mut();
         for _ in 0..config.sweep_interval + 2 {
-            left = healer
+            left = healer // stage-exempt: post-run repair drain, not a tick
                 .step(world.topology(), world.alive(), &mut fine, &mut quiet.ctx())
                 .violations_left;
         }

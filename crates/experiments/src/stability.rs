@@ -41,6 +41,7 @@ fn run_policy<P: ClusterPolicy>(
     stack.world_mut().run_for(40.0, &mut quiet.ctx());
     {
         let (world, clustering, _) = stack.split_mut();
+        // stage-exempt: single-layer convergence probe, not the pipeline
         clustering.maintain(world.topology(), &mut quiet.ctx());
     }
     let mut tracker = StabilityTracker::new(stack.cluster(), stack.world().time());
@@ -237,6 +238,7 @@ pub fn mobility_aware_comparison(measure: f64) -> manet_util::table::Table {
                 world.begin_measurement();
                 for _ in 0..(measure / dt) as usize {
                     world.step(&mut quiet.ctx());
+                    // stage-exempt: single-layer cluster study, not the pipeline
                     clustering.maintain(world.topology(), &mut quiet.ctx());
                     tracker.observe(&clustering, world.time());
                 }

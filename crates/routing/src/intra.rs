@@ -8,7 +8,7 @@
 //! ROUTE message per cluster node.
 
 use manet_cluster::ClusterAssignment;
-use manet_sim::{Channel, NodeId, SimError, StepCtx, Topology};
+use manet_sim::{Channel, NodeId, SimError, StageScope, StepCtx, Topology};
 use manet_telemetry::{Cause, EventKind, Layer, MsgClass, RootCause};
 use std::collections::BTreeMap;
 
@@ -196,9 +196,98 @@ impl IntraClusterRouting {
         channel: &mut Channel,
         ctx: &mut StepCtx<'_, '_>,
     ) -> RouteUpdateOutcome {
+        let current = Self::snapshot(topology, clustering);
+        self.charge(dt, current, channel, ctx)
+    }
+
+    /// [`IntraClusterRouting::update`] with a scoped worker pool
+    /// (DESIGN.md §17): the intra-cluster link classification — the
+    /// `O(links)` part of the snapshot — fans out per owner frame; the
+    /// head lookup, snapshot assembly, and every channel draw and
+    /// emission stay sequential. Bit-identical to `update` for every
+    /// frame layout and worker count (falls back to the sequential
+    /// snapshot when the scope's frames do not cover the node set).
+    #[allow(clippy::too_many_arguments)]
+    pub fn update_scoped<C: ClusterAssignment + ?Sized>(
+        &mut self,
+        dt: f64,
+        topology: &Topology,
+        clustering: &C,
+        channel: &mut Channel,
+        ctx: &mut StepCtx<'_, '_>,
+        scope: &mut StageScope<'_>,
+    ) -> RouteUpdateOutcome {
+        let current = Self::snapshot_scoped(topology, clustering, scope);
+        self.charge(dt, current, channel, ctx)
+    }
+
+    /// [`snapshot`](Self::snapshot) with the link classification fanned
+    /// out per owner frame. `ClusterAssignment` is a trait object with no
+    /// `Sync` bound, so the per-node head lookup runs sequentially into a
+    /// plain vector first; the workers then scan their frames' sorted
+    /// neighbor rows against that vector — pure reads. The merged link
+    /// list is re-sorted (frames are spatial tiles, not id ranges), which
+    /// reproduces the global `topology.links()` order exactly.
+    fn snapshot_scoped<C: ClusterAssignment + ?Sized>(
+        topology: &Topology,
+        clustering: &C,
+        scope: &mut StageScope<'_>,
+    ) -> BTreeMap<NodeId, ClusterSnapshot> {
+        let n = topology.len();
+        if scope.frames().len() != n {
+            return Self::snapshot(topology, clustering);
+        }
+        let heads: Vec<NodeId> = (0..n as NodeId)
+            .map(|u| clustering.cluster_head_of(u))
+            .collect();
+        let mut frame_links: Vec<Vec<(NodeId, NodeId, NodeId)>> =
+            vec![Vec::new(); scope.frames().frame_count()];
+        {
+            let heads = &heads;
+            scope.map_frames(&mut frame_links, |_, ids, out| {
+                for &a in ids {
+                    let ha = heads[a as usize];
+                    for &b in topology.neighbors(a) {
+                        if b > a && heads[b as usize] == ha {
+                            out.push((ha, a, b));
+                        }
+                    }
+                }
+            });
+        }
+        let mut links: Vec<(NodeId, NodeId, NodeId)> = frame_links.into_iter().flatten().collect();
+        links.sort_unstable();
+        let mut map: BTreeMap<NodeId, ClusterSnapshot> = BTreeMap::new();
+        for (u, &head) in heads.iter().enumerate() {
+            map.entry(head)
+                .or_insert_with(|| ClusterSnapshot {
+                    nodes: Vec::new(),
+                    links: Vec::new(),
+                })
+                .nodes
+                .push(u as NodeId);
+        }
+        for (head, a, b) in links {
+            map.get_mut(&head)
+                .expect("cluster exists for its own member")
+                .links
+                .push((a, b));
+        }
+        map
+    }
+
+    /// The charging half of an update pass: diffs `current` against the
+    /// previous tick, transmits, and commits. Sequential — every channel
+    /// draw and emission happens here in deterministic order.
+    fn charge(
+        &mut self,
+        dt: f64,
+        current: BTreeMap<NodeId, ClusterSnapshot>,
+        channel: &mut Channel,
+        ctx: &mut StepCtx<'_, '_>,
+    ) -> RouteUpdateOutcome {
         let now = ctx.now;
         let probe = &mut *ctx.probe;
-        let current = Self::snapshot(topology, clustering);
         let mut outcome = RouteUpdateOutcome::default();
         // One ChannelLoss root covers every message dropped this pass (and
         // the re-syncs those drops schedule); allocated on first loss.

@@ -46,9 +46,17 @@
 
 use crate::grid::FrameGrid;
 use crate::interconnect::{Interconnect, InterconnectConfig};
+use manet_cluster::ClusterAssignment;
 use manet_geom::{Metric, ShardDims, ShardLayout, ShardLayoutError, SquareRegion, Vec2};
-use manet_sim::{FaultError, NodeId, Topology, TopologyBuilder, World};
+use manet_mobility::{Mobility, StepPlan};
+use manet_routing::intra::RouteUpdateOutcome;
+use manet_sim::{
+    Channel, FaultError, FramePartition, FrameTiming, HelloProtocol, MobilityStage, NodeId,
+    StageScope, StepCtx, Topology, TopologyBuilder, World,
+};
+use manet_stack::{ClusterFlow, ClusterLayer, ClusterStage, HelloStage, RouteLayer, RouteStage};
 use manet_telemetry::{Phase, Probe, ShardGaugeRow, ShardSnapshot, SpanLabel};
+use manet_util::Rng;
 use std::time::{Duration, Instant};
 
 /// Owner shard of a node not yet assigned (before its first tick).
@@ -104,6 +112,13 @@ struct ShardState {
     owned: usize,
     /// Computed neighbor rows for the owned prefix (global ids, sorted).
     rows: Vec<Vec<NodeId>>,
+    /// Capacity floor for neighbor rows (the pre-sized expected degree).
+    /// `build_into` *swaps* row buffers with the output topology, so
+    /// never-pre-sized buffers keep entering the pool; `compute` tops any
+    /// undersized buffer up to this floor so the swap churn converges to
+    /// the allocation-free steady state instead of growing buffers
+    /// organically for hundreds of ticks.
+    row_cap: usize,
     grid: FrameGrid,
     stats: ShardStats,
     /// Wall-clock measurement of this tick's `compute` call, taken on the
@@ -124,6 +139,7 @@ impl ShardState {
             pts,
             owned,
             rows,
+            row_cap,
             grid,
             stats,
             timed: _,
@@ -134,6 +150,9 @@ impl ShardState {
         }
         for row in &mut rows[..oc] {
             row.clear();
+            if row.capacity() < *row_cap {
+                row.reserve(*row_cap);
+            }
         }
         stats.boundary_links = 0;
         grid.rebuild(pts);
@@ -206,6 +225,15 @@ pub struct ShardPlane {
     /// Scratch: nodes retained by their old owner this tick, with their
     /// home tile and tile-local coordinates (sorted by node id).
     retained: Vec<(u32, u16, Vec2)>,
+    /// Ownership partition of the last exchange (per-shard owned ids,
+    /// ascending), handed to the scoped layer entry points (DESIGN.md
+    /// §17).
+    frames: FramePartition,
+    /// Scratch: the current tick's mobility plan (plan/apply split).
+    plan: StepPlan,
+    /// Scratch: per-slot stage timings, folded into per-shard spans in
+    /// slot order after each scoped stage.
+    timings: Vec<FrameTiming>,
 }
 
 impl ShardPlane {
@@ -261,12 +289,55 @@ impl ShardPlane {
             owner: Vec::new(),
             interconnect,
             retained: Vec::new(),
+            frames: FramePartition::new(),
+            plan: StepPlan::new(),
+            timings: Vec::new(),
         })
     }
 
-    /// A plane configured from a world's geometry.
+    /// A plane configured from a world's geometry, with per-shard scratch
+    /// capacities pre-sized for the world's population (so the steady
+    /// state is allocation-free from the first tick instead of warming up
+    /// over many — see `bench_shard`'s allocation probe).
     pub fn for_world(world: &World, dims: ShardDims) -> Result<Self, ShardLayoutError> {
-        ShardPlane::new(dims, world.region(), world.radius(), world.metric())
+        let mut plane = ShardPlane::new(dims, world.region(), world.radius(), world.metric())?;
+        plane.presize(world.node_count(), world.radius());
+        Ok(plane)
+    }
+
+    /// Pre-sizes per-shard scratch from the expected population: each
+    /// shard's point set is sized for its owned share plus the ghost
+    /// margin band, and the owned neighbor rows for the expected unit-disk
+    /// degree. Uniform placement makes `n / shards` the right first-order
+    /// estimate; generous slack absorbs density fluctuations so the
+    /// steady-state tick never reallocates.
+    fn presize(&mut self, n: usize, radius: f64) {
+        let shards = self.shards.len();
+        if n == 0 || shards == 0 {
+            return;
+        }
+        let area = self.region.side() * self.region.side();
+        let density = n as f64 / area;
+        // Owned share plus the margin band around the tile, then 50% slack.
+        let tile_w = self.region.side() / self.layout.dims().kx as f64;
+        let tile_h = self.region.side() / self.layout.dims().ky as f64;
+        let margin = radius * (1.0 + 1e-9) + 1e-9;
+        let frame_pop = density * (tile_w + 2.0 * margin) * (tile_h + 2.0 * margin);
+        let cap = ((frame_pop * 1.5).ceil() as usize).max(16);
+        let owned_cap = ((n as f64 / shards as f64 * 1.5).ceil() as usize).max(16);
+        // Expected unit-disk degree ρπr², doubled for slack.
+        let degree = (density * std::f64::consts::PI * radius * radius * 2.0).ceil() as usize;
+        for s in &mut self.shards {
+            s.ids.reserve(cap);
+            s.pts.reserve(cap);
+            s.row_cap = degree.max(8);
+            s.rows.resize_with(owned_cap, Vec::new);
+            for row in &mut s.rows {
+                row.reserve(s.row_cap);
+            }
+        }
+        self.owner.reserve(n);
+        self.retained.reserve(64.max(n / 64));
     }
 
     /// Caps the worker pool at `n` threads (default: the machine's
@@ -304,6 +375,14 @@ impl ShardPlane {
     /// The shard layout geometry.
     pub fn layout(&self) -> &ShardLayout {
         &self.layout
+    }
+
+    /// The ownership partition the scoped protocol stages fan out over:
+    /// one frame per shard, each listing the node ids the shard owned
+    /// after the most recent topology exchange (ascending). Empty until
+    /// the first tick.
+    pub fn frames(&self) -> &FramePartition {
+        &self.frames
     }
 
     /// Per-shard statistics for the most recent tick, in shard-index
@@ -468,6 +547,118 @@ impl ShardPlane {
         for s in &mut self.shards {
             s.stats.ghosts = s.ids.len() - s.owned;
         }
+
+        // Publish the ownership partition for this tick's scoped stages
+        // (owned prefixes are ascending: the placement loop runs in
+        // node-id order).
+        let ShardPlane { frames, shards, .. } = self;
+        frames.rebuild(shards.iter().map(|s| &s.ids[..s.owned]));
+    }
+
+    /// Prepares the per-slot timing scratch and opens a stage scope over
+    /// the current ownership frames.
+    fn stage_scope(&mut self) -> StageScope<'_> {
+        let need = self.shards.len().max(self.workers).max(1);
+        if self.timings.len() < need {
+            self.timings.resize(need, None);
+        }
+        StageScope::new(&self.frames, self.workers, &mut self.timings)
+    }
+
+    /// Folds the per-slot busy timings the last scoped stage accumulated
+    /// into `label` spans, in slot order — the same deterministic fold-in
+    /// the topology stage uses for `ShardCompute`.
+    fn fold_stage_spans(&mut self, label: SpanLabel, probe: &mut Probe<'_>) {
+        let spanning = probe.is_spanning();
+        for (i, slot) in self.timings.iter_mut().enumerate() {
+            if let Some((at, dur)) = slot.take() {
+                if spanning {
+                    probe.span_sample(label, Some(i as u16), None, at, dur);
+                }
+            }
+        }
+    }
+}
+
+impl MobilityStage for ShardPlane {
+    fn advance(&mut self, mobility: &mut dyn Mobility, dt: f64, rng: &mut Rng) {
+        // Plan/apply split: every RNG draw stays on this sequential path
+        // in node-id order; the recorded legs are pure positional math
+        // replayed over disjoint ranges by the worker pool, bit-identical
+        // to the sequential step by construction. Models without the
+        // split (or a single-worker pool) fall back to the plain step.
+        let n = mobility.len();
+        if self.workers > 1
+            && n > 0
+            && mobility.positions_mut().is_some()
+            && mobility.plan_step(dt, rng, &mut self.plan)
+        {
+            let region = mobility.region();
+            let plan = &self.plan;
+            let pos = mobility.positions_mut().expect("checked above");
+            let workers = self.workers.min(pos.len());
+            let chunk = pos.len().div_ceil(workers);
+            std::thread::scope(|scope| {
+                for (g, group) in pos.chunks_mut(chunk).enumerate() {
+                    scope.spawn(move || {
+                        for (k, p) in group.iter_mut().enumerate() {
+                            plan.apply_node(g * chunk + k, p, region);
+                        }
+                    });
+                }
+            });
+        } else {
+            mobility.step(dt, rng);
+        }
+    }
+}
+
+impl HelloStage for ShardPlane {
+    fn hello(
+        &mut self,
+        proto: &mut HelloProtocol,
+        topology: &Topology,
+        channel: &mut Channel,
+        alive: &[bool],
+        ctx: &mut StepCtx<'_, '_>,
+    ) -> (u64, u64) {
+        let mut scope = self.stage_scope();
+        let out = proto.step_scoped(topology, channel, alive, ctx, &mut scope);
+        self.fold_stage_spans(SpanLabel::ShardHello, ctx.probe);
+        out
+    }
+}
+
+impl ClusterStage for ShardPlane {
+    fn cluster(
+        &mut self,
+        layer: &mut dyn ClusterLayer,
+        topology: &Topology,
+        alive: &[bool],
+        channel: &mut Channel,
+        ctx: &mut StepCtx<'_, '_>,
+    ) -> ClusterFlow {
+        let mut scope = self.stage_scope();
+        let flow = layer.maintain_scoped(topology, alive, channel, ctx, &mut scope);
+        self.fold_stage_spans(SpanLabel::ShardCluster, ctx.probe);
+        flow
+    }
+}
+
+impl RouteStage for ShardPlane {
+    fn route(
+        &mut self,
+        layer: &mut dyn RouteLayer,
+        dt: f64,
+        topology: &Topology,
+        clusters: &dyn ClusterAssignment,
+        channel: &mut Channel,
+        ctx: &mut StepCtx<'_, '_>,
+    ) -> RouteUpdateOutcome {
+        let mut scope = self.stage_scope();
+        let route = layer.update_scoped(dt, topology, clusters, channel, ctx, &mut scope);
+        self.fold_stage_spans(SpanLabel::ShardRoute, ctx.probe);
+        route
     }
 }
 

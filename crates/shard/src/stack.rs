@@ -3,11 +3,13 @@
 //!
 //! A thin pairing of a [`ProtocolStack`] and a [`ShardPlane`]: every tick
 //! runs the same canonical stage order
-//! (Mobility → Topology → HELLO → Cluster → Route → Telemetry), with only
-//! the topology stage delegated to the plane. The stack therefore
-//! inherits the monolithic stack's counters, reports, and traces
+//! (Mobility → Topology → HELLO → Cluster → Route → Telemetry), with the
+//! plane supplying every stage strategy (`StackStages`): plan/apply
+//! mobility, the ghost-margin sharded topology rebuild, and frame-scoped
+//! HELLO/Cluster/Route passes over the plane's ownership partition. The
+//! stack inherits the monolithic stack's counters, reports, and traces
 //! bit-for-bit — the golden-parity tests in the workspace root pin this —
-//! while the topology stage fans out across shards.
+//! while every stage's pure scan work fans out across the worker pool.
 
 use crate::interconnect::InterconnectConfig;
 use crate::plane::{ShardPlane, ShardReport};
@@ -17,7 +19,7 @@ use manet_stack::{ClusterLayer, ProtocolStack, RouteLayer, StackReport};
 use manet_telemetry::ShardSnapshot;
 use std::ops::{Deref, DerefMut};
 
-/// A [`ProtocolStack`] whose topology stage runs on a [`ShardPlane`].
+/// A [`ProtocolStack`] whose every stage runs on a [`ShardPlane`].
 ///
 /// Dereferences to the inner [`ProtocolStack`] for everything except
 /// `tick`/`run`, which are shadowed to route through the plane. Calling
@@ -87,15 +89,17 @@ impl<C: ClusterLayer, R: RouteLayer> ShardedStack<C, R> {
         self.plane.snapshot()
     }
 
-    /// Advances the stack by one tick, topology stage on the shard plane.
+    /// Advances the stack by one tick, every stage on the shard plane:
+    /// plan/apply mobility, sharded topology, and frame-scoped
+    /// HELLO/Cluster/Route passes.
     pub fn tick(&mut self, ctx: &mut StepCtx<'_, '_>) -> StackReport {
-        self.stack.tick_with(ctx, &mut self.plane)
+        self.stack.tick_staged(ctx, &mut self.plane)
     }
 
     /// Runs whole ticks until at least `seconds` more simulated time has
     /// elapsed, returning the aggregated report.
     pub fn run(&mut self, seconds: f64, ctx: &mut StepCtx<'_, '_>) -> StackReport {
-        self.stack.run_with(seconds, ctx, &mut self.plane)
+        self.stack.run_staged(seconds, ctx, &mut self.plane)
     }
 
     /// The shard plane.

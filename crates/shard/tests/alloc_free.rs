@@ -79,4 +79,40 @@ fn steady_state_sharded_step_is_allocation_free() {
         "steady-state sharded World::step must not allocate (got {} allocations over 100 ticks)",
         after - before
     );
+
+    // The N=100k regression pin: at bench_shard's largest size the 1x1
+    // path used to keep reallocating per-shard scratch deep into the run
+    // because the plane's buffers started empty and grew tick by tick.
+    // `ShardPlane::for_world` now pre-sizes every per-shard capacity from
+    // the population, so even at 100k nodes a short warmup reaches the
+    // high-water marks and the steady state is allocation-free. Same
+    // geometry as the bench (fixed density, radius 150).
+    let nodes = 100_000usize;
+    let side = (nodes as f64 / (400.0 / 1e6)).sqrt();
+    let mut world = SimBuilder::new()
+        .nodes(nodes)
+        .side(side)
+        .radius(150.0)
+        .speed(10.0)
+        .dt(0.5)
+        .seed(7)
+        .hello_mode(HelloMode::EventDriven)
+        .build();
+    let mut plane = ShardPlane::for_world(&world, ShardDims::parse("1x1").unwrap())
+        .unwrap()
+        .with_workers(1);
+    for _ in 0..12 {
+        world.step_with(&mut quiet.ctx(), &mut plane);
+    }
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..25 {
+        world.step_with(&mut quiet.ctx(), &mut plane);
+    }
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state 1x1 World::step at N=100k must not allocate (got {} over 25 ticks)",
+        after - before
+    );
 }

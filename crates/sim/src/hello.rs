@@ -11,6 +11,7 @@
 use crate::ctx::StepCtx;
 use crate::error::SimError;
 use crate::fault::Channel;
+use crate::stage::StageScope;
 use crate::topology::Topology;
 use crate::NodeId;
 #[cfg(test)]
@@ -175,6 +176,85 @@ impl HelloProtocol {
         for table in &mut self.last_heard {
             table.retain(|_, &mut t| now - t <= self.timeout);
         }
+        self.hellos_sent += sent;
+        if sent > 0 {
+            probe.emit(
+                now,
+                Layer::Hello,
+                EventKind::MsgSent {
+                    class: MsgClass::Hello,
+                    count: sent,
+                },
+            );
+        }
+        if lost > 0 {
+            let cause = probe.root(RootCause::ChannelLoss);
+            probe.emit_caused(
+                now,
+                Layer::Hello,
+                EventKind::MsgLost {
+                    class: MsgClass::Hello,
+                    count: lost,
+                },
+                cause,
+            );
+        }
+        (sent, lost)
+    }
+
+    /// Scoped variant of [`HelloProtocol::step`] for shard-local stages:
+    /// the beacon loop — every channel draw and table insert, in node-id
+    /// order — stays sequential, while the soft-timer expiry sweep (pure
+    /// per-table work) fans out over `scope`'s worker pool in contiguous
+    /// chunks. Counters, emissions, and every table are bit-identical to
+    /// `step` for every worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alive.len()` differs from the node count.
+    pub fn step_scoped(
+        &mut self,
+        topology: &Topology,
+        channel: &mut Channel,
+        alive: &[bool],
+        ctx: &mut StepCtx<'_, '_>,
+        scope: &mut StageScope<'_>,
+    ) -> (u64, u64) {
+        let now = ctx.now;
+        let probe = &mut *ctx.probe;
+        assert_eq!(
+            self.next_beacon.len(),
+            alive.len(),
+            "alive mask size mismatch"
+        );
+        let mut sent = 0u64;
+        let mut lost = 0u64;
+        for (u, &up) in alive.iter().enumerate() {
+            if !up {
+                while self.next_beacon[u] <= now {
+                    self.next_beacon[u] += self.interval;
+                }
+                self.last_heard[u].clear();
+                continue;
+            }
+            while self.next_beacon[u] <= now {
+                self.next_beacon[u] += self.interval;
+                sent += 1;
+                for &w in topology.neighbors(u as NodeId) {
+                    if channel.deliver() {
+                        self.last_heard[w as usize].insert(u as NodeId, now);
+                    } else {
+                        lost += 1;
+                    }
+                }
+            }
+        }
+        let timeout = self.timeout;
+        scope.map_chunks(&mut self.last_heard, |_slot, _offset, tables| {
+            for table in tables {
+                table.retain(|_, &mut t| now - t <= timeout);
+            }
+        });
         self.hellos_sent += sent;
         if sent > 0 {
             probe.emit(

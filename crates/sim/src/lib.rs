@@ -48,6 +48,7 @@ pub mod error;
 pub mod fault;
 pub mod hello;
 pub mod lifetime;
+pub mod stage;
 pub mod topology;
 pub mod world;
 
@@ -61,6 +62,7 @@ pub use fault::{
 };
 pub use hello::{HelloProtocol, ViewAccuracy};
 pub use lifetime::LinkLifetimes;
+pub use stage::{FramePartition, FrameTiming, MobilityStage, StageScope, WorldStages};
 pub use topology::{GridTopology, LinkEvent, LinkEventKind, Topology, TopologyBuilder};
 pub use world::{HelloMode, StepReport, World};
 

@@ -4,8 +4,9 @@ use crate::counters::{Counters, MessageKind, MessageSizes};
 use crate::ctx::{Scratch, StepCtx};
 use crate::error::{positive, SimError};
 use crate::fault::{Channel, ChurnKind, FaultPlan, STREAM_HELLO};
+use crate::stage::{MobilityStage, WorldStages};
 use crate::topology::{GridTopology, LinkEvent, LinkEventKind, Topology, TopologyBuilder};
-use manet_geom::{Metric, SquareRegion, Vec2};
+use manet_geom::{Metric, SpatialGrid, SquareRegion, Vec2};
 use manet_mobility::Mobility;
 use manet_telemetry::{EventKind, Layer, Phase, Probe, RootCause};
 use manet_util::stats::Summary;
@@ -55,6 +56,30 @@ pub struct StepReport {
     #[deprecated(note = "world-level losses are HELLO-only; read `hello_lost`, or \
                 `StackReport::msgs_lost` for the cross-layer total")]
     pub msgs_lost: usize,
+}
+
+/// Adapts a bare [`TopologyBuilder`] into a full [`WorldStages`] bundle
+/// with the default sequential mobility advance, so `step_with` callers
+/// keep their exact pre-stage behavior.
+struct SeqMobility<'b>(&'b mut dyn TopologyBuilder);
+
+impl MobilityStage for SeqMobility<'_> {}
+
+impl TopologyBuilder for SeqMobility<'_> {
+    fn build_into(
+        &mut self,
+        positions: &[Vec2],
+        region: SquareRegion,
+        radius: f64,
+        metric: Metric,
+        grid: &mut Option<SpatialGrid>,
+        out: &mut Topology,
+        probe: &mut Probe<'_>,
+        now: f64,
+    ) {
+        self.0
+            .build_into(positions, region, radius, metric, grid, out, probe, now)
+    }
 }
 
 /// A deterministic time-stepped MANET world.
@@ -357,18 +382,32 @@ impl World {
     }
 
     /// [`World::step`] with an explicit [`TopologyBuilder`] supplying the
-    /// per-tick neighbor-list computation (the shard plane passes its
-    /// ghost-margin builder here). Only the topology construction is
-    /// delegated; the diff, link events, HELLO, and counters are this
-    /// world's shared code, so any builder producing the same neighbor
-    /// rows yields a bit-identical tick.
+    /// per-tick neighbor-list computation and the default sequential
+    /// mobility advance. Only the topology construction is delegated; the
+    /// diff, link events, HELLO, and counters are this world's shared
+    /// code, so any builder producing the same neighbor rows yields a
+    /// bit-identical tick.
     pub fn step_with(
         &mut self,
         ctx: &mut StepCtx<'_, '_>,
         builder: &mut dyn TopologyBuilder,
     ) -> StepReport {
+        self.step_staged(ctx, &mut SeqMobility(builder))
+    }
+
+    /// [`World::step`] with an explicit [`WorldStages`] bundle supplying
+    /// both the mobility advance and the topology rebuild (the shard plane
+    /// implements both; DESIGN.md §17). Everything downstream of the two
+    /// delegated stages — churn, diff, link events, HELLO, counters — is
+    /// this world's shared code, so any bundle producing the same
+    /// positions and neighbor rows yields a bit-identical tick.
+    pub fn step_staged(
+        &mut self,
+        ctx: &mut StepCtx<'_, '_>,
+        stages: &mut dyn WorldStages,
+    ) -> StepReport {
         let t0 = ctx.probe.phase_start();
-        self.mobility.step(self.dt, &mut self.rng);
+        stages.advance(&mut *self.mobility, self.dt, &mut self.rng);
         ctx.probe.phase_end(Phase::Mobility, t0);
         self.time += self.dt;
         ctx.now = self.time;
@@ -380,7 +419,7 @@ impl World {
         // ticks, and the post-diff swap recycles the current topology's
         // neighbor lists as next tick's spare.
         let Scratch { grid, spare } = &mut *ctx.scratch;
-        builder.build_into(
+        stages.build_into(
             self.mobility.positions(),
             self.region,
             self.radius,

@@ -58,10 +58,12 @@
 pub mod layer;
 pub mod report;
 pub mod stack;
+pub mod stage;
 
 pub use layer::{ClusterFlow, ClusterLayer, DHopLayer, NoClustering, NoRouting, RouteLayer};
 pub use report::StackReport;
 pub use stack::{HelloDriver, ProtocolStack};
+pub use stage::{ClusterStage, HelloStage, MonoStages, RouteStage, StackStages};
 
 // Re-exported so downstream code can name the stage types without adding
 // direct dependencies on every layer crate.

@@ -2,6 +2,7 @@
 
 use crate::layer::{ClusterLayer, RouteLayer};
 use crate::report::StackReport;
+use crate::stage::{MonoOver, MonoStages, StackStages};
 use manet_sim::{
     Channel, GridTopology, HelloProtocol, LossModel, MessageKind, StepCtx, TopologyBuilder, World,
     STREAM_CLUSTER, STREAM_HELLO, STREAM_ROUTE,
@@ -119,6 +120,8 @@ impl<C: ClusterLayer, R: RouteLayer> ProtocolStack<C, R> {
     /// without charging any traffic (the first update of a fresh routing
     /// layer is the uncharged snapshot; it draws no channel randomness).
     pub fn prime(&mut self, ctx: &mut StepCtx<'_, '_>) {
+        // The uncharged baseline fill happens outside the canonical
+        // tick, so it does not go through a RouteStage (stage-exempt).
         self.route.update(
             0.0,
             self.world.topology(),
@@ -130,31 +133,49 @@ impl<C: ClusterLayer, R: RouteLayer> ProtocolStack<C, R> {
 
     /// Advances the whole stack by one tick in the canonical stage order.
     pub fn tick(&mut self, ctx: &mut StepCtx<'_, '_>) -> StackReport {
-        self.tick_with(ctx, &mut GridTopology)
+        self.tick_staged(ctx, &mut MonoStages::new())
     }
 
     /// [`ProtocolStack::tick`] with an explicit [`TopologyBuilder`] for
-    /// the world's topology stage (see `World::step_with`). The sharded
-    /// stack passes its ghost-margin shard plane here; every other stage
-    /// is the shared code below, so counters and traces depend only on
-    /// the neighbor rows the builder produces.
+    /// the world's topology stage and monolithic defaults for every other
+    /// stage (see [`ProtocolStack::tick_staged`] for the fully delegated
+    /// form).
     pub fn tick_with(
         &mut self,
         ctx: &mut StepCtx<'_, '_>,
         builder: &mut dyn TopologyBuilder,
     ) -> StackReport {
+        self.tick_staged(ctx, &mut MonoOver(builder))
+    }
+
+    /// [`ProtocolStack::tick`] with an explicit [`StackStages`] bundle
+    /// supplying every delegated stage — mobility advance, topology
+    /// rebuild, HELLO exchange, cluster maintenance, route update. The
+    /// sharded stack passes its shard plane here; the stage *order*, the
+    /// counters, and the telemetry are the shared code below, so any
+    /// bundle whose stages produce the same layer outputs yields a
+    /// bit-identical tick.
+    pub fn tick_staged<S: StackStages>(
+        &mut self,
+        ctx: &mut StepCtx<'_, '_>,
+        stages: &mut S,
+    ) -> StackReport {
         // Root span of the tick hierarchy; every stage span below nests
         // inside it. Inert unless a span recorder is attached.
         let mut tick_span = ctx.tick_span();
         let ctx = &mut *tick_span;
-        let step = self.world.step_with(ctx, builder);
+        let step = self.world.step_staged(ctx, stages);
         let now = ctx.now;
 
         let (hello_sent, hello_lost) = match &mut self.hello {
             HelloDriver::World => (0, step.hello_lost as u64),
-            HelloDriver::Explicit { proto, channel } => {
-                proto.step(self.world.topology(), channel, self.world.alive(), ctx)
-            }
+            HelloDriver::Explicit { proto, channel } => stages.hello(
+                proto,
+                self.world.topology(),
+                channel,
+                self.world.alive(),
+                ctx,
+            ),
         };
         if hello_sent > 0 {
             self.world
@@ -163,7 +184,8 @@ impl<C: ClusterLayer, R: RouteLayer> ProtocolStack<C, R> {
         }
 
         let t0 = ctx.probe.phase_start();
-        let flow = self.cluster.maintain(
+        let flow = stages.cluster(
+            &mut self.cluster,
             self.world.topology(),
             self.world.alive(),
             &mut self.ch_cluster,
@@ -183,7 +205,8 @@ impl<C: ClusterLayer, R: RouteLayer> ProtocolStack<C, R> {
         }
 
         let t0 = ctx.probe.phase_start();
-        let route = self.route.update(
+        let route = stages.route(
+            &mut self.route,
             self.world.dt(),
             self.world.topology(),
             self.cluster.assignment(),
@@ -240,11 +263,21 @@ impl<C: ClusterLayer, R: RouteLayer> ProtocolStack<C, R> {
         ctx: &mut StepCtx<'_, '_>,
         builder: &mut dyn TopologyBuilder,
     ) -> StackReport {
+        self.run_staged(seconds, ctx, &mut MonoOver(builder))
+    }
+
+    /// [`ProtocolStack::run`] with an explicit [`StackStages`] bundle.
+    pub fn run_staged<S: StackStages>(
+        &mut self,
+        seconds: f64,
+        ctx: &mut StepCtx<'_, '_>,
+        stages: &mut S,
+    ) -> StackReport {
         let mut agg = StackReport::default();
         let target = self.world.time() + seconds;
         // Same float-drift tolerance as `World::run_for`.
         while self.world.time() + self.world.dt() * 0.5 < target {
-            agg.absorb(self.tick_with(ctx, builder));
+            agg.absorb(self.tick_staged(ctx, stages));
         }
         agg
     }
@@ -338,13 +371,16 @@ mod tests {
         let mut routing = IntraClusterRouting::new();
         let mut ch = Channel::new(LossModel::Ideal, 0);
         let mut q = QuietCtx::new();
+        // stage-exempt: the manual twin the stack parity test compares to
         routing.update(0.0, world.topology(), &clustering, &mut ch, &mut q.ctx());
         let mut maint = ClusterFlow::default();
         let mut route = RouteUpdateOutcome::default();
         for _ in 0..ticks {
             let mut ctx = q.ctx();
             world.step(&mut ctx);
+            // stage-exempt: manual twin
             maint.absorb(clustering.maintain(world.topology(), &mut ctx).into());
+            // stage-exempt: manual twin
             route.absorb(routing.update(
                 world.dt(),
                 world.topology(),
@@ -428,6 +464,7 @@ mod tests {
         let mut healer = SelfHealing::new(clustering, Backoff::default(), 8);
         let mut routing = IntraClusterRouting::new();
         let mut q = QuietCtx::new();
+        // stage-exempt: the manual twin the stack parity test compares to
         routing.update(
             0.0,
             world.topology(),
@@ -441,14 +478,16 @@ mod tests {
         for _ in 0..ticks {
             let mut ctx = q.ctx();
             world.step(&mut ctx);
-            hello_sent += hello
-                .step(world.topology(), &mut ch_hello, world.alive(), &mut ctx)
-                .0;
+            hello_sent +=
+                hello // stage-exempt: manual twin
+                    .step(world.topology(), &mut ch_hello, world.alive(), &mut ctx)
+                    .0;
             repair.absorb(
-                healer
+                healer // stage-exempt: manual twin
                     .step(world.topology(), world.alive(), &mut ch_cluster, &mut ctx)
                     .into(),
             );
+            // stage-exempt: manual twin
             route.absorb(routing.update(
                 world.dt(),
                 world.topology(),

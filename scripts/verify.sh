@@ -27,6 +27,23 @@ if grep -rn "\.msgs_lost" crates src examples tests --include='*.rs' | grep -v "
     exit 1
 fi
 
+echo "==> stage-trait guard (pipeline layers go through stage traits, DESIGN.md §17)"
+# The canonical tick drives HELLO/cluster/route through the stage traits
+# (StackStages); stack/experiments code must not call the layers' own
+# maintain/update/step entry points directly. Intentional exceptions
+# (monolithic defaults, manual parity twins, single-layer studies) carry
+# a `// stage-exempt: <reason>` on the same or the preceding line.
+if find crates/stack/src crates/experiments/src src -name '*.rs' -print0 | xargs -0 awk '
+    FNR == 1 { skip = 0 }
+    /stage-exempt/ { skip = 2 }
+    /\.maintain\(|\.update\(|\.step\(world\.topology\(\)/ {
+        if (skip == 0) print FILENAME ":" FNR ": " $0
+    }
+    { if (skip > 0) skip-- }' | grep .; then
+    echo "verify: FAIL — direct layer entry-point calls outside the stage traits (add // stage-exempt: <reason> if intentional)" >&2
+    exit 1
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

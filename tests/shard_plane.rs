@@ -163,6 +163,98 @@ fn measured_metrics_are_identical_across_shard_layouts() {
     assert_eq!(mono, sharded, "fault-plane metrics diverged");
 }
 
+/// Seeded property (DESIGN.md §17): the owner-frame partition the scoped
+/// HELLO/Cluster/Route stages fan out over stays an *exact* cover of the
+/// node set — no double-membership, no orphan — under Poisson
+/// crash/recovery churn, a lossy channel, and constant cross-shard
+/// migration, at layouts 2x2, 4x1, and 3x3 across 240 ticks. The full
+/// faulty stack is also worker-count invariant: 1-worker and 3-worker
+/// runs produce equal reports and equal frames tick for tick.
+#[test]
+fn owner_frames_partition_nodes_exactly_under_churn() {
+    use clustered_manet::cluster::{Clustering, LowestId};
+    use clustered_manet::routing::intra::IntraClusterRouting;
+    use clustered_manet::shard::ShardedStack;
+    use clustered_manet::sim::{ChurnSchedule, FaultPlan, HelloProtocol};
+
+    let n = 120usize;
+    for dims_s in ["2x2", "4x1", "3x3"] {
+        let dims = ShardDims::parse(dims_s).unwrap();
+        let build = |workers: usize| {
+            let churn = ChurnSchedule::poisson(n, 0.004, 6.0, 140.0, 0xC0_FFEE).unwrap();
+            let plan = FaultPlan {
+                loss: LossModel::Bernoulli { p: 0.05 },
+                churn,
+                seed: 99,
+            }
+            .validated()
+            .unwrap();
+            let world = SimBuilder::new()
+                .nodes(n)
+                .side(600.0)
+                .radius(100.0)
+                .speed(20.0)
+                .dt(0.5)
+                .seed(5)
+                .hello_mode(HelloMode::Disabled)
+                .fault(plan)
+                .build();
+            let hello = HelloProtocol::new(n, 1.0, 3.0);
+            let clustering = Clustering::form(LowestId, world.topology());
+            ShardedStack::faulty(world, clustering, IntraClusterRouting::new(), hello, dims)
+                .unwrap()
+                .with_workers(workers)
+        };
+        let mut a = build(1);
+        let mut b = build(3);
+        let mut qa = QuietCtx::new();
+        let mut qb = QuietCtx::new();
+        a.prime(&mut qa.ctx());
+        b.prime(&mut qb.ctx());
+        let mut seen = vec![0u32; n];
+        let mut saw_dead = false;
+        for tick in 0..240 {
+            let ra = a.tick(&mut qa.ctx());
+            let rb = b.tick(&mut qb.ctx());
+            assert_eq!(ra, rb, "{dims_s}: tick {tick} diverged across workers");
+            saw_dead |= a.world().alive().iter().any(|&up| !up);
+
+            let frames = a.plane().frames();
+            assert_eq!(frames.frame_count(), a.layout().count(), "{dims_s}");
+            seen.iter_mut().for_each(|s| *s = 0);
+            let mut total = 0usize;
+            for f in 0..frames.frame_count() {
+                let ids = frames.frame(f);
+                assert!(
+                    ids.windows(2).all(|w| w[0] < w[1]),
+                    "{dims_s}: tick {tick}: frame {f} ids must ascend"
+                );
+                for &u in ids {
+                    seen[u as usize] += 1;
+                    total += 1;
+                }
+            }
+            assert_eq!(total, n, "{dims_s}: tick {tick}: partition size");
+            for (u, &c) in seen.iter().enumerate() {
+                assert_eq!(
+                    c, 1,
+                    "{dims_s}: tick {tick}: node {u} owned {c} times (exact \
+                     partition violated)"
+                );
+            }
+            let fb = b.plane().frames();
+            for f in 0..frames.frame_count() {
+                assert_eq!(
+                    frames.frame(f),
+                    fb.frame(f),
+                    "{dims_s}: tick {tick}: frames diverged across workers"
+                );
+            }
+        }
+        assert!(saw_dead, "{dims_s}: churn never crashed a node — vacuous");
+    }
+}
+
 /// Seeded property: node↔shard migration across the torus wrap never
 /// drops or duplicates a node or a link event. Fast nodes on a small
 /// torus cross shard boundaries and the wrap seam constantly; every tick
