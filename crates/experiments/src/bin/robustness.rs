@@ -1,34 +1,54 @@
 //! ROB1 — measured overhead under loss and churn vs the paper's ideal
 //! lower bounds.
+//!
+//! A thin CLI wrapper over [`run_scenario`]: each of the three sweeps is
+//! one `{"kind":"robustness"}` spec, so `manet serve-jobs` reproduces
+//! the exact same rows.
 
-use manet_experiments::harness::{Protocol, Scenario};
-use manet_experiments::robustness::{burst_row_sharded, sweep_loss_sharded, table};
-use manet_experiments::trace::init_shards_from_args;
+use manet_experiments::cli::BinArgs;
+use manet_experiments::robustness::table;
+use manet_experiments::spec::{run_scenario, FaultSpec, ScenarioOutput, ScenarioSpec, SpecKind};
+
+fn rows(spec: &ScenarioSpec) -> Vec<manet_experiments::robustness::RobustnessRow> {
+    let out = run_scenario(spec, None).expect("robustness spec is valid and uncancelled");
+    let ScenarioOutput::Robustness(rows) = out else {
+        unreachable!("robustness specs produce rows");
+    };
+    rows
+}
 
 fn main() {
-    let scenario = Scenario::default();
-    let protocol = Protocol::default();
-    let shards = init_shards_from_args();
+    let args = BinArgs::init("robustness");
+    let base = args.spec(SpecKind::Robustness);
 
     println!("ROB1 — fault plane: Bernoulli loss sweep, no churn (N=400)\n");
-    let mut rows = sweep_loss_sharded(&scenario, &protocol, &[0.0, 0.05, 0.1, 0.2], 0.0, shards);
-    manet_experiments::emit("rob1_loss_sweep", &table(&rows));
+    manet_experiments::emit("rob1_loss_sweep", &table(&rows(&base)));
 
     println!("\nROB1b — same loss sweep with churn (crash rate 0.002/s, 20 s downtime)\n");
-    let churned = sweep_loss_sharded(&scenario, &protocol, &[0.0, 0.05, 0.1, 0.2], 0.002, shards);
-    manet_experiments::emit("rob1_loss_churn_sweep", &table(&churned));
+    let churned = ScenarioSpec {
+        fault: Some(FaultSpec {
+            crash_rate: 0.002,
+            ..FaultSpec::default()
+        }),
+        ..base.clone()
+    };
+    manet_experiments::emit("rob1_loss_churn_sweep", &table(&rows(&churned)));
 
     println!("\nROB1c — burst loss (Gilbert–Elliott) at matched stationary loss\n");
-    rows.truncate(0);
-    for p in [0.05, 0.1, 0.2] {
-        rows.push(burst_row_sharded(&scenario, &protocol, p, 0.0, shards));
-    }
-    manet_experiments::emit("rob1_burst_loss", &table(&rows));
+    let burst = ScenarioSpec {
+        fault: Some(FaultSpec {
+            loss: vec![0.05, 0.1, 0.2],
+            burst: true,
+            ..FaultSpec::default()
+        }),
+        ..base.clone()
+    };
+    manet_experiments::emit("rob1_burst_loss", &table(&rows(&burst)));
 
     println!("\nThe paper's Eqns 4–13 are delivery-assuming lower bounds; the");
     println!("measured total tracks them at p = 0 and rises with loss and churn");
     println!("as retransmissions, repair traffic, and route re-syncs are paid.");
     println!("'viol end' is the P1/P2 violation count after a quiescence window —");
     println!("zero means the self-healing maintenance fully restored the clusters.");
-    manet_experiments::trace::maybe_trace("robustness", &scenario, &protocol);
+    args.finish(&base.scenario(), &base.protocol());
 }

@@ -1,0 +1,105 @@
+//! Shared experiment-binary CLI plumbing.
+//!
+//! Every experiment binary used to hand-roll the same argv dance:
+//! `init_serve_from_args` for `--serve-metrics`, `init_shards_from_args`
+//! for `--shards`, an ad-hoc `--quick` scan, and a trailing
+//! [`maybe_trace`] for `--trace-out` and friends. [`BinArgs`] is that
+//! dance as one call pair — [`BinArgs::init`] at the top of `main`,
+//! [`BinArgs::finish`] at the bottom — plus [`BinArgs::spec`], which
+//! folds the parsed layout into a [`ScenarioSpec`] so a binary is a thin
+//! wrapper over the same [`run_scenario`](crate::spec::run_scenario)
+//! entry the jobs server executes.
+
+use crate::harness::{Protocol, Scenario};
+use crate::spec::{ScenarioSpec, SpecKind};
+use crate::trace::{init_serve_from_args, init_shards_from_args, maybe_trace, ServeGuard};
+use manet_geom::ShardDims;
+
+/// Whether the bare `--quick` flag appears in the process arguments.
+pub fn quick_from_args() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// The parsed shared flags of one experiment-binary invocation. Holds
+/// the `--serve-metrics` guard, so keep it alive until end of `main`
+/// (which [`BinArgs::finish`] does for you).
+#[derive(Debug)]
+pub struct BinArgs {
+    label: &'static str,
+    /// Parsed `--shards KXxKY`, also installed as the process-wide
+    /// harness default.
+    pub shards: Option<ShardDims>,
+    /// Bare `--quick` flag: run the short test protocol.
+    pub quick: bool,
+    /// Held (not read) so the `--serve-metrics` endpoint outlives the
+    /// experiment; dropped by [`BinArgs::finish`] honoring
+    /// `--serve-hold`.
+    _serve: ServeGuard,
+}
+
+impl BinArgs {
+    /// Parses the shared flags, binds the live metrics endpoint when
+    /// `--serve-metrics` asks for one, installs `--shards` as the
+    /// process-wide default, and prints the topology header.
+    pub fn init(label: &'static str) -> BinArgs {
+        let serve = init_serve_from_args();
+        let shards = init_shards_from_args();
+        BinArgs {
+            label,
+            shards,
+            quick: quick_from_args(),
+            _serve: serve,
+        }
+    }
+
+    /// The protocol these flags select: [`Protocol::quick`] under
+    /// `--quick`, the paper default otherwise.
+    pub fn protocol(&self) -> Protocol {
+        if self.quick {
+            Protocol::quick()
+        } else {
+            Protocol::default()
+        }
+    }
+
+    /// The [`ScenarioSpec`] these flags select for `kind`: the preset
+    /// with this invocation's shard layout and protocol folded in —
+    /// exactly what `POST /jobs` with `{"kind": "<kind>"}` (plus the
+    /// same overrides) would run.
+    pub fn spec(&self, kind: SpecKind) -> ScenarioSpec {
+        let protocol = self.protocol();
+        ScenarioSpec {
+            warmup: protocol.warmup,
+            measure: protocol.measure,
+            dt: protocol.dt,
+            seeds: protocol.seeds,
+            shards: self.shards,
+            ..ScenarioSpec::preset(kind)
+        }
+    }
+
+    /// End-of-`main` hook: runs the traced twin when `--trace-out` (or
+    /// any other telemetry flag) asks for one, then drops the serve
+    /// guard, honoring `--serve-hold`.
+    pub fn finish(self, scenario: &Scenario, protocol: &Protocol) {
+        maybe_trace(self.label, scenario, protocol);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bin_args_default_to_the_paper_protocol_without_flags() {
+        // The test harness passes none of the shared flags.
+        assert!(!quick_from_args());
+        let args = BinArgs::init("test");
+        assert_eq!(args.shards, None);
+        assert!(!args.quick);
+        assert_eq!(args.protocol(), Protocol::default());
+        let spec = args.spec(SpecKind::Fig1VsRange);
+        assert_eq!(spec, ScenarioSpec::preset(SpecKind::Fig1VsRange));
+        args.finish(&Scenario::default(), &Protocol::default());
+    }
+}

@@ -82,10 +82,28 @@ impl Figure {
     }
 }
 
-fn sweep(x_label: &'static str, scenarios: Vec<(f64, Scenario)>, protocol: &Protocol) -> Figure {
+/// Figure 1's transmission-range grid, as fractions of the area side.
+pub const FIG1_RADIUS_FRACS: [f64; 7] = [0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35];
+/// Figure 2's node-speed grid in m/s.
+pub const FIG2_SPEEDS: [f64; 7] = [2.0, 5.0, 10.0, 20.0, 30.0, 40.0, 50.0];
+/// Figure 3's node-count grid (density is `N / a²` at the default side).
+pub const FIG3_NODES: [usize; 6] = [100, 200, 300, 400, 600, 900];
+
+/// Closure-based sweep core: measures each scenario with `measure`,
+/// evaluates the analysis at the measured head ratio, and assembles a
+/// [`Figure`]. `measure` returning `None` (a cancelled run) aborts the
+/// whole sweep — partial figures are never published.
+pub fn sweep_with<M>(
+    x_label: &'static str,
+    scenarios: Vec<(f64, Scenario)>,
+    mut measure: M,
+) -> Option<Figure>
+where
+    M: FnMut(&Scenario) -> Option<Measured>,
+{
     let mut points = Vec::new();
     for (x, scenario) in scenarios {
-        let sim = measure_lid(&scenario, protocol);
+        let sim = measure(&scenario)?;
         let ana = analysis_at(&scenario, sim.head_ratio.mean);
         points.push(SweepPoint {
             x,
@@ -95,46 +113,67 @@ fn sweep(x_label: &'static str, scenarios: Vec<(f64, Scenario)>, protocol: &Prot
             ana_f_route: ana.f_route,
         });
     }
-    Figure { x_label, points }
+    Some(Figure { x_label, points })
 }
 
-/// Figure 1: frequencies vs transmission range `r/a ∈ {0.05 … 0.35}`.
-pub fn fig1(protocol: &Protocol) -> Figure {
-    let base = Scenario::default();
-    let scenarios = [0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35]
+fn sweep(x_label: &'static str, scenarios: Vec<(f64, Scenario)>, protocol: &Protocol) -> Figure {
+    sweep_with(x_label, scenarios, |s| Some(measure_lid(s, protocol)))
+        .expect("a sweep without a cancel token cannot be cancelled")
+}
+
+/// Figure 1's scenario list: transmission range `r/a` over
+/// [`FIG1_RADIUS_FRACS`] applied to `base`.
+pub fn fig1_scenarios(base: &Scenario) -> Vec<(f64, Scenario)> {
+    FIG1_RADIUS_FRACS
         .into_iter()
         .map(|frac| {
             (
                 frac,
                 Scenario {
                     radius: frac * base.side,
-                    ..base
+                    ..*base
                 },
             )
         })
-        .collect();
-    sweep("r/a", scenarios, protocol)
+        .collect()
+}
+
+/// Figure 2's scenario list: node speed over [`FIG2_SPEEDS`].
+pub fn fig2_scenarios(base: &Scenario) -> Vec<(f64, Scenario)> {
+    FIG2_SPEEDS
+        .into_iter()
+        .map(|v| (v, Scenario { speed: v, ..*base }))
+        .collect()
+}
+
+/// Figure 3's scenario list: node count over [`FIG3_NODES`] at fixed
+/// area, so `x = N / a²` is the density.
+pub fn fig3_scenarios(base: &Scenario) -> Vec<(f64, Scenario)> {
+    let area = base.side * base.side;
+    FIG3_NODES
+        .into_iter()
+        .map(|n| (n as f64 / area, Scenario { nodes: n, ..*base }))
+        .collect()
+}
+
+/// Figure 1: frequencies vs transmission range `r/a ∈ {0.05 … 0.35}`.
+pub fn fig1(protocol: &Protocol) -> Figure {
+    sweep("r/a", fig1_scenarios(&Scenario::default()), protocol)
 }
 
 /// Figure 2: frequencies vs node speed `v ∈ {2 … 50} m/s`.
 pub fn fig2(protocol: &Protocol) -> Figure {
-    let base = Scenario::default();
-    let scenarios = [2.0, 5.0, 10.0, 20.0, 30.0, 40.0, 50.0]
-        .into_iter()
-        .map(|v| (v, Scenario { speed: v, ..base }))
-        .collect();
-    sweep("v [m/s]", scenarios, protocol)
+    sweep("v [m/s]", fig2_scenarios(&Scenario::default()), protocol)
 }
 
 /// Figure 3: frequencies vs density (`N ∈ {100 … 900}` at fixed area, so
 /// `ρ = N × 10⁻⁶ m⁻²`).
 pub fn fig3(protocol: &Protocol) -> Figure {
-    let base = Scenario::default();
-    let scenarios = [100usize, 200, 300, 400, 600, 900]
-        .into_iter()
-        .map(|n| (n as f64 * 1e-6, Scenario { nodes: n, ..base }))
-        .collect();
-    sweep("rho [1/m^2]", scenarios, protocol)
+    sweep(
+        "rho [1/m^2]",
+        fig3_scenarios(&Scenario::default()),
+        protocol,
+    )
 }
 
 #[cfg(test)]

@@ -14,7 +14,8 @@ use manet_stack::{ClusterLayer, ProtocolStack, RouteLayer, StackReport};
 use manet_telemetry::ShardSnapshot;
 use manet_util::stats::Summary;
 use std::ops::{Deref, DerefMut};
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// Scenario geometry and kinematics (DESIGN.md §5 defaults).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -141,6 +142,45 @@ pub struct Measured {
     pub link_gen_rate: Estimate,
     /// Per-node total link change rate.
     pub link_change_rate: Estimate,
+}
+
+/// Cooperative cancellation handle for harness measurement loops.
+///
+/// Cloneable and thread-safe: the jobs plane hands one clone to the
+/// worker running a scenario and keeps another to flip from the HTTP
+/// thread. The `*_ctl` measurement cores poll it every
+/// [`CANCEL_CHECK_TICKS`] ticks, so a running sweep stops within a few
+/// dozen ticks of wall-clock work rather than at the next sweep point.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation; idempotent.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// Ticks between [`CancelToken`] polls inside the measurement loops: a
+/// compromise between reaction latency (a few dozen ticks) and keeping
+/// the uncancellable hot path free of per-tick atomic loads.
+pub const CANCEL_CHECK_TICKS: usize = 32;
+
+/// `true` when a token is present and cancelled — the loop-body check.
+fn cancelled(cancel: Option<&CancelToken>) -> bool {
+    cancel.is_some_and(|c| c.is_cancelled())
 }
 
 /// Process-wide default shard layout, set once by experiment binaries
@@ -455,8 +495,38 @@ pub fn measure_with_policy_sharded<P, F>(
     scenario: &Scenario,
     protocol: &Protocol,
     shards: Option<ShardDims>,
-    mut policy_for_seed: F,
+    policy_for_seed: F,
 ) -> Measured
+where
+    P: ClusterPolicy,
+    F: FnMut(u64) -> P,
+{
+    let run = shards.map(ShardRun::new);
+    measure_with_policy_ctl(scenario, protocol, run.as_ref(), None, policy_for_seed)
+        .expect("a measurement without a cancel token cannot be cancelled")
+}
+
+/// The cancellable core of [`measure_with_policy`]: full [`ShardRun`]
+/// options plus an optional [`CancelToken`] polled every
+/// [`CANCEL_CHECK_TICKS`] ticks. Returns `None` when cancellation fired
+/// mid-run (partial seeds are discarded — a cancelled measurement never
+/// yields numbers). The uncancelled result is bit-identical to
+/// [`measure_with_policy_sharded`] at the same layout — the jobs plane
+/// and the experiment bins share this loop, which is what makes their
+/// outputs byte-comparable.
+///
+/// # Panics
+///
+/// Panics when the layout's tiles would be narrower than the radio
+/// radius; validate dims against the scenario up front (as
+/// `ScenarioSpec::validate` does) for a friendlier error.
+pub fn measure_with_policy_ctl<P, F>(
+    scenario: &Scenario,
+    protocol: &Protocol,
+    run: Option<&ShardRun>,
+    cancel: Option<&CancelToken>,
+    mut policy_for_seed: F,
+) -> Option<Measured>
 where
     P: ClusterPolicy,
     F: FnMut(u64) -> P,
@@ -473,6 +543,9 @@ where
     let mut link_change = Summary::new();
 
     for &seed in &protocol.seeds {
+        if cancelled(cancel) {
+            return None;
+        }
         let world = SimBuilder::new()
             .side(scenario.side)
             .nodes(scenario.nodes)
@@ -485,14 +558,17 @@ where
             .build();
         let clustering = Clustering::form(policy_for_seed(seed), world.topology());
         let stack = ProtocolStack::ideal(world, clustering, IntraClusterRouting::new());
-        let mut stack = StackDriver::with_shards(stack, shards)
+        let mut stack = StackDriver::with_shard_run(stack, run)
             .expect("shard layout incompatible with scenario radius");
         let mut quiet = QuietCtx::new();
         stack.prime(&mut quiet.ctx()); // baseline fill
 
         // Warmup: run the full stack so the structure reaches steady state.
         let warm_ticks = (protocol.warmup / protocol.dt).round() as usize;
-        for _ in 0..warm_ticks {
+        for tick in 0..warm_ticks {
+            if tick % CANCEL_CHECK_TICKS == 0 && cancelled(cancel) {
+                return None;
+            }
             stack.tick(&mut quiet.ctx());
         }
 
@@ -500,7 +576,10 @@ where
         let mut agg = StackReport::default();
         let mut p_samples = Summary::new();
         let ticks = (protocol.measure / protocol.dt).round() as usize;
-        for _ in 0..ticks {
+        for tick in 0..ticks {
+            if tick % CANCEL_CHECK_TICKS == 0 && cancelled(cancel) {
+                return None;
+            }
             let report = stack.tick(&mut quiet.ctx());
             p_samples.push(report.head_ratio);
             agg.absorb(report);
@@ -530,7 +609,7 @@ where
         );
     }
 
-    Measured {
+    Some(Measured {
         f_hello: f_hello.into(),
         f_cluster: f_cluster.into(),
         f_cluster_break: f_cluster_break.into(),
@@ -541,7 +620,7 @@ where
         mean_degree: mean_degree.into(),
         link_gen_rate: link_gen.into(),
         link_change_rate: link_change.into(),
-    }
+    })
 }
 
 /// [`measure_with_policy`] specialized to the paper's LID case study.
@@ -635,6 +714,43 @@ mod tests {
             "λ sim {} vs theory {theory} (rel {rel:.3})",
             m.link_change_rate.mean
         );
+    }
+
+    #[test]
+    fn pre_cancelled_token_aborts_before_any_seed() {
+        let token = CancelToken::new();
+        assert!(!token.is_cancelled());
+        token.cancel();
+        token.cancel(); // idempotent
+        assert!(token.is_cancelled());
+        let m = measure_with_policy_ctl(
+            &Scenario::default(),
+            &Protocol::quick(),
+            None,
+            Some(&token),
+            |_| LowestId,
+        );
+        assert!(m.is_none(), "cancelled measurement must yield no numbers");
+    }
+
+    #[test]
+    fn ctl_core_without_token_matches_the_sharded_entry_point() {
+        let scenario = Scenario {
+            nodes: 100,
+            side: 500.0,
+            radius: 100.0,
+            ..Scenario::default()
+        };
+        let protocol = Protocol {
+            warmup: 10.0,
+            measure: 30.0,
+            seeds: vec![5],
+            dt: 0.5,
+        };
+        let via_sharded = measure_with_policy_sharded(&scenario, &protocol, None, |_| LowestId);
+        let via_ctl = measure_with_policy_ctl(&scenario, &protocol, None, None, |_| LowestId)
+            .expect("uncancelled");
+        assert_eq!(via_sharded, via_ctl);
     }
 
     #[test]

@@ -37,6 +37,7 @@
 pub mod ablations;
 pub mod baseline;
 pub mod claims;
+pub mod cli;
 pub mod convergence;
 pub mod dataplane;
 pub mod dhop_ext;
@@ -46,6 +47,7 @@ pub mod hello_accuracy;
 pub mod lid_figures;
 pub mod robustness;
 pub mod robustness2;
+pub mod spec;
 pub mod stability;
 pub mod theta;
 pub mod trace;

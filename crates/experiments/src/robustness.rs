@@ -11,7 +11,10 @@
 //! `p = 0` with no churn the fault machinery is pass-through and the
 //! measured total collapses onto the ideal stack's numbers.
 
-use crate::harness::{analysis_at, Estimate, Protocol, Scenario, StackDriver};
+use crate::harness::{
+    analysis_at, CancelToken, Estimate, Protocol, Scenario, ShardRun, StackDriver,
+    CANCEL_CHECK_TICKS,
+};
 use manet_cluster::{Backoff, Clustering, LowestId, SelfHealing};
 use manet_geom::ShardDims;
 use manet_routing::intra::IntraClusterRouting;
@@ -116,6 +119,31 @@ pub fn measure_with_faults_sharded(
     config: &FaultConfig,
     shards: Option<ShardDims>,
 ) -> FaultMeasured {
+    let run = shards.map(ShardRun::new);
+    measure_with_faults_ctl(scenario, protocol, config, run.as_ref(), None)
+        .expect("a measurement without a cancel token cannot be cancelled")
+}
+
+/// The cancellable core of [`measure_with_faults`]: full [`ShardRun`]
+/// options plus an optional [`CancelToken`] polled every
+/// [`CANCEL_CHECK_TICKS`] ticks. Returns `None` when cancellation fired
+/// mid-run. The uncancelled result is bit-identical to
+/// [`measure_with_faults_sharded`] at the same layout — the jobs plane
+/// and the robustness bin share this loop.
+///
+/// # Panics
+///
+/// Panics when the layout's tiles would be narrower than the radio
+/// radius; validate dims against the scenario up front for a friendlier
+/// error.
+pub fn measure_with_faults_ctl(
+    scenario: &Scenario,
+    protocol: &Protocol,
+    config: &FaultConfig,
+    run: Option<&ShardRun>,
+    cancel: Option<&CancelToken>,
+) -> Option<FaultMeasured> {
+    let cancelled = |c: Option<&CancelToken>| c.is_some_and(|t| t.is_cancelled());
     let mut f_hello = Summary::new();
     let mut f_cluster = Summary::new();
     let mut f_retransmit = Summary::new();
@@ -128,6 +156,9 @@ pub fn measure_with_faults_sharded(
     let mut violations_end = Summary::new();
 
     for &seed in &protocol.seeds {
+        if cancelled(cancel) {
+            return None;
+        }
         let n = scenario.nodes;
         let horizon = protocol.warmup + protocol.measure + 1.0;
         let churn = if config.crash_rate > 0.0 {
@@ -164,13 +195,16 @@ pub fn measure_with_faults_sharded(
         let clustering = Clustering::form(LowestId, world.topology());
         let healer = SelfHealing::new(clustering, config.backoff, config.sweep_interval);
         let stack = ProtocolStack::faulty(world, healer, IntraClusterRouting::new(), hello);
-        let mut stack = StackDriver::with_shards(stack, shards)
+        let mut stack = StackDriver::with_shard_run(stack, run)
             .expect("shard layout incompatible with scenario radius");
         let mut quiet = QuietCtx::new();
         stack.prime(&mut quiet.ctx());
 
         let warm_ticks = (protocol.warmup / protocol.dt).round() as usize;
-        for _ in 0..warm_ticks {
+        for tick in 0..warm_ticks {
+            if tick % CANCEL_CHECK_TICKS == 0 && cancelled(cancel) {
+                return None;
+            }
             stack.tick(&mut quiet.ctx());
         }
 
@@ -182,7 +216,10 @@ pub fn measure_with_faults_sharded(
         let mut agg = StackReport::default();
         let mut p_samples = Summary::new();
         let ticks = (protocol.measure / protocol.dt).round() as usize;
-        for _ in 0..ticks {
+        for tick in 0..ticks {
+            if tick % CANCEL_CHECK_TICKS == 0 && cancelled(cancel) {
+                return None;
+            }
             let report = stack.tick(&mut quiet.ctx());
             p_samples.push(report.head_ratio);
             agg.absorb(report);
@@ -222,7 +259,7 @@ pub fn measure_with_faults_sharded(
         violations_end.push(left as f64);
     }
 
-    FaultMeasured {
+    Some(FaultMeasured {
         f_hello: f_hello.into(),
         f_cluster: f_cluster.into(),
         f_retransmit: f_retransmit.into(),
@@ -233,7 +270,68 @@ pub fn measure_with_faults_sharded(
         lost_fraction: lost_fraction.into(),
         head_ratio: head_ratio.into(),
         violations_end: violations_end.into(),
+    })
+}
+
+/// The [`FaultConfig`] of a Bernoulli-loss row at stationary loss `p`
+/// (the ideal channel at `p = 0`) — the single source of truth shared by
+/// [`sweep_loss`] and the jobs plane's `robustness` scenario kind.
+pub fn bernoulli_config(p: f64, crash_rate: f64) -> FaultConfig {
+    FaultConfig {
+        loss: if p == 0.0 {
+            LossModel::Ideal
+        } else {
+            LossModel::Bernoulli { p }
+        },
+        crash_rate,
+        ..FaultConfig::default()
     }
+}
+
+/// The [`FaultConfig`] of a Gilbert–Elliott burst row whose *stationary*
+/// loss matches `p`: the bad state is mostly-lossy and sticky, and
+/// `p_gb` is chosen so `π_b · loss_bad = p` — shared by [`burst_row`]
+/// and the jobs plane.
+pub fn burst_config(p: f64, crash_rate: f64) -> FaultConfig {
+    let loss_bad = 0.8;
+    let p_bg = 0.25;
+    let p_gb = p * p_bg / (loss_bad - p).max(1e-9);
+    FaultConfig {
+        loss: LossModel::GilbertElliott {
+            p_gb,
+            p_bg,
+            loss_good: 0.0,
+            loss_bad,
+        },
+        crash_rate,
+        ..FaultConfig::default()
+    }
+}
+
+/// One cancellable robustness row: Bernoulli (or, with `burst`, a
+/// stationary-loss-matched Gilbert–Elliott channel) at loss `p`. Returns
+/// `None` when cancellation fired mid-measurement.
+pub fn row_ctl(
+    scenario: &Scenario,
+    protocol: &Protocol,
+    p: f64,
+    crash_rate: f64,
+    burst: bool,
+    run: Option<&ShardRun>,
+    cancel: Option<&CancelToken>,
+) -> Option<RobustnessRow> {
+    let config = if burst {
+        burst_config(p, crash_rate)
+    } else {
+        bernoulli_config(p, crash_rate)
+    };
+    let measured = measure_with_faults_ctl(scenario, protocol, &config, run, cancel)?;
+    Some(RobustnessRow {
+        loss_p: p,
+        crash_rate,
+        ideal_bound: measured.ideal_bound(scenario),
+        measured,
+    })
 }
 
 /// One sweep row: a loss probability × churn setting and its measurement.
@@ -268,25 +366,34 @@ pub fn sweep_loss_sharded(
     crash_rate: f64,
     shards: Option<ShardDims>,
 ) -> Vec<RobustnessRow> {
+    let run = shards.map(ShardRun::new);
+    sweep_ctl(
+        scenario,
+        protocol,
+        ps,
+        crash_rate,
+        false,
+        run.as_ref(),
+        None,
+    )
+    .expect("a sweep without a cancel token cannot be cancelled")
+}
+
+/// The cancellable core of [`sweep_loss`] (with `burst`, of a
+/// [`burst_row`] sweep): one [`row_ctl`] per loss probability. Returns
+/// `None` when cancellation fired mid-sweep — partial rows are
+/// discarded.
+pub fn sweep_ctl(
+    scenario: &Scenario,
+    protocol: &Protocol,
+    ps: &[f64],
+    crash_rate: f64,
+    burst: bool,
+    run: Option<&ShardRun>,
+    cancel: Option<&CancelToken>,
+) -> Option<Vec<RobustnessRow>> {
     ps.iter()
-        .map(|&p| {
-            let config = FaultConfig {
-                loss: if p == 0.0 {
-                    LossModel::Ideal
-                } else {
-                    LossModel::Bernoulli { p }
-                },
-                crash_rate,
-                ..FaultConfig::default()
-            };
-            let measured = measure_with_faults_sharded(scenario, protocol, &config, shards);
-            RobustnessRow {
-                loss_p: p,
-                crash_rate,
-                ideal_bound: measured.ideal_bound(scenario),
-                measured,
-            }
-        })
+        .map(|&p| row_ctl(scenario, protocol, p, crash_rate, burst, run, cancel))
         .collect()
 }
 
@@ -310,28 +417,9 @@ pub fn burst_row_sharded(
     crash_rate: f64,
     shards: Option<ShardDims>,
 ) -> RobustnessRow {
-    // Bad state is mostly-lossy and sticky; p_gb chosen so the stationary
-    // loss π_b·loss_bad matches the target p.
-    let loss_bad = 0.8;
-    let p_bg = 0.25;
-    let p_gb = p * p_bg / (loss_bad - p).max(1e-9);
-    let config = FaultConfig {
-        loss: LossModel::GilbertElliott {
-            p_gb,
-            p_bg,
-            loss_good: 0.0,
-            loss_bad,
-        },
-        crash_rate,
-        ..FaultConfig::default()
-    };
-    let measured = measure_with_faults_sharded(scenario, protocol, &config, shards);
-    RobustnessRow {
-        loss_p: p,
-        crash_rate,
-        ideal_bound: measured.ideal_bound(scenario),
-        measured,
-    }
+    let run = shards.map(ShardRun::new);
+    row_ctl(scenario, protocol, p, crash_rate, true, run.as_ref(), None)
+        .expect("a row without a cancel token cannot be cancelled")
 }
 
 /// Renders the sweep as a paper-style table.

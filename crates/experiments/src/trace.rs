@@ -28,7 +28,7 @@ use manet_telemetry::{
     WindowedRecorder,
 };
 use std::fmt::Write as _;
-use std::io;
+use std::io::{self, Write};
 use std::path::PathBuf;
 use std::sync::OnceLock;
 use std::time::{Duration, Instant};
@@ -353,6 +353,58 @@ pub fn trace_run_chaos(
     config: &TelemetryConfig,
     shards: Option<&ShardRun>,
 ) -> io::Result<TraceRun> {
+    let sink = match &config.out {
+        Some(path) => Some(JsonlSink::create(path)?),
+        None => None,
+    };
+    trace_run_with_sink(scenario, protocol, config, shards, sink).map(|(run, _)| run)
+}
+
+/// Captures a traced run's JSONL bytes in memory instead of a file: the
+/// writer-generic core over a `Vec<u8>` sink. The returned `String` is
+/// the exact file `--trace-out` would have written (meta line, events,
+/// profile line) — the jobs plane serves it from `GET /jobs/:id/trace`.
+///
+/// # Errors
+///
+/// Returns an I/O error when the sink write fails (unreachable for the
+/// in-memory writer) or the trace bytes are not UTF-8 (unreachable for
+/// the in-house codec).
+pub fn trace_run_to_string(
+    scenario: &Scenario,
+    protocol: &Protocol,
+    config: &TelemetryConfig,
+    shards: Option<&ShardRun>,
+) -> io::Result<(TraceRun, String)> {
+    let sink = JsonlSink::new(Vec::new());
+    let (run, writer) = trace_run_with_sink(scenario, protocol, config, shards, Some(sink))?;
+    let bytes = writer.expect("a provided sink always yields its writer back");
+    let text =
+        String::from_utf8(bytes).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    Ok((run, text))
+}
+
+/// The writer-generic core of every traced run: drives the telemetry
+/// tick loop against an explicit JSONL `sink` (ignoring
+/// [`TelemetryConfig::out`], which only the file-path frontends read)
+/// and hands the writer back alongside the [`TraceRun`] so callers can
+/// recover in-memory trace bytes.
+///
+/// # Errors
+///
+/// Returns any I/O error from writing the JSONL sink.
+///
+/// # Panics
+///
+/// Panics when the layout is too fine for the radius or the interconnect
+/// config is invalid; chaos sweeps construct both in code.
+pub fn trace_run_with_sink<W: Write>(
+    scenario: &Scenario,
+    protocol: &Protocol,
+    config: &TelemetryConfig,
+    shards: Option<&ShardRun>,
+    sink: Option<JsonlSink<W>>,
+) -> io::Result<(TraceRun, Option<W>)> {
     let seed = protocol.seeds.first().copied().unwrap_or(1);
     let duration = protocol.warmup + protocol.measure;
     let world = SimBuilder::new()
@@ -372,10 +424,6 @@ pub fn trace_run_chaos(
         dt: protocol.dt,
         duration,
         seed,
-    };
-    let sink = match &config.out {
-        Some(path) => Some(JsonlSink::create(path)?),
-        None => None,
     };
     let mut out = TraceOut::new(config.window, sink);
     out.write_meta(&meta);
@@ -468,7 +516,7 @@ pub fn trace_run_chaos(
 
     let profile = profiler.report();
     let recorder = std::mem::replace(&mut out.recorder, WindowedRecorder::new(config.window));
-    out.finish(&profile)?;
+    let writer = out.finish_into(&profile)?;
 
     // A run that never tripped the audit still leaves a black box behind.
     if let (Some(fr), Some(path), false) = (flight.as_ref(), &config.flight_out, trigger.fired()) {
@@ -516,16 +564,19 @@ pub fn trace_run_chaos(
             ),
         )?;
     }
-    Ok(TraceRun {
-        meta,
-        counters: stack.world().counters().clone(),
-        recorder,
-        profile,
-        attribution,
-        shard,
-        flight,
-        spans,
-    })
+    Ok((
+        TraceRun {
+            meta,
+            counters: stack.world().counters().clone(),
+            recorder,
+            profile,
+            attribution,
+            shard,
+            flight,
+            spans,
+        },
+        writer,
+    ))
 }
 
 /// Renders one [`TelemetrySnapshot`] for the live exporter: the same

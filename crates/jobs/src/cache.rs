@@ -1,0 +1,146 @@
+//! The content-addressed result cache.
+//!
+//! Keys are [`ScenarioSpec::canonical`] strings — the spec with every
+//! default materialized, rendered through the deterministic in-house
+//! codec. A seeded run is bit-identical at any shard layout or worker
+//! count, so the key fully determines the result document, and a hit
+//! serves the *exact bytes* of the first run (`Arc<str>`-shared, never
+//! re-rendered). Eviction is insertion-order FIFO at a fixed capacity:
+//! simple, deterministic, and cheap — parameter studies resubmit recent
+//! specs, not a scan-resistant working set.
+//!
+//! [`ScenarioSpec::canonical`]: manet_experiments::spec::ScenarioSpec::canonical
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// One cached run: the result document plus its optional JSONL trace.
+#[derive(Debug, Clone)]
+pub struct CacheEntry {
+    /// The result document's exact bytes.
+    pub result: Arc<str>,
+    /// The captured trace, when the spec asked for one.
+    pub trace: Option<Arc<str>>,
+}
+
+/// Canonical-spec → result cache with FIFO eviction and hit/miss
+/// counters. Not internally synchronized — the server wraps it in its
+/// state mutex.
+#[derive(Debug)]
+pub struct ResultCache {
+    map: HashMap<String, CacheEntry>,
+    order: VecDeque<String>,
+    cap: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl ResultCache {
+    /// An empty cache retaining at most `cap` entries.
+    pub fn new(cap: usize) -> ResultCache {
+        ResultCache {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            cap: cap.max(1),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks `key` up, counting a hit or miss.
+    pub fn lookup(&mut self, key: &str) -> Option<CacheEntry> {
+        match self.map.get(key) {
+            Some(entry) => {
+                self.hits += 1;
+                Some(entry.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) `key`, evicting the oldest entries once
+    /// over capacity. A refresh keeps the key's original queue position
+    /// rather than duplicating it.
+    pub fn insert(&mut self, key: String, entry: CacheEntry) {
+        if self.map.insert(key.clone(), entry).is_none() {
+            self.order.push_back(key);
+            while self.map.len() > self.cap {
+                let Some(oldest) = self.order.pop_front() else {
+                    break;
+                };
+                self.map.remove(&oldest);
+            }
+        }
+    }
+
+    /// Retained entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Lookup hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookup misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(s: &str) -> CacheEntry {
+        CacheEntry {
+            result: s.into(),
+            trace: None,
+        }
+    }
+
+    #[test]
+    fn hit_returns_the_original_bytes_and_counts() {
+        let mut c = ResultCache::new(4);
+        assert!(c.lookup("k").is_none());
+        c.insert("k".into(), entry("payload"));
+        let hit = c.lookup("k").expect("cached");
+        assert_eq!(&*hit.result, "payload");
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+    }
+
+    #[test]
+    fn fifo_eviction_drops_the_oldest_key() {
+        let mut c = ResultCache::new(2);
+        c.insert("a".into(), entry("1"));
+        c.insert("b".into(), entry("2"));
+        c.insert("c".into(), entry("3"));
+        assert_eq!(c.len(), 2);
+        assert!(c.lookup("a").is_none());
+        assert!(c.lookup("b").is_some() && c.lookup("c").is_some());
+    }
+
+    #[test]
+    fn refresh_does_not_duplicate_the_queue_position() {
+        let mut c = ResultCache::new(2);
+        c.insert("a".into(), entry("1"));
+        c.insert("a".into(), entry("1'"));
+        c.insert("b".into(), entry("2"));
+        c.insert("c".into(), entry("3"));
+        // "a" (oldest) evicted exactly once; "b" and "c" retained.
+        assert_eq!(c.len(), 2);
+        assert!(c.lookup("a").is_none());
+        assert_eq!(&*c.lookup("b").unwrap().result, "2");
+        assert_eq!(&*c.lookup("c").unwrap().result, "3");
+    }
+}

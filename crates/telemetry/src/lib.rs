@@ -91,7 +91,10 @@ pub use export::{
 pub use flight::{FlightRecorder, FlightTrigger};
 pub use hist::{Histogram, HIST_BUCKETS};
 pub use profiler::{Phase, PhaseProfiler, PhaseSummary, ProfileReport};
-pub use serve::{MetricsServer, Publisher, TelemetrySnapshot};
+pub use serve::{
+    read_request, write_response, HttpRequest, MetricsServer, Publisher, TelemetrySnapshot,
+    MAX_REQUEST_BODY,
+};
 pub use sink::{read_trace, JsonlSink, Trace, TraceMeta, TraceOut};
 pub use span::{chrome_trace_json, RawSpan, SpanLabel, SpanRecorder, SpanStart, SpanTimebase};
 pub use window::{WindowStats, WindowedRecorder};

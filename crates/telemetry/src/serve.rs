@@ -24,8 +24,11 @@
 //!   `scripts/verify.sh` to end the post-run hold deterministically).
 //!
 //! The server answers one request per connection (`Connection: close`),
-//! which every scraper and `curl` handles, and needs no HTTP parsing
-//! beyond the request line.
+//! which every scraper and `curl` handles. The minimal HTTP plumbing —
+//! [`read_request`] / [`write_response`] over an [`HttpRequest`] — is
+//! public so sibling endpoints (the `manet-jobs` server) speak the exact
+//! same dialect: `HTTP/1.1` status lines, explicit `Content-Length`, one
+//! request per connection, unknown paths answered with a proper `404`.
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -33,6 +36,89 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Upper bound on an accepted request body (a scenario spec is well under
+/// a kilobyte; anything larger is a misdirected upload, not a spec).
+pub const MAX_REQUEST_BODY: usize = 1 << 20;
+
+/// One parsed HTTP request: the request line plus the body, when a
+/// `Content-Length` header announced one.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HttpRequest {
+    /// Request method (`GET`, `POST`, …), as sent.
+    pub method: String,
+    /// Request path, as sent (no query-string splitting — none of the
+    /// served endpoints take parameters).
+    pub path: String,
+    /// Request body (empty unless `Content-Length` was present).
+    pub body: String,
+}
+
+/// Reads one HTTP request — request line, headers, and a
+/// `Content-Length`-delimited body — from a buffered stream.
+///
+/// # Errors
+///
+/// Returns `InvalidData` on a malformed request line, an unparseable or
+/// oversized `Content-Length`, or a non-UTF-8 body; propagates transport
+/// errors (including read timeouts) as-is.
+pub fn read_request<R: BufRead>(reader: &mut R) -> io::Result<HttpRequest> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
+        return Err(bad("malformed request line"));
+    };
+    let (method, path) = (method.to_string(), path.to_string());
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| bad("unparseable Content-Length"))?;
+                if content_length > MAX_REQUEST_BODY {
+                    return Err(bad("request body too large"));
+                }
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let body = String::from_utf8(body).map_err(|_| bad("request body is not UTF-8"))?;
+    Ok(HttpRequest { method, path, body })
+}
+
+/// Writes one `HTTP/1.1` response with an explicit `Content-Length` and
+/// `Connection: close` — the shared response shape of every plane
+/// endpoint. `status` is the full status phrase (`"200 OK"`,
+/// `"404 Not Found"`, …).
+///
+/// # Errors
+///
+/// Propagates transport errors (including write timeouts).
+pub fn write_response<W: Write>(
+    stream: &mut W,
+    status: &str,
+    content_type: &str,
+    body: &str,
+) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}
 
 /// One published view of a running simulation, rendered by the tick loop
 /// once per tumbling window and served immutably until the next publish.
@@ -189,20 +275,18 @@ fn accept_loop(listener: TcpListener, shared: &Shared) {
     }
 }
 
-/// Reads one request line and writes one response. Errors are returned
-/// only to be discarded — a broken scraper must never affect the run.
+/// Reads one request and writes one response. Errors are returned only
+/// to be discarded — a broken scraper must never affect the run.
 fn handle_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(2)))?;
     stream.set_write_timeout(Some(Duration::from_secs(2)))?;
     let mut reader = BufReader::new(stream);
-    let mut request_line = String::new();
-    reader.read_line(&mut request_line)?;
-    let path = request_line.split_whitespace().nth(1).unwrap_or("/");
+    let request = read_request(&mut reader)?;
     let (snapshot, published_at) = {
         let cell = shared.snapshot.lock().expect("snapshot lock");
         (Arc::clone(&cell.0), cell.1)
     };
-    let (status, body) = match path {
+    let (status, body) = match request.path.as_str() {
         "/metrics" => ("200 OK", snapshot.metrics.clone()),
         "/health" => ("200 OK", health_body(&snapshot, published_at)),
         "/flight" => ("200 OK", snapshot.flight.clone()),
@@ -213,13 +297,12 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
         _ => ("404 Not Found", "not found\n".to_string()),
     };
     let mut stream = reader.into_inner();
-    write!(
-        stream,
-        "HTTP/1.0 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len()
-    )?;
-    stream.flush()
+    write_response(
+        &mut stream,
+        status,
+        "text/plain; version=0.0.4; charset=utf-8",
+        &body,
+    )
 }
 
 /// Renders the `/health` body: `key value` lines, one per fact.
@@ -313,6 +396,58 @@ mod tests {
             },
             "listener must be closed after shutdown"
         );
+    }
+
+    /// The satellite fix pinned: unknown paths answer with a full
+    /// `HTTP/1.1 404` status line and `Connection: close`, so scrapers
+    /// and load balancers see a well-formed refusal instead of an
+    /// under-specified `HTTP/1.0` one.
+    #[test]
+    fn unknown_paths_get_a_proper_http11_404() {
+        let server = MetricsServer::serve("127.0.0.1:0").expect("bind");
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+        write!(
+            stream,
+            "GET /definitely/not/here HTTP/1.1\r\nHost: t\r\n\r\n"
+        )
+        .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        assert!(
+            response.starts_with("HTTP/1.1 404 Not Found\r\n"),
+            "{response}"
+        );
+        assert!(response.contains("Connection: close\r\n"), "{response}");
+        assert!(response.ends_with("not found\n"), "{response}");
+    }
+
+    #[test]
+    fn read_request_parses_method_path_and_body() {
+        let raw = "POST /jobs HTTP/1.1\r\nHost: t\r\nContent-Length: 11\r\n\r\nhello world";
+        let req = read_request(&mut io::Cursor::new(raw)).expect("parse");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/jobs");
+        assert_eq!(req.body, "hello world");
+
+        let raw = "GET /health HTTP/1.1\r\n\r\n";
+        let req = read_request(&mut io::Cursor::new(raw)).expect("parse");
+        assert_eq!((req.method.as_str(), req.body.as_str()), ("GET", ""));
+    }
+
+    #[test]
+    fn read_request_rejects_malformed_input() {
+        for raw in [
+            "\r\n",                                                    // no request line
+            "GET\r\n\r\n",                                             // no path
+            "POST /jobs HTTP/1.1\r\nContent-Length: nope\r\n\r\n",     // bad length
+            "POST /jobs HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n", // oversized
+        ] {
+            let err = read_request(&mut io::Cursor::new(raw)).expect_err(raw);
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{raw:?}");
+        }
+        // A truncated body is a transport error, not InvalidData.
+        let raw = "POST /jobs HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort";
+        assert!(read_request(&mut io::Cursor::new(raw)).is_err());
     }
 
     #[test]

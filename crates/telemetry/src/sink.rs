@@ -345,10 +345,24 @@ impl<W: Write> JsonlSink<W> {
     /// # Errors
     ///
     /// Returns the first write failure, or the flush failure.
-    pub fn finish(mut self) -> io::Result<()> {
+    pub fn finish(self) -> io::Result<()> {
+        self.finish_into().map(|_| ())
+    }
+
+    /// Like [`JsonlSink::finish`], but hands the flushed writer back —
+    /// the in-memory (`Vec<u8>`) sinks the jobs plane captures traces
+    /// into need the buffer after the run.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first write failure, or the flush failure.
+    pub fn finish_into(mut self) -> io::Result<W> {
         match self.error.take() {
             Some(e) => Err(e),
-            None => self.writer.flush(),
+            None => {
+                self.writer.flush()?;
+                Ok(self.writer)
+            }
         }
     }
 }
@@ -391,14 +405,24 @@ impl<W: Write> TraceOut<W> {
     ///
     /// Returns the sink's first latched I/O error.
     pub fn finish(self, report: &ProfileReport) -> io::Result<()> {
+        self.finish_into(report).map(|_| ())
+    }
+
+    /// Like [`TraceOut::finish`], but hands the sink's flushed writer
+    /// back (`None` when no sink was attached).
+    ///
+    /// # Errors
+    ///
+    /// Returns the sink's first latched I/O error.
+    pub fn finish_into(self, report: &ProfileReport) -> io::Result<Option<W>> {
         match self.sink {
             Some(mut sink) => {
                 if !report.is_empty() {
                     sink.write_profile(report);
                 }
-                sink.finish()
+                sink.finish_into().map(Some)
             }
-            None => Ok(()),
+            None => Ok(None),
         }
     }
 }

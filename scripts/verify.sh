@@ -144,4 +144,60 @@ fi
 rm -f "$serve_log"
 echo "    served $(echo "$metrics" | grep -c '') metric lines at $serve_addr; clean shutdown"
 
+echo "==> serve-jobs smoke (submit, poll, result, cache hit over real HTTP)"
+# Jobs plane (DESIGN.md §18): the scenario server on an ephemeral port.
+# Submit a tiny single-point spec, poll it to done, fetch the result,
+# resubmit the same spec and require a cache hit (visible both in the
+# submit response and the manet_jobs_cache_hits_total counter), then
+# /quit for a clean shutdown.
+jobs_log=$(mktemp)
+cargo run -q --release --bin manet -- serve-jobs \
+    --addr 127.0.0.1:0 --workers 2 --hold 120 >"$jobs_log" 2>&1 &
+jobs_pid=$!
+jobs_addr=""
+for _ in $(seq 1 120); do
+    jobs_addr=$(sed -n 's|.*listening on http://\([0-9.:]*\).*|\1|p' "$jobs_log" | head -n1)
+    [ -n "$jobs_addr" ] && break
+    if ! kill -0 "$jobs_pid" 2>/dev/null; then break; fi
+    sleep 0.5
+done
+if [ -z "$jobs_addr" ]; then
+    echo "verify: FAIL — job server never came up" >&2
+    cat "$jobs_log" >&2
+    kill "$jobs_pid" 2>/dev/null || true
+    exit 1
+fi
+jobs_spec='{"kind":"single","nodes":60,"side":400,"radius":80,"warmup":5,"measure":15,"dt":0.5,"seeds":[7]}'
+submit=$(curl -fsS --max-time 5 -X POST --data "$jobs_spec" "http://$jobs_addr/jobs")
+echo "$submit" | grep -q '"cache":"miss"' || { echo "verify: FAIL — first submit was not a miss: $submit" >&2; exit 1; }
+job_id=$(echo "$submit" | sed -n 's|.*"id":\([0-9]*\).*|\1|p')
+job_done=""
+for _ in $(seq 1 120); do
+    job_done=$(curl -fsS --max-time 5 "http://$jobs_addr/jobs/$job_id" || true)
+    case "$job_done" in *'"status":"done"'*) break ;; esac
+    sleep 0.25
+done
+case "$job_done" in
+    *'"status":"done"'*) : ;;
+    *)
+        echo "verify: FAIL — job never reached done: $job_done" >&2
+        kill "$jobs_pid" 2>/dev/null || true
+        exit 1
+        ;;
+esac
+curl -fsS --max-time 5 "http://$jobs_addr/jobs/$job_id/result" \
+    | grep -q '"type":"result"' || { echo "verify: FAIL — result body malformed" >&2; exit 1; }
+resubmit=$(curl -fsS --max-time 5 -X POST --data "$jobs_spec" "http://$jobs_addr/jobs")
+echo "$resubmit" | grep -q '"cache":"hit"' || { echo "verify: FAIL — resubmit was not a cache hit: $resubmit" >&2; exit 1; }
+curl -fsS --max-time 5 "http://$jobs_addr/metrics" \
+    | grep -q '^manet_jobs_cache_hits_total 1' || { echo "verify: FAIL — cache hit not counted on /metrics" >&2; exit 1; }
+curl -fsS --max-time 5 "http://$jobs_addr/quit" >/dev/null
+if ! wait "$jobs_pid"; then
+    echo "verify: FAIL — job server exited non-zero" >&2
+    cat "$jobs_log" >&2
+    exit 1
+fi
+rm -f "$jobs_log"
+echo "    job $job_id done + cache hit at $jobs_addr; clean shutdown"
+
 echo "verify: all checks passed"

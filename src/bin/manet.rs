@@ -8,16 +8,21 @@
 //! manet trace    --nodes 50 --side 500 --speed 8 --frames 60 --period 1 \
 //!                [--format text|ns2] [--seed 1]
 //! manet theta
+//! manet serve-jobs [--addr 127.0.0.1:9090] [--workers 2] [--queue-cap 64] \
+//!                  [--cache-cap 256] [--hold 0]
 //! ```
 //!
 //! `predict` evaluates the paper's closed forms; `simulate` runs the full
 //! protocol stack and reports measured frequencies next to the model;
 //! `trace` emits a reproducible mobility trace (plain text or ns-2
-//! movement format); `theta` prints the Section 6 growth-exponent table.
+//! movement format); `theta` prints the Section 6 growth-exponent table;
+//! `serve-jobs` runs the simulation-as-a-service scenario server
+//! (DESIGN.md §18) until `GET /quit` (or `--hold` seconds).
 
 use clustered_manet::cluster::{Clustering, HighestConnectivity, LowestId};
 use clustered_manet::experiments::harness::StackDriver;
 use clustered_manet::geom::{ShardDims, SquareRegion};
+use clustered_manet::jobs::{JobServer, JobServerConfig};
 use clustered_manet::mobility::{ConstantVelocity, TraceRecorder};
 use clustered_manet::model::{lid, DegreeModel, NetworkParams, OverheadModel};
 use clustered_manet::routing::intra::IntraClusterRouting;
@@ -26,6 +31,7 @@ use clustered_manet::stack::{ProtocolStack, StackReport};
 use clustered_manet::util::Rng;
 use std::collections::BTreeMap;
 use std::process::ExitCode;
+use std::time::Duration;
 
 /// Parsed `--key value` flags.
 #[derive(Debug, Default)]
@@ -75,7 +81,7 @@ impl Flags {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  manet predict  --nodes N --side A --radius R --speed V [--p HEADRATIO]\n  manet simulate --nodes N --side A --radius R --speed V [--measure S] [--warmup S] [--seed K] [--policy lid|hcc] [--shards KXxKY]\n  manet trace    --nodes N --side A --speed V --frames K --period S [--format text|ns2] [--seed K]\n  manet theta\nSee README.md for the underlying model (Xue, Er & Seah, ICDCS 2006)."
+    "usage:\n  manet predict    --nodes N --side A --radius R --speed V [--p HEADRATIO]\n  manet simulate   --nodes N --side A --radius R --speed V [--measure S] [--warmup S] [--seed K] [--policy lid|hcc] [--shards KXxKY]\n  manet trace      --nodes N --side A --speed V --frames K --period S [--format text|ns2] [--seed K]\n  manet theta\n  manet serve-jobs [--addr HOST:PORT] [--workers K] [--queue-cap K] [--cache-cap K] [--hold SECS]\nSee README.md for the underlying model (Xue, Er & Seah, ICDCS 2006)."
 }
 
 fn cmd_predict(flags: &Flags) -> Result<(), String> {
@@ -253,6 +259,44 @@ fn cmd_theta() {
     }
 }
 
+fn cmd_serve_jobs(flags: &Flags) -> Result<(), String> {
+    let addr = flags.str_or("addr", "127.0.0.1:9090");
+    let config = JobServerConfig {
+        workers: flags.usize("workers", 2)?.max(1),
+        queue_cap: flags.usize("queue-cap", 64)?.max(1),
+        cache_cap: flags.usize("cache-cap", 256)?.max(1),
+        ..JobServerConfig::default()
+    };
+    // 0 = serve until /quit; anything else is a watchdog timeout.
+    let hold = flags.f64("hold", 0.0)?;
+    let hold = if hold > 0.0 {
+        Duration::from_secs_f64(hold)
+    } else {
+        Duration::from_secs(u64::MAX / 4)
+    };
+    let server = JobServer::serve(addr, config).map_err(|e| format!("bind {addr}: {e}"))?;
+    let bound = server.local_addr().expect("serve() always binds HTTP");
+    println!(
+        "[serve-jobs] listening on http://{bound} ({} workers, queue cap {}, cache cap {})",
+        config.workers, config.queue_cap, config.cache_cap
+    );
+    println!(
+        "[serve-jobs] endpoints: POST /jobs, GET /jobs/:id[/result|/trace], \
+         POST /jobs/:id/cancel, /metrics /health /quit"
+    );
+    server.wait_for_quit(hold);
+    println!(
+        "[serve-jobs] {}; shutting down",
+        if server.quit_requested() {
+            "quit requested"
+        } else {
+            "hold expired"
+        }
+    );
+    server.shutdown();
+    Ok(())
+}
+
 fn run_cli(args: Vec<String>) -> Result<(), String> {
     let Some(cmd) = args.first() else {
         return Err(usage().to_string());
@@ -262,6 +306,7 @@ fn run_cli(args: Vec<String>) -> Result<(), String> {
         "predict" => cmd_predict(&flags),
         "simulate" => cmd_simulate(&flags),
         "trace" => cmd_trace(&flags),
+        "serve-jobs" => cmd_serve_jobs(&flags),
         "theta" => {
             cmd_theta();
             Ok(())

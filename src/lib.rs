@@ -24,6 +24,9 @@
 //! * [`geom`], [`util`] — the spatial and numeric substrate.
 //! * [`experiments`] — the harnesses that regenerate every figure and
 //!   table of the paper (see DESIGN.md §5 and EXPERIMENTS.md).
+//! * [`jobs`] — simulation-as-a-service: the `manet serve-jobs` scenario
+//!   server with a bounded job queue, worker pool, and content-addressed
+//!   seeded result cache (DESIGN.md §18).
 //!
 //! # Quickstart
 //!
@@ -119,4 +122,10 @@ pub mod util {
 /// Figure/table regeneration harnesses (re-export of `manet-experiments`).
 pub mod experiments {
     pub use manet_experiments::*;
+}
+
+/// Simulation-as-a-service jobs plane: scenario server, bounded queue,
+/// seeded result cache (re-export of `manet-jobs`).
+pub mod jobs {
+    pub use manet_jobs::*;
 }
